@@ -1,0 +1,27 @@
+//! # tea-amg — multigrid-preconditioned CG baseline
+//!
+//! The paper benchmarks TeaLeaf's CPPCG against "PETSc CG + Hypre
+//! BoomerAMG". Neither library fits a from-scratch reproduction, so this
+//! crate implements the equivalent method directly: a geometric multigrid
+//! [`hierarchy`] (on TeaLeaf's regular grids, BoomerAMG's coarsening
+//! degenerates to geometric 2x2 aggregation) used as a V-cycle
+//! preconditioner inside CG ([`pcg`]), with a dense Cholesky coarsest
+//! solve ([`chol`]) and per-level protocol traces ([`trace`]) for the
+//! strong-scaling model.
+//!
+//! See DESIGN.md §3 (substitution 3) for why this preserves the baseline
+//! behaviours that matter: near-mesh-independent iteration counts, heavy
+//! setup, and per-iteration communication on every level.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chol;
+pub mod hierarchy;
+pub mod pcg;
+pub mod trace;
+
+pub use chol::Cholesky;
+pub use hierarchy::{MgHierarchy, MgOpts, COARSEST_CELLS, JACOBI_WEIGHT};
+pub use pcg::{amg_pcg_solve, AmgPcgOpts, AmgSolveResult};
+pub use trace::MgTrace;

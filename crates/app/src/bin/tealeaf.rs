@@ -1,0 +1,207 @@
+//! The `tealeaf` command-line driver.
+//!
+//! Runs a heat-conduction simulation from a deck file or from built-in
+//! crooked-pipe defaults, on one or many simulated ranks, and prints the
+//! per-step diagnostics the reference prints.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tea_app::{
+    crooked_pipe_deck, parse_deck, run_serial, run_threaded_ranks, write_field_csv,
+    write_field_ppm, RankOutput, SolverKind,
+};
+use tea_core::PreconKind;
+
+const USAGE: &str = "\
+tealeaf — TeaLeaf heat-conduction mini-app (Rust reproduction)
+
+USAGE:
+    tealeaf [OPTIONS]
+
+OPTIONS:
+    --deck <file>        read a tea.in-style deck (other options override it)
+    --cells <n>          mesh resolution n x n            [default: 128]
+    --solver <s>         jacobi | cg | chebyshev | ppcg | amg  [default: cg]
+    --precon <p>         none | jac_diag | jac_block      [default: none]
+    --depth <d>          PPCG matrix-powers halo depth    [default: 1]
+    --inner <m>          PPCG inner steps                 [default: 16]
+    --steps <n>          number of time steps             [default: 10]
+    --dt <t>             time step                        [default: 0.04]
+    --eps <e>            solver tolerance                 [default: 1e-10]
+    --ranks <r>          simulated MPI ranks (threads)    [default: 1]
+    --out <prefix>       write <prefix>.ppm and <prefix>.csv of the final field
+    --quiet              only print the final summary
+    --help               show this help
+";
+
+struct Args {
+    deck_path: Option<PathBuf>,
+    cells: usize,
+    solver: SolverKind,
+    precon: PreconKind,
+    depth: usize,
+    inner: usize,
+    steps: u64,
+    dt: f64,
+    eps: f64,
+    ranks: usize,
+    out: Option<String>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        deck_path: None,
+        cells: 128,
+        solver: SolverKind::Cg,
+        precon: PreconKind::None,
+        depth: 1,
+        inner: 16,
+        steps: 10,
+        dt: 0.04,
+        eps: 1e-10,
+        ranks: 1,
+        out: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || -> Result<String, String> {
+            it.next().ok_or(format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--deck" => args.deck_path = Some(PathBuf::from(value()?)),
+            "--cells" => args.cells = value()?.parse().map_err(|e| format!("--cells: {e}"))?,
+            "--solver" => {
+                args.solver = match value()?.as_str() {
+                    "jacobi" => SolverKind::Jacobi,
+                    "cg" => SolverKind::Cg,
+                    "chebyshev" | "cheby" => SolverKind::Chebyshev,
+                    "ppcg" | "cppcg" => SolverKind::Ppcg,
+                    "amg" | "boomeramg" => SolverKind::AmgPcg,
+                    other => return Err(format!("unknown solver '{other}'")),
+                }
+            }
+            "--precon" => {
+                args.precon = match value()?.as_str() {
+                    "none" => PreconKind::None,
+                    "jac_diag" | "diag" => PreconKind::Diagonal,
+                    "jac_block" | "block" => PreconKind::BlockJacobi,
+                    other => return Err(format!("unknown preconditioner '{other}'")),
+                }
+            }
+            "--depth" => args.depth = value()?.parse().map_err(|e| format!("--depth: {e}"))?,
+            "--inner" => args.inner = value()?.parse().map_err(|e| format!("--inner: {e}"))?,
+            "--steps" => args.steps = value()?.parse().map_err(|e| format!("--steps: {e}"))?,
+            "--dt" => args.dt = value()?.parse().map_err(|e| format!("--dt: {e}"))?,
+            "--eps" => args.eps = value()?.parse().map_err(|e| format!("--eps: {e}"))?,
+            "--ranks" => args.ranks = value()?.parse().map_err(|e| format!("--ranks: {e}"))?,
+            "--out" => args.out = Some(value()?),
+            "--quiet" => args.quiet = true,
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut deck = match &args.deck_path {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            match parse_deck(&text) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => crooked_pipe_deck(args.cells, args.solver),
+    };
+    if args.deck_path.is_none() {
+        deck.control.solver = args.solver;
+        deck.control.precon = args.precon;
+        deck.control.ppcg_halo_depth = args.depth;
+        deck.control.ppcg_inner_steps = args.inner;
+        deck.control.end_step = args.steps;
+        deck.control.dt = args.dt;
+        deck.control.opts.eps = args.eps;
+        deck.control.summary_frequency = if args.quiet { 0 } else { 1 };
+    }
+
+    println!(
+        "tealeaf: {}x{} cells, solver {:?}, {} steps, {} rank(s)",
+        deck.problem.x_cells,
+        deck.problem.y_cells,
+        deck.control.solver,
+        deck.control.steps(),
+        args.ranks
+    );
+
+    let started = std::time::Instant::now();
+    let output: RankOutput = if args.ranks <= 1 {
+        run_serial(&deck)
+    } else {
+        run_threaded_ranks(&deck, args.ranks).into_iter().next().unwrap()
+    };
+    let elapsed = started.elapsed().as_secs_f64();
+
+    if !args.quiet {
+        println!("{:>6} {:>10} {:>8} {:>14} {:>14}", "step", "time", "iters", "avg temp", "wall(s)");
+        for s in &output.steps {
+            let temp = s
+                .summary
+                .map(|x| format!("{:14.8}", x.average_temperature()))
+                .unwrap_or_else(|| " ".repeat(14));
+            println!(
+                "{:>6} {:>10.4} {:>8} {} {:>14.6}",
+                s.step, s.time, s.iterations, temp, s.wall
+            );
+        }
+    }
+
+    let s = output.final_summary;
+    println!("\nfield summary:");
+    println!("  volume           {:.6e}", s.volume);
+    println!("  mass             {:.6e}", s.mass);
+    println!("  internal energy  {:.6e}", s.internal_energy);
+    println!("  temperature      {:.6e}", s.temperature);
+    println!("  avg temperature  {:.8}", s.average_temperature());
+    println!("\nsolver protocol:");
+    println!("  outer iterations {}", output.trace.outer_iterations);
+    println!("  inner iterations {}", output.trace.inner_iterations);
+    println!("  stencil sweeps   {}", output.trace.spmv.total());
+    println!("  halo exchanges   {}", output.trace.total_halo_exchanges());
+    println!("  reductions       {}", output.trace.reductions);
+    println!("  wall time        {elapsed:.3}s");
+
+    if let (Some(prefix), Some(u)) = (&args.out, &output.final_u) {
+        let ppm = PathBuf::from(format!("{prefix}.ppm"));
+        let csv = PathBuf::from(format!("{prefix}.csv"));
+        if let Err(e) = write_field_ppm(u, &ppm).and_then(|_| write_field_csv(u, &csv)) {
+            eprintln!("error writing output: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} and {}", ppm.display(), csv.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,551 @@
+//! `tea.in`-style input decks.
+//!
+//! The reference TeaLeaf reads a keyword deck between `*tea` and
+//! `*endtea`. This parser accepts the same shape of file — states,
+//! mesh extents, timestep controls and `tl_*` solver switches — mapped
+//! onto this reproduction's option types. Unknown keys are reported as
+//! errors rather than ignored, so decks stay honest.
+//!
+//! ```text
+//! *tea
+//! state 1 density=100.0 energy=0.0001
+//! state 2 density=0.1 energy=25.0 geometry=rectangle xmin=0.0 xmax=3.5 ymin=1.0 ymax=2.0
+//! x_cells=256
+//! y_cells=256
+//! xmin=0.0  xmax=10.0  ymin=0.0  ymax=10.0
+//! initial_timestep=0.04
+//! end_time=15.0
+//! end_step=375
+//! tl_use_ppcg
+//! tl_ppcg_inner_steps=16
+//! tl_ppcg_halo_depth=8
+//! tl_preconditioner_type=jac_block
+//! tl_eps=1e-10
+//! tl_max_iters=10000
+//! tl_coefficient=1
+//! *endtea
+//! ```
+
+use std::collections::BTreeMap;
+use tea_core::{PreconKind, SolveOpts};
+use tea_mesh::{Coefficient, Extent2D, Problem, Shape, State};
+
+/// Which solver the driver runs each time step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverKind {
+    /// Point-Jacobi iteration.
+    Jacobi,
+    /// Conjugate gradient (the baseline).
+    #[default]
+    Cg,
+    /// Single-reduction (Chronopoulos–Gear) CG — the paper's §VII
+    /// future-work restructuring, one fused allreduce per iteration.
+    CgFused,
+    /// CG presteps + Chebyshev acceleration.
+    Chebyshev,
+    /// CPPCG (Chebyshev polynomially preconditioned CG).
+    Ppcg,
+    /// Multigrid-preconditioned CG (the BoomerAMG-class baseline).
+    AmgPcg,
+}
+
+impl SolverKind {
+    /// Figure-legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SolverKind::Jacobi => "Jacobi",
+            SolverKind::Cg => "CG",
+            SolverKind::CgFused => "CG-fused",
+            SolverKind::Chebyshev => "Chebyshev",
+            SolverKind::Ppcg => "PPCG",
+            SolverKind::AmgPcg => "BoomerAMG",
+        }
+    }
+}
+
+/// Time-stepping and solver controls (the deck's non-geometry half).
+#[derive(Debug, Clone)]
+pub struct Control {
+    /// Fixed time step (paper: 0.04 µs).
+    pub dt: f64,
+    /// Simulation end time (paper: 15 µs).
+    pub end_time: f64,
+    /// Step-count cap.
+    pub end_step: u64,
+    /// Solver selection.
+    pub solver: SolverKind,
+    /// Convergence options.
+    pub opts: SolveOpts,
+    /// Preconditioner for CG/Chebyshev/PPCG-inner.
+    pub precon: PreconKind,
+    /// PPCG inner smoothing steps.
+    pub ppcg_inner_steps: usize,
+    /// PPCG matrix-powers halo depth.
+    pub ppcg_halo_depth: usize,
+    /// Eigenvalue-estimation CG presteps (Chebyshev/PPCG).
+    pub presteps: u64,
+    /// Print a field summary every this many steps (0 = only at end).
+    pub summary_frequency: u64,
+}
+
+impl Default for Control {
+    fn default() -> Self {
+        Control {
+            dt: 0.04,
+            end_time: 15.0,
+            end_step: u64::MAX,
+            solver: SolverKind::Cg,
+            opts: SolveOpts::default(),
+            precon: PreconKind::None,
+            ppcg_inner_steps: 16,
+            ppcg_halo_depth: 1,
+            presteps: 30,
+            summary_frequency: 10,
+        }
+    }
+}
+
+impl Control {
+    /// Number of steps implied by `end_time`/`end_step`.
+    pub fn steps(&self) -> u64 {
+        let by_time = (self.end_time / self.dt).ceil() as u64;
+        by_time.min(self.end_step)
+    }
+}
+
+/// A parsed deck: the physical problem plus controls.
+#[derive(Debug, Clone)]
+pub struct Deck {
+    /// Mesh, states and coefficient recipe.
+    pub problem: Problem,
+    /// Time stepping and solver controls.
+    pub control: Control,
+}
+
+/// Parses a deck from text.
+///
+/// # Errors
+/// Returns a message naming the offending line for unknown keys,
+/// malformed values, missing `*tea` block or invalid problems.
+pub fn parse_deck(text: &str) -> Result<Deck, String> {
+    let mut in_block = false;
+    let mut saw_block = false;
+
+    let mut x_cells = 100usize;
+    let mut y_cells = 100usize;
+    let mut extent = Extent2D::square(10.0);
+    let mut states: BTreeMap<usize, State> = BTreeMap::new();
+    let mut coefficient = Coefficient::Conductivity;
+    let mut control = Control::default();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('!').next().unwrap_or("").trim(); // `!` comments
+        if line.is_empty() {
+            continue;
+        }
+        let lower = line.to_ascii_lowercase();
+        if lower == "*tea" {
+            in_block = true;
+            saw_block = true;
+            continue;
+        }
+        if lower == "*endtea" {
+            in_block = false;
+            continue;
+        }
+        if !in_block {
+            continue;
+        }
+        let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+
+        if let Some(rest) = lower.strip_prefix("state ") {
+            let (idx, state) = parse_state(rest).map_err(err)?;
+            states.insert(idx, state);
+            continue;
+        }
+
+        // bare switches
+        match lower.as_str() {
+            "tl_use_jacobi" => {
+                control.solver = SolverKind::Jacobi;
+                continue;
+            }
+            "tl_use_cg" => {
+                control.solver = SolverKind::Cg;
+                continue;
+            }
+            "tl_use_cg_fused" => {
+                control.solver = SolverKind::CgFused;
+                continue;
+            }
+            "tl_use_chebyshev" => {
+                control.solver = SolverKind::Chebyshev;
+                continue;
+            }
+            "tl_use_ppcg" => {
+                control.solver = SolverKind::Ppcg;
+                continue;
+            }
+            "tl_use_amg" | "tl_use_boomeramg" => {
+                control.solver = SolverKind::AmgPcg;
+                continue;
+            }
+            _ => {}
+        }
+
+        let (key, value) = lower
+            .split_once('=')
+            .map(|(k, v)| (k.trim(), v.trim()))
+            .ok_or_else(|| err(format!("expected key=value, got '{line}'")))?;
+        let fval = || -> Result<f64, String> {
+            value
+                .parse::<f64>()
+                .map_err(|_| err(format!("bad number '{value}' for {key}")))
+        };
+        let ival = || -> Result<u64, String> {
+            value
+                .parse::<u64>()
+                .map_err(|_| err(format!("bad integer '{value}' for {key}")))
+        };
+        match key {
+            "x_cells" => x_cells = ival()? as usize,
+            "y_cells" => y_cells = ival()? as usize,
+            "xmin" => extent.x_min = fval()?,
+            "xmax" => extent.x_max = fval()?,
+            "ymin" => extent.y_min = fval()?,
+            "ymax" => extent.y_max = fval()?,
+            "initial_timestep" => control.dt = fval()?,
+            "end_time" => control.end_time = fval()?,
+            "end_step" => control.end_step = ival()?,
+            "summary_frequency" => control.summary_frequency = ival()?,
+            "tl_eps" => control.opts.eps = fval()?,
+            "tl_max_iters" => control.opts.max_iters = ival()?,
+            "tl_ppcg_inner_steps" => control.ppcg_inner_steps = ival()? as usize,
+            "tl_ppcg_halo_depth" => control.ppcg_halo_depth = ival()? as usize,
+            "tl_ch_cg_presteps" => control.presteps = ival()?,
+            "tl_coefficient" => {
+                coefficient = match value {
+                    "1" | "conductivity" => Coefficient::Conductivity,
+                    "2" | "recip_conductivity" => Coefficient::RecipConductivity,
+                    other => return Err(err(format!("unknown coefficient '{other}'"))),
+                }
+            }
+            "tl_preconditioner_type" => {
+                control.precon = match value {
+                    "none" => PreconKind::None,
+                    "jac_diag" => PreconKind::Diagonal,
+                    "jac_block" => PreconKind::BlockJacobi,
+                    other => return Err(err(format!("unknown preconditioner '{other}'"))),
+                }
+            }
+            other => return Err(err(format!("unknown deck key '{other}'"))),
+        }
+    }
+
+    if !saw_block {
+        return Err("no *tea block found".into());
+    }
+    if states.is_empty() {
+        return Err("deck defines no states".into());
+    }
+    let first = *states.keys().next().unwrap();
+    if first != 1 {
+        return Err("state numbering must start at 1 (the background)".into());
+    }
+    let states: Vec<State> = states.into_values().collect();
+
+    let problem = Problem {
+        x_cells,
+        y_cells,
+        extent,
+        states,
+        coefficient,
+    };
+    problem.validate()?;
+    Ok(Deck { problem, control })
+}
+
+fn parse_state(rest: &str) -> Result<(usize, State), String> {
+    let mut parts = rest.split_whitespace();
+    let idx: usize = parts
+        .next()
+        .ok_or("state needs an index")?
+        .parse()
+        .map_err(|_| "bad state index".to_string())?;
+    let mut density = None;
+    let mut energy = None;
+    let mut geometry = None;
+    let mut vals: BTreeMap<&str, f64> = BTreeMap::new();
+    for p in parts {
+        let (k, v) = p
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value in state, got '{p}'"))?;
+        match k {
+            "density" => density = Some(v.parse().map_err(|_| "bad density")?),
+            "energy" => energy = Some(v.parse().map_err(|_| "bad energy")?),
+            "geometry" => geometry = Some(v.to_string()),
+            "xmin" | "xmax" | "ymin" | "ymax" | "radius" | "xcentre" | "ycentre" | "x" | "y" => {
+                vals.insert(
+                    match k {
+                        "xcentre" => "cx",
+                        "ycentre" => "cy",
+                        other => other,
+                    },
+                    v.parse::<f64>().map_err(|_| format!("bad number '{v}'"))?,
+                );
+            }
+            other => return Err(format!("unknown state key '{other}'")),
+        }
+    }
+    let density = density.ok_or("state missing density")?;
+    let energy = energy.ok_or("state missing energy")?;
+    let get = |k: &str| -> Result<f64, String> {
+        vals.get(k).copied().ok_or(format!("state missing {k}"))
+    };
+    let shape = match geometry.as_deref() {
+        None if idx == 1 => Shape::Background,
+        None => return Err("non-background state needs geometry=".into()),
+        Some("rectangle") => Shape::Rectangle {
+            x_min: get("xmin")?,
+            y_min: get("ymin")?,
+            x_max: get("xmax")?,
+            y_max: get("ymax")?,
+        },
+        Some("circular") | Some("circle") => Shape::Circle {
+            cx: get("cx")?,
+            cy: get("cy")?,
+            radius: get("radius")?,
+        },
+        Some("point") => Shape::Point {
+            x: get("x")?,
+            y: get("y")?,
+        },
+        Some(other) => return Err(format!("unknown geometry '{other}'")),
+    };
+    Ok((
+        idx,
+        State {
+            shape,
+            density,
+            energy,
+        },
+    ))
+}
+
+/// Renders a deck back to `tea.in` text (round-trip support and
+/// experiment provenance logs).
+pub fn render_deck(deck: &Deck) -> String {
+    let mut out = String::from("*tea\n");
+    for (i, s) in deck.problem.states.iter().enumerate() {
+        out.push_str(&format!(
+            "state {} density={} energy={}",
+            i + 1,
+            s.density,
+            s.energy
+        ));
+        match s.shape {
+            Shape::Background => {}
+            Shape::Rectangle {
+                x_min,
+                y_min,
+                x_max,
+                y_max,
+            } => out.push_str(&format!(
+                " geometry=rectangle xmin={x_min} xmax={x_max} ymin={y_min} ymax={y_max}"
+            )),
+            Shape::Circle { cx, cy, radius } => out.push_str(&format!(
+                " geometry=circular xcentre={cx} ycentre={cy} radius={radius}"
+            )),
+            Shape::Point { x, y } => out.push_str(&format!(" geometry=point x={x} y={y}")),
+        }
+        out.push('\n');
+    }
+    let p = &deck.problem;
+    let c = &deck.control;
+    out.push_str(&format!("x_cells={}\n", p.x_cells));
+    out.push_str(&format!("y_cells={}\n", p.y_cells));
+    out.push_str(&format!(
+        "xmin={} xmax={} ymin={} ymax={}\n",
+        p.extent.x_min, p.extent.x_max, p.extent.y_min, p.extent.y_max
+    ));
+    // render extent on separate lines for the parser
+    out = out.replace(
+        &format!(
+            "xmin={} xmax={} ymin={} ymax={}\n",
+            p.extent.x_min, p.extent.x_max, p.extent.y_min, p.extent.y_max
+        ),
+        &format!(
+            "xmin={}\nxmax={}\nymin={}\nymax={}\n",
+            p.extent.x_min, p.extent.x_max, p.extent.y_min, p.extent.y_max
+        ),
+    );
+    out.push_str(&format!("initial_timestep={}\n", c.dt));
+    out.push_str(&format!("end_time={}\n", c.end_time));
+    if c.end_step != u64::MAX {
+        out.push_str(&format!("end_step={}\n", c.end_step));
+    }
+    out.push_str(&format!("tl_eps={}\n", c.opts.eps));
+    out.push_str(&format!("tl_max_iters={}\n", c.opts.max_iters));
+    out.push_str(&format!(
+        "tl_coefficient={}\n",
+        match p.coefficient {
+            Coefficient::Conductivity => 1,
+            Coefficient::RecipConductivity => 2,
+        }
+    ));
+    out.push_str(&format!(
+        "tl_preconditioner_type={}\n",
+        c.precon.label()
+    ));
+    out.push_str(match c.solver {
+        SolverKind::Jacobi => "tl_use_jacobi\n",
+        SolverKind::Cg => "tl_use_cg\n",
+        SolverKind::CgFused => "tl_use_cg_fused\n",
+        SolverKind::Chebyshev => "tl_use_chebyshev\n",
+        SolverKind::Ppcg => "tl_use_ppcg\n",
+        SolverKind::AmgPcg => "tl_use_amg\n",
+    });
+    out.push_str(&format!("tl_ppcg_inner_steps={}\n", c.ppcg_inner_steps));
+    out.push_str(&format!("tl_ppcg_halo_depth={}\n", c.ppcg_halo_depth));
+    out.push_str(&format!("tl_ch_cg_presteps={}\n", c.presteps));
+    out.push_str(&format!("summary_frequency={}\n", c.summary_frequency));
+    out.push_str("*endtea\n");
+    out
+}
+
+/// The paper's crooked-pipe benchmark deck at a given resolution and
+/// solver configuration.
+pub fn crooked_pipe_deck(n: usize, solver: SolverKind) -> Deck {
+    Deck {
+        problem: tea_mesh::crooked_pipe(n),
+        control: Control {
+            solver,
+            ..Default::default()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+! the crooked pipe, scaled down
+*tea
+state 1 density=100.0 energy=0.0001
+state 2 density=0.1 energy=25.0 geometry=rectangle xmin=0.0 xmax=3.5 ymin=1.0 ymax=2.0
+state 3 density=0.1 energy=300.0 geometry=rectangle xmin=0.0 xmax=0.5 ymin=1.0 ymax=2.0
+x_cells=64
+y_cells=64
+xmin=0.0
+xmax=10.0
+ymin=0.0
+ymax=10.0
+initial_timestep=0.04
+end_time=0.4
+tl_use_ppcg
+tl_ppcg_inner_steps=16
+tl_ppcg_halo_depth=8
+tl_preconditioner_type=jac_diag
+tl_eps=1e-9
+tl_max_iters=5000
+tl_coefficient=1
+*endtea
+"#;
+
+    #[test]
+    fn parses_the_sample_deck() {
+        let deck = parse_deck(SAMPLE).expect("sample must parse");
+        assert_eq!(deck.problem.x_cells, 64);
+        assert_eq!(deck.problem.states.len(), 3);
+        assert_eq!(deck.problem.states[0].shape, Shape::Background);
+        assert_eq!(deck.control.solver, SolverKind::Ppcg);
+        assert_eq!(deck.control.ppcg_halo_depth, 8);
+        assert_eq!(deck.control.ppcg_inner_steps, 16);
+        assert_eq!(deck.control.precon, tea_core::PreconKind::Diagonal);
+        assert_eq!(deck.control.opts.eps, 1e-9);
+        assert_eq!(deck.control.opts.max_iters, 5000);
+        assert_eq!(deck.control.steps(), 10);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let deck = parse_deck(
+            "*tea\nstate 1 density=1.0 energy=1.0\n! full comment\nx_cells=8 ! trailing\ny_cells=8\n*endtea",
+        )
+        .unwrap();
+        assert_eq!(deck.problem.x_cells, 8);
+    }
+
+    #[test]
+    fn unknown_keys_are_errors() {
+        let e = parse_deck("*tea\nstate 1 density=1 energy=1\nbogus_key=3\n*endtea").unwrap_err();
+        assert!(e.contains("unknown deck key"), "{e}");
+        assert!(e.contains("line 3"), "{e}");
+    }
+
+    #[test]
+    fn missing_block_is_an_error() {
+        assert!(parse_deck("x_cells=8").unwrap_err().contains("*tea"));
+    }
+
+    #[test]
+    fn state_shapes_parse() {
+        let deck = parse_deck(
+            "*tea\nstate 1 density=1 energy=1\n\
+             state 2 density=2 energy=2 geometry=circular xcentre=5 ycentre=5 radius=1\n\
+             state 3 density=3 energy=3 geometry=point x=1 y=2\n\
+             x_cells=16\ny_cells=16\n*endtea",
+        )
+        .unwrap();
+        assert!(matches!(deck.problem.states[1].shape, Shape::Circle { .. }));
+        assert!(matches!(deck.problem.states[2].shape, Shape::Point { .. }));
+    }
+
+    #[test]
+    fn state_without_geometry_must_be_background() {
+        let e =
+            parse_deck("*tea\nstate 1 density=1 energy=1\nstate 2 density=2 energy=2\n*endtea")
+                .unwrap_err();
+        assert!(e.contains("geometry"), "{e}");
+    }
+
+    #[test]
+    fn roundtrip_render_parse() {
+        let deck = crooked_pipe_deck(48, SolverKind::Ppcg);
+        let text = render_deck(&deck);
+        let re = parse_deck(&text).expect("rendered deck must parse");
+        assert_eq!(re.problem, deck.problem);
+        assert_eq!(re.control.solver, deck.control.solver);
+        assert_eq!(re.control.dt, deck.control.dt);
+        assert_eq!(re.control.ppcg_inner_steps, deck.control.ppcg_inner_steps);
+    }
+
+    #[test]
+    fn solver_switches() {
+        for (text, kind) in [
+            ("tl_use_jacobi", SolverKind::Jacobi),
+            ("tl_use_cg", SolverKind::Cg),
+            ("tl_use_cg_fused", SolverKind::CgFused),
+            ("tl_use_chebyshev", SolverKind::Chebyshev),
+            ("tl_use_ppcg", SolverKind::Ppcg),
+            ("tl_use_amg", SolverKind::AmgPcg),
+        ] {
+            let deck = parse_deck(&format!(
+                "*tea\nstate 1 density=1 energy=1\nx_cells=8\ny_cells=8\n{text}\n*endtea"
+            ))
+            .unwrap();
+            assert_eq!(deck.control.solver, kind);
+        }
+    }
+
+    #[test]
+    fn control_steps_respects_end_step() {
+        let mut c = Control::default();
+        c.dt = 0.04;
+        c.end_time = 15.0;
+        assert_eq!(c.steps(), 375);
+        c.end_step = 10;
+        assert_eq!(c.steps(), 10);
+    }
+}

@@ -1,0 +1,389 @@
+//! The TeaLeaf application driver.
+//!
+//! Per time step (matching the reference `tea_solve` loop):
+//!
+//! 1. `u⁰ = ρ·e` — build the right-hand side from the state fields;
+//! 2. assemble face coefficients `Kx, Ky` from density and `dt`;
+//! 3. solve `A·u = u⁰` with the configured solver (warm start `u = u⁰`);
+//! 4. `e = u/ρ` — fold the new temperature back into energy;
+//! 5. field summary (reduced diagnostics) at the reporting cadence.
+//!
+//! The same [`run_rank`] body executes serially ([`run_serial`]) or as
+//! one thread per rank ([`run_threaded_ranks`]); decomposed runs gather
+//! the final temperature field to rank 0 for output.
+
+use crate::deck::{Deck, SolverKind};
+use crate::summary::{field_summary, FieldSummary};
+use tea_amg::{amg_pcg_solve, AmgPcgOpts, MgTrace};
+use tea_comms::{gather_to_root, run_threaded as comm_run, Communicator, HaloLayout, SerialComm};
+use tea_core::{
+    cg_solve, chebyshev_solve, jacobi_solve, ppcg_solve, ChebyOpts, PpcgOpts, Preconditioner,
+    SolveResult, SolveTrace, Tile, TileBounds, TileOperator, Workspace,
+};
+use tea_mesh::{timestep_scalings, Coefficients, Decomposition2D, Field2D, Mesh2D};
+
+/// Per-step record of the driver.
+#[derive(Debug, Clone)]
+pub struct StepRecord {
+    /// 1-based step index.
+    pub step: u64,
+    /// Simulation time after the step.
+    pub time: f64,
+    /// Solver iterations spent.
+    pub iterations: u64,
+    /// Whether the solve converged.
+    pub converged: bool,
+    /// Diagnostics (present on reporting steps).
+    pub summary: Option<FieldSummary>,
+    /// Wall-clock seconds for the solve.
+    pub wall: f64,
+}
+
+/// Everything a rank returns from a run.
+#[derive(Debug)]
+pub struct RankOutput {
+    /// Per-step records.
+    pub steps: Vec<StepRecord>,
+    /// Accumulated solver protocol over all steps.
+    pub trace: SolveTrace,
+    /// Accumulated multigrid protocol (AMG runs only).
+    pub mg_trace: Option<MgTrace>,
+    /// Final gathered temperature field (rank 0 only).
+    pub final_u: Option<Field2D>,
+    /// Final summary.
+    pub final_summary: FieldSummary,
+}
+
+/// Runs the deck on one rank of `decomp`.
+pub fn run_rank<C: Communicator + ?Sized>(
+    deck: &Deck,
+    decomp: &Decomposition2D,
+    comm: &C,
+) -> RankOutput {
+    let problem = &deck.problem;
+    let control = &deck.control;
+    problem.validate().expect("invalid problem");
+    assert_eq!(
+        decomp.ranks(),
+        comm.size(),
+        "decomposition must match communicator size"
+    );
+    if control.solver == SolverKind::AmgPcg {
+        assert_eq!(
+            comm.size(),
+            1,
+            "the AMG baseline runs serially (see tea-amg docs)"
+        );
+    }
+
+    let mesh = Mesh2D::new(decomp, comm.rank(), problem.extent);
+    let layout = HaloLayout::new(decomp, comm.rank());
+    let halo = match control.solver {
+        SolverKind::Ppcg => control.ppcg_halo_depth.max(1),
+        _ => 1,
+    };
+    let (nx, ny) = (mesh.nx(), mesh.ny());
+
+    let mut density = Field2D::new(nx, ny, halo.max(1));
+    let mut energy = Field2D::new(nx, ny, halo.max(1));
+    problem.apply_states(&mesh, &mut density, &mut energy);
+
+    let (rx, ry) = timestep_scalings(&mesh, control.dt);
+    let bounds = TileBounds::new(&mesh, halo);
+
+    let mut u = Field2D::new(nx, ny, halo.max(1));
+    let mut b = Field2D::new(nx, ny, halo.max(1));
+    let mut ws = Workspace::new(nx, ny, halo);
+
+    let mut trace = SolveTrace::new(solver_label(control));
+    let mut mg_trace: Option<MgTrace> = None;
+    let mut steps = Vec::new();
+
+    let nsteps = control.steps();
+    let mut time = 0.0;
+    for step in 1..=nsteps {
+        // 1-2. rhs and operator (density is constant but the reference
+        // reassembles every step; we follow it)
+        let coeffs =
+            Coefficients::assemble(&mesh, &density, problem.coefficient, rx, ry, halo);
+        let op = TileOperator::new(coeffs, bounds);
+        let tile = Tile::new(&op, &layout, comm);
+        for k in 0..ny as isize {
+            let dr = density.row(k, 0, nx as isize);
+            let er = energy.row(k, 0, nx as isize);
+            let br = b.row_mut(k, 0, nx as isize);
+            for i in 0..br.len() {
+                br[i] = dr[i] * er[i];
+            }
+        }
+        u.copy_interior_from(&b);
+
+        // 3. the solve
+        let started = std::time::Instant::now();
+        let result = run_solver(control, &tile, &density, problem, rx, ry, &mut u, &b, &mut ws, &mut mg_trace);
+        let wall = started.elapsed().as_secs_f64();
+        trace.merge(&result.trace);
+
+        // 4. fold back into energy
+        for k in 0..ny as isize {
+            let ur = u.row(k, 0, nx as isize);
+            let dr = density.row(k, 0, nx as isize);
+            let er = energy.row_mut(k, 0, nx as isize);
+            for i in 0..er.len() {
+                er[i] = ur[i] / dr[i];
+            }
+        }
+
+        time += control.dt;
+        let report = control.summary_frequency > 0 && step % control.summary_frequency == 0;
+        let summary = if report || step == nsteps {
+            Some(field_summary(&mesh, &density, &energy, &u, comm))
+        } else {
+            None
+        };
+        steps.push(StepRecord {
+            step,
+            time,
+            iterations: result.iterations,
+            converged: result.converged,
+            summary,
+            wall,
+        });
+    }
+
+    let final_summary = field_summary(&mesh, &density, &energy, &u, comm);
+    let final_u = gather_to_root(
+        &{
+            // strip to interior for gathering
+            let mut interior = Field2D::new(nx, ny, 0);
+            interior.copy_interior_from(&u);
+            interior
+        },
+        decomp,
+        comm,
+    );
+
+    RankOutput {
+        steps,
+        trace,
+        mg_trace,
+        final_u,
+        final_summary,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_solver<C: Communicator + ?Sized>(
+    control: &crate::deck::Control,
+    tile: &Tile<'_, C>,
+    density: &Field2D,
+    problem: &tea_mesh::Problem,
+    rx: f64,
+    ry: f64,
+    u: &mut Field2D,
+    b: &Field2D,
+    ws: &mut Workspace,
+    mg_trace: &mut Option<MgTrace>,
+) -> SolveResult {
+    match control.solver {
+        SolverKind::Jacobi => jacobi_solve(tile, u, b, ws, control.opts),
+        SolverKind::Cg => {
+            let precon = Preconditioner::setup(control.precon, tile.op, 0);
+            cg_solve(tile, u, b, &precon, ws, control.opts)
+        }
+        SolverKind::CgFused => {
+            let precon = Preconditioner::setup(control.precon, tile.op, 0);
+            tea_core::cg_fused_solve(tile, u, b, &precon, ws, control.opts)
+        }
+        SolverKind::Chebyshev => {
+            let precon = Preconditioner::setup(control.precon, tile.op, 0);
+            chebyshev_solve(
+                tile,
+                u,
+                b,
+                &precon,
+                ws,
+                control.opts,
+                ChebyOpts {
+                    presteps: control.presteps,
+                    ..Default::default()
+                },
+            )
+        }
+        SolverKind::Ppcg => {
+            let precon =
+                Preconditioner::setup(control.precon, tile.op, control.ppcg_halo_depth);
+            ppcg_solve(
+                tile,
+                u,
+                b,
+                &precon,
+                ws,
+                control.opts,
+                PpcgOpts {
+                    inner_steps: control.ppcg_inner_steps,
+                    halo_depth: control.ppcg_halo_depth,
+                    presteps: control.presteps,
+                    ..Default::default()
+                },
+            )
+        }
+        SolverKind::AmgPcg => {
+            let out = amg_pcg_solve(
+                tile,
+                density,
+                problem.coefficient,
+                rx,
+                ry,
+                u,
+                b,
+                ws,
+                control.opts,
+                AmgPcgOpts::default(),
+            );
+            match mg_trace {
+                Some(t) => t.merge(&out.mg_trace),
+                None => *mg_trace = Some(out.mg_trace),
+            }
+            out.result
+        }
+    }
+}
+
+fn solver_label(control: &crate::deck::Control) -> String {
+    match control.solver {
+        SolverKind::Ppcg => format!("PPCG-{}", control.ppcg_halo_depth),
+        other => other.label().to_string(),
+    }
+}
+
+/// Runs the deck on a single rank.
+pub fn run_serial(deck: &Deck) -> RankOutput {
+    let decomp = Decomposition2D::with_grid(deck.problem.x_cells, deck.problem.y_cells, 1, 1);
+    let comm = SerialComm::new();
+    run_rank(deck, &decomp, &comm)
+}
+
+/// Runs the deck on `ranks` threaded ranks; returns per-rank outputs
+/// (rank 0 holds the gathered field).
+pub fn run_threaded_ranks(deck: &Deck, ranks: usize) -> Vec<RankOutput> {
+    let decomp = Decomposition2D::new(deck.problem.x_cells, deck.problem.y_cells, ranks);
+    comm_run(decomp.ranks(), |comm| run_rank(deck, &decomp, comm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deck::{crooked_pipe_deck, Control};
+
+    fn small_deck(n: usize, solver: SolverKind, steps: u64) -> Deck {
+        let mut deck = crooked_pipe_deck(n, solver);
+        deck.control = Control {
+            solver,
+            end_step: steps,
+            summary_frequency: 1,
+            ..Default::default()
+        };
+        deck
+    }
+
+    #[test]
+    fn serial_cg_run_conserves_energy() {
+        let deck = small_deck(24, SolverKind::Cg, 3);
+        let out = run_serial(&deck);
+        assert_eq!(out.steps.len(), 3);
+        assert!(out.steps.iter().all(|s| s.converged));
+        // insulated boundaries: the temperature integral Σ u·vol is
+        // conserved by the implicit step (A's row sums are 1)
+        let t0 = out.steps[0].summary.unwrap().temperature;
+        let t2 = out.steps[2].summary.unwrap().temperature;
+        assert!(
+            (t0 - t2).abs() < 1e-6 * t0.abs(),
+            "temperature integral must be conserved: {t0} vs {t2}"
+        );
+        assert!(out.final_u.is_some());
+    }
+
+    #[test]
+    fn heat_flows_down_the_pipe() {
+        let deck = small_deck(32, SolverKind::Cg, 8);
+        let out = run_serial(&deck);
+        let u = out.final_u.unwrap();
+        // the pipe inlet region must stay warmer than the far wall corner
+        let inlet = u.at(3, 4); // inside the source
+        let far_wall = u.at(31, 31);
+        assert!(inlet > 10.0 * far_wall.max(1e-30), "inlet {inlet} vs far {far_wall}");
+    }
+
+    #[test]
+    fn all_solvers_agree_on_the_final_field() {
+        let reference = run_serial(&small_deck(16, SolverKind::Cg, 2));
+        let uref = reference.final_u.unwrap();
+        for solver in [SolverKind::Chebyshev, SolverKind::Ppcg, SolverKind::AmgPcg] {
+            let out = run_serial(&small_deck(16, solver, 2));
+            let u = out.final_u.unwrap();
+            for k in 0..16isize {
+                for j in 0..16isize {
+                    let (a, b) = (u.at(j, k), uref.at(j, k));
+                    assert!(
+                        (a - b).abs() <= 1e-5 * b.abs().max(1e-12),
+                        "{solver:?} differs from CG at ({j},{k}): {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_run_matches_serial() {
+        let deck = small_deck(24, SolverKind::Cg, 2);
+        let serial = run_serial(&deck);
+        let ranks = run_threaded_ranks(&deck, 4);
+        let us = serial.final_u.unwrap();
+        let ut = ranks[0].final_u.as_ref().unwrap();
+        for k in 0..24isize {
+            for j in 0..24isize {
+                let (a, b) = (ut.at(j, k), us.at(j, k));
+                assert!(
+                    (a - b).abs() <= 1e-9 * b.abs().max(1e-12),
+                    "threaded differs at ({j},{k}): {a} vs {b}"
+                );
+            }
+        }
+        // summaries agree too
+        let (s, t) = (serial.final_summary, ranks[0].final_summary);
+        assert!((s.temperature - t.temperature).abs() <= 1e-9 * s.temperature.abs());
+    }
+
+    #[test]
+    fn ppcg_deep_halo_runs_decomposed() {
+        let mut deck = small_deck(32, SolverKind::Ppcg, 2);
+        deck.control.ppcg_halo_depth = 4;
+        let serial = run_serial(&deck);
+        let ranks = run_threaded_ranks(&deck, 4);
+        let us = serial.final_u.unwrap();
+        let ut = ranks[0].final_u.as_ref().unwrap();
+        for k in 0..32isize {
+            for j in 0..32isize {
+                let (a, b) = (ut.at(j, k), us.at(j, k));
+                assert!(
+                    (a - b).abs() <= 1e-8 * b.abs().max(1e-10),
+                    "matrix-powers decomposed run differs at ({j},{k}): {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trace_accumulates_across_steps() {
+        let out = run_serial(&small_deck(16, SolverKind::Cg, 3));
+        let total_iters: u64 = out.steps.iter().map(|s| s.iterations).sum();
+        assert_eq!(out.trace.outer_iterations, total_iters);
+        assert!(out.trace.reductions > 0);
+        assert!(out.mg_trace.is_none());
+        let amg = run_serial(&small_deck(16, SolverKind::AmgPcg, 2));
+        let mg = amg.mg_trace.expect("AMG runs must carry an MG trace");
+        assert!(mg.vcycles > 0);
+        assert!(mg.setup_cells > 0);
+    }
+}

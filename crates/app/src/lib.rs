@@ -1,0 +1,26 @@
+//! # tea-app — the TeaLeaf application layer
+//!
+//! Ties the substrates together into the mini-app the paper describes:
+//! `tea.in`-style input [`deck`]s, the time-stepping [`driver`] (serial
+//! or one thread per simulated MPI rank), `field_summary` diagnostics
+//! ([`summary`]) and field/series [`output`] writers.
+//!
+//! The `tealeaf` binary in this crate is the command-line entry point:
+//!
+//! ```text
+//! tealeaf --cells 256 --solver ppcg --depth 8 --steps 10 --ranks 4
+//! tealeaf --deck tea.in
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod deck;
+pub mod driver;
+pub mod output;
+pub mod summary;
+
+pub use deck::{crooked_pipe_deck, parse_deck, render_deck, Control, Deck, SolverKind};
+pub use driver::{run_rank, run_serial, run_threaded_ranks, RankOutput, StepRecord};
+pub use output::{write_field_csv, write_field_ppm, write_field_vtk, write_series_csv};
+pub use summary::{field_summary, FieldSummary};

@@ -1,0 +1,128 @@
+//! Field summary diagnostics — TeaLeaf's `field_summary` kernel.
+//!
+//! After each reporting step the driver reduces volume, mass, internal
+//! energy and temperature over the whole mesh. These are the quantities
+//! the paper's Fig. 4 tracks (average mesh temperature at convergence vs
+//! mesh size) and the regression anchors of the reference test decks.
+
+use tea_comms::Communicator;
+use tea_mesh::{Field2D, Mesh2D};
+
+/// Globally reduced mesh diagnostics at one step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldSummary {
+    /// Total cell volume.
+    pub volume: f64,
+    /// Total mass `Σ ρ·vol`.
+    pub mass: f64,
+    /// Internal energy `Σ ρ·e·vol`.
+    pub internal_energy: f64,
+    /// Temperature integral `Σ u·vol`.
+    pub temperature: f64,
+}
+
+impl FieldSummary {
+    /// Volume-weighted mean temperature (the paper's Fig. 4 y-axis).
+    pub fn average_temperature(&self) -> f64 {
+        self.temperature / self.volume
+    }
+}
+
+/// Computes the local partial sums and reduces them across ranks.
+/// Must be called collectively.
+pub fn field_summary<C: Communicator + ?Sized>(
+    mesh: &Mesh2D,
+    density: &Field2D,
+    energy: &Field2D,
+    u: &Field2D,
+    comm: &C,
+) -> FieldSummary {
+    let vol_cell = mesh.cell_volume();
+    let (nx, ny) = (mesh.nx() as isize, mesh.ny() as isize);
+    let mut vol = 0.0;
+    let mut mass = 0.0;
+    let mut ie = 0.0;
+    let mut temp = 0.0;
+    for k in 0..ny {
+        let dr = density.row(k, 0, nx);
+        let er = energy.row(k, 0, nx);
+        let ur = u.row(k, 0, nx);
+        for i in 0..dr.len() {
+            vol += vol_cell;
+            mass += dr[i] * vol_cell;
+            ie += dr[i] * er[i] * vol_cell;
+            temp += ur[i] * vol_cell;
+        }
+    }
+    let reduced = comm.allreduce_sum_many(&[vol, mass, ie, temp]);
+    FieldSummary {
+        volume: reduced[0],
+        mass: reduced[1],
+        internal_energy: reduced[2],
+        temperature: reduced[3],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_comms::SerialComm;
+    use tea_mesh::Extent2D;
+
+    #[test]
+    fn summary_of_uniform_fields() {
+        let mesh = Mesh2D::serial(4, 4, Extent2D::square(2.0)); // dx=dy=0.5, vol=0.25
+        let density = Field2D::filled(4, 4, 1, 2.0);
+        let energy = Field2D::filled(4, 4, 1, 3.0);
+        let u = Field2D::filled(4, 4, 1, 6.0);
+        let comm = SerialComm::new();
+        let s = field_summary(&mesh, &density, &energy, &u, &comm);
+        assert!((s.volume - 4.0).abs() < 1e-12);
+        assert!((s.mass - 8.0).abs() < 1e-12);
+        assert!((s.internal_energy - 24.0).abs() < 1e-12);
+        assert!((s.temperature - 24.0).abs() < 1e-12);
+        assert!((s.average_temperature() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decomposed_summary_matches_serial() {
+        use tea_comms::run_threaded;
+        use tea_mesh::Decomposition2D;
+        let n = 12;
+        let d = Decomposition2D::with_grid(n, n, 2, 2);
+        let serial_mesh = Mesh2D::serial(n, n, Extent2D::square(1.0));
+        let mut sd = Field2D::new(n, n, 1);
+        let mut se = Field2D::new(n, n, 1);
+        let mut su = Field2D::new(n, n, 1);
+        for k in 0..n as isize {
+            for j in 0..n as isize {
+                sd.set(j, k, 1.0 + (j + k) as f64);
+                se.set(j, k, 2.0);
+                su.set(j, k, (j * k) as f64);
+            }
+        }
+        let comm = SerialComm::new();
+        let sref = field_summary(&serial_mesh, &sd, &se, &su, &comm);
+
+        let results = run_threaded(4, |comm| {
+            let mesh = Mesh2D::new(&d, comm.rank(), Extent2D::square(1.0));
+            let mut dd = Field2D::new(mesh.nx(), mesh.ny(), 1);
+            let mut de = Field2D::new(mesh.nx(), mesh.ny(), 1);
+            let mut du = Field2D::new(mesh.nx(), mesh.ny(), 1);
+            let (ox, oy) = mesh.subdomain().offset;
+            for k in 0..mesh.ny() as isize {
+                for j in 0..mesh.nx() as isize {
+                    let (gj, gk) = (j + ox as isize, k + oy as isize);
+                    dd.set(j, k, 1.0 + (gj + gk) as f64);
+                    de.set(j, k, 2.0);
+                    du.set(j, k, (gj * gk) as f64);
+                }
+            }
+            field_summary(&mesh, &dd, &de, &du, comm)
+        });
+        for r in &results {
+            assert!((r.mass - sref.mass).abs() < 1e-9 * sref.mass.abs());
+            assert!((r.temperature - sref.temperature).abs() < 1e-9);
+        }
+    }
+}

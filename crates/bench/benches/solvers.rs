@@ -1,0 +1,108 @@
+//! Whole-solve benchmarks (B2): CG vs Chebyshev vs CPPCG on one implicit
+//! crooked-pipe step, plus the block-Jacobi ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tea_comms::{HaloLayout, SerialComm};
+use tea_core::{
+    cg_fused_solve, cg_solve, chebyshev_solve, ppcg_solve, ChebyOpts, PpcgOpts, PreconKind,
+    Preconditioner, SolveOpts, Tile, TileBounds, TileOperator, Workspace,
+};
+use tea_mesh::{
+    crooked_pipe, timestep_scalings, Coefficients, Decomposition2D, Field2D, Mesh2D,
+};
+
+struct Setup {
+    op: TileOperator,
+    b: Field2D,
+    n: usize,
+}
+
+fn setup(n: usize, halo: usize) -> Setup {
+    let problem = crooked_pipe(n);
+    let mesh = Mesh2D::serial(n, n, problem.extent);
+    let mut density = Field2D::new(n, n, halo);
+    let mut energy = Field2D::new(n, n, halo);
+    problem.apply_states(&mesh, &mut density, &mut energy);
+    let (rx, ry) = timestep_scalings(&mesh, 0.04);
+    let coeffs = Coefficients::assemble(&mesh, &density, problem.coefficient, rx, ry, halo);
+    let op = TileOperator::new(coeffs, TileBounds::serial(n, n));
+    let mut b = Field2D::new(n, n, halo);
+    for k in 0..n as isize {
+        for j in 0..n as isize {
+            b.set(j, k, density.at(j, k) * energy.at(j, k));
+        }
+    }
+    Setup { op, b, n }
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve_96");
+    group.sample_size(10);
+    let s = setup(96, 8);
+    let comm = SerialComm::new();
+    let d = Decomposition2D::with_grid(s.n, s.n, 1, 1);
+    let layout = HaloLayout::new(&d, 0);
+    let tile = Tile::new(&s.op, &layout, &comm);
+    let opts = SolveOpts::with_eps(1e-8);
+    let ident = Preconditioner::setup(PreconKind::None, &s.op, 0);
+    let block = Preconditioner::setup(PreconKind::BlockJacobi, &s.op, 0);
+
+    group.bench_function("cg", |b| {
+        b.iter(|| {
+            let mut ws = Workspace::new(s.n, s.n, 1);
+            let mut u = s.b.clone();
+            black_box(cg_solve(&tile, &mut u, &s.b, &ident, &mut ws, opts))
+        })
+    });
+    group.bench_function("cg_block_jacobi", |b| {
+        b.iter(|| {
+            let mut ws = Workspace::new(s.n, s.n, 1);
+            let mut u = s.b.clone();
+            black_box(cg_solve(&tile, &mut u, &s.b, &block, &mut ws, opts))
+        })
+    });
+    group.bench_function("cg_fused_reductions", |b| {
+        b.iter(|| {
+            let mut ws = Workspace::new(s.n, s.n, 1);
+            let mut u = s.b.clone();
+            black_box(cg_fused_solve(&tile, &mut u, &s.b, &ident, &mut ws, opts))
+        })
+    });
+    group.bench_function("chebyshev", |b| {
+        b.iter(|| {
+            let mut ws = Workspace::new(s.n, s.n, 1);
+            let mut u = s.b.clone();
+            black_box(chebyshev_solve(
+                &tile,
+                &mut u,
+                &s.b,
+                &ident,
+                &mut ws,
+                opts,
+                ChebyOpts::default(),
+            ))
+        })
+    });
+    for depth in [1usize, 8] {
+        group.bench_function(format!("ppcg_depth{depth}"), |b| {
+            b.iter(|| {
+                let mut ws = Workspace::new(s.n, s.n, depth);
+                let mut u = s.b.clone();
+                black_box(ppcg_solve(
+                    &tile,
+                    &mut u,
+                    &s.b,
+                    &ident,
+                    &mut ws,
+                    opts,
+                    PpcgOpts::with_depth(depth),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

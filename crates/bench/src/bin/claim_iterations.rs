@@ -1,0 +1,68 @@
+//! §III.C claim (Eqs. 6-7) — the outer:total iteration ratio of CPPCG is
+//! governed by √(κcg/κpcg), which measures the reduction in global dot
+//! products versus plain CG.
+//!
+//! Compares the measured CG iteration count, CPPCG outer iteration
+//! count, and the theoretical bounds.
+//!
+//! `cargo run --release -p tea-bench --bin claim_iterations [-- --cells N]`
+
+use tea_bench::{measure, FigArgs, SolverConfig};
+use tea_core::cg_iteration_bound;
+
+fn main() {
+    let args = FigArgs::parse("claim_iterations", 128, 1);
+    let n = args.cells;
+    println!("Eqs. 6-7: iteration accounting on the crooked pipe {n}x{n}\n");
+
+    let cg = measure(&SolverConfig::cg(), n, args.steps);
+    println!(
+        "CG - 1:    {:>6} iterations, {:>6} reductions, {:>6} sweeps",
+        cg.iterations,
+        cg.trace.reductions,
+        cg.trace.spmv.total()
+    );
+
+    for m in [4usize, 10, 16] {
+        let mut config = SolverConfig::ppcg(1);
+        config.label = format!("CPPCG m={m}");
+        // measure with m inner steps
+        let deck = {
+            let mut d = tea_app::crooked_pipe_deck(n, tea_app::SolverKind::Ppcg);
+            d.control.end_step = args.steps;
+            d.control.summary_frequency = 0;
+            d.control.ppcg_inner_steps = m;
+            d
+        };
+        let out = tea_app::run_serial(&deck);
+        let iters: u64 = out.steps.iter().map(|s| s.iterations).sum();
+        let presteps = 30 * args.steps; // eigen-estimation prelude
+        let outer = iters.saturating_sub(presteps);
+        println!(
+            "CPPCG m={m:<2}: {outer:>5} outer iterations (+{presteps} presteps), \
+             {:>6} reductions, {:>6} sweeps -> dot-product reduction {:.1}x",
+            out.trace.reductions,
+            out.trace.spmv.total(),
+            cg.trace.reductions as f64 / out.trace.reductions as f64,
+        );
+    }
+
+    // theoretical bounds from the estimated condition number
+    if let Some((lo, hi)) = measure(&SolverConfig::ppcg(1), n, 1).trace.eigen_bounds {
+        let kappa = hi / lo;
+        let eps = 1e-10;
+        let k_total = cg_iteration_bound(kappa, eps);
+        println!("\nestimated κ(A) = {kappa:.1}");
+        println!("Eq. 6 bound on total iterations: {k_total:.0} (measured CG: {})", cg.iterations);
+        for m in [4usize, 10, 16] {
+            let c = ((kappa.sqrt() - 1.0) / (kappa.sqrt() + 1.0)).powi(m as i32);
+            let kappa_pcg = ((1.0 + c) / (1.0 - c)).powi(2);
+            let k_outer = cg_iteration_bound(kappa_pcg, eps);
+            println!(
+                "Eq. 7 bound on outer iterations (m = {m:>2}): {k_outer:>6.0} \
+                 -> predicted dot-product reduction √(κcg/κpcg) = {:.1}x",
+                (kappa / kappa_pcg).sqrt()
+            );
+        }
+    }
+}

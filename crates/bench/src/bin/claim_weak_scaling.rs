@@ -1,0 +1,75 @@
+//! §VI's weak-scaling argument, quantified.
+//!
+//! > "Weak scaling performance would also be more difficult to
+//! > characterize: the nature of the algorithm means that increasing the
+//! > mesh size also increases the condition number, the number of
+//! > iterations required to converge, and hence the time to solution."
+//!
+//! This binary measures exactly that chain on real solves: mesh size ↑ →
+//! κ ↑ → iterations ↑, so constant-work-per-node (weak) scaling cannot
+//! hold constant time. It is the justification for the paper's (and this
+//! reproduction's) strong-scaling-only evaluation.
+//!
+//! `cargo run --release -p tea-bench --bin claim_weak_scaling`
+
+use tea_bench::{fit_power_law, measure, measure_kappa, FigArgs, SolverConfig};
+
+fn main() {
+    let args = FigArgs::parse("claim_weak_scaling", 192, 1);
+    let sizes: Vec<usize> = [32usize, 48, 64, 96, 128, 192]
+        .into_iter()
+        .filter(|&n| n <= args.cells)
+        .collect();
+
+    println!("§VI: why TeaLeaf strong-scales — the κ/iteration growth chain\n");
+    println!(
+        "{:>8} {:>12} {:>12} {:>16} {:>16}",
+        "mesh", "κ(A)", "CG iters", "CG sweeps", "iters/√κ"
+    );
+
+    let mut kappa_points = Vec::new();
+    let mut iter_points = Vec::new();
+    for &n in &sizes {
+        let kappa = measure_kappa(n);
+        let m = measure(&SolverConfig::cg(), n, args.steps);
+        println!(
+            "{:>5}^2 {:>12.1} {:>12} {:>16} {:>16.2}",
+            n,
+            kappa,
+            m.iterations,
+            m.trace.spmv.total(),
+            m.iterations as f64 / kappa.sqrt()
+        );
+        kappa_points.push((n, kappa.round() as u64));
+        iter_points.push((n, m.iterations));
+    }
+
+    let (_, p_kappa) = fit_power_law(&kappa_points);
+    let (_, p_iter) = fit_power_law(&iter_points);
+    println!("\nfitted growth exponents (vs cells-per-side n):");
+    println!("  κ(A)      ~ n^{p_kappa:.2}   (theory: 2, from rx = Δt/Δx²)");
+    println!("  CG iters  ~ n^{p_iter:.2}   (theory: 1, from iters ∝ √κ)");
+    println!(
+        "\nConsequence: doubling the mesh per node in a weak-scaling sweep\n\
+         roughly doubles the iteration count — time per step cannot stay\n\
+         flat, which is the paper's §VI justification for strong scaling."
+    );
+
+    assert!(
+        p_kappa > 1.4,
+        "κ must grow super-linearly with n, got exponent {p_kappa:.2}"
+    );
+    assert!(
+        p_iter > 0.5,
+        "iterations must grow with n, got exponent {p_iter:.2}"
+    );
+    // the ratio iters/√κ should be roughly flat (CG theory)
+    let first = iter_points[0].1 as f64 / (kappa_points[0].1 as f64).sqrt();
+    let last = iter_points.last().unwrap().1 as f64
+        / (kappa_points.last().unwrap().1 as f64).sqrt();
+    let drift = (last / first - 1.0).abs();
+    println!(
+        "iters/√κ ratio drift across the sweep: {:.0}% (CG theory says ~constant)",
+        100.0 * drift
+    );
+}

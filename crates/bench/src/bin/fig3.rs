@@ -1,0 +1,76 @@
+//! Figure 3 — the crooked-pipe temperature field.
+//!
+//! Runs the crooked-pipe deck to the configured end time and writes the
+//! temperature heat map (PPM) plus the raw field (CSV). The paper shows
+//! the 4000² domain after 15 µs (375 steps of Δt = 0.04 µs); the default
+//! here is a 256² / 60-step rendering of the same physics — pass
+//! `--cells 4000 --steps 375` for the full-size figure if you have the
+//! patience.
+//!
+//! `cargo run --release -p tea-bench --bin fig3 [-- --cells N --steps N]`
+
+use tea_app::{crooked_pipe_deck, run_serial, write_field_csv, write_field_ppm, SolverKind};
+use tea_bench::FigArgs;
+
+fn main() {
+    let args = FigArgs::parse("fig3", 256, 60);
+    let mut deck = crooked_pipe_deck(args.cells, SolverKind::Ppcg);
+    deck.control.end_step = args.steps;
+    deck.control.ppcg_halo_depth = 4;
+    deck.control.summary_frequency = args.steps / 4;
+
+    println!(
+        "Fig. 3: crooked pipe, {0}x{0} cells, {1} steps of dt = {2} (t_end = {3:.2} µs)",
+        args.cells,
+        args.steps,
+        deck.control.dt,
+        args.steps as f64 * deck.control.dt
+    );
+
+    let out = run_serial(&deck);
+    for s in &out.steps {
+        if let Some(sum) = s.summary {
+            println!(
+                "  step {:>4}  t = {:>7.2}  iters = {:>4}  avg T = {:.8}",
+                s.step,
+                s.time,
+                s.iterations,
+                sum.average_temperature()
+            );
+        }
+    }
+
+    let u = out.final_u.expect("serial run returns the field");
+    let ppm = args.out_dir.join("fig3_crooked_pipe.ppm");
+    let csv = args.out_dir.join("fig3_crooked_pipe.csv");
+    let vtk = args.out_dir.join("fig3_crooked_pipe.vtk");
+    write_field_ppm(&u, &ppm).expect("ppm");
+    write_field_csv(&u, &csv).expect("csv");
+    tea_app::write_field_vtk(&u, &vtk, "temperature").expect("vtk");
+
+    // the qualitative content of the figure: heat escapes the source and
+    // runs along the pipe, leaving the wall cold
+    let n = args.cells as isize;
+    let probes = [
+        ("inlet (source)", n / 20, n * 3 / 20),
+        ("mid-pipe rising leg", n * 3 / 10, n * 4 / 10),
+        ("upper leg", n / 2, n * 11 / 20),
+        ("outlet leg", n * 4 / 5, n / 4),
+        ("far wall", n - 2, n - 2),
+    ];
+    println!("\nprobe temperatures (u = ρe):");
+    let mut last = f64::INFINITY;
+    for (name, j, k) in probes {
+        let v = u.at(j, k);
+        println!("  {name:<22} u({j:>4},{k:>4}) = {v:.6e}");
+        if name != "far wall" {
+            last = v;
+        } else {
+            assert!(
+                v < last,
+                "wall must stay colder than the pipe outlet"
+            );
+        }
+    }
+    println!("\nwrote {} and {}", ppm.display(), csv.display());
+}

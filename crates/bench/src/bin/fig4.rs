@@ -1,0 +1,67 @@
+//! Figure 4 — convergence of the average mesh temperature as the mesh is
+//! refined (the study motivating the fixed 4000² strong-scaling mesh).
+//!
+//! Sweeps mesh resolutions at a fixed physical end time and reports the
+//! volume-averaged temperature each converges to. The paper's plateau
+//! (no interesting change beyond 4000²) appears here as successive
+//! differences shrinking as the mesh refines.
+//!
+//! `cargo run --release -p tea-bench --bin fig4 [-- --steps N]`
+
+use tea_app::{crooked_pipe_deck, run_serial, write_series_csv, SolverKind};
+use tea_bench::FigArgs;
+
+fn main() {
+    let args = FigArgs::parse("fig4", 192, 25);
+    // resolutions sweep up to the measurement budget; the paper sweeps
+    // up to 5000^2 on real hardware
+    let sizes: Vec<usize> = [24, 32, 48, 64, 96, 128, 192, 256, 384]
+        .into_iter()
+        .filter(|&n| n <= args.cells * 2)
+        .collect();
+
+    println!(
+        "Fig. 4: average mesh temperature at t = {:.2} vs mesh size",
+        args.steps as f64 * 0.04
+    );
+    println!("{:>10} {:>10} {:>18} {:>14}", "mesh", "iters/step", "avg temperature", "Δ from prev");
+
+    let mut temps = Vec::new();
+    let mut prev: Option<f64> = None;
+    for &n in &sizes {
+        let mut deck = crooked_pipe_deck(n, SolverKind::Ppcg);
+        deck.control.end_step = args.steps;
+        deck.control.ppcg_halo_depth = 4;
+        deck.control.summary_frequency = 0;
+        let out = run_serial(&deck);
+        let t = out.final_summary.average_temperature();
+        let iters = out.steps.iter().map(|s| s.iterations).sum::<u64>() / args.steps.max(1);
+        let delta = prev.map(|p| (t - p).abs()).unwrap_or(f64::NAN);
+        println!("{:>7}^2  {:>10} {:>18.10} {:>14.3e}", n, iters, t, delta);
+        temps.push(t);
+        prev = Some(t);
+    }
+
+    // mesh convergence: late deltas must be far smaller than early ones
+    let early = (temps[1] - temps[0]).abs();
+    let late = (temps[temps.len() - 1] - temps[temps.len() - 2]).abs();
+    println!(
+        "\nrefinement deltas: first {early:.3e} -> last {late:.3e} ({}x reduction)",
+        (early / late.max(1e-300)) as u64
+    );
+    assert!(
+        late < early,
+        "average temperature must converge under refinement"
+    );
+
+    let xs: Vec<f64> = sizes.iter().map(|&n| (n * n) as f64).collect();
+    let path = args.out_dir.join("fig4_mesh_convergence.csv");
+    write_series_csv(
+        &path,
+        "cells",
+        &xs,
+        &[("avg_temperature".into(), temps)],
+    )
+    .expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,68 @@
+//! Figure 6 — CUDA strong scaling on Piz Daint, 1–2,048 nodes, plus the
+//! §VI cross-machine claim (Piz Daint ≈ 47 % faster than Titan at 2,048
+//! nodes thanks to Aries vs Gemini).
+//!
+//! `cargo run --release -p tea-bench --bin fig6 [-- --cells N --steps N --target N]`
+
+use tea_bench::{extrapolate_to, print_series_table, write_series, FigArgs, SolverConfig};
+use tea_perfmodel::{piz_daint, titan, KernelBytes, ScalingSeries};
+
+fn main() {
+    let args = FigArgs::parse("fig6", 128, 2);
+    let machine = piz_daint();
+    let global = (args.target_cells, args.target_cells);
+    println!(
+        "Fig. 6: strong scaling on {} — {}^2 mesh (measured at {}^2, extrapolated)\n",
+        machine.name, args.target_cells, args.cells
+    );
+
+    let configs = [
+        SolverConfig::cg(),
+        SolverConfig::ppcg(1),
+        SolverConfig::ppcg(4),
+        SolverConfig::ppcg(8),
+        SolverConfig::ppcg(16),
+    ];
+    let mut series = Vec::new();
+    let mut best_trace = None;
+    for config in &configs {
+        let (trace, ext) = extrapolate_to(config, args.cells, args.steps, args.target_cells);
+        eprintln!(
+            "  {}: scale x{:.1}, extrapolated outer iterations {}",
+            config.label, ext.factor, trace.outer_iterations
+        );
+        if config.label == "PPCG - 16" {
+            best_trace = Some(trace.clone());
+        }
+        series.push(ScalingSeries::sweep(
+            config.label.clone(),
+            &machine,
+            &trace,
+            global,
+            KernelBytes::default(),
+        ));
+    }
+
+    println!("\ntime to solution (s):");
+    print_series_table("nodes", &series);
+
+    for s in &series {
+        println!("  {} fastest at {} nodes", s.label, s.best_nodes());
+    }
+
+    // claim C3: same GPUs, different interconnect
+    let trace = best_trace.unwrap();
+    let titan_series =
+        ScalingSeries::sweep("PPCG - 16", &titan(), &trace, global, KernelBytes::default());
+    let t_titan = titan_series.time_at(2048).unwrap();
+    let t_daint = series[4].time_at(2048).unwrap();
+    println!(
+        "\nclaim §VI: at 2,048 nodes Titan = {t_titan:.3}s vs Piz Daint = {t_daint:.3}s \
+         -> Titan {:.0}% slower (paper: 47%, 4.09 s vs 2.79 s)",
+        100.0 * (t_titan / t_daint - 1.0)
+    );
+    assert!(t_daint < t_titan, "Piz Daint must win at 2,048 nodes");
+
+    let path = write_series(&args, "fig6_piz_daint.csv", &series);
+    println!("wrote {}", path.display());
+}

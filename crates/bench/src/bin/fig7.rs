@@ -1,0 +1,108 @@
+//! Figure 7 — MPI and hybrid strong scaling on Spruce (CPU), 1–1,024
+//! nodes: `CG - 1`, `PPCG - 1` and the BoomerAMG-class baseline, each in
+//! flat-MPI and hybrid (MPI+OpenMP) run modes.
+//!
+//! The paper's observations this regenerates: BoomerAMG is fastest at
+//! low node counts but peaks early (paper: 32 nodes); TeaLeaf's CPPCG
+//! keeps improving to ~512 nodes and wins at scale.
+//!
+//! `cargo run --release -p tea-bench --bin fig7 [-- --cells N --steps N --target N]`
+
+use tea_bench::{
+    extrapolate_amg_to, extrapolate_to, print_series_table, write_series, FigArgs, SolverConfig,
+};
+use tea_perfmodel::{spruce_hybrid, spruce_mpi, KernelBytes, ScalingSeries};
+
+fn main() {
+    let args = FigArgs::parse("fig7", 96, 2);
+    let global = (args.target_cells, args.target_cells);
+    println!(
+        "Fig. 7: strong scaling on Spruce — {}^2 mesh (measured at {}^2, extrapolated)\n",
+        args.target_cells, args.cells
+    );
+
+    // measure the three solver protocols once
+    let (cg_trace, cg_ext) =
+        extrapolate_to(&SolverConfig::cg(), args.cells, args.steps, args.target_cells);
+    let (pp_trace, pp_ext) =
+        extrapolate_to(&SolverConfig::ppcg(1), args.cells, args.steps, args.target_cells);
+    let (amg_trace, _, p_amg) = extrapolate_amg_to(args.cells, args.steps, args.target_cells);
+    eprintln!(
+        "  iteration scale factors: CG x{:.1}, PPCG x{:.1}; BoomerAMG growth exponent {p_amg:.2} \
+         (multigrid should be near mesh-independent)",
+        cg_ext.factor, pp_ext.factor
+    );
+
+    let mut series = Vec::new();
+    for machine in [spruce_hybrid(), spruce_mpi()] {
+        let mode = if machine.ranks_per_node == 2 {
+            "Hybrid"
+        } else {
+            "MPI"
+        };
+        series.push(ScalingSeries::sweep_amg(
+            format!("BoomerAMG ({mode})"),
+            &machine,
+            &amg_trace,
+            global,
+            KernelBytes::default(),
+        ));
+        series.push(ScalingSeries::sweep(
+            format!("CG - 1 ({mode})"),
+            &machine,
+            &cg_trace,
+            global,
+            KernelBytes::default(),
+        ));
+        series.push(ScalingSeries::sweep(
+            format!("PPCG - 1 ({mode})"),
+            &machine,
+            &pp_trace,
+            global,
+            KernelBytes::default(),
+        ));
+    }
+
+    println!("\ntime to solution (s):");
+    print_series_table("nodes", &series);
+
+    println!("\nshape checks against the paper:");
+    for s in &series {
+        println!("  {:<22} fastest at {:>5} nodes", s.label, s.best_nodes());
+    }
+
+    // BoomerAMG wins small, CPPCG wins big (paper: crossover ~128 nodes
+    // flat-MPI, 1-8 hybrid; 2x advantage at 512; baseline peaks at 32)
+    for (amg_s, ppcg_s, mode) in [
+        (&series[0], &series[2], "Hybrid"),
+        (&series[3], &series[5], "MPI"),
+    ] {
+        let t_amg_1 = amg_s.time_at(1).unwrap();
+        let t_ppcg_1 = ppcg_s.time_at(1).unwrap();
+        let t_amg_512 = amg_s.time_at(512).unwrap();
+        let t_ppcg_512 = ppcg_s.time_at(512).unwrap();
+        println!(
+            "\n  [{mode}] at 1 node:    BoomerAMG {t_amg_1:.3}s vs PPCG-1 {t_ppcg_1:.3}s \
+             (baseline wins: {})",
+            t_amg_1 < t_ppcg_1
+        );
+        println!(
+            "  [{mode}] at 512 nodes: BoomerAMG {t_amg_512:.3}s vs PPCG-1 {t_ppcg_512:.3}s \
+             ({:.1}x; paper: 2x at 512)",
+            t_amg_512 / t_ppcg_512
+        );
+        assert!(t_amg_1 < t_ppcg_1, "[{mode}] the baseline must win at one node");
+        assert!(
+            t_ppcg_512 < t_amg_512,
+            "[{mode}] CPPCG must win at 512 nodes (paper: 2x)"
+        );
+        assert!(
+            amg_s.best_nodes() < ppcg_s.best_nodes(),
+            "[{mode}] BoomerAMG must peak earlier than CPPCG \
+             (paper: 32 vs 512)"
+        );
+    }
+
+    let path = write_series(&args, "fig7_spruce.csv", &series);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,118 @@
+//! Figure 8 — strong-scaling efficiency of the best configuration on
+//! each system: Spruce `PPCG - 1` (MPI), Piz Daint `PPCG - 16` (CUDA),
+//! Titan `PPCG - 16` (CUDA).
+//!
+//! Efficiency is `E(P) = T(1) / (P · T(P))`. The paper's headline: the
+//! CPU machine holds super-linear efficiency (cache effects) until ~512
+//! nodes, while the GPU machines decay monotonically, Piz Daint above
+//! Titan throughout.
+//!
+//! `cargo run --release -p tea-bench --bin fig8 [-- --cells N --steps N --target N]`
+
+use tea_app::write_series_csv;
+use tea_bench::{extrapolate_to, FigArgs, SolverConfig};
+use tea_perfmodel::{node_counts, piz_daint, spruce_mpi, titan, KernelBytes, ScalingSeries};
+
+fn main() {
+    let args = FigArgs::parse("fig8", 128, 2);
+    let global = (args.target_cells, args.target_cells);
+    println!(
+        "Fig. 8: scaling efficiency across systems — {}^2 mesh\n",
+        args.target_cells
+    );
+
+    let (pp1, _) =
+        extrapolate_to(&SolverConfig::ppcg(1), args.cells, args.steps, args.target_cells);
+    let (pp16, _) =
+        extrapolate_to(&SolverConfig::ppcg(16), args.cells, args.steps, args.target_cells);
+
+    let series = [
+        ScalingSeries::sweep(
+            "Spruce - PPCG - 1 (MPI)",
+            &spruce_mpi(),
+            &pp1,
+            global,
+            KernelBytes::default(),
+        ),
+        ScalingSeries::sweep(
+            "Piz Daint - PPCG - 16 (CUDA)",
+            &piz_daint(),
+            &pp16,
+            global,
+            KernelBytes::default(),
+        ),
+        ScalingSeries::sweep(
+            "Titan - PPCG - 16 (CUDA)",
+            &titan(),
+            &pp16,
+            global,
+            KernelBytes::default(),
+        ),
+    ];
+
+    let effs: Vec<(String, Vec<(usize, f64)>)> = series
+        .iter()
+        .map(|s| (s.label.clone(), s.efficiency()))
+        .collect();
+
+    println!(
+        "{:>8} {:>26} {:>30} {:>26}",
+        "nodes", &effs[0].0, &effs[1].0, &effs[2].0
+    );
+    let max_len = effs.iter().map(|(_, e)| e.len()).max().unwrap();
+    for i in 0..max_len {
+        let nodes = effs
+            .iter()
+            .filter_map(|(_, e)| e.get(i).map(|&(n, _)| n))
+            .max()
+            .unwrap();
+        print!("{nodes:>8}");
+        for (_, e) in &effs {
+            match e.get(i) {
+                Some(&(_, v)) => print!(" {v:>26.3}"),
+                None => print!(" {:>26}", "-"),
+            }
+        }
+        println!();
+    }
+
+    // shape checks
+    let spruce_eff = &effs[0].1;
+    let daint_eff = &effs[1].1;
+    let titan_eff = &effs[2].1;
+    let spruce_super = spruce_eff.iter().any(|&(_, e)| e > 1.0);
+    println!("\n  Spruce shows a super-linear cache window: {spruce_super} (paper: yes, to 512 nodes)");
+    assert!(spruce_super, "expected super-linear efficiency on Spruce");
+    // Piz Daint ≥ Titan at every common node count beyond 64 (paper §VI)
+    for (&(n, ed), &(_, et)) in daint_eff.iter().zip(titan_eff) {
+        if n >= 64 {
+            assert!(
+                ed >= et,
+                "Piz Daint efficiency must dominate Titan at {n} nodes: {ed} vs {et}"
+            );
+        }
+    }
+    println!("  Piz Daint efficiency dominates Titan at scale: true");
+
+    // CSV
+    let xs: Vec<f64> = node_counts(8192).iter().map(|&n| n as f64).collect();
+    let cols: Vec<(String, Vec<f64>)> = effs
+        .iter()
+        .map(|(label, e)| {
+            (
+                label.clone(),
+                xs.iter()
+                    .map(|&x| {
+                        e.iter()
+                            .find(|&&(n, _)| n as f64 == x)
+                            .map(|&(_, v)| v)
+                            .unwrap_or(f64::NAN)
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    let path = args.out_dir.join("fig8_efficiency.csv");
+    write_series_csv(&path, "nodes", &xs, &cols).expect("csv");
+    println!("\nwrote {}", path.display());
+}

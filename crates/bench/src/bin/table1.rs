@@ -1,0 +1,39 @@
+//! Table I — test setup specifications.
+//!
+//! Prints the modelled machine inventory (the reproduction's analogue of
+//! the paper's driver/compiler column is the model calibration).
+//!
+//! `cargo run --release -p tea-bench --bin table1`
+
+use tea_perfmodel::all_machines;
+
+fn main() {
+    println!("TABLE I: TEST SETUP SPECIFICATIONS (modelled)\n");
+    println!(
+        "{:<16} {:<14} {:<17} {:>12} {:>10}",
+        "System", "Compute device", "Interconnect", "Total cores", "Max nodes"
+    );
+    for m in all_machines() {
+        println!(
+            "{:<16} {:<14} {:<17} {:>12} {:>10}",
+            m.name, m.node.device, m.net.interconnect, m.total_cores, m.max_nodes
+        );
+    }
+    println!("\nModel calibration (per node / link):");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "System", "mem BW GB/s", "sweep µs", "net α µs", "net GB/s", "tree-hop µs"
+    );
+    for m in all_machines() {
+        println!(
+            "{:<16} {:>12.0} {:>12.1} {:>12.1} {:>12.0} {:>12.1}",
+            m.name,
+            m.node.mem_bandwidth / 1e9,
+            m.node.sweep_overhead * 1e6,
+            m.net.latency * 1e6,
+            m.net.bandwidth / 1e9,
+            m.net.reduction_hop * 1e6,
+        );
+    }
+    println!("\n(see crates/perfmodel/src/machines.rs for sources and rationale)");
+}

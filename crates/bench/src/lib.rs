@@ -1,0 +1,466 @@
+//! # tea-bench — the experiment harness
+//!
+//! One binary per table/figure of the CLUSTER'17 evaluation (see
+//! DESIGN.md §5 for the index) plus criterion micro-benchmarks. This
+//! library holds the shared machinery: measuring solver traces from real
+//! runs, fitting the iteration-growth law, and extrapolating protocols
+//! to the paper's 4000² mesh (EXPERIMENTS.md documents the method and
+//! its honesty bounds).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use tea_amg::MgTrace;
+use tea_app::{crooked_pipe_deck, run_serial, Deck, SolverKind};
+use tea_core::{PreconKind, SolveTrace};
+
+/// Common command-line arguments of the figure binaries.
+#[derive(Debug, Clone)]
+pub struct FigArgs {
+    /// Measurement mesh size (traces are measured at this size and two
+    /// smaller sizes for the growth-law fit).
+    pub cells: usize,
+    /// Time steps per measurement run.
+    pub steps: u64,
+    /// Target mesh size the protocol is extrapolated to (the paper's
+    /// 4000 unless overridden).
+    pub target_cells: usize,
+    /// Output directory for CSV artefacts.
+    pub out_dir: PathBuf,
+}
+
+impl FigArgs {
+    /// Parses `--cells N --steps N --target N --out DIR` with the given
+    /// defaults; `--help` prints usage and exits.
+    pub fn parse(bin: &str, default_cells: usize, default_steps: u64) -> FigArgs {
+        let mut args = FigArgs {
+            cells: default_cells,
+            steps: default_steps,
+            target_cells: 4000,
+            out_dir: PathBuf::from("experiments"),
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = || it.next().unwrap_or_default();
+            match flag.as_str() {
+                "--cells" => args.cells = value().parse().expect("--cells"),
+                "--steps" => args.steps = value().parse().expect("--steps"),
+                "--target" => args.target_cells = value().parse().expect("--target"),
+                "--out" => args.out_dir = PathBuf::from(value()),
+                "--help" | "-h" => {
+                    println!(
+                        "{bin}: regenerates a CLUSTER'17 TeaLeaf artefact\n\
+                         --cells N   measurement mesh (default {default_cells})\n\
+                         --steps N   steps per measurement (default {default_steps})\n\
+                         --target N  extrapolation mesh (default 4000)\n\
+                         --out DIR   CSV output directory (default ./experiments)"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        std::fs::create_dir_all(&args.out_dir).expect("create output dir");
+        args
+    }
+}
+
+/// A solver configuration measured for the scaling figures.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Legend label (paper style, e.g. `"PPCG - 16"`).
+    pub label: String,
+    /// Driver solver kind.
+    pub solver: SolverKind,
+    /// Matrix-powers depth (PPCG only).
+    pub depth: usize,
+    /// Preconditioner.
+    pub precon: PreconKind,
+}
+
+impl SolverConfig {
+    /// Plain CG with depth-1 halos — the paper's `CG - 1`.
+    pub fn cg() -> Self {
+        SolverConfig {
+            label: "CG - 1".into(),
+            solver: SolverKind::Cg,
+            depth: 1,
+            precon: PreconKind::None,
+        }
+    }
+
+    /// `PPCG - depth` (16 inner steps, as in the figures).
+    pub fn ppcg(depth: usize) -> Self {
+        SolverConfig {
+            label: format!("PPCG - {depth}"),
+            solver: SolverKind::Ppcg,
+            depth,
+            precon: PreconKind::None,
+        }
+    }
+
+    /// The BoomerAMG-class baseline.
+    pub fn amg() -> Self {
+        SolverConfig {
+            label: "BoomerAMG".into(),
+            solver: SolverKind::AmgPcg,
+            depth: 1,
+            precon: PreconKind::None,
+        }
+    }
+
+    fn deck(&self, cells: usize, steps: u64) -> Deck {
+        let mut deck = crooked_pipe_deck(cells, self.solver);
+        deck.control.end_step = steps;
+        deck.control.summary_frequency = 0;
+        deck.control.precon = self.precon;
+        deck.control.ppcg_halo_depth = self.depth;
+        deck.control.ppcg_inner_steps = 16;
+        deck
+    }
+}
+
+/// A measured protocol: the accumulated trace of a real run plus its
+/// iteration count.
+#[derive(Debug)]
+pub struct Measurement {
+    /// Mesh size of the run.
+    pub cells: usize,
+    /// Accumulated solver trace.
+    pub trace: SolveTrace,
+    /// Accumulated multigrid trace (AMG runs).
+    pub mg: Option<MgTrace>,
+    /// Total outer iterations over the run.
+    pub iterations: u64,
+}
+
+/// Runs a configuration serially and returns its protocol.
+pub fn measure(config: &SolverConfig, cells: usize, steps: u64) -> Measurement {
+    let deck = config.deck(cells, steps);
+    let out = run_serial(&deck);
+    assert!(
+        out.steps.iter().all(|s| s.converged),
+        "{} failed to converge at {cells}^2",
+        config.label
+    );
+    Measurement {
+        cells,
+        trace: out.trace,
+        mg: out.mg_trace,
+        iterations: out.steps.iter().map(|s| s.iterations).sum(),
+    }
+}
+
+/// Fits `iters = a · n^p` through measured `(n, iters)` points by
+/// log-log least squares and returns `(a, p)`.
+pub fn fit_power_law(points: &[(usize, u64)]) -> (f64, f64) {
+    assert!(points.len() >= 2, "need at least two sizes to fit");
+    let xs: Vec<f64> = points.iter().map(|&(n, _)| (n as f64).ln()).collect();
+    let ys: Vec<f64> = points.iter().map(|&(_, i)| (i as f64).ln()).collect();
+    let n = xs.len() as f64;
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    let p = if denom.abs() < 1e-12 {
+        0.0
+    } else {
+        (n * sxy - sx * sy) / denom
+    };
+    let a = ((sy - p * sx) / n).exp();
+    (a, p)
+}
+
+/// Chebyshev polynomial of the first kind at `x > 1`:
+/// `T_m(x) = cosh(m · acosh x)`.
+pub fn chebyshev_t(m: usize, x: f64) -> f64 {
+    assert!(x >= 1.0);
+    (m as f64 * x.acosh()).cosh()
+}
+
+/// The paper's Eq. 4-5: condition number of the `m`-step Chebyshev
+/// polynomially preconditioned operator given `κ(A)`.
+pub fn kappa_pcg(kappa: f64, m: usize) -> f64 {
+    assert!(kappa > 1.0);
+    let x = (kappa + 1.0) / (kappa - 1.0);
+    let eps = 1.0 / chebyshev_t(m, x);
+    (1.0 + eps) / (1.0 - eps)
+}
+
+/// Measures `κ(A)` at a mesh size via CG-Lanczos on the crooked pipe.
+pub fn measure_kappa(cells: usize) -> f64 {
+    use tea_comms::{HaloLayout, SerialComm};
+    use tea_core::{
+        cg_solve_recording, estimate_from_cg, Preconditioner, SolveOpts, Tile, TileBounds,
+        TileOperator, Workspace,
+    };
+    use tea_mesh::{
+        crooked_pipe, timestep_scalings, Coefficients, Decomposition2D, Field2D, Mesh2D,
+    };
+    let n = cells;
+    let problem = crooked_pipe(n);
+    let mesh = Mesh2D::serial(n, n, problem.extent);
+    let mut density = Field2D::new(n, n, 1);
+    let mut energy = Field2D::new(n, n, 1);
+    problem.apply_states(&mesh, &mut density, &mut energy);
+    let (rx, ry) = timestep_scalings(&mesh, 0.04);
+    let coeffs = Coefficients::assemble(&mesh, &density, problem.coefficient, rx, ry, 1);
+    let op = TileOperator::new(coeffs, TileBounds::serial(n, n));
+    let mut b = Field2D::new(n, n, 1);
+    for k in 0..n as isize {
+        for j in 0..n as isize {
+            b.set(j, k, density.at(j, k) * energy.at(j, k));
+        }
+    }
+    let comm = SerialComm::new();
+    let d = Decomposition2D::with_grid(n, n, 1, 1);
+    let layout = HaloLayout::new(&d, 0);
+    let tile = Tile::new(&op, &layout, &comm);
+    let mut ws = Workspace::new(n, n, 1);
+    let mut u = b.clone();
+    let (_, coeffs) = cg_solve_recording(
+        &tile,
+        &mut u,
+        &b,
+        &Preconditioner::Identity,
+        &mut ws,
+        SolveOpts::with_eps(1e-12),
+        80,
+    );
+    let (al, be) = coeffs.for_lanczos();
+    estimate_from_cg(al, be, 0.0).condition_number()
+}
+
+/// Extrapolation record: what was measured and how it was scaled.
+#[derive(Debug)]
+pub struct Extrapolation {
+    /// Measured protocol at `cells`.
+    pub measurement: Measurement,
+    /// Measured condition number at the measurement mesh.
+    pub kappa_measured: f64,
+    /// Theory-scaled condition number at the target mesh (`κ ∝ n²`
+    /// because `rx = Δt/Δx²`).
+    pub kappa_target: f64,
+    /// Iteration scale factor applied to the trace.
+    pub factor: f64,
+}
+
+/// Extrapolates a Krylov config's measured trace to `target` cells per
+/// side using the paper's own convergence theory (Eqs. 4-7):
+///
+/// * `κ` scales as `(target/measured)²` (the face coefficients carry
+///   `Δt/Δx²`);
+/// * CG/Chebyshev iterations scale as `√(κ_t/κ_m)` (Eq. 6);
+/// * CPPCG outer iterations scale as `√(κpcg_t/κpcg_m)` with `κpcg`
+///   from Eqs. 4-5 — which reproduces O'Leary's invariant that the
+///   *total* matrix-vector work cannot drop below plain CG's.
+pub fn extrapolate_to(
+    config: &SolverConfig,
+    base_cells: usize,
+    steps: u64,
+    target: usize,
+) -> (SolveTrace, Extrapolation) {
+    let measurement = measure(config, base_cells, steps);
+    let kappa_measured = measure_kappa(base_cells);
+    let ratio = target as f64 / base_cells as f64;
+    let kappa_target = kappa_measured * ratio * ratio;
+    let factor = match config.solver {
+        SolverKind::Ppcg => {
+            let m = 16; // inner steps used by the figure configs
+            (kappa_pcg(kappa_target, m) / kappa_pcg(kappa_measured, m)).sqrt()
+        }
+        _ => (kappa_target / kappa_measured).sqrt(),
+    };
+    let mut trace = measurement.trace.scaled(factor);
+    trace.solver = config.label.clone();
+    (
+        trace,
+        Extrapolation {
+            measurement,
+            kappa_measured,
+            kappa_target,
+            factor,
+        },
+    )
+}
+
+/// Extrapolates an AMG measurement: iteration growth fitted from three
+/// sizes (multigrid is near mesh-independent, so the fit is safe); level
+/// shapes rebuilt for the target mesh; per-level sweeps and setup cells
+/// scaled consistently.
+pub fn extrapolate_amg_to(
+    base_cells: usize,
+    steps: u64,
+    target: usize,
+) -> (MgTrace, Vec<Measurement>, f64) {
+    let config = SolverConfig::amg();
+    let sizes = [base_cells / 4 * 2, base_cells / 4 * 3, base_cells];
+    let measurements: Vec<Measurement> = sizes
+        .iter()
+        .map(|&n| measure(&config, n.max(16), steps))
+        .collect();
+    let points: Vec<(usize, u64)> = measurements
+        .iter()
+        .map(|m| (m.cells, m.iterations.max(1)))
+        .collect();
+    let (a, p) = fit_power_law(&points);
+    let predicted = a * (target as f64).powf(p);
+    let last = measurements.last().unwrap();
+    let factor = predicted / last.iterations.max(1) as f64;
+    let mg_last = last.mg.as_ref().expect("AMG runs carry traces");
+
+    // rebuild the level geometry for the target mesh
+    let mut shapes = Vec::new();
+    let (mut nx, mut ny) = (target, target);
+    loop {
+        shapes.push((nx, ny));
+        if nx * ny <= tea_amg::COARSEST_CELLS || nx < 4 || ny < 4 {
+            break;
+        }
+        nx = nx.div_ceil(2);
+        ny = ny.div_ceil(2);
+    }
+    let total_setup: usize = shapes.iter().map(|&(a, b)| a * b).sum();
+
+    // sweeps per level scale with v-cycle count; extra (deeper) levels of
+    // the target hierarchy inherit the measured per-cycle cadence
+    let vcycles = (mg_last.vcycles as f64 * factor).round() as u64;
+    let per_cycle: f64 = if mg_last.vcycles > 0 {
+        mg_last.total_level_sweeps() as f64
+            / (mg_last.vcycles as f64 * mg_last.level_shapes.len() as f64)
+    } else {
+        6.0
+    };
+    let mut mg = MgTrace {
+        outer: {
+            let mut t = mg_last.outer.scaled(factor);
+            t.solver = config.label.clone();
+            t
+        },
+        level_shapes: shapes.clone(),
+        vcycles,
+        coarse_solves: vcycles,
+        setup_cells: (total_setup as u64) * (steps.max(1)),
+        ..Default::default()
+    };
+    for l in 0..shapes.len() {
+        mg.level_sweeps
+            .insert(l as u32, (per_cycle * vcycles as f64).round() as u64);
+    }
+    (mg, measurements, p)
+}
+
+/// Formats a paper-style scaling table row set to stdout.
+pub fn print_series_table(node_header: &str, series: &[tea_perfmodel::ScalingSeries]) {
+    print!("{node_header:>8}");
+    for s in series {
+        print!(" {:>14}", s.label);
+    }
+    println!();
+    let n = series[0].points.len();
+    for i in 0..n {
+        print!("{:>8}", series[0].points[i].nodes);
+        for s in series {
+            print!(" {:>14.5}", s.points[i].total());
+        }
+        println!();
+    }
+}
+
+/// Writes the series as CSV into the output directory.
+pub fn write_series(
+    args: &FigArgs,
+    name: &str,
+    series: &[tea_perfmodel::ScalingSeries],
+) -> std::path::PathBuf {
+    let xs: Vec<f64> = series[0].points.iter().map(|p| p.nodes as f64).collect();
+    let cols: Vec<(String, Vec<f64>)> = series
+        .iter()
+        .map(|s| (s.label.clone(), s.points.iter().map(|p| p.total()).collect()))
+        .collect();
+    let path = args.out_dir.join(name);
+    tea_app::write_series_csv(&path, "nodes", &xs, &cols).expect("write series CSV");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_law_fit_recovers_exponents() {
+        // perfect power law
+        let pts: Vec<(usize, u64)> = [32usize, 64, 128]
+            .iter()
+            .map(|&n| (n, (3.0 * (n as f64).powf(1.0)) as u64))
+            .collect();
+        let (a, p) = fit_power_law(&pts);
+        assert!((p - 1.0).abs() < 0.05, "exponent {p}");
+        assert!((a - 3.0).abs() < 0.5, "coefficient {a}");
+        // constant (mesh-independent, AMG-style)
+        let flat: Vec<(usize, u64)> = vec![(32, 40), (64, 40), (128, 40)];
+        let (_, p0) = fit_power_law(&flat);
+        assert!(p0.abs() < 0.01);
+    }
+
+    #[test]
+    fn measure_produces_consistent_protocol() {
+        let m = measure(&SolverConfig::cg(), 24, 1);
+        assert_eq!(m.cells, 24);
+        assert!(m.iterations > 0);
+        assert_eq!(m.trace.outer_iterations, m.iterations);
+        assert!(m.mg.is_none());
+        let amg = measure(&SolverConfig::amg(), 24, 1);
+        assert!(amg.mg.is_some());
+    }
+
+    #[test]
+    fn extrapolation_scales_iterations_up() {
+        let (trace, ext) = extrapolate_to(&SolverConfig::cg(), 48, 1, 512);
+        // CG factor is exactly the mesh ratio (κ ∝ n², iters ∝ √κ)
+        assert!((ext.factor - 512.0 / 48.0).abs() < 1e-9);
+        assert!(trace.outer_iterations > ext.measurement.iterations);
+        assert!(ext.kappa_target > ext.kappa_measured);
+    }
+
+    #[test]
+    fn ppcg_extrapolation_preserves_olearys_invariant() {
+        // the total matvec work of CPPCG must not drop below CG's at the
+        // same κ: outer(m) · m >= total/(1 + o(1))
+        let kappa = 100_000.0;
+        for m in [4usize, 8, 16] {
+            let outer_factor = kappa_pcg(kappa, m).sqrt();
+            let total_factor = kappa.sqrt();
+            let work_ratio = outer_factor * m as f64 / total_factor;
+            assert!(
+                work_ratio > 0.9 && work_ratio < 3.0,
+                "m = {m}: CPPCG work ratio {work_ratio} violates O'Leary"
+            );
+        }
+    }
+
+    #[test]
+    fn kappa_pcg_collapses_small_kappa() {
+        // when m-step Chebyshev nearly solves the system, κpcg -> 1
+        assert!(kappa_pcg(10.0, 16) < 1.01);
+        // and grows towards κ as m -> 1
+        assert!(kappa_pcg(10_000.0, 1) > kappa_pcg(10_000.0, 16));
+    }
+
+    #[test]
+    fn chebyshev_t_matches_recurrence() {
+        // T_3(x) = 4x^3 - 3x
+        let x = 1.7f64;
+        let want = 4.0 * x * x * x - 3.0 * x;
+        assert!((chebyshev_t(3, x) - want).abs() < 1e-10);
+    }
+
+    #[test]
+    fn config_labels() {
+        assert_eq!(SolverConfig::cg().label, "CG - 1");
+        assert_eq!(SolverConfig::ppcg(16).label, "PPCG - 16");
+        assert_eq!(SolverConfig::amg().label, "BoomerAMG");
+    }
+}

@@ -1,0 +1,95 @@
+//! Gathering decomposed fields onto a root rank.
+//!
+//! Used for diagnostics and figure output: each rank ships its interior
+//! to rank 0, which assembles the global field. The reference TeaLeaf
+//! does the same for its VisIt dumps.
+
+use crate::Communicator;
+use tea_mesh::{Decomposition2D, Field2D};
+
+const GATHER_TAG: u64 = 0x6A77;
+
+/// Gathers the interiors of every rank's `field` into a single global
+/// field (halo 0) on rank 0. Other ranks return `None`.
+///
+/// Must be called collectively. The field extents must match each rank's
+/// subdomain in `decomp`.
+pub fn gather_to_root<C: Communicator + ?Sized>(
+    field: &Field2D,
+    decomp: &Decomposition2D,
+    comm: &C,
+) -> Option<Field2D> {
+    let sub = decomp.subdomain(comm.rank());
+    assert_eq!(field.nx(), sub.nx, "field does not match subdomain");
+    assert_eq!(field.ny(), sub.ny, "field does not match subdomain");
+
+    let (gnx, gny) = decomp.global_cells();
+    if comm.rank() != 0 {
+        let buf = field.pack_rect(0, field.nx() as isize, 0, field.ny() as isize);
+        comm.send(0, GATHER_TAG, buf);
+        return None;
+    }
+
+    let mut global = Field2D::new(gnx, gny, 0);
+    // own interior
+    place(&mut global, sub.offset, field.pack_rect(0, sub.nx as isize, 0, sub.ny as isize), sub.nx, sub.ny);
+    // everyone else in rank order
+    for r in 1..comm.size() {
+        let s = decomp.subdomain(r);
+        let buf = comm.recv(r, GATHER_TAG);
+        assert_eq!(buf.len(), s.nx * s.ny, "gather payload size mismatch");
+        place(&mut global, s.offset, buf, s.nx, s.ny);
+    }
+    Some(global)
+}
+
+fn place(global: &mut Field2D, offset: (usize, usize), buf: Vec<f64>, nx: usize, ny: usize) {
+    global.unpack_rect(
+        &buf,
+        offset.0 as isize,
+        (offset.0 + nx) as isize,
+        offset.1 as isize,
+        (offset.1 + ny) as isize,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_threaded, SerialComm};
+    use tea_mesh::{Extent2D, Mesh2D};
+
+    #[test]
+    fn gather_reassembles_global_field() {
+        let d = Decomposition2D::with_grid(10, 6, 3, 2);
+        let results = run_threaded(6, |comm| {
+            let mesh = Mesh2D::new(&d, comm.rank(), Extent2D::unit());
+            let mut f = Field2D::new(mesh.nx(), mesh.ny(), 0);
+            let (ox, oy) = mesh.subdomain().offset;
+            for k in 0..mesh.ny() as isize {
+                for j in 0..mesh.nx() as isize {
+                    f.set(j, k, ((ox as isize + j) * 37 + (oy as isize + k)) as f64);
+                }
+            }
+            gather_to_root(&f, &d, comm)
+        });
+        let global = results[0].as_ref().expect("rank 0 gets the field");
+        assert!(results[1..].iter().all(|r| r.is_none()));
+        for k in 0..6isize {
+            for j in 0..10isize {
+                assert_eq!(global.at(j, k), (j * 37 + k) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn serial_gather_is_a_copy() {
+        let d = Decomposition2D::with_grid(4, 4, 1, 1);
+        let comm = SerialComm::new();
+        let mut f = Field2D::new(4, 4, 2);
+        f.set(1, 1, 42.0);
+        let g = gather_to_root(&f, &d, &comm).unwrap();
+        assert_eq!(g.at(1, 1), 42.0);
+        assert_eq!(g.halo(), 0);
+    }
+}

@@ -1,0 +1,352 @@
+//! Depth-*n* halo exchange — TeaLeaf's `update_halo`.
+//!
+//! The exchange is two-phase, exactly like the reference code:
+//!
+//! 1. **X phase**: west/east edge strips of width `depth` and interior
+//!    height are swapped with the x neighbours.
+//! 2. **Y phase**: south/north strips of height `depth` spanning the
+//!    *extended* width `[-depth, nx+depth)` — including the columns just
+//!    received — are swapped with the y neighbours. This is what
+//!    transports corner data to diagonal neighbours without messaging
+//!    them directly, which the deep-halo matrix-powers kernel requires.
+//!
+//! Multiple fields can be fused into a single message per direction
+//! (TeaLeaf's `fields` mask): fewer, larger messages, the same trade the
+//! paper's communication-avoidance study is about.
+//!
+//! Sends are buffered and non-blocking, so the send-all-then-receive-all
+//! order below cannot deadlock.
+
+use crate::Communicator;
+use tea_mesh::{Decomposition2D, Dir, Field2D};
+
+/// Per-rank halo-exchange context: which decomposition tile this rank
+/// owns and who its neighbours are.
+#[derive(Debug, Clone)]
+pub struct HaloLayout {
+    rank: usize,
+    neighbors: [Option<usize>; 4],
+    nx: usize,
+    ny: usize,
+}
+
+impl HaloLayout {
+    /// Builds the layout for `rank` of `decomp`.
+    pub fn new(decomp: &Decomposition2D, rank: usize) -> Self {
+        let sub = decomp.subdomain(rank);
+        HaloLayout {
+            rank,
+            neighbors: [
+                decomp.neighbor(rank, Dir::West),
+                decomp.neighbor(rank, Dir::East),
+                decomp.neighbor(rank, Dir::South),
+                decomp.neighbor(rank, Dir::North),
+            ],
+            nx: sub.nx,
+            ny: sub.ny,
+        }
+    }
+
+    /// Owning rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Neighbour in `dir`, if any.
+    pub fn neighbor(&self, dir: Dir) -> Option<usize> {
+        self.neighbors[dir_index(dir)]
+    }
+
+    /// Tile interior extent.
+    pub fn tile(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+}
+
+fn dir_index(dir: Dir) -> usize {
+    match dir {
+        Dir::West => 0,
+        Dir::East => 1,
+        Dir::South => 2,
+        Dir::North => 3,
+    }
+}
+
+/// Encodes the protocol tag for one fused exchange message.
+fn tag_for(dir: Dir, depth: usize, nfields: usize) -> u64 {
+    (dir_index(dir) as u64) | ((depth as u64) << 4) | ((nfields as u64) << 20)
+}
+
+/// Exchanges depth-`depth` halos of a single field.
+pub fn exchange_halo<C: Communicator + ?Sized>(
+    field: &mut Field2D,
+    layout: &HaloLayout,
+    comm: &C,
+    depth: usize,
+) {
+    let mut fields = [field];
+    exchange_halo_many(&mut fields, layout, comm, depth);
+}
+
+/// Exchanges depth-`depth` halos of several fields fused into one message
+/// per direction.
+///
+/// # Panics
+/// Panics if any field's halo is shallower than `depth`, if a tile
+/// dimension is smaller than `depth` (a strip would overrun the
+/// neighbour's interior — the same restriction the reference imposes), or
+/// if the fields disagree on interior extent.
+pub fn exchange_halo_many<C: Communicator + ?Sized>(
+    fields: &mut [&mut Field2D],
+    layout: &HaloLayout,
+    comm: &C,
+    depth: usize,
+) {
+    if depth == 0 || fields.is_empty() {
+        return;
+    }
+    let (nx, ny) = layout.tile();
+    for f in fields.iter() {
+        assert!(
+            f.halo() >= depth,
+            "field halo {} shallower than exchange depth {depth}",
+            f.halo()
+        );
+        assert_eq!(f.nx(), nx, "field/tile extent mismatch");
+        assert_eq!(f.ny(), ny, "field/tile extent mismatch");
+    }
+    assert!(
+        nx >= depth && ny >= depth,
+        "tile {nx}x{ny} smaller than exchange depth {depth}"
+    );
+    let d = depth as isize;
+    let (nxi, nyi) = (nx as isize, ny as isize);
+    let nf = fields.len();
+
+    // --- X phase: interior-height strips ---
+    let west = layout.neighbor(Dir::West);
+    let east = layout.neighbor(Dir::East);
+    if let Some(w) = west {
+        let mut buf = Vec::new();
+        for f in fields.iter() {
+            buf.extend(f.pack_rect(0, d, 0, nyi));
+        }
+        comm.send(w, tag_for(Dir::West, depth, nf), buf);
+    }
+    if let Some(e) = east {
+        let mut buf = Vec::new();
+        for f in fields.iter() {
+            buf.extend(f.pack_rect(nxi - d, nxi, 0, nyi));
+        }
+        comm.send(e, tag_for(Dir::East, depth, nf), buf);
+    }
+    if let Some(w) = west {
+        // west neighbour sent us its east strip, travelling East
+        let buf = comm.recv(w, tag_for(Dir::East, depth, nf));
+        unpack_many(fields, &buf, -d, 0, 0, nyi);
+    }
+    if let Some(e) = east {
+        let buf = comm.recv(e, tag_for(Dir::West, depth, nf));
+        unpack_many(fields, &buf, nxi, nxi + d, 0, nyi);
+    }
+
+    // --- Y phase: extended-width strips carry the corners ---
+    let south = layout.neighbor(Dir::South);
+    let north = layout.neighbor(Dir::North);
+    if let Some(s) = south {
+        let mut buf = Vec::new();
+        for f in fields.iter() {
+            buf.extend(f.pack_rect(-d, nxi + d, 0, d));
+        }
+        comm.send(s, tag_for(Dir::South, depth, nf), buf);
+    }
+    if let Some(n) = north {
+        let mut buf = Vec::new();
+        for f in fields.iter() {
+            buf.extend(f.pack_rect(-d, nxi + d, nyi - d, nyi));
+        }
+        comm.send(n, tag_for(Dir::North, depth, nf), buf);
+    }
+    if let Some(s) = south {
+        let buf = comm.recv(s, tag_for(Dir::North, depth, nf));
+        unpack_many(fields, &buf, -d, nxi + d, -d, 0);
+    }
+    if let Some(n) = north {
+        let buf = comm.recv(n, tag_for(Dir::South, depth, nf));
+        unpack_many(fields, &buf, -d, nxi + d, nyi, nyi + d);
+    }
+}
+
+fn unpack_many(
+    fields: &mut [&mut Field2D],
+    buf: &[f64],
+    x_lo: isize,
+    x_hi: isize,
+    y_lo: isize,
+    y_hi: isize,
+) {
+    let per_field = ((x_hi - x_lo) * (y_hi - y_lo)) as usize;
+    assert_eq!(
+        buf.len(),
+        per_field * fields.len(),
+        "fused halo message has wrong size"
+    );
+    for (i, f) in fields.iter_mut().enumerate() {
+        f.unpack_rect(&buf[i * per_field..(i + 1) * per_field], x_lo, x_hi, y_lo, y_hi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_threaded;
+    use tea_mesh::{Decomposition2D, Extent2D, Mesh2D};
+
+    /// Fills a tile's interior with a function of global coordinates.
+    fn fill_global(field: &mut Field2D, mesh: &Mesh2D, f: impl Fn(isize, isize) -> f64) {
+        let (ox, oy) = mesh.subdomain().offset;
+        for k in 0..mesh.ny() as isize {
+            for j in 0..mesh.nx() as isize {
+                field.set(j, k, f(j + ox as isize, k + oy as isize));
+            }
+        }
+    }
+
+    fn check_halo(
+        field: &Field2D,
+        mesh: &Mesh2D,
+        depth: isize,
+        f: impl Fn(isize, isize) -> f64,
+    ) {
+        let (gnx, gny) = mesh.global_cells();
+        let (ox, oy) = mesh.subdomain().offset;
+        let (nx, ny) = (mesh.nx() as isize, mesh.ny() as isize);
+        for k in -depth..ny + depth {
+            for j in -depth..nx + depth {
+                let (gj, gk) = (j + ox as isize, k + oy as isize);
+                // only cells inside the global domain are defined
+                if gj < 0 || gk < 0 || gj >= gnx as isize || gk >= gny as isize {
+                    continue;
+                }
+                // interior plus any ghost belonging to a neighbour tile
+                assert_eq!(
+                    field.at(j, k),
+                    f(gj, gk),
+                    "halo value wrong at local ({j},{k}) global ({gj},{gk}) rank {}",
+                    mesh.subdomain().rank
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn depth1_exchange_fills_edges_and_corners() {
+        let d = Decomposition2D::with_grid(8, 8, 2, 2);
+        let f = |gj: isize, gk: isize| (gj * 100 + gk) as f64;
+        run_threaded(4, |comm| {
+            let mesh = Mesh2D::new(&d, comm.rank(), Extent2D::unit());
+            let layout = HaloLayout::new(&d, comm.rank());
+            let mut field = Field2D::new(mesh.nx(), mesh.ny(), 1);
+            fill_global(&mut field, &mesh, f);
+            exchange_halo(&mut field, &layout, comm, 1);
+            check_halo(&field, &mesh, 1, f);
+        });
+    }
+
+    #[test]
+    fn deep_exchange_depth_4_on_3x2_grid() {
+        let d = Decomposition2D::with_grid(24, 16, 3, 2);
+        let f = |gj: isize, gk: isize| (gj * 1000 + gk) as f64;
+        run_threaded(6, |comm| {
+            let mesh = Mesh2D::new(&d, comm.rank(), Extent2D::unit());
+            let layout = HaloLayout::new(&d, comm.rank());
+            let mut field = Field2D::new(mesh.nx(), mesh.ny(), 4);
+            fill_global(&mut field, &mesh, f);
+            exchange_halo(&mut field, &layout, comm, 4);
+            check_halo(&field, &mesh, 4, f);
+        });
+    }
+
+    #[test]
+    fn fused_multi_field_exchange() {
+        let d = Decomposition2D::with_grid(12, 12, 2, 2);
+        let fa = |gj: isize, gk: isize| (gj + gk) as f64;
+        let fb = |gj: isize, gk: isize| (gj * gk) as f64;
+        let snaps = run_threaded(4, |comm| {
+            let mesh = Mesh2D::new(&d, comm.rank(), Extent2D::unit());
+            let layout = HaloLayout::new(&d, comm.rank());
+            let mut a = Field2D::new(mesh.nx(), mesh.ny(), 2);
+            let mut b = Field2D::new(mesh.nx(), mesh.ny(), 2);
+            fill_global(&mut a, &mesh, fa);
+            fill_global(&mut b, &mesh, fb);
+            exchange_halo_many(&mut [&mut a, &mut b], &layout, comm, 2);
+            check_halo(&a, &mesh, 2, fa);
+            check_halo(&b, &mesh, 2, fb);
+            comm.stats().snapshot()
+        });
+        // interior rank 0 has 2 neighbours (east, north): 2 sends
+        assert_eq!(snaps[0].msgs_sent, 2);
+        // fused: one message per direction regardless of field count
+        let d1 = run_threaded(4, |comm| {
+            let mesh = Mesh2D::new(&d, comm.rank(), Extent2D::unit());
+            let layout = HaloLayout::new(&d, comm.rank());
+            let mut a = Field2D::new(mesh.nx(), mesh.ny(), 2);
+            fill_global(&mut a, &mesh, fa);
+            exchange_halo(&mut a, &layout, comm, 2);
+            comm.stats().snapshot()
+        });
+        assert_eq!(snaps[0].msgs_sent, d1[0].msgs_sent);
+        assert_eq!(snaps[0].doubles_sent, 2 * d1[0].doubles_sent);
+    }
+
+    #[test]
+    fn depth_zero_is_a_no_op() {
+        let d = Decomposition2D::with_grid(8, 8, 2, 1);
+        run_threaded(2, |comm| {
+            let layout = HaloLayout::new(&d, comm.rank());
+            let mut field = Field2D::filled(4.max(layout.tile().0), 8, 1, 1.0);
+            exchange_halo(&mut field, &layout, comm, 0);
+            assert_eq!(comm.stats().snapshot().msgs_sent, 0);
+        });
+    }
+
+    #[test]
+    fn deeper_halos_send_fewer_larger_messages_per_step() {
+        // the communication-avoidance arithmetic: depth d sends ~d times
+        // the data of depth 1 in a single exchange
+        let d = Decomposition2D::with_grid(32, 32, 2, 1);
+        for depth in [1usize, 4, 8] {
+            let snaps = run_threaded(2, |comm| {
+                let mesh = Mesh2D::new(&d, comm.rank(), Extent2D::unit());
+                let layout = HaloLayout::new(&d, comm.rank());
+                let mut f = Field2D::new(mesh.nx(), mesh.ny(), depth);
+                exchange_halo(&mut f, &layout, comm, depth);
+                comm.stats().snapshot()
+            });
+            assert_eq!(snaps[0].msgs_sent, 1);
+            assert_eq!(snaps[0].doubles_sent as usize, depth * 32);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn shallow_field_halo_panics() {
+        let d = Decomposition2D::with_grid(8, 8, 2, 1);
+        run_threaded(2, |comm| {
+            let layout = HaloLayout::new(&d, comm.rank());
+            let mut field = Field2D::new(layout.tile().0, layout.tile().1, 1);
+            exchange_halo(&mut field, &layout, comm, 2);
+        });
+    }
+
+    #[test]
+    fn layout_reports_neighbors() {
+        let d = Decomposition2D::with_grid(8, 8, 2, 2);
+        let l0 = HaloLayout::new(&d, 0);
+        assert_eq!(l0.neighbor(Dir::East), Some(1));
+        assert_eq!(l0.neighbor(Dir::North), Some(2));
+        assert_eq!(l0.neighbor(Dir::West), None);
+        assert_eq!(l0.rank(), 0);
+        assert_eq!(l0.tile(), (4, 4));
+    }
+}

@@ -1,0 +1,98 @@
+//! # tea-comms — simulated distributed message-passing runtime
+//!
+//! TeaLeaf's evaluation ran on MPI machines (Titan, Piz Daint, Spruce).
+//! This crate substitutes a faithful in-process runtime: every rank is a
+//! real thread with its own tile, point-to-point messages travel over
+//! channels, and global reductions are deterministic (summed in rank
+//! order, independent of thread scheduling). The same [`Communicator`]
+//! trait also has a trivial serial backend so solvers are written once.
+//!
+//! On top of the raw primitives sit the TeaLeaf-specific collectives:
+//! depth-*n* [`halo`] exchange (the x-then-y two-phase pattern whose
+//! second phase carries the corner data, exactly as the Fortran
+//! `update_halo` does) and field [`gather`] for diagnostics/output.
+//!
+//! Every operation is counted ([`CommStats`]) so the performance model in
+//! `tea-perfmodel` can replay a run's exact communication structure on a
+//! modelled machine.
+//!
+//! ## Example: four ranks summing their ranks
+//!
+//! ```
+//! use tea_comms::{run_threaded, Communicator};
+//!
+//! let results = run_threaded(4, |comm| comm.allreduce_sum(comm.rank() as f64));
+//! assert!(results.iter().all(|&r| r == 6.0));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gather;
+pub mod halo;
+pub mod serial;
+pub mod stats;
+pub mod threaded;
+
+pub use gather::gather_to_root;
+pub use halo::{exchange_halo, exchange_halo_many, HaloLayout};
+pub use serial::SerialComm;
+pub use stats::{CommStats, StatsSnapshot};
+pub use threaded::{run_threaded, ThreadedComm};
+
+/// A rank's handle onto the simulated machine.
+///
+/// Mirrors the slice of MPI that TeaLeaf uses: rank/size introspection,
+/// deterministic allreduce, point-to-point sends for halo data, and a
+/// barrier. All collectives must be called by every rank in the same
+/// order (as in MPI).
+pub trait Communicator {
+    /// This rank's id in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Total number of ranks.
+    fn size(&self) -> usize;
+
+    /// Global sum of one value per rank. Deterministic: contributions are
+    /// combined in rank order regardless of arrival order.
+    fn allreduce_sum(&self, local: f64) -> f64 {
+        self.allreduce_sum_many(&[local])[0]
+    }
+
+    /// Fused global sum of several values (one latency for many dot
+    /// products — the optimisation the paper's future-work section
+    /// describes). Deterministic like [`Communicator::allreduce_sum`].
+    fn allreduce_sum_many(&self, locals: &[f64]) -> Vec<f64>;
+
+    /// Global minimum.
+    fn allreduce_min(&self, local: f64) -> f64;
+
+    /// Global maximum.
+    fn allreduce_max(&self, local: f64) -> f64;
+
+    /// Blocks until every rank reaches the barrier.
+    fn barrier(&self);
+
+    /// Non-blocking ordered send of `data` to rank `to`. `tag` must match
+    /// the receiver's expectation; the runtime asserts protocol agreement.
+    fn send(&self, to: usize, tag: u64, data: Vec<f64>);
+
+    /// Receives the next message from rank `from`, asserting it carries
+    /// `tag`. Blocks until the message arrives.
+    fn recv(&self, from: usize, tag: u64) -> Vec<f64>;
+
+    /// Communication counters for this rank.
+    fn stats(&self) -> &CommStats;
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    #[test]
+    fn serial_default_allreduce_uses_many() {
+        let c = SerialComm::new();
+        assert_eq!(c.allreduce_sum(2.5), 2.5);
+        assert_eq!(c.allreduce_sum_many(&[1.0, 2.0]), vec![1.0, 2.0]);
+    }
+}

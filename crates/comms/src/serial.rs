@@ -1,0 +1,96 @@
+//! Single-rank communicator.
+//!
+//! All collectives are identities and point-to-point messaging is a
+//! protocol error (a single tile has no neighbours). Lets the solver
+//! stack run without threads, which is also the configuration used for
+//! reference solutions in tests.
+
+use crate::stats::CommStats;
+use crate::Communicator;
+
+/// The trivial one-rank communicator.
+#[derive(Debug, Default)]
+pub struct SerialComm {
+    stats: CommStats,
+}
+
+impl SerialComm {
+    /// Creates a serial communicator.
+    pub fn new() -> Self {
+        SerialComm {
+            stats: CommStats::new(),
+        }
+    }
+}
+
+impl Communicator for SerialComm {
+    fn rank(&self) -> usize {
+        0
+    }
+
+    fn size(&self) -> usize {
+        1
+    }
+
+    fn allreduce_sum_many(&self, locals: &[f64]) -> Vec<f64> {
+        self.stats.count_reduction(locals.len());
+        locals.to_vec()
+    }
+
+    fn allreduce_min(&self, local: f64) -> f64 {
+        self.stats.count_reduction(1);
+        local
+    }
+
+    fn allreduce_max(&self, local: f64) -> f64 {
+        self.stats.count_reduction(1);
+        local
+    }
+
+    fn barrier(&self) {
+        self.stats.count_barrier();
+    }
+
+    fn send(&self, to: usize, _tag: u64, _data: Vec<f64>) {
+        panic!("SerialComm cannot send (to rank {to}): a single tile has no neighbours");
+    }
+
+    fn recv(&self, from: usize, _tag: u64) -> Vec<f64> {
+        panic!("SerialComm cannot recv (from rank {from}): a single tile has no neighbours");
+    }
+
+    fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_collectives() {
+        let c = SerialComm::new();
+        assert_eq!(c.rank(), 0);
+        assert_eq!(c.size(), 1);
+        assert_eq!(c.allreduce_sum(3.25), 3.25);
+        assert_eq!(c.allreduce_min(-1.0), -1.0);
+        assert_eq!(c.allreduce_max(-1.0), -1.0);
+        c.barrier();
+        let s = c.stats().snapshot();
+        assert_eq!(s.reductions, 3);
+        assert_eq!(s.barriers, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn send_panics() {
+        SerialComm::new().send(0, 0, vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn recv_panics() {
+        let _ = SerialComm::new().recv(0, 0);
+    }
+}

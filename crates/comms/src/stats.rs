@@ -1,0 +1,128 @@
+//! Communication counters.
+//!
+//! Every primitive on a [`crate::Communicator`] bumps these counters.
+//! They serve two purposes: validation (tests assert the matrix-powers
+//! kernel really sends fewer, larger messages) and calibration input for
+//! the `tea-perfmodel` scaling simulator.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic per-rank communication counters (interior mutability so the
+/// communicator can be shared immutably).
+#[derive(Debug, Default)]
+pub struct CommStats {
+    msgs_sent: AtomicU64,
+    doubles_sent: AtomicU64,
+    msgs_received: AtomicU64,
+    doubles_received: AtomicU64,
+    reductions: AtomicU64,
+    reduction_elements: AtomicU64,
+    barriers: AtomicU64,
+}
+
+/// A point-in-time copy of [`CommStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Point-to-point messages sent.
+    pub msgs_sent: u64,
+    /// Total `f64` payload elements sent.
+    pub doubles_sent: u64,
+    /// Point-to-point messages received.
+    pub msgs_received: u64,
+    /// Total `f64` payload elements received.
+    pub doubles_received: u64,
+    /// Number of allreduce operations (fused counts once).
+    pub reductions: u64,
+    /// Total scalar elements reduced.
+    pub reduction_elements: u64,
+    /// Barrier operations.
+    pub barriers: u64,
+}
+
+impl StatsSnapshot {
+    /// Payload bytes sent (8 bytes per `f64`).
+    pub fn bytes_sent(&self) -> u64 {
+        self.doubles_sent * 8
+    }
+}
+
+impl CommStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a sent message of `doubles` payload elements.
+    pub fn count_send(&self, doubles: usize) {
+        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.doubles_sent.fetch_add(doubles as u64, Ordering::Relaxed);
+    }
+
+    /// Records a received message of `doubles` payload elements.
+    pub fn count_recv(&self, doubles: usize) {
+        self.msgs_received.fetch_add(1, Ordering::Relaxed);
+        self.doubles_received
+            .fetch_add(doubles as u64, Ordering::Relaxed);
+    }
+
+    /// Records one allreduce of `elements` fused scalars.
+    pub fn count_reduction(&self, elements: usize) {
+        self.reductions.fetch_add(1, Ordering::Relaxed);
+        self.reduction_elements
+            .fetch_add(elements as u64, Ordering::Relaxed);
+    }
+
+    /// Records a barrier.
+    pub fn count_barrier(&self) {
+        self.barriers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            doubles_sent: self.doubles_sent.load(Ordering::Relaxed),
+            msgs_received: self.msgs_received.load(Ordering::Relaxed),
+            doubles_received: self.doubles_received.load(Ordering::Relaxed),
+            reductions: self.reductions.load(Ordering::Relaxed),
+            reduction_elements: self.reduction_elements.load(Ordering::Relaxed),
+            barriers: self.barriers.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.msgs_sent.store(0, Ordering::Relaxed);
+        self.doubles_sent.store(0, Ordering::Relaxed);
+        self.msgs_received.store(0, Ordering::Relaxed);
+        self.doubles_received.store(0, Ordering::Relaxed);
+        self.reductions.store(0, Ordering::Relaxed);
+        self.reduction_elements.store(0, Ordering::Relaxed);
+        self.barriers.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = CommStats::new();
+        s.count_send(100);
+        s.count_send(50);
+        s.count_recv(100);
+        s.count_reduction(3);
+        s.count_barrier();
+        let snap = s.snapshot();
+        assert_eq!(snap.msgs_sent, 2);
+        assert_eq!(snap.doubles_sent, 150);
+        assert_eq!(snap.bytes_sent(), 1200);
+        assert_eq!(snap.msgs_received, 1);
+        assert_eq!(snap.reductions, 1);
+        assert_eq!(snap.reduction_elements, 3);
+        assert_eq!(snap.barriers, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+}

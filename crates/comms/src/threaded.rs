@@ -1,0 +1,364 @@
+//! Multi-rank communicator backed by OS threads and channels.
+//!
+//! [`run_threaded`] spawns one thread per rank, hands each a
+//! [`ThreadedComm`] handle, and joins them — the in-process equivalent of
+//! `mpirun -n R`. Point-to-point messages travel over dedicated
+//! per-(sender, receiver) FIFO channels, so message order between a pair
+//! of ranks is preserved exactly as MPI guarantees for matching
+//! signatures.
+//!
+//! Reductions are **deterministic**: each rank deposits its contribution
+//! into a rank-indexed slot and the last arrival folds the slots in rank
+//! order. The result is therefore bit-identical from run to run for a
+//! fixed rank count — the property TeaLeaf relies on when validating
+//! decomposed runs against serial ones.
+
+use crate::stats::CommStats;
+use crate::Communicator;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// One point-to-point message.
+struct Msg {
+    tag: u64,
+    data: Vec<f64>,
+}
+
+/// Reduction / barrier rendezvous state (generation-counted).
+struct ReduceState {
+    generation: u64,
+    deposited: usize,
+    slots: Vec<Vec<f64>>,
+    result: Vec<f64>,
+}
+
+/// What to fold during a rendezvous.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ReduceOp {
+    Sum,
+    Min,
+    Max,
+    Barrier,
+}
+
+/// State shared by every rank of one simulated machine.
+struct Shared {
+    size: usize,
+    /// senders[from][to]
+    senders: Vec<Vec<Sender<Msg>>>,
+    /// receivers[to][from]
+    receivers: Vec<Vec<Receiver<Msg>>>,
+    reduce: Mutex<ReduceState>,
+    reduce_cv: Condvar,
+}
+
+impl Shared {
+    fn new(size: usize) -> Arc<Self> {
+        let mut senders: Vec<Vec<Sender<Msg>>> = (0..size).map(|_| Vec::new()).collect();
+        let mut receivers: Vec<Vec<Receiver<Msg>>> = (0..size).map(|_| Vec::new()).collect();
+        for from in 0..size {
+            for _to in 0..size {
+                let (tx, rx) = unbounded();
+                senders[from].push(tx);
+                receivers[from].push(rx);
+            }
+        }
+        // receivers currently indexed [from][to]; transpose to [to][from]
+        let mut transposed: Vec<Vec<Receiver<Msg>>> = (0..size).map(|_| Vec::new()).collect();
+        for row in receivers.into_iter() {
+            for (to, rx) in row.into_iter().enumerate() {
+                transposed[to].push(rx);
+            }
+        }
+        Arc::new(Shared {
+            size,
+            senders,
+            receivers: transposed,
+            reduce: Mutex::new(ReduceState {
+                generation: 0,
+                deposited: 0,
+                slots: vec![Vec::new(); size],
+                result: Vec::new(),
+            }),
+            reduce_cv: Condvar::new(),
+        })
+    }
+
+    /// Generic rendezvous: every rank deposits `locals`; the last arrival
+    /// folds all slots in rank order with `op`; everyone returns the
+    /// folded vector.
+    fn rendezvous(&self, rank: usize, locals: &[f64], op: ReduceOp) -> Vec<f64> {
+        let mut st = self.reduce.lock();
+        st.slots[rank] = locals.to_vec();
+        st.deposited += 1;
+        if st.deposited == self.size {
+            // fold in rank order for determinism
+            let mut result = vec![
+                match op {
+                    ReduceOp::Sum | ReduceOp::Barrier => 0.0,
+                    ReduceOp::Min => f64::INFINITY,
+                    ReduceOp::Max => f64::NEG_INFINITY,
+                };
+                locals.len()
+            ];
+            for r in 0..self.size {
+                debug_assert_eq!(
+                    st.slots[r].len(),
+                    locals.len(),
+                    "rank {r} joined a reduction with mismatched element count"
+                );
+                for (acc, &v) in result.iter_mut().zip(&st.slots[r]) {
+                    match op {
+                        ReduceOp::Sum | ReduceOp::Barrier => *acc += v,
+                        ReduceOp::Min => *acc = acc.min(v),
+                        ReduceOp::Max => *acc = acc.max(v),
+                    }
+                }
+            }
+            st.result = result.clone();
+            st.deposited = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.reduce_cv.notify_all();
+            result
+        } else {
+            let my_gen = st.generation;
+            while st.generation == my_gen {
+                self.reduce_cv.wait(&mut st);
+            }
+            st.result.clone()
+        }
+    }
+}
+
+/// Per-rank handle onto the threaded machine.
+pub struct ThreadedComm {
+    rank: usize,
+    shared: Arc<Shared>,
+    stats: CommStats,
+}
+
+impl std::fmt::Debug for ThreadedComm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedComm")
+            .field("rank", &self.rank)
+            .field("size", &self.shared.size)
+            .finish()
+    }
+}
+
+impl Communicator for ThreadedComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    fn allreduce_sum_many(&self, locals: &[f64]) -> Vec<f64> {
+        self.stats.count_reduction(locals.len());
+        self.shared.rendezvous(self.rank, locals, ReduceOp::Sum)
+    }
+
+    fn allreduce_min(&self, local: f64) -> f64 {
+        self.stats.count_reduction(1);
+        self.shared.rendezvous(self.rank, &[local], ReduceOp::Min)[0]
+    }
+
+    fn allreduce_max(&self, local: f64) -> f64 {
+        self.stats.count_reduction(1);
+        self.shared.rendezvous(self.rank, &[local], ReduceOp::Max)[0]
+    }
+
+    fn barrier(&self) {
+        self.stats.count_barrier();
+        self.shared.rendezvous(self.rank, &[], ReduceOp::Barrier);
+    }
+
+    fn send(&self, to: usize, tag: u64, data: Vec<f64>) {
+        assert!(to < self.shared.size, "send to rank {to} out of range");
+        assert_ne!(to, self.rank, "self-sends are a protocol error");
+        self.stats.count_send(data.len());
+        self.shared.senders[self.rank][to]
+            .send(Msg { tag, data })
+            .expect("receiver rank terminated while messages were in flight");
+    }
+
+    fn recv(&self, from: usize, tag: u64) -> Vec<f64> {
+        assert!(from < self.shared.size, "recv from rank {from} out of range");
+        let msg = self.shared.receivers[self.rank][from]
+            .recv()
+            .expect("sender rank terminated before sending expected message");
+        assert_eq!(
+            msg.tag, tag,
+            "protocol mismatch: rank {} expected tag {tag} from {from}, got {}",
+            self.rank, msg.tag
+        );
+        self.stats.count_recv(msg.data.len());
+        msg.data
+    }
+
+    fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+}
+
+/// Runs `f` on `ranks` threads, each with its own [`ThreadedComm`].
+/// Returns the per-rank results in rank order.
+///
+/// Panics in any rank propagate after all threads complete or unwind
+/// (matching `mpirun` aborting the job).
+pub fn run_threaded<T, F>(ranks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&ThreadedComm) -> T + Sync,
+{
+    assert!(ranks > 0, "need at least one rank");
+    let shared = Shared::new(ranks);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..ranks)
+            .map(|rank| {
+                let shared = Arc::clone(&shared);
+                let f = &f;
+                scope.spawn(move || {
+                    let comm = ThreadedComm {
+                        rank,
+                        shared,
+                        stats: CommStats::new(),
+                    };
+                    f(&comm)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allreduce_sum_is_deterministic_and_correct() {
+        for _ in 0..20 {
+            let results = run_threaded(5, |c| c.allreduce_sum((c.rank() + 1) as f64));
+            assert!(results.iter().all(|&r| r == 15.0));
+        }
+    }
+
+    #[test]
+    fn min_max_reductions() {
+        let mins = run_threaded(4, |c| c.allreduce_min(c.rank() as f64 - 1.5));
+        assert!(mins.iter().all(|&r| r == -1.5));
+        let maxs = run_threaded(4, |c| c.allreduce_max(c.rank() as f64));
+        assert!(maxs.iter().all(|&r| r == 3.0));
+    }
+
+    #[test]
+    fn fused_reduction_matches_individual() {
+        let fused = run_threaded(3, |c| {
+            c.allreduce_sum_many(&[c.rank() as f64, 2.0 * c.rank() as f64, 1.0])
+        });
+        for r in fused {
+            assert_eq!(r, vec![3.0, 6.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn repeated_reductions_stay_in_sync() {
+        let results = run_threaded(4, |c| {
+            let mut acc = 0.0;
+            for i in 0..100 {
+                acc += c.allreduce_sum(i as f64 + c.rank() as f64);
+            }
+            acc
+        });
+        let expected: f64 = (0..100).map(|i| 4.0 * i as f64 + 6.0).sum();
+        assert!(results.iter().all(|&r| r == expected));
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        let results = run_threaded(4, |c| {
+            let next = (c.rank() + 1) % 4;
+            let prev = (c.rank() + 3) % 4;
+            c.send(next, 7, vec![c.rank() as f64]);
+            let got = c.recv(prev, 7);
+            got[0]
+        });
+        assert_eq!(results, vec![3.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn message_order_preserved_per_pair() {
+        let results = run_threaded(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..50 {
+                    c.send(1, i, vec![i as f64]);
+                }
+                0.0
+            } else {
+                let mut last = -1.0;
+                for i in 0..50 {
+                    let d = c.recv(0, i);
+                    assert!(d[0] > last);
+                    last = d[0];
+                }
+                last
+            }
+        });
+        assert_eq!(results[1], 49.0);
+    }
+
+    #[test]
+    fn barrier_synchronises() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let before = AtomicUsize::new(0);
+        run_threaded(4, |c| {
+            before.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            // after the barrier every rank must observe all 4 increments
+            assert_eq!(before.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn stats_count_messages() {
+        let snaps = run_threaded(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 0, vec![1.0, 2.0, 3.0]);
+            } else {
+                let _ = c.recv(0, 0);
+            }
+            c.barrier();
+            c.stats().snapshot()
+        });
+        assert_eq!(snaps[0].msgs_sent, 1);
+        assert_eq!(snaps[0].doubles_sent, 3);
+        assert_eq!(snaps[1].msgs_received, 1);
+        assert_eq!(snaps[1].doubles_received, 3);
+        assert_eq!(snaps[0].barriers, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tag_mismatch_is_detected() {
+        run_threaded(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, vec![0.0]);
+            } else {
+                let _ = c.recv(0, 2);
+            }
+        });
+    }
+
+    #[test]
+    fn single_rank_machine_works() {
+        let r = run_threaded(1, |c| c.allreduce_sum(5.0));
+        assert_eq!(r, vec![5.0]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Single-reduction CG — the paper's §VII future-work item, implemented.
+//!
+//! > "The Krylov solver can be restructured so that the multiple dot
+//! > products are combined into a single communication step and the
+//! > communications can be overlapped with the application of the
+//! > preconditioner."
+//!
+//! This is the Chronopoulos–Gear reformulation of preconditioned CG: per
+//! iteration it computes both scalars `γ = r·z` and `δ = z·Az` from the
+//! *same* state and reduces them in **one** fused allreduce (one network
+//! latency instead of two), at the cost of one extra vector recurrence
+//! (`s = A·p` is maintained by the same update as `p`). Mathematically
+//! equivalent to CG in exact arithmetic; in floating point it can drift
+//! a few ULPs per iteration, which the tests bound.
+
+use crate::precon::Preconditioner;
+use crate::solver::{SolveOpts, Tile, Workspace};
+use crate::trace::{SolveResult, SolveTrace};
+use crate::vector;
+use tea_comms::Communicator;
+use tea_mesh::Field2D;
+
+/// Solves `A u = b` by single-reduction (Chronopoulos–Gear)
+/// preconditioned CG. Same contract as [`crate::cg::cg_solve`]; uses one
+/// fused allreduce per iteration.
+pub fn cg_fused_solve<C: Communicator + ?Sized>(
+    tile: &Tile<'_, C>,
+    u: &mut Field2D,
+    b: &Field2D,
+    precon: &Preconditioner,
+    ws: &mut Workspace,
+    opts: SolveOpts,
+) -> SolveResult {
+    let mut trace = SolveTrace::new("CG-fused");
+    let bounds = &tile.op.bounds;
+
+    // r = b - A u
+    tile.exchange(&mut [u], 1, &mut trace);
+    tile.op.residual(u, b, &mut ws.r, 0, &mut trace);
+
+    // z = M^{-1} r ; w = A z  (ws.rr doubles as w)
+    precon.apply(&ws.r, &mut ws.z, bounds, 0, &mut trace);
+    tile.exchange(&mut [&mut ws.z], 1, &mut trace);
+    tile.op.apply(&ws.z, &mut ws.rr, 0, &mut trace);
+
+    let gamma_local = vector::dot_local(&ws.r, &ws.z, bounds, &mut trace);
+    let delta_local = vector::dot_local(&ws.rr, &ws.z, bounds, &mut trace);
+    let reduced = tile.reduce_sum_many(&[gamma_local, delta_local], &mut trace);
+    let (mut gamma, delta) = (reduced[0], reduced[1]);
+
+    let initial_residual = gamma.max(0.0).sqrt();
+    if initial_residual == 0.0 {
+        return SolveResult {
+            converged: true,
+            iterations: 0,
+            initial_residual,
+            final_residual: 0.0,
+            trace,
+        };
+    }
+    let target = opts.eps * initial_residual;
+
+    // p = z ; s = w ; alpha = γ/δ
+    vector::copy(&mut ws.p, &ws.z, bounds, 0, &mut trace);
+    vector::copy(&mut ws.sd, &ws.rr, bounds, 0, &mut trace); // s lives in sd
+    let mut alpha = gamma / delta;
+
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut final_residual = initial_residual;
+
+    while iterations < opts.max_iters {
+        iterations += 1;
+        trace.outer_iterations += 1;
+
+        vector::axpy(u, alpha, &ws.p, bounds, 0, &mut trace);
+        vector::axpy(&mut ws.r, -alpha, &ws.sd, bounds, 0, &mut trace);
+
+        precon.apply(&ws.r, &mut ws.z, bounds, 0, &mut trace);
+        tile.exchange(&mut [&mut ws.z], 1, &mut trace);
+        tile.op.apply(&ws.z, &mut ws.rr, 0, &mut trace);
+
+        // the single fused reduction of the iteration
+        let g_local = vector::dot_local(&ws.r, &ws.z, bounds, &mut trace);
+        let d_local = vector::dot_local(&ws.rr, &ws.z, bounds, &mut trace);
+        let red = tile.reduce_sum_many(&[g_local, d_local], &mut trace);
+        let (gamma_new, delta_new) = (red[0], red[1]);
+
+        final_residual = gamma_new.max(0.0).sqrt();
+        if final_residual <= target {
+            converged = true;
+            break;
+        }
+
+        let beta = gamma_new / gamma;
+        alpha = gamma_new / (delta_new - beta * gamma_new / alpha);
+        vector::xpay(&mut ws.p, &ws.z, beta, bounds, 0, &mut trace);
+        vector::xpay(&mut ws.sd, &ws.rr, beta, bounds, 0, &mut trace);
+        gamma = gamma_new;
+    }
+
+    SolveResult {
+        converged,
+        iterations,
+        initial_residual,
+        final_residual,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::cg_solve;
+    use crate::ops::{TileBounds, TileOperator};
+    use crate::precon::{PreconKind, Preconditioner};
+    use tea_comms::{HaloLayout, SerialComm};
+    use tea_mesh::{
+        crooked_pipe, timestep_scalings, Coefficients, Decomposition2D, Mesh2D,
+    };
+
+    fn serial_problem(n: usize) -> (TileOperator, Field2D) {
+        let p = crooked_pipe(n);
+        let mesh = Mesh2D::serial(n, n, p.extent);
+        let mut density = Field2D::new(n, n, 1);
+        let mut energy = Field2D::new(n, n, 1);
+        p.apply_states(&mesh, &mut density, &mut energy);
+        let (rx, ry) = timestep_scalings(&mesh, 0.04);
+        let coeffs = Coefficients::assemble(&mesh, &density, p.coefficient, rx, ry, 1);
+        let op = TileOperator::new(coeffs, TileBounds::serial(n, n));
+        let mut b = Field2D::new(n, n, 1);
+        for k in 0..n as isize {
+            for j in 0..n as isize {
+                b.set(j, k, density.at(j, k) * energy.at(j, k));
+            }
+        }
+        (op, b)
+    }
+
+    #[test]
+    fn fused_cg_converges_and_matches_cg() {
+        let n = 32;
+        let (op, b) = serial_problem(n);
+        let comm = SerialComm::new();
+        let d = Decomposition2D::with_grid(n, n, 1, 1);
+        let layout = HaloLayout::new(&d, 0);
+        let tile = Tile::new(&op, &layout, &comm);
+        let m = Preconditioner::setup(PreconKind::None, &op, 0);
+        let opts = SolveOpts::with_eps(1e-10);
+
+        let mut ws = Workspace::new(n, n, 1);
+        let mut u1 = b.clone();
+        let plain = cg_solve(&tile, &mut u1, &b, &m, &mut ws, opts);
+        let mut u2 = b.clone();
+        let fused = cg_fused_solve(&tile, &mut u2, &b, &m, &mut ws, opts);
+
+        assert!(plain.converged && fused.converged);
+        // same Krylov trajectory up to rounding: iteration counts within
+        // a few of each other
+        let diff = plain.iterations.abs_diff(fused.iterations);
+        assert!(
+            diff <= 3,
+            "iteration mismatch: {} vs {}",
+            plain.iterations,
+            fused.iterations
+        );
+        for k in 0..n as isize {
+            for j in 0..n as isize {
+                let (a, bb) = (u1.at(j, k), u2.at(j, k));
+                assert!(
+                    (a - bb).abs() <= 1e-6 * bb.abs().max(1e-12),
+                    "solutions differ at ({j},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_cg_halves_reduction_latencies() {
+        let n = 24;
+        let (op, b) = serial_problem(n);
+        let comm = SerialComm::new();
+        let d = Decomposition2D::with_grid(n, n, 1, 1);
+        let layout = HaloLayout::new(&d, 0);
+        let tile = Tile::new(&op, &layout, &comm);
+        let m = Preconditioner::setup(PreconKind::None, &op, 0);
+        let opts = SolveOpts::with_eps(1e-9);
+
+        let mut ws = Workspace::new(n, n, 1);
+        let mut u1 = b.clone();
+        let plain = cg_solve(&tile, &mut u1, &b, &m, &mut ws, opts);
+        let mut u2 = b.clone();
+        let fused = cg_fused_solve(&tile, &mut u2, &b, &m, &mut ws, opts);
+
+        // plain: 2 reductions/iteration; fused: 1 (of 2 elements)
+        let plain_rate = plain.trace.reductions as f64 / plain.iterations as f64;
+        let fused_rate = fused.trace.reductions as f64 / fused.iterations as f64;
+        assert!(plain_rate > 1.9, "plain CG rate {plain_rate}");
+        assert!(fused_rate < 1.1, "fused CG rate {fused_rate}");
+        // and it carries 2 scalars per reduction
+        assert_eq!(
+            fused.trace.reduction_elements,
+            2 * fused.trace.reductions
+        );
+    }
+
+    #[test]
+    fn fused_cg_with_block_jacobi() {
+        let n = 24;
+        let (op, b) = serial_problem(n);
+        let comm = SerialComm::new();
+        let d = Decomposition2D::with_grid(n, n, 1, 1);
+        let layout = HaloLayout::new(&d, 0);
+        let tile = Tile::new(&op, &layout, &comm);
+        let m = Preconditioner::setup(PreconKind::BlockJacobi, &op, 0);
+        let mut ws = Workspace::new(n, n, 1);
+        let mut u = b.clone();
+        let res = cg_fused_solve(&tile, &mut u, &b, &m, &mut ws, SolveOpts::with_eps(1e-9));
+        assert!(res.converged);
+        let mut t = SolveTrace::new("check");
+        let mut r = Field2D::new(n, n, 1);
+        tile.op.residual(&u, &b, &mut r, 0, &mut t);
+        assert!(r.interior_norm() / b.interior_norm() < 1e-6);
+    }
+
+    #[test]
+    fn zero_rhs_immediate() {
+        let n = 8;
+        let (op, _) = serial_problem(n);
+        let comm = SerialComm::new();
+        let d = Decomposition2D::with_grid(n, n, 1, 1);
+        let layout = HaloLayout::new(&d, 0);
+        let tile = Tile::new(&op, &layout, &comm);
+        let m = Preconditioner::setup(PreconKind::None, &op, 0);
+        let mut ws = Workspace::new(n, n, 1);
+        let zero = Field2D::new(n, n, 1);
+        let mut u = Field2D::new(n, n, 1);
+        let res = cg_fused_solve(&tile, &mut u, &zero, &m, &mut ws, SolveOpts::default());
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! # tea-core — matrix-free iterative sparse linear solvers
+//!
+//! The primary contribution of the TeaLeaf paper, reimplemented in Rust:
+//! matrix-free 5-point diffusion operators ([`ops`]), the solver family
+//! (Jacobi, CG, Chebyshev, CPPCG — [`jacobi`], [`cg`], [`chebyshev`],
+//! [`ppcg`]), preconditioners including the zero-communication 4×1-strip
+//! block-Jacobi ([`precon`]), Lanczos/Sturm eigenvalue estimation
+//! ([`eigen`]), and the matrix-powers deep-halo schedule inside CPPCG.
+//!
+//! Every solve produces a [`SolveTrace`]: the machine-independent
+//! protocol (stencil sweeps by extension, halo exchanges by depth, global
+//! reductions) that `tea-perfmodel` replays on modelled petascale
+//! machines to regenerate the paper's strong-scaling figures.
+//!
+//! ## Example: CG on the crooked pipe
+//!
+//! ```
+//! use tea_core::{
+//!     cg_solve, PreconKind, Preconditioner, SolveOpts, Tile, TileBounds,
+//!     TileOperator, Workspace,
+//! };
+//! use tea_comms::{HaloLayout, SerialComm};
+//! use tea_mesh::{crooked_pipe, timestep_scalings, Coefficients, Decomposition2D, Field2D, Mesh2D};
+//!
+//! let n = 24;
+//! let problem = crooked_pipe(n);
+//! let mesh = Mesh2D::serial(n, n, problem.extent);
+//! let mut density = Field2D::new(n, n, 1);
+//! let mut energy = Field2D::new(n, n, 1);
+//! problem.apply_states(&mesh, &mut density, &mut energy);
+//! let (rx, ry) = timestep_scalings(&mesh, 0.04);
+//! let coeffs = Coefficients::assemble(&mesh, &density, problem.coefficient, rx, ry, 1);
+//! let op = TileOperator::new(coeffs, TileBounds::serial(n, n));
+//!
+//! // b = u0 = density * energy (TeaLeaf's right-hand side), warm start u = b
+//! let mut b = Field2D::new(n, n, 1);
+//! for k in 0..n as isize {
+//!     for j in 0..n as isize {
+//!         b.set(j, k, density.at(j, k) * energy.at(j, k));
+//!     }
+//! }
+//! let mut u = b.clone();
+//!
+//! let decomp = Decomposition2D::with_grid(n, n, 1, 1);
+//! let layout = HaloLayout::new(&decomp, 0);
+//! let comm = SerialComm::new();
+//! let tile = Tile::new(&op, &layout, &comm);
+//! let precon = Preconditioner::setup(PreconKind::BlockJacobi, &op, 0);
+//! let mut ws = Workspace::new(n, n, 1);
+//! let result = cg_solve(&tile, &mut u, &b, &precon, &mut ws, SolveOpts::default());
+//! assert!(result.converged);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cg;
+pub mod cg_fused;
+pub mod chebyshev;
+pub mod eigen;
+pub mod jacobi;
+pub mod ops;
+pub mod ops3d;
+pub mod ppcg;
+pub mod precon;
+pub mod solver;
+pub mod trace;
+pub mod vector;
+
+pub use cg::{cg_solve, cg_solve_recording, CgCoefficients};
+pub use cg_fused::cg_fused_solve;
+pub use chebyshev::{cg_iteration_bound, chebyshev_solve, ChebyConstants, ChebyOpts};
+pub use eigen::{
+    estimate_from_cg, lanczos_tridiagonal, sturm_count, tridiag_all_eigenvalues,
+    tridiag_extreme_eigenvalues, EigenEstimate,
+};
+pub use jacobi::jacobi_solve;
+pub use ops::{TileBounds, TileOperator, PAR_THRESHOLD};
+pub use ops3d::{cg_solve_3d, jacobi_solve_3d, TileOperator3D};
+pub use ppcg::{ppcg_solve, PpcgOpts};
+pub use precon::{BlockJacobi, PreconKind, Preconditioner, DEFAULT_BLOCK_STRIP};
+pub use solver::{SolveOpts, Tile, Workspace};
+pub use trace::{KernelCounts, SolveResult, SolveTrace};

@@ -1,0 +1,544 @@
+//! The matrix-free 5-point operator — the paper's Listing 1.
+//!
+//! `w = A·p` with
+//!
+//! ```text
+//! w(j,k) = (1 + (Ky(j,k+1)+Ky(j,k)) + (Kx(j+1,k)+Kx(j,k))) * p(j,k)
+//!        -  (Ky(j,k+1)*p(j,k+1) + Ky(j,k)*p(j,k-1))
+//!        -  (Kx(j+1,k)*p(j+1,k) + Kx(j,k)*p(j-1,k))
+//! ```
+//!
+//! where `Kx`/`Ky` are the pre-scaled face coefficients. `A` is symmetric
+//! positive definite and diagonally dominant by construction: it equals
+//! `I + Σ_faces K_f (e_a - e_b)(e_a - e_b)ᵀ` over interior faces.
+//!
+//! Every kernel takes an *extension* argument: how many cells beyond the
+//! tile interior to sweep (clamped at global domain boundaries). The
+//! matrix-powers kernel calls the same code with shrinking extensions
+//! (paper Fig. 2); extension 0 is the ordinary interior sweep.
+//!
+//! Row sweeps are data-parallel (rayon) above a size threshold. All
+//! reductions are computed as per-row partials folded in row order, so
+//! results are bit-identical run to run regardless of thread scheduling.
+
+use crate::trace::SolveTrace;
+use rayon::prelude::*;
+use tea_mesh::{Coefficients, Field2D, Mesh2D};
+
+/// Below this many cells a sweep stays serial (rayon overhead dominates).
+pub const PAR_THRESHOLD: usize = 1 << 15;
+
+/// Per-side maximum extension of a tile's sweeps.
+///
+/// Interior tile edges allow extension up to the allocated halo; edges on
+/// the global domain boundary allow none (there are no cells beyond the
+/// boundary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileBounds {
+    nx: usize,
+    ny: usize,
+    /// max extension West, East, South, North.
+    max_ext: [usize; 4],
+}
+
+impl TileBounds {
+    /// Derives bounds for `mesh`'s tile with `halo` allocated ghost
+    /// layers.
+    pub fn new(mesh: &Mesh2D, halo: usize) -> Self {
+        let sub = mesh.subdomain();
+        let (gnx, gny) = mesh.global_cells();
+        let west = if sub.offset.0 == 0 { 0 } else { halo };
+        let south = if sub.offset.1 == 0 { 0 } else { halo };
+        let east = if sub.offset.0 + sub.nx == gnx { 0 } else { halo };
+        let north = if sub.offset.1 + sub.ny == gny { 0 } else { halo };
+        TileBounds {
+            nx: sub.nx,
+            ny: sub.ny,
+            max_ext: [west, east, south, north],
+        }
+    }
+
+    /// Bounds for a serial (whole-domain) tile: no extensions anywhere.
+    pub fn serial(nx: usize, ny: usize) -> Self {
+        TileBounds {
+            nx,
+            ny,
+            max_ext: [0; 4],
+        }
+    }
+
+    /// Interior extent.
+    pub fn tile(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Sweep ranges `(x_lo, x_hi, y_lo, y_hi)` for extension `ext`,
+    /// clamped per side.
+    pub fn range(&self, ext: usize) -> (isize, isize, isize, isize) {
+        let w = ext.min(self.max_ext[0]) as isize;
+        let e = ext.min(self.max_ext[1]) as isize;
+        let s = ext.min(self.max_ext[2]) as isize;
+        let n = ext.min(self.max_ext[3]) as isize;
+        (-w, self.nx as isize + e, -s, self.ny as isize + n)
+    }
+
+    /// Number of cells swept at extension `ext`.
+    pub fn cells(&self, ext: usize) -> usize {
+        let (x_lo, x_hi, y_lo, y_hi) = self.range(ext);
+        ((x_hi - x_lo) * (y_hi - y_lo)) as usize
+    }
+}
+
+/// The assembled matrix-free operator for one tile.
+#[derive(Debug, Clone)]
+pub struct TileOperator {
+    /// Pre-scaled face coefficients.
+    pub coeffs: Coefficients,
+    /// Sweep bounds.
+    pub bounds: TileBounds,
+}
+
+impl TileOperator {
+    /// Builds the operator from assembled coefficients and bounds.
+    ///
+    /// # Panics
+    /// Panics if coefficient extents disagree with the bounds.
+    pub fn new(coeffs: Coefficients, bounds: TileBounds) -> Self {
+        assert_eq!(coeffs.kx.nx(), bounds.nx, "coefficients/bounds mismatch");
+        assert_eq!(coeffs.kx.ny(), bounds.ny, "coefficients/bounds mismatch");
+        TileOperator { coeffs, bounds }
+    }
+
+    /// `w = A·p` over extension `ext`.
+    ///
+    /// Requires `p` valid (exchanged or interior-complete) to extension
+    /// `ext + 1` and field halos of at least `ext + 1`.
+    pub fn apply(&self, p: &Field2D, w: &mut Field2D, ext: usize, trace: &mut SolveTrace) {
+        trace.spmv.record(ext);
+        self.apply_inner(p, w, ext, false);
+    }
+
+    /// Fused `w = A·p; return local p·w` over the tile interior — the
+    /// paper's Listing 1, including the reduction variable. The caller is
+    /// responsible for the global reduction.
+    pub fn apply_fused_dot(
+        &self,
+        p: &Field2D,
+        w: &mut Field2D,
+        trace: &mut SolveTrace,
+    ) -> f64 {
+        trace.spmv.record(0);
+        self.apply_inner(p, w, 0, true)
+    }
+
+    /// Writes the operator diagonal
+    /// `1 + (Ky(j,k+1)+Ky(j,k)) + (Kx(j+1,k)+Kx(j,k))` into `d` over
+    /// extension `ext`.
+    pub fn diagonal_into(&self, d: &mut Field2D, ext: usize) {
+        let (x_lo, x_hi, y_lo, y_hi) = self.bounds.range(ext);
+        let n = (x_hi - x_lo) as usize;
+        let kx = &self.coeffs.kx;
+        let ky = &self.coeffs.ky;
+        for k in y_lo..y_hi {
+            let kxr = kx.row(k, x_lo, x_hi + 1);
+            let kyc = ky.row(k, x_lo, x_hi);
+            let kyn = ky.row(k + 1, x_lo, x_hi);
+            let dr = d.row_mut(k, x_lo, x_hi);
+            for i in 0..n {
+                dr[i] = 1.0 + (kyn[i] + kyc[i]) + (kxr[i + 1] + kxr[i]);
+            }
+        }
+    }
+
+    /// Local residual kernel: `r = b - A·u` over extension `ext`, fused
+    /// into a single sweep. Requires `u` valid to `ext + 1` and `b` valid
+    /// to `ext`.
+    pub fn residual(
+        &self,
+        u: &Field2D,
+        b: &Field2D,
+        r: &mut Field2D,
+        ext: usize,
+        trace: &mut SolveTrace,
+    ) {
+        trace.spmv.record(ext);
+        let (x_lo, x_hi, y_lo, y_hi) = self.bounds.range(ext);
+        let n = (x_hi - x_lo) as usize;
+        let kx = &self.coeffs.kx;
+        let ky = &self.coeffs.ky;
+        let stride = r.stride();
+        let h = r.halo() as isize;
+        let row_body = |k: isize, rr: &mut [f64]| {
+            let pc = u.row(k, x_lo - 1, x_hi + 1);
+            let ps = u.row(k - 1, x_lo, x_hi);
+            let pn = u.row(k + 1, x_lo, x_hi);
+            let br = b.row(k, x_lo, x_hi);
+            let kxr = kx.row(k, x_lo, x_hi + 1);
+            let kyc = ky.row(k, x_lo, x_hi);
+            let kyn = ky.row(k + 1, x_lo, x_hi);
+            for i in 0..n {
+                let ap = (1.0 + (kyn[i] + kyc[i]) + (kxr[i + 1] + kxr[i])) * pc[i + 1]
+                    - (kyn[i] * pn[i] + kyc[i] * ps[i])
+                    - (kxr[i + 1] * pc[i + 2] + kxr[i] * pc[i]);
+                rr[i] = br[i] - ap;
+            }
+        };
+        if self.bounds.cells(ext) >= PAR_THRESHOLD {
+            let x0 = (x_lo + h) as usize;
+            r.raw_mut()
+                .par_chunks_mut(stride)
+                .enumerate()
+                .for_each(|(row, chunk)| {
+                    let k = row as isize - h;
+                    if k >= y_lo && k < y_hi {
+                        row_body(k, &mut chunk[x0..x0 + n]);
+                    }
+                });
+        } else {
+            for k in y_lo..y_hi {
+                row_body(k, r.row_mut(k, x_lo, x_hi));
+            }
+        }
+    }
+
+    fn apply_inner(&self, p: &Field2D, w: &mut Field2D, ext: usize, fused_dot: bool) -> f64 {
+        let (x_lo, x_hi, y_lo, y_hi) = self.bounds.range(ext);
+        let n = (x_hi - x_lo) as usize;
+        let kx = &self.coeffs.kx;
+        let ky = &self.coeffs.ky;
+        debug_assert!(
+            p.halo() as isize > ext as isize,
+            "p halo too shallow for extension {ext}"
+        );
+        let stride = w.stride();
+        let h = w.halo() as isize;
+        let row_body = |k: isize, wr: &mut [f64]| -> f64 {
+            let pc = p.row(k, x_lo - 1, x_hi + 1);
+            let ps = p.row(k - 1, x_lo, x_hi);
+            let pn = p.row(k + 1, x_lo, x_hi);
+            let kxr = kx.row(k, x_lo, x_hi + 1);
+            let kyc = ky.row(k, x_lo, x_hi);
+            let kyn = ky.row(k + 1, x_lo, x_hi);
+            let mut partial = 0.0;
+            for i in 0..n {
+                let v = (1.0 + (kyn[i] + kyc[i]) + (kxr[i + 1] + kxr[i])) * pc[i + 1]
+                    - (kyn[i] * pn[i] + kyc[i] * ps[i])
+                    - (kxr[i + 1] * pc[i + 2] + kxr[i] * pc[i]);
+                wr[i] = v;
+                partial += pc[i + 1] * v;
+            }
+            partial
+        };
+        if self.bounds.cells(ext) >= PAR_THRESHOLD {
+            let x0 = (x_lo + h) as usize;
+            let nrows = w.raw().len() / stride;
+            let mut partials = vec![0.0f64; nrows];
+            w.raw_mut()
+                .par_chunks_mut(stride)
+                .zip(partials.par_iter_mut())
+                .enumerate()
+                .for_each(|(row, (chunk, slot))| {
+                    let k = row as isize - h;
+                    if k >= y_lo && k < y_hi {
+                        *slot = row_body(k, &mut chunk[x0..x0 + n]);
+                    }
+                });
+            if fused_dot {
+                // fold per-row partials in row order: deterministic
+                partials.iter().sum()
+            } else {
+                0.0
+            }
+        } else {
+            let mut acc = 0.0;
+            for k in y_lo..y_hi {
+                acc += row_body(k, w.row_mut(k, x_lo, x_hi));
+            }
+            if fused_dot {
+                acc
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_mesh::{
+        crooked_pipe, timestep_scalings, Coefficient, Decomposition2D, Extent2D, Mesh2D,
+    };
+
+    fn uniform_op(n: usize, halo: usize, kval: f64) -> TileOperator {
+        // build an operator with uniform interior coefficients kval
+        let mesh = Mesh2D::serial(n, n, Extent2D::unit());
+        let density = Field2D::filled(n, n, halo, 1.0 / kval);
+        let coeffs = Coefficients::assemble(
+            &mesh,
+            &density,
+            Coefficient::RecipConductivity,
+            1.0,
+            1.0,
+            halo,
+        );
+        TileOperator::new(coeffs, TileBounds::serial(n, n))
+    }
+
+    fn crooked_op(n: usize, halo: usize) -> TileOperator {
+        let p = crooked_pipe(n);
+        let mesh = Mesh2D::serial(n, n, p.extent);
+        let mut density = Field2D::new(n, n, halo);
+        let mut energy = Field2D::new(n, n, halo);
+        p.apply_states(&mesh, &mut density, &mut energy);
+        let (rx, ry) = timestep_scalings(&mesh, 0.04);
+        let coeffs = Coefficients::assemble(&mesh, &density, p.coefficient, rx, ry, halo);
+        TileOperator::new(coeffs, TileBounds::serial(n, n))
+    }
+
+    /// Dense matvec reference for small grids.
+    fn dense_apply(op: &TileOperator, p: &Field2D) -> Field2D {
+        let n = p.nx();
+        let mut w = Field2D::new(n, p.ny(), p.halo());
+        let kx = &op.coeffs.kx;
+        let ky = &op.coeffs.ky;
+        for k in 0..p.ny() as isize {
+            for j in 0..n as isize {
+                // identical floating-point association to the kernel so
+                // results compare bitwise
+                let diag =
+                    1.0 + (ky.at(j, k + 1) + ky.at(j, k)) + (kx.at(j + 1, k) + kx.at(j, k));
+                let v = diag * p.at(j, k)
+                    - (ky.at(j, k + 1) * p.at(j, k + 1) + ky.at(j, k) * p.at(j, k - 1))
+                    - (kx.at(j + 1, k) * p.at(j + 1, k) + kx.at(j, k) * p.at(j - 1, k));
+                w.set(j, k, v);
+            }
+        }
+        w
+    }
+
+    #[test]
+    fn apply_matches_reference() {
+        let op = crooked_op(16, 2);
+        let mut p = Field2D::new(16, 16, 2);
+        for k in 0..16isize {
+            for j in 0..16isize {
+                p.set(j, k, ((j * 31 + k * 17) % 7) as f64 - 3.0);
+            }
+        }
+        let mut w = Field2D::new(16, 16, 2);
+        let mut t = SolveTrace::new("test");
+        op.apply(&p, &mut w, 0, &mut t);
+        let wref = dense_apply(&op, &p);
+        for k in 0..16isize {
+            for j in 0..16isize {
+                assert!(
+                    (w.at(j, k) - wref.at(j, k)).abs() < 1e-13,
+                    "mismatch at ({j},{k}): {} vs {}",
+                    w.at(j, k),
+                    wref.at(j, k)
+                );
+            }
+        }
+        assert_eq!(t.spmv.total(), 1);
+    }
+
+    #[test]
+    fn operator_is_symmetric() {
+        // <Ap, q> == <p, Aq> over random-ish vectors
+        let op = crooked_op(12, 1);
+        let mut t = SolveTrace::new("t");
+        let mut p = Field2D::new(12, 12, 1);
+        let mut q = Field2D::new(12, 12, 1);
+        for k in 0..12isize {
+            for j in 0..12isize {
+                p.set(j, k, ((3 * j - 2 * k) % 5) as f64);
+                q.set(j, k, ((j * k + 1) % 4) as f64 - 1.5);
+            }
+        }
+        let mut ap = Field2D::new(12, 12, 1);
+        let mut aq = Field2D::new(12, 12, 1);
+        op.apply(&p, &mut ap, 0, &mut t);
+        op.apply(&q, &mut aq, 0, &mut t);
+        let lhs = ap.interior_dot(&q);
+        let rhs = p.interior_dot(&aq);
+        assert!(
+            (lhs - rhs).abs() <= 1e-12 * lhs.abs().max(rhs.abs()).max(1.0),
+            "asymmetry: {lhs} vs {rhs}"
+        );
+    }
+
+    #[test]
+    fn constant_vector_maps_to_itself() {
+        // rows sum to 1 (zero-flux boundaries + diagonal 1 + sum of faces)
+        let op = crooked_op(20, 1);
+        let mut t = SolveTrace::new("t");
+        let p = Field2D::filled(20, 20, 1, 1.0);
+        let mut w = Field2D::new(20, 20, 1);
+        op.apply(&p, &mut w, 0, &mut t);
+        for k in 0..20isize {
+            for j in 0..20isize {
+                assert!(
+                    (w.at(j, k) - 1.0).abs() < 1e-12,
+                    "row sum at ({j},{k}) = {}",
+                    w.at(j, k)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_dot_matches_separate() {
+        let op = uniform_op(10, 1, 0.7);
+        let mut t = SolveTrace::new("t");
+        let mut p = Field2D::new(10, 10, 1);
+        for k in 0..10isize {
+            for j in 0..10isize {
+                p.set(j, k, (j - k) as f64 / 3.0);
+            }
+        }
+        let mut w1 = Field2D::new(10, 10, 1);
+        let pw = op.apply_fused_dot(&p, &mut w1, &mut t);
+        let mut w2 = Field2D::new(10, 10, 1);
+        op.apply(&p, &mut w2, 0, &mut t);
+        assert!((pw - p.interior_dot(&w2)).abs() < 1e-12);
+        for k in 0..10isize {
+            for j in 0..10isize {
+                assert_eq!(w1.at(j, k), w2.at(j, k));
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_is_dominant_and_positive() {
+        let op = crooked_op(16, 1);
+        let mut d = Field2D::new(16, 16, 1);
+        op.diagonal_into(&mut d, 0);
+        let kx = &op.coeffs.kx;
+        let ky = &op.coeffs.ky;
+        for k in 0..16isize {
+            for j in 0..16isize {
+                let offsum = kx.at(j, k) + kx.at(j + 1, k) + ky.at(j, k) + ky.at(j, k + 1);
+                assert!(d.at(j, k) >= 1.0);
+                assert!(d.at(j, k) >= offsum, "not diagonally dominant at ({j},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn residual_of_exact_solution_is_zero() {
+        let op = uniform_op(8, 1, 1.0);
+        let mut t = SolveTrace::new("t");
+        let mut u = Field2D::new(8, 8, 1);
+        for k in 0..8isize {
+            for j in 0..8isize {
+                u.set(j, k, (j + 2 * k) as f64);
+            }
+        }
+        let mut b = Field2D::new(8, 8, 1);
+        op.apply(&u, &mut b, 0, &mut t);
+        let mut r = Field2D::new(8, 8, 1);
+        op.residual(&u, &b, &mut r, 0, &mut t);
+        assert!(r.interior_max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn extended_sweep_matches_global_interior() {
+        // a 2-tile decomposition where the extended sweep of one tile must
+        // reproduce exactly the serial values over the overlap region
+        let n = 16;
+        let prob = crooked_pipe(n);
+        let halo = 3;
+        // serial reference
+        let smesh = Mesh2D::serial(n, n, prob.extent);
+        let mut sd = Field2D::new(n, n, halo);
+        let mut se = Field2D::new(n, n, halo);
+        prob.apply_states(&smesh, &mut sd, &mut se);
+        let (rx, ry) = timestep_scalings(&smesh, 0.04);
+        let scoef = Coefficients::assemble(&smesh, &sd, prob.coefficient, rx, ry, halo);
+        let sop = TileOperator::new(scoef, TileBounds::serial(n, n));
+        let mut p_global = Field2D::new(n, n, halo);
+        for k in 0..n as isize {
+            for j in 0..n as isize {
+                p_global.set(j, k, ((j * 7 + k * 13) % 11) as f64);
+            }
+        }
+        let mut w_global = Field2D::new(n, n, halo);
+        let mut t = SolveTrace::new("t");
+        sop.apply(&p_global, &mut w_global, 0, &mut t);
+
+        // left tile of a 2x1 decomposition, extension 2 sweep
+        let d = Decomposition2D::with_grid(n, n, 2, 1);
+        let mesh = Mesh2D::new(&d, 0, prob.extent);
+        let mut dd = Field2D::new(mesh.nx(), mesh.ny(), halo);
+        let mut de = Field2D::new(mesh.nx(), mesh.ny(), halo);
+        prob.apply_states(&mesh, &mut dd, &mut de);
+        let coeffs = Coefficients::assemble(&mesh, &dd, prob.coefficient, rx, ry, halo);
+        let op = TileOperator::new(coeffs, TileBounds::new(&mesh, halo));
+        // fill p including ghost region from the global vector (simulating
+        // a depth-3 halo exchange)
+        let mut p = Field2D::new(mesh.nx(), mesh.ny(), halo);
+        for k in -(halo as isize)..mesh.ny() as isize + halo as isize {
+            for j in -(halo as isize)..mesh.nx() as isize + halo as isize {
+                let (gj, gk) = (j, k); // left tile: local == global
+                if gj >= 0 && gk >= 0 && gj < n as isize && gk < n as isize {
+                    p.set(j, k, p_global.at(gj, gk));
+                }
+            }
+        }
+        let mut w = Field2D::new(mesh.nx(), mesh.ny(), halo);
+        op.apply(&p, &mut w, 2, &mut t);
+        // every cell in the extended range must match the serial sweep
+        let (x_lo, x_hi, y_lo, y_hi) = op.bounds.range(2);
+        assert_eq!((x_lo, y_lo), (0, 0), "west/south are global boundaries");
+        assert_eq!(x_hi, mesh.nx() as isize + 2, "east extends into halo");
+        for k in y_lo..y_hi {
+            for j in x_lo..x_hi {
+                assert!(
+                    (w.at(j, k) - w_global.at(j, k)).abs() < 1e-13,
+                    "extended sweep mismatch at ({j},{k})"
+                );
+            }
+        }
+        assert_eq!(t.spmv.sweeps_by_extension[&2], 1);
+    }
+
+    #[test]
+    fn bounds_clamp_at_global_boundaries() {
+        let d = Decomposition2D::with_grid(16, 16, 2, 2);
+        let mesh = Mesh2D::new(&d, 0, Extent2D::unit()); // SW tile
+        let b = TileBounds::new(&mesh, 4);
+        assert_eq!(b.range(2), (0, 10, 0, 10));
+        assert_eq!(b.range(0), (0, 8, 0, 8));
+        assert_eq!(b.cells(2), 100);
+        let mesh3 = Mesh2D::new(&d, 3, Extent2D::unit()); // NE tile
+        let b3 = TileBounds::new(&mesh3, 4);
+        assert_eq!(b3.range(3), (-3, 8, -3, 8));
+    }
+
+    #[test]
+    fn parallel_and_serial_sweeps_agree() {
+        // 256x256 crosses PAR_THRESHOLD; compare against a 0-threshold
+        // serial evaluation done row by row with `dense_apply`
+        let n = 256;
+        let op = crooked_op(n, 1);
+        let mut p = Field2D::new(n, n, 1);
+        for k in 0..n as isize {
+            for j in 0..n as isize {
+                p.set(j, k, ((j * 131 + k * 17) % 23) as f64 / 7.0);
+            }
+        }
+        let mut w = Field2D::new(n, n, 1);
+        let mut t = SolveTrace::new("t");
+        let pw = op.apply_fused_dot(&p, &mut w, &mut t);
+        let wref = dense_apply(&op, &p);
+        let mut dot = 0.0;
+        for k in 0..n as isize {
+            for j in 0..n as isize {
+                assert_eq!(w.at(j, k), wref.at(j, k), "cell ({j},{k})");
+                dot += p.at(j, k) * wref.at(j, k);
+            }
+        }
+        assert!((pw - dot).abs() <= 1e-9 * dot.abs());
+    }
+}

@@ -1,0 +1,425 @@
+//! CPPCG — the Chebyshev Polynomially Preconditioned Conjugate Gradient
+//! solver with the matrix-powers kernel (paper §III–IV).
+//!
+//! The outer loop is standard PCG, but the preconditioner application
+//! `z = M⁻¹r` is an `m`-step Chebyshev smoothing of `A z = r` from
+//! `z₀ = 0` (paper §III.B–C). Each outer iteration therefore costs `m+1`
+//! stencil sweeps but only the **two** outer dot products — the global
+//! reduction count per sweep drops by a factor of ~`m` versus plain CG,
+//! which is the communication-avoidance the paper quantifies with
+//! Eqs. 6–7.
+//!
+//! Halo traffic inside the inner smoothing is governed by the
+//! **matrix-powers kernel** (paper §IV.C.2, Figs. 1–2): with halo depth
+//! `h`, one depth-`h` exchange buys `h` stencil applications over loop
+//! bounds that shrink by one cell per application, at the cost of
+//! redundant computation in the overlap. `PPCG-1` (depth 1) exchanges
+//! before every inner step; `PPCG-16` exchanges once or twice per outer
+//! iteration.
+//!
+//! The block-Jacobi preconditioner may additionally smooth the *inner*
+//! residual — but only at depth 1, because its strips need fresh whole
+//! blocks (paper's stated incompatibility with matrix powers, enforced
+//! here at configuration time).
+
+use crate::cg::cg_solve_recording;
+use crate::chebyshev::ChebyConstants;
+use crate::eigen::{estimate_from_cg, EigenEstimate};
+use crate::precon::Preconditioner;
+use crate::solver::{SolveOpts, Tile, Workspace};
+use crate::trace::{SolveResult, SolveTrace};
+use crate::vector;
+use tea_comms::Communicator;
+use tea_mesh::Field2D;
+
+/// CPPCG configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PpcgOpts {
+    /// Inner Chebyshev smoothing steps per outer iteration (TeaLeaf
+    /// `tl_ppcg_inner_steps`).
+    pub inner_steps: usize,
+    /// Matrix-powers halo depth (the paper's `PPCG - n` label).
+    pub halo_depth: usize,
+    /// Plain-CG presteps for eigenvalue estimation.
+    pub presteps: u64,
+    /// Safety widening of the Lanczos bounds.
+    pub eigen_safety: f64,
+}
+
+impl Default for PpcgOpts {
+    fn default() -> Self {
+        PpcgOpts {
+            inner_steps: 10,
+            halo_depth: 1,
+            presteps: 30,
+            eigen_safety: 0.1,
+        }
+    }
+}
+
+impl PpcgOpts {
+    /// The paper's `PPCG - n` configuration: matrix-powers depth `n`
+    /// with 16 inner smoothing steps.
+    pub fn with_depth(halo_depth: usize) -> Self {
+        PpcgOpts {
+            halo_depth,
+            inner_steps: 16,
+            ..Default::default()
+        }
+    }
+
+    /// Figure-legend label.
+    pub fn label(&self) -> String {
+        format!("PPCG-{}", self.halo_depth)
+    }
+}
+
+/// Solves `A u = b` by CPPCG. `u` enters as the initial guess.
+///
+/// # Panics
+/// Panics if the workspace halo is shallower than `ppcg.halo_depth`, or
+/// if a block-Jacobi `precon` is combined with `halo_depth > 1`.
+pub fn ppcg_solve<C: Communicator + ?Sized>(
+    tile: &Tile<'_, C>,
+    u: &mut Field2D,
+    b: &Field2D,
+    precon: &Preconditioner,
+    ws: &mut Workspace,
+    opts: SolveOpts,
+    ppcg: PpcgOpts,
+) -> SolveResult {
+    let h = ppcg.halo_depth;
+    let m = ppcg.inner_steps;
+    assert!(h >= 1, "matrix-powers depth must be at least 1");
+    assert!(m >= 1, "need at least one inner step");
+    assert!(
+        ws.halo() >= h,
+        "workspace halo {} shallower than matrix-powers depth {h}",
+        ws.halo()
+    );
+    assert!(
+        precon.supports_extension() || h == 1,
+        "block-Jacobi cannot be combined with matrix powers (paper §IV.C.2)"
+    );
+    let bounds = &tile.op.bounds;
+
+    // Phase 1: plain-CG presteps for the spectrum of M⁻¹A.
+    let (pre, coeffs) = cg_solve_recording(tile, u, b, precon, ws, opts, ppcg.presteps.max(1));
+    if pre.converged {
+        return pre;
+    }
+    let mut trace = pre.trace;
+    trace.solver = ppcg.label().to_string();
+    let (al, be) = coeffs.for_lanczos();
+    let est: EigenEstimate = estimate_from_cg(al, be, ppcg.eigen_safety);
+    trace.eigen_bounds = Some((est.min, est.max));
+    let consts = ChebyConstants::from_estimate(est);
+    let cheb = consts.coefficients(m);
+
+    // Phase 2: outer PCG with the m-step Chebyshev preconditioner.
+    tile.exchange(&mut [u], 1, &mut trace);
+    tile.op.residual(u, b, &mut ws.r, 0, &mut trace);
+
+    cheb_inner(tile, precon, ws, &consts, &cheb, h, &mut trace);
+    trace.inner_iterations += m as u64;
+    vector::copy(&mut ws.p, &ws.z, bounds, 0, &mut trace);
+
+    let rz_local = vector::dot_local(&ws.r, &ws.z, bounds, &mut trace);
+    let mut rro = tile.reduce_sum(rz_local, &mut trace);
+    let initial_residual = pre.initial_residual;
+    let target = opts.eps * initial_residual;
+
+    let mut converged = false;
+    let mut final_residual = pre.final_residual;
+    let mut iterations = pre.iterations;
+
+    while iterations < opts.max_iters {
+        iterations += 1;
+        trace.outer_iterations += 1;
+
+        tile.exchange(&mut [&mut ws.p], 1, &mut trace);
+        let pw_local = tile.op.apply_fused_dot(&ws.p, &mut ws.w, &mut trace);
+        let pw = tile.reduce_sum(pw_local, &mut trace);
+        debug_assert!(pw > 0.0, "CPPCG breakdown: <p, Ap> = {pw}");
+        let alpha = rro / pw;
+
+        vector::axpy(u, alpha, &ws.p, bounds, 0, &mut trace);
+        vector::axpy(&mut ws.r, -alpha, &ws.w, bounds, 0, &mut trace);
+
+        cheb_inner(tile, precon, ws, &consts, &cheb, h, &mut trace);
+        trace.inner_iterations += m as u64;
+
+        let rz_local = vector::dot_local(&ws.r, &ws.z, bounds, &mut trace);
+        let rrn = tile.reduce_sum(rz_local, &mut trace);
+        final_residual = rrn.max(0.0).sqrt();
+        if final_residual <= target {
+            converged = true;
+            break;
+        }
+        let beta = rrn / rro;
+        vector::xpay(&mut ws.p, &ws.z, beta, bounds, 0, &mut trace);
+        rro = rrn;
+    }
+
+    SolveResult {
+        converged,
+        iterations,
+        initial_residual,
+        final_residual,
+        trace,
+    }
+}
+
+/// The inner m-step Chebyshev solve of `A z ≈ r` from `z = 0`, with the
+/// matrix-powers deep-halo schedule.
+///
+/// Uses `ws.r` as the outer residual (read only), and `ws.z` (result
+/// accumulator), `ws.rr` (inner residual), `ws.sd`, `ws.w`, `ws.tmp` as
+/// scratch.
+fn cheb_inner<C: Communicator + ?Sized>(
+    tile: &Tile<'_, C>,
+    precon: &Preconditioner,
+    ws: &mut Workspace,
+    consts: &ChebyConstants,
+    cheb: &[(f64, f64)],
+    h: usize,
+    trace: &mut SolveTrace,
+) {
+    let bounds = &tile.op.bounds;
+    let m = cheb.len();
+    vector::zero(&mut ws.z, bounds, h, trace);
+    vector::copy(&mut ws.rr, &ws.r, bounds, 0, trace);
+
+    if h == 1 {
+        // Classic depth-1 schedule: interior-only updates, one exchange
+        // per inner step, block-Jacobi allowed.
+        precon.apply(&ws.rr, &mut ws.tmp, bounds, 0, trace);
+        vector::scaled_copy(&mut ws.sd, &ws.tmp, 1.0 / consts.theta, bounds, 0, trace);
+        for &(a_k, b_k) in cheb {
+            tile.exchange(&mut [&mut ws.sd], 1, trace);
+            tile.op.apply(&ws.sd, &mut ws.w, 0, trace);
+            vector::axpy(&mut ws.z, 1.0, &ws.sd, bounds, 0, trace);
+            vector::axpy(&mut ws.rr, -1.0, &ws.w, bounds, 0, trace);
+            precon.apply(&ws.rr, &mut ws.tmp, bounds, 0, trace);
+            vector::scale_add(&mut ws.sd, a_k, b_k, &ws.tmp, bounds, 0, trace);
+        }
+        return;
+    }
+
+    // Matrix-powers schedule: one depth-h exchange buys h sweeps over
+    // shrinking bounds (paper Fig. 2).
+    tile.exchange(&mut [&mut ws.rr], h, trace);
+    let mut avail = h; // sd/rr validity extension after the exchange
+    apply_precon_ext(precon, &ws.rr, &mut ws.tmp, bounds, avail, trace);
+    vector::scaled_copy(&mut ws.sd, &ws.tmp, 1.0 / consts.theta, bounds, avail, trace);
+
+    for (step, &(a_k, b_k)) in cheb.iter().enumerate() {
+        if avail == 0 {
+            tile.exchange(&mut [&mut ws.sd, &mut ws.rr], h, trace);
+            avail = h;
+        }
+        // never sweep wider than the remaining steps can use
+        let e = (avail - 1).min(m - 1 - step);
+        tile.op.apply(&ws.sd, &mut ws.w, e, trace);
+        vector::axpy(&mut ws.z, 1.0, &ws.sd, bounds, e, trace);
+        vector::axpy(&mut ws.rr, -1.0, &ws.w, bounds, e, trace);
+        apply_precon_ext(precon, &ws.rr, &mut ws.tmp, bounds, e, trace);
+        vector::scale_add(&mut ws.sd, a_k, b_k, &ws.tmp, bounds, e, trace);
+        avail = e;
+    }
+}
+
+fn apply_precon_ext(
+    precon: &Preconditioner,
+    r: &Field2D,
+    out: &mut Field2D,
+    bounds: &crate::ops::TileBounds,
+    ext: usize,
+    trace: &mut SolveTrace,
+) {
+    debug_assert!(precon.supports_extension() || ext == 0);
+    precon.apply(r, out, bounds, ext, trace);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::cg_solve;
+    use crate::ops::{TileBounds, TileOperator};
+    use crate::precon::PreconKind;
+    use tea_comms::{HaloLayout, SerialComm};
+    use tea_mesh::{
+        crooked_pipe, timestep_scalings, Coefficients, Decomposition2D, Mesh2D,
+    };
+
+    fn serial_problem(n: usize, halo: usize) -> (TileOperator, Field2D) {
+        let p = crooked_pipe(n);
+        let mesh = Mesh2D::serial(n, n, p.extent);
+        let mut density = Field2D::new(n, n, halo);
+        let mut energy = Field2D::new(n, n, halo);
+        p.apply_states(&mesh, &mut density, &mut energy);
+        let (rx, ry) = timestep_scalings(&mesh, 0.04);
+        let coeffs = Coefficients::assemble(&mesh, &density, p.coefficient, rx, ry, halo);
+        let op = TileOperator::new(coeffs, TileBounds::serial(n, n));
+        let mut b = Field2D::new(n, n, halo);
+        for k in 0..n as isize {
+            for j in 0..n as isize {
+                b.set(j, k, density.at(j, k) * energy.at(j, k));
+            }
+        }
+        (op, b)
+    }
+
+    fn residual_norm(op: &TileOperator, u: &Field2D, b: &Field2D) -> f64 {
+        let mut t = SolveTrace::new("check");
+        let mut r = Field2D::new(u.nx(), u.ny(), u.halo());
+        op.residual(u, b, &mut r, 0, &mut t);
+        r.interior_norm() / b.interior_norm()
+    }
+
+    fn solve_with(
+        n: usize,
+        halo: usize,
+        kind: PreconKind,
+        ppcg_opts: PpcgOpts,
+    ) -> (SolveResult, Field2D, TileOperator, Field2D) {
+        let (op, b) = serial_problem(n, halo);
+        let comm = SerialComm::new();
+        let d = Decomposition2D::with_grid(n, n, 1, 1);
+        let layout = HaloLayout::new(&d, 0);
+        let tile = Tile::new(&op, &layout, &comm);
+        let mut ws = Workspace::new(n, n, halo);
+        let mut u = b.clone();
+        let m = Preconditioner::setup(kind, &op, ppcg_opts.halo_depth);
+        let res = ppcg_solve(
+            &tile,
+            &mut u,
+            &b,
+            &m,
+            &mut ws,
+            SolveOpts::with_eps(1e-9),
+            ppcg_opts,
+        );
+        (res, u, op, b)
+    }
+
+    #[test]
+    fn ppcg_depth1_converges() {
+        let (res, u, op, b) = solve_with(32, 1, PreconKind::None, PpcgOpts::default());
+        assert!(res.converged, "{res:?}");
+        assert!(residual_norm(&op, &u, &b) < 1e-7);
+    }
+
+    #[test]
+    fn ppcg_with_block_jacobi_at_depth1() {
+        let (res, u, op, b) = solve_with(32, 1, PreconKind::BlockJacobi, PpcgOpts::default());
+        assert!(res.converged);
+        assert!(residual_norm(&op, &u, &b) < 1e-7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn block_jacobi_with_matrix_powers_rejected() {
+        let _ = solve_with(32, 4, PreconKind::BlockJacobi, PpcgOpts::with_depth(4));
+    }
+
+    #[test]
+    fn matrix_powers_depths_give_identical_results() {
+        // In exact arithmetic the matrix-powers kernel only changes *when*
+        // halos move, not the values computed; on a serial tile every
+        // extension clamps to zero, so results are bitwise identical.
+        // This is the Fig. 1/Fig. 2 equivalence.
+        let (r1, u1, op, b) = solve_with(24, 1, PreconKind::None, PpcgOpts::with_depth(1));
+        let (r8, u8, _, _) = solve_with(24, 8, PreconKind::None, PpcgOpts::with_depth(8));
+        assert!(r1.converged && r8.converged);
+        assert_eq!(r1.iterations, r8.iterations, "same math, same iterations");
+        for k in 0..24isize {
+            for j in 0..24isize {
+                assert_eq!(u1.at(j, k), u8.at(j, k), "solution differs at ({j},{k})");
+            }
+        }
+        assert!(residual_norm(&op, &u1, &b) < 1e-7);
+    }
+
+    #[test]
+    fn deeper_halo_means_fewer_exchanges() {
+        let (r1, ..) = solve_with(32, 1, PreconKind::None, PpcgOpts::with_depth(1));
+        let (r16, ..) = solve_with(32, 16, PreconKind::None, PpcgOpts::with_depth(16));
+        assert_eq!(
+            r1.iterations, r16.iterations,
+            "same math must take the same iterations"
+        );
+        // exclude the identical CG-prestep phase (presteps p-exchanges +
+        // one u-exchange each), leaving only the PPCG phase protocol
+        let presteps = PpcgOpts::with_depth(1).presteps + 1;
+        let ex1 = r1.trace.total_halo_exchanges() - presteps;
+        let ex16 = r16.trace.total_halo_exchanges() - presteps;
+        assert!(
+            (ex16 as f64) < (ex1 as f64) * 0.25,
+            "depth 16 must slash exchange count: {ex16} vs {ex1}"
+        );
+        // while moving roughly the same total volume (strip units scale
+        // with depth x count; same sweeps -> comparable data)
+        let v1 = r1.trace.halo_strip_units() - presteps;
+        let v16 = r16.trace.halo_strip_units() - presteps;
+        let ratio = v16 as f64 / v1 as f64;
+        assert!(
+            ratio > 0.5 && ratio < 2.5,
+            "total halo volume should be comparable, ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn ppcg_slashes_reductions_versus_cg() {
+        let n = 32;
+        let (op, b) = serial_problem(n, 1);
+        let comm = SerialComm::new();
+        let d = Decomposition2D::with_grid(n, n, 1, 1);
+        let layout = HaloLayout::new(&d, 0);
+        let tile = Tile::new(&op, &layout, &comm);
+        let m = Preconditioner::setup(PreconKind::None, &op, 0);
+
+        let mut ws = Workspace::new(n, n, 1);
+        let mut u1 = b.clone();
+        let cg = cg_solve(&tile, &mut u1, &b, &m, &mut ws, SolveOpts::with_eps(1e-9));
+
+        let (pp, u2, ..) = solve_with(n, 1, PreconKind::None, PpcgOpts::default());
+        assert!(cg.converged && pp.converged);
+        // reductions per spmv sweep is the communication-avoidance metric
+        let cg_ratio = cg.trace.reductions as f64 / cg.trace.spmv.total() as f64;
+        let pp_ratio = pp.trace.reductions as f64 / pp.trace.spmv.total() as f64;
+        assert!(
+            pp_ratio < 0.5 * cg_ratio,
+            "CPPCG must reduce reductions per sweep: {pp_ratio} vs {cg_ratio}"
+        );
+        // both reach the same solution
+        for k in 0..n as isize {
+            for j in 0..n as isize {
+                assert!(
+                    (u1.at(j, k) - u2.at(j, k)).abs() < 1e-5 * u1.at(j, k).abs().max(1.0),
+                    "solutions diverge at ({j},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inner_iterations_counted() {
+        let (res, ..) = solve_with(24, 1, PreconKind::None, PpcgOpts::default());
+        let presteps = PpcgOpts::default().presteps.min(res.iterations);
+        let outer_after_pre = res.trace.outer_iterations - presteps;
+        if outer_after_pre > 0 {
+            // one initial application plus one per outer iteration
+            assert_eq!(
+                res.trace.inner_iterations,
+                (outer_after_pre + 1) * PpcgOpts::default().inner_steps as u64
+            );
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_legend() {
+        assert_eq!(PpcgOpts::with_depth(16).label(), "PPCG-16");
+        assert_eq!(PpcgOpts::default().label(), "PPCG-1");
+    }
+}

@@ -1,0 +1,463 @@
+//! Preconditioners: identity, point-Jacobi (diagonal) and the paper's
+//! block-Jacobi (§IV.C.1).
+//!
+//! The block-Jacobi preconditioner splits the mesh into 4×1 strips along
+//! x. Each strip corresponds to a small tridiagonal block of `A` (the
+//! within-strip couplings are the `Kx` faces), which is solved directly
+//! with the Thomas algorithm — "a much faster variation of Gaussian
+//! elimination for tridiagonal systems". Strips at tile edges are
+//! truncated to length 3, 2 or 1. Because blocks never cross tile
+//! boundaries, applying the preconditioner needs **zero communication**,
+//! which is the whole point.
+//!
+//! The Thomas factors are precomputed at setup (the reference's
+//! `cp`/`bfb` arrays), so each application is one forward and one
+//! backward sweep per strip.
+//!
+//! Matrix-powers restriction: the paper notes the block preconditioner
+//! cannot be combined with deep-halo sweeps (it needs up-to-date whole
+//! blocks); [`Preconditioner::apply`] therefore panics if asked for an
+//! extended-sweep application of the block variant.
+
+use crate::ops::{TileBounds, TileOperator};
+use crate::trace::SolveTrace;
+use crate::vector;
+use tea_mesh::Field2D;
+
+/// Which preconditioner a solver should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PreconKind {
+    /// No preconditioning (`M = I`).
+    #[default]
+    None,
+    /// Point Jacobi: `M = diag(A)`.
+    Diagonal,
+    /// 4×1-strip block Jacobi solved by the Thomas algorithm.
+    BlockJacobi,
+}
+
+impl PreconKind {
+    /// Short label used in solver names and figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            PreconKind::None => "none",
+            PreconKind::Diagonal => "jac_diag",
+            PreconKind::BlockJacobi => "jac_block",
+        }
+    }
+}
+
+/// Default strip length matching the paper's 4×1 blocks.
+pub const DEFAULT_BLOCK_STRIP: usize = 4;
+
+/// An assembled preconditioner for one tile.
+#[derive(Debug, Clone)]
+pub enum Preconditioner {
+    /// `z = r`.
+    Identity,
+    /// `z = r ./ diag(A)`; valid over extended sweeps.
+    Diagonal {
+        /// Reciprocal operator diagonal over the full halo extent.
+        inv_diag: Field2D,
+    },
+    /// Strip-tridiagonal direct solves; interior sweeps only.
+    BlockJacobi(BlockJacobi),
+}
+
+/// Precomputed Thomas factors for the 4×1-strip block-Jacobi.
+#[derive(Debug, Clone)]
+pub struct BlockJacobi {
+    /// Strip length (paper: 4; ablatable).
+    strip: usize,
+    /// `c*` factors (normalised superdiagonal) per cell.
+    cp: Field2D,
+    /// Reciprocal pivots per cell.
+    minv: Field2D,
+    /// Within-strip coupling (`-Kx`) reused by the forward sweep:
+    /// `sub(j,k) = -kx(j,k)` for cells that are not first in their strip.
+    sub: Field2D,
+}
+
+impl Preconditioner {
+    /// Assembles the requested preconditioner from the operator.
+    ///
+    /// `ext_max` is the largest extension a `Diagonal` application may be
+    /// asked for (the matrix-powers halo depth); the diagonal is
+    /// precomputed over that range.
+    pub fn setup(kind: PreconKind, op: &TileOperator, ext_max: usize) -> Self {
+        match kind {
+            PreconKind::None => Preconditioner::Identity,
+            PreconKind::Diagonal => {
+                let (nx, ny) = op.bounds.tile();
+                let halo = op.coeffs.halo();
+                let mut d = Field2D::filled(nx, ny, halo, 1.0);
+                op.diagonal_into(&mut d, ext_max.min(halo));
+                // invert in place over everything we touched
+                let (x_lo, x_hi, y_lo, y_hi) = op.bounds.range(ext_max.min(halo));
+                for k in y_lo..y_hi {
+                    for v in d.row_mut(k, x_lo, x_hi) {
+                        *v = 1.0 / *v;
+                    }
+                }
+                Preconditioner::Diagonal { inv_diag: d }
+            }
+            PreconKind::BlockJacobi => {
+                Preconditioner::BlockJacobi(BlockJacobi::setup(op, DEFAULT_BLOCK_STRIP))
+            }
+        }
+    }
+
+    /// `z = M⁻¹ r` over extension `ext`.
+    ///
+    /// # Panics
+    /// Panics for [`Preconditioner::BlockJacobi`] with `ext > 0`: the
+    /// paper's constraint that block solves need fresh whole blocks,
+    /// which deep-halo sweeps cannot provide.
+    pub fn apply(
+        &self,
+        r: &Field2D,
+        z: &mut Field2D,
+        bounds: &TileBounds,
+        ext: usize,
+        trace: &mut SolveTrace,
+    ) {
+        match self {
+            Preconditioner::Identity => {
+                vector::copy(z, r, bounds, ext, trace);
+            }
+            Preconditioner::Diagonal { inv_diag } => {
+                trace.precon_ops.record(ext);
+                vector::mul_into(z, r, inv_diag, bounds, ext, trace);
+            }
+            Preconditioner::BlockJacobi(bj) => {
+                assert_eq!(
+                    ext, 0,
+                    "block-Jacobi cannot be applied over extended (matrix-powers) bounds"
+                );
+                trace.precon_ops.record(0);
+                bj.apply(r, z, bounds);
+            }
+        }
+    }
+
+    /// Whether this preconditioner may be applied at `ext > 0`.
+    pub fn supports_extension(&self) -> bool {
+        !matches!(self, Preconditioner::BlockJacobi(_))
+    }
+
+    /// Whether this is the identity.
+    pub fn is_identity(&self) -> bool {
+        matches!(self, Preconditioner::Identity)
+    }
+}
+
+impl BlockJacobi {
+    /// Precomputes Thomas factors for `strip`-long x strips of `op`.
+    pub fn setup(op: &TileOperator, strip: usize) -> Self {
+        assert!(strip >= 1, "strip length must be at least 1");
+        let (nx, ny) = op.bounds.tile();
+        let halo = op.coeffs.halo();
+        let mut diag = Field2D::new(nx, ny, halo);
+        op.diagonal_into(&mut diag, 0);
+        let kx = &op.coeffs.kx;
+        let mut cp = Field2D::new(nx, ny, halo);
+        let mut minv = Field2D::new(nx, ny, halo);
+        let mut sub = Field2D::new(nx, ny, halo);
+        for k in 0..ny as isize {
+            let mut j0 = 0usize;
+            while j0 < nx {
+                let j1 = (j0 + strip).min(nx);
+                // factorise the tridiagonal block [j0, j1) on row k:
+                //   b_i = diag(j,k), c_i = a_{i+1} = -kx(j+1,k)
+                let mut prev_cp = 0.0;
+                for (i, j) in (j0..j1).enumerate() {
+                    let j = j as isize;
+                    let b = diag.at(j, k);
+                    let a = if i == 0 { 0.0 } else { -kx.at(j, k) };
+                    let denom = b - a * prev_cp;
+                    debug_assert!(denom > 0.0, "block pivot lost positivity");
+                    let m = 1.0 / denom;
+                    // superdiagonal toward j+1 (zero on the strip's last cell)
+                    let c = if j as usize + 1 < j1 { -kx.at(j + 1, k) } else { 0.0 };
+                    let cpv = c * m;
+                    cp.set(j, k, cpv);
+                    minv.set(j, k, m);
+                    sub.set(j, k, a);
+                    prev_cp = cpv;
+                }
+                j0 = j1;
+            }
+        }
+        BlockJacobi {
+            strip,
+            cp,
+            minv,
+            sub,
+        }
+    }
+
+    /// Strip length.
+    pub fn strip(&self) -> usize {
+        self.strip
+    }
+
+    /// `z = M⁻¹ r` over the tile interior: Thomas forward/backward sweep
+    /// per strip, strips independent (and row sweeps cache-contiguous).
+    pub fn apply(&self, r: &Field2D, z: &mut Field2D, bounds: &TileBounds) {
+        let (nx, ny) = bounds.tile();
+        for k in 0..ny as isize {
+            let rr = r.row(k, 0, nx as isize);
+            let cpr = self.cp.row(k, 0, nx as isize);
+            let mr = self.minv.row(k, 0, nx as isize);
+            let sr = self.sub.row(k, 0, nx as isize);
+            let zr = z.row_mut(k, 0, nx as isize);
+            let mut j0 = 0usize;
+            while j0 < nx {
+                let j1 = (j0 + self.strip).min(nx);
+                // forward substitution into z
+                zr[j0] = rr[j0] * mr[j0];
+                for j in j0 + 1..j1 {
+                    zr[j] = (rr[j] - sr[j] * zr[j - 1]) * mr[j];
+                }
+                // backward substitution in place
+                for j in (j0..j1 - 1).rev() {
+                    zr[j] -= cpr[j] * zr[j + 1];
+                }
+                j0 = j1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_mesh::{
+        crooked_pipe, timestep_scalings, Coefficients, Extent2D, Mesh2D,
+    };
+
+    fn crooked_op(n: usize, halo: usize) -> TileOperator {
+        let p = crooked_pipe(n);
+        let mesh = Mesh2D::serial(n, n, p.extent);
+        let mut density = Field2D::new(n, n, halo);
+        let mut energy = Field2D::new(n, n, halo);
+        p.apply_states(&mesh, &mut density, &mut energy);
+        let (rx, ry) = timestep_scalings(&mesh, 0.04);
+        let coeffs = Coefficients::assemble(&mesh, &density, p.coefficient, rx, ry, halo);
+        TileOperator::new(coeffs, TileBounds::serial(n, n))
+    }
+
+    /// Dense per-strip reference solve (plain Gaussian elimination).
+    fn dense_block_solve(op: &TileOperator, r: &Field2D, strip: usize) -> Field2D {
+        let (nx, ny) = op.bounds.tile();
+        let mut diag = Field2D::new(nx, ny, 1);
+        op.diagonal_into(&mut diag, 0);
+        let kx = &op.coeffs.kx;
+        let mut z = Field2D::new(nx, ny, 1);
+        for k in 0..ny as isize {
+            let mut j0 = 0usize;
+            while j0 < nx {
+                let j1 = (j0 + strip).min(nx);
+                let m = j1 - j0;
+                // dense m x m system
+                let mut mat = vec![vec![0.0; m]; m];
+                let mut rhs = vec![0.0; m];
+                for i in 0..m {
+                    let j = (j0 + i) as isize;
+                    mat[i][i] = diag.at(j, k);
+                    if i > 0 {
+                        mat[i][i - 1] = -kx.at(j, k);
+                        mat[i - 1][i] = -kx.at(j, k);
+                    }
+                    rhs[i] = r.at(j, k);
+                }
+                // gaussian elimination without pivoting (SPD)
+                for col in 0..m {
+                    for row in col + 1..m {
+                        let f = mat[row][col] / mat[col][col];
+                        for c2 in col..m {
+                            mat[row][c2] -= f * mat[col][c2];
+                        }
+                        rhs[row] -= f * rhs[col];
+                    }
+                }
+                for row in (0..m).rev() {
+                    let mut acc = rhs[row];
+                    for c2 in row + 1..m {
+                        acc -= mat[row][c2] * rhs[c2];
+                    }
+                    rhs[row] = acc / mat[row][row];
+                }
+                for i in 0..m {
+                    z.set((j0 + i) as isize, k, rhs[i]);
+                }
+                j0 = j1;
+            }
+        }
+        z
+    }
+
+    #[test]
+    fn thomas_matches_dense_reference() {
+        let op = crooked_op(13, 1); // 13 forces truncated strips (13 = 3*4 + 1)
+        let bj = BlockJacobi::setup(&op, 4);
+        let mut r = Field2D::new(13, 13, 1);
+        for k in 0..13isize {
+            for j in 0..13isize {
+                r.set(j, k, ((j * 5 + k * 3) % 7) as f64 - 3.0);
+            }
+        }
+        let mut z = Field2D::new(13, 13, 1);
+        bj.apply(&r, &mut z, &op.bounds);
+        let zref = dense_block_solve(&op, &r, 4);
+        for k in 0..13isize {
+            for j in 0..13isize {
+                assert!(
+                    (z.at(j, k) - zref.at(j, k)).abs() < 1e-12,
+                    "block solve mismatch at ({j},{k}): {} vs {}",
+                    z.at(j, k),
+                    zref.at(j, k)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_solve_is_exact_on_single_row_problems() {
+        // a 4-cell-wide single-row mesh: the whole matrix is one 4x4
+        // tridiagonal block, so M == A and M^{-1}(A x) == x
+        use tea_mesh::{Coefficient, Decomposition2D};
+        let d = Decomposition2D::with_grid(4, 1, 1, 1);
+        let mesh = Mesh2D::new(&d, 0, Extent2D::unit());
+        let density = Field2D::filled(4, 1, 1, 1.0);
+        let coeffs =
+            Coefficients::assemble(&mesh, &density, Coefficient::Conductivity, 0.7, 0.7, 1);
+        let op = TileOperator::new(coeffs, TileBounds::serial(4, 1));
+        let bj = BlockJacobi::setup(&op, 4);
+        let mut x = Field2D::new(4, 1, 1);
+        for j in 0..4isize {
+            x.set(j, 0, (j * j) as f64 - 1.0);
+        }
+        let mut ax = Field2D::new(4, 1, 1);
+        let mut t = SolveTrace::new("t");
+        op.apply(&x, &mut ax, 0, &mut t);
+        let mut z = Field2D::new(4, 1, 1);
+        bj.apply(&ax, &mut z, &op.bounds);
+        for j in 0..4isize {
+            assert!(
+                (z.at(j, 0) - x.at(j, 0)).abs() < 1e-12,
+                "exact block inverse failed at {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn preconditioners_are_spd_on_random_vectors() {
+        // <M^{-1}r, r> > 0 for r != 0 and symmetric:
+        // <M^{-1}a, b> == <a, M^{-1}b>
+        let op = crooked_op(12, 1);
+        for kind in [PreconKind::Diagonal, PreconKind::BlockJacobi] {
+            let m = Preconditioner::setup(kind, &op, 0);
+            let mut t = SolveTrace::new("t");
+            let mut a = Field2D::new(12, 12, 1);
+            let mut b = Field2D::new(12, 12, 1);
+            for k in 0..12isize {
+                for j in 0..12isize {
+                    a.set(j, k, ((j * 3 + k) % 5) as f64 - 2.0);
+                    b.set(j, k, ((j + 7 * k) % 3) as f64 - 1.0);
+                }
+            }
+            let mut ma = Field2D::new(12, 12, 1);
+            let mut mb = Field2D::new(12, 12, 1);
+            m.apply(&a, &mut ma, &op.bounds, 0, &mut t);
+            m.apply(&b, &mut mb, &op.bounds, 0, &mut t);
+            let sym_l = ma.interior_dot(&b);
+            let sym_r = a.interior_dot(&mb);
+            assert!(
+                (sym_l - sym_r).abs() <= 1e-12 * sym_l.abs().max(1.0),
+                "{kind:?} not symmetric: {sym_l} vs {sym_r}"
+            );
+            assert!(ma.interior_dot(&a) > 0.0, "{kind:?} not positive definite");
+        }
+    }
+
+    #[test]
+    fn diagonal_preconditioner_inverts_diagonal() {
+        let op = crooked_op(8, 1);
+        let m = Preconditioner::setup(PreconKind::Diagonal, &op, 0);
+        let mut t = SolveTrace::new("t");
+        let r = Field2D::filled(8, 8, 1, 1.0);
+        let mut z = Field2D::new(8, 8, 1);
+        m.apply(&r, &mut z, &op.bounds, 0, &mut t);
+        let mut d = Field2D::new(8, 8, 1);
+        op.diagonal_into(&mut d, 0);
+        for k in 0..8isize {
+            for j in 0..8isize {
+                assert!((z.at(j, k) * d.at(j, k) - 1.0).abs() < 1e-14);
+            }
+        }
+        assert_eq!(t.precon_ops.total(), 1);
+    }
+
+    #[test]
+    fn identity_copies() {
+        let op = crooked_op(6, 1);
+        let m = Preconditioner::setup(PreconKind::None, &op, 0);
+        assert!(m.is_identity());
+        let mut t = SolveTrace::new("t");
+        let mut r = Field2D::new(6, 6, 1);
+        r.set(2, 3, 9.0);
+        let mut z = Field2D::new(6, 6, 1);
+        m.apply(&r, &mut z, &op.bounds, 0, &mut t);
+        assert_eq!(z.at(2, 3), 9.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn block_jacobi_rejects_extended_sweeps() {
+        let op = crooked_op(8, 2);
+        let m = Preconditioner::setup(PreconKind::BlockJacobi, &op, 0);
+        let mut t = SolveTrace::new("t");
+        let r = Field2D::new(8, 8, 2);
+        let mut z = Field2D::new(8, 8, 2);
+        m.apply(&r, &mut z, &op.bounds, 1, &mut t);
+    }
+
+    #[test]
+    fn truncated_strips_cover_all_lengths() {
+        // nx = 7 with strip 4 gives strips of 4 and 3; nx = 5 gives 4+1;
+        // nx = 6 gives 4+2 — all must still match the dense reference
+        for nx in [5usize, 6, 7] {
+            let p = crooked_pipe(16);
+            let mesh = Mesh2D::serial(nx, 4, p.extent);
+            let mut density = Field2D::new(nx, 4, 1);
+            let mut energy = Field2D::new(nx, 4, 1);
+            p.apply_states(&mesh, &mut density, &mut energy);
+            let coeffs =
+                Coefficients::assemble(&mesh, &density, p.coefficient, 1.0, 1.0, 1);
+            let op = TileOperator::new(coeffs, TileBounds::serial(nx, 4));
+            let bj = BlockJacobi::setup(&op, 4);
+            let mut r = Field2D::new(nx, 4, 1);
+            for k in 0..4isize {
+                for j in 0..nx as isize {
+                    r.set(j, k, (j + k + 1) as f64);
+                }
+            }
+            let mut z = Field2D::new(nx, 4, 1);
+            bj.apply(&r, &mut z, &op.bounds);
+            let zref = dense_block_solve(&op, &r, 4);
+            for k in 0..4isize {
+                for j in 0..nx as isize {
+                    assert!((z.at(j, k) - zref.at(j, k)).abs() < 1e-12, "nx={nx} ({j},{k})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(PreconKind::None.label(), "none");
+        assert_eq!(PreconKind::Diagonal.label(), "jac_diag");
+        assert_eq!(PreconKind::BlockJacobi.label(), "jac_block");
+    }
+}

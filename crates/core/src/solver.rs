@@ -1,0 +1,142 @@
+//! Shared solver infrastructure: the per-rank [`Tile`] bundle, reusable
+//! [`Workspace`] fields, solve options, and the traced communication
+//! helpers every solver uses.
+
+use crate::ops::TileOperator;
+use crate::trace::SolveTrace;
+use tea_comms::{exchange_halo_many, Communicator, HaloLayout};
+use tea_mesh::Field2D;
+
+/// Everything one rank needs to run a solver on its tile.
+pub struct Tile<'a, C: Communicator + ?Sized> {
+    /// The assembled matrix-free operator.
+    pub op: &'a TileOperator,
+    /// Halo-exchange neighbour map.
+    pub layout: &'a HaloLayout,
+    /// The rank's communicator.
+    pub comm: &'a C,
+}
+
+impl<'a, C: Communicator + ?Sized> Tile<'a, C> {
+    /// Bundles the three references.
+    pub fn new(op: &'a TileOperator, layout: &'a HaloLayout, comm: &'a C) -> Self {
+        Tile { op, layout, comm }
+    }
+
+    /// Exchanges halos of `fields` at `depth`, recording the protocol
+    /// event (recorded even on single-rank runs: the trace captures the
+    /// *protocol*, which is decomposition-independent).
+    pub fn exchange(&self, fields: &mut [&mut Field2D], depth: usize, trace: &mut SolveTrace) {
+        trace.record_halo(depth, fields.len());
+        exchange_halo_many(fields, self.layout, self.comm, depth);
+    }
+
+    /// Globally reduces one scalar, recording the event.
+    pub fn reduce_sum(&self, local: f64, trace: &mut SolveTrace) -> f64 {
+        trace.record_reduction(1);
+        self.comm.allreduce_sum(local)
+    }
+
+    /// Globally reduces several scalars in one latency, recording the
+    /// event.
+    pub fn reduce_sum_many(&self, locals: &[f64], trace: &mut SolveTrace) -> Vec<f64> {
+        trace.record_reduction(locals.len());
+        self.comm.allreduce_sum_many(locals)
+    }
+}
+
+/// Convergence and iteration-cap options shared by all solvers.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveOpts {
+    /// Relative residual-reduction target (TeaLeaf `tl_eps`).
+    pub eps: f64,
+    /// Outer-iteration cap (TeaLeaf `tl_max_iters`).
+    pub max_iters: u64,
+}
+
+impl Default for SolveOpts {
+    fn default() -> Self {
+        SolveOpts {
+            eps: 1e-10,
+            max_iters: 10_000,
+        }
+    }
+}
+
+impl SolveOpts {
+    /// Options with a custom tolerance.
+    pub fn with_eps(eps: f64) -> Self {
+        SolveOpts {
+            eps,
+            ..Default::default()
+        }
+    }
+}
+
+/// Scratch fields reused across solves (one allocation per time-stepping
+/// run instead of per solve).
+#[derive(Debug)]
+pub struct Workspace {
+    /// Search direction.
+    pub p: Field2D,
+    /// Residual.
+    pub r: Field2D,
+    /// Operator output `A·p`.
+    pub w: Field2D,
+    /// Preconditioned residual.
+    pub z: Field2D,
+    /// Chebyshev smoothing direction.
+    pub sd: Field2D,
+    /// Inner-solve residual copy (matrix powers).
+    pub rr: Field2D,
+    /// Previous-iterate copy (Jacobi).
+    pub u_old: Field2D,
+    /// General scratch (preconditioned inner residual, temporaries).
+    pub tmp: Field2D,
+}
+
+impl Workspace {
+    /// Allocates all scratch fields for an `nx x ny` tile with `halo`
+    /// ghost layers (use the matrix-powers depth for PPCG).
+    pub fn new(nx: usize, ny: usize, halo: usize) -> Self {
+        let f = || Field2D::new(nx, ny, halo.max(1));
+        Workspace {
+            p: f(),
+            r: f(),
+            w: f(),
+            z: f(),
+            sd: f(),
+            rr: f(),
+            u_old: f(),
+            tmp: f(),
+        }
+    }
+
+    /// Halo depth the workspace fields carry.
+    pub fn halo(&self) -> usize {
+        self.p.halo()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_opts() {
+        let o = SolveOpts::default();
+        assert_eq!(o.eps, 1e-10);
+        assert_eq!(o.max_iters, 10_000);
+        assert_eq!(SolveOpts::with_eps(1e-6).eps, 1e-6);
+    }
+
+    #[test]
+    fn workspace_allocates_requested_halo() {
+        let w = Workspace::new(8, 4, 3);
+        assert_eq!(w.halo(), 3);
+        assert_eq!(w.p.nx(), 8);
+        assert_eq!(w.rr.ny(), 4);
+        // halo floors at 1 (the operator needs one ghost layer)
+        assert_eq!(Workspace::new(4, 4, 0).halo(), 1);
+    }
+}

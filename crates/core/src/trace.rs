@@ -1,0 +1,283 @@
+//! Solve traces: the structured record of everything a solve did.
+//!
+//! The CLUSTER'17 strong-scaling figures depend on *what* a solver
+//! executes — how many stencil sweeps over which extents, how many global
+//! reductions, how many halo exchanges at which depth — not on the wall
+//! clock of the machine that happened to run it. A [`SolveTrace`] captures
+//! exactly that protocol, so `tea-perfmodel` can replay one measured solve
+//! on a modelled Titan/Piz Daint/Spruce at any node count.
+//!
+//! Counts are recorded per *extension* (how far outside the tile interior
+//! a sweep ranged): the redundant work introduced by the matrix-powers
+//! kernel lives in those extended sweeps, and it is precisely the term
+//! that makes deep halos stop paying off on CPUs around depth 8 (paper
+//! §VI).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Sweep counts bucketed by extension outside the interior (0 = interior
+/// sweep).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelCounts {
+    /// extension (cells beyond interior per side) -> number of sweeps.
+    pub sweeps_by_extension: BTreeMap<u32, u64>,
+}
+
+impl KernelCounts {
+    /// Records one sweep at `ext`.
+    pub fn record(&mut self, ext: usize) {
+        *self.sweeps_by_extension.entry(ext as u32).or_insert(0) += 1;
+    }
+
+    /// Total sweeps across all extensions.
+    pub fn total(&self) -> u64 {
+        self.sweeps_by_extension.values().sum()
+    }
+
+    /// Sweeps at extension 0 only.
+    pub fn interior_only(&self) -> u64 {
+        self.sweeps_by_extension.get(&0).copied().unwrap_or(0)
+    }
+
+    /// Merges another count set into this one.
+    pub fn merge(&mut self, other: &KernelCounts) {
+        for (&e, &n) in &other.sweeps_by_extension {
+            *self.sweeps_by_extension.entry(e).or_insert(0) += n;
+        }
+    }
+}
+
+/// Halo-exchange protocol key: `(depth, fused field count)`.
+pub type HaloKey = (u32, u32);
+
+/// The complete communication/computation protocol of one solve.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SolveTrace {
+    /// Human-readable solver label (e.g. `"PPCG-16"`).
+    pub solver: String,
+    /// Outer iterations executed (CG/PPCG outer, Chebyshev or Jacobi
+    /// iterations).
+    pub outer_iterations: u64,
+    /// Inner (Chebyshev smoothing) steps executed, PPCG only.
+    pub inner_iterations: u64,
+    /// Matrix-free `A·p` sweeps by extension (includes fused-dot sweeps).
+    pub spmv: KernelCounts,
+    /// Light vector kernels (axpy-class, copies, scales) by extension.
+    pub vector_ops: KernelCounts,
+    /// Local dot-product sweeps (excluding those fused into spmv).
+    pub dot_kernels: KernelCounts,
+    /// Preconditioner applications by extension.
+    pub precon_ops: KernelCounts,
+    /// Global reductions (allreduce latencies paid).
+    pub reductions: u64,
+    /// Scalars carried across all reductions.
+    pub reduction_elements: u64,
+    /// Halo exchanges: `(depth, nfields) -> count`.
+    pub halo_exchanges: BTreeMap<HaloKey, u64>,
+    /// Eigenvalue estimate used (λmin, λmax), if the solver computed one.
+    pub eigen_bounds: Option<(f64, f64)>,
+}
+
+impl SolveTrace {
+    /// Fresh trace labelled `solver`.
+    pub fn new(solver: impl Into<String>) -> Self {
+        SolveTrace {
+            solver: solver.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Records one fused halo exchange.
+    pub fn record_halo(&mut self, depth: usize, nfields: usize) {
+        *self
+            .halo_exchanges
+            .entry((depth as u32, nfields as u32))
+            .or_insert(0) += 1;
+    }
+
+    /// Records one global reduction of `elements` fused scalars.
+    pub fn record_reduction(&mut self, elements: usize) {
+        self.reductions += 1;
+        self.reduction_elements += elements as u64;
+    }
+
+    /// Total halo exchange operations (any depth).
+    pub fn total_halo_exchanges(&self) -> u64 {
+        self.halo_exchanges.values().sum()
+    }
+
+    /// Total halo payload in field-strip units: Σ count · depth · nfields.
+    /// Multiplied by the tile side length this gives doubles on the wire.
+    pub fn halo_strip_units(&self) -> u64 {
+        self.halo_exchanges
+            .iter()
+            .map(|(&(d, f), &n)| n * d as u64 * f as u64)
+            .sum()
+    }
+
+    /// Returns a copy with every count multiplied by `factor` (rounded).
+    ///
+    /// Used to extrapolate a measured trace to a larger mesh whose
+    /// iteration count is predicted by a fitted growth law: the
+    /// *per-iteration* protocol is mesh-independent, so scaling total
+    /// counts by the iteration ratio reproduces the larger run's
+    /// protocol (see EXPERIMENTS.md).
+    pub fn scaled(&self, factor: f64) -> SolveTrace {
+        assert!(factor >= 0.0 && factor.is_finite());
+        let sc = |n: u64| -> u64 { (n as f64 * factor).round() as u64 };
+        let scale_counts = |k: &KernelCounts| -> KernelCounts {
+            KernelCounts {
+                sweeps_by_extension: k
+                    .sweeps_by_extension
+                    .iter()
+                    .map(|(&e, &n)| (e, sc(n)))
+                    .collect(),
+            }
+        };
+        SolveTrace {
+            solver: self.solver.clone(),
+            outer_iterations: sc(self.outer_iterations),
+            inner_iterations: sc(self.inner_iterations),
+            spmv: scale_counts(&self.spmv),
+            vector_ops: scale_counts(&self.vector_ops),
+            dot_kernels: scale_counts(&self.dot_kernels),
+            precon_ops: scale_counts(&self.precon_ops),
+            reductions: sc(self.reductions),
+            reduction_elements: sc(self.reduction_elements),
+            halo_exchanges: self
+                .halo_exchanges
+                .iter()
+                .map(|(&k, &n)| (k, sc(n)))
+                .collect(),
+            eigen_bounds: self.eigen_bounds,
+        }
+    }
+
+    /// Merges another trace's counts (used when accumulating a multi-step
+    /// driver run into one trace).
+    pub fn merge(&mut self, other: &SolveTrace) {
+        self.outer_iterations += other.outer_iterations;
+        self.inner_iterations += other.inner_iterations;
+        self.spmv.merge(&other.spmv);
+        self.vector_ops.merge(&other.vector_ops);
+        self.dot_kernels.merge(&other.dot_kernels);
+        self.precon_ops.merge(&other.precon_ops);
+        self.reductions += other.reductions;
+        self.reduction_elements += other.reduction_elements;
+        for (&k, &n) in &other.halo_exchanges {
+            *self.halo_exchanges.entry(k).or_insert(0) += n;
+        }
+        if self.eigen_bounds.is_none() {
+            self.eigen_bounds = other.eigen_bounds;
+        }
+    }
+}
+
+/// Result of one linear solve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolveResult {
+    /// Whether the residual criterion was met within the iteration cap.
+    pub converged: bool,
+    /// Outer iterations executed.
+    pub iterations: u64,
+    /// Euclidean norm of the initial residual.
+    pub initial_residual: f64,
+    /// Euclidean norm of the final (preconditioned where applicable)
+    /// residual.
+    pub final_residual: f64,
+    /// The recorded protocol.
+    pub trace: SolveTrace,
+}
+
+impl SolveResult {
+    /// Relative residual reduction achieved.
+    pub fn reduction(&self) -> f64 {
+        if self.initial_residual > 0.0 {
+            self.final_residual / self.initial_residual
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_counts_bucket_by_extension() {
+        let mut k = KernelCounts::default();
+        k.record(0);
+        k.record(0);
+        k.record(3);
+        assert_eq!(k.total(), 3);
+        assert_eq!(k.interior_only(), 2);
+        assert_eq!(k.sweeps_by_extension.get(&3), Some(&1));
+    }
+
+    #[test]
+    fn trace_halo_and_reduction_accounting() {
+        let mut t = SolveTrace::new("CG-1");
+        t.record_halo(1, 1);
+        t.record_halo(1, 1);
+        t.record_halo(16, 2);
+        t.record_reduction(1);
+        t.record_reduction(3);
+        assert_eq!(t.total_halo_exchanges(), 3);
+        assert_eq!(t.halo_strip_units(), 2 + 16 * 2);
+        assert_eq!(t.reductions, 2);
+        assert_eq!(t.reduction_elements, 4);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SolveTrace::new("CG-1");
+        a.outer_iterations = 5;
+        a.spmv.record(0);
+        a.record_halo(1, 1);
+        let mut b = SolveTrace::new("CG-1");
+        b.outer_iterations = 7;
+        b.spmv.record(0);
+        b.spmv.record(2);
+        b.record_halo(1, 1);
+        b.record_reduction(1);
+        b.eigen_bounds = Some((0.5, 2.0));
+        a.merge(&b);
+        assert_eq!(a.outer_iterations, 12);
+        assert_eq!(a.spmv.total(), 3);
+        assert_eq!(a.halo_exchanges[&(1, 1)], 2);
+        assert_eq!(a.reductions, 1);
+        assert_eq!(a.eigen_bounds, Some((0.5, 2.0)));
+    }
+
+    #[test]
+    fn scaled_multiplies_all_counts() {
+        let mut t = SolveTrace::new("CG-1");
+        t.outer_iterations = 10;
+        t.spmv.record(0);
+        t.spmv.record(2);
+        t.record_halo(1, 1);
+        t.record_reduction(2);
+        let s = t.scaled(3.0);
+        assert_eq!(s.outer_iterations, 30);
+        assert_eq!(s.spmv.sweeps_by_extension[&0], 3);
+        assert_eq!(s.spmv.sweeps_by_extension[&2], 3);
+        assert_eq!(s.halo_exchanges[&(1, 1)], 3);
+        assert_eq!(s.reductions, 3);
+        assert_eq!(s.reduction_elements, 6);
+        assert_eq!(s.solver, "CG-1");
+    }
+
+    #[test]
+    fn result_reduction_ratio() {
+        let r = SolveResult {
+            converged: true,
+            iterations: 10,
+            initial_residual: 100.0,
+            final_residual: 1e-6,
+            trace: SolveTrace::new("x"),
+        };
+        assert!((r.reduction() - 1e-8).abs() < 1e-20);
+    }
+}

@@ -1,0 +1,320 @@
+//! Vector kernels over tile fields.
+//!
+//! The axpy-class building blocks of every solver, each sweeping an
+//! extension-clamped range like the operator kernels (the matrix-powers
+//! inner loop updates vectors over the same shrinking bounds as its
+//! stencil applications). All are rayon-parallel above
+//! [`crate::ops::PAR_THRESHOLD`] with deterministic row-ordered
+//! reductions.
+
+use crate::ops::{TileBounds, PAR_THRESHOLD};
+use crate::trace::SolveTrace;
+use rayon::prelude::*;
+use tea_mesh::Field2D;
+
+/// Applies `body` to every row of `out` in the `bounds.range(ext)` sweep,
+/// in parallel when large. `body(k, row)` gets the row index and the
+/// mutable row slice.
+fn for_rows(
+    out: &mut Field2D,
+    bounds: &TileBounds,
+    ext: usize,
+    body: impl Fn(isize, &mut [f64]) + Sync,
+) {
+    let (x_lo, x_hi, y_lo, y_hi) = bounds.range(ext);
+    let n = (x_hi - x_lo) as usize;
+    if bounds.cells(ext) >= PAR_THRESHOLD {
+        let stride = out.stride();
+        let h = out.halo() as isize;
+        let x0 = (x_lo + h) as usize;
+        out.raw_mut()
+            .par_chunks_mut(stride)
+            .enumerate()
+            .for_each(|(row, chunk)| {
+                let k = row as isize - h;
+                if k >= y_lo && k < y_hi {
+                    body(k, &mut chunk[x0..x0 + n]);
+                }
+            });
+    } else {
+        for k in y_lo..y_hi {
+            body(k, out.row_mut(k, x_lo, x_hi));
+        }
+    }
+}
+
+/// Deterministic reduction over rows: folds per-row partials in row
+/// order.
+fn sum_rows(
+    field: &Field2D,
+    bounds: &TileBounds,
+    ext: usize,
+    body: impl Fn(isize, isize, isize) -> f64 + Sync,
+) -> f64 {
+    let (x_lo, x_hi, y_lo, y_hi) = bounds.range(ext);
+    if bounds.cells(ext) >= PAR_THRESHOLD {
+        let _ = field;
+        let rows: Vec<isize> = (y_lo..y_hi).collect();
+        let partials: Vec<f64> = rows.par_iter().map(|&k| body(k, x_lo, x_hi)).collect();
+        partials.iter().sum()
+    } else {
+        (y_lo..y_hi).map(|k| body(k, x_lo, x_hi)).sum()
+    }
+}
+
+/// `dst = src` over the sweep range.
+pub fn copy(
+    dst: &mut Field2D,
+    src: &Field2D,
+    bounds: &TileBounds,
+    ext: usize,
+    trace: &mut SolveTrace,
+) {
+    trace.vector_ops.record(ext);
+    for_rows(dst, bounds, ext, |k, row| {
+        let (x_lo, x_hi, _, _) = bounds.range(ext);
+        row.copy_from_slice(src.row(k, x_lo, x_hi));
+    });
+}
+
+/// `y += a * x` over the sweep range.
+pub fn axpy(
+    y: &mut Field2D,
+    a: f64,
+    x: &Field2D,
+    bounds: &TileBounds,
+    ext: usize,
+    trace: &mut SolveTrace,
+) {
+    trace.vector_ops.record(ext);
+    for_rows(y, bounds, ext, |k, row| {
+        let (x_lo, x_hi, _, _) = bounds.range(ext);
+        let xr = x.row(k, x_lo, x_hi);
+        for (yi, &xi) in row.iter_mut().zip(xr) {
+            *yi += a * xi;
+        }
+    });
+}
+
+/// `y = x + a * y` (TeaLeaf's `p = z + beta p` update) over the sweep
+/// range.
+pub fn xpay(
+    y: &mut Field2D,
+    x: &Field2D,
+    a: f64,
+    bounds: &TileBounds,
+    ext: usize,
+    trace: &mut SolveTrace,
+) {
+    trace.vector_ops.record(ext);
+    for_rows(y, bounds, ext, |k, row| {
+        let (x_lo, x_hi, _, _) = bounds.range(ext);
+        let xr = x.row(k, x_lo, x_hi);
+        for (yi, &xi) in row.iter_mut().zip(xr) {
+            *yi = xi + a * *yi;
+        }
+    });
+}
+
+/// `y = a*y + b*x` (the Chebyshev `sd` recurrence) over the sweep range.
+pub fn scale_add(
+    y: &mut Field2D,
+    a: f64,
+    b: f64,
+    x: &Field2D,
+    bounds: &TileBounds,
+    ext: usize,
+    trace: &mut SolveTrace,
+) {
+    trace.vector_ops.record(ext);
+    for_rows(y, bounds, ext, |k, row| {
+        let (x_lo, x_hi, _, _) = bounds.range(ext);
+        let xr = x.row(k, x_lo, x_hi);
+        for (yi, &xi) in row.iter_mut().zip(xr) {
+            *yi = a * *yi + b * xi;
+        }
+    });
+}
+
+/// `dst = src * scale` over the sweep range.
+pub fn scaled_copy(
+    dst: &mut Field2D,
+    src: &Field2D,
+    scale: f64,
+    bounds: &TileBounds,
+    ext: usize,
+    trace: &mut SolveTrace,
+) {
+    trace.vector_ops.record(ext);
+    for_rows(dst, bounds, ext, |k, row| {
+        let (x_lo, x_hi, _, _) = bounds.range(ext);
+        let sr = src.row(k, x_lo, x_hi);
+        for (d, &s) in row.iter_mut().zip(sr) {
+            *d = s * scale;
+        }
+    });
+}
+
+/// `dst = a .* b` elementwise product (diagonal preconditioner apply).
+pub fn mul_into(
+    dst: &mut Field2D,
+    a: &Field2D,
+    b: &Field2D,
+    bounds: &TileBounds,
+    ext: usize,
+    trace: &mut SolveTrace,
+) {
+    trace.vector_ops.record(ext);
+    for_rows(dst, bounds, ext, |k, row| {
+        let (x_lo, x_hi, _, _) = bounds.range(ext);
+        let ar = a.row(k, x_lo, x_hi);
+        let br = b.row(k, x_lo, x_hi);
+        for i in 0..row.len() {
+            row[i] = ar[i] * br[i];
+        }
+    });
+}
+
+/// Zeroes the sweep range.
+pub fn zero(dst: &mut Field2D, bounds: &TileBounds, ext: usize, trace: &mut SolveTrace) {
+    trace.vector_ops.record(ext);
+    for_rows(dst, bounds, ext, |_k, row| row.fill(0.0));
+}
+
+/// Local (un-reduced) dot product over the tile interior. The caller pays
+/// the global reduction.
+pub fn dot_local(a: &Field2D, b: &Field2D, bounds: &TileBounds, trace: &mut SolveTrace) -> f64 {
+    trace.dot_kernels.record(0);
+    sum_rows(a, bounds, 0, |k, x_lo, x_hi| {
+        let ar = a.row(k, x_lo, x_hi);
+        let br = b.row(k, x_lo, x_hi);
+        let mut acc = 0.0;
+        for (x, y) in ar.iter().zip(br) {
+            acc += x * y;
+        }
+        acc
+    })
+}
+
+/// Local sum of absolute differences `Σ|a - b|` over the interior
+/// (Jacobi's convergence metric).
+pub fn abs_diff_local(
+    a: &Field2D,
+    b: &Field2D,
+    bounds: &TileBounds,
+    trace: &mut SolveTrace,
+) -> f64 {
+    trace.dot_kernels.record(0);
+    sum_rows(a, bounds, 0, |k, x_lo, x_hi| {
+        let ar = a.row(k, x_lo, x_hi);
+        let br = b.row(k, x_lo, x_hi);
+        let mut acc = 0.0;
+        for (x, y) in ar.iter().zip(br) {
+            acc += (x - y).abs();
+        }
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(n: usize, halo: usize, g: impl Fn(isize, isize) -> f64) -> Field2D {
+        let mut x = Field2D::new(n, n, halo);
+        for k in -(halo as isize)..(n + halo) as isize {
+            for j in -(halo as isize)..(n + halo) as isize {
+                x.set(j, k, g(j, k));
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn axpy_and_xpay() {
+        let b = TileBounds::serial(4, 4);
+        let mut t = SolveTrace::new("t");
+        let x = f(4, 1, |j, k| (j + k) as f64);
+        let mut y = f(4, 1, |_, _| 1.0);
+        axpy(&mut y, 2.0, &x, &b, 0, &mut t);
+        assert_eq!(y.at(1, 2), 1.0 + 2.0 * 3.0);
+        let mut y2 = f(4, 1, |_, _| 1.0);
+        xpay(&mut y2, &x, 0.5, &b, 0, &mut t);
+        assert_eq!(y2.at(2, 2), 4.0 + 0.5);
+        assert_eq!(t.vector_ops.total(), 2);
+    }
+
+    #[test]
+    fn scale_add_recurrence() {
+        let b = TileBounds::serial(3, 3);
+        let mut t = SolveTrace::new("t");
+        let x = f(3, 0, |_, _| 2.0);
+        let mut y = f(3, 0, |_, _| 10.0);
+        scale_add(&mut y, 0.5, 3.0, &x, &b, 0, &mut t);
+        assert_eq!(y.at(0, 0), 0.5 * 10.0 + 3.0 * 2.0);
+    }
+
+    #[test]
+    fn copy_scaled_mul_zero() {
+        let b = TileBounds::serial(3, 3);
+        let mut t = SolveTrace::new("t");
+        let x = f(3, 0, |j, _| j as f64);
+        let mut y = Field2D::new(3, 3, 0);
+        copy(&mut y, &x, &b, 0, &mut t);
+        assert_eq!(y.at(2, 1), 2.0);
+        scaled_copy(&mut y, &x, -2.0, &b, 0, &mut t);
+        assert_eq!(y.at(2, 1), -4.0);
+        let z = f(3, 0, |_, k| (k + 1) as f64);
+        let mut w = Field2D::new(3, 3, 0);
+        mul_into(&mut w, &x, &z, &b, 0, &mut t);
+        assert_eq!(w.at(2, 1), 4.0);
+        zero(&mut w, &b, 0, &mut t);
+        assert_eq!(w.interior_sum(), 0.0);
+    }
+
+    #[test]
+    fn dot_and_absdiff() {
+        let b = TileBounds::serial(4, 4);
+        let mut t = SolveTrace::new("t");
+        let x = f(4, 0, |_, _| 3.0);
+        let y = f(4, 0, |_, _| -1.0);
+        assert_eq!(dot_local(&x, &y, &b, &mut t), -48.0);
+        assert_eq!(abs_diff_local(&x, &y, &b, &mut t), 64.0);
+        assert_eq!(t.dot_kernels.total(), 2);
+    }
+
+    #[test]
+    fn extension_sweeps_touch_halo() {
+        // bounds with room to extend: use TileBounds::new on an interior tile
+        use tea_mesh::{Decomposition2D, Extent2D, Mesh2D};
+        let d = Decomposition2D::with_grid(12, 12, 3, 3);
+        let mesh = Mesh2D::new(&d, 4, Extent2D::unit()); // centre tile
+        let bounds = TileBounds::new(&mesh, 2);
+        let mut t = SolveTrace::new("t");
+        let x = f(4, 2, |_, _| 1.0);
+        let mut y = Field2D::new(4, 4, 2);
+        axpy(&mut y, 1.0, &x, &bounds, 2, &mut t);
+        assert_eq!(y.at(-2, -2), 1.0, "extended sweep must reach ghosts");
+        assert_eq!(y.at(5, 5), 1.0);
+        // but a serial tile's ext is clamped to 0
+        let sb = TileBounds::serial(4, 4);
+        let mut y2 = Field2D::new(4, 4, 2);
+        axpy(&mut y2, 1.0, &x, &sb, 2, &mut t);
+        assert_eq!(y2.at(-1, -1), 0.0, "clamped sweep must not touch ghosts");
+    }
+
+    #[test]
+    fn large_parallel_dot_is_deterministic() {
+        let n = 300; // 90000 cells > PAR_THRESHOLD
+        let b = TileBounds::serial(n, n);
+        let mut t = SolveTrace::new("t");
+        let x = f(n, 0, |j, k| ((j * 31 + k * 7) % 13) as f64 / 3.0);
+        let y = f(n, 0, |j, k| ((j + k) % 5) as f64 - 2.0);
+        let d1 = dot_local(&x, &y, &b, &mut t);
+        for _ in 0..5 {
+            assert_eq!(dot_local(&x, &y, &b, &mut t), d1);
+        }
+        // against the serial Field2D reference
+        assert!((d1 - x.interior_dot(&y)).abs() <= 1e-9 * d1.abs().max(1.0));
+    }
+}

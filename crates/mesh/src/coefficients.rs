@@ -1,0 +1,247 @@
+//! Face conduction coefficients `Kx`, `Ky`.
+//!
+//! Matches TeaLeaf's `tea_leaf_common` initialisation: a working array
+//! `w` is formed from the density per [`Coefficient`], then face
+//! coefficients are
+//!
+//! ```text
+//! Kx(j,k) = (w(j-1,k) + w(j,k)) / (2 * w(j-1,k) * w(j,k))   (mean of 1/w)
+//! Ky(j,k) = (w(j,k-1) + w(j,k)) / (2 * w(j,k-1) * w(j,k))
+//! ```
+//!
+//! and finally scaled by `rx = dt/dx^2` (resp. `ry = dt/dy^2`) so the
+//! matrix-free operator reads exactly like the paper's Listing 1 with no
+//! extra multiplications. `Kx(j,k)` lives on the face between cells
+//! `(j-1,k)` and `(j,k)`.
+//!
+//! Insulated (zero-flux) domain boundaries are imposed by zeroing every
+//! face on or beyond the global boundary. This is algebraically identical
+//! to the reference's reflective ghost exchange (the flux
+//! `K*(u_in - u_ghost)` vanishes either way because reflection makes
+//! `u_ghost = u_in`), but it makes the operator's SPD structure explicit
+//! and spares every solver iteration a boundary-reflection pass.
+
+use crate::field::Field2D;
+use crate::geometry::Coefficient;
+use crate::mesh::Mesh2D;
+
+/// The assembled, pre-scaled face-coefficient fields for one tile.
+///
+/// Both fields carry the same halo depth as requested at assembly so the
+/// matrix-powers kernel can evaluate the stencil inside the halo region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coefficients {
+    /// X-face coefficients, pre-multiplied by `rx`.
+    pub kx: Field2D,
+    /// Y-face coefficients, pre-multiplied by `ry`.
+    pub ky: Field2D,
+}
+
+impl Coefficients {
+    /// Assembles coefficients for `mesh` from cell densities.
+    ///
+    /// `density` must carry at least `halo` ghost layers, already filled
+    /// consistently with neighbouring tiles (e.g. by
+    /// [`crate::geometry::Problem::apply_states`], which initialises
+    /// ghosts geometrically). `rx`/`ry` are the `dt/dx^2` scalings.
+    ///
+    /// Faces on or outside the global domain boundary are zeroed
+    /// (insulated boundary, see module docs). All interior faces are
+    /// strictly positive for positive densities.
+    pub fn assemble(
+        mesh: &Mesh2D,
+        density: &Field2D,
+        kind: Coefficient,
+        rx: f64,
+        ry: f64,
+        halo: usize,
+    ) -> Self {
+        assert!(
+            density.halo() >= halo,
+            "density halo {} shallower than requested {halo}",
+            density.halo()
+        );
+        let (nx, ny) = (mesh.nx(), mesh.ny());
+        let h = halo as isize;
+        let mut kx = Field2D::new(nx, ny, halo);
+        let mut ky = Field2D::new(nx, ny, halo);
+
+        let w_of = |j: isize, k: isize| -> f64 {
+            let d = density.at(j, k);
+            debug_assert!(d > 0.0, "non-positive density at ({j},{k})");
+            match kind {
+                Coefficient::Conductivity => d,
+                Coefficient::RecipConductivity => 1.0 / d,
+            }
+        };
+
+        let (gnx, gny) = mesh.global_cells();
+        let (x_off, y_off) = (
+            mesh.subdomain().offset.0 as isize,
+            mesh.subdomain().offset.1 as isize,
+        );
+
+        for k in -h..ny as isize + h {
+            for j in -h..nx as isize + h {
+                // face between (j-1,k) and (j,k): global face index x_off+j
+                let gxf = x_off + j;
+                let gyf = y_off + k;
+                // a face is live only when both adjacent cells lie inside
+                // the global domain
+                let kx_live = gxf >= 1
+                    && gxf < gnx as isize
+                    && gyf >= 0
+                    && gyf < gny as isize
+                    && j > -h; // need w(j-1,k) inside the allocation
+                if kx_live {
+                    let (a, b) = (w_of(j - 1, k), w_of(j, k));
+                    kx.set(j, k, rx * (a + b) / (2.0 * a * b));
+                }
+                let ky_live = gyf >= 1
+                    && gyf < gny as isize
+                    && gxf >= 0
+                    && gxf < gnx as isize
+                    && k > -h;
+                if ky_live {
+                    let (a, b) = (w_of(j, k - 1), w_of(j, k));
+                    ky.set(j, k, ry * (a + b) / (2.0 * a * b));
+                }
+            }
+        }
+        Coefficients { kx, ky }
+    }
+
+    /// Halo depth the coefficient fields were assembled with.
+    pub fn halo(&self) -> usize {
+        self.kx.halo()
+    }
+}
+
+/// Computes `rx = dt / dx^2` and `ry = dt / dy^2` for a mesh and time step.
+pub fn timestep_scalings(mesh: &Mesh2D, dt: f64) -> (f64, f64) {
+    assert!(dt > 0.0, "time step must be positive");
+    (dt / (mesh.dx() * mesh.dx()), dt / (mesh.dy() * mesh.dy()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{crooked_pipe, Problem};
+    use crate::mesh::Extent2D;
+    use crate::Decomposition2D;
+
+    fn uniform_density(n: usize, halo: usize, rho: f64) -> (Mesh2D, Field2D) {
+        let mesh = Mesh2D::serial(n, n, Extent2D::unit());
+        let density = Field2D::filled(n, n, halo, rho);
+        (mesh, density)
+    }
+
+    #[test]
+    fn uniform_density_gives_uniform_interior_faces() {
+        let (mesh, density) = uniform_density(8, 2, 2.0);
+        let c = Coefficients::assemble(&mesh, &density, Coefficient::Conductivity, 1.0, 1.0, 2);
+        // interior face: mean of 1/w with w = 2 -> 0.5
+        assert_eq!(c.kx.at(4, 4), 0.5);
+        assert_eq!(c.ky.at(4, 4), 0.5);
+        // recip mode: w = 0.5 -> mean of 1/w = 2
+        let c2 =
+            Coefficients::assemble(&mesh, &density, Coefficient::RecipConductivity, 1.0, 1.0, 2);
+        assert_eq!(c2.kx.at(4, 4), 2.0);
+    }
+
+    #[test]
+    fn boundary_faces_are_zeroed() {
+        let (mesh, density) = uniform_density(8, 2, 1.0);
+        let c = Coefficients::assemble(&mesh, &density, Coefficient::Conductivity, 1.0, 1.0, 2);
+        for k in 0..8 {
+            assert_eq!(c.kx.at(0, k), 0.0, "west boundary face must be zero");
+            assert_eq!(c.kx.at(8, k), 0.0, "east boundary face must be zero");
+            assert_eq!(c.ky.at(k, 0), 0.0, "south boundary face must be zero");
+            assert_eq!(c.ky.at(k, 8), 0.0, "north boundary face must be zero");
+        }
+        // first interior face alive
+        assert!(c.kx.at(1, 0) > 0.0);
+        assert!(c.ky.at(0, 1) > 0.0);
+    }
+
+    #[test]
+    fn rx_ry_scaling_applied() {
+        let (mesh, density) = uniform_density(4, 1, 1.0);
+        let c = Coefficients::assemble(&mesh, &density, Coefficient::Conductivity, 0.25, 4.0, 1);
+        assert_eq!(c.kx.at(2, 2), 0.25);
+        assert_eq!(c.ky.at(2, 2), 4.0);
+    }
+
+    #[test]
+    fn timestep_scalings_match_definition() {
+        let mesh = Mesh2D::serial(10, 20, Extent2D::square(10.0));
+        let (rx, ry) = timestep_scalings(&mesh, 0.04);
+        assert!((rx - 0.04 / 1.0).abs() < 1e-15);
+        assert!((ry - 0.04 / 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn face_values_harmonic_form() {
+        // two-cell contrast: w = 1 and w = 3 -> K = (1+3)/(2*3) = 2/3
+        let mesh = Mesh2D::serial(4, 4, Extent2D::unit());
+        let mut density = Field2D::filled(4, 4, 1, 1.0);
+        for k in -1..5 {
+            for j in 2..5 {
+                density.set(j, k, 3.0);
+            }
+        }
+        let c = Coefficients::assemble(&mesh, &density, Coefficient::Conductivity, 1.0, 1.0, 1);
+        assert!((c.kx.at(2, 1) - 2.0 / 3.0).abs() < 1e-15);
+        // pure-material faces
+        assert_eq!(c.kx.at(1, 1), 1.0);
+        assert!((c.kx.at(3, 1) - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tiles_agree_with_serial_assembly_on_shared_faces() {
+        let n = 16;
+        let problem: Problem = crooked_pipe(n);
+        let halo = 2;
+
+        // serial assembly
+        let serial_mesh = Mesh2D::serial(n, n, problem.extent);
+        let mut sd = Field2D::new(n, n, halo);
+        let mut se = Field2D::new(n, n, halo);
+        problem.apply_states(&serial_mesh, &mut sd, &mut se);
+        let sc =
+            Coefficients::assemble(&serial_mesh, &sd, problem.coefficient, 1.0, 1.0, halo);
+
+        // 2x2 decomposed assembly
+        let d = Decomposition2D::with_grid(n, n, 2, 2);
+        for rank in 0..4 {
+            let mesh = Mesh2D::new(&d, rank, problem.extent);
+            let mut dd = Field2D::new(mesh.nx(), mesh.ny(), halo);
+            let mut de = Field2D::new(mesh.nx(), mesh.ny(), halo);
+            problem.apply_states(&mesh, &mut dd, &mut de);
+            let dc = Coefficients::assemble(&mesh, &dd, problem.coefficient, 1.0, 1.0, halo);
+            let (ox, oy) = mesh.subdomain().offset;
+            for k in 0..mesh.ny() as isize {
+                for j in 0..mesh.nx() as isize {
+                    let (gj, gk) = (j + ox as isize, k + oy as isize);
+                    assert_eq!(
+                        dc.kx.at(j, k),
+                        sc.kx.at(gj, gk),
+                        "kx mismatch at global ({gj},{gk}) on rank {rank}"
+                    );
+                    assert_eq!(
+                        dc.ky.at(j, k),
+                        sc.ky.at(gj, gk),
+                        "ky mismatch at global ({gj},{gk}) on rank {rank}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn shallow_density_halo_panics() {
+        let (mesh, density) = uniform_density(4, 1, 1.0);
+        let _ = Coefficients::assemble(&mesh, &density, Coefficient::Conductivity, 1.0, 1.0, 2);
+    }
+}

@@ -1,0 +1,292 @@
+//! Halo-padded 3D scalar fields for the 7-point-stencil variant.
+//!
+//! TeaLeaf solves both 2D and 3D problems; the CLUSTER'17 paper reports 2D
+//! results and notes the 3D behaviour is similar. [`Field3D`] follows the
+//! same layout rules as [`crate::Field2D`] with an extra slowest-varying
+//! `i` (z) dimension.
+
+use std::fmt;
+
+/// A dense 3D field of `f64` with `halo` ghost layers on every side.
+///
+/// Storage is x-fastest: flat offset of `(j, k, i)` is
+/// `((i + h) * sy + (k + h)) * sx + (j + h)` with `sx = nx + 2h`,
+/// `sy = ny + 2h`.
+#[derive(Clone, PartialEq)]
+pub struct Field3D {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    halo: usize,
+    sx: usize,
+    sy: usize,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for Field3D {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Field3D")
+            .field("nx", &self.nx)
+            .field("ny", &self.ny)
+            .field("nz", &self.nz)
+            .field("halo", &self.halo)
+            .finish()
+    }
+}
+
+impl Field3D {
+    /// Creates a zero-filled `nx * ny * nz` field with `halo` ghost layers.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(nx: usize, ny: usize, nz: usize, halo: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "field dimensions must be positive");
+        let sx = nx + 2 * halo;
+        let sy = ny + 2 * halo;
+        let sz = nz + 2 * halo;
+        Field3D {
+            nx,
+            ny,
+            nz,
+            halo,
+            sx,
+            sy,
+            data: vec![0.0; sx * sy * sz],
+        }
+    }
+
+    /// Creates a field with every cell (ghosts included) set to `value`.
+    pub fn filled(nx: usize, ny: usize, nz: usize, halo: usize, value: f64) -> Self {
+        let mut f = Self::new(nx, ny, nz, halo);
+        f.data.fill(value);
+        f
+    }
+
+    /// Interior x extent.
+    #[inline(always)]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Interior y extent.
+    #[inline(always)]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Interior z extent.
+    #[inline(always)]
+    pub fn nz(&self) -> usize {
+        self.nz
+    }
+
+    /// Ghost depth per side.
+    #[inline(always)]
+    pub fn halo(&self) -> usize {
+        self.halo
+    }
+
+    /// Number of interior cells.
+    #[inline(always)]
+    pub fn interior_len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Flat offset of signed index `(j, k, i)`.
+    #[inline(always)]
+    pub fn offset(&self, j: isize, k: isize, i: isize) -> usize {
+        let h = self.halo as isize;
+        debug_assert!(j >= -h && j < self.nx as isize + h, "x index {j} out of range");
+        debug_assert!(k >= -h && k < self.ny as isize + h, "y index {k} out of range");
+        debug_assert!(i >= -h && i < self.nz as isize + h, "z index {i} out of range");
+        ((i + h) as usize * self.sy + (k + h) as usize) * self.sx + (j + h) as usize
+    }
+
+    /// Value at signed index `(j, k, i)`.
+    #[inline(always)]
+    pub fn at(&self, j: isize, k: isize, i: isize) -> f64 {
+        self.data[self.offset(j, k, i)]
+    }
+
+    /// Sets value at signed index `(j, k, i)`.
+    #[inline(always)]
+    pub fn set(&mut self, j: isize, k: isize, i: isize, v: f64) {
+        let o = self.offset(j, k, i);
+        self.data[o] = v;
+    }
+
+    /// Full backing slice.
+    #[inline(always)]
+    pub fn raw(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable full backing slice.
+    #[inline(always)]
+    pub fn raw_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Row slice `[x_lo, x_hi)` at `(k, i)`.
+    #[inline(always)]
+    pub fn row(&self, k: isize, i: isize, x_lo: isize, x_hi: isize) -> &[f64] {
+        let a = self.offset(x_lo, k, i);
+        let b = a + (x_hi - x_lo) as usize;
+        &self.data[a..b]
+    }
+
+    /// Mutable row slice `[x_lo, x_hi)` at `(k, i)`.
+    #[inline(always)]
+    pub fn row_mut(&mut self, k: isize, i: isize, x_lo: isize, x_hi: isize) -> &mut [f64] {
+        let a = self.offset(x_lo, k, i);
+        let b = a + (x_hi - x_lo) as usize;
+        &mut self.data[a..b]
+    }
+
+    /// Fills interior cells only.
+    pub fn fill_interior(&mut self, value: f64) {
+        for i in 0..self.nz as isize {
+            for k in 0..self.ny as isize {
+                self.row_mut(k, i, 0, self.nx as isize).fill(value);
+            }
+        }
+    }
+
+    /// Serial deterministic interior sum.
+    pub fn interior_sum(&self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..self.nz as isize {
+            for k in 0..self.ny as isize {
+                for &v in self.row(k, i, 0, self.nx as isize) {
+                    acc += v;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Serial deterministic interior dot product.
+    pub fn interior_dot(&self, other: &Field3D) -> f64 {
+        assert_eq!(self.nx, other.nx);
+        assert_eq!(self.ny, other.ny);
+        assert_eq!(self.nz, other.nz);
+        let mut acc = 0.0;
+        for i in 0..self.nz as isize {
+            for k in 0..self.ny as isize {
+                let a = self.row(k, i, 0, self.nx as isize);
+                let b = other.row(k, i, 0, self.nx as isize);
+                for (x, y) in a.iter().zip(b) {
+                    acc += x * y;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Euclidean norm over interior cells.
+    pub fn interior_norm(&self) -> f64 {
+        self.interior_dot(self).sqrt()
+    }
+
+    /// Reflects interior boundary cells into ghost layers up to `depth`,
+    /// face by face (x, then y over x-extended range, then z over the full
+    /// extended range), so corners and edges end up consistent.
+    pub fn reflect_boundaries(&mut self, depth: usize) {
+        assert!(depth <= self.halo, "reflection depth exceeds halo");
+        let (nx, ny, nz) = (self.nx as isize, self.ny as isize, self.nz as isize);
+        let d = depth as isize;
+        for i in 0..nz {
+            for k in 0..ny {
+                for t in 0..d {
+                    let l = self.at(t, k, i);
+                    self.set(-1 - t, k, i, l);
+                    let r = self.at(nx - 1 - t, k, i);
+                    self.set(nx + t, k, i, r);
+                }
+            }
+        }
+        for i in 0..nz {
+            for t in 0..d {
+                for j in -d..nx + d {
+                    let b = self.at(j, t, i);
+                    self.set(j, -1 - t, i, b);
+                    let u = self.at(j, ny - 1 - t, i);
+                    self.set(j, ny + t, i, u);
+                }
+            }
+        }
+        for t in 0..d {
+            for k in -d..ny + d {
+                for j in -d..nx + d {
+                    let b = self.at(j, k, t);
+                    self.set(j, k, -1 - t, b);
+                    let u = self.at(j, k, nz - 1 - t);
+                    self.set(j, k, nz + t, u);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_and_indexing() {
+        let mut f = Field3D::new(3, 4, 5, 2);
+        assert_eq!(f.raw().len(), 7 * 8 * 9);
+        f.set(-2, -2, -2, 1.5);
+        f.set(4, 5, 6, 2.5);
+        f.set(1, 2, 3, 3.5);
+        assert_eq!(f.at(-2, -2, -2), 1.5);
+        assert_eq!(f.at(4, 5, 6), 2.5);
+        assert_eq!(f.at(1, 2, 3), 3.5);
+    }
+
+    #[test]
+    fn interior_sum_ignores_ghosts() {
+        let mut f = Field3D::filled(2, 2, 2, 1, 100.0);
+        f.fill_interior(1.0);
+        assert_eq!(f.interior_sum(), 8.0);
+    }
+
+    #[test]
+    fn dot_matches_manual() {
+        let mut a = Field3D::new(2, 2, 2, 0);
+        let mut b = Field3D::new(2, 2, 2, 0);
+        a.fill_interior(3.0);
+        b.fill_interior(0.5);
+        assert_eq!(a.interior_dot(&b), 12.0);
+        assert!((a.interior_norm() - (8.0f64 * 9.0).sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn reflect_faces_and_corners() {
+        let mut f = Field3D::new(3, 3, 3, 1);
+        for i in 0..3 {
+            for k in 0..3 {
+                for j in 0..3 {
+                    f.set(j, k, i, (100 * i + 10 * k + j) as f64);
+                }
+            }
+        }
+        f.reflect_boundaries(1);
+        assert_eq!(f.at(-1, 1, 1), f.at(0, 1, 1));
+        assert_eq!(f.at(3, 1, 1), f.at(2, 1, 1));
+        assert_eq!(f.at(1, -1, 1), f.at(1, 0, 1));
+        assert_eq!(f.at(1, 1, 3), f.at(1, 1, 2));
+        // full corner reflects through all three axes
+        assert_eq!(f.at(-1, -1, -1), f.at(0, 0, 0));
+    }
+
+    #[test]
+    fn row_slice_matches_at() {
+        let mut f = Field3D::new(4, 3, 2, 1);
+        for j in 0..4 {
+            f.set(j, 1, 1, j as f64);
+        }
+        let r = f.row(1, 1, 0, 4);
+        assert_eq!(r, &[0.0, 1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,290 @@
+//! 3D problem geometry for the 7-point-stencil variant.
+//!
+//! TeaLeaf solves the heat equation in "two and three dimensions via
+//! five and seven point finite difference stencils" (paper §II). The 3D
+//! state machinery mirrors the 2D one: a background material plus shaped
+//! overlays.
+
+use crate::field3d::Field3D;
+use crate::geometry::Coefficient;
+use crate::mesh3d::{Extent3D, Mesh3D};
+use serde::{Deserialize, Serialize};
+
+/// Geometric region of a 3D material state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Shape3D {
+    /// Applies everywhere; must be first.
+    Background,
+    /// Axis-aligned box `[x_min,x_max) × [y_min,y_max) × [z_min,z_max)`.
+    Box {
+        /// Lower x bound.
+        x_min: f64,
+        /// Lower y bound.
+        y_min: f64,
+        /// Lower z bound.
+        z_min: f64,
+        /// Upper x bound.
+        x_max: f64,
+        /// Upper y bound.
+        y_max: f64,
+        /// Upper z bound.
+        z_max: f64,
+    },
+    /// Ball of `radius` centred at `(cx, cy, cz)`.
+    Sphere {
+        /// Centre x.
+        cx: f64,
+        /// Centre y.
+        cy: f64,
+        /// Centre z.
+        cz: f64,
+        /// Radius.
+        radius: f64,
+    },
+}
+
+impl Shape3D {
+    /// Whether the cell centred at `(x, y, z)` belongs to this shape.
+    pub fn contains(&self, x: f64, y: f64, z: f64) -> bool {
+        match *self {
+            Shape3D::Background => true,
+            Shape3D::Box {
+                x_min,
+                y_min,
+                z_min,
+                x_max,
+                y_max,
+                z_max,
+            } => x >= x_min && x < x_max && y >= y_min && y < y_max && z >= z_min && z < z_max,
+            Shape3D::Sphere { cx, cy, cz, radius } => {
+                let (dx, dy, dz) = (x - cx, y - cy, z - cz);
+                dx * dx + dy * dy + dz * dz <= radius * radius
+            }
+        }
+    }
+}
+
+/// A 3D material state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct State3D {
+    /// Region.
+    pub shape: Shape3D,
+    /// Initial density.
+    pub density: f64,
+    /// Initial specific energy.
+    pub energy: f64,
+}
+
+/// A complete 3D problem description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Problem3D {
+    /// Cells in x.
+    pub x_cells: usize,
+    /// Cells in y.
+    pub y_cells: usize,
+    /// Cells in z.
+    pub z_cells: usize,
+    /// Physical bounding box.
+    pub extent: Extent3D,
+    /// Background state followed by overlays (later wins).
+    pub states: Vec<State3D>,
+    /// Coefficient recipe.
+    pub coefficient: Coefficient,
+}
+
+impl Problem3D {
+    /// Structural validation (mirrors the 2D `Problem::validate`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.x_cells == 0 || self.y_cells == 0 || self.z_cells == 0 {
+            return Err("mesh must have at least one cell per axis".into());
+        }
+        match self.states.first() {
+            None => return Err("at least a background state is required".into()),
+            Some(s) if s.shape != Shape3D::Background => {
+                return Err("first state must be the background".into())
+            }
+            _ => {}
+        }
+        for (i, s) in self.states.iter().enumerate() {
+            if !s.density.is_finite() || s.density <= 0.0 {
+                return Err(format!("state {i} has non-positive density"));
+            }
+            if !s.energy.is_finite() || s.energy < 0.0 {
+                return Err(format!("state {i} has negative energy"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Initialises density and energy fields (interior + ghosts).
+    pub fn apply_states(&self, mesh: &Mesh3D, density: &mut Field3D, energy: &mut Field3D) {
+        assert_eq!(density.nx(), mesh.nx());
+        assert_eq!(density.ny(), mesh.ny());
+        assert_eq!(density.nz(), mesh.nz());
+        let h = density.halo().min(energy.halo()) as isize;
+        for i in -h..mesh.nz() as isize + h {
+            for k in -h..mesh.ny() as isize + h {
+                for j in -h..mesh.nx() as isize + h {
+                    let (x, y, z) = mesh.cell_center(j, k, i);
+                    for s in &self.states {
+                        if s.shape.contains(x, y, z) {
+                            density.set(j, k, i, s.density);
+                            energy.set(j, k, i, s.energy);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A hot ball inside a uniform conducting cube — the 3D analogue of the
+/// 2D `hot_square` test problem.
+pub fn hot_ball(n: usize) -> Problem3D {
+    Problem3D {
+        x_cells: n,
+        y_cells: n,
+        z_cells: n,
+        extent: Extent3D::cube(1.0),
+        states: vec![
+            State3D {
+                shape: Shape3D::Background,
+                density: 1.0,
+                energy: 1.0,
+            },
+            State3D {
+                shape: Shape3D::Sphere {
+                    cx: 0.5,
+                    cy: 0.5,
+                    cz: 0.5,
+                    radius: 0.2,
+                },
+                density: 1.0,
+                energy: 10.0,
+            },
+        ],
+        coefficient: Coefficient::Conductivity,
+    }
+}
+
+/// A 3D crooked pipe: a conducting square-section channel with one kink
+/// in y and one in z, crossing a dense insulating block — the 3D
+/// counterpart of the paper's 2D workload.
+pub fn crooked_pipe_3d(n: usize) -> Problem3D {
+    let wall = State3D {
+        shape: Shape3D::Background,
+        density: 100.0,
+        energy: 0.0001,
+    };
+    let pipe = |x0: f64, y0: f64, z0: f64, x1: f64, y1: f64, z1: f64| State3D {
+        shape: Shape3D::Box {
+            x_min: x0,
+            y_min: y0,
+            z_min: z0,
+            x_max: x1,
+            y_max: y1,
+            z_max: z1,
+        },
+        density: 0.1,
+        energy: 25.0,
+    };
+    let source = State3D {
+        shape: Shape3D::Box {
+            x_min: 0.0,
+            y_min: 1.0,
+            z_min: 1.0,
+            x_max: 0.5,
+            y_max: 2.0,
+            z_max: 2.0,
+        },
+        density: 0.1,
+        energy: 300.0,
+    };
+    Problem3D {
+        x_cells: n,
+        y_cells: n,
+        z_cells: n,
+        extent: Extent3D::cube(10.0),
+        states: vec![
+            wall,
+            // inlet leg along x
+            pipe(0.0, 1.0, 1.0, 4.0, 2.0, 2.0),
+            // kink up in y
+            pipe(3.0, 1.0, 1.0, 4.0, 6.0, 2.0),
+            // run along x at high y, kink in z
+            pipe(3.0, 5.0, 1.0, 7.0, 6.0, 2.0),
+            pipe(6.0, 5.0, 1.0, 7.0, 6.0, 6.0),
+            // exit leg to the +x face at high z
+            pipe(6.0, 5.0, 5.0, 10.0, 6.0, 6.0),
+            source,
+        ],
+        coefficient: Coefficient::Conductivity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_contain() {
+        let b = Shape3D::Box {
+            x_min: 0.0,
+            y_min: 0.0,
+            z_min: 0.0,
+            x_max: 1.0,
+            y_max: 1.0,
+            z_max: 1.0,
+        };
+        assert!(b.contains(0.5, 0.5, 0.5));
+        assert!(!b.contains(0.5, 0.5, 1.5));
+        let s = Shape3D::Sphere {
+            cx: 0.0,
+            cy: 0.0,
+            cz: 0.0,
+            radius: 1.0,
+        };
+        assert!(s.contains(0.5, 0.5, 0.5));
+        assert!(!s.contains(0.8, 0.8, 0.8));
+    }
+
+    #[test]
+    fn problems_validate() {
+        hot_ball(8).validate().unwrap();
+        crooked_pipe_3d(16).validate().unwrap();
+        let mut p = hot_ball(8);
+        p.states[0].density = 0.0;
+        assert!(p.validate().is_err());
+        let mut p2 = hot_ball(8);
+        p2.states.swap(0, 1);
+        assert!(p2.validate().is_err());
+    }
+
+    #[test]
+    fn apply_states_sets_ball() {
+        let p = hot_ball(16);
+        let mesh = Mesh3D::new(16, 16, 16, p.extent);
+        let mut density = Field3D::new(16, 16, 16, 1);
+        let mut energy = Field3D::new(16, 16, 16, 1);
+        p.apply_states(&mesh, &mut density, &mut energy);
+        // centre cell is hot, corner is background
+        assert_eq!(energy.at(8, 8, 8), 10.0);
+        assert_eq!(energy.at(0, 0, 0), 1.0);
+        assert_eq!(density.at(0, 0, 0), 1.0);
+    }
+
+    #[test]
+    fn pipe3d_spans_x() {
+        let p = crooked_pipe_3d(20);
+        let mesh = Mesh3D::new(20, 20, 20, p.extent);
+        let mut density = Field3D::new(20, 20, 20, 0);
+        let mut energy = Field3D::new(20, 20, 20, 0);
+        p.apply_states(&mesh, &mut density, &mut energy);
+        // inlet face: pipe material at (0, y~1.5, z~1.5)
+        assert_eq!(density.at(0, 3, 3), 0.1);
+        // exit face: pipe material at (last, y~5.5, z~5.5)
+        assert_eq!(density.at(19, 11, 11), 0.1);
+        // wall elsewhere
+        assert_eq!(density.at(19, 1, 1), 100.0);
+    }
+}

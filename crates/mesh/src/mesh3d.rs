@@ -1,0 +1,237 @@
+//! 3D mesh metadata and 7-point-stencil coefficients.
+//!
+//! The 3D variant of TeaLeaf uses a 7-point stencil; the paper reports 2D
+//! results and states the 3D behaviour is similar. The 3D path here runs
+//! single-tile (serial within a rank) — the scaling experiments are 2D, as
+//! in the paper.
+
+use crate::field3d::Field3D;
+use crate::geometry::Coefficient;
+use serde::{Deserialize, Serialize};
+
+/// Physical bounding box of a 3D domain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Extent3D {
+    /// Minimum x.
+    pub x_min: f64,
+    /// Maximum x.
+    pub x_max: f64,
+    /// Minimum y.
+    pub y_min: f64,
+    /// Maximum y.
+    pub y_max: f64,
+    /// Minimum z.
+    pub z_min: f64,
+    /// Maximum z.
+    pub z_max: f64,
+}
+
+impl Extent3D {
+    /// Cube `[0,s]^3`.
+    pub fn cube(s: f64) -> Self {
+        assert!(s > 0.0);
+        Extent3D {
+            x_min: 0.0,
+            x_max: s,
+            y_min: 0.0,
+            y_max: s,
+            z_min: 0.0,
+            z_max: s,
+        }
+    }
+}
+
+/// A serial 3D uniform mesh.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mesh3D {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    extent: Extent3D,
+    dx: f64,
+    dy: f64,
+    dz: f64,
+}
+
+impl Mesh3D {
+    /// Builds an `nx * ny * nz` mesh over `extent`.
+    pub fn new(nx: usize, ny: usize, nz: usize, extent: Extent3D) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0);
+        Mesh3D {
+            nx,
+            ny,
+            nz,
+            extent,
+            dx: (extent.x_max - extent.x_min) / nx as f64,
+            dy: (extent.y_max - extent.y_min) / ny as f64,
+            dz: (extent.z_max - extent.z_min) / nz as f64,
+        }
+    }
+
+    /// Cells in x.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Cells in y.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Cells in z.
+    pub fn nz(&self) -> usize {
+        self.nz
+    }
+
+    /// Spacing in x.
+    pub fn dx(&self) -> f64 {
+        self.dx
+    }
+
+    /// Spacing in y.
+    pub fn dy(&self) -> f64 {
+        self.dy
+    }
+
+    /// Spacing in z.
+    pub fn dz(&self) -> f64 {
+        self.dz
+    }
+
+    /// Uniform cell volume.
+    pub fn cell_volume(&self) -> f64 {
+        self.dx * self.dy * self.dz
+    }
+
+    /// Centre of cell `(j, k, i)`.
+    pub fn cell_center(&self, j: isize, k: isize, i: isize) -> (f64, f64, f64) {
+        (
+            self.extent.x_min + (j as f64 + 0.5) * self.dx,
+            self.extent.y_min + (k as f64 + 0.5) * self.dy,
+            self.extent.z_min + (i as f64 + 0.5) * self.dz,
+        )
+    }
+
+    /// `(rx, ry, rz) = dt / d{x,y,z}^2`.
+    pub fn timestep_scalings(&self, dt: f64) -> (f64, f64, f64) {
+        assert!(dt > 0.0);
+        (
+            dt / (self.dx * self.dx),
+            dt / (self.dy * self.dy),
+            dt / (self.dz * self.dz),
+        )
+    }
+}
+
+/// Pre-scaled 3D face coefficients for the 7-point stencil.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coefficients3D {
+    /// X faces (between `(j-1,k,i)` and `(j,k,i)`), scaled by `rx`.
+    pub kx: Field3D,
+    /// Y faces, scaled by `ry`.
+    pub ky: Field3D,
+    /// Z faces, scaled by `rz`.
+    pub kz: Field3D,
+}
+
+impl Coefficients3D {
+    /// Assembles 3D face coefficients analogously to the 2D
+    /// [`crate::Coefficients::assemble`]: `K = mean(1/w)` per face, global
+    /// boundary faces zeroed.
+    pub fn assemble(
+        mesh: &Mesh3D,
+        density: &Field3D,
+        kind: Coefficient,
+        rx: f64,
+        ry: f64,
+        rz: f64,
+        halo: usize,
+    ) -> Self {
+        assert!(density.halo() >= halo);
+        let (nx, ny, nz) = (mesh.nx(), mesh.ny(), mesh.nz());
+        let h = halo as isize;
+        let mut kx = Field3D::new(nx, ny, nz, halo);
+        let mut ky = Field3D::new(nx, ny, nz, halo);
+        let mut kz = Field3D::new(nx, ny, nz, halo);
+        let w_of = |j: isize, k: isize, i: isize| -> f64 {
+            let d = density.at(j, k, i);
+            debug_assert!(d > 0.0);
+            match kind {
+                Coefficient::Conductivity => d,
+                Coefficient::RecipConductivity => 1.0 / d,
+            }
+        };
+        let inside = |j: isize, k: isize, i: isize| -> bool {
+            j >= 0 && j < nx as isize && k >= 0 && k < ny as isize && i >= 0 && i < nz as isize
+        };
+        for i in -h..nz as isize + h {
+            for k in -h..ny as isize + h {
+                for j in -h..nx as isize + h {
+                    if j > -h && inside(j, k, i) && inside(j - 1, k, i) {
+                        let (a, b) = (w_of(j - 1, k, i), w_of(j, k, i));
+                        kx.set(j, k, i, rx * (a + b) / (2.0 * a * b));
+                    }
+                    if k > -h && inside(j, k, i) && inside(j, k - 1, i) {
+                        let (a, b) = (w_of(j, k - 1, i), w_of(j, k, i));
+                        ky.set(j, k, i, ry * (a + b) / (2.0 * a * b));
+                    }
+                    if i > -h && inside(j, k, i) && inside(j, k, i - 1) {
+                        let (a, b) = (w_of(j, k, i - 1), w_of(j, k, i));
+                        kz.set(j, k, i, rz * (a + b) / (2.0 * a * b));
+                    }
+                }
+            }
+        }
+        Coefficients3D { kx, ky, kz }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_geometry() {
+        let m = Mesh3D::new(10, 10, 5, Extent3D::cube(10.0));
+        assert_eq!(m.dx(), 1.0);
+        assert_eq!(m.dz(), 2.0);
+        assert_eq!(m.cell_volume(), 2.0);
+        assert_eq!(m.cell_center(0, 0, 0), (0.5, 0.5, 1.0));
+        let (rx, _ry, rz) = m.timestep_scalings(0.5);
+        assert_eq!(rx, 0.5);
+        assert_eq!(rz, 0.125);
+    }
+
+    #[test]
+    fn uniform_coefficients_and_boundaries() {
+        let m = Mesh3D::new(4, 4, 4, Extent3D::cube(1.0));
+        let density = Field3D::filled(4, 4, 4, 1, 2.0);
+        let c = Coefficients3D::assemble(&m, &density, Coefficient::Conductivity, 1.0, 1.0, 1.0, 1);
+        assert_eq!(c.kx.at(2, 2, 2), 0.5);
+        assert_eq!(c.ky.at(2, 2, 2), 0.5);
+        assert_eq!(c.kz.at(2, 2, 2), 0.5);
+        // boundary faces zeroed
+        assert_eq!(c.kx.at(0, 1, 1), 0.0);
+        assert_eq!(c.ky.at(1, 0, 1), 0.0);
+        assert_eq!(c.kz.at(1, 1, 0), 0.0);
+    }
+
+    #[test]
+    fn recip_mode_inverts_material_contrast() {
+        let m = Mesh3D::new(4, 4, 4, Extent3D::cube(1.0));
+        let density = Field3D::filled(4, 4, 4, 1, 4.0);
+        let cond =
+            Coefficients3D::assemble(&m, &density, Coefficient::Conductivity, 1.0, 1.0, 1.0, 1);
+        let recip = Coefficients3D::assemble(
+            &m,
+            &density,
+            Coefficient::RecipConductivity,
+            1.0,
+            1.0,
+            1.0,
+            1,
+        );
+        assert_eq!(cond.kx.at(2, 2, 2), 0.25);
+        assert_eq!(recip.kx.at(2, 2, 2), 4.0);
+    }
+}

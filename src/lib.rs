@@ -1,0 +1,43 @@
+//! # TeaLeaf-rs
+//!
+//! A from-scratch Rust reproduction of the TeaLeaf mini-application
+//! (McIntosh-Smith et al., *TeaLeaf: A Mini-Application to Enable
+//! Design-Space Explorations for Iterative Sparse Linear Solvers*, IEEE
+//! CLUSTER 2017): matrix-free iterative sparse linear solvers for the
+//! implicit heat-conduction equation on structured grids, including the
+//! paper's communication-avoiding CPPCG solver with block-Jacobi
+//! preconditioning and matrix-powers deep halos, a simulated distributed
+//! runtime, a multigrid baseline, and calibrated performance models of
+//! the paper's three petascale machines.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`mesh`] (`tea-mesh`) — fields, decomposition, geometry, coefficients
+//! * [`comms`] (`tea-comms`) — simulated MPI: halo exchange, reductions
+//! * [`solvers`] (`tea-core`) — Jacobi, CG, Chebyshev, CPPCG, preconditioners
+//! * [`amg`] (`tea-amg`) — multigrid-preconditioned CG baseline
+//! * [`perfmodel`] (`tea-perfmodel`) — machine models, scaling simulator
+//! * [`app`] (`tea-app`) — input decks, driver, diagnostics, output
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tealeaf::app::{crooked_pipe_deck, run_serial, SolverKind};
+//!
+//! let mut deck = crooked_pipe_deck(32, SolverKind::Ppcg);
+//! deck.control.end_step = 2;
+//! deck.control.ppcg_halo_depth = 4;
+//! let out = run_serial(&deck);
+//! assert!(out.steps.iter().all(|s| s.converged));
+//! println!("avg temperature = {}", out.final_summary.average_temperature());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use tea_amg as amg;
+pub use tea_app as app;
+pub use tea_comms as comms;
+pub use tea_core as solvers;
+pub use tea_mesh as mesh;
+pub use tea_perfmodel as perfmodel;
