@@ -115,7 +115,9 @@ mod tests {
         let mut b_mat = vec![0.0; n * n];
         let mut state = 12345u64;
         let mut rng = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for v in b_mat.iter_mut() {

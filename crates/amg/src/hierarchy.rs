@@ -70,7 +70,14 @@ pub struct MgHierarchy {
     pub setup_cells: u64,
 }
 
-fn make_level(density: &Field2D, nx: usize, ny: usize, kind: Coefficient, rx: f64, ry: f64) -> Level {
+fn make_level(
+    density: &Field2D,
+    nx: usize,
+    ny: usize,
+    kind: Coefficient,
+    rx: f64,
+    ry: f64,
+) -> Level {
     let mesh = Mesh2D::serial(nx, ny, Extent2D::unit());
     let coeffs = Coefficients::assemble(&mesh, density, kind, rx, ry, 1);
     let op = TileOperator::new(coeffs, TileBounds::serial(nx, ny));
@@ -99,10 +106,18 @@ fn coarsen_density(fine: &Field2D, cnx: usize, cny: usize) -> Field2D {
     let mut coarse = Field2D::new(cnx, cny, 1);
     for ck in 0..cny {
         let k0 = ck * 2;
-        let k1 = if ck + 1 == cny { fny } else { (k0 + 2).min(fny) };
+        let k1 = if ck + 1 == cny {
+            fny
+        } else {
+            (k0 + 2).min(fny)
+        };
         for cj in 0..cnx {
             let j0 = cj * 2;
-            let j1 = if cj + 1 == cnx { fnx } else { (j0 + 2).min(fnx) };
+            let j1 = if cj + 1 == cnx {
+                fnx
+            } else {
+                (j0 + 2).min(fnx)
+            };
             let mut acc = 0.0;
             for k in k0..k1 {
                 for j in j0..j1 {
@@ -122,13 +137,7 @@ fn coarsen_density(fine: &Field2D, cnx: usize, cny: usize) -> Field2D {
 impl MgHierarchy {
     /// Builds the hierarchy from the finest-level density and operator
     /// scalings. `density` must carry at least one ghost layer.
-    pub fn build(
-        density: &Field2D,
-        kind: Coefficient,
-        rx: f64,
-        ry: f64,
-        opts: MgOpts,
-    ) -> Self {
+    pub fn build(density: &Field2D, kind: Coefficient, rx: f64, ry: f64, opts: MgOpts) -> Self {
         let (mut nx, mut ny) = (density.nx(), density.ny());
         assert!(nx >= 2 && ny >= 2, "grid too small for multigrid");
         let mut levels = Vec::new();
@@ -299,17 +308,29 @@ fn restrict(fine: &Field2D, coarse: &mut Field2D) {
     let (cnx, cny) = (coarse.nx(), coarse.ny());
     for ck in 0..cny {
         let k0 = ck * 2;
-        let k1 = if ck + 1 == cny { fny } else { (k0 + 2).min(fny) };
+        let k1 = if ck + 1 == cny {
+            fny
+        } else {
+            (k0 + 2).min(fny)
+        };
         for cj in 0..cnx {
             let j0 = cj * 2;
-            let j1 = if cj + 1 == cnx { fnx } else { (j0 + 2).min(fnx) };
+            let j1 = if cj + 1 == cnx {
+                fnx
+            } else {
+                (j0 + 2).min(fnx)
+            };
             let mut acc = 0.0;
             for k in k0..k1 {
                 for j in j0..j1 {
                     acc += fine.at(j as isize, k as isize);
                 }
             }
-            coarse.set(cj as isize, ck as isize, acc / ((j1 - j0) * (k1 - k0)) as f64);
+            coarse.set(
+                cj as isize,
+                ck as isize,
+                acc / ((j1 - j0) * (k1 - k0)) as f64,
+            );
         }
     }
 }

@@ -9,8 +9,8 @@
 
 use crate::hierarchy::{MgHierarchy, MgOpts};
 use crate::trace::MgTrace;
-use tea_core::{vector, SolveOpts, SolveResult, Tile, Workspace};
 use tea_comms::Communicator;
+use tea_core::{vector, SolveOpts, SolveResult, Tile, Workspace};
 use tea_mesh::{Coefficient, Field2D};
 
 /// Options for the AMG-PCG baseline solver.

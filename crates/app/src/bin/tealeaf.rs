@@ -66,9 +66,8 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = || -> Result<String, String> {
-            it.next().ok_or(format!("{flag} needs a value"))
-        };
+        let mut value =
+            || -> Result<String, String> { it.next().ok_or(format!("{flag} needs a value")) };
         match flag.as_str() {
             "--help" | "-h" => return Err(String::new()),
             "--deck" => args.deck_path = Some(PathBuf::from(value()?)),
@@ -161,12 +160,18 @@ fn main() -> ExitCode {
     let output: RankOutput = if args.ranks <= 1 {
         run_serial(&deck)
     } else {
-        run_threaded_ranks(&deck, args.ranks).into_iter().next().unwrap()
+        run_threaded_ranks(&deck, args.ranks)
+            .into_iter()
+            .next()
+            .unwrap()
     };
     let elapsed = started.elapsed().as_secs_f64();
 
     if !args.quiet {
-        println!("{:>6} {:>10} {:>8} {:>14} {:>14}", "step", "time", "iters", "avg temp", "wall(s)");
+        println!(
+            "{:>6} {:>10} {:>8} {:>14} {:>14}",
+            "step", "time", "iters", "avg temp", "wall(s)"
+        );
         for s in &output.steps {
             let temp = s
                 .summary

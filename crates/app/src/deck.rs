@@ -393,10 +393,7 @@ pub fn render_deck(deck: &Deck) -> String {
             Coefficient::RecipConductivity => 2,
         }
     ));
-    out.push_str(&format!(
-        "tl_preconditioner_type={}\n",
-        c.precon.label()
-    ));
+    out.push_str(&format!("tl_preconditioner_type={}\n", c.precon.label()));
     out.push_str(match c.solver {
         SolverKind::Jacobi => "tl_use_jacobi\n",
         SolverKind::Cg => "tl_use_cg\n",
@@ -504,9 +501,8 @@ tl_coefficient=1
 
     #[test]
     fn state_without_geometry_must_be_background() {
-        let e =
-            parse_deck("*tea\nstate 1 density=1 energy=1\nstate 2 density=2 energy=2\n*endtea")
-                .unwrap_err();
+        let e = parse_deck("*tea\nstate 1 density=1 energy=1\nstate 2 density=2 energy=2\n*endtea")
+            .unwrap_err();
         assert!(e.contains("geometry"), "{e}");
     }
 
@@ -541,9 +537,11 @@ tl_coefficient=1
 
     #[test]
     fn control_steps_respects_end_step() {
-        let mut c = Control::default();
-        c.dt = 0.04;
-        c.end_time = 15.0;
+        let mut c = Control {
+            dt: 0.04,
+            end_time: 15.0,
+            ..Control::default()
+        };
         assert_eq!(c.steps(), 375);
         c.end_step = 10;
         assert_eq!(c.steps(), 10);

@@ -104,8 +104,7 @@ pub fn run_rank<C: Communicator + ?Sized>(
     for step in 1..=nsteps {
         // 1-2. rhs and operator (density is constant but the reference
         // reassembles every step; we follow it)
-        let coeffs =
-            Coefficients::assemble(&mesh, &density, problem.coefficient, rx, ry, halo);
+        let coeffs = Coefficients::assemble(&mesh, &density, problem.coefficient, rx, ry, halo);
         let op = TileOperator::new(coeffs, bounds);
         let tile = Tile::new(&op, &layout, comm);
         for k in 0..ny as isize {
@@ -120,7 +119,18 @@ pub fn run_rank<C: Communicator + ?Sized>(
 
         // 3. the solve
         let started = std::time::Instant::now();
-        let result = run_solver(control, &tile, &density, problem, rx, ry, &mut u, &b, &mut ws, &mut mg_trace);
+        let result = run_solver(
+            control,
+            &tile,
+            &density,
+            problem,
+            rx,
+            ry,
+            &mut u,
+            &b,
+            &mut ws,
+            &mut mg_trace,
+        );
         let wall = started.elapsed().as_secs_f64();
         trace.merge(&result.trace);
 
@@ -211,8 +221,7 @@ fn run_solver<C: Communicator + ?Sized>(
             )
         }
         SolverKind::Ppcg => {
-            let precon =
-                Preconditioner::setup(control.precon, tile.op, control.ppcg_halo_depth);
+            let precon = Preconditioner::setup(control.precon, tile.op, control.ppcg_halo_depth);
             ppcg_solve(
                 tile,
                 u,
@@ -312,7 +321,10 @@ mod tests {
         // the pipe inlet region must stay warmer than the far wall corner
         let inlet = u.at(3, 4); // inside the source
         let far_wall = u.at(31, 31);
-        assert!(inlet > 10.0 * far_wall.max(1e-30), "inlet {inlet} vs far {far_wall}");
+        assert!(
+            inlet > 10.0 * far_wall.max(1e-30),
+            "inlet {inlet} vs far {far_wall}"
+        );
     }
 
     #[test]

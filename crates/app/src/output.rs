@@ -26,18 +26,10 @@ fn heat_color(t: f64) -> (u8, u8, u8) {
     let t = t.clamp(0.0, 1.0);
     if t < 0.5 {
         let s = t * 2.0;
-        (
-            (s * 255.0) as u8,
-            (s * 255.0) as u8,
-            255,
-        )
+        ((s * 255.0) as u8, (s * 255.0) as u8, 255)
     } else {
         let s = (t - 0.5) * 2.0;
-        (
-            255,
-            ((1.0 - s) * 255.0) as u8,
-            ((1.0 - s) * 255.0) as u8,
-        )
+        (255, ((1.0 - s) * 255.0) as u8, ((1.0 - s) * 255.0) as u8)
     }
 }
 
@@ -169,7 +161,10 @@ mod tests {
         assert_eq!(heat_color(0.0), (0, 0, 255));
         assert_eq!(heat_color(1.0), (255, 0, 0));
         let (r, g, b) = heat_color(0.5);
-        assert!(r > 250 && g > 250 && b > 250, "midpoint ~white: {r},{g},{b}");
+        assert!(
+            r > 250 && g > 250 && b > 250,
+            "midpoint ~white: {r},{g},{b}"
+        );
     }
 
     #[test]

@@ -10,24 +10,20 @@ fn bench_allreduce(c: &mut Criterion) {
     let mut group = c.benchmark_group("allreduce");
     group.sample_size(10);
     for ranks in [2usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("sum_100x", ranks),
-            &ranks,
-            |b, &r| {
-                b.iter(|| {
-                    // includes thread spawn; the loop amortises it so the
-                    // reduction rendezvous dominates
-                    let res = run_threaded(r, |comm| {
-                        let mut acc = 0.0;
-                        for i in 0..100 {
-                            acc += comm.allreduce_sum(i as f64 + comm.rank() as f64);
-                        }
-                        acc
-                    });
-                    black_box(res)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("sum_100x", ranks), &ranks, |b, &r| {
+            b.iter(|| {
+                // includes thread spawn; the loop amortises it so the
+                // reduction rendezvous dominates
+                let res = run_threaded(r, |comm| {
+                    let mut acc = 0.0;
+                    for i in 0..100 {
+                        acc += comm.allreduce_sum(i as f64 + comm.rank() as f64);
+                    }
+                    acc
+                });
+                black_box(res)
+            })
+        });
     }
     group.finish();
 }
@@ -77,5 +73,10 @@ fn bench_fused_fields(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_allreduce, bench_halo_exchange, bench_fused_fields);
+criterion_group!(
+    benches,
+    bench_allreduce,
+    bench_halo_exchange,
+    bench_fused_fields
+);
 criterion_main!(benches);

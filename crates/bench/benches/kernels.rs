@@ -4,9 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use tea_core::{
-    vector, PreconKind, Preconditioner, SolveTrace, TileBounds, TileOperator,
-};
+use tea_core::{vector, PreconKind, Preconditioner, SolveTrace, TileBounds, TileOperator};
 use tea_mesh::{crooked_pipe, timestep_scalings, Coefficients, Field2D, Mesh2D};
 
 fn setup(n: usize) -> (TileOperator, Field2D, Field2D) {

@@ -8,9 +8,7 @@ use tea_core::{
     cg_fused_solve, cg_solve, chebyshev_solve, ppcg_solve, ChebyOpts, PpcgOpts, PreconKind,
     Preconditioner, SolveOpts, Tile, TileBounds, TileOperator, Workspace,
 };
-use tea_mesh::{
-    crooked_pipe, timestep_scalings, Coefficients, Decomposition2D, Field2D, Mesh2D,
-};
+use tea_mesh::{crooked_pipe, timestep_scalings, Coefficients, Decomposition2D, Field2D, Mesh2D};
 
 struct Setup {
     op: TileOperator,

@@ -10,12 +10,10 @@
 use tea_bench::FigArgs;
 use tea_comms::{HaloLayout, SerialComm};
 use tea_core::{
-    cg_solve_recording, estimate_from_cg, BlockJacobi, PreconKind, Preconditioner, SolveOpts,
-    Tile, TileBounds, TileOperator, Workspace,
+    cg_solve_recording, estimate_from_cg, BlockJacobi, PreconKind, Preconditioner, SolveOpts, Tile,
+    TileBounds, TileOperator, Workspace,
 };
-use tea_mesh::{
-    crooked_pipe, timestep_scalings, Coefficients, Decomposition2D, Field2D, Mesh2D,
-};
+use tea_mesh::{crooked_pipe, timestep_scalings, Coefficients, Decomposition2D, Field2D, Mesh2D};
 
 fn kappa(op: &TileOperator, b: &Field2D, precon: &Preconditioner, n: usize) -> f64 {
     let comm = SerialComm::new();
@@ -79,9 +77,7 @@ fn main() {
         println!("  {strip:>2}x1 strips            κ = {k_bj:10.3}   (cut {cut:5.1}%)");
     }
 
-    println!(
-        "\npaper claim: ~40% reduction with 4x1 strips; measured: {cut4:.1}%"
-    );
+    println!("\npaper claim: ~40% reduction with 4x1 strips; measured: {cut4:.1}%");
     assert!(
         (25.0..70.0).contains(&cut4),
         "4x1 block-Jacobi cut {cut4:.1}% is out of the plausible band around the paper's 40%"

@@ -53,7 +53,10 @@ fn main() {
         let eps = 1e-10;
         let k_total = cg_iteration_bound(kappa, eps);
         println!("\nestimated κ(A) = {kappa:.1}");
-        println!("Eq. 6 bound on total iterations: {k_total:.0} (measured CG: {})", cg.iterations);
+        println!(
+            "Eq. 6 bound on total iterations: {k_total:.0} (measured CG: {})",
+            cg.iterations
+        );
         for m in [4usize, 10, 16] {
             let c = ((kappa.sqrt() - 1.0) / (kappa.sqrt() + 1.0)).powi(m as i32);
             let kappa_pcg = ((1.0 + c) / (1.0 - c)).powi(2);

@@ -65,8 +65,8 @@ fn main() {
     );
     // the ratio iters/√κ should be roughly flat (CG theory)
     let first = iter_points[0].1 as f64 / (kappa_points[0].1 as f64).sqrt();
-    let last = iter_points.last().unwrap().1 as f64
-        / (kappa_points.last().unwrap().1 as f64).sqrt();
+    let last =
+        iter_points.last().unwrap().1 as f64 / (kappa_points.last().unwrap().1 as f64).sqrt();
     let drift = (last / first - 1.0).abs();
     println!(
         "iters/√κ ratio drift across the sweep: {:.0}% (CG theory says ~constant)",

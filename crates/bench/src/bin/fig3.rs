@@ -66,10 +66,7 @@ fn main() {
         if name != "far wall" {
             last = v;
         } else {
-            assert!(
-                v < last,
-                "wall must stay colder than the pipe outlet"
-            );
+            assert!(v < last, "wall must stay colder than the pipe outlet");
         }
     }
     println!("\nwrote {} and {}", ppm.display(), csv.display());

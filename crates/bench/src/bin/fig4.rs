@@ -24,7 +24,10 @@ fn main() {
         "Fig. 4: average mesh temperature at t = {:.2} vs mesh size",
         args.steps as f64 * 0.04
     );
-    println!("{:>10} {:>10} {:>18} {:>14}", "mesh", "iters/step", "avg temperature", "Δ from prev");
+    println!(
+        "{:>10} {:>10} {:>18} {:>14}",
+        "mesh", "iters/step", "avg temperature", "Δ from prev"
+    );
 
     let mut temps = Vec::new();
     let mut prev: Option<f64> = None;
@@ -56,12 +59,6 @@ fn main() {
 
     let xs: Vec<f64> = sizes.iter().map(|&n| (n * n) as f64).collect();
     let path = args.out_dir.join("fig4_mesh_convergence.csv");
-    write_series_csv(
-        &path,
-        "cells",
-        &xs,
-        &[("avg_temperature".into(), temps)],
-    )
-    .expect("write csv");
+    write_series_csv(&path, "cells", &xs, &[("avg_temperature".into(), temps)]).expect("write csv");
     println!("wrote {}", path.display());
 }

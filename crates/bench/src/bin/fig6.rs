@@ -52,8 +52,13 @@ fn main() {
 
     // claim C3: same GPUs, different interconnect
     let trace = best_trace.unwrap();
-    let titan_series =
-        ScalingSeries::sweep("PPCG - 16", &titan(), &trace, global, KernelBytes::default());
+    let titan_series = ScalingSeries::sweep(
+        "PPCG - 16",
+        &titan(),
+        &trace,
+        global,
+        KernelBytes::default(),
+    );
     let t_titan = titan_series.time_at(2048).unwrap();
     let t_daint = series[4].time_at(2048).unwrap();
     println!(

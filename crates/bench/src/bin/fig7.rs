@@ -22,10 +22,18 @@ fn main() {
     );
 
     // measure the three solver protocols once
-    let (cg_trace, cg_ext) =
-        extrapolate_to(&SolverConfig::cg(), args.cells, args.steps, args.target_cells);
-    let (pp_trace, pp_ext) =
-        extrapolate_to(&SolverConfig::ppcg(1), args.cells, args.steps, args.target_cells);
+    let (cg_trace, cg_ext) = extrapolate_to(
+        &SolverConfig::cg(),
+        args.cells,
+        args.steps,
+        args.target_cells,
+    );
+    let (pp_trace, pp_ext) = extrapolate_to(
+        &SolverConfig::ppcg(1),
+        args.cells,
+        args.steps,
+        args.target_cells,
+    );
     let (amg_trace, _, p_amg) = extrapolate_amg_to(args.cells, args.steps, args.target_cells);
     eprintln!(
         "  iteration scale factors: CG x{:.1}, PPCG x{:.1}; BoomerAMG growth exponent {p_amg:.2} \
@@ -91,7 +99,10 @@ fn main() {
              ({:.1}x; paper: 2x at 512)",
             t_amg_512 / t_ppcg_512
         );
-        assert!(t_amg_1 < t_ppcg_1, "[{mode}] the baseline must win at one node");
+        assert!(
+            t_amg_1 < t_ppcg_1,
+            "[{mode}] the baseline must win at one node"
+        );
         assert!(
             t_ppcg_512 < t_amg_512,
             "[{mode}] CPPCG must win at 512 nodes (paper: 2x)"

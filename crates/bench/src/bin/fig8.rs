@@ -21,10 +21,18 @@ fn main() {
         args.target_cells
     );
 
-    let (pp1, _) =
-        extrapolate_to(&SolverConfig::ppcg(1), args.cells, args.steps, args.target_cells);
-    let (pp16, _) =
-        extrapolate_to(&SolverConfig::ppcg(16), args.cells, args.steps, args.target_cells);
+    let (pp1, _) = extrapolate_to(
+        &SolverConfig::ppcg(1),
+        args.cells,
+        args.steps,
+        args.target_cells,
+    );
+    let (pp16, _) = extrapolate_to(
+        &SolverConfig::ppcg(16),
+        args.cells,
+        args.steps,
+        args.target_cells,
+    );
 
     let series = [
         ScalingSeries::sweep(
@@ -81,7 +89,9 @@ fn main() {
     let daint_eff = &effs[1].1;
     let titan_eff = &effs[2].1;
     let spruce_super = spruce_eff.iter().any(|&(_, e)| e > 1.0);
-    println!("\n  Spruce shows a super-linear cache window: {spruce_super} (paper: yes, to 512 nodes)");
+    println!(
+        "\n  Spruce shows a super-linear cache window: {spruce_super} (paper: yes, to 512 nodes)"
+    );
     assert!(spruce_super, "expected super-linear efficiency on Spruce");
     // Piz Daint ≥ Titan at every common node count beyond 64 (paper §VI)
     for (&(n, ed), &(_, et)) in daint_eff.iter().zip(titan_eff) {

@@ -378,7 +378,12 @@ pub fn write_series(
     let xs: Vec<f64> = series[0].points.iter().map(|p| p.nodes as f64).collect();
     let cols: Vec<(String, Vec<f64>)> = series
         .iter()
-        .map(|s| (s.label.clone(), s.points.iter().map(|p| p.total()).collect()))
+        .map(|s| {
+            (
+                s.label.clone(),
+                s.points.iter().map(|p| p.total()).collect(),
+            )
+        })
         .collect();
     let path = args.out_dir.join(name);
     tea_app::write_series_csv(&path, "nodes", &xs, &cols).expect("write series CSV");

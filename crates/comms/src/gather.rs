@@ -32,7 +32,13 @@ pub fn gather_to_root<C: Communicator + ?Sized>(
 
     let mut global = Field2D::new(gnx, gny, 0);
     // own interior
-    place(&mut global, sub.offset, field.pack_rect(0, sub.nx as isize, 0, sub.ny as isize), sub.nx, sub.ny);
+    place(
+        &mut global,
+        sub.offset,
+        field.pack_rect(0, sub.nx as isize, 0, sub.ny as isize),
+        sub.nx,
+        sub.ny,
+    );
     // everyone else in rank order
     for r in 1..comm.size() {
         let s = decomp.subdomain(r);

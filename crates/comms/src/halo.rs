@@ -192,7 +192,13 @@ fn unpack_many(
         "fused halo message has wrong size"
     );
     for (i, f) in fields.iter_mut().enumerate() {
-        f.unpack_rect(&buf[i * per_field..(i + 1) * per_field], x_lo, x_hi, y_lo, y_hi);
+        f.unpack_rect(
+            &buf[i * per_field..(i + 1) * per_field],
+            x_lo,
+            x_hi,
+            y_lo,
+            y_hi,
+        );
     }
 }
 
@@ -212,12 +218,7 @@ mod tests {
         }
     }
 
-    fn check_halo(
-        field: &Field2D,
-        mesh: &Mesh2D,
-        depth: isize,
-        f: impl Fn(isize, isize) -> f64,
-    ) {
+    fn check_halo(field: &Field2D, mesh: &Mesh2D, depth: isize, f: impl Fn(isize, isize) -> f64) {
         let (gnx, gny) = mesh.global_cells();
         let (ox, oy) = mesh.subdomain().offset;
         let (nx, ny) = (mesh.nx() as isize, mesh.ny() as isize);

@@ -55,7 +55,8 @@ impl CommStats {
     /// Records a sent message of `doubles` payload elements.
     pub fn count_send(&self, doubles: usize) {
         self.msgs_sent.fetch_add(1, Ordering::Relaxed);
-        self.doubles_sent.fetch_add(doubles as u64, Ordering::Relaxed);
+        self.doubles_sent
+            .fetch_add(doubles as u64, Ordering::Relaxed);
     }
 
     /// Records a received message of `doubles` payload elements.

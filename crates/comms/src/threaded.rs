@@ -186,7 +186,10 @@ impl Communicator for ThreadedComm {
     }
 
     fn recv(&self, from: usize, tag: u64) -> Vec<f64> {
-        assert!(from < self.shared.size, "recv from rank {from} out of range");
+        assert!(
+            from < self.shared.size,
+            "recv from rank {from} out of range"
+        );
         let msg = self.shared.receivers[self.rank][from]
             .recv()
             .expect("sender rank terminated before sending expected message");

@@ -225,7 +225,11 @@ mod tests {
         let layout = HaloLayout::new(&d, 0);
         let tile = Tile::new(&op, &layout, &comm);
         let mut iters = Vec::new();
-        for kind in [PreconKind::None, PreconKind::Diagonal, PreconKind::BlockJacobi] {
+        for kind in [
+            PreconKind::None,
+            PreconKind::Diagonal,
+            PreconKind::BlockJacobi,
+        ] {
             let m = Preconditioner::setup(kind, &op, 0);
             let mut ws = Workspace::new(n, n, 1);
             let mut u = b.clone();

@@ -115,9 +115,7 @@ mod tests {
     use crate::ops::{TileBounds, TileOperator};
     use crate::precon::{PreconKind, Preconditioner};
     use tea_comms::{HaloLayout, SerialComm};
-    use tea_mesh::{
-        crooked_pipe, timestep_scalings, Coefficients, Decomposition2D, Mesh2D,
-    };
+    use tea_mesh::{crooked_pipe, timestep_scalings, Coefficients, Decomposition2D, Mesh2D};
 
     fn serial_problem(n: usize) -> (TileOperator, Field2D) {
         let p = crooked_pipe(n);
@@ -198,10 +196,7 @@ mod tests {
         assert!(plain_rate > 1.9, "plain CG rate {plain_rate}");
         assert!(fused_rate < 1.1, "fused CG rate {fused_rate}");
         // and it carries 2 scalars per reduction
-        assert_eq!(
-            fused.trace.reduction_elements,
-            2 * fused.trace.reductions
-        );
+        assert_eq!(fused.trace.reduction_elements, 2 * fused.trace.reductions);
     }
 
     #[test]

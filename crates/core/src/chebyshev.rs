@@ -42,7 +42,11 @@ impl ChebyConstants {
     /// `λmax > λmin` (equal bounds would put `σ = ∞`; treat that case as
     /// a diagonal shift solved in one step by the caller).
     pub fn from_estimate(est: EigenEstimate) -> Self {
-        assert!(est.min > 0.0, "spectrum must be positive, got λmin = {}", est.min);
+        assert!(
+            est.min > 0.0,
+            "spectrum must be positive, got λmin = {}",
+            est.min
+        );
         assert!(
             est.max > est.min,
             "need λmax > λmin, got [{}, {}]",
@@ -125,8 +129,7 @@ pub fn chebyshev_solve<C: Communicator + ?Sized>(
     let bounds = &tile.op.bounds;
 
     // Phase 1: CG presteps, keeping the partial solution and coefficients.
-    let (pre, coeffs) =
-        cg_solve_recording(tile, u, b, precon, ws, opts, cheby.presteps.max(1));
+    let (pre, coeffs) = cg_solve_recording(tile, u, b, precon, ws, opts, cheby.presteps.max(1));
     if pre.converged {
         return pre; // the prelude already finished the job
     }
@@ -207,9 +210,7 @@ mod tests {
     use crate::precon::PreconKind;
     use crate::trace::SolveTrace;
     use tea_comms::{HaloLayout, SerialComm};
-    use tea_mesh::{
-        crooked_pipe, timestep_scalings, Coefficients, Decomposition2D, Mesh2D,
-    };
+    use tea_mesh::{crooked_pipe, timestep_scalings, Coefficients, Decomposition2D, Mesh2D};
 
     fn serial_problem(n: usize, halo: usize) -> (TileOperator, Field2D) {
         let p = crooked_pipe(n);
@@ -337,7 +338,10 @@ mod tests {
         );
         assert!(cg.converged && ch.converged);
         let cg_reds_per_iter = cg.trace.reductions as f64 / cg.iterations as f64;
-        let ch_post = ch.trace.reductions.saturating_sub(2 * ChebyOpts::default().presteps);
+        let ch_post = ch
+            .trace
+            .reductions
+            .saturating_sub(2 * ChebyOpts::default().presteps);
         let ch_reds_per_iter =
             ch_post as f64 / (ch.iterations - ChebyOpts::default().presteps).max(1) as f64;
         assert!(
@@ -356,6 +360,9 @@ mod tests {
     #[test]
     #[should_panic]
     fn non_positive_spectrum_rejected() {
-        let _ = ChebyConstants::from_estimate(EigenEstimate { min: -1.0, max: 2.0 });
+        let _ = ChebyConstants::from_estimate(EigenEstimate {
+            min: -1.0,
+            max: 2.0,
+        });
     }
 }

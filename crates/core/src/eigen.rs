@@ -115,9 +115,9 @@ fn gershgorin(diag: &[f64], off: &[f64]) -> (f64, f64) {
     };
     let mut lo = f64::INFINITY;
     let mut hi = f64::NEG_INFINITY;
-    for i in 0..n {
-        lo = lo.min(diag[i] - radius(i));
-        hi = hi.max(diag[i] + radius(i));
+    for (i, &d) in diag.iter().enumerate() {
+        lo = lo.min(d - radius(i));
+        hi = hi.max(d + radius(i));
     }
     (lo, hi)
 }
@@ -257,7 +257,10 @@ mod tests {
 
     #[test]
     fn widened_contains_original() {
-        let e = EigenEstimate { min: 1.0, max: 10.0 };
+        let e = EigenEstimate {
+            min: 1.0,
+            max: 10.0,
+        };
         let w = e.widened(0.05);
         assert!(w.min < 1.0 && w.max > 10.0);
         assert!((e.condition_number() - 10.0).abs() < 1e-15);

@@ -92,9 +92,7 @@ mod tests {
     use crate::ops::{TileBounds, TileOperator};
     use crate::precon::{PreconKind, Preconditioner};
     use tea_comms::{HaloLayout, SerialComm};
-    use tea_mesh::{
-        crooked_pipe, timestep_scalings, Coefficients, Decomposition2D, Mesh2D,
-    };
+    use tea_mesh::{crooked_pipe, timestep_scalings, Coefficients, Decomposition2D, Mesh2D};
 
     fn serial_problem(n: usize) -> (TileOperator, Field2D) {
         let p = crooked_pipe(n);

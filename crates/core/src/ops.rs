@@ -49,8 +49,16 @@ impl TileBounds {
         let (gnx, gny) = mesh.global_cells();
         let west = if sub.offset.0 == 0 { 0 } else { halo };
         let south = if sub.offset.1 == 0 { 0 } else { halo };
-        let east = if sub.offset.0 + sub.nx == gnx { 0 } else { halo };
-        let north = if sub.offset.1 + sub.ny == gny { 0 } else { halo };
+        let east = if sub.offset.0 + sub.nx == gnx {
+            0
+        } else {
+            halo
+        };
+        let north = if sub.offset.1 + sub.ny == gny {
+            0
+        } else {
+            halo
+        };
         TileBounds {
             nx: sub.nx,
             ny: sub.ny,
@@ -121,12 +129,7 @@ impl TileOperator {
     /// Fused `w = A·p; return local p·w` over the tile interior — the
     /// paper's Listing 1, including the reduction variable. The caller is
     /// responsible for the global reduction.
-    pub fn apply_fused_dot(
-        &self,
-        p: &Field2D,
-        w: &mut Field2D,
-        trace: &mut SolveTrace,
-    ) -> f64 {
+    pub fn apply_fused_dot(&self, p: &Field2D, w: &mut Field2D, trace: &mut SolveTrace) -> f64 {
         trace.spmv.record(0);
         self.apply_inner(p, w, 0, true)
     }
@@ -306,8 +309,7 @@ mod tests {
             for j in 0..n as isize {
                 // identical floating-point association to the kernel so
                 // results compare bitwise
-                let diag =
-                    1.0 + (ky.at(j, k + 1) + ky.at(j, k)) + (kx.at(j + 1, k) + kx.at(j, k));
+                let diag = 1.0 + (ky.at(j, k + 1) + ky.at(j, k)) + (kx.at(j + 1, k) + kx.at(j, k));
                 let v = diag * p.at(j, k)
                     - (ky.at(j, k + 1) * p.at(j, k + 1) + ky.at(j, k) * p.at(j, k - 1))
                     - (kx.at(j + 1, k) * p.at(j + 1, k) + kx.at(j, k) * p.at(j - 1, k));

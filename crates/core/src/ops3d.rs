@@ -73,10 +73,8 @@ impl TileOperator3D {
             let kzt = kz.row(k, i + 1, 0, nx);
             let mut acc = 0.0;
             for jj in 0..nx as usize {
-                let diag = 1.0
-                    + (kzt[jj] + kzc[jj])
-                    + (kyn[jj] + kyc[jj])
-                    + (kxr[jj + 1] + kxr[jj]);
+                let diag =
+                    1.0 + (kzt[jj] + kzc[jj]) + (kyn[jj] + kyc[jj]) + (kxr[jj + 1] + kxr[jj]);
                 let v = diag * pc[jj + 1]
                     - (kzt[jj] * pt[jj] + kzc[jj] * pb[jj])
                     - (kyn[jj] * pn[jj] + kyc[jj] * ps[jj])
@@ -88,9 +86,8 @@ impl TileOperator3D {
         };
         if self.cells() >= crate::ops::PAR_THRESHOLD {
             // parallelise over (i, k) plane rows; deterministic fold
-            let planes: Vec<(isize, isize)> = (0..nz)
-                .flat_map(|i| (0..ny).map(move |k| (k, i)))
-                .collect();
+            let planes: Vec<(isize, isize)> =
+                (0..nz).flat_map(|i| (0..ny).map(move |k| (k, i))).collect();
             // split w into disjoint row slices via raw offsets: do it
             // safely by computing each row serially into a buffer map
             // in parallel chunks keyed by plane index
@@ -130,13 +127,7 @@ impl TileOperator3D {
     }
 
     /// `r = b − A·u` over the interior.
-    pub fn residual(
-        &self,
-        u: &Field3D,
-        b: &Field3D,
-        r: &mut Field3D,
-        trace: &mut SolveTrace,
-    ) {
+    pub fn residual(&self, u: &Field3D, b: &Field3D, r: &mut Field3D, trace: &mut SolveTrace) {
         self.apply(u, r, trace);
         let (nx, ny, nz) = (self.nx as isize, self.ny as isize, self.nz as isize);
         for i in 0..nz {
@@ -165,10 +156,8 @@ impl TileOperator3D {
                 let kzt = kz.row(k, i + 1, 0, nx);
                 let dr = d.row_mut(k, i, 0, nx);
                 for jj in 0..dr.len() {
-                    dr[jj] = 1.0
-                        + (kzt[jj] + kzc[jj])
-                        + (kyn[jj] + kyc[jj])
-                        + (kxr[jj + 1] + kxr[jj]);
+                    dr[jj] =
+                        1.0 + (kzt[jj] + kzc[jj]) + (kyn[jj] + kyc[jj]) + (kxr[jj + 1] + kxr[jj]);
                 }
             }
         }
@@ -253,7 +242,8 @@ fn copy_interior(dst: &mut Field3D, src: &Field3D) {
     let (nx, ny, nz) = (src.nx() as isize, src.ny() as isize, src.nz() as isize);
     for i in 0..nz {
         for k in 0..ny {
-            dst.row_mut(k, i, 0, nx).copy_from_slice(src.row(k, i, 0, nx));
+            dst.row_mut(k, i, 0, nx)
+                .copy_from_slice(src.row(k, i, 0, nx));
         }
     }
 }
@@ -363,8 +353,7 @@ mod tests {
         let mut energy = Field3D::new(n, n, n, 1);
         p.apply_states(&mesh, &mut density, &mut energy);
         let (rx, ry, rz) = mesh.timestep_scalings(0.002);
-        let coeffs =
-            Coefficients3D::assemble(&mesh, &density, p.coefficient, rx, ry, rz, 1);
+        let coeffs = Coefficients3D::assemble(&mesh, &density, p.coefficient, rx, ry, rz, 1);
         let op = TileOperator3D::new(coeffs);
         let mut b = Field3D::new(n, n, n, 1);
         for i in 0..n as isize {
@@ -397,7 +386,10 @@ mod tests {
         op.apply(&q, &mut aq, &mut t);
         let lhs = ap.interior_dot(&q);
         let rhs = p.interior_dot(&aq);
-        assert!((lhs - rhs).abs() <= 1e-11 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() <= 1e-11 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
         // constants map to themselves (7-point row sums are 1)
         let ones = Field3D::filled(8, 8, 8, 1, 1.0);
         let mut a1 = Field3D::new(8, 8, 8, 1);

@@ -211,7 +211,14 @@ fn cheb_inner<C: Communicator + ?Sized>(
     tile.exchange(&mut [&mut ws.rr], h, trace);
     let mut avail = h; // sd/rr validity extension after the exchange
     apply_precon_ext(precon, &ws.rr, &mut ws.tmp, bounds, avail, trace);
-    vector::scaled_copy(&mut ws.sd, &ws.tmp, 1.0 / consts.theta, bounds, avail, trace);
+    vector::scaled_copy(
+        &mut ws.sd,
+        &ws.tmp,
+        1.0 / consts.theta,
+        bounds,
+        avail,
+        trace,
+    );
 
     for (step, &(a_k, b_k)) in cheb.iter().enumerate() {
         if avail == 0 {
@@ -248,9 +255,7 @@ mod tests {
     use crate::ops::{TileBounds, TileOperator};
     use crate::precon::PreconKind;
     use tea_comms::{HaloLayout, SerialComm};
-    use tea_mesh::{
-        crooked_pipe, timestep_scalings, Coefficients, Decomposition2D, Mesh2D,
-    };
+    use tea_mesh::{crooked_pipe, timestep_scalings, Coefficients, Decomposition2D, Mesh2D};
 
     fn serial_problem(n: usize, halo: usize) -> (TileOperator, Field2D) {
         let p = crooked_pipe(n);

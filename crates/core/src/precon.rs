@@ -178,7 +178,11 @@ impl BlockJacobi {
                     debug_assert!(denom > 0.0, "block pivot lost positivity");
                     let m = 1.0 / denom;
                     // superdiagonal toward j+1 (zero on the strip's last cell)
-                    let c = if j as usize + 1 < j1 { -kx.at(j + 1, k) } else { 0.0 };
+                    let c = if j as usize + 1 < j1 {
+                        -kx.at(j + 1, k)
+                    } else {
+                        0.0
+                    };
                     let cpv = c * m;
                     cp.set(j, k, cpv);
                     minv.set(j, k, m);
@@ -232,9 +236,7 @@ impl BlockJacobi {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tea_mesh::{
-        crooked_pipe, timestep_scalings, Coefficients, Extent2D, Mesh2D,
-    };
+    use tea_mesh::{crooked_pipe, timestep_scalings, Coefficients, Extent2D, Mesh2D};
 
     fn crooked_op(n: usize, halo: usize) -> TileOperator {
         let p = crooked_pipe(n);
@@ -273,10 +275,11 @@ mod tests {
                 }
                 // gaussian elimination without pivoting (SPD)
                 for col in 0..m {
+                    let pivot = mat[col].clone();
                     for row in col + 1..m {
-                        let f = mat[row][col] / mat[col][col];
-                        for c2 in col..m {
-                            mat[row][c2] -= f * mat[col][c2];
+                        let f = mat[row][col] / pivot[col];
+                        for (x, &pv) in mat[row].iter_mut().zip(&pivot).skip(col) {
+                            *x -= f * pv;
                         }
                         rhs[row] -= f * rhs[col];
                     }
@@ -288,8 +291,8 @@ mod tests {
                     }
                     rhs[row] = acc / mat[row][row];
                 }
-                for i in 0..m {
-                    z.set((j0 + i) as isize, k, rhs[i]);
+                for (i, &v) in rhs.iter().enumerate() {
+                    z.set((j0 + i) as isize, k, v);
                 }
                 j0 = j1;
             }
@@ -433,8 +436,7 @@ mod tests {
             let mut density = Field2D::new(nx, 4, 1);
             let mut energy = Field2D::new(nx, 4, 1);
             p.apply_states(&mesh, &mut density, &mut energy);
-            let coeffs =
-                Coefficients::assemble(&mesh, &density, p.coefficient, 1.0, 1.0, 1);
+            let coeffs = Coefficients::assemble(&mesh, &density, p.coefficient, 1.0, 1.0, 1);
             let op = TileOperator::new(coeffs, TileBounds::serial(nx, 4));
             let bj = BlockJacobi::setup(&op, 4);
             let mut r = Field2D::new(nx, 4, 1);
@@ -448,7 +450,10 @@ mod tests {
             let zref = dense_block_solve(&op, &r, 4);
             for k in 0..4isize {
                 for j in 0..nx as isize {
-                    assert!((z.at(j, k) - zref.at(j, k)).abs() < 1e-12, "nx={nx} ({j},{k})");
+                    assert!(
+                        (z.at(j, k) - zref.at(j, k)).abs() < 1e-12,
+                        "nx={nx} ({j},{k})"
+                    );
                 }
             }
         }

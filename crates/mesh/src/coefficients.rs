@@ -88,20 +88,14 @@ impl Coefficients {
                 let gyf = y_off + k;
                 // a face is live only when both adjacent cells lie inside
                 // the global domain
-                let kx_live = gxf >= 1
-                    && gxf < gnx as isize
-                    && gyf >= 0
-                    && gyf < gny as isize
-                    && j > -h; // need w(j-1,k) inside the allocation
+                let kx_live =
+                    gxf >= 1 && gxf < gnx as isize && gyf >= 0 && gyf < gny as isize && j > -h; // need w(j-1,k) inside the allocation
                 if kx_live {
                     let (a, b) = (w_of(j - 1, k), w_of(j, k));
                     kx.set(j, k, rx * (a + b) / (2.0 * a * b));
                 }
-                let ky_live = gyf >= 1
-                    && gyf < gny as isize
-                    && gxf >= 0
-                    && gxf < gnx as isize
-                    && k > -h;
+                let ky_live =
+                    gyf >= 1 && gyf < gny as isize && gxf >= 0 && gxf < gnx as isize && k > -h;
                 if ky_live {
                     let (a, b) = (w_of(j, k - 1), w_of(j, k));
                     ky.set(j, k, ry * (a + b) / (2.0 * a * b));
@@ -208,8 +202,7 @@ mod tests {
         let mut sd = Field2D::new(n, n, halo);
         let mut se = Field2D::new(n, n, halo);
         problem.apply_states(&serial_mesh, &mut sd, &mut se);
-        let sc =
-            Coefficients::assemble(&serial_mesh, &sd, problem.coefficient, 1.0, 1.0, halo);
+        let sc = Coefficients::assemble(&serial_mesh, &sd, problem.coefficient, 1.0, 1.0, halo);
 
         // 2x2 decomposed assembly
         let d = Decomposition2D::with_grid(n, n, 2, 2);

@@ -157,8 +157,14 @@ impl Decomposition2D {
     pub fn with_grid(global_nx: usize, global_ny: usize, px: usize, py: usize) -> Self {
         assert!(global_nx > 0 && global_ny > 0, "empty global grid");
         assert!(px > 0 && py > 0, "empty process grid");
-        assert!(px <= global_nx, "more x ranks ({px}) than cells ({global_nx})");
-        assert!(py <= global_ny, "more y ranks ({py}) than cells ({global_ny})");
+        assert!(
+            px <= global_nx,
+            "more x ranks ({px}) than cells ({global_nx})"
+        );
+        assert!(
+            py <= global_ny,
+            "more y ranks ({py}) than cells ({global_ny})"
+        );
         Decomposition2D {
             global_nx,
             global_ny,

@@ -232,9 +232,8 @@ impl Field2D {
 
     /// Iterates `(j, k, value)` over interior cells in row-major order.
     pub fn iter_interior(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        (0..self.ny).flat_map(move |k| {
-            (0..self.nx).map(move |j| (j, k, self.at(j as isize, k as isize)))
-        })
+        (0..self.ny)
+            .flat_map(move |k| (0..self.nx).map(move |j| (j, k, self.at(j as isize, k as isize))))
     }
 
     /// Extracts a rectangular patch `[x_lo, x_hi) x [y_lo, y_hi)` (signed,
@@ -254,14 +253,7 @@ impl Field2D {
     ///
     /// # Panics
     /// Panics if `buf` length does not match the rectangle area.
-    pub fn unpack_rect(
-        &mut self,
-        buf: &[f64],
-        x_lo: isize,
-        x_hi: isize,
-        y_lo: isize,
-        y_hi: isize,
-    ) {
+    pub fn unpack_rect(&mut self, buf: &[f64], x_lo: isize, x_hi: isize, y_lo: isize, y_hi: isize) {
         let w = (x_hi - x_lo).max(0) as usize;
         let h = (y_hi - y_lo).max(0) as usize;
         assert_eq!(buf.len(), w * h, "packed buffer size mismatch");
@@ -352,8 +344,8 @@ mod tests {
             }
         }
         let r = f.row(2, 0, 5);
-        for j in 0..5usize {
-            assert_eq!(r[j], f.at(j as isize, 2));
+        for (j, &v) in r.iter().enumerate() {
+            assert_eq!(v, f.at(j as isize, 2));
         }
         // slice can span into ghosts
         let g = f.row(1, -2, 7);

@@ -40,7 +40,10 @@ impl Field3D {
     /// # Panics
     /// Panics if any dimension is zero.
     pub fn new(nx: usize, ny: usize, nz: usize, halo: usize) -> Self {
-        assert!(nx > 0 && ny > 0 && nz > 0, "field dimensions must be positive");
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "field dimensions must be positive"
+        );
         let sx = nx + 2 * halo;
         let sy = ny + 2 * halo;
         let sz = nz + 2 * halo;
@@ -96,9 +99,18 @@ impl Field3D {
     #[inline(always)]
     pub fn offset(&self, j: isize, k: isize, i: isize) -> usize {
         let h = self.halo as isize;
-        debug_assert!(j >= -h && j < self.nx as isize + h, "x index {j} out of range");
-        debug_assert!(k >= -h && k < self.ny as isize + h, "y index {k} out of range");
-        debug_assert!(i >= -h && i < self.nz as isize + h, "z index {i} out of range");
+        debug_assert!(
+            j >= -h && j < self.nx as isize + h,
+            "x index {j} out of range"
+        );
+        debug_assert!(
+            k >= -h && k < self.ny as isize + h,
+            "y index {k} out of range"
+        );
+        debug_assert!(
+            i >= -h && i < self.nz as isize + h,
+            "z index {i} out of range"
+        );
         ((i + h) as usize * self.sy + (k + h) as usize) * self.sx + (j + h) as usize
     }
 

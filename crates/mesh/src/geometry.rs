@@ -371,8 +371,7 @@ mod tests {
         let mut density = Field2D::new(n, n, 0);
         let mut energy = Field2D::new(n, n, 0);
         p.apply_states(&mesh, &mut density, &mut energy);
-        let is_pipe =
-            |j: isize, k: isize| -> bool { density.at(j, k) == PIPE_DENSITY };
+        let is_pipe = |j: isize, k: isize| -> bool { density.at(j, k) == PIPE_DENSITY };
         // find an inlet cell on the left edge
         let start_k = (0..n as isize)
             .find(|&k| is_pipe(0, k))

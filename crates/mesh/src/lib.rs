@@ -39,10 +39,14 @@ pub mod mesh;
 pub mod mesh3d;
 
 pub use coefficients::{timestep_scalings, Coefficients};
-pub use decomp::{choose_process_grid, factor_pairs, split_extent, Decomposition2D, Dir, Subdomain};
+pub use decomp::{
+    choose_process_grid, factor_pairs, split_extent, Decomposition2D, Dir, Subdomain,
+};
 pub use field::Field2D;
 pub use field3d::Field3D;
-pub use geometry::{crooked_pipe, crooked_pipe_rect, hot_square, Coefficient, Problem, Shape, State};
+pub use geometry::{
+    crooked_pipe, crooked_pipe_rect, hot_square, Coefficient, Problem, Shape, State,
+};
 pub use geometry3d::{crooked_pipe_3d, hot_ball, Problem3D, Shape3D, State3D};
 pub use mesh::{Extent2D, Mesh2D};
 pub use mesh3d::{Coefficients3D, Extent3D, Mesh3D};

@@ -333,7 +333,10 @@ mod tests {
         assert!((slow - s.rank_bandwidth()).abs() / s.rank_bandwidth() < 0.02);
         // tiny working set -> cache bandwidth
         let fast = s.effective_bandwidth(1e6);
-        assert!(fast > 3.0 * slow, "cache must speed things up: {fast} vs {slow}");
+        assert!(
+            fast > 3.0 * slow,
+            "cache must speed things up: {fast} vs {slow}"
+        );
         // GPU has no cache model
         let t = titan();
         assert_eq!(t.effective_bandwidth(1e6), t.rank_bandwidth());

@@ -117,9 +117,7 @@ fn halo_time(m: &Machine, ranks: usize, tile: (usize, usize), depth: f64, nfield
 /// machine distance, plus one device sync on accelerators.
 fn reduction_time(m: &Machine, ranks: usize, elements: f64) -> f64 {
     let hops = 2.0 * log2_ceil(ranks);
-    hops * m.net.tree_hop(ranks)
-        + elements * 8.0 / m.net.bandwidth
-        + 2.0 * m.node.host_link_latency
+    hops * m.net.tree_hop(ranks) + elements * 8.0 / m.net.bandwidth + 2.0 * m.node.host_link_latency
 }
 
 /// Replays a solver trace on `machine` at `nodes` nodes for a fixed
@@ -442,8 +440,7 @@ mod tests {
         // paper §VI: the 4000^2 problem stops scaling around 1,024 nodes
         let m = titan();
         let t = cg_like(500);
-        let series =
-            ScalingSeries::sweep("CG - 1", &m, &t, (4000, 4000), KernelBytes::default());
+        let series = ScalingSeries::sweep("CG - 1", &m, &t, (4000, 4000), KernelBytes::default());
         let best = series.best_nodes();
         assert!(
             (128..=2048).contains(&best),
@@ -458,8 +455,7 @@ mod tests {
         let cg = cg_like(500);
         let pp = ppcg_like(30, 16, 16);
         let s_cg = ScalingSeries::sweep("CG - 1", &m, &cg, (4000, 4000), KernelBytes::default());
-        let s_pp =
-            ScalingSeries::sweep("PPCG - 16", &m, &pp, (4000, 4000), KernelBytes::default());
+        let s_pp = ScalingSeries::sweep("PPCG - 16", &m, &pp, (4000, 4000), KernelBytes::default());
         let at = 8192;
         assert!(
             s_pp.time_at(at).unwrap() < s_cg.time_at(at).unwrap(),
@@ -475,8 +471,7 @@ mod tests {
         let d1 = ppcg_like(30, 16, 1);
         let d16 = ppcg_like(30, 16, 16);
         let s1 = ScalingSeries::sweep("PPCG - 1", &m, &d1, (4000, 4000), KernelBytes::default());
-        let s16 =
-            ScalingSeries::sweep("PPCG - 16", &m, &d16, (4000, 4000), KernelBytes::default());
+        let s16 = ScalingSeries::sweep("PPCG - 16", &m, &d16, (4000, 4000), KernelBytes::default());
         assert!(
             s16.time_at(2048).unwrap() < s1.time_at(2048).unwrap(),
             "depth 16 must beat depth 1 at 2,048 nodes"
@@ -490,7 +485,13 @@ mod tests {
     fn piz_daint_beats_titan_at_2048() {
         // paper §VI: ~47 % faster, attributed to Aries vs Gemini
         let pp = ppcg_like(30, 16, 16);
-        let st = ScalingSeries::sweep("PPCG - 16", &titan(), &pp, (4000, 4000), KernelBytes::default());
+        let st = ScalingSeries::sweep(
+            "PPCG - 16",
+            &titan(),
+            &pp,
+            (4000, 4000),
+            KernelBytes::default(),
+        );
         let sd = ScalingSeries::sweep(
             "PPCG - 16",
             &piz_daint(),

@@ -7,8 +7,7 @@
 
 use std::path::Path;
 use tealeaf::app::{
-    crooked_pipe_deck, run_serial, run_threaded_ranks, write_field_csv, write_field_ppm,
-    SolverKind,
+    crooked_pipe_deck, run_serial, run_threaded_ranks, write_field_csv, write_field_ppm, SolverKind,
 };
 use tealeaf::solvers::PreconKind;
 
@@ -35,7 +34,10 @@ fn main() {
         run_threaded_ranks(&deck, ranks).into_iter().next().unwrap()
     };
 
-    println!("\n{:>6} {:>9} {:>7} {:>16}", "step", "time", "iters", "avg temperature");
+    println!(
+        "\n{:>6} {:>9} {:>7} {:>16}",
+        "step", "time", "iters", "avg temperature"
+    );
     for s in &out.steps {
         if let Some(sum) = s.summary {
             println!(

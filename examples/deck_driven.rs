@@ -35,7 +35,10 @@ fn main() {
 
     let out = run_serial(&deck);
 
-    println!("{:>6} {:>9} {:>7} {:>16}", "step", "time", "iters", "avg temperature");
+    println!(
+        "{:>6} {:>9} {:>7} {:>16}",
+        "step", "time", "iters", "avg temperature"
+    );
     for s in &out.steps {
         if let Some(sum) = s.summary {
             println!(
@@ -49,7 +52,10 @@ fn main() {
     }
 
     let s = out.final_summary;
-    println!("\nfinal: mass = {:.6e}, internal energy = {:.6e}", s.mass, s.internal_energy);
+    println!(
+        "\nfinal: mass = {:.6e}, internal energy = {:.6e}",
+        s.mass, s.internal_energy
+    );
     println!(
         "solver: {} outer iterations, {} reductions, {} halo exchanges",
         out.trace.outer_iterations,

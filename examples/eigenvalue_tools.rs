@@ -46,7 +46,11 @@ fn main() {
     );
 
     let mut kappas = Vec::new();
-    for kind in [PreconKind::None, PreconKind::Diagonal, PreconKind::BlockJacobi] {
+    for kind in [
+        PreconKind::None,
+        PreconKind::Diagonal,
+        PreconKind::BlockJacobi,
+    ] {
         let precon = Preconditioner::setup(kind, &op, 0);
         let mut ws = Workspace::new(cells, cells, 1);
         let mut u = b.clone();

@@ -23,8 +23,14 @@ fn main() {
     let coeffs = Coefficients3D::assemble(&mesh, &density, problem.coefficient, rx, ry, rz, 1);
     let op = TileOperator3D::new(coeffs);
 
-    println!("3D crooked pipe: {n}^3 cells ({} unknowns), {steps} steps of dt = {dt}", n * n * n);
-    println!("{:>6} {:>8} {:>14} {:>16}", "step", "iters", "residual", "total heat");
+    println!(
+        "3D crooked pipe: {n}^3 cells ({} unknowns), {steps} steps of dt = {dt}",
+        n * n * n
+    );
+    println!(
+        "{:>6} {:>8} {:>14} {:>16}",
+        "step", "iters", "residual", "total heat"
+    );
 
     let mut u = Field3D::new(n, n, n, 1);
     let mut b = Field3D::new(n, n, n, 1);

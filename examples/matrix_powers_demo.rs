@@ -62,7 +62,10 @@ fn main() {
     });
 
     println!("rank 0 schedule (rank 1 identical):");
-    println!("{:>8} {:>18} {:>22}", "sweep", "sweep extension", "fresh ghost layers");
+    println!(
+        "{:>8} {:>18} {:>22}",
+        "sweep", "sweep extension", "fresh ghost layers"
+    );
     for &(sweep, ext) in &freshness[0] {
         println!(
             "{:>8} {:>18} {:>22}",
@@ -143,7 +146,10 @@ fn main() {
     }
     println!("A^{DEPTH} u, exchange-every-sweep vs matrix powers:");
     println!("  max |difference| over both ranks: {worst:.3e} (bitwise-expected 0)");
-    println!("  messages sent (rank 0): {} vs {}", reference[0].1, powers[0].1);
+    println!(
+        "  messages sent (rank 0): {} vs {}",
+        reference[0].1, powers[0].1
+    );
     assert_eq!(worst, 0.0, "matrix powers must be exact");
     assert!(powers[0].1 < reference[0].1);
 }

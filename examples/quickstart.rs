@@ -51,7 +51,16 @@ fn main() {
 
     // Jacobi: the design-space floor
     let mut u = b.clone();
-    let r = jacobi_solve(&tile, &mut u, &b, &mut ws, SolveOpts { eps: 1e-10, max_iters: 200_000 });
+    let r = jacobi_solve(
+        &tile,
+        &mut u,
+        &b,
+        &mut ws,
+        SolveOpts {
+            eps: 1e-10,
+            max_iters: 200_000,
+        },
+    );
     report("Jacobi", &r);
 
     // plain CG
@@ -73,7 +82,15 @@ fn main() {
 
     // Chebyshev (CG presteps for eigenvalues, then no dot products)
     let mut u = b.clone();
-    let r = chebyshev_solve(&tile, &mut u, &b, &ident, &mut ws, opts, ChebyOpts::default());
+    let r = chebyshev_solve(
+        &tile,
+        &mut u,
+        &b,
+        &ident,
+        &mut ws,
+        opts,
+        ChebyOpts::default(),
+    );
     report("Chebyshev", &r);
 
     // CPPCG at depths 1 and 8

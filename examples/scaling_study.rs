@@ -35,11 +35,24 @@ fn main() {
     let global = (cells, cells);
     for machine in [titan(), piz_daint()] {
         println!("== {} (to {} nodes) ==", machine.name, machine.max_nodes);
-        println!("{:>8} {}", "nodes", configs.iter().map(|(l, _)| format!("{l:>12}")).collect::<String>());
+        println!(
+            "{:>8} {}",
+            "nodes",
+            configs
+                .iter()
+                .map(|(l, _)| format!("{l:>12}"))
+                .collect::<String>()
+        );
         let series: Vec<ScalingSeries> = configs
             .iter()
             .map(|(label, trace)| {
-                ScalingSeries::sweep(label.clone(), &machine, trace, global, KernelBytes::default())
+                ScalingSeries::sweep(
+                    label.clone(),
+                    &machine,
+                    trace,
+                    global,
+                    KernelBytes::default(),
+                )
             })
             .collect();
         for (i, point) in series[0].points.iter().enumerate() {

@@ -52,7 +52,10 @@ fn iteration_cap_reports_non_convergence() {
     assert!(!res.converged, "3 iterations cannot hit 1e-14");
     assert_eq!(res.iterations, 3);
     assert!(res.final_residual > 0.0);
-    assert!(res.final_residual < res.initial_residual, "but it must make progress");
+    assert!(
+        res.final_residual < res.initial_residual,
+        "but it must make progress"
+    );
 }
 
 #[test]

@@ -85,10 +85,7 @@ fn matrix_powers_depths_agree_across_a_decomposition() {
             None => reference_field = Some(u),
             Some(uref) => {
                 let diff = max_rel_diff(&u, uref);
-                assert!(
-                    diff < 1e-7,
-                    "depth {depth} drifted from depth 1 by {diff}"
-                );
+                assert!(diff < 1e-7, "depth {depth} drifted from depth 1 by {diff}");
             }
         }
     }
@@ -98,7 +95,11 @@ fn matrix_powers_depths_agree_across_a_decomposition() {
 fn preconditioners_do_not_change_the_answer() {
     let n = 28;
     let mut fields = Vec::new();
-    for precon in [PreconKind::None, PreconKind::Diagonal, PreconKind::BlockJacobi] {
+    for precon in [
+        PreconKind::None,
+        PreconKind::Diagonal,
+        PreconKind::BlockJacobi,
+    ] {
         let mut d = deck(n, SolverKind::Cg, 2);
         d.control.precon = precon;
         let out = run_serial(&d);

@@ -1,0 +1,46 @@
+//! Workspace smoke test: the root-crate quickstart path end to end.
+//!
+//! This is the one test a fresh checkout must pass for the workspace to
+//! count as alive: build the paper's crooked-pipe problem through the
+//! umbrella crate's re-exports, run the CPPCG solver serially for two
+//! steps, and converge. It intentionally mirrors the `tealeaf` crate's
+//! front-page doctest so the documented quickstart can never drift from
+//! a tested path.
+
+use tealeaf::app::{crooked_pipe_deck, run_serial, SolverKind};
+
+#[test]
+fn quickstart_ppcg_converges_in_two_steps() {
+    let mut deck = crooked_pipe_deck(32, SolverKind::Ppcg);
+    deck.control.end_step = 2;
+    deck.control.ppcg_halo_depth = 4;
+
+    let out = run_serial(&deck);
+
+    assert!(out.steps.len() <= 2, "end_step must cap the run");
+    assert!(
+        !out.steps.is_empty(),
+        "the driver must take at least a step"
+    );
+    assert!(
+        out.steps.iter().all(|s| s.converged),
+        "every PPCG step must converge on the 32x32 crooked pipe"
+    );
+    let avg = out.final_summary.average_temperature();
+    assert!(
+        avg.is_finite() && avg > 0.0,
+        "average temperature must be physical, got {avg}"
+    );
+}
+
+#[test]
+fn umbrella_reexports_cover_every_member() {
+    // One symbol through each re-exported member crate, so a missing
+    // workspace wiring shows up here and not in a downstream example.
+    let _ = tealeaf::mesh::crooked_pipe(8);
+    let _ = tealeaf::comms::SerialComm::new();
+    let _ = tealeaf::solvers::SolveOpts::default();
+    let _ = tealeaf::amg::MgOpts::default();
+    let _ = tealeaf::perfmodel::all_machines();
+    let _ = tealeaf::app::crooked_pipe_deck(8, tealeaf::app::SolverKind::Cg);
+}

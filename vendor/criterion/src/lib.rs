@@ -1,0 +1,340 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! Implements the subset of criterion's API that `tea-bench`'s five
+//! benchmark suites use — [`Criterion`], [`BenchmarkGroup`],
+//! [`BenchmarkId`], [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — backed by a simple mean-of-samples
+//! wall-clock harness instead of criterion's statistical machinery.
+//!
+//! Behaviour worth knowing:
+//!
+//! * `cargo bench -- --test` runs every benchmark body exactly once and
+//!   reports `ok` — this is what CI's bench-smoke job uses, so benches
+//!   are compile- and run-checked without paying measurement time.
+//! * Without `--test`, each benchmark is warmed up once and then timed
+//!   over `sample_size` samples; the mean time per iteration is printed
+//!   in criterion-like `group/name  time: […]` lines.
+//! * A `--filter`-style positional argument restricts which benchmarks
+//!   run, matching criterion's substring semantics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a `Criterion` from the process arguments, honouring the
+    /// `--test` flag and a positional substring filter; all other flags
+    /// that the real criterion accepts are ignored.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" => c.test_mode = true,
+                // flags with a value we deliberately ignore
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time"
+                | "--sample-size" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self.test_mode, &self.filter, &id.full_name(None), 10, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(
+            self.criterion.test_mode,
+            &self.criterion.filter,
+            &id.full_name(Some(&self.name)),
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through (stand-in for
+    /// criterion's input-aware variant).
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (a no-op here; criterion finalises reports).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark, optionally parameterised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A benchmark id with a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: Some(name.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// A benchmark id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn full_name(&self, group: Option<&str>) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        if let Some(g) = group {
+            parts.push(g);
+        }
+        if let Some(n) = &self.name {
+            parts.push(n);
+        }
+        if let Some(p) = &self.parameter {
+            parts.push(p);
+        }
+        parts.join("/")
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: Some(s.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            name: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+/// Hands the benchmark body its timing loop.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the accumulated duration and iteration count.
+    /// In `--test` mode `f` runs exactly once, untimed.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            self.iters = 1;
+            return;
+        }
+        // one warm-up call, then `samples` timed calls
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = self.samples as u64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    test_mode: bool,
+    filter: &Option<String>,
+    name: &str,
+    samples: usize,
+    mut f: F,
+) {
+    if let Some(needle) = filter {
+        if !name.contains(needle.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        test_mode,
+        samples: samples.max(1),
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("test {name} ... ok");
+    } else if b.iters > 0 {
+        let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+        println!("{name}  time: [{}]", human_time(per_iter));
+    } else {
+        println!("{name}  (no iterations measured)");
+    }
+}
+
+fn human_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.4} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.4} µs", seconds * 1e6)
+    } else {
+        format!("{:.4} ns", seconds * 1e9)
+    }
+}
+
+/// Re-export point so `use criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a group runner (stand-in for
+/// criterion's macro of the same name; only the plain
+/// `criterion_group!(name, target, ...)` form is supported).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main()` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_compose() {
+        assert_eq!(BenchmarkId::new("f", 8).full_name(Some("g")), "g/f/8");
+        assert_eq!(BenchmarkId::from_parameter(64).full_name(Some("g")), "g/64");
+        assert_eq!(BenchmarkId::from("plain").full_name(None), "plain");
+    }
+
+    #[test]
+    fn groups_run_bodies() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(3);
+            g.bench_function("a", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::from_parameter(5), &5, |b, &x| {
+                b.iter(|| ran += x)
+            });
+            g.finish();
+        }
+        assert_eq!(ran, 6); // test mode: each body exactly once (1 + 5)
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("match_me".into()),
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("match_me_exactly", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+
+    #[test]
+    fn timed_mode_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(4);
+            g.bench_function("count", |b| b.iter(|| calls += 1));
+        }
+        assert_eq!(calls, 5); // 1 warm-up + 4 samples
+    }
+}

@@ -1,0 +1,250 @@
+//! Offline stand-in for [crossbeam](https://crates.io/crates/crossbeam).
+//!
+//! Only the `channel` module subset that `tea-comms` uses is provided:
+//! [`channel::unbounded`] MPMC channels whose [`channel::Sender`] and
+//! [`channel::Receiver`] are both `Send + Sync + Clone`, with blocking
+//! `recv` and disconnect detection on both ends. The implementation is a
+//! `Mutex<VecDeque>` + `Condvar` queue — slower than crossbeam's
+//! lock-free channel but behaviourally equivalent for the simulated-MPI
+//! workload (per-pair FIFO ordering, blocking receive, error on
+//! disconnected peer).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Multi-producer multi-consumer FIFO channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: Mutex<State<T>>,
+        available: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like real crossbeam: Debug/Display without requiring `T: Debug`.
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Creates an unbounded MPMC FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            available: Condvar::new(),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`, waking one blocked receiver. Fails only if
+        /// every [`Receiver`] has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.inner.queue.lock().expect("channel mutex poisoned");
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            st.items.push_back(value);
+            drop(st);
+            self.inner.available.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value is available or every [`Sender`] has been
+        /// dropped and the queue is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.inner.queue.lock().expect("channel mutex poisoned");
+            loop {
+                if let Some(v) = st.items.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .inner
+                    .available
+                    .wait(st)
+                    .expect("channel mutex poisoned");
+            }
+        }
+
+        /// Returns a value if one is immediately available.
+        pub fn try_recv(&self) -> Option<T> {
+            self.inner
+                .queue
+                .lock()
+                .expect("channel mutex poisoned")
+                .items
+                .pop_front()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner
+                .queue
+                .lock()
+                .expect("channel mutex poisoned")
+                .senders += 1;
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner
+                .queue
+                .lock()
+                .expect("channel mutex poisoned")
+                .receivers += 1;
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.inner.queue.lock().expect("channel mutex poisoned");
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                // wake receivers so they can observe the disconnect
+                self.inner.available.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.inner
+                .queue
+                .lock()
+                .expect("channel mutex poisoned")
+                .receivers -= 1;
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvError};
+
+    #[test]
+    fn fifo_order_preserved() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || rx.recv().unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        tx.send(42u32).unwrap();
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn disconnect_detected_after_drain() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_with_no_receivers() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert!(tx.send(7).is_err());
+    }
+
+    #[test]
+    fn clones_share_the_queue() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        let rx2 = rx.clone();
+        tx2.send(5).unwrap();
+        assert_eq!(rx2.recv().unwrap(), 5);
+        drop(tx);
+        drop(tx2);
+        assert!(rx.recv().is_err());
+    }
+}

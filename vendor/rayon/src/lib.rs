@@ -1,0 +1,148 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the workspace vendors a minimal, API-compatible subset of rayon's
+//! parallel-iterator surface. Every `par_*` method returns the ordinary
+//! **sequential** standard-library iterator, which keeps call sites
+//! (`par_chunks_mut(..).enumerate().zip(..).for_each(..)`,
+//! `par_iter().map(..).collect()`, …) compiling and semantically
+//! identical — the kernels in `tea-core` already fold their partials in a
+//! deterministic order, so sequential execution changes timing only, not
+//! results.
+//!
+//! When real rayon becomes available, deleting this crate from
+//! `[workspace.dependencies]` restores true data parallelism with no
+//! source changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Drop-in for `rayon::prelude`: the extension traits that add `par_*`
+/// methods to slices and vectors.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+/// `par_iter()` — sequential stand-in returning [`std::slice::Iter`].
+pub trait IntoParallelRefIterator<'a> {
+    /// The item type yielded by the iterator.
+    type Item: 'a;
+    /// The iterator type returned by [`Self::par_iter`].
+    type Iter: Iterator<Item = Self::Item>;
+    /// Returns a (sequential) iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+/// `par_iter_mut()` — sequential stand-in returning [`std::slice::IterMut`].
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The item type yielded by the iterator.
+    type Item: 'a;
+    /// The iterator type returned by [`Self::par_iter_mut`].
+    type Iter: Iterator<Item = Self::Item>;
+    /// Returns a (sequential) iterator over `&mut self`'s elements.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = std::slice::IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.iter_mut()
+    }
+}
+
+impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = std::slice::IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.iter_mut()
+    }
+}
+
+/// `par_chunks()` — sequential stand-in returning [`std::slice::Chunks`].
+pub trait ParallelSlice<T> {
+    /// Returns a (sequential) iterator over `chunk_size`-sized chunks.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// `par_chunks_mut()` — sequential stand-in returning
+/// [`std::slice::ChunksMut`].
+pub trait ParallelSliceMut<T> {
+    /// Returns a (sequential) iterator over mutable `chunk_size`-sized
+    /// chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// Runs both closures (sequentially, `a` first) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_matches_chunks_mut() {
+        let mut v = vec![0usize; 10];
+        v.par_chunks_mut(3).enumerate().for_each(|(i, c)| {
+            for x in c {
+                *x = i;
+            }
+        });
+        assert_eq!(v, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn par_iter_collects_in_order() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|&x| 2 * x).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn zip_of_mut_iters_works() {
+        let mut out = vec![0.0f64; 4];
+        let inp = [1.0, 2.0, 3.0, 4.0];
+        out.par_iter_mut()
+            .zip(inp.par_iter())
+            .for_each(|(o, &i)| *o = i * i);
+        assert_eq!(out, vec![1.0, 4.0, 9.0, 16.0]);
+    }
+}

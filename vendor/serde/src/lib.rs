@@ -1,0 +1,21 @@
+//! Offline stand-in for [serde](https://crates.io/crates/serde).
+//!
+//! Provides just the names the workspace imports — the `Serialize` /
+//! `Deserialize` traits and (behind the `derive` feature, matching real
+//! serde's layout) the same-named derive macros from `serde_derive`.
+//! The traits are deliberately empty: no code in the tree serializes
+//! anything yet, the derives only need to resolve and expand cleanly.
+//! Replacing this crate with real serde is a `[workspace.dependencies]`
+//! change only.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

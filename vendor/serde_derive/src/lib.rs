@@ -1,0 +1,25 @@
+//! Offline stand-in for [serde_derive](https://crates.io/crates/serde_derive).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its protocol and
+//! model types so that a future (networked) build can serialize traces
+//! and decks to JSON. Nothing in the tree calls a serializer yet, so
+//! these stand-in derives validate the attribute position and expand to
+//! **no code at all** — no trait impls are generated, and none are
+//! required. Swapping real serde back in is a `[workspace.dependencies]`
+//! change only.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// Stand-in for `#[derive(Serialize)]`: expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Stand-in for `#[derive(Deserialize)]`: expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
