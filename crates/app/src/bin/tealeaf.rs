@@ -29,6 +29,8 @@ OPTIONS:
     --dt <t>             time step                        [default: 0.04]
     --eps <e>            solver tolerance                 [default: 1e-10]
     --ranks <r>          simulated MPI ranks (threads)    [default: 1]
+    --threads <t>        kernel worker threads per rank
+                         [default: TEA_NUM_THREADS or all cores]
     --out <prefix>       write <prefix>.ppm and <prefix>.csv of the final field
     --quiet              only print the final summary
     --help               show this help
@@ -45,6 +47,7 @@ struct Args {
     dt: f64,
     eps: f64,
     ranks: usize,
+    threads: Option<usize>,
     out: Option<String>,
     quiet: bool,
 }
@@ -61,6 +64,7 @@ fn parse_args() -> Result<Args, String> {
         dt: 0.04,
         eps: 1e-10,
         ranks: 1,
+        threads: None,
         out: None,
         quiet: false,
     };
@@ -96,6 +100,9 @@ fn parse_args() -> Result<Args, String> {
             "--dt" => args.dt = value()?.parse().map_err(|e| format!("--dt: {e}"))?,
             "--eps" => args.eps = value()?.parse().map_err(|e| format!("--eps: {e}"))?,
             "--ranks" => args.ranks = value()?.parse().map_err(|e| format!("--ranks: {e}"))?,
+            "--threads" => {
+                args.threads = Some(value()?.parse().map_err(|e| format!("--threads: {e}"))?)
+            }
             "--out" => args.out = Some(value()?),
             "--quiet" => args.quiet = true,
             other => return Err(format!("unknown option '{other}'")),
@@ -146,14 +153,23 @@ fn main() -> ExitCode {
         deck.control.opts.eps = args.eps;
         deck.control.summary_frequency = if args.quiet { 0 } else { 1 };
     }
+    // CLI --threads overrides the deck's tl_num_threads, which overrides
+    // the ambient TEA_NUM_THREADS / core count
+    if args.threads.is_some() {
+        deck.control.threads = args.threads;
+    }
+    if let Some(t) = deck.control.threads {
+        tea_core::set_num_threads(t);
+    }
 
     println!(
-        "tealeaf: {}x{} cells, solver {:?}, {} steps, {} rank(s)",
+        "tealeaf: {}x{} cells, solver {:?}, {} steps, {} rank(s), {} worker thread(s)",
         deck.problem.x_cells,
         deck.problem.y_cells,
         deck.control.solver,
         deck.control.steps(),
-        args.ranks
+        args.ranks,
+        tea_core::num_threads(),
     );
 
     let started = std::time::Instant::now();
@@ -197,6 +213,11 @@ fn main() -> ExitCode {
     println!("  stencil sweeps   {}", output.trace.spmv.total());
     println!("  halo exchanges   {}", output.trace.total_halo_exchanges());
     println!("  reductions       {}", output.trace.reductions);
+    println!(
+        "  threading        {} worker(s), parallel above {} cells",
+        tea_core::num_threads(),
+        tea_core::par_threshold()
+    );
     println!("  wall time        {elapsed:.3}s");
 
     if let (Some(prefix), Some(u)) = (&args.out, &output.final_u) {

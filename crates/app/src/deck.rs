@@ -23,8 +23,13 @@
 //! tl_eps=1e-10
 //! tl_max_iters=10000
 //! tl_coefficient=1
+//! tl_num_threads=4
 //! *endtea
 //! ```
+//!
+//! `tl_num_threads` is an extension of this reproduction: it pins the
+//! kernel worker-thread count for the run (the same knob as the
+//! `TEA_NUM_THREADS` environment variable and the CLI `--threads` flag).
 
 use std::collections::BTreeMap;
 use tea_core::{PreconKind, SolveOpts};
@@ -86,6 +91,9 @@ pub struct Control {
     pub presteps: u64,
     /// Print a field summary every this many steps (0 = only at end).
     pub summary_frequency: u64,
+    /// Worker threads for the kernel sweeps (`None` = leave the runtime
+    /// default: `TEA_NUM_THREADS` or all available cores).
+    pub threads: Option<usize>,
 }
 
 impl Default for Control {
@@ -101,6 +109,7 @@ impl Default for Control {
             ppcg_halo_depth: 1,
             presteps: 30,
             summary_frequency: 10,
+            threads: None,
         }
     }
 }
@@ -223,6 +232,7 @@ pub fn parse_deck(text: &str) -> Result<Deck, String> {
             "tl_ppcg_inner_steps" => control.ppcg_inner_steps = ival()? as usize,
             "tl_ppcg_halo_depth" => control.ppcg_halo_depth = ival()? as usize,
             "tl_ch_cg_presteps" => control.presteps = ival()?,
+            "tl_num_threads" => control.threads = Some((ival()? as usize).max(1)),
             "tl_coefficient" => {
                 coefficient = match value {
                     "1" | "conductivity" => Coefficient::Conductivity,

@@ -266,8 +266,18 @@ fn solver_label(control: &crate::deck::Control) -> String {
     }
 }
 
+/// Applies the deck's thread-count override (if any) to the kernel
+/// runtime. Called once per run entry point; a deck without the setting
+/// leaves the ambient configuration (`TEA_NUM_THREADS` / cores) alone.
+fn apply_thread_config(deck: &Deck) {
+    if let Some(threads) = deck.control.threads {
+        tea_core::set_num_threads(threads);
+    }
+}
+
 /// Runs the deck on a single rank.
 pub fn run_serial(deck: &Deck) -> RankOutput {
+    apply_thread_config(deck);
     let decomp = Decomposition2D::with_grid(deck.problem.x_cells, deck.problem.y_cells, 1, 1);
     let comm = SerialComm::new();
     run_rank(deck, &decomp, &comm)
@@ -275,7 +285,14 @@ pub fn run_serial(deck: &Deck) -> RankOutput {
 
 /// Runs the deck on `ranks` threaded ranks; returns per-rank outputs
 /// (rank 0 holds the gathered field).
+///
+/// Each simulated rank is its own OS thread and each rank's sweeps use
+/// the full configured worker count, so `ranks × threads` can
+/// oversubscribe physical cores; pin `threads` (deck `tl_num_threads`,
+/// CLI `--threads`, or `TEA_NUM_THREADS`) to `cores / ranks` for
+/// node-realistic hybrid runs.
 pub fn run_threaded_ranks(deck: &Deck, ranks: usize) -> Vec<RankOutput> {
+    apply_thread_config(deck);
     let decomp = Decomposition2D::new(deck.problem.x_cells, deck.problem.y_cells, ranks);
     comm_run(decomp.ranks(), |comm| run_rank(deck, &decomp, comm))
 }

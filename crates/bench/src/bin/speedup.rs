@@ -1,0 +1,301 @@
+//! `speedup` — measures the threaded kernel runtime against exact serial
+//! execution and records the result machine-readably.
+//!
+//! For each mesh size it runs the crooked-pipe deck twice per solver
+//! (CG and CPPCG-4): once with 1 worker thread (bit-for-bit the old
+//! sequential runtime) and once with the requested worker count. It
+//! reports the solve-wall speedup, asserts the two final temperature
+//! fields are **bit-identical** (the runtime's determinism contract),
+//! and writes everything to a JSON artefact (default `BENCH_PR2.json`)
+//! so the performance trajectory of the repository is recorded per PR.
+//!
+//! ```text
+//! cargo run --release -p tea-bench --bin speedup -- \
+//!     --sizes 512,1024,2048 --threads 4 --out BENCH_PR2.json
+//! ```
+//!
+//! Timing honesty: the per-step solve is capped at `--max-iters`
+//! iterations (default 300) so large meshes time a fixed, identical
+//! amount of Krylov work in both configurations instead of waiting for
+//! full convergence; the cap, tolerance and convergence flags are all
+//! recorded in the artefact. Each configuration runs one discarded
+//! warm-up solve (allocator and page-cache first-touch) and then
+//! `--reps` timed runs per thread setting, keeping the minimum — the
+//! standard defence against one-shot jitter contaminating a trajectory
+//! artefact. The hardware thread count is recorded too — a speedup
+//! claim from a 1-core container is visibly meaningless.
+//!
+//! `--require-speedup X` turns the ISSUE's acceptance criterion into a
+//! checkable exit status: the CG speedup at the largest measured size
+//! must reach `X` when the machine actually has the requested cores
+//! (the check is skipped, loudly, when it does not).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use tea_app::{crooked_pipe_deck, run_serial, Deck, RankOutput, SolverKind};
+use tea_mesh::Field2D;
+
+struct Args {
+    sizes: Vec<usize>,
+    steps: u64,
+    threads: usize,
+    max_iters: u64,
+    eps: f64,
+    reps: usize,
+    require_speedup: Option<f64>,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut args = Args {
+        sizes: vec![512, 1024, 2048],
+        steps: 1,
+        threads: hw.max(2),
+        max_iters: 300,
+        eps: 1e-10,
+        reps: 2,
+        require_speedup: None,
+        out: PathBuf::from("BENCH_PR2.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_default();
+        match flag.as_str() {
+            "--sizes" => {
+                args.sizes = value()
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--sizes"))
+                    .collect()
+            }
+            "--steps" => args.steps = value().parse().expect("--steps"),
+            "--threads" => args.threads = value().parse().expect("--threads"),
+            "--max-iters" => args.max_iters = value().parse().expect("--max-iters"),
+            "--eps" => args.eps = value().parse().expect("--eps"),
+            "--reps" => args.reps = value().parse::<usize>().expect("--reps").max(1),
+            "--require-speedup" => {
+                args.require_speedup = Some(value().parse().expect("--require-speedup"))
+            }
+            "--out" => args.out = PathBuf::from(value()),
+            "--help" | "-h" => {
+                println!(
+                    "speedup: serial vs threaded solve timing, JSON artefact\n\
+                     --sizes a,b,..      mesh sizes per side (default 512,1024,2048)\n\
+                     --steps N           time steps per run (default 1)\n\
+                     --threads N         threaded worker count (default max(cores, 2))\n\
+                     --max-iters N       per-step iteration cap (default 300)\n\
+                     --eps E             solver tolerance (default 1e-10)\n\
+                     --reps N            timed runs per config, min kept (default 2)\n\
+                     --require-speedup X fail unless CG at the largest size reaches X\n\
+                     \x20                   (skipped when the hardware lacks the cores)\n\
+                     --out FILE          JSON artefact path (default BENCH_PR2.json)"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn deck_for(solver: SolverKind, cells: usize, args: &Args) -> Deck {
+    let mut deck = crooked_pipe_deck(cells, solver);
+    deck.control.end_step = args.steps;
+    deck.control.summary_frequency = 0;
+    deck.control.opts.eps = args.eps;
+    deck.control.opts.max_iters = args.max_iters;
+    if solver == SolverKind::Ppcg {
+        deck.control.ppcg_halo_depth = 4;
+        deck.control.ppcg_inner_steps = 16;
+    }
+    deck
+}
+
+/// Solve wall seconds (sum over steps, excludes assembly/diagnostics).
+fn solve_wall(out: &RankOutput) -> f64 {
+    out.steps.iter().map(|s| s.wall).sum()
+}
+
+/// Exact bitwise equality of two interior temperature fields.
+fn bit_identical(a: &Field2D, b: &Field2D) -> bool {
+    if a.nx() != b.nx() || a.ny() != b.ny() {
+        return false;
+    }
+    for k in 0..a.ny() as isize {
+        for j in 0..a.nx() as isize {
+            if a.at(j, k).to_bits() != b.at(j, k).to_bits() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+struct Row {
+    solver: &'static str,
+    cells: usize,
+    serial_s: f64,
+    threaded_s: f64,
+    iterations: u64,
+    converged: bool,
+    bit_identical: bool,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.serial_s / self.threaded_s
+    }
+}
+
+fn measure(solver: SolverKind, label: &'static str, cells: usize, args: &Args) -> Row {
+    let deck = deck_for(solver, cells, args);
+
+    // discarded warm-up: allocator, page cache, branch predictors
+    tea_core::set_num_threads(1);
+    let _ = run_serial(&deck);
+
+    // alternate serial/threaded reps and keep the minimum of each, so
+    // slow outliers (scheduler noise, background load) cannot bias the
+    // recorded trajectory toward either configuration
+    let mut serial_s = f64::INFINITY;
+    let mut threaded_s = f64::INFINITY;
+    let mut serial = None;
+    let mut threaded = None;
+    for _ in 0..args.reps {
+        tea_core::set_num_threads(1);
+        let run = run_serial(&deck);
+        serial_s = serial_s.min(solve_wall(&run));
+        serial = Some(run);
+
+        tea_core::set_num_threads(args.threads);
+        let run = run_serial(&deck);
+        threaded_s = threaded_s.min(solve_wall(&run));
+        threaded = Some(run);
+    }
+    tea_core::set_num_threads(1);
+    let (serial, threaded) = (serial.unwrap(), threaded.unwrap());
+
+    let identical = bit_identical(
+        serial.final_u.as_ref().expect("serial gathers the field"),
+        threaded.final_u.as_ref().expect("threaded gathers"),
+    );
+    assert!(
+        identical,
+        "{label} at {cells}^2: threaded result diverged from serial — determinism contract broken"
+    );
+    Row {
+        solver: label,
+        cells,
+        serial_s,
+        threaded_s,
+        iterations: serial.steps.iter().map(|s| s.iterations).sum(),
+        converged: serial.steps.iter().all(|s| s.converged),
+        bit_identical: identical,
+    }
+}
+
+fn write_json(args: &Args, hw_threads: usize, rows: &[Row]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(&args.out)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"bench\": \"speedup\",")?;
+    writeln!(f, "  \"pr\": 2,")?;
+    writeln!(f, "  \"workload\": \"crooked_pipe\",")?;
+    writeln!(f, "  \"hardware_threads\": {hw_threads},")?;
+    writeln!(f, "  \"threads\": {},", args.threads)?;
+    writeln!(f, "  \"par_threshold\": {},", tea_core::par_threshold())?;
+    writeln!(f, "  \"steps\": {},", args.steps)?;
+    writeln!(f, "  \"max_iters\": {},", args.max_iters)?;
+    writeln!(f, "  \"eps\": {:e},", args.eps)?;
+    writeln!(f, "  \"reps\": {},", args.reps)?;
+    writeln!(f, "  \"results\": [")?;
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            f,
+            "    {{\"solver\": \"{}\", \"cells\": {}, \"serial_s\": {:.6}, \
+             \"threaded_s\": {:.6}, \"speedup\": {:.4}, \"iterations\": {}, \
+             \"converged\": {}, \"bit_identical\": {}}}{comma}",
+            r.solver,
+            r.cells,
+            r.serial_s,
+            r.threaded_s,
+            r.speedup(),
+            r.iterations,
+            r.converged,
+            r.bit_identical,
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+fn main() {
+    let args = parse_args();
+    let hw_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "speedup: {} hardware thread(s), timing serial (1) vs threaded ({})",
+        hw_threads, args.threads
+    );
+    if hw_threads < args.threads {
+        println!(
+            "warning: only {hw_threads} hardware thread(s) available — \
+             threaded times will not show real speedup on this machine"
+        );
+    }
+
+    let configs = [(SolverKind::Cg, "CG"), (SolverKind::Ppcg, "PPCG-4")];
+    let mut rows = Vec::new();
+    println!(
+        "{:>8} {:>8} {:>12} {:>12} {:>9} {:>7} {:>6}",
+        "solver", "cells", "serial(s)", "threaded(s)", "speedup", "iters", "bits"
+    );
+    for &cells in &args.sizes {
+        for (solver, label) in configs {
+            let row = measure(solver, label, cells, &args);
+            println!(
+                "{:>8} {:>8} {:>12.4} {:>12.4} {:>9.3} {:>7} {:>6}",
+                row.solver,
+                row.cells,
+                row.serial_s,
+                row.threaded_s,
+                row.speedup(),
+                row.iterations,
+                if row.bit_identical { "ok" } else { "FAIL" }
+            );
+            rows.push(row);
+        }
+    }
+
+    write_json(&args, hw_threads, &rows).expect("write JSON artefact");
+    println!("wrote {}", args.out.display());
+
+    if let Some(required) = args.require_speedup {
+        if hw_threads < args.threads {
+            println!(
+                "require-speedup {required}: SKIPPED — {} worker(s) requested but only \
+                 {hw_threads} hardware thread(s) present; no parallel speedup is physically \
+                 possible here",
+                args.threads
+            );
+            return;
+        }
+        let max_cells = rows.iter().map(|r| r.cells).max().unwrap_or(0);
+        let cg = rows
+            .iter()
+            .find(|r| r.solver == "CG" && r.cells == max_cells)
+            .expect("CG row at the largest size");
+        let got = cg.speedup();
+        assert!(
+            got >= required,
+            "require-speedup: CG at {max_cells}^2 reached {got:.3}x with {} threads, \
+             needed {required}x",
+            args.threads
+        );
+        println!("require-speedup {required}: OK — CG at {max_cells}^2 reached {got:.3}x");
+    }
+}

@@ -63,6 +63,7 @@ pub mod ops;
 pub mod ops3d;
 pub mod ppcg;
 pub mod precon;
+pub mod runtime;
 pub mod solver;
 pub mod trace;
 pub mod vector;
@@ -75,9 +76,10 @@ pub use eigen::{
     tridiag_extreme_eigenvalues, EigenEstimate,
 };
 pub use jacobi::jacobi_solve;
-pub use ops::{TileBounds, TileOperator, PAR_THRESHOLD};
+pub use ops::{TileBounds, TileOperator};
 pub use ops3d::{cg_solve_3d, jacobi_solve_3d, TileOperator3D};
 pub use ppcg::{ppcg_solve, PpcgOpts};
 pub use precon::{BlockJacobi, PreconKind, Preconditioner, DEFAULT_BLOCK_STRIP};
+pub use runtime::{num_threads, par_threshold, set_num_threads, set_par_threshold, PAR_THRESHOLD};
 pub use solver::{SolveOpts, Tile, Workspace};
 pub use trace::{KernelCounts, SolveResult, SolveTrace};

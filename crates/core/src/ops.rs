@@ -17,16 +17,13 @@
 //! matrix-powers kernel calls the same code with shrinking extensions
 //! (paper Fig. 2); extension 0 is the ordinary interior sweep.
 //!
-//! Row sweeps are data-parallel (rayon) above a size threshold. All
-//! reductions are computed as per-row partials folded in row order, so
-//! results are bit-identical run to run regardless of thread scheduling.
+//! Row sweeps are data-parallel (threaded rayon runtime) above the
+//! [`crate::runtime::par_threshold`] size. All reductions are computed
+//! as per-row partials folded in row order, so results are bit-identical
+//! run to run regardless of thread count or scheduling.
 
 use crate::trace::SolveTrace;
-use rayon::prelude::*;
 use tea_mesh::{Coefficients, Field2D, Mesh2D};
-
-/// Below this many cells a sweep stays serial (rayon overhead dominates).
-pub const PAR_THRESHOLD: usize = 1 << 15;
 
 /// Per-side maximum extension of a tile's sweeps.
 ///
@@ -165,13 +162,11 @@ impl TileOperator {
         trace: &mut SolveTrace,
     ) {
         trace.spmv.record(ext);
-        let (x_lo, x_hi, y_lo, y_hi) = self.bounds.range(ext);
+        let (x_lo, x_hi, _, _) = self.bounds.range(ext);
         let n = (x_hi - x_lo) as usize;
         let kx = &self.coeffs.kx;
         let ky = &self.coeffs.ky;
-        let stride = r.stride();
-        let h = r.halo() as isize;
-        let row_body = |k: isize, rr: &mut [f64]| {
+        crate::vector::for_rows(r, &self.bounds, ext, |k, rr| {
             let pc = u.row(k, x_lo - 1, x_hi + 1);
             let ps = u.row(k - 1, x_lo, x_hi);
             let pn = u.row(k + 1, x_lo, x_hi);
@@ -185,27 +180,11 @@ impl TileOperator {
                     - (kxr[i + 1] * pc[i + 2] + kxr[i] * pc[i]);
                 rr[i] = br[i] - ap;
             }
-        };
-        if self.bounds.cells(ext) >= PAR_THRESHOLD {
-            let x0 = (x_lo + h) as usize;
-            r.raw_mut()
-                .par_chunks_mut(stride)
-                .enumerate()
-                .for_each(|(row, chunk)| {
-                    let k = row as isize - h;
-                    if k >= y_lo && k < y_hi {
-                        row_body(k, &mut chunk[x0..x0 + n]);
-                    }
-                });
-        } else {
-            for k in y_lo..y_hi {
-                row_body(k, r.row_mut(k, x_lo, x_hi));
-            }
-        }
+        });
     }
 
     fn apply_inner(&self, p: &Field2D, w: &mut Field2D, ext: usize, fused_dot: bool) -> f64 {
-        let (x_lo, x_hi, y_lo, y_hi) = self.bounds.range(ext);
+        let (x_lo, x_hi, _, _) = self.bounds.range(ext);
         let n = (x_hi - x_lo) as usize;
         let kx = &self.coeffs.kx;
         let ky = &self.coeffs.ky;
@@ -213,8 +192,6 @@ impl TileOperator {
             p.halo() as isize > ext as isize,
             "p halo too shallow for extension {ext}"
         );
-        let stride = w.stride();
-        let h = w.halo() as isize;
         let row_body = |k: isize, wr: &mut [f64]| -> f64 {
             let pc = p.row(k, x_lo - 1, x_hi + 1);
             let ps = p.row(k - 1, x_lo, x_hi);
@@ -232,36 +209,14 @@ impl TileOperator {
             }
             partial
         };
-        if self.bounds.cells(ext) >= PAR_THRESHOLD {
-            let x0 = (x_lo + h) as usize;
-            let nrows = w.raw().len() / stride;
-            let mut partials = vec![0.0f64; nrows];
-            w.raw_mut()
-                .par_chunks_mut(stride)
-                .zip(partials.par_iter_mut())
-                .enumerate()
-                .for_each(|(row, (chunk, slot))| {
-                    let k = row as isize - h;
-                    if k >= y_lo && k < y_hi {
-                        *slot = row_body(k, &mut chunk[x0..x0 + n]);
-                    }
-                });
-            if fused_dot {
-                // fold per-row partials in row order: deterministic
-                partials.iter().sum()
-            } else {
-                0.0
-            }
+        if fused_dot {
+            crate::vector::for_rows_sum(w, &self.bounds, ext, row_body)
         } else {
-            let mut acc = 0.0;
-            for k in y_lo..y_hi {
-                acc += row_body(k, w.row_mut(k, x_lo, x_hi));
-            }
-            if fused_dot {
-                acc
-            } else {
-                0.0
-            }
+            // plain apply: skip the partials buffer entirely
+            crate::vector::for_rows(w, &self.bounds, ext, |k, wr| {
+                row_body(k, wr);
+            });
+            0.0
         }
     }
 }

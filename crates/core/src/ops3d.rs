@@ -84,31 +84,46 @@ impl TileOperator3D {
             }
             acc
         };
-        if self.cells() >= crate::ops::PAR_THRESHOLD {
-            // parallelise over (i, k) plane rows; deterministic fold
-            let planes: Vec<(isize, isize)> =
-                (0..nz).flat_map(|i| (0..ny).map(move |k| (k, i))).collect();
-            // split w into disjoint row slices via raw offsets: do it
-            // safely by computing each row serially into a buffer map
-            // in parallel chunks keyed by plane index
+        if self.cells() >= crate::runtime::par_threshold() {
+            // parallelise over x-rows of the raw storage (one chunk per
+            // padded row), exactly like the 2D sweep: workers write
+            // disjoint rows in place, and the fused dot folds per-row
+            // partials in flat-row order — the same (i, k) ascending
+            // order as the serial loop, so the reduction is bit-identical
+            // at every thread count. Halo rows contribute exactly 0.0.
             let halo = w.halo();
-            let results: Vec<(usize, Vec<f64>, f64)> = planes
-                .par_iter()
-                .map(|&(k, i)| {
-                    let mut buf = vec![0.0; nx as usize];
-                    let partial = row_body(k, i, &mut buf);
-                    let off = w_offset(self.nx, self.ny, halo, k, i);
-                    (off, buf, partial)
-                })
-                .collect();
-            let mut acc = 0.0;
-            for (off, buf, partial) in results {
-                w.raw_mut()[off..off + nx as usize].copy_from_slice(&buf);
-                acc += partial;
-            }
+            let sx = self.nx + 2 * halo;
+            let sy = self.ny + 2 * halo;
+            let h = halo as isize;
+            let row_range = |row: usize| {
+                let i = (row / sy) as isize - h;
+                let k = (row % sy) as isize - h;
+                (k, i)
+            };
             if fused {
-                acc
+                let nrows = w.raw().len() / sx;
+                let mut partials = vec![0.0f64; nrows];
+                w.raw_mut()
+                    .par_chunks_mut(sx)
+                    .zip(partials.par_iter_mut())
+                    .enumerate()
+                    .for_each(|(row, (chunk, slot))| {
+                        let (k, i) = row_range(row);
+                        if k >= 0 && k < ny && i >= 0 && i < nz {
+                            *slot = row_body(k, i, &mut chunk[halo..halo + nx as usize]);
+                        }
+                    });
+                partials.iter().sum()
             } else {
+                w.raw_mut()
+                    .par_chunks_mut(sx)
+                    .enumerate()
+                    .for_each(|(row, chunk)| {
+                        let (k, i) = row_range(row);
+                        if k >= 0 && k < ny && i >= 0 && i < nz {
+                            row_body(k, i, &mut chunk[halo..halo + nx as usize]);
+                        }
+                    });
                 0.0
             }
         } else {
@@ -162,15 +177,6 @@ impl TileOperator3D {
             }
         }
     }
-}
-
-/// Flat offset of `(0, k, i)` in a Field3D with the given interior
-/// extents and halo (mirrors `Field3D::offset` for row starts).
-fn w_offset(nx: usize, ny: usize, halo: usize, k: isize, i: isize) -> usize {
-    let sx = nx + 2 * halo;
-    let sy = ny + 2 * halo;
-    let h = halo as isize;
-    ((i + h) as usize * sy + (k + h) as usize) * sx + halo
 }
 
 /// Plain CG in 3D (identity preconditioner): the solver used by the 3D

@@ -207,14 +207,19 @@ impl BlockJacobi {
 
     /// `z = M⁻¹ r` over the tile interior: Thomas forward/backward sweep
     /// per strip, strips independent (and row sweeps cache-contiguous).
+    ///
+    /// Rows couple only through `Kx` *within* a strip, never across rows,
+    /// so the row sweep is embarrassingly parallel: above
+    /// [`crate::runtime::par_threshold`] each worker solves a disjoint
+    /// block of rows in place, with no reduction and therefore trivially
+    /// bit-identical results at every thread count.
     pub fn apply(&self, r: &Field2D, z: &mut Field2D, bounds: &TileBounds) {
-        let (nx, ny) = bounds.tile();
-        for k in 0..ny as isize {
+        let (nx, _) = bounds.tile();
+        vector::for_rows(z, bounds, 0, |k, zr| {
             let rr = r.row(k, 0, nx as isize);
             let cpr = self.cp.row(k, 0, nx as isize);
             let mr = self.minv.row(k, 0, nx as isize);
             let sr = self.sub.row(k, 0, nx as isize);
-            let zr = z.row_mut(k, 0, nx as isize);
             let mut j0 = 0usize;
             while j0 < nx {
                 let j1 = (j0 + self.strip).min(nx);
@@ -229,7 +234,7 @@ impl BlockJacobi {
                 }
                 j0 = j1;
             }
-        }
+        });
     }
 }
 

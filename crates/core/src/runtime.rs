@@ -1,0 +1,94 @@
+//! Execution-runtime knobs: how many worker threads the kernels use and
+//! how large a sweep must be before it goes parallel.
+//!
+//! Both knobs resolve lazily from the environment on first use and can
+//! be overridden programmatically (benchmarks and the bit-identity tests
+//! flip them within one process):
+//!
+//! * `TEA_NUM_THREADS` — worker count for every `par_*` region
+//!   (default: available cores; `1` restores pure sequential execution
+//!   bit-for-bit);
+//! * `TEA_PAR_THRESHOLD` — minimum swept cells before a kernel takes its
+//!   parallel path (default [`PAR_THRESHOLD`]).
+//!
+//! Thread count lives in the vendored `rayon` runtime; this module is
+//! the one spot that calls its configuration shim. When the workspace is
+//! swapped onto crates.io rayon (one manifest line), only the two
+//! one-line bodies of [`set_num_threads`] / [`num_threads`] need
+//! adapting to `ThreadPoolBuilder` / `rayon::current_num_threads` — the
+//! kernels themselves use nothing beyond rayon's standard iterator API.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Default cell-count threshold below which a sweep stays serial (the
+/// scoped-team dispatch overhead dominates under this size).
+pub const PAR_THRESHOLD: usize = 1 << 15;
+
+static THRESHOLD: OnceLock<AtomicUsize> = OnceLock::new();
+
+fn threshold_cell() -> &'static AtomicUsize {
+    THRESHOLD.get_or_init(|| {
+        AtomicUsize::new(
+            std::env::var("TEA_PAR_THRESHOLD")
+                .ok()
+                .and_then(|s| s.trim().parse().ok())
+                .unwrap_or(PAR_THRESHOLD),
+        )
+    })
+}
+
+/// The active parallel threshold in swept cells.
+///
+/// Sweeps and reductions over at least this many cells take the
+/// threaded path; smaller ones stay serial. Results are bit-identical
+/// either way — the threshold only moves the crossover point.
+pub fn par_threshold() -> usize {
+    threshold_cell().load(Ordering::Relaxed)
+}
+
+/// Overrides the parallel threshold for subsequent kernel calls.
+/// `0` forces every sweep parallel; `usize::MAX` forces everything
+/// serial.
+pub fn set_par_threshold(cells: usize) {
+    threshold_cell().store(cells, Ordering::Relaxed);
+}
+
+/// The number of worker threads parallel sweeps currently use.
+pub fn num_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+/// Overrides the worker count for subsequent parallel sweeps (clamped
+/// to `1..=1024`; `1` is exact sequential execution). Oversubscribing
+/// physical cores is allowed but pointless beyond stress-testing.
+pub fn set_num_threads(threads: usize) {
+    rayon::set_num_threads(threads);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_roundtrips() {
+        let before = par_threshold();
+        set_par_threshold(123);
+        assert_eq!(par_threshold(), 123);
+        set_par_threshold(before);
+    }
+
+    #[test]
+    fn thread_count_roundtrips_and_clamps() {
+        // safe to assert on the process-global count here: no other test
+        // in the tea-core binary writes it
+        let before = num_threads();
+        set_num_threads(3);
+        assert_eq!(num_threads(), 3);
+        set_num_threads(0);
+        assert_eq!(num_threads(), 1);
+        set_num_threads(usize::MAX);
+        assert_eq!(num_threads(), 1024, "runaway counts must clamp");
+        set_num_threads(before);
+    }
+}

@@ -4,10 +4,11 @@
 //! extension-clamped range like the operator kernels (the matrix-powers
 //! inner loop updates vectors over the same shrinking bounds as its
 //! stencil applications). All are rayon-parallel above
-//! [`crate::ops::PAR_THRESHOLD`] with deterministic row-ordered
+//! [`crate::runtime::par_threshold`] with deterministic row-ordered
 //! reductions.
 
-use crate::ops::{TileBounds, PAR_THRESHOLD};
+use crate::ops::TileBounds;
+use crate::runtime::par_threshold;
 use crate::trace::SolveTrace;
 use rayon::prelude::*;
 use tea_mesh::Field2D;
@@ -15,7 +16,14 @@ use tea_mesh::Field2D;
 /// Applies `body` to every row of `out` in the `bounds.range(ext)` sweep,
 /// in parallel when large. `body(k, row)` gets the row index and the
 /// mutable row slice.
-fn for_rows(
+///
+/// This is *the* padded-row dispatch of the crate — the halo offset,
+/// interior slice bounds and row-range guard live here once, and every
+/// row-parallel kernel (the vector ops below, the 2D operator apply and
+/// residual, the block-Jacobi solve) routes through it or its fused
+/// sibling [`for_rows_sum`]. The 3D operator keeps its own copy only
+/// because `Field3D`'s two-level row decode does not fit this shape.
+pub(crate) fn for_rows(
     out: &mut Field2D,
     bounds: &TileBounds,
     ext: usize,
@@ -23,7 +31,7 @@ fn for_rows(
 ) {
     let (x_lo, x_hi, y_lo, y_hi) = bounds.range(ext);
     let n = (x_hi - x_lo) as usize;
-    if bounds.cells(ext) >= PAR_THRESHOLD {
+    if bounds.cells(ext) >= par_threshold() {
         let stride = out.stride();
         let h = out.halo() as isize;
         let x0 = (x_lo + h) as usize;
@@ -43,19 +51,61 @@ fn for_rows(
     }
 }
 
-/// Deterministic reduction over rows: folds per-row partials in row
-/// order.
+/// [`for_rows`] with a fused per-row reduction: `body` returns a row
+/// partial, and the partials are folded in row order on the calling
+/// thread (one preallocated slot vector, bit-identical for every thread
+/// count — padded rows outside the sweep contribute exactly `0.0`).
+pub(crate) fn for_rows_sum(
+    out: &mut Field2D,
+    bounds: &TileBounds,
+    ext: usize,
+    body: impl Fn(isize, &mut [f64]) -> f64 + Sync,
+) -> f64 {
+    let (x_lo, x_hi, y_lo, y_hi) = bounds.range(ext);
+    let n = (x_hi - x_lo) as usize;
+    if bounds.cells(ext) >= par_threshold() {
+        let stride = out.stride();
+        let h = out.halo() as isize;
+        let x0 = (x_lo + h) as usize;
+        let nrows = out.raw().len() / stride;
+        let mut partials = vec![0.0f64; nrows];
+        out.raw_mut()
+            .par_chunks_mut(stride)
+            .zip(partials.par_iter_mut())
+            .enumerate()
+            .for_each(|(row, (chunk, slot))| {
+                let k = row as isize - h;
+                if k >= y_lo && k < y_hi {
+                    *slot = body(k, &mut chunk[x0..x0 + n]);
+                }
+            });
+        partials.iter().sum()
+    } else {
+        let mut acc = 0.0;
+        for k in y_lo..y_hi {
+            acc += body(k, out.row_mut(k, x_lo, x_hi));
+        }
+        acc
+    }
+}
+
+/// Deterministic read-only reduction over rows: folds per-row partials
+/// in row order. The parallel path allocates exactly one `Vec` — the
+/// ordered partials, filled in place through an indexed `par_iter_mut`
+/// (no intermediate collect) — and folds it left to right, so the
+/// result is bit-identical to the serial path for every thread count.
 fn sum_rows(
-    field: &Field2D,
     bounds: &TileBounds,
     ext: usize,
     body: impl Fn(isize, isize, isize) -> f64 + Sync,
 ) -> f64 {
     let (x_lo, x_hi, y_lo, y_hi) = bounds.range(ext);
-    if bounds.cells(ext) >= PAR_THRESHOLD {
-        let _ = field;
-        let rows: Vec<isize> = (y_lo..y_hi).collect();
-        let partials: Vec<f64> = rows.par_iter().map(|&k| body(k, x_lo, x_hi)).collect();
+    if bounds.cells(ext) >= par_threshold() {
+        let mut partials = vec![0.0f64; (y_hi - y_lo) as usize];
+        partials
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(idx, slot)| *slot = body(y_lo + idx as isize, x_lo, x_hi));
         partials.iter().sum()
     } else {
         (y_lo..y_hi).map(|k| body(k, x_lo, x_hi)).sum()
@@ -185,7 +235,7 @@ pub fn zero(dst: &mut Field2D, bounds: &TileBounds, ext: usize, trace: &mut Solv
 /// the global reduction.
 pub fn dot_local(a: &Field2D, b: &Field2D, bounds: &TileBounds, trace: &mut SolveTrace) -> f64 {
     trace.dot_kernels.record(0);
-    sum_rows(a, bounds, 0, |k, x_lo, x_hi| {
+    sum_rows(bounds, 0, |k, x_lo, x_hi| {
         let ar = a.row(k, x_lo, x_hi);
         let br = b.row(k, x_lo, x_hi);
         let mut acc = 0.0;
@@ -205,7 +255,7 @@ pub fn abs_diff_local(
     trace: &mut SolveTrace,
 ) -> f64 {
     trace.dot_kernels.record(0);
-    sum_rows(a, bounds, 0, |k, x_lo, x_hi| {
+    sum_rows(bounds, 0, |k, x_lo, x_hi| {
         let ar = a.row(k, x_lo, x_hi);
         let br = b.row(k, x_lo, x_hi);
         let mut acc = 0.0;

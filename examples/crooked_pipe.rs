@@ -3,9 +3,13 @@
 //! source at the inlet. Runs the full time-stepping driver on simulated
 //! MPI ranks and writes a heat-map image of the final temperature field.
 //!
-//! Run with: `cargo run --release --example crooked_pipe -- [cells] [steps] [ranks]`
+//! Run with:
+//! `cargo run --release --example crooked_pipe -- [cells] [steps] [ranks] [out_dir]`
+//!
+//! Outputs land under `out_dir` (default `target/example-out`, which is
+//! gitignored) so example runs never litter the repository root.
 
-use std::path::Path;
+use std::path::PathBuf;
 use tealeaf::app::{
     crooked_pipe_deck, run_serial, run_threaded_ranks, write_field_csv, write_field_ppm, SolverKind,
 };
@@ -51,10 +55,15 @@ fn main() {
     }
 
     let u = out.final_u.expect("rank 0 gathers the field");
-    let ppm = Path::new("crooked_pipe.ppm");
-    let csv = Path::new("crooked_pipe.csv");
-    write_field_ppm(&u, ppm).expect("write ppm");
-    write_field_csv(&u, csv).expect("write csv");
+    let out_dir = std::env::args()
+        .nth(4)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/example-out"));
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let ppm = out_dir.join("crooked_pipe.ppm");
+    let csv = out_dir.join("crooked_pipe.csv");
+    write_field_ppm(&u, &ppm).expect("write ppm");
+    write_field_csv(&u, &csv).expect("write csv");
     println!(
         "\nwrote {} (heat map, log-scaled like the paper's Fig. 3) and {}",
         ppm.display(),

@@ -1,0 +1,166 @@
+//! The threaded runtime's determinism contract: every solver must
+//! produce **bit-identical** results for any worker-thread count and any
+//! parallel-threshold setting.
+//!
+//! Baseline: 1 thread with the threshold forced to `usize::MAX` — that
+//! is exactly the pre-threading sequential behaviour (no `par_*` call
+//! ever takes the parallel branch). Every other configuration, including
+//! "every sweep parallel" (`threshold = 1`) on 2 and 4 workers, must
+//! reproduce its temperature field, iteration counts, and solve trace to
+//! the last bit.
+//!
+//! Everything runs inside a single `#[test]` because thread count and
+//! threshold are process-global runtime knobs; concurrent tests mutating
+//! them would still be *correct* (results are config-independent) but
+//! the failure messages would attribute configs wrongly.
+
+use tealeaf::app::{crooked_pipe_deck, run_serial, Deck, SolverKind};
+use tealeaf::mesh::{hot_ball, Coefficients3D, Field3D, Mesh3D};
+use tealeaf::solvers as runtime;
+use tealeaf::solvers::{SolveOpts, SolveTrace, TileOperator3D};
+
+fn deck(n: usize, solver: SolverKind) -> Deck {
+    let mut d = crooked_pipe_deck(n, solver);
+    d.control.end_step = 1;
+    d.control.summary_frequency = 0;
+    // cap the work so unconverged configurations still compare equal
+    // amounts of Krylov arithmetic quickly, even in debug builds
+    d.control.opts.max_iters = 60;
+    if solver == SolverKind::Ppcg {
+        d.control.ppcg_halo_depth = 4;
+        d.control.ppcg_inner_steps = 8;
+        d.control.opts.max_iters = 12;
+    }
+    d
+}
+
+/// Interior temperature field as raw bits: any reassociated reduction or
+/// racy write shows up as an exact mismatch.
+fn run_bits(deck: &Deck) -> (Vec<u64>, u64, SolveTrace) {
+    let out = run_serial(deck);
+    let u = out.final_u.expect("serial run gathers the field");
+    let mut bits = Vec::with_capacity(u.nx() * u.ny());
+    for k in 0..u.ny() as isize {
+        for j in 0..u.nx() as isize {
+            bits.push(u.at(j, k).to_bits());
+        }
+    }
+    let iters = out.steps.iter().map(|s| s.iterations).sum();
+    (bits, iters, out.trace)
+}
+
+fn build_3d(n: usize) -> (TileOperator3D, Field3D) {
+    let p = hot_ball(n);
+    let mesh = Mesh3D::new(n, n, n, p.extent);
+    let mut density = Field3D::new(n, n, n, 1);
+    let mut energy = Field3D::new(n, n, n, 1);
+    p.apply_states(&mesh, &mut density, &mut energy);
+    let (rx, ry, rz) = mesh.timestep_scalings(0.002);
+    let coeffs = Coefficients3D::assemble(&mesh, &density, p.coefficient, rx, ry, rz, 1);
+    let op = TileOperator3D::new(coeffs);
+    let mut b = Field3D::new(n, n, n, 1);
+    for i in 0..n as isize {
+        for k in 0..n as isize {
+            for j in 0..n as isize {
+                b.set(j, k, i, density.at(j, k, i) * energy.at(j, k, i));
+            }
+        }
+    }
+    (op, b)
+}
+
+fn field3d_bits(f: &Field3D) -> Vec<u64> {
+    let mut bits = Vec::with_capacity(f.nx() * f.ny() * f.nz());
+    for i in 0..f.nz() as isize {
+        for k in 0..f.ny() as isize {
+            for j in 0..f.nx() as isize {
+                bits.push(f.at(j, k, i).to_bits());
+            }
+        }
+    }
+    bits
+}
+
+#[test]
+fn solvers_are_bit_identical_across_threads_and_thresholds() {
+    let n = 48;
+    let solvers = [
+        SolverKind::Cg,
+        SolverKind::CgFused,
+        SolverKind::Ppcg,
+        SolverKind::Chebyshev,
+    ];
+    // thread counts the ISSUE pins, crossed with "everything parallel",
+    // the default crossover, and "everything serial"
+    let thresholds = [1usize, runtime::PAR_THRESHOLD, usize::MAX];
+    let threads = [1usize, 2, 4];
+
+    for solver in solvers {
+        let d = deck(n, solver);
+
+        // today's behaviour, exactly: sequential branch everywhere
+        runtime::set_num_threads(1);
+        runtime::set_par_threshold(usize::MAX);
+        let (base_bits, base_iters, base_trace) = run_bits(&d);
+        assert!(base_iters > 0, "{solver:?} did no work");
+
+        for &threshold in &thresholds {
+            for &nthreads in &threads {
+                runtime::set_par_threshold(threshold);
+                runtime::set_num_threads(nthreads);
+                let (bits, iters, trace) = run_bits(&d);
+                assert_eq!(
+                    iters, base_iters,
+                    "{solver:?}: iteration count drifted at threads={nthreads}, threshold={threshold}"
+                );
+                assert_eq!(
+                    trace, base_trace,
+                    "{solver:?}: solve trace drifted at threads={nthreads}, threshold={threshold}"
+                );
+                assert!(
+                    bits == base_bits,
+                    "{solver:?}: temperature field not bit-identical at \
+                     threads={nthreads}, threshold={threshold}"
+                );
+            }
+        }
+    }
+
+    // the 3D operator: fused sweep + dot through the same matrix
+    let (op, b) = build_3d(16); // 4096 cells: parallel once threshold = 1
+    runtime::set_num_threads(1);
+    runtime::set_par_threshold(usize::MAX);
+    let mut w = Field3D::new(16, 16, 16, 1);
+    let mut t = SolveTrace::new("t");
+    let base_dot = op.apply_fused_dot(&b, &mut w, &mut t);
+    let base_w = field3d_bits(&w);
+    let mut u = b.clone();
+    let base_res = runtime::cg_solve_3d(&op, &mut u, &b, SolveOpts::with_eps(1e-8));
+    let base_u = field3d_bits(&u);
+    for &nthreads in &[1usize, 2, 4] {
+        runtime::set_par_threshold(1);
+        runtime::set_num_threads(nthreads);
+        let mut w2 = Field3D::new(16, 16, 16, 1);
+        let dot = op.apply_fused_dot(&b, &mut w2, &mut t);
+        assert_eq!(
+            dot.to_bits(),
+            base_dot.to_bits(),
+            "3D fused dot drifted at threads={nthreads}"
+        );
+        assert!(
+            field3d_bits(&w2) == base_w,
+            "3D sweep not bit-identical at threads={nthreads}"
+        );
+        let mut u2 = b.clone();
+        let res = runtime::cg_solve_3d(&op, &mut u2, &b, SolveOpts::with_eps(1e-8));
+        assert_eq!(res.iterations, base_res.iterations);
+        assert!(
+            field3d_bits(&u2) == base_u,
+            "3D CG solve not bit-identical at threads={nthreads}"
+        );
+    }
+
+    // leave the process-global knobs at their defaults
+    runtime::set_par_threshold(runtime::PAR_THRESHOLD);
+    runtime::set_num_threads(1);
+}

@@ -1,0 +1,450 @@
+//! Exact-length, splittable parallel iterators.
+//!
+//! Covers the indexed subset of rayon's iterator model this workspace
+//! uses: base iterators over slices (`par_iter`, `par_iter_mut`,
+//! `par_chunks`, `par_chunks_mut`) and integer ranges (`into_par_iter`),
+//! the `enumerate` / `zip` / `map` adaptors, and the `for_each` /
+//! `collect` / `sum` consumers.
+//!
+//! Everything here is built on one primitive: [`ParallelIterator::split_at`],
+//! which divides the remaining iteration space into two disjoint halves.
+//! A consumer splits the space into `current_num_threads()` contiguous
+//! parts of near-equal size (**static chunking** — part boundaries depend
+//! only on the length and the worker count, never on scheduling), then
+//! drives each part with the ordinary sequential iterator. Consumers that
+//! produce values ([`ParallelIterator::collect`]) reassemble the parts in
+//! part order, so output ordering is identical to sequential execution no
+//! matter how many workers ran — which is what lets `tea-core` keep its
+//! deterministic row-ordered reductions bit-for-bit under threading.
+
+use crate::pool;
+
+/// An exact-length splittable parallel iterator.
+///
+/// One trait plays the roles of rayon's `ParallelIterator` +
+/// `IndexedParallelIterator` (every iterator in this subset is indexed).
+pub trait ParallelIterator: Sized + Send {
+    /// The element type.
+    type Item: Send;
+    /// The sequential iterator driving one part.
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Remaining number of items.
+    fn len(&self) -> usize;
+    /// Whether no items remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Splits into the first `index` items and the rest.
+    fn split_at(self, index: usize) -> (Self, Self);
+    /// Degrades into the equivalent sequential iterator.
+    fn seq(self) -> Self::Seq;
+
+    /// Pairs each item with its global index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    /// Iterates two parallel iterators in lock-step.
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Maps each item through `f`.
+    ///
+    /// `f` must be `Clone` (splitting a mapped iterator clones it into
+    /// both halves); closures qualify whenever their captures do, which
+    /// covers captures by shared reference.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Clone + Send + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Consumes every item on the worker team.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        let parts = split_parts(self);
+        if parts.len() == 1 {
+            for part in parts {
+                part.seq().for_each(&f);
+            }
+        } else {
+            pool::run_team(parts, |part: Self| part.seq().for_each(&f));
+        }
+    }
+
+    /// Collects into a container, preserving sequential order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    /// Sums the items with a **deterministic, sequential-order fold**:
+    /// parts produce ordered partial vectors which are folded left to
+    /// right on the calling thread.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+        Self::Item: Send,
+    {
+        let items: Vec<Self::Item> = self.collect();
+        items.into_iter().sum()
+    }
+}
+
+/// Splits `iter` into `current_num_threads()` contiguous, near-equal
+/// parts (never more parts than items; at least one part).
+fn split_parts<I: ParallelIterator>(iter: I) -> Vec<I> {
+    let len = iter.len();
+    let workers = pool::current_num_threads().min(len).max(1);
+    let mut parts = Vec::with_capacity(workers);
+    let mut rest = iter;
+    let (base, extra) = (len / workers, len % workers);
+    for i in 0..workers - 1 {
+        let take = base + usize::from(i < extra);
+        let (head, tail) = rest.split_at(take);
+        parts.push(head);
+        rest = tail;
+    }
+    parts.push(rest);
+    parts
+}
+
+/// Conversion from a parallel iterator, order-preserving.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds the container from `iter`'s items in sequential order.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        let total = iter.len();
+        let parts = split_parts(iter);
+        if parts.len() == 1 {
+            return parts
+                .into_iter()
+                .next()
+                .map(|p| p.seq().collect())
+                .unwrap_or_default();
+        }
+        let chunks = pool::run_team(parts, |part: I| part.seq().collect::<Vec<T>>());
+        let mut out = Vec::with_capacity(total);
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
+    }
+}
+
+/// Types convertible into a parallel iterator (`into_par_iter`).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The produced parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+// ---------------------------------------------------------------------------
+// Base iterators: slices
+// ---------------------------------------------------------------------------
+
+/// Parallel `&[T]` iterator (`par_iter`).
+pub struct Iter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for Iter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(index.min(self.slice.len()));
+        (Iter { slice: a }, Iter { slice: b })
+    }
+    fn seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+/// Parallel `&mut [T]` iterator (`par_iter_mut`).
+pub struct IterMut<'a, T: Send> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for IterMut<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = index.min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(mid);
+        (IterMut { slice: a }, IterMut { slice: b })
+    }
+    fn seq(self) -> Self::Seq {
+        self.slice.iter_mut()
+    }
+}
+
+/// Parallel shared-chunk iterator (`par_chunks`).
+pub struct Chunks<'a, T: Sync> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for Chunks<'a, T> {
+    type Item = &'a [T];
+    type Seq = std::slice::Chunks<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at(mid);
+        let size = self.size;
+        (Chunks { slice: a, size }, Chunks { slice: b, size })
+    }
+    fn seq(self) -> Self::Seq {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Parallel mutable-chunk iterator (`par_chunks_mut`) — the workhorse of
+/// the row sweeps: each chunk is one padded field row, and splitting
+/// hands each worker a disjoint contiguous block of rows.
+pub struct ChunksMut<'a, T: Send> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type Seq = std::slice::ChunksMut<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(mid);
+        let size = self.size;
+        (ChunksMut { slice: a, size }, ChunksMut { slice: b, size })
+    }
+    fn seq(self) -> Self::Seq {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+pub(crate) fn par_iter_impl<T: Sync>(slice: &[T]) -> Iter<'_, T> {
+    Iter { slice }
+}
+
+pub(crate) fn par_iter_mut_impl<T: Send>(slice: &mut [T]) -> IterMut<'_, T> {
+    IterMut { slice }
+}
+
+pub(crate) fn par_chunks_impl<T: Sync>(slice: &[T], size: usize) -> Chunks<'_, T> {
+    assert!(size != 0, "chunk size must be non-zero");
+    Chunks { slice, size }
+}
+
+pub(crate) fn par_chunks_mut_impl<T: Send>(slice: &mut [T], size: usize) -> ChunksMut<'_, T> {
+    assert!(size != 0, "chunk size must be non-zero");
+    ChunksMut { slice, size }
+}
+
+// ---------------------------------------------------------------------------
+// Base iterators: integer ranges
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    range: std::ops::Range<T>,
+}
+
+macro_rules! range_impl {
+    ($t:ty) => {
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            type Seq = std::ops::Range<$t>;
+            fn len(&self) -> usize {
+                if self.range.end > self.range.start {
+                    (self.range.end - self.range.start) as usize
+                } else {
+                    0
+                }
+            }
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self
+                    .range
+                    .start
+                    .saturating_add(index.min(self.len()) as $t)
+                    .min(self.range.end);
+                (
+                    RangeIter {
+                        range: self.range.start..mid,
+                    },
+                    RangeIter {
+                        range: mid..self.range.end,
+                    },
+                )
+            }
+            fn seq(self) -> Self::Seq {
+                self.range
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = RangeIter<$t>;
+            fn into_par_iter(self) -> RangeIter<$t> {
+                RangeIter { range: self }
+            }
+        }
+    };
+}
+
+range_impl!(usize);
+range_impl!(isize);
+range_impl!(u32);
+range_impl!(i32);
+range_impl!(u64);
+range_impl!(i64);
+
+// ---------------------------------------------------------------------------
+// Adaptors
+// ---------------------------------------------------------------------------
+
+/// `enumerate` adaptor: items paired with their global index.
+pub struct Enumerate<I> {
+    base: I,
+    offset: usize,
+}
+
+/// Sequential side of [`Enumerate`].
+pub struct SeqEnumerate<I> {
+    inner: I,
+    next: usize,
+}
+
+impl<I: Iterator> Iterator for SeqEnumerate<I> {
+    type Item = (usize, I::Item);
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        let idx = self.next;
+        self.next += 1;
+        Some((idx, item))
+    }
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    type Seq = SeqEnumerate<I::Seq>;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (
+            Enumerate {
+                base: a,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: b,
+                offset: self.offset + index,
+            },
+        )
+    }
+    fn seq(self) -> Self::Seq {
+        SeqEnumerate {
+            inner: self.base.seq(),
+            next: self.offset,
+        }
+    }
+}
+
+/// `zip` adaptor: lock-step pairs, truncated to the shorter side.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.split_at(index);
+        let (b1, b2) = self.b.split_at(index);
+        (Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })
+    }
+    fn seq(self) -> Self::Seq {
+        self.a.seq().zip(self.b.seq())
+    }
+}
+
+/// `map` adaptor.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+/// Sequential side of [`Map`].
+pub struct SeqMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, F, R> Iterator for SeqMap<I, F>
+where
+    I: Iterator,
+    F: Fn(I::Item) -> R,
+{
+    type Item = R;
+    fn next(&mut self) -> Option<R> {
+        self.inner.next().map(|x| (self.f)(x))
+    }
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Clone + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+    type Seq = SeqMap<I::Seq, F>;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (
+            Map {
+                base: a,
+                f: self.f.clone(),
+            },
+            Map { base: b, f: self.f },
+        )
+    }
+    fn seq(self) -> Self::Seq {
+        SeqMap {
+            inner: self.base.seq(),
+            f: self.f,
+        }
+    }
+}

@@ -1,109 +1,141 @@
-//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon) — now a
+//! **real data-parallel runtime**, not a sequential shim.
 //!
 //! The build environment for this repository has no access to crates.io,
-//! so the workspace vendors a minimal, API-compatible subset of rayon's
-//! parallel-iterator surface. Every `par_*` method returns the ordinary
-//! **sequential** standard-library iterator, which keeps call sites
-//! (`par_chunks_mut(..).enumerate().zip(..).for_each(..)`,
-//! `par_iter().map(..).collect()`, …) compiling and semantically
-//! identical — the kernels in `tea-core` already fold their partials in a
-//! deterministic order, so sequential execution changes timing only, not
-//! results.
+//! so the workspace vendors an API-compatible subset of rayon's
+//! parallel-iterator surface. Since PR 2 that subset actually executes in
+//! parallel: a lazily-initialized runtime ([`pool`]) raises scoped
+//! `std::thread` worker teams per parallel region, and the iterator layer
+//! ([`iter`]) splits the iteration space into contiguous statically-chunked
+//! parts, one per worker.
+//!
+//! Guarantees the kernels in `tea-core` rely on:
+//!
+//! * **Determinism** — part boundaries depend only on the length and the
+//!   worker count; consumers reassemble results in part order. Combined
+//!   with the kernels' per-row partials folded in row order, every solve
+//!   is bit-identical for any `TEA_NUM_THREADS`.
+//! * **Exact serial fallback** — one worker (or `TEA_NUM_THREADS=1`)
+//!   degrades every `par_*` call to the plain standard-library iterator
+//!   with no thread machinery touched.
+//! * **No `unsafe`** — parallel regions borrow non-`'static` field data,
+//!   proven sound by `std::thread::scope` (see [`pool`] for why a parked
+//!   persistent pool is impossible without `unsafe`).
+//!
+//! Configuration: `TEA_NUM_THREADS` (read once, default = available
+//! cores) or [`set_num_threads`] at run time.
 //!
 //! When real rayon becomes available, deleting this crate from
-//! `[workspace.dependencies]` restores true data parallelism with no
-//! source changes.
+//! `[workspace.dependencies]` restores crates.io rayon with no kernel
+//! source changes — every API used by the workspace exists there with
+//! identical semantics (only the [`set_num_threads`] shim differs:
+//! crates.io rayon configures threads via `ThreadPoolBuilder`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod iter;
+pub mod pool;
+
+pub use iter::{FromParallelIterator, IntoParallelIterator, ParallelIterator};
+pub use pool::{current_num_threads, set_num_threads, MAX_THREADS};
+
+/// Alias: in real rayon `enumerate`/`zip` live on a second trait; here a
+/// single trait plays both roles, so the names are interchangeable.
+pub use iter::ParallelIterator as IndexedParallelIterator;
+
 /// Drop-in for `rayon::prelude`: the extension traits that add `par_*`
-/// methods to slices and vectors.
+/// methods to slices and vectors plus the iterator traits themselves.
 pub mod prelude {
+    pub use crate::iter::{FromParallelIterator, IntoParallelIterator, ParallelIterator};
     pub use crate::{
-        IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice, ParallelSliceMut,
+        IndexedParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelSlice, ParallelSliceMut,
     };
 }
 
-/// `par_iter()` — sequential stand-in returning [`std::slice::Iter`].
+/// `par_iter()` — borrowing parallel iterator over a collection.
 pub trait IntoParallelRefIterator<'a> {
     /// The item type yielded by the iterator.
-    type Item: 'a;
+    type Item: Send + 'a;
     /// The iterator type returned by [`Self::par_iter`].
-    type Iter: Iterator<Item = Self::Item>;
-    /// Returns a (sequential) iterator over `&self`'s elements.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Returns a parallel iterator over `&self`'s elements.
     fn par_iter(&'a self) -> Self::Iter;
 }
 
 impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
     type Item = &'a T;
-    type Iter = std::slice::Iter<'a, T>;
+    type Iter = iter::Iter<'a, T>;
     fn par_iter(&'a self) -> Self::Iter {
-        self.iter()
+        iter::par_iter_impl(self)
     }
 }
 
 impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
     type Item = &'a T;
-    type Iter = std::slice::Iter<'a, T>;
+    type Iter = iter::Iter<'a, T>;
     fn par_iter(&'a self) -> Self::Iter {
-        self.iter()
+        iter::par_iter_impl(self)
     }
 }
 
-/// `par_iter_mut()` — sequential stand-in returning [`std::slice::IterMut`].
+/// `par_iter_mut()` — mutably borrowing parallel iterator.
 pub trait IntoParallelRefMutIterator<'a> {
     /// The item type yielded by the iterator.
-    type Item: 'a;
+    type Item: Send + 'a;
     /// The iterator type returned by [`Self::par_iter_mut`].
-    type Iter: Iterator<Item = Self::Item>;
-    /// Returns a (sequential) iterator over `&mut self`'s elements.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Returns a parallel iterator over `&mut self`'s elements.
     fn par_iter_mut(&'a mut self) -> Self::Iter;
 }
 
 impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for [T] {
     type Item = &'a mut T;
-    type Iter = std::slice::IterMut<'a, T>;
+    type Iter = iter::IterMut<'a, T>;
     fn par_iter_mut(&'a mut self) -> Self::Iter {
-        self.iter_mut()
+        iter::par_iter_mut_impl(self)
     }
 }
 
 impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for Vec<T> {
     type Item = &'a mut T;
-    type Iter = std::slice::IterMut<'a, T>;
+    type Iter = iter::IterMut<'a, T>;
     fn par_iter_mut(&'a mut self) -> Self::Iter {
-        self.iter_mut()
+        iter::par_iter_mut_impl(self)
     }
 }
 
-/// `par_chunks()` — sequential stand-in returning [`std::slice::Chunks`].
-pub trait ParallelSlice<T> {
-    /// Returns a (sequential) iterator over `chunk_size`-sized chunks.
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+/// `par_chunks()` — parallel iterator over `chunk_size`-sized pieces.
+pub trait ParallelSlice<T: Sync> {
+    /// Returns a parallel iterator over `chunk_size`-sized chunks.
+    fn par_chunks(&self, chunk_size: usize) -> iter::Chunks<'_, T>;
 }
 
 impl<T: Sync> ParallelSlice<T> for [T] {
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-        self.chunks(chunk_size)
+    fn par_chunks(&self, chunk_size: usize) -> iter::Chunks<'_, T> {
+        iter::par_chunks_impl(self, chunk_size)
     }
 }
 
-/// `par_chunks_mut()` — sequential stand-in returning
-/// [`std::slice::ChunksMut`].
-pub trait ParallelSliceMut<T> {
-    /// Returns a (sequential) iterator over mutable `chunk_size`-sized
+/// `par_chunks_mut()` — parallel iterator over mutable
+/// `chunk_size`-sized pieces.
+pub trait ParallelSliceMut<T: Send> {
+    /// Returns a parallel iterator over mutable `chunk_size`-sized
     /// chunks.
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> iter::ChunksMut<'_, T>;
 }
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-        self.chunks_mut(chunk_size)
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> iter::ChunksMut<'_, T> {
+        iter::par_chunks_mut_impl(self, chunk_size)
     }
 }
 
-/// Runs both closures (sequentially, `a` first) and returns both results.
+/// Runs both closures, potentially in parallel, and returns both results.
+///
+/// With more than one configured worker, `b` runs on a scoped thread
+/// while the calling thread runs `a`.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -111,7 +143,14 @@ where
     RA: Send,
     RB: Send,
 {
-    (a(), b())
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("join(b) panicked"))
+    })
 }
 
 #[cfg(test)]
@@ -144,5 +183,76 @@ mod tests {
             .zip(inp.par_iter())
             .for_each(|(o, &i)| *o = i * i);
         assert_eq!(out, vec![1.0, 4.0, 9.0, 16.0]);
+    }
+
+    #[test]
+    fn range_collect_preserves_order_across_thread_counts() {
+        let reference: Vec<isize> = (-3..1000).map(|k| k * 7).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            crate::set_num_threads(threads);
+            let got: Vec<isize> = (-3isize..1000).into_par_iter().map(|k| k * 7).collect();
+            assert_eq!(got, reference, "threads = {threads}");
+        }
+        crate::set_num_threads(1);
+    }
+
+    #[test]
+    fn chunked_writes_cover_every_element_threaded() {
+        crate::set_num_threads(4);
+        let mut v = vec![0usize; 1003]; // not divisible by chunk or team size
+        v.par_chunks_mut(10).enumerate().for_each(|(i, c)| {
+            for (off, x) in c.iter_mut().enumerate() {
+                *x = i * 10 + off;
+            }
+        });
+        crate::set_num_threads(1);
+        assert_eq!(v, (0..1003).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_chunks_with_per_chunk_slots_is_disjoint() {
+        // the apply_fused_dot pattern: chunk sweep zipped with a
+        // per-chunk partials slot
+        crate::set_num_threads(3);
+        let mut data = vec![1.0f64; 700];
+        let mut partials = vec![0.0f64; 70];
+        data.par_chunks_mut(10)
+            .zip(partials.par_iter_mut())
+            .enumerate()
+            .for_each(|(i, (chunk, slot))| {
+                for x in chunk.iter_mut() {
+                    *x += i as f64;
+                }
+                *slot = chunk.iter().sum();
+            });
+        crate::set_num_threads(1);
+        for (i, p) in partials.iter().enumerate() {
+            assert_eq!(*p, 10.0 * (1.0 + i as f64), "slot {i}");
+        }
+    }
+
+    #[test]
+    fn deterministic_sum_across_thread_counts() {
+        // catastrophic-cancellation-prone values: any reassociation
+        // would change the bits
+        let v: Vec<f64> = (0..10_000usize)
+            .map(|i| ((i.wrapping_mul(2654435761)) % 1000) as f64 * 1e-3 - 0.5)
+            .collect();
+        crate::set_num_threads(1);
+        let s1: f64 = v.par_iter().map(|&x| x * x * 1e3 - x).sum();
+        for threads in [2, 4, 7] {
+            crate::set_num_threads(threads);
+            let st: f64 = v.par_iter().map(|&x| x * x * 1e3 - x).sum();
+            assert_eq!(s1.to_bits(), st.to_bits(), "threads = {threads}");
+        }
+        crate::set_num_threads(1);
+    }
+
+    #[test]
+    fn join_runs_both_sides() {
+        crate::set_num_threads(2);
+        let (a, b) = crate::join(|| 1 + 1, || "b");
+        crate::set_num_threads(1);
+        assert_eq!((a, b), (2, "b"));
     }
 }

@@ -1,0 +1,132 @@
+//! The execution runtime: lazily-initialized thread configuration plus
+//! the scoped worker teams that carry every parallel region.
+//!
+//! # Design: persistent configuration, scoped workers, zero `unsafe`
+//!
+//! The runtime is split in two:
+//!
+//! * a **persistent, lazily-initialized configuration** — the worker
+//!   count, read once from `TEA_NUM_THREADS` (default: all available
+//!   cores) and overridable at run time with [`set_num_threads`];
+//! * **scoped worker teams** raised per parallel region with
+//!   [`std::thread::scope`], one worker per contiguous part of the
+//!   iteration space (static chunking), with part 0 executed by the
+//!   calling thread itself.
+//!
+//! Scoped threads are what lets the whole crate keep
+//! `#![forbid(unsafe_code)]`: kernels hand the runtime borrowed,
+//! non-`'static` data (`&mut [f64]` rows of a field that lives on the
+//! caller's stack), and only a scope can prove to the compiler that the
+//! workers are joined before those borrows expire. A pool of *parked*
+//! OS threads would have to launder those lifetimes through a channel of
+//! `'static` jobs — exactly the `unsafe` transmute real rayon hides
+//! inside its registry. At this crate's dispatch granularity (sweeps are
+//! only parallelised above `tea-core`'s `PAR_THRESHOLD`, i.e. tens of
+//! thousands of cells and up) the scoped spawn costs microseconds
+//! against sweeps that cost milliseconds, so the trade is safety for a
+//! measured overhead of a few percent.
+//!
+//! With one worker the team never spawns: the calling thread runs the
+//! whole region sequentially, which is why `TEA_NUM_THREADS=1` is
+//! *exactly* the old sequential stand-in, instruction for instruction.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Worker count; `0` until first use, then the resolved configuration.
+static NUM_THREADS: OnceLock<AtomicUsize> = OnceLock::new();
+
+fn cell() -> &'static AtomicUsize {
+    NUM_THREADS.get_or_init(|| AtomicUsize::new(threads_from_env()))
+}
+
+/// Hard ceiling on the worker count. Oversubscription is allowed (it is
+/// how the 1-core CI container still exercises real threading), but an
+/// unbounded count would let a deck typo ask every sweep to spawn tens
+/// of thousands of scoped threads and abort the run when `spawn` fails.
+pub const MAX_THREADS: usize = 1024;
+
+/// Resolves the initial worker count: `TEA_NUM_THREADS` if set to a
+/// positive integer, otherwise the number of available cores.
+fn threads_from_env() -> usize {
+    std::env::var("TEA_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .min(MAX_THREADS)
+}
+
+/// The number of worker threads parallel regions currently use.
+///
+/// Mirrors `rayon::current_num_threads`. Resolved lazily on first call:
+/// `TEA_NUM_THREADS` if set, else the available cores.
+pub fn current_num_threads() -> usize {
+    cell().load(Ordering::Relaxed)
+}
+
+/// Overrides the worker count for subsequent parallel regions.
+///
+/// `1` makes every region run sequentially on the calling thread —
+/// bit-for-bit the behaviour of the old sequential stand-in. Values are
+/// clamped to `1..=`[`MAX_THREADS`]. (crates.io rayon configures this
+/// through `ThreadPoolBuilder` instead; this shim exists so benchmarks
+/// and tests can flip thread counts within one process.)
+pub fn set_num_threads(threads: usize) {
+    cell().store(threads.clamp(1, MAX_THREADS), Ordering::Relaxed);
+}
+
+/// Runs `work` over every part on a scoped worker team and returns the
+/// results **in part order**.
+///
+/// Part 0 runs on the calling thread; parts 1.. each get a scoped worker.
+/// Panics in workers propagate to the caller.
+pub(crate) fn run_team<P, R, F>(parts: Vec<P>, work: F) -> Vec<R>
+where
+    P: Send,
+    R: Send,
+    F: Fn(P) -> R + Sync,
+{
+    let mut parts = parts.into_iter();
+    let Some(first) = parts.next() else {
+        return Vec::new();
+    };
+    std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = parts.map(|p| scope.spawn(move || work(p))).collect();
+        let mut out = Vec::with_capacity(handles.len() + 1);
+        out.push(work(first));
+        for h in handles {
+            out.push(h.join().expect("parallel worker panicked"));
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn team_preserves_part_order() {
+        let parts: Vec<usize> = (0..16).collect();
+        let out = run_team(parts, |p| p * 10);
+        assert_eq!(out, (0..16).map(|p| p * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_team_is_fine() {
+        let out: Vec<usize> = run_team(Vec::<usize>::new(), |p| p);
+        assert!(out.is_empty());
+    }
+
+    // NOTE: no test here asserts on `current_num_threads()` — the count
+    // is process-global and sibling tests in this binary legitimately
+    // flip it concurrently, so such an assert would be flaky. The
+    // clamping behaviour is asserted in `tea-core::runtime`, whose test
+    // binary has no other writers.
+}
