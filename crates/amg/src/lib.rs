@@ -23,5 +23,9 @@ pub mod trace;
 
 pub use chol::Cholesky;
 pub use hierarchy::{MgHierarchy, MgOpts, COARSEST_CELLS, JACOBI_WEIGHT};
-pub use pcg::{amg_pcg_solve, AmgPcgOpts, AmgSolveResult};
+pub use pcg::{full_registry, register, AmgPcg, AmgPcgOpts, AmgSolveResult, AMG_META};
 pub use trace::MgTrace;
+
+// Deprecated free-function entry point, re-exported for one release.
+#[allow(deprecated)]
+pub use pcg::amg_pcg_solve;

@@ -10,8 +10,134 @@
 use crate::hierarchy::{MgHierarchy, MgOpts};
 use crate::trace::MgTrace;
 use tea_comms::Communicator;
-use tea_core::{vector, SolveOpts, SolveResult, Tile, Workspace};
+use tea_core::{
+    vector, IterativeSolver, SolveContext, SolveOpts, SolveResult, SolveTrace, SolverMeta,
+    SolverParams, SolverRegistry, Tile, Workspace,
+};
 use tea_mesh::{Coefficient, Field2D};
+
+/// Registry metadata for the AMG baseline.
+pub const AMG_META: SolverMeta = SolverMeta {
+    name: "amg",
+    aliases: &["boomeramg", "amg_pcg"],
+    summary: "multigrid V-cycle preconditioned CG (the BoomerAMG-class baseline)",
+    preconditioned: false,
+    needs_eigen_estimate: false,
+    deep_halo: false,
+    serial_only: true,
+};
+
+/// Registers the AMG baseline into `registry` under `"amg"` (aliases
+/// `"boomeramg"`, `"amg_pcg"`). The application layer calls this on top
+/// of [`SolverRegistry::builtin`]; custom registries can too.
+pub fn register(registry: &mut SolverRegistry) {
+    registry.register(AMG_META, |p| Box::new(AmgPcg::from_params(p)));
+}
+
+/// A [`SolverRegistry`] with all tea-core builtins plus the AMG
+/// baseline — the full solver design space of this reproduction.
+pub fn full_registry() -> SolverRegistry {
+    let mut reg = SolverRegistry::builtin();
+    register(&mut reg);
+    reg
+}
+
+/// V-cycle-preconditioned CG as an [`IterativeSolver`].
+///
+/// Rebuilds the multigrid hierarchy from the [`tea_core::Assembly`]
+/// carried by the [`SolveContext`] on every solve (the baseline's heavy
+/// setup is part of the protocol being reproduced), and accumulates the
+/// per-level V-cycle trace across solves; drivers recover it via the
+/// [`IterativeSolver::take_diagnostics`] hook (payload [`MgTrace`]) or
+/// directly through [`AmgPcg::take_mg_trace`].
+///
+/// # Panics
+/// `solve` panics if the context carries no assembly info or if the
+/// communicator spans more than one rank (the baseline is serial; its
+/// distributed behaviour enters through trace replay).
+#[derive(Debug, Default)]
+pub struct AmgPcg {
+    amg: AmgPcgOpts,
+    opts: SolveOpts,
+    mg_trace: Option<MgTrace>,
+}
+
+impl AmgPcg {
+    /// An AMG-PCG solver with V-cycle configuration `amg`.
+    pub fn new(amg: AmgPcgOpts) -> Self {
+        AmgPcg {
+            amg,
+            opts: SolveOpts::default(),
+            mg_trace: None,
+        }
+    }
+
+    /// Registry factory (the V-cycle shape is fixed by [`MgOpts`]
+    /// defaults; generic [`SolverParams`] carry nothing it consumes).
+    pub fn from_params(_params: &SolverParams) -> Self {
+        AmgPcg::new(AmgPcgOpts::default())
+    }
+
+    /// Takes the multigrid trace accumulated over all solves since the
+    /// last call (`None` if no solve ran).
+    pub fn take_mg_trace(&mut self) -> Option<MgTrace> {
+        self.mg_trace.take()
+    }
+}
+
+impl IterativeSolver for AmgPcg {
+    fn name(&self) -> &'static str {
+        "amg"
+    }
+
+    fn label(&self) -> String {
+        "BoomerAMG".into()
+    }
+
+    fn prepare(&mut self, _ctx: &SolveContext<'_>, opts: &SolveOpts) {
+        // the hierarchy is rebuilt per solve from the assembly info (the
+        // reference baseline re-runs setup every step); only the options
+        // are latched here
+        self.opts = *opts;
+    }
+
+    fn solve(
+        &mut self,
+        ctx: &SolveContext<'_>,
+        u: &mut Field2D,
+        b: &Field2D,
+        ws: &mut Workspace,
+        trace: &mut SolveTrace,
+    ) -> SolveResult {
+        let asm = ctx.assembly.expect(
+            "the AMG baseline rebuilds its hierarchy from the density field: \
+             construct the SolveContext with_assembly(..)",
+        );
+        let out = amg_pcg_solve_impl(
+            ctx.tile,
+            asm.density,
+            asm.coefficient,
+            asm.rx,
+            asm.ry,
+            u,
+            b,
+            ws,
+            self.opts,
+            self.amg,
+        );
+        match &mut self.mg_trace {
+            Some(t) => t.merge(&out.mg_trace),
+            None => self.mg_trace = Some(out.mg_trace),
+        }
+        trace.merge(&out.result.trace);
+        out.result
+    }
+
+    fn take_diagnostics(&mut self) -> Option<Box<dyn std::any::Any>> {
+        self.take_mg_trace()
+            .map(|t| Box::new(t) as Box<dyn std::any::Any>)
+    }
+}
 
 /// Options for the AMG-PCG baseline solver.
 #[derive(Debug, Clone, Copy, Default)]
@@ -36,7 +162,29 @@ pub struct AmgSolveResult {
 /// through the performance model's replay of this trace — see DESIGN.md
 /// §3).
 #[allow(clippy::too_many_arguments)] // mirrors the reference's solver signature
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `Solve` builder with `tea_amg::full_registry()`, or construct \
+            `tea_amg::AmgPcg` and call `IterativeSolver::solve` with an assembly-carrying \
+            `SolveContext`"
+)]
 pub fn amg_pcg_solve<C: Communicator + ?Sized>(
+    tile: &Tile<'_, C>,
+    density: &Field2D,
+    coefficient: Coefficient,
+    rx: f64,
+    ry: f64,
+    u: &mut Field2D,
+    b: &Field2D,
+    ws: &mut Workspace,
+    opts: SolveOpts,
+    amg: AmgPcgOpts,
+) -> AmgSolveResult {
+    amg_pcg_solve_impl(tile, density, coefficient, rx, ry, u, b, ws, opts, amg)
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn amg_pcg_solve_impl<C: Communicator + ?Sized>(
     tile: &Tile<'_, C>,
     density: &Field2D,
     coefficient: Coefficient,
@@ -128,7 +276,7 @@ pub fn amg_pcg_solve<C: Communicator + ?Sized>(
 mod tests {
     use super::*;
     use tea_comms::{HaloLayout, SerialComm};
-    use tea_core::{cg_solve, PreconKind, Preconditioner, SolveTrace, TileBounds, TileOperator};
+    use tea_core::{Solve, SolveTrace, TileBounds, TileOperator};
     use tea_mesh::{crooked_pipe, timestep_scalings, Coefficients, Decomposition2D, Mesh2D};
 
     struct Setup {
@@ -173,7 +321,7 @@ mod tests {
         let tile = Tile::new(&s.op, &layout, &comm);
         let mut ws = Workspace::new(n, n, 1);
         let mut u = s.b.clone();
-        let res = amg_pcg_solve(
+        let res = amg_pcg_solve_impl(
             &tile,
             &s.density,
             s.coefficient,
@@ -218,14 +366,12 @@ mod tests {
     #[test]
     fn amg_pcg_beats_plain_cg_on_iterations() {
         let (res, _, s) = run(64);
-        let comm = SerialComm::new();
-        let d = Decomposition2D::with_grid(64, 64, 1, 1);
-        let layout = HaloLayout::new(&d, 0);
-        let tile = Tile::new(&s.op, &layout, &comm);
-        let m = Preconditioner::setup(PreconKind::None, &s.op, 0);
-        let mut ws = Workspace::new(64, 64, 1);
         let mut u = s.b.clone();
-        let cg = cg_solve(&tile, &mut u, &s.b, &m, &mut ws, SolveOpts::with_eps(1e-9));
+        let cg = Solve::on(&s.op)
+            .with_solver("cg")
+            .eps(1e-9)
+            .run(&mut u, &s.b)
+            .expect("cg is registered");
         assert!(cg.converged);
         assert!(
             res.result.iterations * 2 < cg.iterations,

@@ -7,10 +7,10 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use tea_app::{
-    crooked_pipe_deck, parse_deck, run_serial, run_threaded_ranks, write_field_csv,
-    write_field_ppm, RankOutput, SolverKind,
+    crooked_pipe_deck, parse_deck, run_serial, run_threaded_ranks, solver_registry,
+    write_field_csv, write_field_ppm, RankOutput,
 };
-use tea_core::PreconKind;
+use tea_core::{PreconKind, SolverParams};
 
 const USAGE: &str = "\
 tealeaf — TeaLeaf heat-conduction mini-app (Rust reproduction)
@@ -19,9 +19,11 @@ USAGE:
     tealeaf [OPTIONS]
 
 OPTIONS:
-    --deck <file>        read a tea.in-style deck (other options override it)
+    --deck <file>        read a tea.in-style deck (explicitly passed
+                         flags below override its values)
     --cells <n>          mesh resolution n x n            [default: 128]
-    --solver <s>         jacobi | cg | chebyshev | ppcg | amg  [default: cg]
+    --solver <s>         any registered solver name       [default: cg]
+                         (see --list-solvers)
     --precon <p>         none | jac_diag | jac_block      [default: none]
     --depth <d>          PPCG matrix-powers halo depth    [default: 1]
     --inner <m>          PPCG inner steps                 [default: 16]
@@ -33,19 +35,23 @@ OPTIONS:
                          [default: TEA_NUM_THREADS or all cores]
     --out <prefix>       write <prefix>.ppm and <prefix>.csv of the final field
     --quiet              only print the final summary
+    --list-solvers       print the registered solvers and exit
     --help               show this help
 ";
 
+/// Solver/stepping flags are `Option` so that, with `--deck`, only the
+/// flags the user actually passed override the deck (as the usage text
+/// promises); without a deck the documented defaults apply.
 struct Args {
     deck_path: Option<PathBuf>,
     cells: usize,
-    solver: SolverKind,
-    precon: PreconKind,
-    depth: usize,
-    inner: usize,
-    steps: u64,
-    dt: f64,
-    eps: f64,
+    solver: Option<String>,
+    precon: Option<PreconKind>,
+    depth: Option<usize>,
+    inner: Option<usize>,
+    steps: Option<u64>,
+    dt: Option<f64>,
+    eps: Option<f64>,
     ranks: usize,
     threads: Option<usize>,
     out: Option<String>,
@@ -56,13 +62,13 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         deck_path: None,
         cells: 128,
-        solver: SolverKind::Cg,
-        precon: PreconKind::None,
-        depth: 1,
-        inner: 16,
-        steps: 10,
-        dt: 0.04,
-        eps: 1e-10,
+        solver: None,
+        precon: None,
+        depth: None,
+        inner: None,
+        steps: None,
+        dt: None,
+        eps: None,
         ranks: 1,
         threads: None,
         out: None,
@@ -77,38 +83,82 @@ fn parse_args() -> Result<Args, String> {
             "--deck" => args.deck_path = Some(PathBuf::from(value()?)),
             "--cells" => args.cells = value()?.parse().map_err(|e| format!("--cells: {e}"))?,
             "--solver" => {
-                args.solver = match value()?.as_str() {
-                    "jacobi" => SolverKind::Jacobi,
-                    "cg" => SolverKind::Cg,
-                    "chebyshev" | "cheby" => SolverKind::Chebyshev,
-                    "ppcg" | "cppcg" => SolverKind::Ppcg,
-                    "amg" | "boomeramg" => SolverKind::AmgPcg,
-                    other => return Err(format!("unknown solver '{other}'")),
-                }
+                // resolve eagerly so typos fail before any work happens,
+                // with the registered names in the message
+                args.solver = Some(
+                    solver_registry()
+                        .resolve(&value()?)
+                        .map_err(|e| e.to_string())?
+                        .name
+                        .to_string(),
+                );
             }
             "--precon" => {
-                args.precon = match value()?.as_str() {
+                args.precon = Some(match value()?.as_str() {
                     "none" => PreconKind::None,
                     "jac_diag" | "diag" => PreconKind::Diagonal,
                     "jac_block" | "block" => PreconKind::BlockJacobi,
                     other => return Err(format!("unknown preconditioner '{other}'")),
-                }
+                })
             }
-            "--depth" => args.depth = value()?.parse().map_err(|e| format!("--depth: {e}"))?,
-            "--inner" => args.inner = value()?.parse().map_err(|e| format!("--inner: {e}"))?,
-            "--steps" => args.steps = value()?.parse().map_err(|e| format!("--steps: {e}"))?,
-            "--dt" => args.dt = value()?.parse().map_err(|e| format!("--dt: {e}"))?,
-            "--eps" => args.eps = value()?.parse().map_err(|e| format!("--eps: {e}"))?,
+            "--depth" => args.depth = Some(value()?.parse().map_err(|e| format!("--depth: {e}"))?),
+            "--inner" => args.inner = Some(value()?.parse().map_err(|e| format!("--inner: {e}"))?),
+            "--steps" => args.steps = Some(value()?.parse().map_err(|e| format!("--steps: {e}"))?),
+            "--dt" => args.dt = Some(value()?.parse().map_err(|e| format!("--dt: {e}"))?),
+            "--eps" => args.eps = Some(value()?.parse().map_err(|e| format!("--eps: {e}"))?),
             "--ranks" => args.ranks = value()?.parse().map_err(|e| format!("--ranks: {e}"))?,
             "--threads" => {
                 args.threads = Some(value()?.parse().map_err(|e| format!("--threads: {e}"))?)
             }
             "--out" => args.out = Some(value()?),
             "--quiet" => args.quiet = true,
+            "--list-solvers" => {
+                print_solvers();
+                std::process::exit(0);
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
     }
     Ok(args)
+}
+
+/// Prints each registered solver's name, aliases, metadata and the
+/// default options it would run with (`--list-solvers`).
+fn print_solvers() {
+    let defaults = SolverParams::default();
+    println!("registered solvers:\n");
+    for meta in solver_registry().iter() {
+        let aliases = if meta.aliases.is_empty() {
+            String::new()
+        } else {
+            format!(" (aliases: {})", meta.aliases.join(", "))
+        };
+        println!("  {}{aliases}", meta.name);
+        println!("      {}", meta.summary);
+        let mut notes = Vec::new();
+        if meta.preconditioned {
+            notes.push(format!("precon={}", defaults.precon.label()));
+        }
+        if meta.needs_eigen_estimate {
+            notes.push(format!(
+                "presteps={} eigen_safety={}",
+                defaults.presteps, defaults.eigen_safety
+            ));
+        }
+        if meta.deep_halo {
+            notes.push(format!(
+                "halo_depth={} inner_steps={}",
+                defaults.halo_depth, defaults.inner_steps
+            ));
+        }
+        if meta.serial_only {
+            notes.push("serial-only".into());
+        }
+        if !notes.is_empty() {
+            println!("      defaults: {}", notes.join(", "));
+        }
+    }
+    println!("\nselect with --solver <name>, or tl_solver=<name> in a deck");
 }
 
 fn main() -> ExitCode {
@@ -141,17 +191,34 @@ fn main() -> ExitCode {
                 }
             }
         }
-        None => crooked_pipe_deck(args.cells, args.solver),
+        None => crooked_pipe_deck(args.cells, "cg"),
     };
+    // explicit flags override the deck; without a deck, unset flags fall
+    // back to the documented defaults
     if args.deck_path.is_none() {
-        deck.control.solver = args.solver;
-        deck.control.precon = args.precon;
-        deck.control.ppcg_halo_depth = args.depth;
-        deck.control.ppcg_inner_steps = args.inner;
-        deck.control.end_step = args.steps;
-        deck.control.dt = args.dt;
-        deck.control.opts.eps = args.eps;
+        deck.control.end_step = 10;
         deck.control.summary_frequency = if args.quiet { 0 } else { 1 };
+    }
+    if let Some(solver) = &args.solver {
+        deck.control.solver = solver.clone();
+    }
+    if let Some(precon) = args.precon {
+        deck.control.precon = precon;
+    }
+    if let Some(depth) = args.depth {
+        deck.control.ppcg_halo_depth = depth;
+    }
+    if let Some(inner) = args.inner {
+        deck.control.ppcg_inner_steps = inner;
+    }
+    if let Some(steps) = args.steps {
+        deck.control.end_step = steps;
+    }
+    if let Some(dt) = args.dt {
+        deck.control.dt = dt;
+    }
+    if let Some(eps) = args.eps {
+        deck.control.opts.eps = eps;
     }
     // CLI --threads overrides the deck's tl_num_threads, which overrides
     // the ambient TEA_NUM_THREADS / core count
@@ -163,7 +230,7 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "tealeaf: {}x{} cells, solver {:?}, {} steps, {} rank(s), {} worker thread(s)",
+        "tealeaf: {}x{} cells, solver {}, {} steps, {} rank(s), {} worker thread(s)",
         deck.problem.x_cells,
         deck.problem.y_cells,
         deck.control.solver,

@@ -32,16 +32,25 @@
 //! `TEA_NUM_THREADS` environment variable and the CLI `--threads` flag).
 
 use std::collections::BTreeMap;
-use tea_core::{PreconKind, SolveOpts};
+use tea_core::{PreconKind, SolveOpts, SolverParams};
 use tea_mesh::{Coefficient, Extent2D, Problem, Shape, State};
 
 /// Which solver the driver runs each time step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// Superseded by registry names: set [`Control::solver`] to a name
+/// resolved by [`crate::solver_registry`] (e.g. `"ppcg"`). The enum
+/// remains for one release as a migration aid — it converts into the
+/// corresponding registry name via `Into<String>` / [`SolverKind::name`].
+#[deprecated(
+    since = "0.1.0",
+    note = "solver selection is by registry name now: set `Control::solver` to e.g. \
+            \"ppcg\" (see `tea_app::solver_registry`)"
+)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SolverKind {
     /// Point-Jacobi iteration.
     Jacobi,
     /// Conjugate gradient (the baseline).
-    #[default]
     Cg,
     /// Single-reduction (Chronopoulos–Gear) CG — the paper's §VII
     /// future-work restructuring, one fused allreduce per iteration.
@@ -54,7 +63,29 @@ pub enum SolverKind {
     AmgPcg,
 }
 
+// not derived: the derive's `#[default]` marker would itself trip the
+// enum's deprecation lint
+#[allow(deprecated, clippy::derivable_impls)]
+impl Default for SolverKind {
+    fn default() -> Self {
+        SolverKind::Cg
+    }
+}
+
+#[allow(deprecated)]
 impl SolverKind {
+    /// The registry name this kind resolves to.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::Jacobi => "jacobi",
+            SolverKind::Cg => "cg",
+            SolverKind::CgFused => "cg_fused",
+            SolverKind::Chebyshev => "chebyshev",
+            SolverKind::Ppcg => "ppcg",
+            SolverKind::AmgPcg => "amg",
+        }
+    }
+
     /// Figure-legend label.
     pub fn label(self) -> &'static str {
         match self {
@@ -68,6 +99,13 @@ impl SolverKind {
     }
 }
 
+#[allow(deprecated)]
+impl From<SolverKind> for String {
+    fn from(kind: SolverKind) -> String {
+        kind.name().to_string()
+    }
+}
+
 /// Time-stepping and solver controls (the deck's non-geometry half).
 #[derive(Debug, Clone)]
 pub struct Control {
@@ -77,8 +115,10 @@ pub struct Control {
     pub end_time: f64,
     /// Step-count cap.
     pub end_step: u64,
-    /// Solver selection.
-    pub solver: SolverKind,
+    /// Solver selection: a registry name or alias resolved by
+    /// [`crate::solver_registry`] (e.g. `"cg"`, `"ppcg"`, `"amg"`,
+    /// `"richardson"`).
+    pub solver: String,
     /// Convergence options.
     pub opts: SolveOpts,
     /// Preconditioner for CG/Chebyshev/PPCG-inner.
@@ -102,7 +142,7 @@ impl Default for Control {
             dt: 0.04,
             end_time: 15.0,
             end_step: u64::MAX,
-            solver: SolverKind::Cg,
+            solver: "cg".into(),
             opts: SolveOpts::default(),
             precon: PreconKind::None,
             ppcg_inner_steps: 16,
@@ -119,6 +159,18 @@ impl Control {
     pub fn steps(&self) -> u64 {
         let by_time = (self.end_time / self.dt).ceil() as u64;
         by_time.min(self.end_step)
+    }
+
+    /// The generic solver parameters this deck configures — what the
+    /// driver hands to [`tea_core::SolverRegistry::create`].
+    pub fn solver_params(&self) -> SolverParams {
+        SolverParams {
+            precon: self.precon,
+            inner_steps: self.ppcg_inner_steps,
+            halo_depth: self.ppcg_halo_depth,
+            presteps: self.presteps,
+            ..SolverParams::default()
+        }
     }
 }
 
@@ -173,33 +225,15 @@ pub fn parse_deck(text: &str) -> Result<Deck, String> {
             continue;
         }
 
-        // bare switches
-        match lower.as_str() {
-            "tl_use_jacobi" => {
-                control.solver = SolverKind::Jacobi;
-                continue;
-            }
-            "tl_use_cg" => {
-                control.solver = SolverKind::Cg;
-                continue;
-            }
-            "tl_use_cg_fused" => {
-                control.solver = SolverKind::CgFused;
-                continue;
-            }
-            "tl_use_chebyshev" => {
-                control.solver = SolverKind::Chebyshev;
-                continue;
-            }
-            "tl_use_ppcg" => {
-                control.solver = SolverKind::Ppcg;
-                continue;
-            }
-            "tl_use_amg" | "tl_use_boomeramg" => {
-                control.solver = SolverKind::AmgPcg;
-                continue;
-            }
-            _ => {}
+        // legacy bare solver switches: `tl_use_<name>` aliases
+        // `tl_solver=<name>`, resolved against the same registry
+        if let Some(name) = lower.strip_prefix("tl_use_") {
+            control.solver = crate::solver_registry()
+                .resolve(name)
+                .map_err(|e| err(e.to_string()))?
+                .name
+                .to_string();
+            continue;
         }
 
         let (key, value) = lower
@@ -227,6 +261,13 @@ pub fn parse_deck(text: &str) -> Result<Deck, String> {
             "end_time" => control.end_time = fval()?,
             "end_step" => control.end_step = ival()?,
             "summary_frequency" => control.summary_frequency = ival()?,
+            "tl_solver" => {
+                control.solver = crate::solver_registry()
+                    .resolve(value)
+                    .map_err(|e| err(e.to_string()))?
+                    .name
+                    .to_string();
+            }
             "tl_eps" => control.opts.eps = fval()?,
             "tl_max_iters" => control.opts.max_iters = ival()?,
             "tl_ppcg_inner_steps" => control.ppcg_inner_steps = ival()? as usize,
@@ -404,14 +445,7 @@ pub fn render_deck(deck: &Deck) -> String {
         }
     ));
     out.push_str(&format!("tl_preconditioner_type={}\n", c.precon.label()));
-    out.push_str(match c.solver {
-        SolverKind::Jacobi => "tl_use_jacobi\n",
-        SolverKind::Cg => "tl_use_cg\n",
-        SolverKind::CgFused => "tl_use_cg_fused\n",
-        SolverKind::Chebyshev => "tl_use_chebyshev\n",
-        SolverKind::Ppcg => "tl_use_ppcg\n",
-        SolverKind::AmgPcg => "tl_use_amg\n",
-    });
+    out.push_str(&format!("tl_solver={}\n", c.solver));
     out.push_str(&format!("tl_ppcg_inner_steps={}\n", c.ppcg_inner_steps));
     out.push_str(&format!("tl_ppcg_halo_depth={}\n", c.ppcg_halo_depth));
     out.push_str(&format!("tl_ch_cg_presteps={}\n", c.presteps));
@@ -421,12 +455,13 @@ pub fn render_deck(deck: &Deck) -> String {
 }
 
 /// The paper's crooked-pipe benchmark deck at a given resolution and
-/// solver configuration.
-pub fn crooked_pipe_deck(n: usize, solver: SolverKind) -> Deck {
+/// solver (a registry name like `"cg"` or `"ppcg"`; the deprecated
+/// [`SolverKind`] variants also convert).
+pub fn crooked_pipe_deck(n: usize, solver: impl Into<String>) -> Deck {
     Deck {
         problem: tea_mesh::crooked_pipe(n),
         control: Control {
-            solver,
+            solver: solver.into(),
             ..Default::default()
         },
     }
@@ -466,7 +501,7 @@ tl_coefficient=1
         assert_eq!(deck.problem.x_cells, 64);
         assert_eq!(deck.problem.states.len(), 3);
         assert_eq!(deck.problem.states[0].shape, Shape::Background);
-        assert_eq!(deck.control.solver, SolverKind::Ppcg);
+        assert_eq!(deck.control.solver, "ppcg");
         assert_eq!(deck.control.ppcg_halo_depth, 8);
         assert_eq!(deck.control.ppcg_inner_steps, 16);
         assert_eq!(deck.control.precon, tea_core::PreconKind::Diagonal);
@@ -518,7 +553,7 @@ tl_coefficient=1
 
     #[test]
     fn roundtrip_render_parse() {
-        let deck = crooked_pipe_deck(48, SolverKind::Ppcg);
+        let deck = crooked_pipe_deck(48, "ppcg");
         let text = render_deck(&deck);
         let re = parse_deck(&text).expect("rendered deck must parse");
         assert_eq!(re.problem, deck.problem);
@@ -529,20 +564,50 @@ tl_coefficient=1
 
     #[test]
     fn solver_switches() {
-        for (text, kind) in [
-            ("tl_use_jacobi", SolverKind::Jacobi),
-            ("tl_use_cg", SolverKind::Cg),
-            ("tl_use_cg_fused", SolverKind::CgFused),
-            ("tl_use_chebyshev", SolverKind::Chebyshev),
-            ("tl_use_ppcg", SolverKind::Ppcg),
-            ("tl_use_amg", SolverKind::AmgPcg),
+        // legacy bare switches and the tl_solver key resolve to the
+        // same canonical registry names
+        for (text, name) in [
+            ("tl_use_jacobi", "jacobi"),
+            ("tl_use_cg", "cg"),
+            ("tl_use_cg_fused", "cg_fused"),
+            ("tl_use_chebyshev", "chebyshev"),
+            ("tl_use_ppcg", "ppcg"),
+            ("tl_use_amg", "amg"),
+            ("tl_use_boomeramg", "amg"),
+            ("tl_solver=richardson", "richardson"),
+            ("tl_solver=cppcg", "ppcg"),
+            ("tl_solver=BoomerAMG", "amg"),
         ] {
             let deck = parse_deck(&format!(
                 "*tea\nstate 1 density=1 energy=1\nx_cells=8\ny_cells=8\n{text}\n*endtea"
             ))
             .unwrap();
-            assert_eq!(deck.control.solver, kind);
+            assert_eq!(deck.control.solver, name, "{text}");
         }
+    }
+
+    #[test]
+    fn unknown_solver_lists_registered_names() {
+        for line in ["tl_solver=sor", "tl_use_sor"] {
+            let e = parse_deck(&format!(
+                "*tea\nstate 1 density=1 energy=1\nx_cells=8\ny_cells=8\n{line}\n*endtea"
+            ))
+            .unwrap_err();
+            assert!(e.contains("unknown solver 'sor'"), "{e}");
+            for name in crate::solver_registry().names() {
+                assert!(e.contains(name), "{e} should list {name}");
+            }
+            assert!(e.contains("line 5"), "{e}");
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_solver_kind_converts_to_names() {
+        assert_eq!(SolverKind::Ppcg.name(), "ppcg");
+        assert_eq!(String::from(SolverKind::AmgPcg), "amg");
+        let deck = crooked_pipe_deck(8, SolverKind::CgFused);
+        assert_eq!(deck.control.solver, "cg_fused");
     }
 
     #[test]

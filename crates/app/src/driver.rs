@@ -12,13 +12,12 @@
 //! one thread per rank ([`run_threaded_ranks`]); decomposed runs gather
 //! the final temperature field to rank 0 for output.
 
-use crate::deck::{Deck, SolverKind};
+use crate::deck::Deck;
 use crate::summary::{field_summary, FieldSummary};
-use tea_amg::{amg_pcg_solve, AmgPcgOpts, MgTrace};
+use tea_amg::MgTrace;
 use tea_comms::{gather_to_root, run_threaded as comm_run, Communicator, HaloLayout, SerialComm};
 use tea_core::{
-    cg_solve, chebyshev_solve, jacobi_solve, ppcg_solve, ChebyOpts, PpcgOpts, Preconditioner,
-    SolveResult, SolveTrace, Tile, TileBounds, TileOperator, Workspace,
+    Assembly, DynTile, SolveContext, SolveTrace, Tile, TileBounds, TileOperator, Workspace,
 };
 use tea_mesh::{timestep_scalings, Coefficients, Decomposition2D, Field2D, Mesh2D};
 
@@ -33,6 +32,10 @@ pub struct StepRecord {
     pub iterations: u64,
     /// Whether the solve converged.
     pub converged: bool,
+    /// Euclidean norm of the solve's initial residual.
+    pub initial_residual: f64,
+    /// Euclidean norm of the solve's final residual.
+    pub final_residual: f64,
     /// Diagnostics (present on reporting steps).
     pub summary: Option<FieldSummary>,
     /// Wall-clock seconds for the solve.
@@ -55,6 +58,17 @@ pub struct RankOutput {
 }
 
 /// Runs the deck on one rank of `decomp`.
+///
+/// The solver is resolved by name from [`crate::solver_registry`] and
+/// driven entirely through the [`tea_core::IterativeSolver`] trait —
+/// the driver
+/// contains no per-solver dispatch, so registering a new method makes
+/// it deck- and CLI-selectable without touching this file.
+///
+/// # Panics
+/// Panics if the deck's solver name is not registered (decks built by
+/// [`crate::parse_deck`] are pre-validated) or if a serial-only solver
+/// is run on a decomposed communicator.
 pub fn run_rank<C: Communicator + ?Sized>(
     deck: &Deck,
     decomp: &Decomposition2D,
@@ -68,35 +82,40 @@ pub fn run_rank<C: Communicator + ?Sized>(
         comm.size(),
         "decomposition must match communicator size"
     );
-    if control.solver == SolverKind::AmgPcg {
+
+    let registry = crate::solver_registry();
+    let meta = registry
+        .resolve(&control.solver)
+        .unwrap_or_else(|e| panic!("{e}"));
+    if meta.serial_only {
         assert_eq!(
             comm.size(),
             1,
-            "the AMG baseline runs serially (see tea-amg docs)"
+            "the {} solver runs serially (see its docs)",
+            meta.name
         );
     }
+    let mut solver = registry
+        .create(&control.solver, &control.solver_params())
+        .expect("resolved above");
 
     let mesh = Mesh2D::new(decomp, comm.rank(), problem.extent);
     let layout = HaloLayout::new(decomp, comm.rank());
-    let halo = match control.solver {
-        SolverKind::Ppcg => control.ppcg_halo_depth.max(1),
-        _ => 1,
-    };
+    let halo = solver.halo_depth().max(1);
     let (nx, ny) = (mesh.nx(), mesh.ny());
 
-    let mut density = Field2D::new(nx, ny, halo.max(1));
-    let mut energy = Field2D::new(nx, ny, halo.max(1));
+    let mut density = Field2D::new(nx, ny, halo);
+    let mut energy = Field2D::new(nx, ny, halo);
     problem.apply_states(&mesh, &mut density, &mut energy);
 
     let (rx, ry) = timestep_scalings(&mesh, control.dt);
     let bounds = TileBounds::new(&mesh, halo);
 
-    let mut u = Field2D::new(nx, ny, halo.max(1));
-    let mut b = Field2D::new(nx, ny, halo.max(1));
+    let mut u = Field2D::new(nx, ny, halo);
+    let mut b = Field2D::new(nx, ny, halo);
     let mut ws = Workspace::new(nx, ny, halo);
 
-    let mut trace = SolveTrace::new(solver_label(control));
-    let mut mg_trace: Option<MgTrace> = None;
+    let mut trace = SolveTrace::new(solver.label());
     let mut steps = Vec::new();
 
     let nsteps = control.steps();
@@ -106,7 +125,16 @@ pub fn run_rank<C: Communicator + ?Sized>(
         // reassembles every step; we follow it)
         let coeffs = Coefficients::assemble(&mesh, &density, problem.coefficient, rx, ry, halo);
         let op = TileOperator::new(coeffs, bounds);
-        let tile = Tile::new(&op, &layout, comm);
+        let tile: DynTile<'_> = Tile::new(&op, &layout, comm.as_dyn());
+        let ctx = SolveContext::with_assembly(
+            &tile,
+            Assembly {
+                density: &density,
+                coefficient: problem.coefficient,
+                rx,
+                ry,
+            },
+        );
         for k in 0..ny as isize {
             let dr = density.row(k, 0, nx as isize);
             let er = energy.row(k, 0, nx as isize);
@@ -117,22 +145,11 @@ pub fn run_rank<C: Communicator + ?Sized>(
         }
         u.copy_interior_from(&b);
 
-        // 3. the solve
+        // 3. the solve, through the uniform trait protocol
         let started = std::time::Instant::now();
-        let result = run_solver(
-            control,
-            &tile,
-            &density,
-            problem,
-            rx,
-            ry,
-            &mut u,
-            &b,
-            &mut ws,
-            &mut mg_trace,
-        );
+        solver.prepare(&ctx, &control.opts);
+        let result = solver.solve(&ctx, &mut u, &b, &mut ws, &mut trace);
         let wall = started.elapsed().as_secs_f64();
-        trace.merge(&result.trace);
 
         // 4. fold back into energy
         for k in 0..ny as isize {
@@ -156,10 +173,19 @@ pub fn run_rank<C: Communicator + ?Sized>(
             time,
             iterations: result.iterations,
             converged: result.converged,
+            initial_residual: result.initial_residual,
+            final_residual: result.final_residual,
             summary,
             wall,
         });
     }
+
+    // solver-specific diagnostics come back type-erased through the
+    // trait hook; the driver only knows the payload types it reports
+    let mg_trace = solver
+        .take_diagnostics()
+        .and_then(|d| d.downcast::<MgTrace>().ok())
+        .map(|t| *t);
 
     let final_summary = field_summary(&mesh, &density, &energy, &u, comm);
     let final_u = gather_to_root(
@@ -179,90 +205,6 @@ pub fn run_rank<C: Communicator + ?Sized>(
         mg_trace,
         final_u,
         final_summary,
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn run_solver<C: Communicator + ?Sized>(
-    control: &crate::deck::Control,
-    tile: &Tile<'_, C>,
-    density: &Field2D,
-    problem: &tea_mesh::Problem,
-    rx: f64,
-    ry: f64,
-    u: &mut Field2D,
-    b: &Field2D,
-    ws: &mut Workspace,
-    mg_trace: &mut Option<MgTrace>,
-) -> SolveResult {
-    match control.solver {
-        SolverKind::Jacobi => jacobi_solve(tile, u, b, ws, control.opts),
-        SolverKind::Cg => {
-            let precon = Preconditioner::setup(control.precon, tile.op, 0);
-            cg_solve(tile, u, b, &precon, ws, control.opts)
-        }
-        SolverKind::CgFused => {
-            let precon = Preconditioner::setup(control.precon, tile.op, 0);
-            tea_core::cg_fused_solve(tile, u, b, &precon, ws, control.opts)
-        }
-        SolverKind::Chebyshev => {
-            let precon = Preconditioner::setup(control.precon, tile.op, 0);
-            chebyshev_solve(
-                tile,
-                u,
-                b,
-                &precon,
-                ws,
-                control.opts,
-                ChebyOpts {
-                    presteps: control.presteps,
-                    ..Default::default()
-                },
-            )
-        }
-        SolverKind::Ppcg => {
-            let precon = Preconditioner::setup(control.precon, tile.op, control.ppcg_halo_depth);
-            ppcg_solve(
-                tile,
-                u,
-                b,
-                &precon,
-                ws,
-                control.opts,
-                PpcgOpts {
-                    inner_steps: control.ppcg_inner_steps,
-                    halo_depth: control.ppcg_halo_depth,
-                    presteps: control.presteps,
-                    ..Default::default()
-                },
-            )
-        }
-        SolverKind::AmgPcg => {
-            let out = amg_pcg_solve(
-                tile,
-                density,
-                problem.coefficient,
-                rx,
-                ry,
-                u,
-                b,
-                ws,
-                control.opts,
-                AmgPcgOpts::default(),
-            );
-            match mg_trace {
-                Some(t) => t.merge(&out.mg_trace),
-                None => *mg_trace = Some(out.mg_trace),
-            }
-            out.result
-        }
-    }
-}
-
-fn solver_label(control: &crate::deck::Control) -> String {
-    match control.solver {
-        SolverKind::Ppcg => format!("PPCG-{}", control.ppcg_halo_depth),
-        other => other.label().to_string(),
     }
 }
 
@@ -302,10 +244,10 @@ mod tests {
     use super::*;
     use crate::deck::{crooked_pipe_deck, Control};
 
-    fn small_deck(n: usize, solver: SolverKind, steps: u64) -> Deck {
+    fn small_deck(n: usize, solver: &str, steps: u64) -> Deck {
         let mut deck = crooked_pipe_deck(n, solver);
         deck.control = Control {
-            solver,
+            solver: solver.into(),
             end_step: steps,
             summary_frequency: 1,
             ..Default::default()
@@ -315,7 +257,7 @@ mod tests {
 
     #[test]
     fn serial_cg_run_conserves_energy() {
-        let deck = small_deck(24, SolverKind::Cg, 3);
+        let deck = small_deck(24, "cg", 3);
         let out = run_serial(&deck);
         assert_eq!(out.steps.len(), 3);
         assert!(out.steps.iter().all(|s| s.converged));
@@ -332,7 +274,7 @@ mod tests {
 
     #[test]
     fn heat_flows_down_the_pipe() {
-        let deck = small_deck(32, SolverKind::Cg, 8);
+        let deck = small_deck(32, "cg", 8);
         let out = run_serial(&deck);
         let u = out.final_u.unwrap();
         // the pipe inlet region must stay warmer than the far wall corner
@@ -346,9 +288,9 @@ mod tests {
 
     #[test]
     fn all_solvers_agree_on_the_final_field() {
-        let reference = run_serial(&small_deck(16, SolverKind::Cg, 2));
+        let reference = run_serial(&small_deck(16, "cg", 2));
         let uref = reference.final_u.unwrap();
-        for solver in [SolverKind::Chebyshev, SolverKind::Ppcg, SolverKind::AmgPcg] {
+        for solver in ["chebyshev", "ppcg", "amg"] {
             let out = run_serial(&small_deck(16, solver, 2));
             let u = out.final_u.unwrap();
             for k in 0..16isize {
@@ -356,7 +298,7 @@ mod tests {
                     let (a, b) = (u.at(j, k), uref.at(j, k));
                     assert!(
                         (a - b).abs() <= 1e-5 * b.abs().max(1e-12),
-                        "{solver:?} differs from CG at ({j},{k}): {a} vs {b}"
+                        "{solver} differs from CG at ({j},{k}): {a} vs {b}"
                     );
                 }
             }
@@ -365,7 +307,7 @@ mod tests {
 
     #[test]
     fn threaded_run_matches_serial() {
-        let deck = small_deck(24, SolverKind::Cg, 2);
+        let deck = small_deck(24, "cg", 2);
         let serial = run_serial(&deck);
         let ranks = run_threaded_ranks(&deck, 4);
         let us = serial.final_u.unwrap();
@@ -386,7 +328,7 @@ mod tests {
 
     #[test]
     fn ppcg_deep_halo_runs_decomposed() {
-        let mut deck = small_deck(32, SolverKind::Ppcg, 2);
+        let mut deck = small_deck(32, "ppcg", 2);
         deck.control.ppcg_halo_depth = 4;
         let serial = run_serial(&deck);
         let ranks = run_threaded_ranks(&deck, 4);
@@ -405,12 +347,12 @@ mod tests {
 
     #[test]
     fn trace_accumulates_across_steps() {
-        let out = run_serial(&small_deck(16, SolverKind::Cg, 3));
+        let out = run_serial(&small_deck(16, "cg", 3));
         let total_iters: u64 = out.steps.iter().map(|s| s.iterations).sum();
         assert_eq!(out.trace.outer_iterations, total_iters);
         assert!(out.trace.reductions > 0);
         assert!(out.mg_trace.is_none());
-        let amg = run_serial(&small_deck(16, SolverKind::AmgPcg, 2));
+        let amg = run_serial(&small_deck(16, "amg", 2));
         let mg = amg.mg_trace.expect("AMG runs must carry an MG trace");
         assert!(mg.vcycles > 0);
         assert!(mg.setup_cells > 0);

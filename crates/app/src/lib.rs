@@ -20,7 +20,25 @@ pub mod driver;
 pub mod output;
 pub mod summary;
 
-pub use deck::{crooked_pipe_deck, parse_deck, render_deck, Control, Deck, SolverKind};
+pub use deck::{crooked_pipe_deck, parse_deck, render_deck, Control, Deck};
 pub use driver::{run_rank, run_serial, run_threaded_ranks, RankOutput, StepRecord};
 pub use output::{write_field_csv, write_field_ppm, write_field_vtk, write_series_csv};
 pub use summary::{field_summary, FieldSummary};
+
+// Deprecated solver-selection enum, re-exported for one release.
+#[allow(deprecated)]
+pub use deck::SolverKind;
+
+use std::sync::OnceLock;
+use tea_core::SolverRegistry;
+
+/// The application's solver registry: every tea-core builtin (Jacobi,
+/// CG, fused CG, Chebyshev, CPPCG, Richardson) plus the tea-amg
+/// baseline. The deck parser (`tl_solver=<name>` and the legacy
+/// `tl_use_*` switches), the driver, and the `tealeaf` CLI
+/// (`--solver`, `--list-solvers`) all resolve names against this one
+/// table, so a solver registered here is selectable everywhere.
+pub fn solver_registry() -> &'static SolverRegistry {
+    static REGISTRY: OnceLock<SolverRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(tea_amg::full_registry)
+}

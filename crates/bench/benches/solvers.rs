@@ -1,101 +1,84 @@
 //! Whole-solve benchmarks (B2): CG vs Chebyshev vs CPPCG on one implicit
-//! crooked-pipe step, plus the block-Jacobi ablation.
+//! crooked-pipe step, plus the block-Jacobi ablation. Solvers are built
+//! once through the registry and driven through the `IterativeSolver`
+//! trait, exactly as the application driver does.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use tea_comms::{HaloLayout, SerialComm};
+use tea_comms::{Communicator, HaloLayout, SerialComm};
 use tea_core::{
-    cg_fused_solve, cg_solve, chebyshev_solve, ppcg_solve, ChebyOpts, PpcgOpts, PreconKind,
-    Preconditioner, SolveOpts, Tile, TileBounds, TileOperator, Workspace,
+    crooked_pipe_system, DynTile, PreconKind, SolveContext, SolveOpts, SolveTrace, SolverParams,
+    SolverRegistry, Tile, Workspace,
 };
-use tea_mesh::{crooked_pipe, timestep_scalings, Coefficients, Decomposition2D, Field2D, Mesh2D};
-
-struct Setup {
-    op: TileOperator,
-    b: Field2D,
-    n: usize,
-}
-
-fn setup(n: usize, halo: usize) -> Setup {
-    let problem = crooked_pipe(n);
-    let mesh = Mesh2D::serial(n, n, problem.extent);
-    let mut density = Field2D::new(n, n, halo);
-    let mut energy = Field2D::new(n, n, halo);
-    problem.apply_states(&mesh, &mut density, &mut energy);
-    let (rx, ry) = timestep_scalings(&mesh, 0.04);
-    let coeffs = Coefficients::assemble(&mesh, &density, problem.coefficient, rx, ry, halo);
-    let op = TileOperator::new(coeffs, TileBounds::serial(n, n));
-    let mut b = Field2D::new(n, n, halo);
-    for k in 0..n as isize {
-        for j in 0..n as isize {
-            b.set(j, k, density.at(j, k) * energy.at(j, k));
-        }
-    }
-    Setup { op, b, n }
-}
+use tea_mesh::Decomposition2D;
 
 fn bench_solvers(c: &mut Criterion) {
     let mut group = c.benchmark_group("solve_96");
     group.sample_size(10);
-    let s = setup(96, 8);
+    let n = 96;
+    let (op, rhs) = crooked_pipe_system(n, 0.04, 8);
     let comm = SerialComm::new();
-    let d = Decomposition2D::with_grid(s.n, s.n, 1, 1);
+    let d = Decomposition2D::with_grid(n, n, 1, 1);
     let layout = HaloLayout::new(&d, 0);
-    let tile = Tile::new(&s.op, &layout, &comm);
+    let tile: DynTile<'_> = Tile::new(&op, &layout, comm.as_dyn());
+    let ctx = SolveContext::new(&tile);
     let opts = SolveOpts::with_eps(1e-8);
-    let ident = Preconditioner::setup(PreconKind::None, &s.op, 0);
-    let block = Preconditioner::setup(PreconKind::BlockJacobi, &s.op, 0);
+    let registry = SolverRegistry::builtin();
 
-    group.bench_function("cg", |b| {
-        b.iter(|| {
-            let mut ws = Workspace::new(s.n, s.n, 1);
-            let mut u = s.b.clone();
-            black_box(cg_solve(&tile, &mut u, &s.b, &ident, &mut ws, opts))
-        })
-    });
-    group.bench_function("cg_block_jacobi", |b| {
-        b.iter(|| {
-            let mut ws = Workspace::new(s.n, s.n, 1);
-            let mut u = s.b.clone();
-            black_box(cg_solve(&tile, &mut u, &s.b, &block, &mut ws, opts))
-        })
-    });
-    group.bench_function("cg_fused_reductions", |b| {
-        b.iter(|| {
-            let mut ws = Workspace::new(s.n, s.n, 1);
-            let mut u = s.b.clone();
-            black_box(cg_fused_solve(&tile, &mut u, &s.b, &ident, &mut ws, opts))
-        })
-    });
-    group.bench_function("chebyshev", |b| {
-        b.iter(|| {
-            let mut ws = Workspace::new(s.n, s.n, 1);
-            let mut u = s.b.clone();
-            black_box(chebyshev_solve(
-                &tile,
-                &mut u,
-                &s.b,
-                &ident,
-                &mut ws,
-                opts,
-                ChebyOpts::default(),
-            ))
-        })
-    });
-    for depth in [1usize, 8] {
-        group.bench_function(format!("ppcg_depth{depth}"), |b| {
+    // (bench name, registry name, params override)
+    let configs: Vec<(String, &str, SolverParams)> = vec![
+        ("cg".into(), "cg", SolverParams::default()),
+        (
+            "cg_block_jacobi".into(),
+            "cg",
+            SolverParams {
+                precon: PreconKind::BlockJacobi,
+                ..Default::default()
+            },
+        ),
+        (
+            "cg_fused_reductions".into(),
+            "cg_fused",
+            SolverParams::default(),
+        ),
+        (
+            "chebyshev".into(),
+            "chebyshev",
+            SolverParams {
+                presteps: 30,
+                ..Default::default()
+            },
+        ),
+        (
+            "ppcg_depth1".into(),
+            "ppcg",
+            SolverParams {
+                halo_depth: 1,
+                ..Default::default()
+            },
+        ),
+        (
+            "ppcg_depth8".into(),
+            "ppcg",
+            SolverParams {
+                halo_depth: 8,
+                ..Default::default()
+            },
+        ),
+    ];
+
+    for (bench_name, solver_name, params) in configs {
+        let mut solver = registry
+            .create(solver_name, &params)
+            .expect("builtin solver");
+        solver.prepare(&ctx, &opts);
+        let halo = solver.halo_depth();
+        group.bench_function(bench_name, |b| {
             b.iter(|| {
-                let mut ws = Workspace::new(s.n, s.n, depth);
-                let mut u = s.b.clone();
-                black_box(ppcg_solve(
-                    &tile,
-                    &mut u,
-                    &s.b,
-                    &ident,
-                    &mut ws,
-                    opts,
-                    PpcgOpts::with_depth(depth),
-                ))
+                let mut ws = Workspace::new(n, n, halo);
+                let mut u = rhs.clone();
+                let mut trace = SolveTrace::new(solver.label());
+                black_box(solver.solve(&ctx, &mut u, &rhs, &mut ws, &mut trace))
             })
         });
     }

@@ -28,7 +28,7 @@ fn main() {
         config.label = format!("CPPCG m={m}");
         // measure with m inner steps
         let deck = {
-            let mut d = tea_app::crooked_pipe_deck(n, tea_app::SolverKind::Ppcg);
+            let mut d = tea_app::crooked_pipe_deck(n, "ppcg");
             d.control.end_step = args.steps;
             d.control.summary_frequency = 0;
             d.control.ppcg_inner_steps = m;

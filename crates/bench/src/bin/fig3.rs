@@ -9,12 +9,12 @@
 //!
 //! `cargo run --release -p tea-bench --bin fig3 [-- --cells N --steps N]`
 
-use tea_app::{crooked_pipe_deck, run_serial, write_field_csv, write_field_ppm, SolverKind};
+use tea_app::{crooked_pipe_deck, run_serial, write_field_csv, write_field_ppm};
 use tea_bench::FigArgs;
 
 fn main() {
     let args = FigArgs::parse("fig3", 256, 60);
-    let mut deck = crooked_pipe_deck(args.cells, SolverKind::Ppcg);
+    let mut deck = crooked_pipe_deck(args.cells, "ppcg");
     deck.control.end_step = args.steps;
     deck.control.ppcg_halo_depth = 4;
     deck.control.summary_frequency = args.steps / 4;

@@ -8,7 +8,7 @@
 //!
 //! `cargo run --release -p tea-bench --bin fig4 [-- --steps N]`
 
-use tea_app::{crooked_pipe_deck, run_serial, write_series_csv, SolverKind};
+use tea_app::{crooked_pipe_deck, run_serial, write_series_csv};
 use tea_bench::FigArgs;
 
 fn main() {
@@ -32,7 +32,7 @@ fn main() {
     let mut temps = Vec::new();
     let mut prev: Option<f64> = None;
     for &n in &sizes {
-        let mut deck = crooked_pipe_deck(n, SolverKind::Ppcg);
+        let mut deck = crooked_pipe_deck(n, "ppcg");
         deck.control.end_step = args.steps;
         deck.control.ppcg_halo_depth = 4;
         deck.control.summary_frequency = 0;

@@ -32,7 +32,7 @@
 
 use std::io::Write as _;
 use std::path::PathBuf;
-use tea_app::{crooked_pipe_deck, run_serial, Deck, RankOutput, SolverKind};
+use tea_app::{crooked_pipe_deck, run_serial, Deck, RankOutput};
 use tea_mesh::Field2D;
 
 struct Args {
@@ -100,13 +100,13 @@ fn parse_args() -> Args {
     args
 }
 
-fn deck_for(solver: SolverKind, cells: usize, args: &Args) -> Deck {
+fn deck_for(solver: &str, cells: usize, args: &Args) -> Deck {
     let mut deck = crooked_pipe_deck(cells, solver);
     deck.control.end_step = args.steps;
     deck.control.summary_frequency = 0;
     deck.control.opts.eps = args.eps;
     deck.control.opts.max_iters = args.max_iters;
-    if solver == SolverKind::Ppcg {
+    if solver == "ppcg" {
         deck.control.ppcg_halo_depth = 4;
         deck.control.ppcg_inner_steps = 16;
     }
@@ -149,7 +149,7 @@ impl Row {
     }
 }
 
-fn measure(solver: SolverKind, label: &'static str, cells: usize, args: &Args) -> Row {
+fn measure(solver: &str, label: &'static str, cells: usize, args: &Args) -> Row {
     let deck = deck_for(solver, cells, args);
 
     // discarded warm-up: allocator, page cache, branch predictors
@@ -248,7 +248,7 @@ fn main() {
         );
     }
 
-    let configs = [(SolverKind::Cg, "CG"), (SolverKind::Ppcg, "PPCG-4")];
+    let configs = [("cg", "CG"), ("ppcg", "PPCG-4")];
     let mut rows = Vec::new();
     println!(
         "{:>8} {:>8} {:>12} {:>12} {:>9} {:>7} {:>6}",

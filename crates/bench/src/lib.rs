@@ -12,7 +12,7 @@
 
 use std::path::PathBuf;
 use tea_amg::MgTrace;
-use tea_app::{crooked_pipe_deck, run_serial, Deck, SolverKind};
+use tea_app::{crooked_pipe_deck, run_serial, Deck};
 use tea_core::{PreconKind, SolveTrace};
 
 /// Common command-line arguments of the figure binaries.
@@ -71,8 +71,8 @@ impl FigArgs {
 pub struct SolverConfig {
     /// Legend label (paper style, e.g. `"PPCG - 16"`).
     pub label: String,
-    /// Driver solver kind.
-    pub solver: SolverKind,
+    /// Registry solver name (see `tea_app::solver_registry`).
+    pub solver: String,
     /// Matrix-powers depth (PPCG only).
     pub depth: usize,
     /// Preconditioner.
@@ -84,7 +84,7 @@ impl SolverConfig {
     pub fn cg() -> Self {
         SolverConfig {
             label: "CG - 1".into(),
-            solver: SolverKind::Cg,
+            solver: "cg".into(),
             depth: 1,
             precon: PreconKind::None,
         }
@@ -94,7 +94,7 @@ impl SolverConfig {
     pub fn ppcg(depth: usize) -> Self {
         SolverConfig {
             label: format!("PPCG - {depth}"),
-            solver: SolverKind::Ppcg,
+            solver: "ppcg".into(),
             depth,
             precon: PreconKind::None,
         }
@@ -104,14 +104,14 @@ impl SolverConfig {
     pub fn amg() -> Self {
         SolverConfig {
             label: "BoomerAMG".into(),
-            solver: SolverKind::AmgPcg,
+            solver: "amg".into(),
             depth: 1,
             precon: PreconKind::None,
         }
     }
 
     fn deck(&self, cells: usize, steps: u64) -> Deck {
-        let mut deck = crooked_pipe_deck(cells, self.solver);
+        let mut deck = crooked_pipe_deck(cells, self.solver.clone());
         deck.control.end_step = steps;
         deck.control.summary_frequency = 0;
         deck.control.precon = self.precon;
@@ -193,27 +193,12 @@ pub fn kappa_pcg(kappa: f64, m: usize) -> f64 {
 pub fn measure_kappa(cells: usize) -> f64 {
     use tea_comms::{HaloLayout, SerialComm};
     use tea_core::{
-        cg_solve_recording, estimate_from_cg, Preconditioner, SolveOpts, Tile, TileBounds,
-        TileOperator, Workspace,
+        cg_solve_recording, crooked_pipe_system, estimate_from_cg, Preconditioner, SolveOpts, Tile,
+        Workspace,
     };
-    use tea_mesh::{
-        crooked_pipe, timestep_scalings, Coefficients, Decomposition2D, Field2D, Mesh2D,
-    };
+    use tea_mesh::Decomposition2D;
     let n = cells;
-    let problem = crooked_pipe(n);
-    let mesh = Mesh2D::serial(n, n, problem.extent);
-    let mut density = Field2D::new(n, n, 1);
-    let mut energy = Field2D::new(n, n, 1);
-    problem.apply_states(&mesh, &mut density, &mut energy);
-    let (rx, ry) = timestep_scalings(&mesh, 0.04);
-    let coeffs = Coefficients::assemble(&mesh, &density, problem.coefficient, rx, ry, 1);
-    let op = TileOperator::new(coeffs, TileBounds::serial(n, n));
-    let mut b = Field2D::new(n, n, 1);
-    for k in 0..n as isize {
-        for j in 0..n as isize {
-            b.set(j, k, density.at(j, k) * energy.at(j, k));
-        }
-    }
+    let (op, b) = crooked_pipe_system(n, 0.04, 1);
     let comm = SerialComm::new();
     let d = Decomposition2D::with_grid(n, n, 1, 1);
     let layout = HaloLayout::new(&d, 0);
@@ -266,12 +251,11 @@ pub fn extrapolate_to(
     let kappa_measured = measure_kappa(base_cells);
     let ratio = target as f64 / base_cells as f64;
     let kappa_target = kappa_measured * ratio * ratio;
-    let factor = match config.solver {
-        SolverKind::Ppcg => {
-            let m = 16; // inner steps used by the figure configs
-            (kappa_pcg(kappa_target, m) / kappa_pcg(kappa_measured, m)).sqrt()
-        }
-        _ => (kappa_target / kappa_measured).sqrt(),
+    let factor = if config.solver == "ppcg" {
+        let m = 16; // inner steps used by the figure configs
+        (kappa_pcg(kappa_target, m) / kappa_pcg(kappa_measured, m)).sqrt()
+    } else {
+        (kappa_target / kappa_measured).sqrt()
     };
     let mut trace = measurement.trace.scaled(factor);
     trace.solver = config.label.clone();

@@ -83,6 +83,11 @@ pub trait Communicator {
 
     /// Communication counters for this rank.
     fn stats(&self) -> &CommStats;
+
+    /// This communicator as a type-erased trait object — the form the
+    /// `IterativeSolver` trait objects in `tea-core` are written
+    /// against. Implementations return `self`.
+    fn as_dyn(&self) -> &dyn Communicator;
 }
 
 #[cfg(test)]

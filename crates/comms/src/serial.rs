@@ -62,6 +62,10 @@ impl Communicator for SerialComm {
     fn stats(&self) -> &CommStats {
         &self.stats
     }
+
+    fn as_dyn(&self) -> &dyn Communicator {
+        self
+    }
 }
 
 #[cfg(test)]

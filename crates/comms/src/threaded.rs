@@ -205,6 +205,10 @@ impl Communicator for ThreadedComm {
     fn stats(&self) -> &CommStats {
         &self.stats
     }
+
+    fn as_dyn(&self) -> &dyn Communicator {
+        self
+    }
 }
 
 /// Runs `f` on `ranks` threads, each with its own [`ThreadedComm`].

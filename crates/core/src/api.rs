@@ -1,0 +1,249 @@
+//! The unified solver API: the [`IterativeSolver`] trait and the types
+//! every solver is driven through.
+//!
+//! The TeaLeaf paper is a *design-space exploration* of iterative sparse
+//! solvers, so the solver itself must be a first-class, swappable value:
+//! a config-carrying struct implementing [`IterativeSolver`], selected by
+//! name from a [`crate::SolverRegistry`] and driven through the uniform
+//! `prepare`/`solve` protocol. The time-stepping driver, the benches and
+//! the examples all speak this interface; adding a new method means
+//! implementing the trait and registering a factory — no driver surgery.
+//!
+//! Three layers, thinnest on top:
+//!
+//! 1. [`crate::Solve`] — the one-expression builder entry point;
+//! 2. [`crate::SolverRegistry`] — string-keyed construction + metadata;
+//! 3. [`IterativeSolver`] — the trait each method implements.
+
+use crate::precon::PreconKind;
+use crate::solver::{SolveOpts, Tile, Workspace};
+use crate::trace::{SolveResult, SolveTrace};
+use std::any::Any;
+use tea_comms::Communicator;
+use tea_mesh::{Coefficient, Field2D};
+
+/// A [`Tile`] with a type-erased communicator: the form trait-object
+/// solvers are written against. Any concrete tile converts via
+/// [`Communicator::as_dyn`].
+pub type DynTile<'a> = Tile<'a, dyn Communicator + 'a>;
+
+/// How the operator was assembled from the physics fields. Most solvers
+/// never look at this; hierarchy-building preconditioners (the AMG
+/// baseline in `tea-amg`) rebuild their coarse grids from it.
+#[derive(Clone, Copy)]
+pub struct Assembly<'a> {
+    /// Cell density field (halo at least as deep as the operator's).
+    pub density: &'a Field2D,
+    /// Conductivity recipe used for the face coefficients.
+    pub coefficient: Coefficient,
+    /// Timestep scaling `Δt/Δx²`.
+    pub rx: f64,
+    /// Timestep scaling `Δt/Δy²`.
+    pub ry: f64,
+}
+
+/// Everything a solver may draw on for one solve: the tile (operator +
+/// halo layout + communicator) and, when available, the assembly recipe
+/// behind the operator.
+#[derive(Clone, Copy)]
+pub struct SolveContext<'a> {
+    /// The rank's tile with a type-erased communicator.
+    pub tile: &'a DynTile<'a>,
+    /// Operator provenance for hierarchy-building solvers (`None` when
+    /// the caller only has the assembled operator).
+    pub assembly: Option<Assembly<'a>>,
+}
+
+impl<'a> SolveContext<'a> {
+    /// Context carrying only the tile.
+    pub fn new(tile: &'a DynTile<'a>) -> Self {
+        SolveContext {
+            tile,
+            assembly: None,
+        }
+    }
+
+    /// Context carrying the tile and the operator's assembly recipe.
+    pub fn with_assembly(tile: &'a DynTile<'a>, assembly: Assembly<'a>) -> Self {
+        SolveContext {
+            tile,
+            assembly: Some(assembly),
+        }
+    }
+}
+
+/// Generic knobs a solver factory may consume (each solver reads only
+/// the fields its method uses; see [`crate::SolverMeta`] for which).
+///
+/// The defaults reproduce the application driver's defaults, so a
+/// registry-built solver with `SolverParams::default()` behaves exactly
+/// like the pre-registry driver did.
+#[derive(Debug, Clone)]
+pub struct SolverParams {
+    /// Preconditioner for the methods that accept one.
+    pub precon: PreconKind,
+    /// Inner Chebyshev smoothing steps per outer iteration (PPCG).
+    pub inner_steps: usize,
+    /// Matrix-powers halo depth (PPCG's `PPCG - n`).
+    pub halo_depth: usize,
+    /// Plain-CG presteps for eigenvalue estimation (Chebyshev, PPCG,
+    /// Richardson).
+    pub presteps: u64,
+    /// Safety widening of the Lanczos eigenvalue bounds.
+    pub eigen_safety: f64,
+    /// Convergence-check cadence for the reduction-avoiding methods
+    /// (Chebyshev, Richardson): one global reduction per this many
+    /// iterations.
+    pub check_interval: u64,
+}
+
+impl Default for SolverParams {
+    fn default() -> Self {
+        SolverParams {
+            precon: PreconKind::None,
+            inner_steps: 16,
+            halo_depth: 1,
+            presteps: 30,
+            eigen_safety: 0.1,
+            check_interval: 10,
+        }
+    }
+}
+
+/// Static metadata the registry serves for each solver: what the method
+/// needs from its environment and which [`SolverParams`] it honours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverMeta {
+    /// Canonical registry key (`"cg"`, `"ppcg"`, ...).
+    pub name: &'static str,
+    /// Accepted alternative names (deck/CLI spellings).
+    pub aliases: &'static [&'static str],
+    /// One-line description for `--list-solvers` and docs.
+    pub summary: &'static str,
+    /// Whether the method applies [`SolverParams::precon`].
+    pub preconditioned: bool,
+    /// Whether the method runs CG presteps to estimate the spectrum
+    /// (consumes `presteps`/`eigen_safety`).
+    pub needs_eigen_estimate: bool,
+    /// Whether the method consumes [`SolverParams::halo_depth`] for
+    /// matrix-powers deep halos (fields and workspace must be allocated
+    /// at least that deep).
+    pub deep_halo: bool,
+    /// Whether the method only runs on a single rank (the AMG baseline;
+    /// its distributed behaviour enters through trace replay).
+    pub serial_only: bool,
+}
+
+/// Why a solver could not be resolved or run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverError {
+    /// The requested name matches no registered solver. Carries the
+    /// registered names so callers (deck parser, CLI) can report them.
+    UnknownSolver {
+        /// The name that failed to resolve.
+        requested: String,
+        /// Canonical names currently registered.
+        known: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::UnknownSolver { requested, known } => write!(
+                f,
+                "unknown solver '{requested}' (registered: {})",
+                known.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+/// One iterative method of the design space, carrying its own
+/// configuration (preconditioner kind, inner steps, halo depth, ...).
+///
+/// The protocol mirrors the time-stepping driver's loop:
+///
+/// 1. [`IterativeSolver::prepare`] once per operator — (re)build
+///    operator-derived state such as the assembled preconditioner and
+///    latch the convergence options;
+/// 2. [`IterativeSolver::solve`] per right-hand side — run the method,
+///    merging its communication/computation protocol into the caller's
+///    accumulated [`SolveTrace`].
+///
+/// `solve` also prepares on demand, so single-shot callers may skip
+/// step 1. The supertrait `Any` lets drivers recover solver-specific
+/// diagnostics (e.g. the AMG V-cycle trace) by downcasting without the
+/// solve path ever branching on the concrete type.
+pub trait IterativeSolver: Any {
+    /// Canonical registry name (`"cg"`, `"ppcg"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Figure-legend label reflecting the configuration (e.g.
+    /// `"PPCG-8"`).
+    fn label(&self) -> String;
+
+    /// Halo depth the solver's fields and [`Workspace`] must carry (1
+    /// for everything except matrix-powers configurations).
+    fn halo_depth(&self) -> usize {
+        1
+    }
+
+    /// (Re)builds operator-derived state — assembled preconditioners,
+    /// cached diagonals — against `ctx`'s operator, and latches `opts`
+    /// for subsequent [`IterativeSolver::solve`] calls. Must be called
+    /// again whenever the operator changes (the driver reassembles every
+    /// time step).
+    fn prepare(&mut self, ctx: &SolveContext<'_>, opts: &SolveOpts);
+
+    /// Solves `A u = b` with `u` entering as the initial guess, using
+    /// the options latched by the last [`IterativeSolver::prepare`]
+    /// (defaults if never prepared — implementations prepare on demand).
+    /// The solve's protocol is merged into `trace` and also returned
+    /// inside the [`SolveResult`].
+    fn solve(
+        &mut self,
+        ctx: &SolveContext<'_>,
+        u: &mut Field2D,
+        b: &Field2D,
+        ws: &mut Workspace,
+        trace: &mut SolveTrace,
+    ) -> SolveResult;
+
+    /// Takes any solver-specific diagnostics accumulated since the last
+    /// call (e.g. the AMG solver's V-cycle trace), type-erased so the
+    /// driver never branches on the concrete solver. Callers downcast
+    /// to the payload types they know how to report. Default: `None`.
+    fn take_diagnostics(&mut self) -> Option<Box<dyn Any>> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_match_driver_defaults() {
+        let p = SolverParams::default();
+        assert_eq!(p.precon, PreconKind::None);
+        assert_eq!(p.inner_steps, 16);
+        assert_eq!(p.halo_depth, 1);
+        assert_eq!(p.presteps, 30);
+        assert_eq!(p.eigen_safety, 0.1);
+        assert_eq!(p.check_interval, 10);
+    }
+
+    #[test]
+    fn unknown_solver_error_lists_names() {
+        let e = SolverError::UnknownSolver {
+            requested: "sor".into(),
+            known: vec!["cg".into(), "ppcg".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("'sor'"), "{msg}");
+        assert!(msg.contains("cg, ppcg"), "{msg}");
+    }
+}

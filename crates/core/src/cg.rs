@@ -16,12 +16,79 @@
 //! reference's criterion; for `M = I` this is the plain relative residual
 //! norm).
 
-use crate::precon::Preconditioner;
+use crate::api::{IterativeSolver, SolveContext, SolverParams};
+use crate::precon::{PreconKind, Preconditioner};
 use crate::solver::{SolveOpts, Tile, Workspace};
 use crate::trace::{SolveResult, SolveTrace};
 use crate::vector;
 use tea_comms::Communicator;
 use tea_mesh::Field2D;
+
+/// Preconditioned CG as an [`IterativeSolver`] — the paper's baseline
+/// Krylov method. Carries its preconditioner kind; `prepare` assembles
+/// the preconditioner against the current operator.
+#[derive(Debug, Clone, Default)]
+pub struct Cg {
+    kind: PreconKind,
+    opts: SolveOpts,
+    precon: Option<Preconditioner>,
+}
+
+impl Cg {
+    /// A CG solver using preconditioner `kind`.
+    pub fn new(kind: PreconKind) -> Self {
+        Cg {
+            kind,
+            opts: SolveOpts::default(),
+            precon: None,
+        }
+    }
+
+    /// Registry factory: consumes [`SolverParams::precon`].
+    pub fn from_params(params: &SolverParams) -> Self {
+        Cg::new(params.precon)
+    }
+}
+
+impl Cg {
+    /// The one place the preconditioner is assembled for this solver
+    /// (used by both `prepare` and the prepare-on-demand path).
+    fn assemble_precon(&self, ctx: &SolveContext<'_>) -> Preconditioner {
+        Preconditioner::setup(self.kind, ctx.tile.op, 0)
+    }
+}
+
+impl IterativeSolver for Cg {
+    fn name(&self) -> &'static str {
+        "cg"
+    }
+
+    fn label(&self) -> String {
+        "CG".into()
+    }
+
+    fn prepare(&mut self, ctx: &SolveContext<'_>, opts: &SolveOpts) {
+        self.opts = *opts;
+        self.precon = Some(self.assemble_precon(ctx));
+    }
+
+    fn solve(
+        &mut self,
+        ctx: &SolveContext<'_>,
+        u: &mut Field2D,
+        b: &Field2D,
+        ws: &mut Workspace,
+        trace: &mut SolveTrace,
+    ) -> SolveResult {
+        if self.precon.is_none() {
+            self.precon = Some(self.assemble_precon(ctx));
+        }
+        let precon = self.precon.as_ref().expect("just prepared");
+        let result = cg_solve_impl(ctx.tile, u, b, precon, ws, self.opts);
+        trace.merge(&result.trace);
+        result
+    }
+}
 
 /// CG coefficients recorded for Lanczos eigenvalue estimation.
 #[derive(Debug, Clone, Default)]
@@ -49,7 +116,22 @@ impl CgCoefficients {
 /// Solves `A u = b` by preconditioned CG. `u` enters as the initial guess
 /// (TeaLeaf warm-starts with the previous temperature) and exits as the
 /// solution.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `Solve` builder or construct `tea_core::Cg` via the `SolverRegistry`"
+)]
 pub fn cg_solve<C: Communicator + ?Sized>(
+    tile: &Tile<'_, C>,
+    u: &mut Field2D,
+    b: &Field2D,
+    precon: &Preconditioner,
+    ws: &mut Workspace,
+    opts: SolveOpts,
+) -> SolveResult {
+    cg_solve_impl(tile, u, b, precon, ws, opts)
+}
+
+pub(crate) fn cg_solve_impl<C: Communicator + ?Sized>(
     tile: &Tile<'_, C>,
     u: &mut Field2D,
     b: &Field2D,
@@ -210,7 +292,7 @@ mod tests {
         let mut ws = Workspace::new(n, n, 1);
         let mut u = b.clone();
         let m = Preconditioner::setup(PreconKind::None, &op, 0);
-        let res = cg_solve(&tile, &mut u, &b, &m, &mut ws, SolveOpts::default());
+        let res = cg_solve_impl(&tile, &mut u, &b, &m, &mut ws, SolveOpts::default());
         assert!(res.converged, "CG must converge: {res:?}");
         assert!(res.iterations > 1);
         check_solution(&op, &u, &b, 1e-8);
@@ -233,7 +315,7 @@ mod tests {
             let m = Preconditioner::setup(kind, &op, 0);
             let mut ws = Workspace::new(n, n, 1);
             let mut u = b.clone();
-            let res = cg_solve(&tile, &mut u, &b, &m, &mut ws, SolveOpts::default());
+            let res = cg_solve_impl(&tile, &mut u, &b, &m, &mut ws, SolveOpts::default());
             assert!(res.converged, "{kind:?} failed");
             check_solution(&op, &u, &b, 1e-8);
             iters.push(res.iterations);
@@ -259,7 +341,7 @@ mod tests {
         let zero = Field2D::new(n, n, 1);
         let mut u = Field2D::new(n, n, 1);
         let m = Preconditioner::setup(PreconKind::None, &op, 0);
-        let res = cg_solve(&tile, &mut u, &zero, &m, &mut ws, SolveOpts::default());
+        let res = cg_solve_impl(&tile, &mut u, &zero, &m, &mut ws, SolveOpts::default());
         assert!(res.converged);
         assert_eq!(res.iterations, 0);
         assert_eq!(u.interior_norm(), 0.0);
@@ -276,7 +358,7 @@ mod tests {
         let mut ws = Workspace::new(n, n, 1);
         let mut u = b.clone();
         let m = Preconditioner::setup(PreconKind::None, &op, 0);
-        let res = cg_solve(&tile, &mut u, &b, &m, &mut ws, SolveOpts::default());
+        let res = cg_solve_impl(&tile, &mut u, &b, &m, &mut ws, SolveOpts::default());
         let t = &res.trace;
         // initial rz + 2 per iteration
         assert_eq!(t.reductions, 1 + 2 * res.iterations);
@@ -326,16 +408,16 @@ mod tests {
 
         let mut ws = Workspace::new(n, n, 1);
         let mut u1 = b0.clone();
-        let first = cg_solve(&tile, &mut u1, &b0, &m, &mut ws, SolveOpts::default());
+        let first = cg_solve_impl(&tile, &mut u1, &b0, &m, &mut ws, SolveOpts::default());
         assert!(first.converged);
 
         // second time step: b = u1 (the smoothed temperature)
         let b = u1.clone();
         let mut u_warm = b.clone();
-        let warm = cg_solve(&tile, &mut u_warm, &b, &m, &mut ws, SolveOpts::default());
+        let warm = cg_solve_impl(&tile, &mut u_warm, &b, &m, &mut ws, SolveOpts::default());
 
         let mut u_cold = Field2D::new(n, n, 1);
-        let cold = cg_solve(&tile, &mut u_cold, &b, &m, &mut ws, SolveOpts::default());
+        let cold = cg_solve_impl(&tile, &mut u_cold, &b, &m, &mut ws, SolveOpts::default());
 
         assert!(warm.converged && cold.converged);
         assert!(

@@ -13,17 +13,98 @@
 //! equivalent to CG in exact arithmetic; in floating point it can drift
 //! a few ULPs per iteration, which the tests bound.
 
-use crate::precon::Preconditioner;
+use crate::api::{IterativeSolver, SolveContext, SolverParams};
+use crate::precon::{PreconKind, Preconditioner};
 use crate::solver::{SolveOpts, Tile, Workspace};
 use crate::trace::{SolveResult, SolveTrace};
 use crate::vector;
 use tea_comms::Communicator;
 use tea_mesh::Field2D;
 
+/// Single-reduction (Chronopoulos–Gear) CG as an [`IterativeSolver`]:
+/// one fused allreduce per iteration instead of CG's two.
+#[derive(Debug, Clone, Default)]
+pub struct CgFused {
+    kind: PreconKind,
+    opts: SolveOpts,
+    precon: Option<Preconditioner>,
+}
+
+impl CgFused {
+    /// A fused-reduction CG solver using preconditioner `kind`.
+    pub fn new(kind: PreconKind) -> Self {
+        CgFused {
+            kind,
+            opts: SolveOpts::default(),
+            precon: None,
+        }
+    }
+
+    /// Registry factory: consumes [`SolverParams::precon`].
+    pub fn from_params(params: &SolverParams) -> Self {
+        CgFused::new(params.precon)
+    }
+}
+
+impl CgFused {
+    /// The one place the preconditioner is assembled for this solver
+    /// (used by both `prepare` and the prepare-on-demand path).
+    fn assemble_precon(&self, ctx: &SolveContext<'_>) -> Preconditioner {
+        Preconditioner::setup(self.kind, ctx.tile.op, 0)
+    }
+}
+
+impl IterativeSolver for CgFused {
+    fn name(&self) -> &'static str {
+        "cg_fused"
+    }
+
+    fn label(&self) -> String {
+        "CG-fused".into()
+    }
+
+    fn prepare(&mut self, ctx: &SolveContext<'_>, opts: &SolveOpts) {
+        self.opts = *opts;
+        self.precon = Some(self.assemble_precon(ctx));
+    }
+
+    fn solve(
+        &mut self,
+        ctx: &SolveContext<'_>,
+        u: &mut Field2D,
+        b: &Field2D,
+        ws: &mut Workspace,
+        trace: &mut SolveTrace,
+    ) -> SolveResult {
+        if self.precon.is_none() {
+            self.precon = Some(self.assemble_precon(ctx));
+        }
+        let precon = self.precon.as_ref().expect("just prepared");
+        let result = cg_fused_solve_impl(ctx.tile, u, b, precon, ws, self.opts);
+        trace.merge(&result.trace);
+        result
+    }
+}
+
 /// Solves `A u = b` by single-reduction (Chronopoulos–Gear)
 /// preconditioned CG. Same contract as [`crate::cg::cg_solve`]; uses one
 /// fused allreduce per iteration.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `Solve` builder or construct `tea_core::CgFused` via the `SolverRegistry`"
+)]
 pub fn cg_fused_solve<C: Communicator + ?Sized>(
+    tile: &Tile<'_, C>,
+    u: &mut Field2D,
+    b: &Field2D,
+    precon: &Preconditioner,
+    ws: &mut Workspace,
+    opts: SolveOpts,
+) -> SolveResult {
+    cg_fused_solve_impl(tile, u, b, precon, ws, opts)
+}
+
+pub(crate) fn cg_fused_solve_impl<C: Communicator + ?Sized>(
     tile: &Tile<'_, C>,
     u: &mut Field2D,
     b: &Field2D,
@@ -111,7 +192,7 @@ pub fn cg_fused_solve<C: Communicator + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cg::cg_solve;
+    use crate::cg::cg_solve_impl;
     use crate::ops::{TileBounds, TileOperator};
     use crate::precon::{PreconKind, Preconditioner};
     use tea_comms::{HaloLayout, SerialComm};
@@ -148,9 +229,9 @@ mod tests {
 
         let mut ws = Workspace::new(n, n, 1);
         let mut u1 = b.clone();
-        let plain = cg_solve(&tile, &mut u1, &b, &m, &mut ws, opts);
+        let plain = cg_solve_impl(&tile, &mut u1, &b, &m, &mut ws, opts);
         let mut u2 = b.clone();
-        let fused = cg_fused_solve(&tile, &mut u2, &b, &m, &mut ws, opts);
+        let fused = cg_fused_solve_impl(&tile, &mut u2, &b, &m, &mut ws, opts);
 
         assert!(plain.converged && fused.converged);
         // same Krylov trajectory up to rounding: iteration counts within
@@ -186,9 +267,9 @@ mod tests {
 
         let mut ws = Workspace::new(n, n, 1);
         let mut u1 = b.clone();
-        let plain = cg_solve(&tile, &mut u1, &b, &m, &mut ws, opts);
+        let plain = cg_solve_impl(&tile, &mut u1, &b, &m, &mut ws, opts);
         let mut u2 = b.clone();
-        let fused = cg_fused_solve(&tile, &mut u2, &b, &m, &mut ws, opts);
+        let fused = cg_fused_solve_impl(&tile, &mut u2, &b, &m, &mut ws, opts);
 
         // plain: 2 reductions/iteration; fused: 1 (of 2 elements)
         let plain_rate = plain.trace.reductions as f64 / plain.iterations as f64;
@@ -210,7 +291,7 @@ mod tests {
         let m = Preconditioner::setup(PreconKind::BlockJacobi, &op, 0);
         let mut ws = Workspace::new(n, n, 1);
         let mut u = b.clone();
-        let res = cg_fused_solve(&tile, &mut u, &b, &m, &mut ws, SolveOpts::with_eps(1e-9));
+        let res = cg_fused_solve_impl(&tile, &mut u, &b, &m, &mut ws, SolveOpts::with_eps(1e-9));
         assert!(res.converged);
         let mut t = SolveTrace::new("check");
         let mut r = Field2D::new(n, n, 1);
@@ -230,7 +311,7 @@ mod tests {
         let mut ws = Workspace::new(n, n, 1);
         let zero = Field2D::new(n, n, 1);
         let mut u = Field2D::new(n, n, 1);
-        let res = cg_fused_solve(&tile, &mut u, &zero, &m, &mut ws, SolveOpts::default());
+        let res = cg_fused_solve_impl(&tile, &mut u, &zero, &m, &mut ws, SolveOpts::default());
         assert!(res.converged);
         assert_eq!(res.iterations, 0);
     }

@@ -17,11 +17,12 @@
 //! communication is the occasional convergence check. The eigenvalue
 //! bounds come from a short plain-CG prelude (paper §III.D).
 
+use crate::api::{IterativeSolver, SolveContext, SolverParams};
 use crate::cg::cg_solve_recording;
 use crate::eigen::{estimate_from_cg, EigenEstimate};
-use crate::precon::Preconditioner;
+use crate::precon::{PreconKind, Preconditioner};
 use crate::solver::{SolveOpts, Tile, Workspace};
-use crate::trace::SolveResult;
+use crate::trace::{SolveResult, SolveTrace};
 use crate::vector;
 use tea_comms::Communicator;
 use tea_mesh::Field2D;
@@ -113,11 +114,105 @@ impl Default for ChebyOpts {
     }
 }
 
+/// CG-prelude Chebyshev acceleration as an [`IterativeSolver`]: no dot
+/// products in the acceleration phase, only the periodic convergence
+/// check communicates.
+#[derive(Debug, Clone, Default)]
+pub struct Chebyshev {
+    kind: PreconKind,
+    cheby: ChebyOpts,
+    opts: SolveOpts,
+    precon: Option<Preconditioner>,
+}
+
+impl Chebyshev {
+    /// A Chebyshev solver with preconditioner `kind` and phase options
+    /// `cheby`.
+    pub fn new(kind: PreconKind, cheby: ChebyOpts) -> Self {
+        Chebyshev {
+            kind,
+            cheby,
+            opts: SolveOpts::default(),
+            precon: None,
+        }
+    }
+
+    /// Registry factory: consumes `precon`, `presteps`, `eigen_safety`
+    /// and `check_interval`.
+    pub fn from_params(params: &SolverParams) -> Self {
+        Chebyshev::new(
+            params.precon,
+            ChebyOpts {
+                presteps: params.presteps,
+                eigen_safety: params.eigen_safety,
+                check_interval: params.check_interval,
+            },
+        )
+    }
+}
+
+impl Chebyshev {
+    /// The one place the preconditioner is assembled for this solver
+    /// (used by both `prepare` and the prepare-on-demand path).
+    fn assemble_precon(&self, ctx: &SolveContext<'_>) -> Preconditioner {
+        Preconditioner::setup(self.kind, ctx.tile.op, 0)
+    }
+}
+
+impl IterativeSolver for Chebyshev {
+    fn name(&self) -> &'static str {
+        "chebyshev"
+    }
+
+    fn label(&self) -> String {
+        "Chebyshev".into()
+    }
+
+    fn prepare(&mut self, ctx: &SolveContext<'_>, opts: &SolveOpts) {
+        self.opts = *opts;
+        self.precon = Some(self.assemble_precon(ctx));
+    }
+
+    fn solve(
+        &mut self,
+        ctx: &SolveContext<'_>,
+        u: &mut Field2D,
+        b: &Field2D,
+        ws: &mut Workspace,
+        trace: &mut SolveTrace,
+    ) -> SolveResult {
+        if self.precon.is_none() {
+            self.precon = Some(self.assemble_precon(ctx));
+        }
+        let precon = self.precon.as_ref().expect("just prepared");
+        let result = chebyshev_solve_impl(ctx.tile, u, b, precon, ws, self.opts, self.cheby);
+        trace.merge(&result.trace);
+        result
+    }
+}
+
 /// Solves `A u = b` by CG presteps + Chebyshev acceleration.
 ///
 /// The preconditioner (identity / diagonal / block-Jacobi) is applied
 /// inside both phases, so the estimated spectrum is that of `M⁻¹A`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `Solve` builder or construct `tea_core::Chebyshev` via the `SolverRegistry`"
+)]
 pub fn chebyshev_solve<C: Communicator + ?Sized>(
+    tile: &Tile<'_, C>,
+    u: &mut Field2D,
+    b: &Field2D,
+    precon: &Preconditioner,
+    ws: &mut Workspace,
+    opts: SolveOpts,
+    cheby: ChebyOpts,
+) -> SolveResult {
+    chebyshev_solve_impl(tile, u, b, precon, ws, opts, cheby)
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn chebyshev_solve_impl<C: Communicator + ?Sized>(
     tile: &Tile<'_, C>,
     u: &mut Field2D,
     b: &Field2D,
@@ -148,6 +243,7 @@ pub fn chebyshev_solve<C: Communicator + ?Sized>(
 
     let initial_residual = pre.initial_residual;
     let target = opts.eps * initial_residual;
+    let check_interval = cheby.check_interval.max(1); // 0 would divide by zero
     let mut rho_old = 1.0 / consts.sigma;
     let mut iterations = pre.iterations;
     let mut converged = false;
@@ -177,7 +273,7 @@ pub fn chebyshev_solve<C: Communicator + ?Sized>(
 
         // periodic convergence check: the only global communication here
         let since_pre = iterations - pre.iterations;
-        if since_pre % cheby.check_interval == 0 {
+        if since_pre % check_interval == 0 {
             let rr_local = vector::dot_local(&ws.r, &ws.r, bounds, &mut trace);
             let rr = tile.reduce_sum(rr_local, &mut trace);
             final_residual = rr.max(0.0).sqrt();
@@ -294,7 +390,7 @@ mod tests {
         let mut ws = Workspace::new(n, n, 1);
         let mut u = b.clone();
         let m = Preconditioner::setup(PreconKind::None, &op, 0);
-        let res = chebyshev_solve(
+        let res = chebyshev_solve_impl(
             &tile,
             &mut u,
             &b,
@@ -313,7 +409,7 @@ mod tests {
 
     #[test]
     fn chebyshev_uses_far_fewer_reductions_than_cg() {
-        use crate::cg::cg_solve;
+        use crate::cg::cg_solve_impl;
         let n = 32;
         let (op, b) = serial_problem(n, 1);
         let comm = SerialComm::new();
@@ -324,10 +420,10 @@ mod tests {
 
         let mut ws = Workspace::new(n, n, 1);
         let mut u1 = b.clone();
-        let cg = cg_solve(&tile, &mut u1, &b, &m, &mut ws, SolveOpts::with_eps(1e-8));
+        let cg = cg_solve_impl(&tile, &mut u1, &b, &m, &mut ws, SolveOpts::with_eps(1e-8));
 
         let mut u2 = b.clone();
-        let ch = chebyshev_solve(
+        let ch = chebyshev_solve_impl(
             &tile,
             &mut u2,
             &b,

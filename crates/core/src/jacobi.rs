@@ -6,11 +6,58 @@
 //! parallel; it exists in TeaLeaf as the design-space floor against which
 //! the Krylov methods are judged.
 
+use crate::api::{IterativeSolver, SolveContext, SolverParams};
 use crate::solver::{SolveOpts, Tile, Workspace};
 use crate::trace::{SolveResult, SolveTrace};
 use crate::vector;
 use tea_comms::Communicator;
 use tea_mesh::Field2D;
+
+/// Point-Jacobi as an [`IterativeSolver`]: the design-space floor. No
+/// configuration beyond the convergence options latched by `prepare`.
+#[derive(Debug, Clone, Default)]
+pub struct Jacobi {
+    opts: SolveOpts,
+}
+
+impl Jacobi {
+    /// A Jacobi solver with default options.
+    pub fn new() -> Self {
+        Jacobi::default()
+    }
+
+    /// Registry factory (Jacobi consumes no [`SolverParams`] fields).
+    pub fn from_params(_params: &SolverParams) -> Self {
+        Jacobi::new()
+    }
+}
+
+impl IterativeSolver for Jacobi {
+    fn name(&self) -> &'static str {
+        "jacobi"
+    }
+
+    fn label(&self) -> String {
+        "Jacobi".into()
+    }
+
+    fn prepare(&mut self, _ctx: &SolveContext<'_>, opts: &SolveOpts) {
+        self.opts = *opts;
+    }
+
+    fn solve(
+        &mut self,
+        ctx: &SolveContext<'_>,
+        u: &mut Field2D,
+        b: &Field2D,
+        ws: &mut Workspace,
+        trace: &mut SolveTrace,
+    ) -> SolveResult {
+        let result = jacobi_solve_impl(ctx.tile, u, b, ws, self.opts);
+        trace.merge(&result.trace);
+        result
+    }
+}
 
 /// Solves `A u = b` by damped-free point-Jacobi iteration. `u` enters as
 /// the initial guess.
@@ -18,7 +65,21 @@ use tea_mesh::Field2D;
 /// Convergence is declared when `‖r‖ <= eps · ‖r₀‖`, evaluated every
 /// iteration (the reference also reduces once per iteration, on the
 /// update magnitude).
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `Solve` builder or construct `tea_core::Jacobi` via the `SolverRegistry`"
+)]
 pub fn jacobi_solve<C: Communicator + ?Sized>(
+    tile: &Tile<'_, C>,
+    u: &mut Field2D,
+    b: &Field2D,
+    ws: &mut Workspace,
+    opts: SolveOpts,
+) -> SolveResult {
+    jacobi_solve_impl(tile, u, b, ws, opts)
+}
+
+pub(crate) fn jacobi_solve_impl<C: Communicator + ?Sized>(
     tile: &Tile<'_, C>,
     u: &mut Field2D,
     b: &Field2D,
@@ -88,7 +149,7 @@ pub fn jacobi_solve<C: Communicator + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cg::cg_solve;
+    use crate::cg::cg_solve_impl;
     use crate::ops::{TileBounds, TileOperator};
     use crate::precon::{PreconKind, Preconditioner};
     use tea_comms::{HaloLayout, SerialComm};
@@ -122,7 +183,7 @@ mod tests {
         let tile = Tile::new(&op, &layout, &comm);
         let mut ws = Workspace::new(n, n, 1);
         let mut u = b.clone();
-        let res = jacobi_solve(
+        let res = jacobi_solve_impl(
             &tile,
             &mut u,
             &b,
@@ -155,9 +216,9 @@ mod tests {
             eps: 1e-8,
             max_iters: 200_000,
         };
-        let jac = jacobi_solve(&tile, &mut u1, &b, &mut ws, opts);
+        let jac = jacobi_solve_impl(&tile, &mut u1, &b, &mut ws, opts);
         let mut u2 = b.clone();
-        let cg = cg_solve(&tile, &mut u2, &b, &m, &mut ws, opts);
+        let cg = cg_solve_impl(&tile, &mut u2, &b, &m, &mut ws, opts);
         assert!(jac.converged && cg.converged);
         assert!(
             jac.iterations > 2 * cg.iterations,
@@ -178,7 +239,7 @@ mod tests {
         let mut ws = Workspace::new(n, n, 1);
         let zero = Field2D::new(n, n, 1);
         let mut u = Field2D::new(n, n, 1);
-        let res = jacobi_solve(&tile, &mut u, &zero, &mut ws, SolveOpts::default());
+        let res = jacobi_solve_impl(&tile, &mut u, &zero, &mut ws, SolveOpts::default());
         assert!(res.converged);
         assert_eq!(res.iterations, 0);
     }

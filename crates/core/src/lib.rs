@@ -12,48 +12,31 @@
 //! reductions) that `tea-perfmodel` replays on modelled petascale
 //! machines to regenerate the paper's strong-scaling figures.
 //!
-//! ## Example: CG on the crooked pipe
+//! The design space is a first-class API: every method is a
+//! config-carrying struct implementing [`IterativeSolver`], resolvable
+//! by name from the [`SolverRegistry`], and the [`Solve`] builder is
+//! the one-expression way in.
+//!
+//! ## Example: block-Jacobi-preconditioned CG on the crooked pipe
 //!
 //! ```
-//! use tea_core::{
-//!     cg_solve, PreconKind, Preconditioner, SolveOpts, Tile, TileBounds,
-//!     TileOperator, Workspace,
-//! };
-//! use tea_comms::{HaloLayout, SerialComm};
-//! use tea_mesh::{crooked_pipe, timestep_scalings, Coefficients, Decomposition2D, Field2D, Mesh2D};
+//! use tea_core::{crooked_pipe_system, PreconKind, Solve};
 //!
-//! let n = 24;
-//! let problem = crooked_pipe(n);
-//! let mesh = Mesh2D::serial(n, n, problem.extent);
-//! let mut density = Field2D::new(n, n, 1);
-//! let mut energy = Field2D::new(n, n, 1);
-//! problem.apply_states(&mesh, &mut density, &mut energy);
-//! let (rx, ry) = timestep_scalings(&mesh, 0.04);
-//! let coeffs = Coefficients::assemble(&mesh, &density, problem.coefficient, rx, ry, 1);
-//! let op = TileOperator::new(coeffs, TileBounds::serial(n, n));
-//!
-//! // b = u0 = density * energy (TeaLeaf's right-hand side), warm start u = b
-//! let mut b = Field2D::new(n, n, 1);
-//! for k in 0..n as isize {
-//!     for j in 0..n as isize {
-//!         b.set(j, k, density.at(j, k) * energy.at(j, k));
-//!     }
-//! }
-//! let mut u = b.clone();
-//!
-//! let decomp = Decomposition2D::with_grid(n, n, 1, 1);
-//! let layout = HaloLayout::new(&decomp, 0);
-//! let comm = SerialComm::new();
-//! let tile = Tile::new(&op, &layout, &comm);
-//! let precon = Preconditioner::setup(PreconKind::BlockJacobi, &op, 0);
-//! let mut ws = Workspace::new(n, n, 1);
-//! let result = cg_solve(&tile, &mut u, &b, &precon, &mut ws, SolveOpts::default());
+//! let (op, b) = crooked_pipe_system(24, 0.04, 1);
+//! let mut u = b.clone(); // TeaLeaf warm start
+//! let result = Solve::on(&op)
+//!     .with_solver("cg")
+//!     .precon(PreconKind::BlockJacobi)
+//!     .run(&mut u, &b)
+//!     .expect("cg is registered");
 //! assert!(result.converged);
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod api;
+pub mod builder;
 pub mod cg;
 pub mod cg_fused;
 pub mod chebyshev;
@@ -63,23 +46,43 @@ pub mod ops;
 pub mod ops3d;
 pub mod ppcg;
 pub mod precon;
+pub mod registry;
+pub mod richardson;
 pub mod runtime;
 pub mod solver;
 pub mod trace;
 pub mod vector;
 
-pub use cg::{cg_solve, cg_solve_recording, CgCoefficients};
-pub use cg_fused::cg_fused_solve;
-pub use chebyshev::{cg_iteration_bound, chebyshev_solve, ChebyConstants, ChebyOpts};
+pub use api::{
+    Assembly, DynTile, IterativeSolver, SolveContext, SolverError, SolverMeta, SolverParams,
+};
+pub use builder::{crooked_pipe_system, Solve};
+pub use cg::{cg_solve_recording, Cg, CgCoefficients};
+pub use cg_fused::CgFused;
+pub use chebyshev::{cg_iteration_bound, ChebyConstants, ChebyOpts, Chebyshev};
 pub use eigen::{
     estimate_from_cg, lanczos_tridiagonal, sturm_count, tridiag_all_eigenvalues,
     tridiag_extreme_eigenvalues, EigenEstimate,
 };
-pub use jacobi::jacobi_solve;
+pub use jacobi::Jacobi;
 pub use ops::{TileBounds, TileOperator};
 pub use ops3d::{cg_solve_3d, jacobi_solve_3d, TileOperator3D};
-pub use ppcg::{ppcg_solve, PpcgOpts};
+pub use ppcg::{Ppcg, PpcgOpts};
 pub use precon::{BlockJacobi, PreconKind, Preconditioner, DEFAULT_BLOCK_STRIP};
+pub use registry::{SolverFactory, SolverRegistry};
+pub use richardson::{Richardson, RichardsonOpts};
 pub use runtime::{num_threads, par_threshold, set_num_threads, set_par_threshold, PAR_THRESHOLD};
 pub use solver::{SolveOpts, Tile, Workspace};
 pub use trace::{KernelCounts, SolveResult, SolveTrace};
+
+// Deprecated free-function entry points, re-exported for one release.
+#[allow(deprecated)]
+pub use cg::cg_solve;
+#[allow(deprecated)]
+pub use cg_fused::cg_fused_solve;
+#[allow(deprecated)]
+pub use chebyshev::chebyshev_solve;
+#[allow(deprecated)]
+pub use jacobi::jacobi_solve;
+#[allow(deprecated)]
+pub use ppcg::ppcg_solve;

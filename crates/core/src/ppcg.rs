@@ -22,10 +22,11 @@
 //! blocks (paper's stated incompatibility with matrix powers, enforced
 //! here at configuration time).
 
+use crate::api::{IterativeSolver, SolveContext, SolverParams};
 use crate::cg::cg_solve_recording;
 use crate::chebyshev::ChebyConstants;
 use crate::eigen::{estimate_from_cg, EigenEstimate};
-use crate::precon::Preconditioner;
+use crate::precon::{PreconKind, Preconditioner};
 use crate::solver::{SolveOpts, Tile, Workspace};
 use crate::trace::{SolveResult, SolveTrace};
 use crate::vector;
@@ -74,12 +75,113 @@ impl PpcgOpts {
     }
 }
 
+/// CPPCG as an [`IterativeSolver`]: Chebyshev polynomially
+/// preconditioned CG with the matrix-powers deep-halo schedule — the
+/// paper's communication-avoiding headliner. The only built-in method
+/// whose [`IterativeSolver::halo_depth`] exceeds 1.
+#[derive(Debug, Clone, Default)]
+pub struct Ppcg {
+    kind: PreconKind,
+    ppcg: PpcgOpts,
+    opts: SolveOpts,
+    precon: Option<Preconditioner>,
+}
+
+impl Ppcg {
+    /// A CPPCG solver with preconditioner `kind` and configuration
+    /// `ppcg`.
+    pub fn new(kind: PreconKind, ppcg: PpcgOpts) -> Self {
+        Ppcg {
+            kind,
+            ppcg,
+            opts: SolveOpts::default(),
+            precon: None,
+        }
+    }
+
+    /// Registry factory: consumes `precon`, `inner_steps`, `halo_depth`,
+    /// `presteps` and `eigen_safety`.
+    pub fn from_params(params: &SolverParams) -> Self {
+        Ppcg::new(
+            params.precon,
+            PpcgOpts {
+                inner_steps: params.inner_steps,
+                halo_depth: params.halo_depth,
+                presteps: params.presteps,
+                eigen_safety: params.eigen_safety,
+            },
+        )
+    }
+}
+
+impl Ppcg {
+    /// The one place the preconditioner is assembled for this solver —
+    /// over the matrix-powers extent — used by both `prepare` and the
+    /// prepare-on-demand path.
+    fn assemble_precon(&self, ctx: &SolveContext<'_>) -> Preconditioner {
+        Preconditioner::setup(self.kind, ctx.tile.op, self.ppcg.halo_depth)
+    }
+}
+
+impl IterativeSolver for Ppcg {
+    fn name(&self) -> &'static str {
+        "ppcg"
+    }
+
+    fn label(&self) -> String {
+        self.ppcg.label()
+    }
+
+    fn halo_depth(&self) -> usize {
+        self.ppcg.halo_depth.max(1)
+    }
+
+    fn prepare(&mut self, ctx: &SolveContext<'_>, opts: &SolveOpts) {
+        self.opts = *opts;
+        self.precon = Some(self.assemble_precon(ctx));
+    }
+
+    fn solve(
+        &mut self,
+        ctx: &SolveContext<'_>,
+        u: &mut Field2D,
+        b: &Field2D,
+        ws: &mut Workspace,
+        trace: &mut SolveTrace,
+    ) -> SolveResult {
+        if self.precon.is_none() {
+            self.precon = Some(self.assemble_precon(ctx));
+        }
+        let precon = self.precon.as_ref().expect("just prepared");
+        let result = ppcg_solve_impl(ctx.tile, u, b, precon, ws, self.opts, self.ppcg);
+        trace.merge(&result.trace);
+        result
+    }
+}
+
 /// Solves `A u = b` by CPPCG. `u` enters as the initial guess.
 ///
 /// # Panics
 /// Panics if the workspace halo is shallower than `ppcg.halo_depth`, or
 /// if a block-Jacobi `precon` is combined with `halo_depth > 1`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `Solve` builder or construct `tea_core::Ppcg` via the `SolverRegistry`"
+)]
 pub fn ppcg_solve<C: Communicator + ?Sized>(
+    tile: &Tile<'_, C>,
+    u: &mut Field2D,
+    b: &Field2D,
+    precon: &Preconditioner,
+    ws: &mut Workspace,
+    opts: SolveOpts,
+    ppcg: PpcgOpts,
+) -> SolveResult {
+    ppcg_solve_impl(tile, u, b, precon, ws, opts, ppcg)
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn ppcg_solve_impl<C: Communicator + ?Sized>(
     tile: &Tile<'_, C>,
     u: &mut Field2D,
     b: &Field2D,
@@ -251,7 +353,7 @@ fn apply_precon_ext(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cg::cg_solve;
+    use crate::cg::cg_solve_impl;
     use crate::ops::{TileBounds, TileOperator};
     use crate::precon::PreconKind;
     use tea_comms::{HaloLayout, SerialComm};
@@ -296,7 +398,7 @@ mod tests {
         let mut ws = Workspace::new(n, n, halo);
         let mut u = b.clone();
         let m = Preconditioner::setup(kind, &op, ppcg_opts.halo_depth);
-        let res = ppcg_solve(
+        let res = ppcg_solve_impl(
             &tile,
             &mut u,
             &b,
@@ -386,7 +488,7 @@ mod tests {
 
         let mut ws = Workspace::new(n, n, 1);
         let mut u1 = b.clone();
-        let cg = cg_solve(&tile, &mut u1, &b, &m, &mut ws, SolveOpts::with_eps(1e-9));
+        let cg = cg_solve_impl(&tile, &mut u1, &b, &m, &mut ws, SolveOpts::with_eps(1e-9));
 
         let (pp, u2, ..) = solve_with(n, 1, PreconKind::None, PpcgOpts::default());
         assert!(cg.converged && pp.converged);

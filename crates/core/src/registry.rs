@@ -1,0 +1,255 @@
+//! The string-keyed [`SolverRegistry`]: the single place where solver
+//! names resolve to metadata and factories.
+//!
+//! The deck parser, the CLI and the time-stepping driver all resolve
+//! against a registry rather than matching on an enum, so registering a
+//! new [`IterativeSolver`] makes it selectable everywhere at once —
+//! decks (`tl_solver=<name>`), `tealeaf --solver <name>`,
+//! `tealeaf --list-solvers`, and the [`crate::Solve`] builder.
+
+use crate::api::{IterativeSolver, SolverError, SolverMeta, SolverParams};
+use crate::cg::Cg;
+use crate::cg_fused::CgFused;
+use crate::chebyshev::Chebyshev;
+use crate::jacobi::Jacobi;
+use crate::ppcg::Ppcg;
+use crate::richardson::Richardson;
+
+/// Builds one configured solver instance from generic parameters.
+pub type SolverFactory = fn(&SolverParams) -> Box<dyn IterativeSolver>;
+
+/// A string-keyed table of iterative methods: per-solver [`SolverMeta`]
+/// plus a factory producing a configured [`IterativeSolver`].
+pub struct SolverRegistry {
+    entries: Vec<(SolverMeta, SolverFactory)>,
+}
+
+impl std::fmt::Debug for SolverRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+impl Default for SolverRegistry {
+    fn default() -> Self {
+        SolverRegistry::builtin()
+    }
+}
+
+impl SolverRegistry {
+    /// An empty registry (useful for fully custom solver sets).
+    pub fn empty() -> Self {
+        SolverRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The registry of tea-core's built-in methods: Jacobi, CG, fused
+    /// CG, Chebyshev, CPPCG and Richardson. (The AMG-preconditioned CG
+    /// baseline lives in `tea-amg`, which registers itself on top of
+    /// this set.)
+    pub fn builtin() -> Self {
+        let mut reg = SolverRegistry::empty();
+        reg.register(
+            SolverMeta {
+                name: "jacobi",
+                aliases: &[],
+                summary: "point-Jacobi iteration (the design-space floor)",
+                preconditioned: false,
+                needs_eigen_estimate: false,
+                deep_halo: false,
+                serial_only: false,
+            },
+            |p| Box::new(Jacobi::from_params(p)),
+        );
+        reg.register(
+            SolverMeta {
+                name: "cg",
+                aliases: &[],
+                summary: "preconditioned conjugate gradient (the baseline)",
+                preconditioned: true,
+                needs_eigen_estimate: false,
+                deep_halo: false,
+                serial_only: false,
+            },
+            |p| Box::new(Cg::from_params(p)),
+        );
+        reg.register(
+            SolverMeta {
+                name: "cg_fused",
+                aliases: &["cg-fused"],
+                summary: "single-reduction (Chronopoulos-Gear) CG",
+                preconditioned: true,
+                needs_eigen_estimate: false,
+                deep_halo: false,
+                serial_only: false,
+            },
+            |p| Box::new(CgFused::from_params(p)),
+        );
+        reg.register(
+            SolverMeta {
+                name: "chebyshev",
+                aliases: &["cheby"],
+                summary: "CG presteps + Chebyshev acceleration (no dot products)",
+                preconditioned: true,
+                needs_eigen_estimate: true,
+                deep_halo: false,
+                serial_only: false,
+            },
+            |p| Box::new(Chebyshev::from_params(p)),
+        );
+        reg.register(
+            SolverMeta {
+                name: "ppcg",
+                aliases: &["cppcg"],
+                summary: "Chebyshev polynomially preconditioned CG with matrix-powers deep halos",
+                preconditioned: true,
+                needs_eigen_estimate: true,
+                deep_halo: true,
+                serial_only: false,
+            },
+            |p| Box::new(Ppcg::from_params(p)),
+        );
+        reg.register(
+            SolverMeta {
+                name: "richardson",
+                aliases: &[],
+                summary: "preconditioned Richardson with Chebyshev-optimal damping",
+                preconditioned: true,
+                needs_eigen_estimate: true,
+                deep_halo: false,
+                serial_only: false,
+            },
+            |p| Box::new(Richardson::from_params(p)),
+        );
+        reg
+    }
+
+    /// Registers (or replaces, matching by canonical name) a solver.
+    pub fn register(&mut self, meta: SolverMeta, factory: SolverFactory) {
+        if let Some(slot) = self.entries.iter_mut().find(|(m, _)| m.name == meta.name) {
+            *slot = (meta, factory);
+        } else {
+            self.entries.push((meta, factory));
+        }
+    }
+
+    /// Canonical names in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|(m, _)| m.name).collect()
+    }
+
+    /// Iterates over the registered metadata in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &SolverMeta> {
+        self.entries.iter().map(|(m, _)| m)
+    }
+
+    /// The one name-matching rule (trim, ASCII case-fold, canonical
+    /// name or alias), shared by every lookup.
+    fn entry(&self, name: &str) -> Result<&(SolverMeta, SolverFactory), SolverError> {
+        let want = name.trim().to_ascii_lowercase();
+        self.entries
+            .iter()
+            .find(|(m, _)| m.name == want || m.aliases.contains(&want.as_str()))
+            .ok_or_else(|| SolverError::UnknownSolver {
+                requested: name.trim().to_string(),
+                known: self.names().iter().map(|n| n.to_string()).collect(),
+            })
+    }
+
+    /// Resolves `name` (canonical or alias, ASCII case-insensitive) to
+    /// its metadata.
+    ///
+    /// # Errors
+    /// [`SolverError::UnknownSolver`] carrying the registered names.
+    pub fn resolve(&self, name: &str) -> Result<&SolverMeta, SolverError> {
+        self.entry(name).map(|(m, _)| m)
+    }
+
+    /// Builds a configured solver by `name` (canonical or alias).
+    ///
+    /// # Errors
+    /// [`SolverError::UnknownSolver`] carrying the registered names.
+    pub fn create(
+        &self,
+        name: &str,
+        params: &SolverParams,
+    ) -> Result<Box<dyn IterativeSolver>, SolverError> {
+        self.entry(name).map(|(_, f)| f(params))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_has_all_core_methods() {
+        let reg = SolverRegistry::builtin();
+        assert_eq!(
+            reg.names(),
+            vec![
+                "jacobi",
+                "cg",
+                "cg_fused",
+                "chebyshev",
+                "ppcg",
+                "richardson"
+            ]
+        );
+    }
+
+    #[test]
+    fn resolve_accepts_aliases_and_case() {
+        let reg = SolverRegistry::builtin();
+        assert_eq!(reg.resolve("cppcg").unwrap().name, "ppcg");
+        assert_eq!(reg.resolve("Cheby").unwrap().name, "chebyshev");
+        assert_eq!(reg.resolve(" CG ").unwrap().name, "cg");
+    }
+
+    #[test]
+    fn unknown_name_reports_registered_set() {
+        let reg = SolverRegistry::builtin();
+        let err = reg.resolve("sor").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("'sor'"), "{msg}");
+        for name in reg.names() {
+            assert!(msg.contains(name), "{msg} should list {name}");
+        }
+    }
+
+    #[test]
+    fn create_honours_params() {
+        let reg = SolverRegistry::builtin();
+        let params = SolverParams {
+            halo_depth: 6,
+            ..Default::default()
+        };
+        let solver = reg.create("ppcg", &params).unwrap();
+        assert_eq!(solver.halo_depth(), 6);
+        assert_eq!(solver.label(), "PPCG-6");
+        assert_eq!(reg.create("jacobi", &params).unwrap().halo_depth(), 1);
+    }
+
+    #[test]
+    fn register_replaces_by_name() {
+        let mut reg = SolverRegistry::builtin();
+        let n = reg.names().len();
+        reg.register(
+            SolverMeta {
+                name: "jacobi",
+                aliases: &["relax"],
+                summary: "replacement",
+                preconditioned: false,
+                needs_eigen_estimate: false,
+                deep_halo: false,
+                serial_only: false,
+            },
+            |p| Box::new(Jacobi::from_params(p)),
+        );
+        assert_eq!(reg.names().len(), n);
+        assert_eq!(reg.resolve("relax").unwrap().summary, "replacement");
+    }
+}

@@ -11,7 +11,7 @@
 
 use std::path::PathBuf;
 use tealeaf::app::{
-    crooked_pipe_deck, run_serial, run_threaded_ranks, write_field_csv, write_field_ppm, SolverKind,
+    crooked_pipe_deck, run_serial, run_threaded_ranks, write_field_csv, write_field_ppm,
 };
 use tealeaf::solvers::PreconKind;
 
@@ -21,7 +21,7 @@ fn main() {
     let steps: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(25);
     let ranks: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
 
-    let mut deck = crooked_pipe_deck(cells, SolverKind::Ppcg);
+    let mut deck = crooked_pipe_deck(cells, "ppcg");
     deck.control.end_step = steps;
     deck.control.ppcg_halo_depth = 4;
     deck.control.precon = PreconKind::None;

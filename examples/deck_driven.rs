@@ -20,7 +20,7 @@ ymin=0.0
 ymax=10.0
 initial_timestep=0.02
 end_step=12
-tl_use_cg
+tl_solver=cg
 tl_preconditioner_type=jac_block
 tl_eps=1e-10
 tl_max_iters=20000

@@ -1,110 +1,66 @@
 //! Quickstart: solve one implicit heat-conduction step on the crooked
-//! pipe with each of the stand-alone solvers and compare their
-//! communication protocols.
+//! pipe with every registered solver and compare their communication
+//! protocols — the design space as a first-class API.
+//!
+//! The `Solve` builder is the one-expression way in; under it sit the
+//! string-keyed `SolverRegistry` and the `IterativeSolver` trait every
+//! method implements (see the README architecture section).
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use tealeaf::comms::{HaloLayout, SerialComm};
-use tealeaf::mesh::{
-    crooked_pipe, timestep_scalings, Coefficients, Decomposition2D, Field2D, Mesh2D,
-};
-use tealeaf::solvers::{
-    cg_fused_solve, cg_solve, chebyshev_solve, jacobi_solve, ppcg_solve, ChebyOpts, PpcgOpts,
-    PreconKind, Preconditioner, SolveOpts, Tile, TileBounds, TileOperator, Workspace,
-};
+use tealeaf::solvers::{crooked_pipe_system, PreconKind, Solve, SolveResult};
 
 fn main() {
     let n = 128;
     println!("crooked pipe, {n}x{n} cells, one implicit step (dt = 0.04)\n");
 
-    // --- set up the problem exactly as the driver does ---
-    let problem = crooked_pipe(n);
-    let mesh = Mesh2D::serial(n, n, problem.extent);
-    let halo = 8; // deep enough for PPCG-8
-    let mut density = Field2D::new(n, n, halo);
-    let mut energy = Field2D::new(n, n, halo);
-    problem.apply_states(&mesh, &mut density, &mut energy);
-    let (rx, ry) = timestep_scalings(&mesh, 0.04);
-    let coeffs = Coefficients::assemble(&mesh, &density, problem.coefficient, rx, ry, halo);
-    let op = TileOperator::new(coeffs, TileBounds::new(&mesh, halo));
-
-    // right-hand side: u0 = density * energy
-    let mut b = Field2D::new(n, n, halo);
-    for k in 0..n as isize {
-        for j in 0..n as isize {
-            b.set(j, k, density.at(j, k) * energy.at(j, k));
-        }
-    }
-
-    let decomp = Decomposition2D::with_grid(n, n, 1, 1);
-    let layout = HaloLayout::new(&decomp, 0);
-    let comm = SerialComm::new();
-    let tile = Tile::new(&op, &layout, &comm);
-    let opts = SolveOpts::with_eps(1e-10);
+    // one assembled operator serves every solver; halo 8 is deep enough
+    // for the PPCG-8 matrix-powers schedule
+    let (op, b) = crooked_pipe_system(n, 0.04, 8);
 
     println!(
         "{:<22} {:>8} {:>10} {:>12} {:>12}",
         "solver", "iters", "sweeps", "reductions", "exchanges"
     );
 
-    let mut ws = Workspace::new(n, n, halo);
-
-    // Jacobi: the design-space floor
+    // the design-space floor needs a relaxed cap: Jacobi converges slowly
     let mut u = b.clone();
-    let r = jacobi_solve(
-        &tile,
-        &mut u,
-        &b,
-        &mut ws,
-        SolveOpts {
-            eps: 1e-10,
-            max_iters: 200_000,
-        },
-    );
+    let r = Solve::on(&op)
+        .with_solver("jacobi")
+        .eps(1e-10)
+        .max_iters(200_000)
+        .run(&mut u, &b)
+        .expect("registered");
     report("Jacobi", &r);
 
-    // plain CG
-    let ident = Preconditioner::setup(PreconKind::None, &op, 0);
-    let mut u = b.clone();
-    let r = cg_solve(&tile, &mut u, &b, &ident, &mut ws, opts);
-    report("CG", &r);
-
-    // CG + block-Jacobi
-    let block = Preconditioner::setup(PreconKind::BlockJacobi, &op, 0);
-    let mut u = b.clone();
-    let r = cg_solve(&tile, &mut u, &b, &block, &mut ws, opts);
-    report("CG + block-Jacobi", &r);
-
-    // single-reduction CG (the paper's §VII future-work restructuring)
-    let mut u = b.clone();
-    let r = cg_fused_solve(&tile, &mut u, &b, &ident, &mut ws, opts);
-    report("CG (fused reductions)", &r);
-
-    // Chebyshev (CG presteps for eigenvalues, then no dot products)
-    let mut u = b.clone();
-    let r = chebyshev_solve(
-        &tile,
-        &mut u,
-        &b,
-        &ident,
-        &mut ws,
-        opts,
-        ChebyOpts::default(),
-    );
-    report("Chebyshev", &r);
+    // every Krylov-family method through the same builder
+    for (label, name, precon) in [
+        ("CG", "cg", PreconKind::None),
+        ("CG + block-Jacobi", "cg", PreconKind::BlockJacobi),
+        ("CG (fused reductions)", "cg_fused", PreconKind::None),
+        ("Chebyshev", "chebyshev", PreconKind::None),
+        ("Richardson", "richardson", PreconKind::Diagonal),
+    ] {
+        let mut u = b.clone();
+        let r = Solve::on(&op)
+            .with_solver(name)
+            .precon(precon)
+            .eps(1e-10)
+            .max_iters(200_000)
+            .run(&mut u, &b)
+            .expect("registered");
+        report(label, &r);
+    }
 
     // CPPCG at depths 1 and 8
     for depth in [1usize, 8] {
         let mut u = b.clone();
-        let r = ppcg_solve(
-            &tile,
-            &mut u,
-            &b,
-            &ident,
-            &mut ws,
-            opts,
-            PpcgOpts::with_depth(depth),
-        );
+        let r = Solve::on(&op)
+            .with_solver("ppcg")
+            .halo_depth(depth)
+            .eps(1e-10)
+            .run(&mut u, &b)
+            .expect("registered");
         report(&format!("CPPCG (depth {depth})"), &r);
     }
 
@@ -114,7 +70,7 @@ fn main() {
          powers cut halo exchange counts further — the paper's Figs. 5-7."
     );
 
-    fn report(name: &str, r: &tealeaf::solvers::SolveResult) {
+    fn report(name: &str, r: &SolveResult) {
         assert!(r.converged, "{name} failed to converge");
         println!(
             "{:<22} {:>8} {:>10} {:>12} {:>12}",

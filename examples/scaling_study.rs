@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example scaling_study -- [cells] [steps]`
 
-use tealeaf::app::{crooked_pipe_deck, run_serial, SolverKind};
+use tealeaf::app::{crooked_pipe_deck, run_serial};
 use tealeaf::perfmodel::{piz_daint, titan, KernelBytes, ScalingSeries};
 
 fn main() {
@@ -17,14 +17,14 @@ fn main() {
     // measure real traces
     let mut configs: Vec<(String, tealeaf::solvers::SolveTrace)> = Vec::new();
     {
-        let mut deck = crooked_pipe_deck(cells, SolverKind::Cg);
+        let mut deck = crooked_pipe_deck(cells, "cg");
         deck.control.end_step = steps;
         deck.control.summary_frequency = 0;
         let out = run_serial(&deck);
         configs.push(("CG - 1".into(), out.trace));
     }
     for depth in [1usize, 4, 16] {
-        let mut deck = crooked_pipe_deck(cells, SolverKind::Ppcg);
+        let mut deck = crooked_pipe_deck(cells, "ppcg");
         deck.control.end_step = steps;
         deck.control.ppcg_halo_depth = depth;
         deck.control.summary_frequency = 0;

@@ -19,12 +19,34 @@
 //! * [`perfmodel`] (`tea-perfmodel`) — machine models, scaling simulator
 //! * [`app`] (`tea-app`) — input decks, driver, diagnostics, output
 //!
-//! ## Quickstart
+//! The solver design space is a first-class API: every method
+//! implements [`solvers::IterativeSolver`], is selectable by name from
+//! the [`solvers::SolverRegistry`] (decks: `tl_solver=<name>`; CLI:
+//! `--solver <name>`, `--list-solvers`), and the [`solvers::Solve`]
+//! builder is the one-expression way to run one solve.
+//!
+//! ## Quickstart: one solve
 //!
 //! ```
-//! use tealeaf::app::{crooked_pipe_deck, run_serial, SolverKind};
+//! use tealeaf::solvers::{crooked_pipe_system, Solve};
 //!
-//! let mut deck = crooked_pipe_deck(32, SolverKind::Ppcg);
+//! let (op, b) = crooked_pipe_system(32, 0.04, 8);
+//! let mut u = b.clone();
+//! let result = Solve::on(&op)
+//!     .with_solver("ppcg")
+//!     .halo_depth(8)
+//!     .eps(1e-12)
+//!     .run(&mut u, &b)
+//!     .expect("ppcg is a registered solver");
+//! assert!(result.converged);
+//! ```
+//!
+//! ## Quickstart: the full time-stepping driver
+//!
+//! ```
+//! use tealeaf::app::{crooked_pipe_deck, run_serial};
+//!
+//! let mut deck = crooked_pipe_deck(32, "ppcg");
 //! deck.control.end_step = 2;
 //! deck.control.ppcg_halo_depth = 4;
 //! let out = run_serial(&deck);

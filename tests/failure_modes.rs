@@ -1,13 +1,13 @@
 //! Failure injection: the library must fail loudly and informatively,
 //! not silently produce wrong physics.
 
-use tealeaf::app::{crooked_pipe_deck, parse_deck, run_serial, SolverKind};
+use tealeaf::app::{crooked_pipe_deck, parse_deck, run_serial};
 use tealeaf::comms::{Communicator, HaloLayout, SerialComm};
 use tealeaf::mesh::{
     crooked_pipe, timestep_scalings, Coefficients, Decomposition2D, Field2D, Mesh2D,
 };
 use tealeaf::solvers::{
-    cg_solve, PreconKind, Preconditioner, SolveOpts, Tile, TileBounds, TileOperator, Workspace,
+    PreconKind, Preconditioner, Solve, SolveOpts, Tile, TileBounds, TileOperator, Workspace,
 };
 
 fn small_problem(n: usize) -> (TileOperator, Field2D) {
@@ -35,20 +35,14 @@ fn iteration_cap_reports_non_convergence() {
     let d = Decomposition2D::with_grid(32, 32, 1, 1);
     let layout = HaloLayout::new(&d, 0);
     let tile = Tile::new(&op, &layout, &comm);
-    let m = Preconditioner::setup(PreconKind::None, &op, 0);
     let mut ws = Workspace::new(32, 32, 1);
     let mut u = b.clone();
-    let res = cg_solve(
-        &tile,
-        &mut u,
-        &b,
-        &m,
-        &mut ws,
-        SolveOpts {
-            eps: 1e-14,
-            max_iters: 3,
-        },
-    );
+    let res = Solve::on(&op)
+        .with_solver("cg")
+        .eps(1e-14)
+        .max_iters(3)
+        .run_with(&tile, &mut u, &b, &mut ws)
+        .expect("cg is registered");
     assert!(!res.converged, "3 iterations cannot hit 1e-14");
     assert_eq!(res.iterations, 3);
     assert!(res.final_residual > 0.0);
@@ -60,7 +54,7 @@ fn iteration_cap_reports_non_convergence() {
 
 #[test]
 fn driver_records_unconverged_steps_without_panicking() {
-    let mut deck = crooked_pipe_deck(24, SolverKind::Cg);
+    let mut deck = crooked_pipe_deck(24, "cg");
     deck.control.end_step = 2;
     deck.control.opts.max_iters = 2;
     deck.control.summary_frequency = 1;
@@ -126,18 +120,13 @@ fn ppcg_rejects_block_jacobi_with_deep_halos() {
     let d = Decomposition2D::with_grid(32, 32, 1, 1);
     let layout = HaloLayout::new(&d, 0);
     let tile = Tile::new(&op, &layout, &comm);
-    let m = Preconditioner::setup(PreconKind::BlockJacobi, &op, 0);
     let mut ws = Workspace::new(32, 32, 8);
     let mut u = b.clone();
-    let _ = tealeaf::solvers::ppcg_solve(
-        &tile,
-        &mut u,
-        &b,
-        &m,
-        &mut ws,
-        SolveOpts::default(),
-        tealeaf::solvers::PpcgOpts::with_depth(8),
-    );
+    let _ = Solve::on(&op)
+        .with_solver("ppcg")
+        .precon(PreconKind::BlockJacobi)
+        .halo_depth(8)
+        .run_with(&tile, &mut u, &b, &mut ws);
 }
 
 #[test]
@@ -148,18 +137,12 @@ fn ppcg_rejects_shallow_workspace() {
     let d = Decomposition2D::with_grid(32, 32, 1, 1);
     let layout = HaloLayout::new(&d, 0);
     let tile = Tile::new(&op, &layout, &comm);
-    let m = Preconditioner::setup(PreconKind::None, &op, 0);
     let mut ws = Workspace::new(32, 32, 1); // too shallow for depth 8
     let mut u = b.clone();
-    let _ = tealeaf::solvers::ppcg_solve(
-        &tile,
-        &mut u,
-        &b,
-        &m,
-        &mut ws,
-        SolveOpts::default(),
-        tealeaf::solvers::PpcgOpts::with_depth(8),
-    );
+    let _ = Solve::on(&op)
+        .with_solver("ppcg")
+        .halo_depth(8)
+        .run_with(&tile, &mut u, &b, &mut ws);
 }
 
 #[test]

@@ -1,14 +1,15 @@
 //! Property-based tests (proptest) over the core numerical invariants.
 
 use proptest::prelude::*;
-use tealeaf::comms::{HaloLayout, SerialComm};
+use tealeaf::comms::{Communicator, HaloLayout, SerialComm};
 use tealeaf::mesh::{
     choose_process_grid, split_extent, Coefficient, Coefficients, Decomposition2D, Extent2D,
     Field2D, Mesh2D,
 };
 use tealeaf::solvers::{
-    cg_solve, lanczos_tridiagonal, sturm_count, tridiag_all_eigenvalues, PreconKind,
-    Preconditioner, SolveOpts, SolveTrace, Tile, TileBounds, TileOperator, Workspace,
+    lanczos_tridiagonal, sturm_count, tridiag_all_eigenvalues, Cg, DynTile, IterativeSolver,
+    PreconKind, Preconditioner, SolveContext, SolveOpts, SolveTrace, Tile, TileBounds,
+    TileOperator, Workspace,
 };
 
 /// A random diffusion problem: positive density field, a mesh size, a
@@ -124,12 +125,14 @@ proptest! {
         let comm = SerialComm::new();
         let d = Decomposition2D::with_grid(n, n, 1, 1);
         let layout = HaloLayout::new(&d, 0);
-        let tile = Tile::new(&op, &layout, &comm);
-        let precon = Preconditioner::setup(PreconKind::BlockJacobi, &op, 0);
+        let tile: DynTile<'_> = Tile::new(&op, &layout, comm.as_dyn());
+        let ctx = SolveContext::new(&tile);
         let mut ws = Workspace::new(n, n, 1);
         let mut u = Field2D::new(n, n, 1);
-        let res = cg_solve(&tile, &mut u, &b, &precon, &mut ws,
-            SolveOpts { eps: 1e-9, max_iters: 50_000 });
+        let mut solver = Cg::new(PreconKind::BlockJacobi);
+        solver.prepare(&ctx, &SolveOpts { eps: 1e-9, max_iters: 50_000 });
+        let mut acc = SolveTrace::new("run");
+        let res = solver.solve(&ctx, &mut u, &b, &mut ws, &mut acc);
         prop_assert!(res.converged, "CG failed: {res:?}");
         let mut t = SolveTrace::new("t");
         let mut r = Field2D::new(n, n, 1);
@@ -253,16 +256,10 @@ proptest! {
         eps_exp in 4i32..14,
         inner in 1usize..32,
         depth in 1usize..16,
-        solver_idx in 0usize..5,
+        solver_idx in 0usize..6,
     ) {
-        use tealeaf::app::{parse_deck, render_deck, crooked_pipe_deck, SolverKind};
-        let solver = [
-            SolverKind::Jacobi,
-            SolverKind::Cg,
-            SolverKind::Chebyshev,
-            SolverKind::Ppcg,
-            SolverKind::AmgPcg,
-        ][solver_idx];
+        use tealeaf::app::{parse_deck, render_deck, crooked_pipe_deck};
+        let solver = ["jacobi", "cg", "chebyshev", "ppcg", "amg", "richardson"][solver_idx];
         let mut deck = crooked_pipe_deck(cells, solver);
         deck.control.opts.eps = 10f64.powi(-eps_exp);
         deck.control.ppcg_inner_steps = inner;

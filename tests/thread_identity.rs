@@ -14,19 +14,19 @@
 //! them would still be *correct* (results are config-independent) but
 //! the failure messages would attribute configs wrongly.
 
-use tealeaf::app::{crooked_pipe_deck, run_serial, Deck, SolverKind};
+use tealeaf::app::{crooked_pipe_deck, run_serial, Deck};
 use tealeaf::mesh::{hot_ball, Coefficients3D, Field3D, Mesh3D};
 use tealeaf::solvers as runtime;
 use tealeaf::solvers::{SolveOpts, SolveTrace, TileOperator3D};
 
-fn deck(n: usize, solver: SolverKind) -> Deck {
+fn deck(n: usize, solver: &str) -> Deck {
     let mut d = crooked_pipe_deck(n, solver);
     d.control.end_step = 1;
     d.control.summary_frequency = 0;
     // cap the work so unconverged configurations still compare equal
     // amounts of Krylov arithmetic quickly, even in debug builds
     d.control.opts.max_iters = 60;
-    if solver == SolverKind::Ppcg {
+    if solver == "ppcg" {
         d.control.ppcg_halo_depth = 4;
         d.control.ppcg_inner_steps = 8;
         d.control.opts.max_iters = 12;
@@ -84,12 +84,7 @@ fn field3d_bits(f: &Field3D) -> Vec<u64> {
 #[test]
 fn solvers_are_bit_identical_across_threads_and_thresholds() {
     let n = 48;
-    let solvers = [
-        SolverKind::Cg,
-        SolverKind::CgFused,
-        SolverKind::Ppcg,
-        SolverKind::Chebyshev,
-    ];
+    let solvers = ["cg", "cg_fused", "ppcg", "chebyshev"];
     // thread counts the ISSUE pins, crossed with "everything parallel",
     // the default crossover, and "everything serial"
     let thresholds = [1usize, runtime::PAR_THRESHOLD, usize::MAX];
@@ -102,7 +97,7 @@ fn solvers_are_bit_identical_across_threads_and_thresholds() {
         runtime::set_num_threads(1);
         runtime::set_par_threshold(usize::MAX);
         let (base_bits, base_iters, base_trace) = run_bits(&d);
-        assert!(base_iters > 0, "{solver:?} did no work");
+        assert!(base_iters > 0, "{solver} did no work");
 
         for &threshold in &thresholds {
             for &nthreads in &threads {
@@ -111,15 +106,15 @@ fn solvers_are_bit_identical_across_threads_and_thresholds() {
                 let (bits, iters, trace) = run_bits(&d);
                 assert_eq!(
                     iters, base_iters,
-                    "{solver:?}: iteration count drifted at threads={nthreads}, threshold={threshold}"
+                    "{solver}: iteration count drifted at threads={nthreads}, threshold={threshold}"
                 );
                 assert_eq!(
                     trace, base_trace,
-                    "{solver:?}: solve trace drifted at threads={nthreads}, threshold={threshold}"
+                    "{solver}: solve trace drifted at threads={nthreads}, threshold={threshold}"
                 );
                 assert!(
                     bits == base_bits,
-                    "{solver:?}: temperature field not bit-identical at \
+                    "{solver}: temperature field not bit-identical at \
                      threads={nthreads}, threshold={threshold}"
                 );
             }

@@ -7,11 +7,11 @@
 //! front-page doctest so the documented quickstart can never drift from
 //! a tested path.
 
-use tealeaf::app::{crooked_pipe_deck, run_serial, SolverKind};
+use tealeaf::app::{crooked_pipe_deck, run_serial};
 
 #[test]
 fn quickstart_ppcg_converges_in_two_steps() {
-    let mut deck = crooked_pipe_deck(32, SolverKind::Ppcg);
+    let mut deck = crooked_pipe_deck(32, "ppcg");
     deck.control.end_step = 2;
     deck.control.ppcg_halo_depth = 4;
 
@@ -42,5 +42,5 @@ fn umbrella_reexports_cover_every_member() {
     let _ = tealeaf::solvers::SolveOpts::default();
     let _ = tealeaf::amg::MgOpts::default();
     let _ = tealeaf::perfmodel::all_machines();
-    let _ = tealeaf::app::crooked_pipe_deck(8, tealeaf::app::SolverKind::Cg);
+    let _ = tealeaf::app::crooked_pipe_deck(8, "cg");
 }
