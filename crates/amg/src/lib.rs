@@ -25,7 +25,3 @@ pub use chol::Cholesky;
 pub use hierarchy::{MgHierarchy, MgOpts, COARSEST_CELLS, JACOBI_WEIGHT};
 pub use pcg::{full_registry, register, AmgPcg, AmgPcgOpts, AmgSolveResult, AMG_META};
 pub use trace::MgTrace;
-
-// Deprecated free-function entry point, re-exported for one release.
-#[allow(deprecated)]
-pub use pcg::amg_pcg_solve;

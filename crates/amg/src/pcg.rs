@@ -25,6 +25,7 @@ pub const AMG_META: SolverMeta = SolverMeta {
     needs_eigen_estimate: false,
     deep_halo: false,
     serial_only: true,
+    precision: tea_core::Precision::F64,
 };
 
 /// Registers the AMG baseline into `registry` under `"amg"` (aliases
@@ -154,33 +155,6 @@ pub struct AmgSolveResult {
     pub result: SolveResult,
     /// Per-level V-cycle protocol.
     pub mg_trace: MgTrace,
-}
-
-/// Builds the hierarchy for a tile's density field and solves `A u = b`
-/// with V-cycle-preconditioned CG. Serial-tile baseline (the reference
-/// baseline is a third-party library; its distributed behaviour enters
-/// through the performance model's replay of this trace — see DESIGN.md
-/// §3).
-#[allow(clippy::too_many_arguments)] // mirrors the reference's solver signature
-#[deprecated(
-    since = "0.1.0",
-    note = "use the `Solve` builder with `tea_amg::full_registry()`, or construct \
-            `tea_amg::AmgPcg` and call `IterativeSolver::solve` with an assembly-carrying \
-            `SolveContext`"
-)]
-pub fn amg_pcg_solve<C: Communicator + ?Sized>(
-    tile: &Tile<'_, C>,
-    density: &Field2D,
-    coefficient: Coefficient,
-    rx: f64,
-    ry: f64,
-    u: &mut Field2D,
-    b: &Field2D,
-    ws: &mut Workspace,
-    opts: SolveOpts,
-    amg: AmgPcgOpts,
-) -> AmgSolveResult {
-    amg_pcg_solve_impl(tile, density, coefficient, rx, ry, u, b, ws, opts, amg)
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -10,7 +10,7 @@ use tea_app::{
     crooked_pipe_deck, parse_deck, run_serial, run_threaded_ranks, solver_registry,
     write_field_csv, write_field_ppm, RankOutput,
 };
-use tea_core::{PreconKind, SolverParams};
+use tea_core::{Precision, PreconKind, SolverParams};
 
 const USAGE: &str = "\
 tealeaf — TeaLeaf heat-conduction mini-app (Rust reproduction)
@@ -25,6 +25,8 @@ OPTIONS:
     --solver <s>         any registered solver name       [default: cg]
                          (see --list-solvers)
     --precon <p>         none | jac_diag | jac_block      [default: none]
+    --precision <x>      f64 | f32 | mixed                [default: f64]
+                         (mixed: f32 preconditioning, f64 recurrence)
     --depth <d>          PPCG matrix-powers halo depth    [default: 1]
     --inner <m>          PPCG inner steps                 [default: 16]
     --steps <n>          number of time steps             [default: 10]
@@ -47,6 +49,7 @@ struct Args {
     cells: usize,
     solver: Option<String>,
     precon: Option<PreconKind>,
+    precision: Option<Precision>,
     depth: Option<usize>,
     inner: Option<usize>,
     steps: Option<u64>,
@@ -64,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
         cells: 128,
         solver: None,
         precon: None,
+        precision: None,
         depth: None,
         inner: None,
         steps: None,
@@ -101,6 +105,7 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown preconditioner '{other}'")),
                 })
             }
+            "--precision" => args.precision = Some(Precision::parse(&value()?)?),
             "--depth" => args.depth = Some(value()?.parse().map_err(|e| format!("--depth: {e}"))?),
             "--inner" => args.inner = Some(value()?.parse().map_err(|e| format!("--inner: {e}"))?),
             "--steps" => args.steps = Some(value()?.parse().map_err(|e| format!("--steps: {e}"))?),
@@ -154,6 +159,9 @@ fn print_solvers() {
         if meta.serial_only {
             notes.push("serial-only".into());
         }
+        if meta.precision != Precision::F64 {
+            notes.push(format!("precision={}", meta.precision.label()));
+        }
         if !notes.is_empty() {
             println!("      defaults: {}", notes.join(", "));
         }
@@ -197,13 +205,22 @@ fn main() -> ExitCode {
     // back to the documented defaults
     if args.deck_path.is_none() {
         deck.control.end_step = 10;
-        deck.control.summary_frequency = if args.quiet { 0 } else { 1 };
+        deck.control.summary_frequency = 1;
+    }
+    // --quiet applies regardless of where the deck came from: it both
+    // silences the per-step table and disables the per-step summary
+    // reductions that feed it
+    if args.quiet {
+        deck.control.summary_frequency = 0;
     }
     if let Some(solver) = &args.solver {
         deck.control.solver = solver.clone();
     }
     if let Some(precon) = args.precon {
         deck.control.precon = precon;
+    }
+    if args.precision.is_some() {
+        deck.control.precision = args.precision;
     }
     if let Some(depth) = args.depth {
         deck.control.ppcg_halo_depth = depth;
@@ -229,11 +246,26 @@ fn main() -> ExitCode {
         tea_core::set_num_threads(t);
     }
 
+    // resolve solver × precision before any work so conflicts (e.g.
+    // --solver amg --precision mixed) fail with a message, not a panic
+    let effective_solver = match deck.control.effective_solver() {
+        Ok(name) => name,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let precision_label = solver_registry()
+        .resolve(&effective_solver)
+        .map(|m| m.precision.label())
+        .unwrap_or("f64");
     println!(
-        "tealeaf: {}x{} cells, solver {}, {} steps, {} rank(s), {} worker thread(s)",
+        "tealeaf: {}x{} cells, solver {}, precision {}, {} steps, {} rank(s), {} worker thread(s)",
         deck.problem.x_cells,
         deck.problem.y_cells,
-        deck.control.solver,
+        effective_solver,
+        precision_label,
         deck.control.steps(),
         args.ranks,
         tea_core::num_threads(),

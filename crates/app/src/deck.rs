@@ -32,79 +32,8 @@
 //! `TEA_NUM_THREADS` environment variable and the CLI `--threads` flag).
 
 use std::collections::BTreeMap;
-use tea_core::{PreconKind, SolveOpts, SolverParams};
+use tea_core::{Precision, PreconKind, SolveOpts, SolverParams};
 use tea_mesh::{Coefficient, Extent2D, Problem, Shape, State};
-
-/// Which solver the driver runs each time step.
-///
-/// Superseded by registry names: set [`Control::solver`] to a name
-/// resolved by [`crate::solver_registry`] (e.g. `"ppcg"`). The enum
-/// remains for one release as a migration aid — it converts into the
-/// corresponding registry name via `Into<String>` / [`SolverKind::name`].
-#[deprecated(
-    since = "0.1.0",
-    note = "solver selection is by registry name now: set `Control::solver` to e.g. \
-            \"ppcg\" (see `tea_app::solver_registry`)"
-)]
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SolverKind {
-    /// Point-Jacobi iteration.
-    Jacobi,
-    /// Conjugate gradient (the baseline).
-    Cg,
-    /// Single-reduction (Chronopoulos–Gear) CG — the paper's §VII
-    /// future-work restructuring, one fused allreduce per iteration.
-    CgFused,
-    /// CG presteps + Chebyshev acceleration.
-    Chebyshev,
-    /// CPPCG (Chebyshev polynomially preconditioned CG).
-    Ppcg,
-    /// Multigrid-preconditioned CG (the BoomerAMG-class baseline).
-    AmgPcg,
-}
-
-// not derived: the derive's `#[default]` marker would itself trip the
-// enum's deprecation lint
-#[allow(deprecated, clippy::derivable_impls)]
-impl Default for SolverKind {
-    fn default() -> Self {
-        SolverKind::Cg
-    }
-}
-
-#[allow(deprecated)]
-impl SolverKind {
-    /// The registry name this kind resolves to.
-    pub fn name(self) -> &'static str {
-        match self {
-            SolverKind::Jacobi => "jacobi",
-            SolverKind::Cg => "cg",
-            SolverKind::CgFused => "cg_fused",
-            SolverKind::Chebyshev => "chebyshev",
-            SolverKind::Ppcg => "ppcg",
-            SolverKind::AmgPcg => "amg",
-        }
-    }
-
-    /// Figure-legend label.
-    pub fn label(self) -> &'static str {
-        match self {
-            SolverKind::Jacobi => "Jacobi",
-            SolverKind::Cg => "CG",
-            SolverKind::CgFused => "CG-fused",
-            SolverKind::Chebyshev => "Chebyshev",
-            SolverKind::Ppcg => "PPCG",
-            SolverKind::AmgPcg => "BoomerAMG",
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl From<SolverKind> for String {
-    fn from(kind: SolverKind) -> String {
-        kind.name().to_string()
-    }
-}
 
 /// Time-stepping and solver controls (the deck's non-geometry half).
 #[derive(Debug, Clone)]
@@ -119,6 +48,12 @@ pub struct Control {
     /// [`crate::solver_registry`] (e.g. `"cg"`, `"ppcg"`, `"amg"`,
     /// `"richardson"`).
     pub solver: String,
+    /// Arithmetic-precision override (deck `tl_precision`, CLI
+    /// `--precision`). `None` (the default) takes [`Control::solver`]
+    /// verbatim; an explicit value re-routes the solver within its
+    /// family (`cg` → `mixed_cg`/`cg_f32`, `ppcg` → `mixed_ppcg`) via
+    /// [`Control::effective_solver`].
+    pub precision: Option<Precision>,
     /// Convergence options.
     pub opts: SolveOpts,
     /// Preconditioner for CG/Chebyshev/PPCG-inner.
@@ -143,6 +78,7 @@ impl Default for Control {
             end_time: 15.0,
             end_step: u64::MAX,
             solver: "cg".into(),
+            precision: None,
             opts: SolveOpts::default(),
             precon: PreconKind::None,
             ppcg_inner_steps: 16,
@@ -159,6 +95,25 @@ impl Control {
     pub fn steps(&self) -> u64 {
         let by_time = (self.end_time / self.dt).ceil() as u64;
         by_time.min(self.end_step)
+    }
+
+    /// The registry name the driver actually runs: [`Control::solver`]
+    /// re-routed for [`Control::precision`] (identity at the default
+    /// `f64`).
+    ///
+    /// # Errors
+    /// A message naming the solver and precision when no variant is
+    /// registered (e.g. `tl_precision=mixed` with the serial-only AMG
+    /// baseline).
+    pub fn effective_solver(&self) -> Result<String, String> {
+        match self.precision {
+            Some(p) => tea_core::solver_for_precision(&self.solver, p, crate::solver_registry())
+                .map_err(|e| e.to_string()),
+            None => crate::solver_registry()
+                .resolve(&self.solver)
+                .map(|m| m.name.to_string())
+                .map_err(|e| e.to_string()),
+        }
     }
 
     /// The generic solver parameters this deck configures — what the
@@ -268,6 +223,9 @@ pub fn parse_deck(text: &str) -> Result<Deck, String> {
                     .name
                     .to_string();
             }
+            "tl_precision" => {
+                control.precision = Some(Precision::parse(value).map_err(err)?);
+            }
             "tl_eps" => control.opts.eps = fval()?,
             "tl_max_iters" => control.opts.max_iters = ival()?,
             "tl_ppcg_inner_steps" => control.ppcg_inner_steps = ival()? as usize,
@@ -304,6 +262,11 @@ pub fn parse_deck(text: &str) -> Result<Deck, String> {
         return Err("state numbering must start at 1 (the background)".into());
     }
     let states: Vec<State> = states.into_values().collect();
+
+    // surface solver × precision conflicts at parse time (order of
+    // tl_solver / tl_precision in the deck must not matter, so this
+    // check runs once both are known)
+    control.effective_solver()?;
 
     let problem = Problem {
         x_cells,
@@ -446,6 +409,9 @@ pub fn render_deck(deck: &Deck) -> String {
     ));
     out.push_str(&format!("tl_preconditioner_type={}\n", c.precon.label()));
     out.push_str(&format!("tl_solver={}\n", c.solver));
+    if let Some(p) = c.precision {
+        out.push_str(&format!("tl_precision={}\n", p.label()));
+    }
     out.push_str(&format!("tl_ppcg_inner_steps={}\n", c.ppcg_inner_steps));
     out.push_str(&format!("tl_ppcg_halo_depth={}\n", c.ppcg_halo_depth));
     out.push_str(&format!("tl_ch_cg_presteps={}\n", c.presteps));
@@ -455,8 +421,7 @@ pub fn render_deck(deck: &Deck) -> String {
 }
 
 /// The paper's crooked-pipe benchmark deck at a given resolution and
-/// solver (a registry name like `"cg"` or `"ppcg"`; the deprecated
-/// [`SolverKind`] variants also convert).
+/// solver (a registry name like `"cg"` or `"ppcg"`).
 pub fn crooked_pipe_deck(n: usize, solver: impl Into<String>) -> Deck {
     Deck {
         problem: tea_mesh::crooked_pipe(n),
@@ -586,6 +551,75 @@ tl_coefficient=1
         }
     }
 
+    fn mini_deck(lines: &str) -> Result<Deck, String> {
+        parse_deck(&format!(
+            "*tea\nstate 1 density=1 energy=1\nx_cells=8\ny_cells=8\n{lines}\n*endtea"
+        ))
+    }
+
+    #[test]
+    fn tl_precision_parses_and_defaults() {
+        assert_eq!(mini_deck("tl_solver=cg").unwrap().control.precision, None);
+        for (text, want) in [
+            ("tl_precision=f64", Precision::F64),
+            ("tl_precision=double", Precision::F64),
+            ("tl_precision=f32", Precision::F32),
+            ("tl_precision=single", Precision::F32),
+            ("tl_precision=mixed", Precision::Mixed),
+            ("tl_precision=MIXED", Precision::Mixed),
+        ] {
+            let deck = mini_deck(text).unwrap();
+            assert_eq!(deck.control.precision, Some(want), "{text}");
+        }
+        // an explicitly named reduced-precision solver is NOT demoted by
+        // the default (absent) precision override
+        let deck = mini_deck("tl_solver=mixed_cg").unwrap();
+        assert_eq!(deck.control.effective_solver().unwrap(), "mixed_cg");
+    }
+
+    #[test]
+    fn tl_precision_routes_the_effective_solver() {
+        let deck = mini_deck("tl_solver=cg\ntl_precision=mixed").unwrap();
+        assert_eq!(deck.control.solver, "cg", "the deck keeps the request");
+        assert_eq!(deck.control.effective_solver().unwrap(), "mixed_cg");
+        // order must not matter
+        let deck = mini_deck("tl_precision=mixed\ntl_use_ppcg").unwrap();
+        assert_eq!(deck.control.effective_solver().unwrap(), "mixed_ppcg");
+        let deck = mini_deck("tl_solver=cg\ntl_precision=f32").unwrap();
+        assert_eq!(deck.control.effective_solver().unwrap(), "cg_f32");
+    }
+
+    #[test]
+    fn tl_precision_unknown_value_is_an_error() {
+        let e = mini_deck("tl_precision=f16").unwrap_err();
+        assert!(e.contains("unknown precision 'f16'"), "{e}");
+        assert!(e.contains("f64, f32, mixed"), "{e}");
+        assert!(e.contains("line 5"), "{e}");
+    }
+
+    #[test]
+    fn tl_precision_conflicts_with_serial_only_solver() {
+        let e = mini_deck("tl_solver=amg\ntl_precision=mixed").unwrap_err();
+        assert!(e.contains("amg"), "{e}");
+        assert!(e.contains("mixed"), "{e}");
+        assert!(e.contains("serial-only"), "{e}");
+        // the conflict is caught regardless of key order
+        let e2 = mini_deck("tl_precision=mixed\ntl_solver=amg").unwrap_err();
+        assert!(e2.contains("serial-only"), "{e2}");
+        // and methods with no reduced-precision variant are rejected too
+        let e3 = mini_deck("tl_solver=jacobi\ntl_precision=f32").unwrap_err();
+        assert!(e3.contains("jacobi"), "{e3}");
+    }
+
+    #[test]
+    fn tl_precision_roundtrips_through_render() {
+        let mut deck = crooked_pipe_deck(16, "cg");
+        deck.control.precision = Some(Precision::Mixed);
+        let re = parse_deck(&render_deck(&deck)).expect("rendered deck must parse");
+        assert_eq!(re.control.precision, Some(Precision::Mixed));
+        assert_eq!(re.control.effective_solver().unwrap(), "mixed_cg");
+    }
+
     #[test]
     fn unknown_solver_lists_registered_names() {
         for line in ["tl_solver=sor", "tl_use_sor"] {
@@ -599,15 +633,6 @@ tl_coefficient=1
             }
             assert!(e.contains("line 5"), "{e}");
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_solver_kind_converts_to_names() {
-        assert_eq!(SolverKind::Ppcg.name(), "ppcg");
-        assert_eq!(String::from(SolverKind::AmgPcg), "amg");
-        let deck = crooked_pipe_deck(8, SolverKind::CgFused);
-        assert_eq!(deck.control.solver, "cg_fused");
     }
 
     #[test]

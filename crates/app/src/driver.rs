@@ -84,8 +84,12 @@ pub fn run_rank<C: Communicator + ?Sized>(
     );
 
     let registry = crate::solver_registry();
+    // tl_precision re-routes within the solver family (cg → mixed_cg /
+    // cg_f32, ppcg → mixed_ppcg); at the default f64 this is the
+    // identity on the deck's solver name
+    let solver_name = control.effective_solver().unwrap_or_else(|e| panic!("{e}"));
     let meta = registry
-        .resolve(&control.solver)
+        .resolve(&solver_name)
         .unwrap_or_else(|e| panic!("{e}"));
     if meta.serial_only {
         assert_eq!(
@@ -96,7 +100,7 @@ pub fn run_rank<C: Communicator + ?Sized>(
         );
     }
     let mut solver = registry
-        .create(&control.solver, &control.solver_params())
+        .create(&solver_name, &control.solver_params())
         .expect("resolved above");
 
     let mesh = Mesh2D::new(decomp, comm.rank(), problem.extent);

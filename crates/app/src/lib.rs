@@ -25,10 +25,6 @@ pub use driver::{run_rank, run_serial, run_threaded_ranks, RankOutput, StepRecor
 pub use output::{write_field_csv, write_field_ppm, write_field_vtk, write_series_csv};
 pub use summary::{field_summary, FieldSummary};
 
-// Deprecated solver-selection enum, re-exported for one release.
-#[allow(deprecated)]
-pub use deck::SolverKind;
-
 use std::sync::OnceLock;
 use tea_core::SolverRegistry;
 

@@ -1,0 +1,148 @@
+//! End-to-end tests of the `tealeaf` binary's argument handling.
+//!
+//! Regression focus: `--quiet` must apply whether or not `--deck` is
+//! given (it used to be applied only in the no-deck branch, so deck
+//! runs kept computing and printing per-step summaries), and
+//! `--precision` must surface conflicts as errors, not panics.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tealeaf(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tealeaf"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn write_deck(name: &str, extra: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("tealeaf-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(
+        &path,
+        format!(
+            "*tea\n\
+             state 1 density=100.0 energy=0.0001\n\
+             state 2 density=0.1 energy=25.0 geometry=rectangle xmin=0.0 xmax=3.5 ymin=1.0 ymax=2.0\n\
+             x_cells=24\ny_cells=24\n\
+             end_step=3\n\
+             summary_frequency=1\n\
+             tl_eps=1e-8\n\
+             {extra}\n\
+             *endtea\n"
+        ),
+    )
+    .unwrap();
+    path
+}
+
+/// A per-step table row starts with a right-aligned step index; the
+/// header names the columns.
+fn has_step_table(stdout: &str) -> bool {
+    stdout
+        .lines()
+        .any(|l| l.trim_start().starts_with("step") && l.contains("iters"))
+}
+
+#[test]
+fn quiet_suppresses_per_step_output_with_a_deck() {
+    let deck = write_deck("quiet.in", "tl_solver=cg");
+    let deck = deck.to_str().unwrap();
+
+    let loud = tealeaf(&["--deck", deck]);
+    assert!(loud.status.success(), "{loud:?}");
+    let loud_out = String::from_utf8_lossy(&loud.stdout).to_string();
+    assert!(
+        has_step_table(&loud_out),
+        "non-quiet deck run must print the per-step table:\n{loud_out}"
+    );
+
+    // regression: --quiet used to be ignored when --deck was given
+    let quiet = tealeaf(&["--deck", deck, "--quiet"]);
+    assert!(quiet.status.success(), "{quiet:?}");
+    let quiet_out = String::from_utf8_lossy(&quiet.stdout).to_string();
+    assert!(
+        !has_step_table(&quiet_out),
+        "--deck --quiet must not print per-step lines:\n{quiet_out}"
+    );
+    assert!(
+        quiet_out.contains("field summary"),
+        "the final summary must survive --quiet:\n{quiet_out}"
+    );
+}
+
+#[test]
+fn quiet_works_without_a_deck_too() {
+    let out = tealeaf(&["--cells", "16", "--steps", "2", "--quiet"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(!has_step_table(&stdout), "{stdout}");
+    assert!(stdout.contains("field summary"), "{stdout}");
+}
+
+#[test]
+fn deck_precision_mixed_runs_the_mixed_solver() {
+    let deck = write_deck("mixed.in", "tl_solver=cg\ntl_precision=mixed");
+    let out = tealeaf(&["--deck", deck.to_str().unwrap(), "--quiet"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        stdout.contains("solver mixed_cg") && stdout.contains("precision mixed"),
+        "banner must name the routed solver and precision:\n{stdout}"
+    );
+}
+
+#[test]
+fn precision_flag_overrides_the_deck_and_conflicts_error_cleanly() {
+    let deck = write_deck("override.in", "tl_solver=ppcg");
+    let out = tealeaf(&[
+        "--deck",
+        deck.to_str().unwrap(),
+        "--precision",
+        "mixed",
+        "--quiet",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("solver mixed_ppcg"), "{stdout}");
+
+    // solver × precision conflict: clean error, non-zero exit, no panic
+    let bad = tealeaf(&[
+        "--deck",
+        deck.to_str().unwrap(),
+        "--solver",
+        "amg",
+        "--ranks",
+        "1",
+        "--precision",
+        "mixed",
+    ]);
+    assert!(!bad.status.success());
+    let stderr = String::from_utf8_lossy(&bad.stderr).to_string();
+    assert!(
+        stderr.contains("serial-only") && stderr.contains("amg"),
+        "{stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn list_solvers_shows_precision_metadata() {
+    let out = tealeaf(&["--list-solvers"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    for name in ["mixed_cg", "mixed_ppcg", "cg_f32"] {
+        assert!(stdout.contains(name), "missing {name}:\n{stdout}");
+    }
+    assert!(stdout.contains("precision=mixed"), "{stdout}");
+    assert!(stdout.contains("precision=f32"), "{stdout}");
+}
+
+#[test]
+fn unknown_precision_value_is_a_usage_error() {
+    let out = tealeaf(&["--precision", "f16"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("unknown precision 'f16'"), "{stderr}");
+}

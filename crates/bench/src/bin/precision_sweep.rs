@@ -1,0 +1,300 @@
+//! `precision_sweep` — sweeps arithmetic precision × solver on the
+//! crooked-pipe decks and records the trade-off machine-readably.
+//!
+//! For each mesh size it runs the same deck in three precision modes
+//! per solver family:
+//!
+//! * `f64` — the reference double-precision run;
+//! * `mixed` — f32 preconditioning / inner smoothing inside the f64
+//!   outer recurrence (`mixed_cg`, `mixed_ppcg`);
+//! * `f32` — everything in single precision (`cg_f32`), kept honest by
+//!   its stagnation guard.
+//!
+//! The harness **asserts** the correctness story: every mixed step must
+//! converge to the same `tl_eps` as the f64 run, and the mixed final
+//! temperature field must match f64's to far beyond f32 resolution.
+//! The f32 leg is recorded as-is — on tight tolerances it is *expected*
+//! to stall at the round-off floor, and that non-convergence is part of
+//! the artefact's story (why mixed precision exists).
+//!
+//! ```text
+//! cargo run --release -p tea-bench --bin precision_sweep -- \
+//!     --sizes 96,128 --steps 2 --out BENCH_PR4.json
+//! ```
+//!
+//! Timing honesty: wall times sum the per-step solve walls only; one
+//! discarded warm-up run precedes `--reps` timed runs per leg (minimum
+//! kept). On a 1-core container the absolute times still rank the
+//! memory-traffic story (f32 sweeps move half the bytes), and the
+//! hardware thread count is recorded so readers can judge.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use tea_app::{crooked_pipe_deck, run_serial, Deck, RankOutput};
+use tea_core::Precision;
+use tea_mesh::Field2D;
+
+struct Args {
+    sizes: Vec<usize>,
+    steps: u64,
+    eps: f64,
+    max_iters: u64,
+    reps: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        sizes: vec![96, 128],
+        steps: 2,
+        eps: 1e-10,
+        max_iters: 10_000,
+        reps: 2,
+        out: PathBuf::from("BENCH_PR4.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_default();
+        match flag.as_str() {
+            "--sizes" => {
+                args.sizes = value()
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--sizes"))
+                    .collect()
+            }
+            "--steps" => args.steps = value().parse().expect("--steps"),
+            "--eps" => args.eps = value().parse().expect("--eps"),
+            "--max-iters" => args.max_iters = value().parse().expect("--max-iters"),
+            "--reps" => args.reps = value().parse::<usize>().expect("--reps").max(1),
+            "--out" => args.out = PathBuf::from(value()),
+            "--help" | "-h" => {
+                println!(
+                    "precision_sweep: f64 vs f32 vs mixed solves, JSON artefact\n\
+                     --sizes a,b,..  mesh sizes per side (default 96,128)\n\
+                     --steps N       time steps per run (default 2)\n\
+                     --eps E         solver tolerance, tl_eps (default 1e-10)\n\
+                     --max-iters N   per-step iteration cap (default 10000)\n\
+                     --reps N        timed runs per leg, min kept (default 2)\n\
+                     --out FILE      JSON artefact path (default BENCH_PR4.json)"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// One leg of the sweep: a solver family at one precision.
+struct Leg {
+    family: &'static str,
+    precision: Option<Precision>,
+    /// Expected to meet `tl_eps` every step (asserted).
+    must_converge: bool,
+}
+
+fn deck_for(leg: &Leg, cells: usize, args: &Args) -> Deck {
+    let mut deck = crooked_pipe_deck(cells, leg.family);
+    deck.control.precision = leg.precision;
+    deck.control.end_step = args.steps;
+    deck.control.summary_frequency = 0;
+    deck.control.opts.eps = args.eps;
+    deck.control.opts.max_iters = args.max_iters;
+    deck.control.precon = tea_core::PreconKind::BlockJacobi;
+    deck.control.presteps = 20;
+    if leg.family == "ppcg" {
+        deck.control.ppcg_halo_depth = 4;
+        deck.control.ppcg_inner_steps = 16;
+        // block-Jacobi cannot ride matrix powers; the deep-halo legs use
+        // the extension-safe diagonal preconditioner instead
+        deck.control.precon = tea_core::PreconKind::Diagonal;
+    }
+    deck
+}
+
+fn solve_wall(out: &RankOutput) -> f64 {
+    out.steps.iter().map(|s| s.wall).sum()
+}
+
+struct Row {
+    solver: String,
+    precision: &'static str,
+    cells: usize,
+    wall_s: f64,
+    iterations: u64,
+    converged: bool,
+    worst_final_rel_residual: f64,
+    max_rel_diff_vs_f64: f64,
+}
+
+fn measure(leg: &Leg, cells: usize, args: &Args, reference: Option<&Field2D>) -> (Row, Field2D) {
+    let deck = deck_for(leg, cells, args);
+    let solver = deck.control.effective_solver().expect("legs are routable");
+
+    let _ = run_serial(&deck); // discarded warm-up
+    let mut wall_s = f64::INFINITY;
+    let mut run = None;
+    for _ in 0..args.reps {
+        let out = run_serial(&deck);
+        wall_s = wall_s.min(solve_wall(&out));
+        run = Some(out);
+    }
+    let run = run.expect("at least one rep");
+
+    let converged = run.steps.iter().all(|s| s.converged);
+    let worst_rel = run
+        .steps
+        .iter()
+        .map(|s| s.final_residual / s.initial_residual.max(f64::MIN_POSITIVE))
+        .fold(0.0f64, f64::max);
+    let field = run.final_u.expect("serial run gathers the field");
+    let diff = reference
+        .map(|r| field.interior_max_rel_diff(r))
+        .unwrap_or(0.0);
+
+    if leg.must_converge {
+        assert!(
+            converged,
+            "{solver} at {cells}^2 must converge to tl_eps={:e} every step",
+            args.eps
+        );
+    }
+    if leg.precision == Some(Precision::Mixed) {
+        assert!(
+            diff < 1e-6,
+            "{solver} at {cells}^2: mixed field must match the f64 answer to deck \
+             tolerance, worst rel diff {diff:e}"
+        );
+    }
+
+    (
+        Row {
+            solver,
+            precision: leg.precision.unwrap_or(Precision::F64).label(),
+            cells,
+            wall_s,
+            iterations: run.steps.iter().map(|s| s.iterations).sum(),
+            converged,
+            worst_final_rel_residual: worst_rel,
+            max_rel_diff_vs_f64: diff,
+        },
+        field,
+    )
+}
+
+fn write_json(args: &Args, hw_threads: usize, rows: &[Row]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(&args.out)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"bench\": \"precision_sweep\",")?;
+    writeln!(f, "  \"pr\": 4,")?;
+    writeln!(f, "  \"workload\": \"crooked_pipe\",")?;
+    writeln!(f, "  \"hardware_threads\": {hw_threads},")?;
+    writeln!(f, "  \"worker_threads\": {},", tea_core::num_threads())?;
+    writeln!(f, "  \"steps\": {},", args.steps)?;
+    writeln!(f, "  \"eps\": {:e},", args.eps)?;
+    writeln!(f, "  \"max_iters\": {},", args.max_iters)?;
+    writeln!(f, "  \"reps\": {},", args.reps)?;
+    writeln!(f, "  \"results\": [")?;
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            f,
+            "    {{\"solver\": \"{}\", \"precision\": \"{}\", \"cells\": {}, \
+             \"wall_s\": {:.6}, \"iterations\": {}, \"converged\": {}, \
+             \"worst_final_rel_residual\": {:e}, \"max_rel_diff_vs_f64\": {:e}}}{comma}",
+            r.solver,
+            r.precision,
+            r.cells,
+            r.wall_s,
+            r.iterations,
+            r.converged,
+            r.worst_final_rel_residual,
+            r.max_rel_diff_vs_f64,
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+fn main() {
+    let args = parse_args();
+    let hw_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "precision_sweep: crooked pipe, tl_eps={:e}, {} step(s), {} hardware thread(s)",
+        args.eps, args.steps, hw_threads
+    );
+
+    // (family, precision, must_converge): the f32 leg is expected to
+    // stall at tight tolerances — that IS the result being recorded
+    let legs = [
+        Leg {
+            family: "cg",
+            precision: None,
+            must_converge: true,
+        },
+        Leg {
+            family: "cg",
+            precision: Some(Precision::Mixed),
+            must_converge: true,
+        },
+        Leg {
+            family: "cg",
+            precision: Some(Precision::F32),
+            must_converge: false,
+        },
+        Leg {
+            family: "ppcg",
+            precision: None,
+            must_converge: true,
+        },
+        Leg {
+            family: "ppcg",
+            precision: Some(Precision::Mixed),
+            must_converge: true,
+        },
+    ];
+
+    let mut rows = Vec::new();
+    println!(
+        "{:>12} {:>10} {:>8} {:>10} {:>7} {:>10} {:>12} {:>12}",
+        "solver",
+        "precision",
+        "cells",
+        "wall(s)",
+        "iters",
+        "converged",
+        "worst resid",
+        "diff vs f64"
+    );
+    for &cells in &args.sizes {
+        let mut reference: Option<Field2D> = None;
+        for leg in &legs {
+            // each family's f64 run is the reference for its reduced legs
+            if leg.precision.is_none() {
+                reference = None;
+            }
+            let (row, field) = measure(leg, cells, &args, reference.as_ref());
+            println!(
+                "{:>12} {:>10} {:>8} {:>10.4} {:>7} {:>10} {:>12.3e} {:>12.3e}",
+                row.solver,
+                row.precision,
+                row.cells,
+                row.wall_s,
+                row.iterations,
+                row.converged,
+                row.worst_final_rel_residual,
+                row.max_rel_diff_vs_f64,
+            );
+            if leg.precision.is_none() {
+                reference = Some(field);
+            }
+            rows.push(row);
+        }
+    }
+
+    write_json(&args, hw_threads, &rows).expect("write JSON artefact");
+    println!("wrote {}", args.out.display());
+}

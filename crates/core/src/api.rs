@@ -110,6 +110,64 @@ impl Default for SolverParams {
     }
 }
 
+/// Arithmetic-precision policy of a solver — a first-class axis of the
+/// design space alongside method, preconditioner and halo depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Every kernel in double precision (the reference behaviour).
+    #[default]
+    F64,
+    /// Every kernel in single precision. Memory traffic halves, but the
+    /// attainable residual is limited by `f32` round-off — honest only
+    /// for loose tolerances or precision studies.
+    F32,
+    /// Classic iterative refinement: the preconditioner (and, for PPCG,
+    /// the inner Chebyshev smoothing) runs in `f32` while the outer
+    /// recurrence, reductions and convergence test stay in `f64`, so the
+    /// solve still reaches `f64` tolerances.
+    Mixed,
+}
+
+impl Precision {
+    /// Deck/CLI spelling (`"f64"`, `"f32"`, `"mixed"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+            Precision::Mixed => "mixed",
+        }
+    }
+
+    /// Parses a deck/CLI spelling (`f64`/`double`, `f32`/`single`,
+    /// `mixed`), ASCII case-insensitive.
+    ///
+    /// # Errors
+    /// Returns a message listing the accepted spellings.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "f64" | "double" => Ok(Precision::F64),
+            "f32" | "single" => Ok(Precision::F32),
+            "mixed" => Ok(Precision::Mixed),
+            other => Err(format!(
+                "unknown precision '{other}' (accepted: f64, f32, mixed)"
+            )),
+        }
+    }
+}
+
+impl std::str::FromStr for Precision {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Precision::parse(s)
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Static metadata the registry serves for each solver: what the method
 /// needs from its environment and which [`SolverParams`] it honours.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,6 +190,9 @@ pub struct SolverMeta {
     /// Whether the method only runs on a single rank (the AMG baseline;
     /// its distributed behaviour enters through trace replay).
     pub serial_only: bool,
+    /// The method's arithmetic-precision policy (`tl_precision` resolves
+    /// solver names through this).
+    pub precision: Precision,
 }
 
 /// Why a solver could not be resolved or run.
@@ -145,6 +206,16 @@ pub enum SolverError {
         /// Canonical names currently registered.
         known: Vec<String>,
     },
+    /// The requested precision has no registered variant of the solver
+    /// (e.g. `tl_precision=mixed` with the serial-only AMG baseline).
+    PrecisionUnsupported {
+        /// The solver whose variant is missing.
+        solver: String,
+        /// The precision that was requested.
+        precision: Precision,
+        /// Why the combination is rejected.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for SolverError {
@@ -154,6 +225,14 @@ impl std::fmt::Display for SolverError {
                 f,
                 "unknown solver '{requested}' (registered: {})",
                 known.join(", ")
+            ),
+            SolverError::PrecisionUnsupported {
+                solver,
+                precision,
+                reason,
+            } => write!(
+                f,
+                "solver '{solver}' cannot run at precision '{precision}': {reason}"
             ),
         }
     }

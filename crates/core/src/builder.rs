@@ -2,7 +2,8 @@
 //! space, and the small problem-assembly helper its doctests and the
 //! benches share.
 
-use crate::api::{DynTile, SolveContext, SolverError, SolverParams};
+use crate::api::{DynTile, Precision, SolveContext, SolverError, SolverParams};
+use crate::mixed::solver_for_precision;
 use crate::ops::{TileBounds, TileOperator};
 use crate::precon::PreconKind;
 use crate::registry::SolverRegistry;
@@ -36,6 +37,7 @@ pub struct Solve<'a> {
     op: &'a TileOperator,
     registry: Option<&'a SolverRegistry>,
     solver: String,
+    precision: Option<Precision>,
     opts: SolveOpts,
     params: SolverParams,
 }
@@ -47,6 +49,7 @@ impl<'a> Solve<'a> {
             op,
             registry: None,
             solver: "cg".into(),
+            precision: None,
             opts: SolveOpts::default(),
             params: SolverParams::default(),
         }
@@ -81,6 +84,31 @@ impl<'a> Solve<'a> {
     /// Preconditioner for the methods that accept one.
     pub fn precon(mut self, kind: PreconKind) -> Self {
         self.params.precon = kind;
+        self
+    }
+
+    /// Arithmetic-precision override. Unset, the solver name is taken
+    /// verbatim. [`Precision::Mixed`] re-routes `cg`/`cg_fused` to
+    /// `mixed_cg` and `ppcg` to `mixed_ppcg`; [`Precision::F32`] routes
+    /// the CG family to `cg_f32`; [`Precision::F64`] demotes a
+    /// reduced-precision name back to its `f64` family solver. Methods
+    /// without a registered variant make [`Solve::run`] fail with
+    /// [`SolverError::PrecisionUnsupported`].
+    ///
+    /// ```
+    /// use tea_core::{crooked_pipe_system, Precision, Solve};
+    ///
+    /// let (op, b) = crooked_pipe_system(32, 0.04, 1);
+    /// let mut u = b.clone();
+    /// let result = Solve::on(&op)
+    ///     .precision(Precision::Mixed) // cg -> mixed_cg
+    ///     .eps(1e-10)
+    ///     .run(&mut u, &b)
+    ///     .expect("mixed variant is registered");
+    /// assert!(result.converged);
+    /// ```
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = Some(precision);
         self
     }
 
@@ -127,7 +155,11 @@ impl<'a> Solve<'a> {
         let registry = self
             .registry
             .unwrap_or_else(|| BUILTIN.get_or_init(SolverRegistry::builtin));
-        registry.create(&self.solver, &self.params)
+        let name = match self.precision {
+            Some(p) => solver_for_precision(&self.solver, p, registry)?,
+            None => self.solver.clone(),
+        };
+        registry.create(&name, &self.params)
     }
 
     /// Runs the solve on a single serial tile, allocating the workspace
@@ -213,17 +245,47 @@ mod tests {
     #[test]
     fn builder_runs_every_builtin_solver() {
         let (op, b) = crooked_pipe_system(16, 0.04, 4);
-        for name in SolverRegistry::builtin().names() {
+        let registry = SolverRegistry::builtin();
+        for name in registry.names() {
+            // fully-f32 methods honestly cannot reach f64-grade
+            // tolerances; ask them for what the format can deliver
+            let eps = match registry.resolve(name).unwrap().precision {
+                crate::api::Precision::F32 => 1e-4,
+                _ => 1e-8,
+            };
             let mut u = b.clone();
             let result = Solve::on(&op)
                 .with_solver(name)
                 .halo_depth(4)
-                .eps(1e-8)
+                .eps(eps)
                 .max_iters(200_000)
                 .run(&mut u, &b)
                 .expect("builtin solver must resolve");
             assert!(result.converged, "{name} failed to converge: {result:?}");
         }
+    }
+
+    #[test]
+    fn builder_precision_routes_and_rejects() {
+        let (op, b) = crooked_pipe_system(16, 0.04, 1);
+        let mut u = b.clone();
+        let result = Solve::on(&op)
+            .precision(Precision::Mixed)
+            .eps(1e-9)
+            .run(&mut u, &b)
+            .expect("mixed cg is registered");
+        assert!(result.converged, "{result:?}");
+
+        let mut u2 = b.clone();
+        let err = Solve::on(&op)
+            .with_solver("jacobi")
+            .precision(Precision::Mixed)
+            .run(&mut u2, &b)
+            .unwrap_err();
+        assert!(
+            matches!(err, SolverError::PrecisionUnsupported { .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -113,24 +113,6 @@ impl CgCoefficients {
     }
 }
 
-/// Solves `A u = b` by preconditioned CG. `u` enters as the initial guess
-/// (TeaLeaf warm-starts with the previous temperature) and exits as the
-/// solution.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the `Solve` builder or construct `tea_core::Cg` via the `SolverRegistry`"
-)]
-pub fn cg_solve<C: Communicator + ?Sized>(
-    tile: &Tile<'_, C>,
-    u: &mut Field2D,
-    b: &Field2D,
-    precon: &Preconditioner,
-    ws: &mut Workspace,
-    opts: SolveOpts,
-) -> SolveResult {
-    cg_solve_impl(tile, u, b, precon, ws, opts)
-}
-
 pub(crate) fn cg_solve_impl<C: Communicator + ?Sized>(
     tile: &Tile<'_, C>,
     u: &mut Field2D,

@@ -86,24 +86,6 @@ impl IterativeSolver for CgFused {
     }
 }
 
-/// Solves `A u = b` by single-reduction (Chronopoulos–Gear)
-/// preconditioned CG. Same contract as [`crate::cg::cg_solve`]; uses one
-/// fused allreduce per iteration.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the `Solve` builder or construct `tea_core::CgFused` via the `SolverRegistry`"
-)]
-pub fn cg_fused_solve<C: Communicator + ?Sized>(
-    tile: &Tile<'_, C>,
-    u: &mut Field2D,
-    b: &Field2D,
-    precon: &Preconditioner,
-    ws: &mut Workspace,
-    opts: SolveOpts,
-) -> SolveResult {
-    cg_fused_solve_impl(tile, u, b, precon, ws, opts)
-}
-
 pub(crate) fn cg_fused_solve_impl<C: Communicator + ?Sized>(
     tile: &Tile<'_, C>,
     u: &mut Field2D,

@@ -191,26 +191,6 @@ impl IterativeSolver for Chebyshev {
     }
 }
 
-/// Solves `A u = b` by CG presteps + Chebyshev acceleration.
-///
-/// The preconditioner (identity / diagonal / block-Jacobi) is applied
-/// inside both phases, so the estimated spectrum is that of `M⁻¹A`.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the `Solve` builder or construct `tea_core::Chebyshev` via the `SolverRegistry`"
-)]
-pub fn chebyshev_solve<C: Communicator + ?Sized>(
-    tile: &Tile<'_, C>,
-    u: &mut Field2D,
-    b: &Field2D,
-    precon: &Preconditioner,
-    ws: &mut Workspace,
-    opts: SolveOpts,
-    cheby: ChebyOpts,
-) -> SolveResult {
-    chebyshev_solve_impl(tile, u, b, precon, ws, opts, cheby)
-}
-
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn chebyshev_solve_impl<C: Communicator + ?Sized>(
     tile: &Tile<'_, C>,

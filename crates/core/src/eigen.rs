@@ -14,6 +14,33 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Why an eigenvalue-estimate operation was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EigenError {
+    /// The widening factor must lie in `[0, 1)`: `factor >= 1` would
+    /// drive the widened `min` to zero or below, and the Chebyshev
+    /// constants derived from it would divide by zero / go NaN.
+    InvalidWideningFactor {
+        /// The rejected factor.
+        factor: f64,
+    },
+}
+
+impl std::fmt::Display for EigenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EigenError::InvalidWideningFactor { factor } => write!(
+                f,
+                "eigenvalue widening factor must be finite and in [0, 1), got {factor} \
+                 (factor >= 1 makes the widened lower bound non-positive, which poisons \
+                 the Chebyshev coefficients)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EigenError {}
+
 /// An estimated spectral interval of the (preconditioned) operator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EigenEstimate {
@@ -32,12 +59,31 @@ impl EigenEstimate {
     /// Widens the interval by `factor` on each end (TeaLeaf applies a
     /// safety margin because the Lanczos extremes approach from inside
     /// the true spectrum; Chebyshev bounds must *contain* it).
-    pub fn widened(&self, factor: f64) -> EigenEstimate {
-        assert!(factor >= 0.0);
-        EigenEstimate {
+    ///
+    /// # Errors
+    /// [`EigenError::InvalidWideningFactor`] unless `0 <= factor < 1`:
+    /// a factor of 1 or more flips the sign of the widened `min`, and a
+    /// positive spectrum is what every downstream consumer
+    /// ([`crate::ChebyConstants`], the Richardson damping) divides by.
+    pub fn try_widened(&self, factor: f64) -> Result<EigenEstimate, EigenError> {
+        if !(factor.is_finite() && (0.0..1.0).contains(&factor)) {
+            return Err(EigenError::InvalidWideningFactor { factor });
+        }
+        Ok(EigenEstimate {
             min: self.min * (1.0 - factor),
             max: self.max * (1.0 + factor),
-        }
+        })
+    }
+
+    /// [`EigenEstimate::try_widened`] for infallible call sites.
+    ///
+    /// # Panics
+    /// Panics with the [`EigenError`] message when `factor` is outside
+    /// `[0, 1)` — a structured rejection instead of silently returning
+    /// a non-positive `min` that would surface later as NaN Chebyshev
+    /// coefficients.
+    pub fn widened(&self, factor: f64) -> EigenEstimate {
+        self.try_widened(factor).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -271,5 +317,43 @@ mod tests {
     #[should_panic]
     fn mismatched_beta_length_panics() {
         let _ = lanczos_tridiagonal(&[0.5, 0.5], &[0.1, 0.1]);
+    }
+
+    #[test]
+    fn widening_rejects_degenerate_factors() {
+        let e = EigenEstimate {
+            min: 1.0,
+            max: 10.0,
+        };
+        // factor >= 1 used to yield min <= 0 and downstream NaN
+        // Chebyshev coefficients; now it is a structured error
+        for bad in [1.0, 1.5, -0.1, f64::NAN, f64::INFINITY] {
+            let err = e.try_widened(bad).unwrap_err();
+            assert!(
+                matches!(err, EigenError::InvalidWideningFactor { .. }),
+                "{bad}: {err:?}"
+            );
+            assert!(err.to_string().contains("[0, 1)"), "{err}");
+        }
+        // the boundary of validity still produces a positive spectrum
+        let w = e.try_widened(0.999).unwrap();
+        assert!(w.min > 0.0 && w.min.is_finite());
+        assert!(w.max > w.min);
+    }
+
+    #[test]
+    fn nan_factor_error_is_not_equal_to_itself_via_factor() {
+        // PartialEq on the error carries the factor; NaN factors still
+        // format into a readable message
+        let e = EigenEstimate { min: 2.0, max: 4.0 };
+        let msg = e.try_widened(f64::NAN).unwrap_err().to_string();
+        assert!(msg.contains("NaN"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "widening factor")]
+    fn widened_panics_with_structured_message() {
+        let e = EigenEstimate { min: 1.0, max: 2.0 };
+        let _ = e.widened(1.0);
     }
 }

@@ -59,26 +59,6 @@ impl IterativeSolver for Jacobi {
     }
 }
 
-/// Solves `A u = b` by damped-free point-Jacobi iteration. `u` enters as
-/// the initial guess.
-///
-/// Convergence is declared when `‖r‖ <= eps · ‖r₀‖`, evaluated every
-/// iteration (the reference also reduces once per iteration, on the
-/// update magnitude).
-#[deprecated(
-    since = "0.1.0",
-    note = "use the `Solve` builder or construct `tea_core::Jacobi` via the `SolverRegistry`"
-)]
-pub fn jacobi_solve<C: Communicator + ?Sized>(
-    tile: &Tile<'_, C>,
-    u: &mut Field2D,
-    b: &Field2D,
-    ws: &mut Workspace,
-    opts: SolveOpts,
-) -> SolveResult {
-    jacobi_solve_impl(tile, u, b, ws, opts)
-}
-
 pub(crate) fn jacobi_solve_impl<C: Communicator + ?Sized>(
     tile: &Tile<'_, C>,
     u: &mut Field2D,

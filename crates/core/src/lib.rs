@@ -42,6 +42,7 @@ pub mod cg_fused;
 pub mod chebyshev;
 pub mod eigen;
 pub mod jacobi;
+pub mod mixed;
 pub mod ops;
 pub mod ops3d;
 pub mod ppcg;
@@ -54,7 +55,8 @@ pub mod trace;
 pub mod vector;
 
 pub use api::{
-    Assembly, DynTile, IterativeSolver, SolveContext, SolverError, SolverMeta, SolverParams,
+    Assembly, DynTile, IterativeSolver, Precision, SolveContext, SolverError, SolverMeta,
+    SolverParams,
 };
 pub use builder::{crooked_pipe_system, Solve};
 pub use cg::{cg_solve_recording, Cg, CgCoefficients};
@@ -62,9 +64,10 @@ pub use cg_fused::CgFused;
 pub use chebyshev::{cg_iteration_bound, ChebyConstants, ChebyOpts, Chebyshev};
 pub use eigen::{
     estimate_from_cg, lanczos_tridiagonal, sturm_count, tridiag_all_eigenvalues,
-    tridiag_extreme_eigenvalues, EigenEstimate,
+    tridiag_extreme_eigenvalues, EigenError, EigenEstimate,
 };
 pub use jacobi::Jacobi;
+pub use mixed::{solver_for_precision, CgF32, MixedCg, MixedPpcg};
 pub use ops::{TileBounds, TileOperator};
 pub use ops3d::{cg_solve_3d, jacobi_solve_3d, TileOperator3D};
 pub use ppcg::{Ppcg, PpcgOpts};
@@ -74,15 +77,3 @@ pub use richardson::{Richardson, RichardsonOpts};
 pub use runtime::{num_threads, par_threshold, set_num_threads, set_par_threshold, PAR_THRESHOLD};
 pub use solver::{SolveOpts, Tile, Workspace};
 pub use trace::{KernelCounts, SolveResult, SolveTrace};
-
-// Deprecated free-function entry points, re-exported for one release.
-#[allow(deprecated)]
-pub use cg::cg_solve;
-#[allow(deprecated)]
-pub use cg_fused::cg_fused_solve;
-#[allow(deprecated)]
-pub use chebyshev::chebyshev_solve;
-#[allow(deprecated)]
-pub use jacobi::jacobi_solve;
-#[allow(deprecated)]
-pub use ppcg::ppcg_solve;

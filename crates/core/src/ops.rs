@@ -23,7 +23,7 @@
 //! run to run regardless of thread count or scheduling.
 
 use crate::trace::SolveTrace;
-use tea_mesh::{Coefficients, Field2D, Mesh2D};
+use tea_mesh::{Coefficients, Field2, Mesh2D, Scalar};
 
 /// Per-side maximum extension of a tile's sweeps.
 ///
@@ -94,31 +94,42 @@ impl TileBounds {
     }
 }
 
-/// The assembled matrix-free operator for one tile.
+/// The assembled matrix-free operator for one tile, generic over the
+/// [`Scalar`] precision (`f64` by default; the mixed-precision solvers
+/// derive an `f32` instance via [`TileOperator::convert`]).
 #[derive(Debug, Clone)]
-pub struct TileOperator {
+pub struct TileOperator<S: Scalar = f64> {
     /// Pre-scaled face coefficients.
-    pub coeffs: Coefficients,
+    pub coeffs: Coefficients<S>,
     /// Sweep bounds.
     pub bounds: TileBounds,
 }
 
-impl TileOperator {
+impl<S: Scalar> TileOperator<S> {
     /// Builds the operator from assembled coefficients and bounds.
     ///
     /// # Panics
     /// Panics if coefficient extents disagree with the bounds.
-    pub fn new(coeffs: Coefficients, bounds: TileBounds) -> Self {
+    pub fn new(coeffs: Coefficients<S>, bounds: TileBounds) -> Self {
         assert_eq!(coeffs.kx.nx(), bounds.nx, "coefficients/bounds mismatch");
         assert_eq!(coeffs.kx.ny(), bounds.ny, "coefficients/bounds mismatch");
         TileOperator { coeffs, bounds }
+    }
+
+    /// The same operator with its coefficients converted to scalar type
+    /// `T` (rounding if `T` is narrower).
+    pub fn convert<T: Scalar>(&self) -> TileOperator<T> {
+        TileOperator {
+            coeffs: self.coeffs.convert(),
+            bounds: self.bounds,
+        }
     }
 
     /// `w = A·p` over extension `ext`.
     ///
     /// Requires `p` valid (exchanged or interior-complete) to extension
     /// `ext + 1` and field halos of at least `ext + 1`.
-    pub fn apply(&self, p: &Field2D, w: &mut Field2D, ext: usize, trace: &mut SolveTrace) {
+    pub fn apply(&self, p: &Field2<S>, w: &mut Field2<S>, ext: usize, trace: &mut SolveTrace) {
         trace.spmv.record(ext);
         self.apply_inner(p, w, ext, false);
     }
@@ -126,7 +137,7 @@ impl TileOperator {
     /// Fused `w = A·p; return local p·w` over the tile interior — the
     /// paper's Listing 1, including the reduction variable. The caller is
     /// responsible for the global reduction.
-    pub fn apply_fused_dot(&self, p: &Field2D, w: &mut Field2D, trace: &mut SolveTrace) -> f64 {
+    pub fn apply_fused_dot(&self, p: &Field2<S>, w: &mut Field2<S>, trace: &mut SolveTrace) -> S {
         trace.spmv.record(0);
         self.apply_inner(p, w, 0, true)
     }
@@ -134,7 +145,7 @@ impl TileOperator {
     /// Writes the operator diagonal
     /// `1 + (Ky(j,k+1)+Ky(j,k)) + (Kx(j+1,k)+Kx(j,k))` into `d` over
     /// extension `ext`.
-    pub fn diagonal_into(&self, d: &mut Field2D, ext: usize) {
+    pub fn diagonal_into(&self, d: &mut Field2<S>, ext: usize) {
         let (x_lo, x_hi, y_lo, y_hi) = self.bounds.range(ext);
         let n = (x_hi - x_lo) as usize;
         let kx = &self.coeffs.kx;
@@ -145,7 +156,7 @@ impl TileOperator {
             let kyn = ky.row(k + 1, x_lo, x_hi);
             let dr = d.row_mut(k, x_lo, x_hi);
             for i in 0..n {
-                dr[i] = 1.0 + (kyn[i] + kyc[i]) + (kxr[i + 1] + kxr[i]);
+                dr[i] = S::ONE + (kyn[i] + kyc[i]) + (kxr[i + 1] + kxr[i]);
             }
         }
     }
@@ -155,9 +166,9 @@ impl TileOperator {
     /// to `ext`.
     pub fn residual(
         &self,
-        u: &Field2D,
-        b: &Field2D,
-        r: &mut Field2D,
+        u: &Field2<S>,
+        b: &Field2<S>,
+        r: &mut Field2<S>,
         ext: usize,
         trace: &mut SolveTrace,
     ) {
@@ -175,7 +186,7 @@ impl TileOperator {
             let kyc = ky.row(k, x_lo, x_hi);
             let kyn = ky.row(k + 1, x_lo, x_hi);
             for i in 0..n {
-                let ap = (1.0 + (kyn[i] + kyc[i]) + (kxr[i + 1] + kxr[i])) * pc[i + 1]
+                let ap = (S::ONE + (kyn[i] + kyc[i]) + (kxr[i + 1] + kxr[i])) * pc[i + 1]
                     - (kyn[i] * pn[i] + kyc[i] * ps[i])
                     - (kxr[i + 1] * pc[i + 2] + kxr[i] * pc[i]);
                 rr[i] = br[i] - ap;
@@ -183,7 +194,7 @@ impl TileOperator {
         });
     }
 
-    fn apply_inner(&self, p: &Field2D, w: &mut Field2D, ext: usize, fused_dot: bool) -> f64 {
+    fn apply_inner(&self, p: &Field2<S>, w: &mut Field2<S>, ext: usize, fused_dot: bool) -> S {
         let (x_lo, x_hi, _, _) = self.bounds.range(ext);
         let n = (x_hi - x_lo) as usize;
         let kx = &self.coeffs.kx;
@@ -192,16 +203,16 @@ impl TileOperator {
             p.halo() as isize > ext as isize,
             "p halo too shallow for extension {ext}"
         );
-        let row_body = |k: isize, wr: &mut [f64]| -> f64 {
+        let row_body = |k: isize, wr: &mut [S]| -> S {
             let pc = p.row(k, x_lo - 1, x_hi + 1);
             let ps = p.row(k - 1, x_lo, x_hi);
             let pn = p.row(k + 1, x_lo, x_hi);
             let kxr = kx.row(k, x_lo, x_hi + 1);
             let kyc = ky.row(k, x_lo, x_hi);
             let kyn = ky.row(k + 1, x_lo, x_hi);
-            let mut partial = 0.0;
+            let mut partial = S::ZERO;
             for i in 0..n {
-                let v = (1.0 + (kyn[i] + kyc[i]) + (kxr[i + 1] + kxr[i])) * pc[i + 1]
+                let v = (S::ONE + (kyn[i] + kyc[i]) + (kxr[i + 1] + kxr[i])) * pc[i + 1]
                     - (kyn[i] * pn[i] + kyc[i] * ps[i])
                     - (kxr[i + 1] * pc[i + 2] + kxr[i] * pc[i]);
                 wr[i] = v;
@@ -216,7 +227,7 @@ impl TileOperator {
             crate::vector::for_rows(w, &self.bounds, ext, |k, wr| {
                 row_body(k, wr);
             });
-            0.0
+            S::ZERO
         }
     }
 }
@@ -225,7 +236,7 @@ impl TileOperator {
 mod tests {
     use super::*;
     use tea_mesh::{
-        crooked_pipe, timestep_scalings, Coefficient, Decomposition2D, Extent2D, Mesh2D,
+        crooked_pipe, timestep_scalings, Coefficient, Decomposition2D, Extent2D, Field2D, Mesh2D,
     };
 
     fn uniform_op(n: usize, halo: usize, kval: f64) -> TileOperator {

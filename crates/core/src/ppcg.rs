@@ -159,27 +159,6 @@ impl IterativeSolver for Ppcg {
     }
 }
 
-/// Solves `A u = b` by CPPCG. `u` enters as the initial guess.
-///
-/// # Panics
-/// Panics if the workspace halo is shallower than `ppcg.halo_depth`, or
-/// if a block-Jacobi `precon` is combined with `halo_depth > 1`.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the `Solve` builder or construct `tea_core::Ppcg` via the `SolverRegistry`"
-)]
-pub fn ppcg_solve<C: Communicator + ?Sized>(
-    tile: &Tile<'_, C>,
-    u: &mut Field2D,
-    b: &Field2D,
-    precon: &Preconditioner,
-    ws: &mut Workspace,
-    opts: SolveOpts,
-    ppcg: PpcgOpts,
-) -> SolveResult {
-    ppcg_solve_impl(tile, u, b, precon, ws, opts, ppcg)
-}
-
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn ppcg_solve_impl<C: Communicator + ?Sized>(
     tile: &Tile<'_, C>,

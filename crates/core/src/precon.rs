@@ -22,7 +22,7 @@
 use crate::ops::{TileBounds, TileOperator};
 use crate::trace::SolveTrace;
 use crate::vector;
-use tea_mesh::Field2D;
+use tea_mesh::{Field2, Scalar};
 
 /// Which preconditioner a solver should use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,53 +50,56 @@ impl PreconKind {
 /// Default strip length matching the paper's 4×1 blocks.
 pub const DEFAULT_BLOCK_STRIP: usize = 4;
 
-/// An assembled preconditioner for one tile.
+/// An assembled preconditioner for one tile, generic over the
+/// [`Scalar`] precision. The mixed-precision CG assembles a
+/// `Preconditioner<f32>` from the demoted operator and applies it to
+/// demoted residuals while the outer recurrence stays in `f64`.
 #[derive(Debug, Clone)]
-pub enum Preconditioner {
+pub enum Preconditioner<S: Scalar = f64> {
     /// `z = r`.
     Identity,
     /// `z = r ./ diag(A)`; valid over extended sweeps.
     Diagonal {
         /// Reciprocal operator diagonal over the full halo extent.
-        inv_diag: Field2D,
+        inv_diag: Field2<S>,
     },
     /// Strip-tridiagonal direct solves; interior sweeps only.
-    BlockJacobi(BlockJacobi),
+    BlockJacobi(BlockJacobi<S>),
 }
 
 /// Precomputed Thomas factors for the 4×1-strip block-Jacobi.
 #[derive(Debug, Clone)]
-pub struct BlockJacobi {
+pub struct BlockJacobi<S: Scalar = f64> {
     /// Strip length (paper: 4; ablatable).
     strip: usize,
     /// `c*` factors (normalised superdiagonal) per cell.
-    cp: Field2D,
+    cp: Field2<S>,
     /// Reciprocal pivots per cell.
-    minv: Field2D,
+    minv: Field2<S>,
     /// Within-strip coupling (`-Kx`) reused by the forward sweep:
     /// `sub(j,k) = -kx(j,k)` for cells that are not first in their strip.
-    sub: Field2D,
+    sub: Field2<S>,
 }
 
-impl Preconditioner {
+impl<S: Scalar> Preconditioner<S> {
     /// Assembles the requested preconditioner from the operator.
     ///
     /// `ext_max` is the largest extension a `Diagonal` application may be
     /// asked for (the matrix-powers halo depth); the diagonal is
     /// precomputed over that range.
-    pub fn setup(kind: PreconKind, op: &TileOperator, ext_max: usize) -> Self {
+    pub fn setup(kind: PreconKind, op: &TileOperator<S>, ext_max: usize) -> Self {
         match kind {
             PreconKind::None => Preconditioner::Identity,
             PreconKind::Diagonal => {
                 let (nx, ny) = op.bounds.tile();
                 let halo = op.coeffs.halo();
-                let mut d = Field2D::filled(nx, ny, halo, 1.0);
+                let mut d = Field2::filled(nx, ny, halo, S::ONE);
                 op.diagonal_into(&mut d, ext_max.min(halo));
                 // invert in place over everything we touched
                 let (x_lo, x_hi, y_lo, y_hi) = op.bounds.range(ext_max.min(halo));
                 for k in y_lo..y_hi {
                     for v in d.row_mut(k, x_lo, x_hi) {
-                        *v = 1.0 / *v;
+                        *v = S::ONE / *v;
                     }
                 }
                 Preconditioner::Diagonal { inv_diag: d }
@@ -115,8 +118,8 @@ impl Preconditioner {
     /// which deep-halo sweeps cannot provide.
     pub fn apply(
         &self,
-        r: &Field2D,
-        z: &mut Field2D,
+        r: &Field2<S>,
+        z: &mut Field2<S>,
         bounds: &TileBounds,
         ext: usize,
         trace: &mut SolveTrace,
@@ -151,37 +154,37 @@ impl Preconditioner {
     }
 }
 
-impl BlockJacobi {
+impl<S: Scalar> BlockJacobi<S> {
     /// Precomputes Thomas factors for `strip`-long x strips of `op`.
-    pub fn setup(op: &TileOperator, strip: usize) -> Self {
+    pub fn setup(op: &TileOperator<S>, strip: usize) -> Self {
         assert!(strip >= 1, "strip length must be at least 1");
         let (nx, ny) = op.bounds.tile();
         let halo = op.coeffs.halo();
-        let mut diag = Field2D::new(nx, ny, halo);
+        let mut diag = Field2::new(nx, ny, halo);
         op.diagonal_into(&mut diag, 0);
         let kx = &op.coeffs.kx;
-        let mut cp = Field2D::new(nx, ny, halo);
-        let mut minv = Field2D::new(nx, ny, halo);
-        let mut sub = Field2D::new(nx, ny, halo);
+        let mut cp = Field2::new(nx, ny, halo);
+        let mut minv = Field2::new(nx, ny, halo);
+        let mut sub = Field2::new(nx, ny, halo);
         for k in 0..ny as isize {
             let mut j0 = 0usize;
             while j0 < nx {
                 let j1 = (j0 + strip).min(nx);
                 // factorise the tridiagonal block [j0, j1) on row k:
                 //   b_i = diag(j,k), c_i = a_{i+1} = -kx(j+1,k)
-                let mut prev_cp = 0.0;
+                let mut prev_cp = S::ZERO;
                 for (i, j) in (j0..j1).enumerate() {
                     let j = j as isize;
                     let b = diag.at(j, k);
-                    let a = if i == 0 { 0.0 } else { -kx.at(j, k) };
+                    let a = if i == 0 { S::ZERO } else { -kx.at(j, k) };
                     let denom = b - a * prev_cp;
-                    debug_assert!(denom > 0.0, "block pivot lost positivity");
-                    let m = 1.0 / denom;
+                    debug_assert!(denom > S::ZERO, "block pivot lost positivity");
+                    let m = S::ONE / denom;
                     // superdiagonal toward j+1 (zero on the strip's last cell)
                     let c = if j as usize + 1 < j1 {
                         -kx.at(j + 1, k)
                     } else {
-                        0.0
+                        S::ZERO
                     };
                     let cpv = c * m;
                     cp.set(j, k, cpv);
@@ -213,7 +216,7 @@ impl BlockJacobi {
     /// [`crate::runtime::par_threshold`] each worker solves a disjoint
     /// block of rows in place, with no reduction and therefore trivially
     /// bit-identical results at every thread count.
-    pub fn apply(&self, r: &Field2D, z: &mut Field2D, bounds: &TileBounds) {
+    pub fn apply(&self, r: &Field2<S>, z: &mut Field2<S>, bounds: &TileBounds) {
         let (nx, _) = bounds.tile();
         vector::for_rows(z, bounds, 0, |k, zr| {
             let rr = r.row(k, 0, nx as isize);
@@ -241,7 +244,7 @@ impl BlockJacobi {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tea_mesh::{crooked_pipe, timestep_scalings, Coefficients, Extent2D, Mesh2D};
+    use tea_mesh::{crooked_pipe, timestep_scalings, Coefficients, Extent2D, Field2D, Mesh2D};
 
     fn crooked_op(n: usize, halo: usize) -> TileOperator {
         let p = crooked_pipe(n);

@@ -7,11 +7,12 @@
 //! decks (`tl_solver=<name>`), `tealeaf --solver <name>`,
 //! `tealeaf --list-solvers`, and the [`crate::Solve`] builder.
 
-use crate::api::{IterativeSolver, SolverError, SolverMeta, SolverParams};
+use crate::api::{IterativeSolver, Precision, SolverError, SolverMeta, SolverParams};
 use crate::cg::Cg;
 use crate::cg_fused::CgFused;
 use crate::chebyshev::Chebyshev;
 use crate::jacobi::Jacobi;
+use crate::mixed::{CgF32, MixedCg, MixedPpcg};
 use crate::ppcg::Ppcg;
 use crate::richardson::Richardson;
 
@@ -61,6 +62,7 @@ impl SolverRegistry {
                 needs_eigen_estimate: false,
                 deep_halo: false,
                 serial_only: false,
+                precision: Precision::F64,
             },
             |p| Box::new(Jacobi::from_params(p)),
         );
@@ -73,6 +75,7 @@ impl SolverRegistry {
                 needs_eigen_estimate: false,
                 deep_halo: false,
                 serial_only: false,
+                precision: Precision::F64,
             },
             |p| Box::new(Cg::from_params(p)),
         );
@@ -85,6 +88,7 @@ impl SolverRegistry {
                 needs_eigen_estimate: false,
                 deep_halo: false,
                 serial_only: false,
+                precision: Precision::F64,
             },
             |p| Box::new(CgFused::from_params(p)),
         );
@@ -97,6 +101,7 @@ impl SolverRegistry {
                 needs_eigen_estimate: true,
                 deep_halo: false,
                 serial_only: false,
+                precision: Precision::F64,
             },
             |p| Box::new(Chebyshev::from_params(p)),
         );
@@ -109,6 +114,7 @@ impl SolverRegistry {
                 needs_eigen_estimate: true,
                 deep_halo: true,
                 serial_only: false,
+                precision: Precision::F64,
             },
             |p| Box::new(Ppcg::from_params(p)),
         );
@@ -121,8 +127,48 @@ impl SolverRegistry {
                 needs_eigen_estimate: true,
                 deep_halo: false,
                 serial_only: false,
+                precision: Precision::F64,
             },
             |p| Box::new(Richardson::from_params(p)),
+        );
+        reg.register(
+            SolverMeta {
+                name: "mixed_cg",
+                aliases: &["mixed", "cg_mixed"],
+                summary: "CG with f64 recurrence and the preconditioner applied in f32",
+                preconditioned: true,
+                needs_eigen_estimate: false,
+                deep_halo: false,
+                serial_only: false,
+                precision: Precision::Mixed,
+            },
+            |p| Box::new(MixedCg::from_params(p)),
+        );
+        reg.register(
+            SolverMeta {
+                name: "mixed_ppcg",
+                aliases: &["ppcg_mixed"],
+                summary: "CPPCG with the inner Chebyshev smoothing entirely in f32",
+                preconditioned: true,
+                needs_eigen_estimate: true,
+                deep_halo: true,
+                serial_only: false,
+                precision: Precision::Mixed,
+            },
+            |p| Box::new(MixedPpcg::from_params(p)),
+        );
+        reg.register(
+            SolverMeta {
+                name: "cg_f32",
+                aliases: &["f32_cg"],
+                summary: "fully single-precision CG (accuracy limited by f32 round-off)",
+                preconditioned: true,
+                needs_eigen_estimate: false,
+                deep_halo: false,
+                serial_only: false,
+                precision: Precision::F32,
+            },
+            |p| Box::new(CgF32::from_params(p)),
         );
         reg
     }
@@ -196,7 +242,10 @@ mod tests {
                 "cg_fused",
                 "chebyshev",
                 "ppcg",
-                "richardson"
+                "richardson",
+                "mixed_cg",
+                "mixed_ppcg",
+                "cg_f32"
             ]
         );
     }
@@ -246,6 +295,7 @@ mod tests {
                 needs_eigen_estimate: false,
                 deep_halo: false,
                 serial_only: false,
+                precision: Precision::F64,
             },
             |p| Box::new(Jacobi::from_params(p)),
         );

@@ -5,13 +5,15 @@
 //! inner loop updates vectors over the same shrinking bounds as its
 //! stencil applications). All are rayon-parallel above
 //! [`crate::runtime::par_threshold`] with deterministic row-ordered
-//! reductions.
+//! reductions, and generic over the [`Scalar`] precision (f64 call
+//! sites read exactly as before; the mixed-precision solvers
+//! instantiate the same code at `f32`).
 
 use crate::ops::TileBounds;
 use crate::runtime::par_threshold;
 use crate::trace::SolveTrace;
 use rayon::prelude::*;
-use tea_mesh::Field2D;
+use tea_mesh::{Field2, Scalar};
 
 /// Applies `body` to every row of `out` in the `bounds.range(ext)` sweep,
 /// in parallel when large. `body(k, row)` gets the row index and the
@@ -23,11 +25,11 @@ use tea_mesh::Field2D;
 /// residual, the block-Jacobi solve) routes through it or its fused
 /// sibling [`for_rows_sum`]. The 3D operator keeps its own copy only
 /// because `Field3D`'s two-level row decode does not fit this shape.
-pub(crate) fn for_rows(
-    out: &mut Field2D,
+pub(crate) fn for_rows<S: Scalar>(
+    out: &mut Field2<S>,
     bounds: &TileBounds,
     ext: usize,
-    body: impl Fn(isize, &mut [f64]) + Sync,
+    body: impl Fn(isize, &mut [S]) + Sync,
 ) {
     let (x_lo, x_hi, y_lo, y_hi) = bounds.range(ext);
     let n = (x_hi - x_lo) as usize;
@@ -54,13 +56,13 @@ pub(crate) fn for_rows(
 /// [`for_rows`] with a fused per-row reduction: `body` returns a row
 /// partial, and the partials are folded in row order on the calling
 /// thread (one preallocated slot vector, bit-identical for every thread
-/// count — padded rows outside the sweep contribute exactly `0.0`).
-pub(crate) fn for_rows_sum(
-    out: &mut Field2D,
+/// count — padded rows outside the sweep contribute exactly zero).
+pub(crate) fn for_rows_sum<S: Scalar>(
+    out: &mut Field2<S>,
     bounds: &TileBounds,
     ext: usize,
-    body: impl Fn(isize, &mut [f64]) -> f64 + Sync,
-) -> f64 {
+    body: impl Fn(isize, &mut [S]) -> S + Sync,
+) -> S {
     let (x_lo, x_hi, y_lo, y_hi) = bounds.range(ext);
     let n = (x_hi - x_lo) as usize;
     if bounds.cells(ext) >= par_threshold() {
@@ -68,7 +70,7 @@ pub(crate) fn for_rows_sum(
         let h = out.halo() as isize;
         let x0 = (x_lo + h) as usize;
         let nrows = out.raw().len() / stride;
-        let mut partials = vec![0.0f64; nrows];
+        let mut partials = vec![S::ZERO; nrows];
         out.raw_mut()
             .par_chunks_mut(stride)
             .zip(partials.par_iter_mut())
@@ -79,9 +81,9 @@ pub(crate) fn for_rows_sum(
                     *slot = body(k, &mut chunk[x0..x0 + n]);
                 }
             });
-        partials.iter().sum()
+        partials.iter().fold(S::ZERO, |acc, &p| acc + p)
     } else {
-        let mut acc = 0.0;
+        let mut acc = S::ZERO;
         for k in y_lo..y_hi {
             acc += body(k, out.row_mut(k, x_lo, x_hi));
         }
@@ -94,28 +96,32 @@ pub(crate) fn for_rows_sum(
 /// ordered partials, filled in place through an indexed `par_iter_mut`
 /// (no intermediate collect) — and folds it left to right, so the
 /// result is bit-identical to the serial path for every thread count.
-fn sum_rows(
+fn sum_rows<S: Scalar>(
     bounds: &TileBounds,
     ext: usize,
-    body: impl Fn(isize, isize, isize) -> f64 + Sync,
-) -> f64 {
+    body: impl Fn(isize, isize, isize) -> S + Sync,
+) -> S {
     let (x_lo, x_hi, y_lo, y_hi) = bounds.range(ext);
     if bounds.cells(ext) >= par_threshold() {
-        let mut partials = vec![0.0f64; (y_hi - y_lo) as usize];
+        let mut partials = vec![S::ZERO; (y_hi - y_lo) as usize];
         partials
             .par_iter_mut()
             .enumerate()
             .for_each(|(idx, slot)| *slot = body(y_lo + idx as isize, x_lo, x_hi));
-        partials.iter().sum()
+        partials.iter().fold(S::ZERO, |acc, &p| acc + p)
     } else {
-        (y_lo..y_hi).map(|k| body(k, x_lo, x_hi)).sum()
+        let mut acc = S::ZERO;
+        for k in y_lo..y_hi {
+            acc += body(k, x_lo, x_hi);
+        }
+        acc
     }
 }
 
 /// `dst = src` over the sweep range.
-pub fn copy(
-    dst: &mut Field2D,
-    src: &Field2D,
+pub fn copy<S: Scalar>(
+    dst: &mut Field2<S>,
+    src: &Field2<S>,
     bounds: &TileBounds,
     ext: usize,
     trace: &mut SolveTrace,
@@ -128,10 +134,10 @@ pub fn copy(
 }
 
 /// `y += a * x` over the sweep range.
-pub fn axpy(
-    y: &mut Field2D,
-    a: f64,
-    x: &Field2D,
+pub fn axpy<S: Scalar>(
+    y: &mut Field2<S>,
+    a: S,
+    x: &Field2<S>,
     bounds: &TileBounds,
     ext: usize,
     trace: &mut SolveTrace,
@@ -148,10 +154,10 @@ pub fn axpy(
 
 /// `y = x + a * y` (TeaLeaf's `p = z + beta p` update) over the sweep
 /// range.
-pub fn xpay(
-    y: &mut Field2D,
-    x: &Field2D,
-    a: f64,
+pub fn xpay<S: Scalar>(
+    y: &mut Field2<S>,
+    x: &Field2<S>,
+    a: S,
     bounds: &TileBounds,
     ext: usize,
     trace: &mut SolveTrace,
@@ -167,11 +173,11 @@ pub fn xpay(
 }
 
 /// `y = a*y + b*x` (the Chebyshev `sd` recurrence) over the sweep range.
-pub fn scale_add(
-    y: &mut Field2D,
-    a: f64,
-    b: f64,
-    x: &Field2D,
+pub fn scale_add<S: Scalar>(
+    y: &mut Field2<S>,
+    a: S,
+    b: S,
+    x: &Field2<S>,
     bounds: &TileBounds,
     ext: usize,
     trace: &mut SolveTrace,
@@ -187,10 +193,10 @@ pub fn scale_add(
 }
 
 /// `dst = src * scale` over the sweep range.
-pub fn scaled_copy(
-    dst: &mut Field2D,
-    src: &Field2D,
-    scale: f64,
+pub fn scaled_copy<S: Scalar>(
+    dst: &mut Field2<S>,
+    src: &Field2<S>,
+    scale: S,
     bounds: &TileBounds,
     ext: usize,
     trace: &mut SolveTrace,
@@ -206,10 +212,10 @@ pub fn scaled_copy(
 }
 
 /// `dst = a .* b` elementwise product (diagonal preconditioner apply).
-pub fn mul_into(
-    dst: &mut Field2D,
-    a: &Field2D,
-    b: &Field2D,
+pub fn mul_into<S: Scalar>(
+    dst: &mut Field2<S>,
+    a: &Field2<S>,
+    b: &Field2<S>,
     bounds: &TileBounds,
     ext: usize,
     trace: &mut SolveTrace,
@@ -226,21 +232,31 @@ pub fn mul_into(
 }
 
 /// Zeroes the sweep range.
-pub fn zero(dst: &mut Field2D, bounds: &TileBounds, ext: usize, trace: &mut SolveTrace) {
+pub fn zero<S: Scalar>(
+    dst: &mut Field2<S>,
+    bounds: &TileBounds,
+    ext: usize,
+    trace: &mut SolveTrace,
+) {
     trace.vector_ops.record(ext);
-    for_rows(dst, bounds, ext, |_k, row| row.fill(0.0));
+    for_rows(dst, bounds, ext, |_k, row| row.fill(S::ZERO));
 }
 
 /// Local (un-reduced) dot product over the tile interior. The caller pays
 /// the global reduction.
-pub fn dot_local(a: &Field2D, b: &Field2D, bounds: &TileBounds, trace: &mut SolveTrace) -> f64 {
+pub fn dot_local<S: Scalar>(
+    a: &Field2<S>,
+    b: &Field2<S>,
+    bounds: &TileBounds,
+    trace: &mut SolveTrace,
+) -> S {
     trace.dot_kernels.record(0);
     sum_rows(bounds, 0, |k, x_lo, x_hi| {
         let ar = a.row(k, x_lo, x_hi);
         let br = b.row(k, x_lo, x_hi);
-        let mut acc = 0.0;
+        let mut acc = S::ZERO;
         for (x, y) in ar.iter().zip(br) {
-            acc += x * y;
+            acc += *x * *y;
         }
         acc
     })
@@ -248,19 +264,19 @@ pub fn dot_local(a: &Field2D, b: &Field2D, bounds: &TileBounds, trace: &mut Solv
 
 /// Local sum of absolute differences `Σ|a - b|` over the interior
 /// (Jacobi's convergence metric).
-pub fn abs_diff_local(
-    a: &Field2D,
-    b: &Field2D,
+pub fn abs_diff_local<S: Scalar>(
+    a: &Field2<S>,
+    b: &Field2<S>,
     bounds: &TileBounds,
     trace: &mut SolveTrace,
-) -> f64 {
+) -> S {
     trace.dot_kernels.record(0);
     sum_rows(bounds, 0, |k, x_lo, x_hi| {
         let ar = a.row(k, x_lo, x_hi);
         let br = b.row(k, x_lo, x_hi);
-        let mut acc = 0.0;
+        let mut acc = S::ZERO;
         for (x, y) in ar.iter().zip(br) {
-            acc += (x - y).abs();
+            acc += (*x - *y).abs();
         }
         acc
     })
@@ -269,6 +285,7 @@ pub fn abs_diff_local(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tea_mesh::{Field2D, Field2F};
 
     fn f(n: usize, halo: usize, g: impl Fn(isize, isize) -> f64) -> Field2D {
         let mut x = Field2D::new(n, n, halo);
@@ -366,5 +383,27 @@ mod tests {
         }
         // against the serial Field2D reference
         assert!((d1 - x.interior_dot(&y)).abs() <= 1e-9 * d1.abs().max(1.0));
+    }
+
+    #[test]
+    fn f32_kernels_match_f64_on_dyadic_data() {
+        // dyadic rationals are exact in both formats, so the same sweep
+        // must produce bitwise-equal values after conversion
+        let b = TileBounds::serial(8, 8);
+        let mut t = SolveTrace::new("t");
+        let x = f(8, 1, |j, k| ((j - k) as f64) * 0.25);
+        let mut y = f(8, 1, |j, k| ((j + k) as f64) * 0.5);
+        let x32: Field2F = x.convert();
+        let mut y32: Field2F = y.convert();
+        axpy(&mut y, 2.0, &x, &b, 0, &mut t);
+        axpy(&mut y32, 2.0f32, &x32, &b, 0, &mut t);
+        for k in 0..8isize {
+            for j in 0..8isize {
+                assert_eq!(y32.at(j, k) as f64, y.at(j, k), "({j},{k})");
+            }
+        }
+        let d64 = dot_local(&x, &y, &b, &mut t);
+        let d32 = dot_local(&x32, &y32, &b, &mut t);
+        assert!((d32 as f64 - d64).abs() <= 1e-3 * d64.abs().max(1.0));
     }
 }

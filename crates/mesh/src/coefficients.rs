@@ -21,23 +21,26 @@
 //! `u_ghost = u_in`), but it makes the operator's SPD structure explicit
 //! and spares every solver iteration a boundary-reflection pass.
 
-use crate::field::Field2D;
+use crate::field::{Field2, Field2D};
 use crate::geometry::Coefficient;
 use crate::mesh::Mesh2D;
+use crate::scalar::Scalar;
 
 /// The assembled, pre-scaled face-coefficient fields for one tile.
 ///
 /// Both fields carry the same halo depth as requested at assembly so the
 /// matrix-powers kernel can evaluate the stencil inside the halo region.
+/// Assembly always happens in `f64`; reduced-precision operators are
+/// derived by [`Coefficients::convert`].
 #[derive(Debug, Clone, PartialEq)]
-pub struct Coefficients {
+pub struct Coefficients<S: Scalar = f64> {
     /// X-face coefficients, pre-multiplied by `rx`.
-    pub kx: Field2D,
+    pub kx: Field2<S>,
     /// Y-face coefficients, pre-multiplied by `ry`.
-    pub ky: Field2D,
+    pub ky: Field2<S>,
 }
 
-impl Coefficients {
+impl Coefficients<f64> {
     /// Assembles coefficients for `mesh` from cell densities.
     ///
     /// `density` must carry at least `halo` ghost layers, already filled
@@ -104,10 +107,22 @@ impl Coefficients {
         }
         Coefficients { kx, ky }
     }
+}
 
+impl<S: Scalar> Coefficients<S> {
     /// Halo depth the coefficient fields were assembled with.
     pub fn halo(&self) -> usize {
         self.kx.halo()
+    }
+
+    /// Converts both coefficient fields to scalar type `T` (rounding for
+    /// narrower formats) — how the mixed-precision solvers derive their
+    /// `f32` operator from the assembled `f64` one.
+    pub fn convert<T: Scalar>(&self) -> Coefficients<T> {
+        Coefficients {
+            kx: self.kx.convert(),
+            ky: self.ky.convert(),
+        }
     }
 }
 

@@ -37,12 +37,13 @@ pub mod geometry;
 pub mod geometry3d;
 pub mod mesh;
 pub mod mesh3d;
+pub mod scalar;
 
 pub use coefficients::{timestep_scalings, Coefficients};
 pub use decomp::{
     choose_process_grid, factor_pairs, split_extent, Decomposition2D, Dir, Subdomain,
 };
-pub use field::Field2D;
+pub use field::{Field2, Field2D, Field2F};
 pub use field3d::Field3D;
 pub use geometry::{
     crooked_pipe, crooked_pipe_rect, hot_square, Coefficient, Problem, Shape, State,
@@ -50,3 +51,4 @@ pub use geometry::{
 pub use geometry3d::{crooked_pipe_3d, hot_ball, Problem3D, Shape3D, State3D};
 pub use mesh::{Extent2D, Mesh2D};
 pub use mesh3d::{Coefficients3D, Extent3D, Mesh3D};
+pub use scalar::Scalar;

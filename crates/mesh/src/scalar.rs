@@ -1,0 +1,155 @@
+//! The [`Scalar`] abstraction: the arithmetic precision of a field.
+//!
+//! TeaLeaf's kernels are memory-bandwidth bound, so arithmetic precision
+//! is a first-class design-space axis: an `f32` sweep moves half the
+//! bytes of an `f64` sweep. Every hot kernel (fields, vector ops, the
+//! matrix-free operator, the preconditioners) is generic over this
+//! trait, with `f64` as the default so existing call sites read
+//! unchanged. The mixed-precision solvers in `tea-core::mixed` combine
+//! both: `f32` preconditioning inside an `f64` outer recurrence.
+
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A floating-point scalar a field or kernel can be instantiated over.
+///
+/// Implemented for `f64` (the default everywhere) and `f32` (the
+/// reduced-precision leg of the design space). The surface is exactly
+/// what the kernels use: constants, conversions through `f64`, and the
+/// handful of `std` float methods the solvers call.
+pub trait Scalar:
+    Copy
+    + Clone
+    + Debug
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Short type name for labels and JSON (`"f64"` / `"f32"`).
+    const NAME: &'static str;
+    /// Machine epsilon of the format.
+    const EPSILON_: f64;
+
+    /// Converts from `f64` (rounding for narrower formats).
+    fn from_f64(v: f64) -> Self;
+    /// Widens to `f64` (exact for both implementors).
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// IEEE maximum of two values.
+    fn max(self, other: Self) -> Self;
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const NAME: &'static str = "f64";
+    const EPSILON_: f64 = f64::EPSILON;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f64::max(self, other)
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const NAME: &'static str = "f32";
+    const EPSILON_: f64 = f32::EPSILON as f64;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f32::max(self, other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<S: Scalar>(v: f64) -> f64 {
+        S::from_f64(v).to_f64()
+    }
+
+    #[test]
+    fn constants_and_names() {
+        assert_eq!(f64::ZERO, 0.0);
+        assert_eq!(f32::ONE, 1.0);
+        assert_eq!(f64::NAME, "f64");
+        assert_eq!(f32::NAME, "f32");
+        let (narrow, wide) = (f32::EPSILON_, f64::EPSILON_);
+        assert!(narrow > wide, "f32 must be the coarser format");
+    }
+
+    #[test]
+    fn f64_roundtrip_is_exact() {
+        for v in [0.0, -1.5, 1e300, f64::MIN_POSITIVE] {
+            assert_eq!(roundtrip::<f64>(v), v);
+        }
+    }
+
+    #[test]
+    fn f32_roundtrip_rounds() {
+        assert_eq!(roundtrip::<f32>(0.5), 0.5, "dyadic values survive");
+        let v = 1.0 + 1e-12; // below f32 resolution
+        assert_eq!(roundtrip::<f32>(v), 1.0);
+    }
+
+    #[test]
+    fn float_methods_dispatch() {
+        assert_eq!(Scalar::abs(-2.0f32), 2.0);
+        assert_eq!(Scalar::sqrt(9.0f64), 3.0);
+        assert_eq!(Scalar::max(1.0f32, 2.0), 2.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Golden mixed-vs-f64 equivalence through the full driver.
+//!
+//! The mixed-precision contract: an `f32` preconditioner (or `f32`
+//! PPCG inner smoothing) must not cost accuracy — every step still
+//! converges to the deck's `tl_eps`, and the final temperature field
+//! matches the all-f64 run far beyond `f32` resolution. Two decks
+//! (different mesh sizes, solvers, preconditioners and tolerances)
+//! pin this down end to end, plus the honest counterexample: the
+//! all-`f32` solver must *fail* the same bar.
+
+use tealeaf::app::{crooked_pipe_deck, run_serial, Control, Deck};
+use tealeaf::solvers::{Precision, PreconKind};
+
+fn deck(
+    n: usize,
+    solver: &str,
+    precision: Option<Precision>,
+    precon: PreconKind,
+    depth: usize,
+    eps: f64,
+    steps: u64,
+) -> Deck {
+    let mut deck = crooked_pipe_deck(n, solver);
+    deck.control = Control {
+        solver: solver.into(),
+        precision,
+        precon,
+        ppcg_halo_depth: depth,
+        ppcg_inner_steps: 8,
+        presteps: 12,
+        end_step: steps,
+        summary_frequency: 0,
+        ..Control::default()
+    };
+    deck.control.opts.eps = eps;
+    deck
+}
+
+/// Runs the f64 deck and its mixed twin; asserts per-step convergence
+/// to the same `tl_eps` and final-field agreement beyond f32 precision.
+fn assert_mixed_matches_f64(base: Deck) {
+    let mut mixed = base.clone();
+    mixed.control.precision = Some(Precision::Mixed);
+    let eps = base.control.opts.eps;
+
+    let out64 = run_serial(&base);
+    let outmx = run_serial(&mixed);
+
+    for (s64, smx) in out64.steps.iter().zip(&outmx.steps) {
+        assert!(s64.converged, "f64 step {} unconverged", s64.step);
+        assert!(smx.converged, "mixed step {} unconverged", smx.step);
+        // both met the same relative target; their final residuals agree
+        // to within that target's scale
+        assert!(
+            smx.final_residual <= eps * smx.initial_residual,
+            "mixed step {}: {} > eps * {}",
+            smx.step,
+            smx.final_residual,
+            smx.initial_residual
+        );
+        assert!(
+            s64.final_residual <= eps * s64.initial_residual,
+            "f64 step {} missed its own tolerance",
+            s64.step
+        );
+    }
+
+    let u64f = out64.final_u.expect("serial run gathers");
+    let umx = outmx.final_u.expect("serial run gathers");
+    let diff = umx.interior_max_rel_diff(&u64f);
+    assert!(
+        diff < 1e-6,
+        "mixed field must match f64 beyond f32 resolution, worst rel diff {diff:e}"
+    );
+}
+
+#[test]
+fn mixed_cg_matches_f64_on_the_crooked_pipe() {
+    assert_mixed_matches_f64(deck(32, "cg", None, PreconKind::BlockJacobi, 1, 1e-10, 3));
+}
+
+#[test]
+fn mixed_ppcg_matches_f64_on_a_deeper_halo_deck() {
+    assert_mixed_matches_f64(deck(24, "ppcg", None, PreconKind::None, 4, 1e-9, 2));
+}
+
+#[test]
+fn f32_leg_fails_the_f64_bar_honestly() {
+    // the same deck at tl_precision=f32 must NOT reach the f64-grade
+    // tolerance — if it ever does, the mixed path has no reason to
+    // exist and the sweep's story is wrong
+    let base = deck(
+        32,
+        "cg",
+        Some(Precision::F32),
+        PreconKind::None,
+        1,
+        1e-10,
+        1,
+    );
+    let out = run_serial(&base);
+    assert!(
+        out.steps.iter().any(|s| !s.converged),
+        "all-f32 CG should stall below tl_eps=1e-10, got {:?}",
+        out.steps
+            .iter()
+            .map(|s| (s.converged, s.final_residual))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn mixed_deck_key_drives_the_whole_pipeline() {
+    // tl_precision in actual deck text → parse → driver → converged run
+    let text = "\
+*tea
+state 1 density=100.0 energy=0.0001
+state 2 density=0.1 energy=25.0 geometry=rectangle xmin=0.0 xmax=3.5 ymin=1.0 ymax=2.0
+x_cells=24
+y_cells=24
+end_step=2
+summary_frequency=0
+tl_solver=cg
+tl_precision=mixed
+tl_preconditioner_type=jac_block
+tl_eps=1e-9
+*endtea
+";
+    let deck = tealeaf::app::parse_deck(text).expect("deck parses");
+    assert_eq!(deck.control.effective_solver().unwrap(), "mixed_cg");
+    let out = run_serial(&deck);
+    assert!(out.steps.iter().all(|s| s.converged), "{:?}", out.steps);
+}

@@ -1,26 +1,26 @@
-//! Golden equivalence suite for the `IterativeSolver` redesign.
+//! Golden equivalence suite for the `IterativeSolver` registry.
 //!
 //! Two guarantees, both **bit-exact**:
 //!
-//! 1. every registry-resolved solver reproduces its pre-redesign
-//!    free-function path — identical residual histories, iteration
-//!    counts, traces and temperature fields — at the solve level and
-//!    through the multi-step driver on several decks;
-//! 2. a registry round-trip (name → factory → solve) matches direct
-//!    struct construction, so trait-object dispatch adds nothing.
+//! 1. every registry-resolved solver (name → factory → trait object)
+//!    behaves identically to direct struct construction with the same
+//!    configuration — identical residual histories, iteration counts,
+//!    traces and temperature fields — at the solve level and through
+//!    the multi-step driver on several decks;
+//! 2. factory parameterisation ([`SolverParams`]) maps onto each
+//!    solver's own options exactly as its constructor does.
 //!
-//! The deprecated free functions are called on purpose here: they *are*
-//! the golden reference until they are removed.
-#![allow(deprecated)]
+//! (The original PR-3 suite compared against the since-removed
+//! `*_solve` free functions; direct construction is the same golden
+//! reference — the structs wrap what those functions were.)
 
 use tealeaf::app::{crooked_pipe_deck, run_serial, Control, Deck};
 use tealeaf::comms::{Communicator, HaloLayout, SerialComm};
 use tealeaf::mesh::{timestep_scalings, Coefficients, Decomposition2D, Field2D, Mesh2D};
 use tealeaf::solvers::{
-    cg_fused_solve, cg_solve, chebyshev_solve, crooked_pipe_system, jacobi_solve, ppcg_solve,
-    ChebyOpts, DynTile, IterativeSolver, PpcgOpts, PreconKind, Preconditioner, Richardson,
-    RichardsonOpts, SolveContext, SolveOpts, SolveResult, SolveTrace, SolverParams, Tile,
-    TileBounds, TileOperator, Workspace,
+    crooked_pipe_system, Cg, CgFused, ChebyOpts, Chebyshev, DynTile, IterativeSolver, Jacobi,
+    MixedCg, Ppcg, PpcgOpts, PreconKind, Richardson, RichardsonOpts, SolveContext, SolveOpts,
+    SolveResult, SolveTrace, SolverParams, Tile, TileBounds, TileOperator, Workspace,
 };
 
 fn field_bits(f: &Field2D) -> Vec<u64> {
@@ -49,24 +49,52 @@ fn assert_results_identical(name: &str, old: &SolveResult, new: &SolveResult) {
     assert_eq!(old.trace, new.trace, "{name}: solve trace differs");
 }
 
-/// Every registry solver vs its pre-redesign free function, one solve,
-/// on two differently-shaped systems (sizes, timestep, preconditioner,
-/// matrix-powers depth).
+/// Builds the directly-constructed twin of each registry entry for the
+/// given parameterisation.
+fn direct_solver(name: &str, precon: PreconKind, depth: usize) -> Box<dyn IterativeSolver> {
+    match name {
+        "jacobi" => Box::new(Jacobi::new()),
+        "cg" => Box::new(Cg::new(precon)),
+        "cg_fused" => Box::new(CgFused::new(precon)),
+        "mixed_cg" => Box::new(MixedCg::new(precon)),
+        "chebyshev" => Box::new(Chebyshev::new(
+            precon,
+            ChebyOpts {
+                presteps: 12,
+                ..Default::default()
+            },
+        )),
+        "ppcg" => Box::new(Ppcg::new(
+            precon,
+            PpcgOpts {
+                inner_steps: 8,
+                halo_depth: depth,
+                presteps: 12,
+                ..Default::default()
+            },
+        )),
+        other => panic!("no direct twin for '{other}'"),
+    }
+}
+
+/// Every comparable registry solver vs its directly-constructed twin,
+/// one solve, on two differently-shaped systems (sizes, timestep,
+/// preconditioner, matrix-powers depth).
 #[test]
-fn registry_solvers_match_free_functions_bitwise() {
+fn registry_solvers_match_direct_construction_bitwise() {
     // (n, dt, precon, ppcg depth)
     let systems = [
         (16usize, 0.04, PreconKind::Diagonal, 2usize),
         (24usize, 0.02, PreconKind::None, 4usize),
     ];
     let opts = SolveOpts::with_eps(1e-9);
+    let names = ["jacobi", "cg", "cg_fused", "mixed_cg", "chebyshev", "ppcg"];
 
     for &(n, dt, precon, depth) in &systems {
         let (op, b) = crooked_pipe_system(n, dt, depth);
         let comm = SerialComm::new();
         let d = Decomposition2D::with_grid(n, n, 1, 1);
         let layout = HaloLayout::new(&d, 0);
-        let tile = Tile::new(&op, &layout, &comm);
         let dyn_tile: DynTile<'_> = Tile::new(&op, &layout, comm.as_dyn());
         let ctx = SolveContext::new(&dyn_tile);
         let registry = tealeaf::app::solver_registry();
@@ -78,74 +106,13 @@ fn registry_solvers_match_free_functions_bitwise() {
             ..SolverParams::default()
         };
 
-        // old free-function paths, exactly as the pre-redesign driver
-        // parameterised them
-        type OldPath<'a> = Box<dyn Fn(&mut Field2D, &mut Workspace) -> SolveResult + 'a>;
-        let old_paths: Vec<(&str, OldPath<'_>)> = vec![
-            (
-                "jacobi",
-                Box::new(|u: &mut Field2D, ws: &mut Workspace| {
-                    jacobi_solve(&tile, u, &b, ws, opts)
-                }),
-            ),
-            (
-                "cg",
-                Box::new(|u: &mut Field2D, ws: &mut Workspace| {
-                    let m = Preconditioner::setup(precon, &op, 0);
-                    cg_solve(&tile, u, &b, &m, ws, opts)
-                }),
-            ),
-            (
-                "cg_fused",
-                Box::new(|u: &mut Field2D, ws: &mut Workspace| {
-                    let m = Preconditioner::setup(precon, &op, 0);
-                    cg_fused_solve(&tile, u, &b, &m, ws, opts)
-                }),
-            ),
-            (
-                "chebyshev",
-                Box::new(|u: &mut Field2D, ws: &mut Workspace| {
-                    let m = Preconditioner::setup(precon, &op, 0);
-                    chebyshev_solve(
-                        &tile,
-                        u,
-                        &b,
-                        &m,
-                        ws,
-                        opts,
-                        ChebyOpts {
-                            presteps: 12,
-                            ..Default::default()
-                        },
-                    )
-                }),
-            ),
-            (
-                "ppcg",
-                Box::new(|u: &mut Field2D, ws: &mut Workspace| {
-                    let m = Preconditioner::setup(precon, &op, depth);
-                    ppcg_solve(
-                        &tile,
-                        u,
-                        &b,
-                        &m,
-                        ws,
-                        opts,
-                        PpcgOpts {
-                            inner_steps: 8,
-                            halo_depth: depth,
-                            presteps: 12,
-                            ..Default::default()
-                        },
-                    )
-                }),
-            ),
-        ];
-
-        for (name, old_path) in &old_paths {
+        for name in names {
             let mut u_old = b.clone();
             let mut ws_old = Workspace::new(n, n, depth);
-            let old = old_path(&mut u_old, &mut ws_old);
+            let mut direct = direct_solver(name, precon, depth);
+            let mut t_old = SolveTrace::new(direct.label());
+            direct.prepare(&ctx, &opts);
+            let old = direct.solve(&ctx, &mut u_old, &b, &mut ws_old, &mut t_old);
 
             let mut u_new = b.clone();
             let mut ws_new = Workspace::new(n, n, depth);
@@ -164,17 +131,18 @@ fn registry_solvers_match_free_functions_bitwise() {
     }
 }
 
-/// The registry-driven driver vs a hand-rolled replica of the
-/// pre-redesign driver loop (free functions, per-solver dispatch) over
+/// The registry-driven driver vs a hand-rolled replica that constructs
+/// each solver struct directly and drives it through the trait over
 /// multiple time steps: per-step residual histories, iteration counts
 /// and the final gathered field must agree bit for bit.
 #[test]
-fn driver_matches_pre_redesign_loop_on_decks() {
-    // three decks spanning the dispatch arms the old driver had
+fn driver_matches_direct_construction_loop_on_decks() {
+    // four decks spanning the dispatch arms, including a mixed one
     let decks: &[(&str, usize, u64, PreconKind, usize)] = &[
         ("cg", 24, 3, PreconKind::BlockJacobi, 1),
         ("ppcg", 32, 2, PreconKind::None, 4),
         ("chebyshev", 16, 2, PreconKind::Diagonal, 1),
+        ("mixed_cg", 24, 2, PreconKind::BlockJacobi, 1),
     ];
 
     for &(solver_name, n, steps, precon, depth) in decks {
@@ -228,7 +196,7 @@ fn driver_matches_pre_redesign_loop_on_decks() {
     }
 }
 
-/// One replica step record of the pre-redesign driver.
+/// One replica step record of the direct-construction driver.
 struct ReplicaStep {
     iterations: u64,
     converged: bool,
@@ -237,8 +205,8 @@ struct ReplicaStep {
     final_u: Field2D,
 }
 
-/// The pre-redesign driver loop, verbatim: assemble per step, dispatch
-/// on the solver name to the deprecated free functions, fold back.
+/// The driver loop with hand-constructed solver structs: assemble per
+/// step, prepare, solve through the trait, fold back.
 fn replica_driver(deck: &Deck) -> Vec<ReplicaStep> {
     let problem = &deck.problem;
     let control = &deck.control;
@@ -247,11 +215,12 @@ fn replica_driver(deck: &Deck) -> Vec<ReplicaStep> {
     let comm = SerialComm::new();
     let mesh = Mesh2D::new(&decomp, 0, problem.extent);
     let layout = HaloLayout::new(&decomp, 0);
-    let halo = if control.solver == "ppcg" {
-        control.ppcg_halo_depth.max(1)
-    } else {
-        1
-    };
+    let mut solver = direct_solver(
+        &control.solver,
+        control.precon,
+        control.ppcg_halo_depth.max(1),
+    );
+    let halo = solver.halo_depth().max(1);
     let (nx, ny) = (mesh.nx(), mesh.ny());
 
     let mut density = Field2D::new(nx, ny, halo);
@@ -264,11 +233,13 @@ fn replica_driver(deck: &Deck) -> Vec<ReplicaStep> {
     let mut b = Field2D::new(nx, ny, halo);
     let mut ws = Workspace::new(nx, ny, halo);
     let mut out = Vec::new();
+    let mut trace = SolveTrace::new(solver.label());
 
     for _step in 1..=control.steps() {
         let coeffs = Coefficients::assemble(&mesh, &density, problem.coefficient, rx, ry, halo);
         let op = TileOperator::new(coeffs, bounds);
-        let tile = Tile::new(&op, &layout, &comm);
+        let dyn_tile: DynTile<'_> = Tile::new(&op, &layout, comm.as_dyn());
+        let ctx = SolveContext::new(&dyn_tile);
         for k in 0..ny as isize {
             let dr = density.row(k, 0, nx as isize);
             let er = energy.row(k, 0, nx as isize);
@@ -279,45 +250,8 @@ fn replica_driver(deck: &Deck) -> Vec<ReplicaStep> {
         }
         u.copy_interior_from(&b);
 
-        let result = match control.solver.as_str() {
-            "cg" => {
-                let m = Preconditioner::setup(control.precon, &op, 0);
-                cg_solve(&tile, &mut u, &b, &m, &mut ws, control.opts)
-            }
-            "chebyshev" => {
-                let m = Preconditioner::setup(control.precon, &op, 0);
-                chebyshev_solve(
-                    &tile,
-                    &mut u,
-                    &b,
-                    &m,
-                    &mut ws,
-                    control.opts,
-                    ChebyOpts {
-                        presteps: control.presteps,
-                        ..Default::default()
-                    },
-                )
-            }
-            "ppcg" => {
-                let m = Preconditioner::setup(control.precon, &op, control.ppcg_halo_depth);
-                ppcg_solve(
-                    &tile,
-                    &mut u,
-                    &b,
-                    &m,
-                    &mut ws,
-                    control.opts,
-                    PpcgOpts {
-                        inner_steps: control.ppcg_inner_steps,
-                        halo_depth: control.ppcg_halo_depth,
-                        presteps: control.presteps,
-                        ..Default::default()
-                    },
-                )
-            }
-            other => panic!("replica driver does not model '{other}'"),
-        };
+        solver.prepare(&ctx, &control.opts);
+        let result = solver.solve(&ctx, &mut u, &b, &mut ws, &mut trace);
 
         for k in 0..ny as isize {
             let ur = u.row(k, 0, nx as isize);
@@ -341,11 +275,12 @@ fn replica_driver(deck: &Deck) -> Vec<ReplicaStep> {
     out
 }
 
-/// The AMG baseline (the one solver needing assembly info) vs its
-/// pre-redesign free function, including the accumulated V-cycle trace.
+/// The AMG baseline (the one solver needing assembly info): registry
+/// construction vs direct `AmgPcg::new`, including the accumulated
+/// V-cycle trace through the type-erased diagnostics hook.
 #[test]
-fn amg_registry_path_matches_free_function_bitwise() {
-    use tealeaf::amg::{amg_pcg_solve, AmgPcgOpts};
+fn amg_registry_path_matches_direct_construction_bitwise() {
+    use tealeaf::amg::{AmgPcg, AmgPcgOpts};
     use tealeaf::solvers::Assembly;
 
     let n = 24;
@@ -368,22 +303,6 @@ fn amg_registry_path_matches_free_function_bitwise() {
     let layout = HaloLayout::new(&d, 0);
     let opts = SolveOpts::with_eps(1e-9);
 
-    let tile = Tile::new(&op, &layout, &comm);
-    let mut u_old = b.clone();
-    let mut ws_old = Workspace::new(n, n, 1);
-    let old = amg_pcg_solve(
-        &tile,
-        &density,
-        problem.coefficient,
-        rx,
-        ry,
-        &mut u_old,
-        &b,
-        &mut ws_old,
-        opts,
-        AmgPcgOpts::default(),
-    );
-
     let dyn_tile: DynTile<'_> = Tile::new(&op, &layout, comm.as_dyn());
     let ctx = SolveContext::with_assembly(
         &dyn_tile,
@@ -394,6 +313,15 @@ fn amg_registry_path_matches_free_function_bitwise() {
             ry,
         },
     );
+
+    let mut direct = AmgPcg::new(AmgPcgOpts::default());
+    let mut u_old = b.clone();
+    let mut ws_old = Workspace::new(n, n, 1);
+    let mut t_old = SolveTrace::new(direct.label());
+    direct.prepare(&ctx, &opts);
+    let old = direct.solve(&ctx, &mut u_old, &b, &mut ws_old, &mut t_old);
+    let old_mg = direct.take_mg_trace().expect("a solve ran");
+
     let mut solver = tealeaf::app::solver_registry()
         .create("boomeramg", &SolverParams::default()) // alias resolves too
         .expect("amg is registered");
@@ -403,7 +331,7 @@ fn amg_registry_path_matches_free_function_bitwise() {
     solver.prepare(&ctx, &opts);
     let new = solver.solve(&ctx, &mut u_new, &b, &mut ws_new, &mut acc);
 
-    assert_results_identical("amg", &old.result, &new);
+    assert_results_identical("amg", &old, &new);
     assert_eq!(field_bits(&u_old), field_bits(&u_new), "amg fields differ");
 
     // the V-cycle trace survives the trait boundary via the
@@ -413,11 +341,8 @@ fn amg_registry_path_matches_free_function_bitwise() {
         .expect("a solve ran")
         .downcast::<tealeaf::amg::MgTrace>()
         .expect("the AMG solver's diagnostics payload is its MgTrace");
-    assert_eq!(mg.vcycles, old.mg_trace.vcycles, "V-cycle counts differ");
-    assert_eq!(
-        mg.setup_cells, old.mg_trace.setup_cells,
-        "setup work differs"
-    );
+    assert_eq!(mg.vcycles, old_mg.vcycles, "V-cycle counts differ");
+    assert_eq!(mg.setup_cells, old_mg.setup_cells, "setup work differs");
 }
 
 /// Registry round-trip (name → solver → solve) vs direct struct
