@@ -272,13 +272,18 @@ fn main() -> ExitCode {
     );
 
     let started = std::time::Instant::now();
-    let output: RankOutput = if args.ranks <= 1 {
-        run_serial(&deck)
+    // per-rank comm counters, summed machine-wide for the summary
+    let (output, halo): (RankOutput, tea_comms::StatsSnapshot) = if args.ranks <= 1 {
+        let out = run_serial(&deck);
+        let halo = out.comm;
+        (out, halo)
     } else {
-        run_threaded_ranks(&deck, args.ranks)
-            .into_iter()
-            .next()
-            .unwrap()
+        let outs = run_threaded_ranks(&deck, args.ranks);
+        let mut halo = tea_comms::StatsSnapshot::default();
+        for o in &outs {
+            halo.merge(&o.comm);
+        }
+        (outs.into_iter().next().unwrap(), halo)
     };
     let elapsed = started.elapsed().as_secs_f64();
 
@@ -311,6 +316,15 @@ fn main() -> ExitCode {
     println!("  inner iterations {}", output.trace.inner_iterations);
     println!("  stencil sweeps   {}", output.trace.spmv.total());
     println!("  halo exchanges   {}", output.trace.total_halo_exchanges());
+    if halo.msgs_sent > 0 {
+        // real per-width accounting: f32 halos cost 4 bytes per element
+        println!(
+            "  halo bytes       {} ({} f64 + {} f32 elems, all ranks)",
+            halo.bytes_sent(),
+            halo.elems_sent_f64,
+            halo.elems_sent_f32,
+        );
+    }
     println!("  reductions       {}", output.trace.reductions);
     println!(
         "  threading        {} worker(s), parallel above {} cells",

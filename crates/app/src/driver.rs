@@ -15,7 +15,9 @@
 use crate::deck::Deck;
 use crate::summary::{field_summary, FieldSummary};
 use tea_amg::MgTrace;
-use tea_comms::{gather_to_root, run_threaded as comm_run, Communicator, HaloLayout, SerialComm};
+use tea_comms::{
+    gather_to_root, run_threaded as comm_run, Communicator, HaloLayout, SerialComm, StatsSnapshot,
+};
 use tea_core::{
     Assembly, DynTile, SolveContext, SolveTrace, Tile, TileBounds, TileOperator, Workspace,
 };
@@ -55,6 +57,10 @@ pub struct RankOutput {
     pub final_u: Option<Field2D>,
     /// Final summary.
     pub final_summary: FieldSummary,
+    /// This rank's communication counters over the whole run, with
+    /// point-to-point volume accounted in real bytes by element width
+    /// (native `f32` halo exchanges count 4 bytes per element).
+    pub comm: StatsSnapshot,
 }
 
 /// Runs the deck on one rank of `decomp`.
@@ -191,6 +197,10 @@ pub fn run_rank<C: Communicator + ?Sized>(
         .and_then(|d| d.downcast::<MgTrace>().ok())
         .map(|t| *t);
 
+    // snapshot the counters before the diagnostic gather below, so the
+    // record reflects the solver protocol's traffic, not output shipping
+    let comm_stats = comm.stats().snapshot();
+
     let final_summary = field_summary(&mesh, &density, &energy, &u, comm);
     let final_u = gather_to_root(
         &{
@@ -209,6 +219,7 @@ pub fn run_rank<C: Communicator + ?Sized>(
         mg_trace,
         final_u,
         final_summary,
+        comm: comm_stats,
     }
 }
 
@@ -347,6 +358,55 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn mixed_ppcg_decomposed_matches_serial() {
+        // end-to-end proof of the native-f32 deep-halo wire: a 4-rank
+        // mixed_ppcg run (inner smoothing halos exchanged as 4-byte
+        // payloads) must reproduce the serial answer to solver accuracy
+        let mut deck = small_deck(32, "mixed_ppcg", 2);
+        deck.control.ppcg_halo_depth = 4;
+        let serial = run_serial(&deck);
+        let ranks = run_threaded_ranks(&deck, 4);
+        assert!(serial.steps.iter().all(|s| s.converged));
+        assert!(ranks[0].steps.iter().all(|s| s.converged));
+        let us = serial.final_u.unwrap();
+        let ut = ranks[0].final_u.as_ref().unwrap();
+        for k in 0..32isize {
+            for j in 0..32isize {
+                let (a, b) = (ut.at(j, k), us.at(j, k));
+                assert!(
+                    (a - b).abs() <= 1e-7 * b.abs().max(1e-10),
+                    "mixed decomposed run differs at ({j},{k}): {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decomposed_runs_record_halo_bytes_by_width() {
+        // pure-f64 solver: every payload element is 8 bytes
+        let deck = small_deck(24, "cg", 1);
+        let ranks = run_threaded_ranks(&deck, 4);
+        for r in &ranks {
+            assert!(r.comm.bytes_sent() > 0, "decomposed ranks must exchange");
+            assert_eq!(r.comm.elems_sent_f32, 0);
+            assert_eq!(r.comm.bytes_sent(), r.comm.elems_sent_f64 * 8);
+        }
+        // mixed PPCG: the inner smoothing halos travel at native f32
+        // width while the outer f64 recurrence still exchanges f64
+        let mut deck = small_deck(24, "mixed_ppcg", 1);
+        deck.control.ppcg_halo_depth = 2;
+        let ranks = run_threaded_ranks(&deck, 4);
+        for r in &ranks {
+            assert!(r.comm.elems_sent_f32 > 0, "inner halos must be f32");
+            assert!(r.comm.elems_sent_f64 > 0, "outer halos stay f64");
+        }
+        // serial runs have no neighbours: zero point-to-point traffic
+        let out = run_serial(&small_deck(16, "cg", 1));
+        assert_eq!(out.comm.msgs_sent, 0);
+        assert_eq!(out.comm.bytes_sent(), 0);
     }
 
     #[test]

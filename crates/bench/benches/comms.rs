@@ -43,7 +43,7 @@ fn bench_halo_exchange(c: &mut Criterion) {
                         let mut fields = [&mut f];
                         exchange_halo_many(&mut fields, &layout, comm, dep);
                     }
-                    comm.stats().snapshot().doubles_sent
+                    comm.stats().snapshot().bytes_sent()
                 })
             })
         });

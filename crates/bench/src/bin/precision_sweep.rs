@@ -17,9 +17,18 @@
 //! to stall at the round-off floor, and that non-convergence is part of
 //! the artefact's story (why mixed precision exists).
 //!
+//! **Halo volume**: each leg additionally runs the same deck decomposed
+//! over `--ranks` simulated ranks and sums the per-rank [`CommStats`]
+//! byte counters — *measured* message bytes, accounted by element width
+//! (4 bytes per `f32` element on the precision-native wire). The
+//! harness asserts the volume story: the all-`f32` leg must move ≤ 0.55
+//! bytes per exchanged element for every byte the `f64` leg moves
+//! (~0.5 expected), and `mixed_ppcg`'s deep-halo inner exchanges must
+//! cut total halo bytes to ≤ 0.75× plain PPCG's on the same deck.
+//!
 //! ```text
 //! cargo run --release -p tea-bench --bin precision_sweep -- \
-//!     --sizes 96,128 --steps 2 --out BENCH_PR4.json
+//!     --sizes 96,128 --steps 2 --out BENCH_PR5.json
 //! ```
 //!
 //! Timing honesty: wall times sum the per-step solve walls only; one
@@ -27,10 +36,13 @@
 //! kept). On a 1-core container the absolute times still rank the
 //! memory-traffic story (f32 sweeps move half the bytes), and the
 //! hardware thread count is recorded so readers can judge.
+//!
+//! [`CommStats`]: tea_comms::CommStats
 
 use std::io::Write as _;
 use std::path::PathBuf;
-use tea_app::{crooked_pipe_deck, run_serial, Deck, RankOutput};
+use tea_app::{crooked_pipe_deck, run_serial, run_threaded_ranks, Deck, RankOutput};
+use tea_comms::StatsSnapshot;
 use tea_core::Precision;
 use tea_mesh::Field2D;
 
@@ -40,6 +52,7 @@ struct Args {
     eps: f64,
     max_iters: u64,
     reps: usize,
+    ranks: usize,
     out: PathBuf,
 }
 
@@ -50,7 +63,8 @@ fn parse_args() -> Args {
         eps: 1e-10,
         max_iters: 10_000,
         reps: 2,
-        out: PathBuf::from("BENCH_PR4.json"),
+        ranks: 4,
+        out: PathBuf::from("BENCH_PR5.json"),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -66,16 +80,18 @@ fn parse_args() -> Args {
             "--eps" => args.eps = value().parse().expect("--eps"),
             "--max-iters" => args.max_iters = value().parse().expect("--max-iters"),
             "--reps" => args.reps = value().parse::<usize>().expect("--reps").max(1),
+            "--ranks" => args.ranks = value().parse::<usize>().expect("--ranks").max(2),
             "--out" => args.out = PathBuf::from(value()),
             "--help" | "-h" => {
                 println!(
-                    "precision_sweep: f64 vs f32 vs mixed solves, JSON artefact\n\
+                    "precision_sweep: f64 vs f32 vs mixed solves + halo volume, JSON artefact\n\
                      --sizes a,b,..  mesh sizes per side (default 96,128)\n\
                      --steps N       time steps per run (default 2)\n\
                      --eps E         solver tolerance, tl_eps (default 1e-10)\n\
                      --max-iters N   per-step iteration cap (default 10000)\n\
                      --reps N        timed runs per leg, min kept (default 2)\n\
-                     --out FILE      JSON artefact path (default BENCH_PR4.json)"
+                     --ranks R       simulated ranks for the halo-volume runs (default 4)\n\
+                     --out FILE      JSON artefact path (default BENCH_PR5.json)"
                 );
                 std::process::exit(0);
             }
@@ -105,9 +121,12 @@ fn deck_for(leg: &Leg, cells: usize, args: &Args) -> Deck {
     if leg.family == "ppcg" {
         deck.control.ppcg_halo_depth = 4;
         deck.control.ppcg_inner_steps = 16;
-        // block-Jacobi cannot ride matrix powers; the deep-halo legs use
-        // the extension-safe diagonal preconditioner instead
-        deck.control.precon = tea_core::PreconKind::Diagonal;
+        // neither Jacobi preconditioner can ride matrix powers on a
+        // decomposed tile (block-Jacobi by §IV.C.2; the diagonal needs a
+        // coefficient layer beyond the matrix-powers depth) — and the
+        // halo-volume runs here are real decomposed runs, so the
+        // deep-halo legs run unpreconditioned like the paper's CPPCG
+        deck.control.precon = tea_core::PreconKind::None;
     }
     deck
 }
@@ -125,6 +144,21 @@ struct Row {
     converged: bool,
     worst_final_rel_residual: f64,
     max_rel_diff_vs_f64: f64,
+    /// All-rank comm counters of the decomposed run; the mean bytes per
+    /// exchanged element ([`StatsSnapshot::mean_bytes_per_elem_sent`],
+    /// 8.0 pure-f64 → 4.0 pure-f32) is the iteration-count-independent
+    /// measure of per-message volume reduction.
+    halo: StatsSnapshot,
+}
+
+/// Runs the deck decomposed and sums the measured per-rank comm bytes.
+fn measure_halo_volume(deck: &Deck, ranks: usize) -> StatsSnapshot {
+    let outs = run_threaded_ranks(deck, ranks);
+    let mut v = StatsSnapshot::default();
+    for o in &outs {
+        v.merge(&o.comm);
+    }
+    v
 }
 
 fn measure(leg: &Leg, cells: usize, args: &Args, reference: Option<&Field2D>) -> (Row, Field2D) {
@@ -140,6 +174,7 @@ fn measure(leg: &Leg, cells: usize, args: &Args, reference: Option<&Field2D>) ->
         run = Some(out);
     }
     let run = run.expect("at least one rep");
+    let halo = measure_halo_volume(&deck, args.ranks);
 
     let converged = run.steps.iter().all(|s| s.converged);
     let worst_rel = run
@@ -177,6 +212,7 @@ fn measure(leg: &Leg, cells: usize, args: &Args, reference: Option<&Field2D>) ->
             converged,
             worst_final_rel_residual: worst_rel,
             max_rel_diff_vs_f64: diff,
+            halo,
         },
         field,
     )
@@ -186,7 +222,7 @@ fn write_json(args: &Args, hw_threads: usize, rows: &[Row]) -> std::io::Result<(
     let mut f = std::fs::File::create(&args.out)?;
     writeln!(f, "{{")?;
     writeln!(f, "  \"bench\": \"precision_sweep\",")?;
-    writeln!(f, "  \"pr\": 4,")?;
+    writeln!(f, "  \"pr\": 5,")?;
     writeln!(f, "  \"workload\": \"crooked_pipe\",")?;
     writeln!(f, "  \"hardware_threads\": {hw_threads},")?;
     writeln!(f, "  \"worker_threads\": {},", tea_core::num_threads())?;
@@ -194,6 +230,7 @@ fn write_json(args: &Args, hw_threads: usize, rows: &[Row]) -> std::io::Result<(
     writeln!(f, "  \"eps\": {:e},", args.eps)?;
     writeln!(f, "  \"max_iters\": {},", args.max_iters)?;
     writeln!(f, "  \"reps\": {},", args.reps)?;
+    writeln!(f, "  \"halo_ranks\": {},", args.ranks)?;
     writeln!(f, "  \"results\": [")?;
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
@@ -212,9 +249,53 @@ fn write_json(args: &Args, hw_threads: usize, rows: &[Row]) -> std::io::Result<(
             r.max_rel_diff_vs_f64,
         )?;
     }
+    writeln!(f, "  ],")?;
+    // measured message bytes of each leg's decomposed run, accounted by
+    // element width on the wire, with the reduction ratios vs the
+    // family's f64 leg on the same deck
+    writeln!(f, "  \"halo_volume\": [")?;
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let reference = rows
+            .iter()
+            .find(|q| q.cells == r.cells && q.precision == "f64" && family(q) == family(r));
+        let (bytes_ratio, per_elem_ratio) = reference
+            .map(|q| {
+                (
+                    r.halo.bytes_sent() as f64 / q.halo.bytes_sent() as f64,
+                    r.halo.mean_bytes_per_elem_sent() / q.halo.mean_bytes_per_elem_sent(),
+                )
+            })
+            .unwrap_or((1.0, 1.0));
+        writeln!(
+            f,
+            "    {{\"solver\": \"{}\", \"precision\": \"{}\", \"cells\": {}, \
+             \"msgs\": {}, \"elems_f64\": {}, \"elems_f32\": {}, \"bytes\": {}, \
+             \"bytes_per_elem\": {:.4}, \"bytes_ratio_vs_f64\": {:.4}, \
+             \"bytes_per_elem_ratio_vs_f64\": {:.4}}}{comma}",
+            r.solver,
+            r.precision,
+            r.cells,
+            r.halo.msgs_sent,
+            r.halo.elems_sent_f64,
+            r.halo.elems_sent_f32,
+            r.halo.bytes_sent(),
+            r.halo.mean_bytes_per_elem_sent(),
+            bytes_ratio,
+            per_elem_ratio,
+        )?;
+    }
     writeln!(f, "  ]")?;
     writeln!(f, "}}")?;
     Ok(())
+}
+
+/// The f64 family a reduced-precision leg compares against.
+fn family(r: &Row) -> &'static str {
+    match r.solver.as_str() {
+        "cg" | "mixed_cg" | "cg_f32" => "cg",
+        _ => "ppcg",
+    }
 }
 
 fn main() {
@@ -259,7 +340,7 @@ fn main() {
 
     let mut rows = Vec::new();
     println!(
-        "{:>12} {:>10} {:>8} {:>10} {:>7} {:>10} {:>12} {:>12}",
+        "{:>12} {:>10} {:>8} {:>10} {:>7} {:>10} {:>12} {:>12} {:>12} {:>8}",
         "solver",
         "precision",
         "cells",
@@ -267,18 +348,22 @@ fn main() {
         "iters",
         "converged",
         "worst resid",
-        "diff vs f64"
+        "diff vs f64",
+        "halo bytes",
+        "B/elem"
     );
     for &cells in &args.sizes {
         let mut reference: Option<Field2D> = None;
+        let mut ref_halo: Option<StatsSnapshot> = None;
         for leg in &legs {
             // each family's f64 run is the reference for its reduced legs
             if leg.precision.is_none() {
                 reference = None;
+                ref_halo = None;
             }
             let (row, field) = measure(leg, cells, &args, reference.as_ref());
             println!(
-                "{:>12} {:>10} {:>8} {:>10.4} {:>7} {:>10} {:>12.3e} {:>12.3e}",
+                "{:>12} {:>10} {:>8} {:>10.4} {:>7} {:>10} {:>12.3e} {:>12.3e} {:>12} {:>8.2}",
                 row.solver,
                 row.precision,
                 row.cells,
@@ -287,9 +372,40 @@ fn main() {
                 row.converged,
                 row.worst_final_rel_residual,
                 row.max_rel_diff_vs_f64,
+                row.halo.bytes_sent(),
+                row.halo.mean_bytes_per_elem_sent(),
             );
+
+            // the measured message-volume story, asserted
+            if let Some(r) = &ref_halo {
+                if leg.precision == Some(Precision::F32) {
+                    // every exchanged element is a halo element of the
+                    // same protocol: f32 wire width must halve the
+                    // per-element cost (0.55 leaves room for the f64
+                    // initial-iterate exchange each step)
+                    let ratio = row.halo.mean_bytes_per_elem_sent() / r.mean_bytes_per_elem_sent();
+                    assert!(
+                        ratio <= 0.55,
+                        "{} at {cells}^2: f32 halos must move ≤ 0.55 bytes per element \
+                         of the f64 leg, measured ratio {ratio:.3}",
+                        row.solver
+                    );
+                }
+                if row.solver == "mixed_ppcg" {
+                    // same iteration protocol as ppcg, inner deep halos
+                    // at f32: total measured bytes must drop
+                    let ratio = row.halo.bytes_sent() as f64 / r.bytes_sent() as f64;
+                    assert!(
+                        ratio <= 0.75,
+                        "mixed_ppcg at {cells}^2: native f32 inner halos must cut total \
+                         halo bytes vs ppcg, measured ratio {ratio:.3}"
+                    );
+                }
+            }
+
             if leg.precision.is_none() {
                 reference = Some(field);
+                ref_halo = Some(row.halo);
             }
             rows.push(row);
         }

@@ -4,21 +4,27 @@
 //! to rank 0, which assembles the global field. The reference TeaLeaf
 //! does the same for its VisIt dumps.
 
+use crate::wire::WireScalar;
 use crate::Communicator;
-use tea_mesh::{Decomposition2D, Field2D};
+use tea_mesh::{Decomposition2D, Field2, Scalar};
 
-const GATHER_TAG: u64 = 0x6A77;
+/// Gather messages tag the element width like halo messages do, so a
+/// root expecting one precision rejects a rank shipping another.
+fn gather_tag(elem_bytes: usize) -> u64 {
+    0x6A77 | ((elem_bytes as u64) << 36)
+}
 
 /// Gathers the interiors of every rank's `field` into a single global
-/// field (halo 0) on rank 0. Other ranks return `None`.
+/// field (halo 0) on rank 0, at the field's native precision. Other
+/// ranks return `None`.
 ///
 /// Must be called collectively. The field extents must match each rank's
 /// subdomain in `decomp`.
-pub fn gather_to_root<C: Communicator + ?Sized>(
-    field: &Field2D,
+pub fn gather_to_root<S: WireScalar, C: Communicator + ?Sized>(
+    field: &Field2<S>,
     decomp: &Decomposition2D,
     comm: &C,
-) -> Option<Field2D> {
+) -> Option<Field2<S>> {
     let sub = decomp.subdomain(comm.rank());
     assert_eq!(field.nx(), sub.nx, "field does not match subdomain");
     assert_eq!(field.ny(), sub.ny, "field does not match subdomain");
@@ -26,11 +32,11 @@ pub fn gather_to_root<C: Communicator + ?Sized>(
     let (gnx, gny) = decomp.global_cells();
     if comm.rank() != 0 {
         let buf = field.pack_rect(0, field.nx() as isize, 0, field.ny() as isize);
-        comm.send(0, GATHER_TAG, buf);
+        comm.send(0, gather_tag(S::BYTES), S::into_payload(buf));
         return None;
     }
 
-    let mut global = Field2D::new(gnx, gny, 0);
+    let mut global = Field2::<S>::new(gnx, gny, 0);
     // own interior
     place(
         &mut global,
@@ -42,14 +48,23 @@ pub fn gather_to_root<C: Communicator + ?Sized>(
     // everyone else in rank order
     for r in 1..comm.size() {
         let s = decomp.subdomain(r);
-        let buf = comm.recv(r, GATHER_TAG);
+        let buf: Vec<S> = comm
+            .recv(r, gather_tag(S::BYTES))
+            .try_into_vec()
+            .unwrap_or_else(|err| panic!("gather decode failed: {err}"));
         assert_eq!(buf.len(), s.nx * s.ny, "gather payload size mismatch");
         place(&mut global, s.offset, buf, s.nx, s.ny);
     }
     Some(global)
 }
 
-fn place(global: &mut Field2D, offset: (usize, usize), buf: Vec<f64>, nx: usize, ny: usize) {
+fn place<S: Scalar>(
+    global: &mut Field2<S>,
+    offset: (usize, usize),
+    buf: Vec<S>,
+    nx: usize,
+    ny: usize,
+) {
     global.unpack_rect(
         &buf,
         offset.0 as isize,
@@ -63,7 +78,7 @@ fn place(global: &mut Field2D, offset: (usize, usize), buf: Vec<f64>, nx: usize,
 mod tests {
     use super::*;
     use crate::{run_threaded, SerialComm};
-    use tea_mesh::{Extent2D, Mesh2D};
+    use tea_mesh::{Extent2D, Field2D, Field2F, Mesh2D};
 
     #[test]
     fn gather_reassembles_global_field() {
@@ -86,6 +101,34 @@ mod tests {
                 assert_eq!(global.at(j, k), (j * 37 + k) as f64);
             }
         }
+    }
+
+    #[test]
+    fn f32_gather_moves_half_width_payloads() {
+        let d = Decomposition2D::with_grid(8, 8, 2, 1);
+        let results = run_threaded(2, |comm| {
+            let mesh = Mesh2D::new(&d, comm.rank(), Extent2D::unit());
+            let mut f = Field2F::new(mesh.nx(), mesh.ny(), 0);
+            let (ox, _) = mesh.subdomain().offset;
+            for k in 0..mesh.ny() as isize {
+                for j in 0..mesh.nx() as isize {
+                    f.set(j, k, (ox as isize + j + k) as f32);
+                }
+            }
+            let g = gather_to_root(&f, &d, comm);
+            (g, comm.stats().snapshot())
+        });
+        let global = results[0].0.as_ref().expect("rank 0 gets the field");
+        for k in 0..8isize {
+            for j in 0..8isize {
+                assert_eq!(global.at(j, k), (j + k) as f32);
+            }
+        }
+        // rank 1 shipped its 4x8 interior as f32: 32 elements, 128 bytes
+        let s1 = results[1].1;
+        assert_eq!(s1.elems_sent_f32, 32);
+        assert_eq!(s1.elems_sent_f64, 0);
+        assert_eq!(s1.bytes_sent(), 128);
     }
 
     #[test]

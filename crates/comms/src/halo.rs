@@ -14,11 +14,21 @@
 //! (TeaLeaf's `fields` mask): fewer, larger messages, the same trade the
 //! paper's communication-avoidance study is about.
 //!
+//! The exchange is generic over the field's [`WireScalar`]: an
+//! `f32` field's strips travel as native 4-byte elements — half the
+//! message volume of `f64`, with no conversion staging on either side.
+//! The message tag encodes direction, depth, field count **and element
+//! width**, so a send/recv pair that disagrees on precision fails
+//! loudly at the tag assertion, and payload decoding double-checks the
+//! width with a structured [`WireError`](crate::WireError) rather than
+//! ever reinterpreting bytes.
+//!
 //! Sends are buffered and non-blocking, so the send-all-then-receive-all
 //! order below cannot deadlock.
 
-use crate::Communicator;
-use tea_mesh::{Decomposition2D, Dir, Field2D};
+use crate::wire::WireScalar;
+use crate::{Communicator, Payload};
+use tea_mesh::{Decomposition2D, Dir, Field2};
 
 /// Per-rank halo-exchange context: which decomposition tile this rank
 /// owns and who its neighbours are.
@@ -72,14 +82,22 @@ fn dir_index(dir: Dir) -> usize {
     }
 }
 
-/// Encodes the protocol tag for one fused exchange message.
-fn tag_for(dir: Dir, depth: usize, nfields: usize) -> u64 {
-    (dir_index(dir) as u64) | ((depth as u64) << 4) | ((nfields as u64) << 20)
+/// Encodes the protocol tag for one fused exchange message: direction,
+/// depth, fused field count, and the element width in bytes. Including
+/// the width means a mismatched-precision send/recv pair trips the
+/// receiver's tag assertion immediately instead of silently accepting a
+/// wrong-width payload.
+fn tag_for(dir: Dir, depth: usize, nfields: usize, elem_bytes: usize) -> u64 {
+    (dir_index(dir) as u64)
+        | ((depth as u64) << 4)
+        | ((nfields as u64) << 20)
+        | ((elem_bytes as u64) << 36)
 }
 
-/// Exchanges depth-`depth` halos of a single field.
-pub fn exchange_halo<C: Communicator + ?Sized>(
-    field: &mut Field2D,
+/// Exchanges depth-`depth` halos of a single field (any [`WireScalar`]
+/// precision; `f32` fields move 4-byte wire elements).
+pub fn exchange_halo<S: WireScalar, C: Communicator + ?Sized>(
+    field: &mut Field2<S>,
     layout: &HaloLayout,
     comm: &C,
     depth: usize,
@@ -96,8 +114,8 @@ pub fn exchange_halo<C: Communicator + ?Sized>(
 /// dimension is smaller than `depth` (a strip would overrun the
 /// neighbour's interior — the same restriction the reference imposes), or
 /// if the fields disagree on interior extent.
-pub fn exchange_halo_many<C: Communicator + ?Sized>(
-    fields: &mut [&mut Field2D],
+pub fn exchange_halo_many<S: WireScalar, C: Communicator + ?Sized>(
+    fields: &mut [&mut Field2<S>],
     layout: &HaloLayout,
     comm: &C,
     depth: usize,
@@ -123,6 +141,8 @@ pub fn exchange_halo_many<C: Communicator + ?Sized>(
     let (nxi, nyi) = (nx as isize, ny as isize);
     let nf = fields.len();
 
+    let tag = |dir: Dir| tag_for(dir, depth, nf, S::BYTES);
+
     // --- X phase: interior-height strips ---
     let west = layout.neighbor(Dir::West);
     let east = layout.neighbor(Dir::East);
@@ -131,23 +151,23 @@ pub fn exchange_halo_many<C: Communicator + ?Sized>(
         for f in fields.iter() {
             buf.extend(f.pack_rect(0, d, 0, nyi));
         }
-        comm.send(w, tag_for(Dir::West, depth, nf), buf);
+        comm.send(w, tag(Dir::West), S::into_payload(buf));
     }
     if let Some(e) = east {
         let mut buf = Vec::new();
         for f in fields.iter() {
             buf.extend(f.pack_rect(nxi - d, nxi, 0, nyi));
         }
-        comm.send(e, tag_for(Dir::East, depth, nf), buf);
+        comm.send(e, tag(Dir::East), S::into_payload(buf));
     }
     if let Some(w) = west {
         // west neighbour sent us its east strip, travelling East
-        let buf = comm.recv(w, tag_for(Dir::East, depth, nf));
-        unpack_many(fields, &buf, -d, 0, 0, nyi);
+        let buf = comm.recv(w, tag(Dir::East));
+        unpack_many(fields, buf, -d, 0, 0, nyi);
     }
     if let Some(e) = east {
-        let buf = comm.recv(e, tag_for(Dir::West, depth, nf));
-        unpack_many(fields, &buf, nxi, nxi + d, 0, nyi);
+        let buf = comm.recv(e, tag(Dir::West));
+        unpack_many(fields, buf, nxi, nxi + d, 0, nyi);
     }
 
     // --- Y phase: extended-width strips carry the corners ---
@@ -158,33 +178,38 @@ pub fn exchange_halo_many<C: Communicator + ?Sized>(
         for f in fields.iter() {
             buf.extend(f.pack_rect(-d, nxi + d, 0, d));
         }
-        comm.send(s, tag_for(Dir::South, depth, nf), buf);
+        comm.send(s, tag(Dir::South), S::into_payload(buf));
     }
     if let Some(n) = north {
         let mut buf = Vec::new();
         for f in fields.iter() {
             buf.extend(f.pack_rect(-d, nxi + d, nyi - d, nyi));
         }
-        comm.send(n, tag_for(Dir::North, depth, nf), buf);
+        comm.send(n, tag(Dir::North), S::into_payload(buf));
     }
     if let Some(s) = south {
-        let buf = comm.recv(s, tag_for(Dir::North, depth, nf));
-        unpack_many(fields, &buf, -d, nxi + d, -d, 0);
+        let buf = comm.recv(s, tag(Dir::North));
+        unpack_many(fields, buf, -d, nxi + d, -d, 0);
     }
     if let Some(n) = north {
-        let buf = comm.recv(n, tag_for(Dir::South, depth, nf));
-        unpack_many(fields, &buf, -d, nxi + d, nyi, nyi + d);
+        let buf = comm.recv(n, tag(Dir::South));
+        unpack_many(fields, buf, -d, nxi + d, nyi, nyi + d);
     }
 }
 
-fn unpack_many(
-    fields: &mut [&mut Field2D],
-    buf: &[f64],
+fn unpack_many<S: WireScalar>(
+    fields: &mut [&mut Field2<S>],
+    payload: Payload,
     x_lo: isize,
     x_hi: isize,
     y_lo: isize,
     y_hi: isize,
 ) {
+    // A width mismatch here means a raw send bypassed the tag protocol;
+    // fail with the structured error, never reinterpret the bytes.
+    let buf: Vec<S> = payload
+        .try_into_vec()
+        .unwrap_or_else(|err| panic!("halo decode failed: {err}"));
     let per_field = ((x_hi - x_lo) * (y_hi - y_lo)) as usize;
     assert_eq!(
         buf.len(),
@@ -206,7 +231,7 @@ fn unpack_many(
 mod tests {
     use super::*;
     use crate::run_threaded;
-    use tea_mesh::{Decomposition2D, Extent2D, Mesh2D};
+    use tea_mesh::{Decomposition2D, Extent2D, Field2D, Field2F, Mesh2D};
 
     /// Fills a tile's interior with a function of global coordinates.
     fn fill_global(field: &mut Field2D, mesh: &Mesh2D, f: impl Fn(isize, isize) -> f64) {
@@ -297,7 +322,7 @@ mod tests {
             comm.stats().snapshot()
         });
         assert_eq!(snaps[0].msgs_sent, d1[0].msgs_sent);
-        assert_eq!(snaps[0].doubles_sent, 2 * d1[0].doubles_sent);
+        assert_eq!(snaps[0].elems_sent_f64, 2 * d1[0].elems_sent_f64);
     }
 
     #[test]
@@ -325,8 +350,91 @@ mod tests {
                 comm.stats().snapshot()
             });
             assert_eq!(snaps[0].msgs_sent, 1);
-            assert_eq!(snaps[0].doubles_sent as usize, depth * 32);
+            assert_eq!(snaps[0].elems_sent_f64 as usize, depth * 32);
         }
+    }
+
+    #[test]
+    fn f32_exchange_is_native_and_half_width() {
+        let d = Decomposition2D::with_grid(16, 16, 2, 2);
+        let f = |gj: isize, gk: isize| (gj * 100 + gk) as f64;
+        let snaps = run_threaded(4, |comm| {
+            let mesh = Mesh2D::new(&d, comm.rank(), Extent2D::unit());
+            let layout = HaloLayout::new(&d, comm.rank());
+            let mut f64field = Field2D::new(mesh.nx(), mesh.ny(), 2);
+            fill_global(&mut f64field, &mesh, f);
+            let mut f32field: Field2F = f64field.convert();
+            exchange_halo(&mut f32field, &layout, comm, 2);
+            // every exchanged ghost must equal the neighbour's interior
+            // value demoted to f32 — the exchange moves values verbatim
+            exchange_halo(&mut f64field, &layout, comm, 2);
+            let demoted: Field2F = f64field.convert();
+            assert_eq!(
+                f32field.raw(),
+                demoted.raw(),
+                "f32 exchange must be bit-identical to demoted f64 exchange"
+            );
+            comm.stats().snapshot()
+        });
+        // same message count and element count per width, 4 bytes/elem
+        assert_eq!(snaps[0].elems_sent_f32, snaps[0].elems_sent_f64);
+        assert_eq!(
+            snaps[0].bytes_sent(),
+            snaps[0].elems_sent_f64 * 8 + snaps[0].elems_sent_f32 * 4
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn mismatched_precision_pair_fails_loudly() {
+        // rank 0 exchanges an f64 field while rank 1 exchanges f32: the
+        // width-encoded tags disagree, so the receiver rejects the
+        // message instead of silently reinterpreting its bytes
+        let d = Decomposition2D::with_grid(8, 8, 2, 1);
+        run_threaded(2, |comm| {
+            let layout = HaloLayout::new(&d, comm.rank());
+            if comm.rank() == 0 {
+                let mut f = Field2D::new(4, 8, 1);
+                exchange_halo(&mut f, &layout, comm, 1);
+            } else {
+                let mut f = Field2F::new(4, 8, 1);
+                exchange_halo(&mut f, &layout, comm, 1);
+            }
+        });
+    }
+
+    #[test]
+    fn wrong_width_payload_is_a_structured_decode_error() {
+        // a raw send that forges the right tag but packs the wrong
+        // element width must fail at decode with the structured
+        // WireError naming both formats, never by reinterpreting bytes
+        let errs = run_threaded(2, |comm| {
+            if comm.rank() == 0 {
+                // forge the tag a depth-1 f64 exchange would use, but
+                // ship f32 elements
+                let tag = tag_for(Dir::West, 1, 1, 8);
+                comm.send(1, tag, vec![0.0f32; 8].into());
+                None
+            } else {
+                let payload = comm.recv(0, tag_for(Dir::West, 1, 1, 8));
+                Some(payload.try_into_vec::<f64>().unwrap_err())
+            }
+        });
+        let err = errs[1].clone().expect("rank 1 decoded");
+        assert_eq!(err.expected, "f64");
+        assert_eq!(err.received, "f32");
+        assert_eq!(err.len, 8);
+        assert!(err.to_string().contains("wire precision mismatch"));
+    }
+
+    #[test]
+    fn tag_encodes_element_width() {
+        let t64 = tag_for(Dir::West, 3, 2, 8);
+        let t32 = tag_for(Dir::West, 3, 2, 4);
+        assert_ne!(t64, t32, "width must separate otherwise-equal tags");
+        // width occupies its own bit field: masking it off recovers the
+        // width-independent part
+        assert_eq!(t64 & ((1 << 36) - 1), t32 & ((1 << 36) - 1));
     }
 
     #[test]

@@ -12,7 +12,16 @@
 //! second phase carries the corner data, exactly as the Fortran
 //! `update_halo` does) and field [`gather`] for diagnostics/output.
 //!
-//! Every operation is counted ([`CommStats`]) so the performance model in
+//! The wire format is **precision-native**: point-to-point messages
+//! carry a typed [`Payload`] of `f64` *or* `f32` elements, and the
+//! collectives are generic over [`WireScalar`], so an `f32` field's
+//! halo travels at 4 bytes per element with no staging conversion. A
+//! mismatched send/recv precision pair fails loudly (the message tag
+//! encodes the element width, and decoding checks it — see
+//! [`WireError`]).
+//!
+//! Every operation is counted ([`CommStats`]), with payload volume
+//! accounted in real bytes by element width, so the performance model in
 //! `tea-perfmodel` can replay a run's exact communication structure on a
 //! modelled machine.
 //!
@@ -33,12 +42,14 @@ pub mod halo;
 pub mod serial;
 pub mod stats;
 pub mod threaded;
+pub mod wire;
 
 pub use gather::gather_to_root;
 pub use halo::{exchange_halo, exchange_halo_many, HaloLayout};
 pub use serial::SerialComm;
 pub use stats::{CommStats, StatsSnapshot};
 pub use threaded::{run_threaded, ThreadedComm};
+pub use wire::{Payload, WireError, WireScalar};
 
 /// A rank's handle onto the simulated machine.
 ///
@@ -73,13 +84,17 @@ pub trait Communicator {
     /// Blocks until every rank reaches the barrier.
     fn barrier(&self);
 
-    /// Non-blocking ordered send of `data` to rank `to`. `tag` must match
-    /// the receiver's expectation; the runtime asserts protocol agreement.
-    fn send(&self, to: usize, tag: u64, data: Vec<f64>);
+    /// Non-blocking ordered send of a typed `data` payload to rank `to`.
+    /// `tag` must match the receiver's expectation; the runtime asserts
+    /// protocol agreement. Raw `Vec<f64>` / `Vec<f32>` buffers convert
+    /// with `.into()`.
+    fn send(&self, to: usize, tag: u64, data: Payload);
 
     /// Receives the next message from rank `from`, asserting it carries
-    /// `tag`. Blocks until the message arrives.
-    fn recv(&self, from: usize, tag: u64) -> Vec<f64>;
+    /// `tag`. Blocks until the message arrives. The payload keeps the
+    /// precision the sender packed; decode with
+    /// [`Payload::try_into_vec`].
+    fn recv(&self, from: usize, tag: u64) -> Payload;
 
     /// Communication counters for this rank.
     fn stats(&self) -> &CommStats;

@@ -6,6 +6,7 @@
 //! reference solutions in tests.
 
 use crate::stats::CommStats;
+use crate::wire::Payload;
 use crate::Communicator;
 
 /// The trivial one-rank communicator.
@@ -51,11 +52,11 @@ impl Communicator for SerialComm {
         self.stats.count_barrier();
     }
 
-    fn send(&self, to: usize, _tag: u64, _data: Vec<f64>) {
+    fn send(&self, to: usize, _tag: u64, _data: Payload) {
         panic!("SerialComm cannot send (to rank {to}): a single tile has no neighbours");
     }
 
-    fn recv(&self, from: usize, _tag: u64) -> Vec<f64> {
+    fn recv(&self, from: usize, _tag: u64) -> Payload {
         panic!("SerialComm cannot recv (from rank {from}): a single tile has no neighbours");
     }
 
@@ -89,7 +90,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn send_panics() {
-        SerialComm::new().send(0, 0, vec![]);
+        SerialComm::new().send(0, 0, Payload::F64(vec![]));
     }
 
     #[test]

@@ -1,10 +1,15 @@
 //! Communication counters.
 //!
 //! Every primitive on a [`crate::Communicator`] bumps these counters.
-//! They serve two purposes: validation (tests assert the matrix-powers
-//! kernel really sends fewer, larger messages) and calibration input for
-//! the `tea-perfmodel` scaling simulator.
+//! Point-to-point payload volume is accounted **by element width**: a
+//! [`crate::Payload`] of `f64` elements counts 8 bytes each, an `f32`
+//! payload 4 — real accounting, not an assumed wire format. They serve
+//! two purposes: validation (tests assert the matrix-powers kernel
+//! really sends fewer, larger messages, and that `f32` halos really
+//! halve the byte volume) and calibration input for the `tea-perfmodel`
+//! scaling simulator.
 
+use crate::wire::Payload;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Monotonic per-rank communication counters (interior mutability so the
@@ -12,9 +17,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[derive(Debug, Default)]
 pub struct CommStats {
     msgs_sent: AtomicU64,
-    doubles_sent: AtomicU64,
+    elems_sent_f64: AtomicU64,
+    elems_sent_f32: AtomicU64,
     msgs_received: AtomicU64,
-    doubles_received: AtomicU64,
+    elems_received_f64: AtomicU64,
+    elems_received_f32: AtomicU64,
     reductions: AtomicU64,
     reduction_elements: AtomicU64,
     barriers: AtomicU64,
@@ -25,12 +32,16 @@ pub struct CommStats {
 pub struct StatsSnapshot {
     /// Point-to-point messages sent.
     pub msgs_sent: u64,
-    /// Total `f64` payload elements sent.
-    pub doubles_sent: u64,
+    /// `f64` payload elements sent (8 wire bytes each).
+    pub elems_sent_f64: u64,
+    /// `f32` payload elements sent (4 wire bytes each).
+    pub elems_sent_f32: u64,
     /// Point-to-point messages received.
     pub msgs_received: u64,
-    /// Total `f64` payload elements received.
-    pub doubles_received: u64,
+    /// `f64` payload elements received.
+    pub elems_received_f64: u64,
+    /// `f32` payload elements received.
+    pub elems_received_f32: u64,
     /// Number of allreduce operations (fused counts once).
     pub reductions: u64,
     /// Total scalar elements reduced.
@@ -40,9 +51,62 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
-    /// Payload bytes sent (8 bytes per `f64`).
+    /// Total payload elements sent, any width.
+    pub fn elems_sent(&self) -> u64 {
+        self.elems_sent_f64 + self.elems_sent_f32
+    }
+
+    /// Total payload elements received, any width.
+    pub fn elems_received(&self) -> u64 {
+        self.elems_received_f64 + self.elems_received_f32
+    }
+
+    /// Payload bytes sent, accounted by element width (8 per `f64`
+    /// element, 4 per `f32`).
     pub fn bytes_sent(&self) -> u64 {
-        self.doubles_sent * 8
+        self.elems_sent_f64 * 8 + self.elems_sent_f32 * 4
+    }
+
+    /// Payload bytes received, accounted by element width.
+    pub fn bytes_received(&self) -> u64 {
+        self.elems_received_f64 * 8 + self.elems_received_f32 * 4
+    }
+
+    /// Mean payload bytes per element sent — 8.0 for pure-`f64` traffic,
+    /// 4.0 for pure-`f32`, in between for mixed runs. `NaN`-free: returns
+    /// 0.0 when nothing was sent.
+    pub fn mean_bytes_per_elem_sent(&self) -> f64 {
+        let elems = self.elems_sent();
+        if elems == 0 {
+            0.0
+        } else {
+            self.bytes_sent() as f64 / elems as f64
+        }
+    }
+
+    /// Adds every counter of `other` into this snapshot — the one way to
+    /// aggregate per-rank snapshots into machine-wide totals.
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        let StatsSnapshot {
+            msgs_sent,
+            elems_sent_f64,
+            elems_sent_f32,
+            msgs_received,
+            elems_received_f64,
+            elems_received_f32,
+            reductions,
+            reduction_elements,
+            barriers,
+        } = other;
+        self.msgs_sent += msgs_sent;
+        self.elems_sent_f64 += elems_sent_f64;
+        self.elems_sent_f32 += elems_sent_f32;
+        self.msgs_received += msgs_received;
+        self.elems_received_f64 += elems_received_f64;
+        self.elems_received_f32 += elems_received_f32;
+        self.reductions += reductions;
+        self.reduction_elements += reduction_elements;
+        self.barriers += barriers;
     }
 }
 
@@ -52,18 +116,26 @@ impl CommStats {
         Self::default()
     }
 
-    /// Records a sent message of `doubles` payload elements.
-    pub fn count_send(&self, doubles: usize) {
+    /// Records a sent message, attributing its elements to the payload's
+    /// width bucket.
+    pub fn count_send(&self, payload: &Payload) {
         self.msgs_sent.fetch_add(1, Ordering::Relaxed);
-        self.doubles_sent
-            .fetch_add(doubles as u64, Ordering::Relaxed);
+        let n = payload.len() as u64;
+        match payload {
+            Payload::F64(_) => self.elems_sent_f64.fetch_add(n, Ordering::Relaxed),
+            Payload::F32(_) => self.elems_sent_f32.fetch_add(n, Ordering::Relaxed),
+        };
     }
 
-    /// Records a received message of `doubles` payload elements.
-    pub fn count_recv(&self, doubles: usize) {
+    /// Records a received message, attributing its elements to the
+    /// payload's width bucket.
+    pub fn count_recv(&self, payload: &Payload) {
         self.msgs_received.fetch_add(1, Ordering::Relaxed);
-        self.doubles_received
-            .fetch_add(doubles as u64, Ordering::Relaxed);
+        let n = payload.len() as u64;
+        match payload {
+            Payload::F64(_) => self.elems_received_f64.fetch_add(n, Ordering::Relaxed),
+            Payload::F32(_) => self.elems_received_f32.fetch_add(n, Ordering::Relaxed),
+        };
     }
 
     /// Records one allreduce of `elements` fused scalars.
@@ -82,9 +154,11 @@ impl CommStats {
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
-            doubles_sent: self.doubles_sent.load(Ordering::Relaxed),
+            elems_sent_f64: self.elems_sent_f64.load(Ordering::Relaxed),
+            elems_sent_f32: self.elems_sent_f32.load(Ordering::Relaxed),
             msgs_received: self.msgs_received.load(Ordering::Relaxed),
-            doubles_received: self.doubles_received.load(Ordering::Relaxed),
+            elems_received_f64: self.elems_received_f64.load(Ordering::Relaxed),
+            elems_received_f32: self.elems_received_f32.load(Ordering::Relaxed),
             reductions: self.reductions.load(Ordering::Relaxed),
             reduction_elements: self.reduction_elements.load(Ordering::Relaxed),
             barriers: self.barriers.load(Ordering::Relaxed),
@@ -94,9 +168,11 @@ impl CommStats {
     /// Resets all counters to zero.
     pub fn reset(&self) {
         self.msgs_sent.store(0, Ordering::Relaxed);
-        self.doubles_sent.store(0, Ordering::Relaxed);
+        self.elems_sent_f64.store(0, Ordering::Relaxed);
+        self.elems_sent_f32.store(0, Ordering::Relaxed);
         self.msgs_received.store(0, Ordering::Relaxed);
-        self.doubles_received.store(0, Ordering::Relaxed);
+        self.elems_received_f64.store(0, Ordering::Relaxed);
+        self.elems_received_f32.store(0, Ordering::Relaxed);
         self.reductions.store(0, Ordering::Relaxed);
         self.reduction_elements.store(0, Ordering::Relaxed);
         self.barriers.store(0, Ordering::Relaxed);
@@ -110,14 +186,15 @@ mod tests {
     #[test]
     fn counters_accumulate_and_reset() {
         let s = CommStats::new();
-        s.count_send(100);
-        s.count_send(50);
-        s.count_recv(100);
+        s.count_send(&Payload::F64(vec![0.0; 100]));
+        s.count_send(&Payload::F64(vec![0.0; 50]));
+        s.count_recv(&Payload::F64(vec![0.0; 100]));
         s.count_reduction(3);
         s.count_barrier();
         let snap = s.snapshot();
         assert_eq!(snap.msgs_sent, 2);
-        assert_eq!(snap.doubles_sent, 150);
+        assert_eq!(snap.elems_sent_f64, 150);
+        assert_eq!(snap.elems_sent(), 150);
         assert_eq!(snap.bytes_sent(), 1200);
         assert_eq!(snap.msgs_received, 1);
         assert_eq!(snap.reductions, 1);
@@ -125,5 +202,45 @@ mod tests {
         assert_eq!(snap.barriers, 1);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let a = CommStats::new();
+        a.count_send(&Payload::F64(vec![0.0; 4]));
+        a.count_recv(&Payload::F32(vec![0.0; 6]));
+        a.count_reduction(2);
+        a.count_barrier();
+        let b = CommStats::new();
+        b.count_send(&Payload::F32(vec![0.0; 10]));
+        b.count_recv(&Payload::F64(vec![0.0; 3]));
+        let mut total = a.snapshot();
+        total.merge(&b.snapshot());
+        assert_eq!(total.msgs_sent, 2);
+        assert_eq!(total.elems_sent_f64, 4);
+        assert_eq!(total.elems_sent_f32, 10);
+        assert_eq!(total.msgs_received, 2);
+        assert_eq!(total.elems_received_f64, 3);
+        assert_eq!(total.elems_received_f32, 6);
+        assert_eq!(total.reductions, 1);
+        assert_eq!(total.reduction_elements, 2);
+        assert_eq!(total.barriers, 1);
+        assert_eq!(total.bytes_sent(), 4 * 8 + 10 * 4);
+    }
+
+    #[test]
+    fn bytes_account_by_element_width() {
+        let s = CommStats::new();
+        s.count_send(&Payload::F64(vec![0.0; 10]));
+        s.count_send(&Payload::F32(vec![0.0; 10]));
+        s.count_recv(&Payload::F32(vec![0.0; 6]));
+        let snap = s.snapshot();
+        assert_eq!(snap.elems_sent_f64, 10);
+        assert_eq!(snap.elems_sent_f32, 10);
+        // 10 doubles + 10 singles: 80 + 40 bytes, not 160
+        assert_eq!(snap.bytes_sent(), 120);
+        assert_eq!(snap.bytes_received(), 24);
+        assert_eq!(snap.mean_bytes_per_elem_sent(), 6.0);
+        assert_eq!(StatsSnapshot::default().mean_bytes_per_elem_sent(), 0.0);
     }
 }

@@ -14,15 +14,16 @@
 //! decomposed runs against serial ones.
 
 use crate::stats::CommStats;
+use crate::wire::Payload;
 use crate::Communicator;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 
-/// One point-to-point message.
+/// One point-to-point message: a typed payload travelling under a tag.
 struct Msg {
     tag: u64,
-    data: Vec<f64>,
+    data: Payload,
 }
 
 /// Reduction / barrier rendezvous state (generation-counted).
@@ -176,16 +177,16 @@ impl Communicator for ThreadedComm {
         self.shared.rendezvous(self.rank, &[], ReduceOp::Barrier);
     }
 
-    fn send(&self, to: usize, tag: u64, data: Vec<f64>) {
+    fn send(&self, to: usize, tag: u64, data: Payload) {
         assert!(to < self.shared.size, "send to rank {to} out of range");
         assert_ne!(to, self.rank, "self-sends are a protocol error");
-        self.stats.count_send(data.len());
+        self.stats.count_send(&data);
         self.shared.senders[self.rank][to]
             .send(Msg { tag, data })
             .expect("receiver rank terminated while messages were in flight");
     }
 
-    fn recv(&self, from: usize, tag: u64) -> Vec<f64> {
+    fn recv(&self, from: usize, tag: u64) -> Payload {
         assert!(
             from < self.shared.size,
             "recv from rank {from} out of range"
@@ -194,11 +195,16 @@ impl Communicator for ThreadedComm {
             .recv()
             .expect("sender rank terminated before sending expected message");
         assert_eq!(
-            msg.tag, tag,
-            "protocol mismatch: rank {} expected tag {tag} from {from}, got {}",
-            self.rank, msg.tag
+            msg.tag,
+            tag,
+            "protocol mismatch: rank {} expected tag {tag} from {from}, got {} \
+             (a {}-element {} payload)",
+            self.rank,
+            msg.tag,
+            msg.data.len(),
+            msg.data.scalar_name()
         );
-        self.stats.count_recv(msg.data.len());
+        self.stats.count_recv(&msg.data);
         msg.data
     }
 
@@ -293,8 +299,8 @@ mod tests {
         let results = run_threaded(4, |c| {
             let next = (c.rank() + 1) % 4;
             let prev = (c.rank() + 3) % 4;
-            c.send(next, 7, vec![c.rank() as f64]);
-            let got = c.recv(prev, 7);
+            c.send(next, 7, vec![c.rank() as f64].into());
+            let got: Vec<f64> = c.recv(prev, 7).try_into_vec().unwrap();
             got[0]
         });
         assert_eq!(results, vec![3.0, 0.0, 1.0, 2.0]);
@@ -305,13 +311,13 @@ mod tests {
         let results = run_threaded(2, |c| {
             if c.rank() == 0 {
                 for i in 0..50 {
-                    c.send(1, i, vec![i as f64]);
+                    c.send(1, i, vec![i as f64].into());
                 }
                 0.0
             } else {
                 let mut last = -1.0;
                 for i in 0..50 {
-                    let d = c.recv(0, i);
+                    let d: Vec<f64> = c.recv(0, i).try_into_vec().unwrap();
                     assert!(d[0] > last);
                     last = d[0];
                 }
@@ -337,17 +343,23 @@ mod tests {
     fn stats_count_messages() {
         let snaps = run_threaded(2, |c| {
             if c.rank() == 0 {
-                c.send(1, 0, vec![1.0, 2.0, 3.0]);
+                c.send(1, 0, vec![1.0f64, 2.0, 3.0].into());
+                c.send(1, 1, vec![1.0f32, 2.0].into());
             } else {
                 let _ = c.recv(0, 0);
+                let _ = c.recv(0, 1);
             }
             c.barrier();
             c.stats().snapshot()
         });
-        assert_eq!(snaps[0].msgs_sent, 1);
-        assert_eq!(snaps[0].doubles_sent, 3);
-        assert_eq!(snaps[1].msgs_received, 1);
-        assert_eq!(snaps[1].doubles_received, 3);
+        assert_eq!(snaps[0].msgs_sent, 2);
+        assert_eq!(snaps[0].elems_sent_f64, 3);
+        assert_eq!(snaps[0].elems_sent_f32, 2);
+        assert_eq!(snaps[0].bytes_sent(), 3 * 8 + 2 * 4);
+        assert_eq!(snaps[1].msgs_received, 2);
+        assert_eq!(snaps[1].elems_received_f64, 3);
+        assert_eq!(snaps[1].elems_received_f32, 2);
+        assert_eq!(snaps[1].bytes_received(), 32);
         assert_eq!(snaps[0].barriers, 1);
     }
 
@@ -356,7 +368,7 @@ mod tests {
     fn tag_mismatch_is_detected() {
         run_threaded(2, |c| {
             if c.rank() == 0 {
-                c.send(1, 1, vec![0.0]);
+                c.send(1, 1, vec![0.0f64].into());
             } else {
                 let _ = c.recv(0, 2);
             }

@@ -1,0 +1,246 @@
+//! Property tests for the comms layer: the halo-exchange protocol and
+//! its byte accounting, over random decompositions, depths, fused field
+//! counts, and both wire scalars.
+//!
+//! The central property is *transport correctness*: after one fused
+//! exchange on fields tagged with a unique function of their global
+//! coordinates (a rank checkerboard — every rank's interior values
+//! differ from every other's), every in-domain halo cell must hold
+//! exactly the owning neighbour's interior value. Checking the full
+//! extended region `[-d, n+d)²` covers the corner cells that only the
+//! two-phase Y sweep can deliver (diagonal neighbours are never
+//! messaged directly).
+//!
+//! The second property pins the wire format: an `f32` exchange is
+//! bit-identical to demoting the fields *after* an `f64` exchange — the
+//! wire moves values verbatim at native width, it never converts.
+//!
+//! The third pins [`CommStats`] byte accounting to the closed form
+//! `2·d·(nx+ny+2d)·nfields·size_of::<S>()` for an interior rank.
+
+use proptest::prelude::*;
+use tea_comms::{exchange_halo_many, run_threaded, Communicator, HaloLayout, SerialComm};
+use tea_mesh::{Decomposition2D, Field2, Field2D, Field2F, Scalar};
+
+/// Unique value for global cell `(gj, gk)` of field `i` — every cell of
+/// every field gets a distinct, exactly-representable value (integers
+/// below 2^22 survive the f32 round trip bit-exactly).
+fn tag(i: usize, gj: isize, gk: isize) -> f64 {
+    (gj * 257 + gk * 3 + i as isize * 65_537) as f64
+}
+
+/// Builds rank `rank`'s fields with interiors tagged by global
+/// coordinates and ghosts zeroed.
+fn tagged_fields<S: Scalar>(
+    decomp: &Decomposition2D,
+    rank: usize,
+    nfields: usize,
+    halo: usize,
+) -> Vec<Field2<S>> {
+    let sub = decomp.subdomain(rank);
+    let (ox, oy) = sub.offset;
+    (0..nfields)
+        .map(|i| {
+            let mut f = Field2::<S>::new(sub.nx, sub.ny, halo);
+            for k in 0..sub.ny as isize {
+                for j in 0..sub.nx as isize {
+                    f.set(j, k, S::from_f64(tag(i, j + ox as isize, k + oy as isize)));
+                }
+            }
+            f
+        })
+        .collect()
+}
+
+/// Asserts every in-domain cell of the extended region — interior plus
+/// depth-`d` halo, corners included — holds the value its owning rank
+/// tagged it with.
+fn check_transport<S: Scalar>(
+    fields: &[Field2<S>],
+    decomp: &Decomposition2D,
+    rank: usize,
+    depth: isize,
+) {
+    let sub = decomp.subdomain(rank);
+    let (gnx, gny) = decomp.global_cells();
+    let (ox, oy) = (sub.offset.0 as isize, sub.offset.1 as isize);
+    for (i, f) in fields.iter().enumerate() {
+        for k in -depth..sub.ny as isize + depth {
+            for j in -depth..sub.nx as isize + depth {
+                let (gj, gk) = (j + ox, k + oy);
+                if gj < 0 || gk < 0 || gj >= gnx as isize || gk >= gny as isize {
+                    continue; // outside the global domain: owned by no rank
+                }
+                assert_eq!(
+                    f.at(j, k).to_f64(),
+                    tag(i, gj, gk),
+                    "field {i} wrong at local ({j},{k}) = global ({gj},{gk}) on rank {rank}"
+                );
+            }
+        }
+    }
+}
+
+/// One fused exchange of `nfields` fields at `depth` on every rank of
+/// `decomp`; checks transport and returns per-rank stats snapshots.
+fn exchange_and_check<S: tea_comms::WireScalar>(
+    decomp: &Decomposition2D,
+    depth: usize,
+    nfields: usize,
+) -> Vec<tea_comms::StatsSnapshot> {
+    run_threaded(decomp.ranks(), |comm| {
+        let layout = HaloLayout::new(decomp, comm.rank());
+        let mut fields = tagged_fields::<S>(decomp, comm.rank(), nfields, depth);
+        let mut refs: Vec<&mut Field2<S>> = fields.iter_mut().collect();
+        exchange_halo_many(&mut refs, &layout, comm, depth);
+        check_transport(&fields, decomp, comm.rank(), depth as isize);
+        comm.stats().snapshot()
+    })
+}
+
+/// The closed-form payload a rank with all four neighbours sends in one
+/// fused depth-`d` exchange: two x strips of `d·ny` plus two extended y
+/// strips of `d·(nx+2d)`, per field.
+fn full_interior_elems(d: usize, nx: usize, ny: usize, nfields: usize) -> u64 {
+    (2 * d * (nx + ny + 2 * d) * nfields) as u64
+}
+
+/// Per-rank expected element count, accounting for missing neighbours on
+/// the domain boundary.
+fn expected_elems(decomp: &Decomposition2D, rank: usize, d: usize, nfields: usize) -> u64 {
+    use tea_mesh::Dir;
+    let sub = decomp.subdomain(rank);
+    let has = |dir| decomp.neighbor(rank, dir).is_some() as usize;
+    let x_strips = (has(Dir::West) + has(Dir::East)) * d * sub.ny;
+    let y_strips = (has(Dir::South) + has(Dir::North)) * d * (sub.nx + 2 * d);
+    ((x_strips + y_strips) * nfields) as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random decomposition × depth 1..=8 × 1..=4 fused fields: the f64
+    /// exchange delivers exactly the neighbours' interior values in
+    /// every halo cell, corners included, and the byte accounting
+    /// matches the per-rank closed form.
+    #[test]
+    fn f64_exchange_transports_and_counts(
+        (px, py) in (1usize..4, 1usize..4),
+        depth in 1usize..9,
+        nfields in 1usize..5,
+        (ex, ey) in (0usize..4, 0usize..4),
+    ) {
+        // tile extents ≥ depth on every rank: exact multiples of the grid
+        let decomp = Decomposition2D::with_grid(px * (depth + ex), py * (depth + ey), px, py);
+        let snaps = exchange_and_check::<f64>(&decomp, depth, nfields);
+        for (rank, s) in snaps.iter().enumerate() {
+            let elems = expected_elems(&decomp, rank, depth, nfields);
+            prop_assert_eq!(s.elems_sent_f64, elems);
+            prop_assert_eq!(s.elems_sent_f32, 0);
+            prop_assert_eq!(s.bytes_sent(), elems * 8);
+        }
+        // conservation: every element sent is received by its neighbour
+        let sent: u64 = snaps.iter().map(|s| s.elems_sent()).sum();
+        let received: u64 = snaps.iter().map(|s| s.elems_received()).sum();
+        prop_assert_eq!(sent, received);
+    }
+
+    /// The same transport property at f32, and the wire-format pin:
+    /// exchanging demoted fields is bit-identical to demoting exchanged
+    /// fields (the wire never converts), at half the byte volume.
+    #[test]
+    fn f32_exchange_matches_demoted_f64_bitwise(
+        (px, py) in (1usize..4, 1usize..4),
+        depth in 1usize..9,
+        nfields in 1usize..5,
+        (ex, ey) in (0usize..4, 0usize..4),
+    ) {
+        let decomp = Decomposition2D::with_grid(px * (depth + ex), py * (depth + ey), px, py);
+        let snaps = run_threaded(decomp.ranks(), |comm| {
+            let layout = HaloLayout::new(&decomp, comm.rank());
+            let mut f64s = tagged_fields::<f64>(&decomp, comm.rank(), nfields, depth);
+            let mut f32s: Vec<Field2F> = f64s.iter().map(|f| f.convert()).collect();
+
+            let mut refs32: Vec<&mut Field2F> = f32s.iter_mut().collect();
+            exchange_halo_many(&mut refs32, &layout, comm, depth);
+            check_transport(&f32s, &decomp, comm.rank(), depth as isize);
+
+            let mut refs64: Vec<&mut Field2D> = f64s.iter_mut().collect();
+            exchange_halo_many(&mut refs64, &layout, comm, depth);
+            for (a, b) in f32s.iter().zip(&f64s) {
+                let demoted: Field2F = b.convert();
+                let bits = |f: &Field2F| f.raw().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+                assert_eq!(
+                    bits(a),
+                    bits(&demoted),
+                    "f32 exchange must be bit-identical to demoted f64 exchange"
+                );
+            }
+            comm.stats().snapshot()
+        });
+        for (rank, s) in snaps.iter().enumerate() {
+            let elems = expected_elems(&decomp, rank, depth, nfields);
+            // one exchange per width: equal element counts, 4 vs 8 bytes
+            prop_assert_eq!(s.elems_sent_f32, elems);
+            prop_assert_eq!(s.elems_sent_f64, elems);
+            prop_assert_eq!(s.bytes_sent(), elems * 12);
+        }
+    }
+}
+
+/// The ISSUE's closed form, pinned exactly: a rank with all four
+/// neighbours (centre of a 3×3 grid) sends
+/// `2·d·(nx+ny+2d)·nfields·size_of::<S>()` bytes per fused exchange —
+/// for both scalars.
+#[test]
+fn interior_rank_bytes_match_closed_form() {
+    for depth in [1usize, 2, 5] {
+        for nfields in [1usize, 3] {
+            let decomp = Decomposition2D::with_grid(3 * (depth + 2), 3 * (depth + 3), 3, 3);
+            let sub = decomp.subdomain(4); // centre rank of the 3×3 grid
+            let elems = full_interior_elems(depth, sub.nx, sub.ny, nfields);
+
+            let snaps64 = exchange_and_check::<f64>(&decomp, depth, nfields);
+            assert_eq!(snaps64[4].elems_sent_f64, elems);
+            assert_eq!(
+                snaps64[4].bytes_sent(),
+                elems * std::mem::size_of::<f64>() as u64
+            );
+            assert_eq!(snaps64[4].msgs_sent, 4);
+
+            let snaps32 = exchange_and_check::<f32>(&decomp, depth, nfields);
+            assert_eq!(snaps32[4].elems_sent_f32, elems);
+            assert_eq!(
+                snaps32[4].bytes_sent(),
+                elems * std::mem::size_of::<f32>() as u64
+            );
+            assert_eq!(
+                snaps32[4].bytes_sent() * 2,
+                snaps64[4].bytes_sent(),
+                "f32 exchange must move exactly half the bytes"
+            );
+        }
+    }
+}
+
+/// Serial leg of the accounting satellite: a single-rank exchange has no
+/// neighbours, sends nothing, and counts zero bytes at either width.
+#[test]
+fn serial_exchange_counts_zero_bytes() {
+    let decomp = Decomposition2D::with_grid(12, 12, 1, 1);
+    let comm = SerialComm::new();
+    let layout = HaloLayout::new(&decomp, 0);
+
+    let mut f64s = tagged_fields::<f64>(&decomp, 0, 2, 3);
+    let mut refs: Vec<&mut Field2D> = f64s.iter_mut().collect();
+    exchange_halo_many(&mut refs, &layout, &comm, 3);
+
+    let mut f32s = tagged_fields::<f32>(&decomp, 0, 2, 3);
+    let mut refs: Vec<&mut Field2F> = f32s.iter_mut().collect();
+    exchange_halo_many(&mut refs, &layout, &comm, 3);
+
+    let s = comm.stats().snapshot();
+    assert_eq!(s.msgs_sent, 0);
+    assert_eq!(s.elems_sent_f64 + s.elems_sent_f32, 0);
+    assert_eq!(s.bytes_sent(), 0);
+}

@@ -23,10 +23,12 @@
 //!   `f64` tolerances (a stagnation guard stops it burning iterations
 //!   once it flatlines).
 //!
-//! Halo exchanges stage through `f64` fields (the wire format of
-//! `tea-comms`); an `f32`-width exchange path is future work tracked in
-//! ROADMAP.md. [`solver_for_precision`] maps a `(solver, precision)`
-//! request from the deck/CLI/builder onto the registered variant.
+//! Halo exchanges are **precision-native**: the `tea-comms` wire format
+//! is generic over the field scalar, so every `f32` field here
+//! exchanges 4-byte elements directly — half the message volume of the
+//! `f64` solvers, with no conversion staging on either side.
+//! [`solver_for_precision`] maps a `(solver, precision)` request from
+//! the deck/CLI/builder onto the registered variant.
 
 use crate::api::{IterativeSolver, Precision, SolveContext, SolverError, SolverParams};
 use crate::cg::cg_solve_recording;
@@ -140,19 +142,6 @@ fn apply_precon_demoted(
     precon32.apply(&s.r32, &mut s.z32, bounds, 0, trace);
     trace.vector_ops.record(0);
     s.z32.convert_into(z);
-}
-
-/// Converts, exchanges through the `f64` wire format, converts back.
-fn stage_exchange_one<C: Communicator + ?Sized>(
-    tile: &Tile<'_, C>,
-    stage: &mut Field2D,
-    field: &mut Field2F,
-    depth: usize,
-    trace: &mut SolveTrace,
-) {
-    field.convert_into(stage);
-    tile.exchange(&mut [stage], depth, trace);
-    stage.convert_into(field);
 }
 
 /// PCG with an `f32` preconditioner inside an `f64` outer recurrence —
@@ -344,10 +333,11 @@ impl InnerWs32 {
 /// (`m + 1` stencil sweeps per outer iteration); running it in `f32`
 /// halves its memory traffic while the outer PCG recurrence, both dot
 /// products and the convergence test stay in `f64`. The matrix-powers
-/// deep-halo schedule is preserved, staging exchanges through the `f64`
-/// wire format. The CG presteps and their Lanczos eigenvalue estimate
-/// run in `f64`; the safety widening absorbs the (tiny) spectral
-/// difference between the `f64` and demoted operators.
+/// deep-halo schedule is preserved, and its exchanges move native
+/// `f32` payloads — half the deep-halo message bytes of plain PPCG.
+/// The CG presteps and their Lanczos eigenvalue estimate run in `f64`;
+/// the safety widening absorbs the (tiny) spectral difference between
+/// the `f64` and demoted operators.
 #[derive(Debug, Clone, Default)]
 pub struct MixedPpcg {
     kind: PreconKind,
@@ -560,9 +550,9 @@ fn mixed_ppcg_solve<C: Communicator + ?Sized>(
 
 /// The inner m-step Chebyshev solve of `A z ≈ r` from `z = 0`, entirely
 /// in `f32`, with the matrix-powers deep-halo schedule. Mirrors
-/// `ppcg::cheb_inner` step for step; the only extra traffic is the
-/// demote of the outer residual on entry, the promote of `z` on exit,
-/// and the `f64` staging around each halo exchange (all recorded as
+/// `ppcg::cheb_inner` step for step; halo exchanges move native `f32`
+/// payloads, so the only extra traffic is the demote of the outer
+/// residual on entry and the promote of `z` on exit (both recorded as
 /// vector ops).
 #[allow(clippy::too_many_arguments)]
 fn cheb_inner_f32<C: Communicator + ?Sized>(
@@ -589,7 +579,7 @@ fn cheb_inner_f32<C: Communicator + ?Sized>(
         precon32.apply(&f.rr, &mut f.tmp, bounds, 0, trace);
         vector::scaled_copy(&mut f.sd, &f.tmp, inv_theta, bounds, 0, trace);
         for &(a_k, b_k) in cheb {
-            stage_exchange_one(tile, &mut ws.sd, &mut f.sd, 1, trace);
+            tile.exchange(&mut [&mut f.sd], 1, trace);
             op32.apply(&f.sd, &mut f.w, 0, trace);
             vector::axpy(&mut f.z, 1.0f32, &f.sd, bounds, 0, trace);
             vector::axpy(&mut f.rr, -1.0f32, &f.w, bounds, 0, trace);
@@ -607,18 +597,14 @@ fn cheb_inner_f32<C: Communicator + ?Sized>(
     } else {
         // Matrix-powers schedule: one depth-h exchange buys h sweeps
         // over shrinking bounds (paper Fig. 2).
-        stage_exchange_one(tile, &mut ws.rr, &mut f.rr, h, trace);
+        tile.exchange(&mut [&mut f.rr], h, trace);
         let mut avail = h;
         precon32.apply(&f.rr, &mut f.tmp, bounds, avail, trace);
         vector::scaled_copy(&mut f.sd, &f.tmp, inv_theta, bounds, avail, trace);
 
         for (step, &(a_k, b_k)) in cheb.iter().enumerate() {
             if avail == 0 {
-                f.sd.convert_into(&mut ws.sd);
-                f.rr.convert_into(&mut ws.rr);
-                tile.exchange(&mut [&mut ws.sd, &mut ws.rr], h, trace);
-                ws.sd.convert_into(&mut f.sd);
-                ws.rr.convert_into(&mut f.rr);
+                tile.exchange(&mut [&mut f.sd, &mut f.rr], h, trace);
                 avail = h;
             }
             // never sweep wider than the remaining steps can use
@@ -644,9 +630,8 @@ fn cheb_inner_f32<C: Communicator + ?Sized>(
     f.z.convert_into(&mut ws.z);
 }
 
-/// The `f32` working set of [`CgF32`], plus an `f64` staging field
-/// shaped like `u` for halo exchanges of the iterate (the caller's
-/// workspace fields may carry a different halo than `u`).
+/// The `f32` working set of [`CgF32`]: every vector of the recurrence,
+/// exchanged over the wire at native `f32` width.
 #[derive(Debug, Clone)]
 struct FieldsF32 {
     u: Field2F,
@@ -655,7 +640,6 @@ struct FieldsF32 {
     r: Field2F,
     w: Field2F,
     z: Field2F,
-    stage_u: Field2D,
 }
 
 /// Fully single-precision PCG — the `"cg_f32"` registry entry and the
@@ -746,7 +730,6 @@ impl IterativeSolver for CgF32 {
                 r: like(&ws.r),
                 w: like(&ws.w),
                 z: like(&ws.z),
-                stage_u: Field2D::new(u.nx(), u.ny(), u.halo()),
             });
         }
         let result = cg_f32_solve(
@@ -756,7 +739,6 @@ impl IterativeSolver for CgF32 {
             self.op32.as_ref().expect("just prepared"),
             self.precon32.as_ref().expect("just prepared"),
             self.fields.as_mut().expect("just sized"),
-            ws,
             self.opts,
         );
         trace.merge(&result.trace);
@@ -764,7 +746,6 @@ impl IterativeSolver for CgF32 {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn cg_f32_solve<C: Communicator + ?Sized>(
     tile: &Tile<'_, C>,
     u: &mut Field2D,
@@ -772,7 +753,6 @@ fn cg_f32_solve<C: Communicator + ?Sized>(
     op32: &TileOperator<f32>,
     precon32: &Preconditioner<f32>,
     f: &mut FieldsF32,
-    ws: &mut Workspace,
     opts: SolveOpts,
 ) -> SolveResult {
     let mut trace = SolveTrace::new("CG-f32");
@@ -814,7 +794,7 @@ fn cg_f32_solve<C: Communicator + ?Sized>(
         iterations += 1;
         trace.outer_iterations += 1;
 
-        stage_exchange_one(tile, &mut ws.p, &mut f.p, 1, &mut trace);
+        tile.exchange(&mut [&mut f.p], 1, &mut trace);
         let pw_local = op32.apply_fused_dot(&f.p, &mut f.w, &mut trace).to_f64();
         let pw = tile.reduce_sum(pw_local, &mut trace);
         if pw <= 0.0 {
@@ -838,8 +818,7 @@ fn cg_f32_solve<C: Communicator + ?Sized>(
             // does not meet. Confirm against the true residual
             // `b − A·u` — classic residual replacement — and restart the
             // direction from it if the claim was premature.
-            let FieldsF32 { u, stage_u, .. } = f;
-            stage_exchange_one(tile, stage_u, u, 1, &mut trace);
+            tile.exchange(&mut [&mut f.u], 1, &mut trace);
             op32.residual(&f.u, &f.b, &mut f.r, 0, &mut trace);
             precon32.apply(&f.r, &mut f.z, bounds, 0, &mut trace);
             let rz_true = vector::dot_local(&f.r, &f.z, bounds, &mut trace).to_f64();

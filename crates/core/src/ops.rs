@@ -145,8 +145,26 @@ impl<S: Scalar> TileOperator<S> {
     /// Writes the operator diagonal
     /// `1 + (Ky(j,k+1)+Ky(j,k)) + (Kx(j+1,k)+Kx(j,k))` into `d` over
     /// extension `ext`.
+    ///
+    /// # Panics
+    /// The diagonal at an extended cell reads the face coefficient one
+    /// cell further out (`Kx(j+1)`, `Ky(k+1)`), so the effective
+    /// east/north extension must stay below the coefficient halo. On a
+    /// decomposed tile this means a diagonal preconditioner cannot be
+    /// set up at the full matrix-powers depth `h` with coefficients
+    /// allocated at halo `h` — the same class of restriction the paper
+    /// places on block-Jacobi (§IV.C.2). Serial tiles clamp every
+    /// extension to the domain boundary and are unaffected.
     pub fn diagonal_into(&self, d: &mut Field2<S>, ext: usize) {
         let (x_lo, x_hi, y_lo, y_hi) = self.bounds.range(ext);
+        let overhang = (x_hi - self.bounds.nx as isize).max(y_hi - self.bounds.ny as isize);
+        assert!(
+            (self.coeffs.kx.halo() as isize) > overhang,
+            "operator diagonal at extension {overhang} reads face coefficients one cell \
+             beyond it; assemble coefficients with halo > {overhang} (have {}) or use an \
+             extension-free preconditioner",
+            self.coeffs.kx.halo(),
+        );
         let n = (x_hi - x_lo) as usize;
         let kx = &self.coeffs.kx;
         let ky = &self.coeffs.ky;

@@ -4,8 +4,8 @@
 
 use crate::ops::TileOperator;
 use crate::trace::SolveTrace;
-use tea_comms::{exchange_halo_many, Communicator, HaloLayout};
-use tea_mesh::Field2D;
+use tea_comms::{exchange_halo_many, Communicator, HaloLayout, WireScalar};
+use tea_mesh::{Field2, Field2D};
 
 /// Everything one rank needs to run a solver on its tile.
 pub struct Tile<'a, C: Communicator + ?Sized> {
@@ -25,8 +25,15 @@ impl<'a, C: Communicator + ?Sized> Tile<'a, C> {
 
     /// Exchanges halos of `fields` at `depth`, recording the protocol
     /// event (recorded even on single-rank runs: the trace captures the
-    /// *protocol*, which is decomposition-independent).
-    pub fn exchange(&self, fields: &mut [&mut Field2D], depth: usize, trace: &mut SolveTrace) {
+    /// *protocol*, which is decomposition-independent). Generic over the
+    /// field precision: `Field2<f32>` halos travel the wire at 4
+    /// bytes/element natively, with no staging conversion.
+    pub fn exchange<S: WireScalar>(
+        &self,
+        fields: &mut [&mut Field2<S>],
+        depth: usize,
+        trace: &mut SolveTrace,
+    ) {
         trace.record_halo(depth, fields.len());
         exchange_halo_many(fields, self.layout, self.comm, depth);
     }

@@ -45,6 +45,9 @@ pub trait Scalar:
     const NAME: &'static str;
     /// Machine epsilon of the format.
     const EPSILON_: f64;
+    /// Storage width in bytes (8 for `f64`, 4 for `f32`) — what one
+    /// element of this format costs on the wire and in memory.
+    const BYTES: usize;
 
     /// Converts from `f64` (rounding for narrower formats).
     fn from_f64(v: f64) -> Self;
@@ -63,6 +66,7 @@ impl Scalar for f64 {
     const ONE: Self = 1.0;
     const NAME: &'static str = "f64";
     const EPSILON_: f64 = f64::EPSILON;
+    const BYTES: usize = std::mem::size_of::<f64>();
 
     #[inline(always)]
     fn from_f64(v: f64) -> Self {
@@ -91,6 +95,7 @@ impl Scalar for f32 {
     const ONE: Self = 1.0;
     const NAME: &'static str = "f32";
     const EPSILON_: f64 = f32::EPSILON as f64;
+    const BYTES: usize = std::mem::size_of::<f32>();
 
     #[inline(always)]
     fn from_f64(v: f64) -> Self {
@@ -130,6 +135,8 @@ mod tests {
         assert_eq!(f32::NAME, "f32");
         let (narrow, wide) = (f32::EPSILON_, f64::EPSILON_);
         assert!(narrow > wide, "f32 must be the coarser format");
+        assert_eq!(<f64 as Scalar>::BYTES, 8);
+        assert_eq!(<f32 as Scalar>::BYTES, 4);
     }
 
     #[test]

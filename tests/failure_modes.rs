@@ -113,6 +113,28 @@ fn halo_deeper_than_tile_is_rejected() {
 }
 
 #[test]
+#[should_panic(expected = "reads face coefficients one cell beyond")]
+fn decomposed_diagonal_precon_rejects_full_depth_extension() {
+    // on a decomposed tile the diagonal at matrix-powers extension h
+    // reads Kx(j+1) one layer past the coefficient halo; the setup must
+    // refuse with a clear message instead of an opaque slice panic
+    // (serial tiles clamp extensions to the domain boundary, so only a
+    // real interior tile edge can trigger this)
+    let n = 32;
+    let halo = 4;
+    let p = crooked_pipe(n);
+    let d = Decomposition2D::with_grid(n, n, 2, 2);
+    let mesh = Mesh2D::new(&d, 0, p.extent);
+    let mut density = Field2D::new(mesh.nx(), mesh.ny(), halo);
+    let mut energy = Field2D::new(mesh.nx(), mesh.ny(), halo);
+    p.apply_states(&mesh, &mut density, &mut energy);
+    let (rx, ry) = timestep_scalings(&mesh, 0.04);
+    let coeffs = Coefficients::assemble(&mesh, &density, p.coefficient, rx, ry, halo);
+    let op = TileOperator::new(coeffs, TileBounds::new(&mesh, halo));
+    let _ = Preconditioner::setup(PreconKind::Diagonal, &op, halo);
+}
+
+#[test]
 #[should_panic(expected = "block-Jacobi cannot be combined with matrix powers")]
 fn ppcg_rejects_block_jacobi_with_deep_halos() {
     let (op, b) = small_problem(32);

@@ -26,7 +26,7 @@ fn deck(n: usize, solver: &str) -> Deck {
     // cap the work so unconverged configurations still compare equal
     // amounts of Krylov arithmetic quickly, even in debug builds
     d.control.opts.max_iters = 60;
-    if solver == "ppcg" {
+    if solver.ends_with("ppcg") {
         d.control.ppcg_halo_depth = 4;
         d.control.ppcg_inner_steps = 8;
         d.control.opts.max_iters = 12;
@@ -84,7 +84,10 @@ fn field3d_bits(f: &Field3D) -> Vec<u64> {
 #[test]
 fn solvers_are_bit_identical_across_threads_and_thresholds() {
     let n = 48;
-    let solvers = ["cg", "cg_fused", "ppcg", "chebyshev"];
+    // mixed_ppcg exercises the native-f32 halo exchange path (the inner
+    // Chebyshev smoothing's deep-halo payloads travel at 4-byte width):
+    // it must be exactly as thread-deterministic as the f64 solvers
+    let solvers = ["cg", "cg_fused", "ppcg", "chebyshev", "mixed_ppcg"];
     // thread counts the ISSUE pins, crossed with "everything parallel",
     // the default crossover, and "everything serial"
     let thresholds = [1usize, runtime::PAR_THRESHOLD, usize::MAX];
