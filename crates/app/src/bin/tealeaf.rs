@@ -7,10 +7,11 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use tea_app::{
-    crooked_pipe_deck, parse_deck, run_serial, run_threaded_ranks, solver_registry,
-    write_field_csv, write_field_ppm, RankOutput,
+    crooked_pipe_deck, parse_deck, run_serial, run_threaded_ranks, serve_decks, solver_registry,
+    write_field_csv, write_field_ppm, DeckJob, RankOutput,
 };
 use tea_core::{Precision, PreconKind, SolverParams};
+use tea_serve::ServeOptions;
 
 const USAGE: &str = "\
 tealeaf — TeaLeaf heat-conduction mini-app (Rust reproduction)
@@ -39,6 +40,18 @@ OPTIONS:
     --quiet              only print the final summary
     --list-solvers       print the registered solvers and exit
     --help               show this help
+
+SERVING (batched multi-solve mode):
+    --serve <joblist>    drain a queue of decks instead of running one:
+                         the joblist names one deck file per line
+                         ('#' comments and blank lines are skipped;
+                         repeat a line to resubmit the same deck).
+                         Sessions are pooled across jobs with equal
+                         setups; prints jobs/sec, latency percentiles
+                         and the session-cache hit/miss counters.
+    --workers <w>        concurrent jobs in flight  [default: all cores]
+    --no-cache           build every job cold (baseline for comparing
+                         the session cache's effect)
 ";
 
 /// Solver/stepping flags are `Option` so that, with `--deck`, only the
@@ -59,6 +72,9 @@ struct Args {
     threads: Option<usize>,
     out: Option<String>,
     quiet: bool,
+    serve: Option<PathBuf>,
+    workers: usize,
+    no_cache: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -77,6 +93,9 @@ fn parse_args() -> Result<Args, String> {
         threads: None,
         out: None,
         quiet: false,
+        serve: None,
+        workers: 0,
+        no_cache: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -117,6 +136,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = Some(value()?),
             "--quiet" => args.quiet = true,
+            "--serve" => args.serve = Some(PathBuf::from(value()?)),
+            "--workers" => {
+                args.workers = value()?.parse().map_err(|e| format!("--workers: {e}"))?
+            }
+            "--no-cache" => args.no_cache = true,
             "--list-solvers" => {
                 print_solvers();
                 std::process::exit(0);
@@ -169,6 +193,90 @@ fn print_solvers() {
     println!("\nselect with --solver <name>, or tl_solver=<name> in a deck");
 }
 
+/// `--serve <joblist>`: drain a queue of deck files through the session
+/// driver and print queue statistics. Exit code is FAILURE when the
+/// joblist is unusable or any job failed.
+fn run_serve(joblist: &std::path::Path, args: &Args) -> ExitCode {
+    let text = match std::fs::read_to_string(joblist) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", joblist.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut jobs = Vec::new();
+    let mut load_failures = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let loaded = std::fs::read_to_string(line)
+            .map_err(|e| e.to_string())
+            .and_then(|t| parse_deck(&t));
+        match loaded {
+            Ok(deck) => jobs.push(DeckJob {
+                label: line.to_string(),
+                deck,
+            }),
+            Err(e) => load_failures.push(format!("{line}: {e}")),
+        }
+    }
+    for failure in &load_failures {
+        eprintln!("error: {failure}");
+    }
+    if jobs.is_empty() {
+        eprintln!("error: no runnable jobs in {}", joblist.display());
+        return ExitCode::FAILURE;
+    }
+
+    let opts = ServeOptions {
+        workers: args.workers,
+        threads_per_job: args.threads,
+        cache: !args.no_cache,
+    };
+    println!(
+        "tealeaf --serve: {} job(s), {} worker(s), session cache {}",
+        jobs.len(),
+        opts.effective_workers(),
+        if opts.cache { "on" } else { "off" },
+    );
+    let report = serve_decks(jobs, &opts);
+
+    for outcome in &report.outcomes {
+        if let Err(e) = &outcome.result {
+            eprintln!("job {} failed: {e}", outcome.job);
+        } else if !args.quiet {
+            let out = outcome.result.as_ref().unwrap();
+            let converged = out.steps.iter().filter(|s| s.converged).count();
+            println!(
+                "job {:>4}: {} step(s) ({converged} converged), {:.3}s",
+                outcome.job,
+                out.steps.len(),
+                outcome.wall_s,
+            );
+        }
+    }
+
+    let s = report.stats;
+    println!("\nqueue summary:");
+    println!("  jobs             {} ({} failed)", s.jobs, s.failed);
+    println!("  wall             {:.3} s", s.wall_s);
+    println!("  throughput       {:.2} jobs/sec", s.jobs_per_sec);
+    println!("  latency p50      {:.4} s", s.p50_latency_s);
+    println!("  latency p99      {:.4} s", s.p99_latency_s);
+    println!(
+        "  session cache    {} hit(s), {} miss(es), {} prepare(s)",
+        s.cache.hits, s.cache.misses, s.cache.prepares
+    );
+
+    if s.failed > 0 || !load_failures.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -181,6 +289,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(joblist) = args.serve.clone() {
+        return run_serve(&joblist, &args);
+    }
 
     let mut deck = match &args.deck_path {
         Some(path) => {
@@ -274,16 +386,30 @@ fn main() -> ExitCode {
     let started = std::time::Instant::now();
     // per-rank comm counters, summed machine-wide for the summary
     let (output, halo): (RankOutput, tea_comms::StatsSnapshot) = if args.ranks <= 1 {
-        let out = run_serial(&deck);
-        let halo = out.comm;
-        (out, halo)
-    } else {
-        let outs = run_threaded_ranks(&deck, args.ranks);
-        let mut halo = tea_comms::StatsSnapshot::default();
-        for o in &outs {
-            halo.merge(&o.comm);
+        match run_serial(&deck) {
+            Ok(out) => {
+                let halo = out.comm;
+                (out, halo)
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
-        (outs.into_iter().next().unwrap(), halo)
+    } else {
+        match run_threaded_ranks(&deck, args.ranks) {
+            Ok(outs) => {
+                let mut halo = tea_comms::StatsSnapshot::default();
+                for o in &outs {
+                    halo.merge(&o.comm);
+                }
+                (outs.into_iter().next().unwrap(), halo)
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     };
     let elapsed = started.elapsed().as_secs_f64();
 

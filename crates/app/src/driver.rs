@@ -19,9 +19,55 @@ use tea_comms::{
     gather_to_root, run_threaded as comm_run, Communicator, HaloLayout, SerialComm, StatsSnapshot,
 };
 use tea_core::{
-    Assembly, DynTile, SolveContext, SolveTrace, Tile, TileBounds, TileOperator, Workspace,
+    Assembly, DynTile, SessionSpec, SetupCache, SetupKey, SolveContext, SolveSession, SolveTrace,
+    Tile, TileBounds, TileOperator, Workspace,
 };
 use tea_mesh::{timestep_scalings, Coefficients, Decomposition2D, Field2D, Mesh2D};
+
+/// Why a deck could not be driven. Until this type existed the driver
+/// panicked on malformed decks, which is unacceptable once a serving
+/// queue feeds it jobs from untrusted lists — one bad deck must fail
+/// its own job, not the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriverError {
+    /// The deck's problem definition failed validation.
+    InvalidProblem(String),
+    /// The solver name or precision did not resolve in the registry.
+    Solver(String),
+    /// A serial-only solver was asked to run decomposed.
+    SerialOnly {
+        /// The offending solver's canonical name.
+        solver: String,
+        /// Communicator size of the attempted run.
+        ranks: usize,
+    },
+    /// The decomposition does not match the communicator size.
+    DecompositionMismatch {
+        /// Ranks in the decomposition.
+        decomp: usize,
+        /// Ranks in the communicator.
+        comm: usize,
+    },
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::InvalidProblem(why) => write!(f, "invalid problem: {why}"),
+            DriverError::Solver(why) => write!(f, "solver selection failed: {why}"),
+            DriverError::SerialOnly { solver, ranks } => write!(
+                f,
+                "the {solver} solver runs serially (see its docs), got {ranks} ranks"
+            ),
+            DriverError::DecompositionMismatch { decomp, comm } => write!(
+                f,
+                "decomposition has {decomp} ranks but the communicator has {comm}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
 
 /// Per-step record of the driver.
 #[derive(Debug, Clone)]
@@ -71,39 +117,38 @@ pub struct RankOutput {
 /// contains no per-solver dispatch, so registering a new method makes
 /// it deck- and CLI-selectable without touching this file.
 ///
-/// # Panics
-/// Panics if the deck's solver name is not registered (decks built by
-/// [`crate::parse_deck`] are pre-validated) or if a serial-only solver
-/// is run on a decomposed communicator.
+/// # Errors
+/// [`DriverError`] when the deck's problem fails validation, the solver
+/// name or precision does not resolve, the decomposition does not match
+/// the communicator, or a serial-only solver is run decomposed.
 pub fn run_rank<C: Communicator + ?Sized>(
     deck: &Deck,
     decomp: &Decomposition2D,
     comm: &C,
-) -> RankOutput {
+) -> Result<RankOutput, DriverError> {
     let problem = &deck.problem;
     let control = &deck.control;
-    problem.validate().expect("invalid problem");
-    assert_eq!(
-        decomp.ranks(),
-        comm.size(),
-        "decomposition must match communicator size"
-    );
+    problem.validate().map_err(DriverError::InvalidProblem)?;
+    if decomp.ranks() != comm.size() {
+        return Err(DriverError::DecompositionMismatch {
+            decomp: decomp.ranks(),
+            comm: comm.size(),
+        });
+    }
 
     let registry = crate::solver_registry();
     // tl_precision re-routes within the solver family (cg → mixed_cg /
     // cg_f32, ppcg → mixed_ppcg); at the default f64 this is the
     // identity on the deck's solver name
-    let solver_name = control.effective_solver().unwrap_or_else(|e| panic!("{e}"));
+    let solver_name = control.effective_solver().map_err(DriverError::Solver)?;
     let meta = registry
         .resolve(&solver_name)
-        .unwrap_or_else(|e| panic!("{e}"));
-    if meta.serial_only {
-        assert_eq!(
-            comm.size(),
-            1,
-            "the {} solver runs serially (see its docs)",
-            meta.name
-        );
+        .map_err(|e| DriverError::Solver(e.to_string()))?;
+    if meta.serial_only && comm.size() != 1 {
+        return Err(DriverError::SerialOnly {
+            solver: meta.name.to_string(),
+            ranks: comm.size(),
+        });
     }
     let mut solver = registry
         .create(&solver_name, &control.solver_params())
@@ -114,8 +159,14 @@ pub fn run_rank<C: Communicator + ?Sized>(
     let halo = solver.halo_depth().max(1);
     let (nx, ny) = (mesh.nx(), mesh.ny());
 
-    let mut density = Field2D::new(nx, ny, halo);
-    let mut energy = Field2D::new(nx, ny, halo);
+    // State fields and face coefficients carry one ghost layer more than
+    // the solver's halo: the operator diagonal at matrix-powers extension
+    // `halo` reads `Kx(j+1)` / `Ky(k+1)`, so a Diagonal preconditioner on
+    // a decomposed tile needs coefficients assembled a layer deeper. The
+    // per-cell values are depth-independent, so solver results are
+    // unchanged; only the loud assert on deep-halo setups goes away.
+    let mut density = Field2D::new(nx, ny, halo + 1);
+    let mut energy = Field2D::new(nx, ny, halo + 1);
     problem.apply_states(&mesh, &mut density, &mut energy);
 
     let (rx, ry) = timestep_scalings(&mesh, control.dt);
@@ -133,7 +184,7 @@ pub fn run_rank<C: Communicator + ?Sized>(
     for step in 1..=nsteps {
         // 1-2. rhs and operator (density is constant but the reference
         // reassembles every step; we follow it)
-        let coeffs = Coefficients::assemble(&mesh, &density, problem.coefficient, rx, ry, halo);
+        let coeffs = Coefficients::assemble(&mesh, &density, problem.coefficient, rx, ry, halo + 1);
         let op = TileOperator::new(coeffs, bounds);
         let tile: DynTile<'_> = Tile::new(&op, &layout, comm.as_dyn());
         let ctx = SolveContext::with_assembly(
@@ -213,14 +264,14 @@ pub fn run_rank<C: Communicator + ?Sized>(
         comm,
     );
 
-    RankOutput {
+    Ok(RankOutput {
         steps,
         trace,
         mg_trace,
         final_u,
         final_summary,
         comm: comm_stats,
-    }
+    })
 }
 
 /// Applies the deck's thread-count override (if any) to the kernel
@@ -233,7 +284,15 @@ fn apply_thread_config(deck: &Deck) {
 }
 
 /// Runs the deck on a single rank.
-pub fn run_serial(deck: &Deck) -> RankOutput {
+///
+/// # Errors
+/// [`DriverError`] as for [`run_rank`].
+pub fn run_serial(deck: &Deck) -> Result<RankOutput, DriverError> {
+    // validate before building the decomposition — zero-cell problems
+    // must surface as an error, not a decomposition assert
+    deck.problem
+        .validate()
+        .map_err(DriverError::InvalidProblem)?;
     apply_thread_config(deck);
     let decomp = Decomposition2D::with_grid(deck.problem.x_cells, deck.problem.y_cells, 1, 1);
     let comm = SerialComm::new();
@@ -248,10 +307,152 @@ pub fn run_serial(deck: &Deck) -> RankOutput {
 /// oversubscribe physical cores; pin `threads` (deck `tl_num_threads`,
 /// CLI `--threads`, or `TEA_NUM_THREADS`) to `cores / ranks` for
 /// node-realistic hybrid runs.
-pub fn run_threaded_ranks(deck: &Deck, ranks: usize) -> Vec<RankOutput> {
+///
+/// # Errors
+/// [`DriverError`] as for [`run_rank`] — every rank hits the same deck
+/// checks, so the first rank's error is returned.
+pub fn run_threaded_ranks(deck: &Deck, ranks: usize) -> Result<Vec<RankOutput>, DriverError> {
+    deck.problem
+        .validate()
+        .map_err(DriverError::InvalidProblem)?;
     apply_thread_config(deck);
     let decomp = Decomposition2D::new(deck.problem.x_cells, deck.problem.y_cells, ranks);
     comm_run(decomp.ranks(), |comm| run_rank(deck, &decomp, comm))
+        .into_iter()
+        .collect()
+}
+
+/// Runs the deck serially through a reusable [`SolveSession`] checked
+/// out of `cache` — the serving-queue counterpart of [`run_serial`].
+///
+/// The session path assembles the operator once per run (the reference
+/// loop reassembles per step, but density is constant so the
+/// coefficient values — and therefore the results — are identical),
+/// prepares the solver only when the cache misses, and memoises the
+/// Chebyshev-family eigenvalue analysis across repeated right-hand
+/// sides. The session's communication counters are reset at checkout so
+/// [`RankOutput::comm`] reports this run's solver traffic only, and the
+/// session is checked back in before returning.
+///
+/// Unlike [`run_serial`] this does **not** apply the deck's thread
+/// override: the kernel thread pool is process-global, and a serving
+/// queue owns that budget for all jobs at once.
+///
+/// # Errors
+/// [`DriverError`] as for [`run_rank`].
+pub fn run_serial_session(deck: &Deck, cache: &SetupCache) -> Result<RankOutput, DriverError> {
+    let problem = &deck.problem;
+    let control = &deck.control;
+    problem.validate().map_err(DriverError::InvalidProblem)?;
+
+    let registry = crate::solver_registry();
+    let solver_name = control.effective_solver().map_err(DriverError::Solver)?;
+    let spec = SessionSpec {
+        solver: solver_name,
+        // effective_solver already folded tl_precision into the name
+        precision: None,
+        opts: control.opts,
+        params: control.solver_params(),
+    };
+
+    let decomp = Decomposition2D::with_grid(problem.x_cells, problem.y_cells, 1, 1);
+    let mesh = Mesh2D::new(&decomp, 0, problem.extent);
+    let (nx, ny) = (mesh.nx(), mesh.ny());
+    let halo = spec.params.halo_depth.max(1);
+
+    // same layout as run_rank: coefficients one layer deeper than the
+    // solver halo so Diagonal preconditioning works at full depth
+    let mut density = Field2D::new(nx, ny, halo + 1);
+    let mut energy = Field2D::new(nx, ny, halo + 1);
+    problem.apply_states(&mesh, &mut density, &mut energy);
+    let (rx, ry) = timestep_scalings(&mesh, control.dt);
+    let coeffs = Coefficients::assemble(&mesh, &density, problem.coefficient, rx, ry, halo + 1);
+    let op = TileOperator::new(coeffs, TileBounds::new(&mesh, halo));
+
+    let key = SetupKey::probe_with(&op, &spec, registry)
+        .map_err(|e| DriverError::Solver(e.to_string()))?;
+    let mut session = match cache.checkout(&key) {
+        Some(session) => session,
+        None => SolveSession::with_registry(op, &spec, registry)
+            .map_err(|e| DriverError::Solver(e.to_string()))?
+            .with_assembly(density.clone(), problem.coefficient, rx, ry),
+    };
+    session.reset_comm_stats();
+
+    let summary_comm = SerialComm::new();
+    let mut u = Field2D::new(nx, ny, halo);
+    let mut b = Field2D::new(nx, ny, halo);
+    let mut trace = SolveTrace::new(session.solver_label());
+    let mut steps = Vec::new();
+
+    let nsteps = control.steps();
+    let mut time = 0.0;
+    for step in 1..=nsteps {
+        for k in 0..ny as isize {
+            let dr = density.row(k, 0, nx as isize);
+            let er = energy.row(k, 0, nx as isize);
+            let br = b.row_mut(k, 0, nx as isize);
+            for i in 0..br.len() {
+                br[i] = dr[i] * er[i];
+            }
+        }
+        u.copy_interior_from(&b);
+
+        let started = std::time::Instant::now();
+        let result = session.solve(&mut u, &b);
+        let wall = started.elapsed().as_secs_f64();
+        trace.merge(&result.trace);
+
+        for k in 0..ny as isize {
+            let ur = u.row(k, 0, nx as isize);
+            let dr = density.row(k, 0, nx as isize);
+            let er = energy.row_mut(k, 0, nx as isize);
+            for i in 0..er.len() {
+                er[i] = ur[i] / dr[i];
+            }
+        }
+
+        time += control.dt;
+        let report = control.summary_frequency > 0 && step % control.summary_frequency == 0;
+        let summary = if report || step == nsteps {
+            Some(field_summary(&mesh, &density, &energy, &u, &summary_comm))
+        } else {
+            None
+        };
+        steps.push(StepRecord {
+            step,
+            time,
+            iterations: result.iterations,
+            converged: result.converged,
+            initial_residual: result.initial_residual,
+            final_residual: result.final_residual,
+            summary,
+            wall,
+        });
+    }
+
+    let mg_trace = session
+        .take_diagnostics()
+        .and_then(|d| d.downcast::<MgTrace>().ok())
+        .map(|t| *t);
+    let comm_stats = session.comm_stats();
+    let final_summary = field_summary(&mesh, &density, &energy, &u, &summary_comm);
+    let final_u = {
+        let mut interior = Field2D::new(nx, ny, 0);
+        interior.copy_interior_from(&u);
+        Some(interior)
+    };
+
+    cache.checkin(session);
+
+    Ok(RankOutput {
+        steps,
+        trace,
+        mg_trace,
+        final_u,
+        final_summary,
+        comm: comm_stats,
+    })
 }
 
 #[cfg(test)]
@@ -273,7 +474,7 @@ mod tests {
     #[test]
     fn serial_cg_run_conserves_energy() {
         let deck = small_deck(24, "cg", 3);
-        let out = run_serial(&deck);
+        let out = run_serial(&deck).expect("deck runs");
         assert_eq!(out.steps.len(), 3);
         assert!(out.steps.iter().all(|s| s.converged));
         // insulated boundaries: the temperature integral Σ u·vol is
@@ -290,7 +491,7 @@ mod tests {
     #[test]
     fn heat_flows_down_the_pipe() {
         let deck = small_deck(32, "cg", 8);
-        let out = run_serial(&deck);
+        let out = run_serial(&deck).expect("deck runs");
         let u = out.final_u.unwrap();
         // the pipe inlet region must stay warmer than the far wall corner
         let inlet = u.at(3, 4); // inside the source
@@ -303,10 +504,10 @@ mod tests {
 
     #[test]
     fn all_solvers_agree_on_the_final_field() {
-        let reference = run_serial(&small_deck(16, "cg", 2));
+        let reference = run_serial(&small_deck(16, "cg", 2)).expect("deck runs");
         let uref = reference.final_u.unwrap();
         for solver in ["chebyshev", "ppcg", "amg"] {
-            let out = run_serial(&small_deck(16, solver, 2));
+            let out = run_serial(&small_deck(16, solver, 2)).expect("deck runs");
             let u = out.final_u.unwrap();
             for k in 0..16isize {
                 for j in 0..16isize {
@@ -323,8 +524,8 @@ mod tests {
     #[test]
     fn threaded_run_matches_serial() {
         let deck = small_deck(24, "cg", 2);
-        let serial = run_serial(&deck);
-        let ranks = run_threaded_ranks(&deck, 4);
+        let serial = run_serial(&deck).expect("deck runs");
+        let ranks = run_threaded_ranks(&deck, 4).expect("deck runs");
         let us = serial.final_u.unwrap();
         let ut = ranks[0].final_u.as_ref().unwrap();
         for k in 0..24isize {
@@ -345,8 +546,8 @@ mod tests {
     fn ppcg_deep_halo_runs_decomposed() {
         let mut deck = small_deck(32, "ppcg", 2);
         deck.control.ppcg_halo_depth = 4;
-        let serial = run_serial(&deck);
-        let ranks = run_threaded_ranks(&deck, 4);
+        let serial = run_serial(&deck).expect("deck runs");
+        let ranks = run_threaded_ranks(&deck, 4).expect("deck runs");
         let us = serial.final_u.unwrap();
         let ut = ranks[0].final_u.as_ref().unwrap();
         for k in 0..32isize {
@@ -361,14 +562,40 @@ mod tests {
     }
 
     #[test]
+    fn diagonal_precon_deep_halo_runs_decomposed() {
+        // regression: this configuration used to die in Diagonal setup
+        // ("reads face coefficients one cell beyond") on decomposed
+        // tiles; coefficients are now assembled one layer deeper than
+        // the solver halo, so it must run and agree with serial
+        let mut deck = small_deck(32, "ppcg", 2);
+        deck.control.ppcg_halo_depth = 4;
+        deck.control.precon = tea_core::PreconKind::Diagonal;
+        let serial = run_serial(&deck).expect("deck runs");
+        let ranks = run_threaded_ranks(&deck, 4).expect("deck runs");
+        assert!(serial.steps.iter().all(|s| s.converged));
+        assert!(ranks[0].steps.iter().all(|s| s.converged));
+        let us = serial.final_u.unwrap();
+        let ut = ranks[0].final_u.as_ref().unwrap();
+        for k in 0..32isize {
+            for j in 0..32isize {
+                let (a, b) = (ut.at(j, k), us.at(j, k));
+                assert!(
+                    (a - b).abs() <= 1e-8 * b.abs().max(1e-10),
+                    "preconditioned matrix-powers run differs at ({j},{k}): {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn mixed_ppcg_decomposed_matches_serial() {
         // end-to-end proof of the native-f32 deep-halo wire: a 4-rank
         // mixed_ppcg run (inner smoothing halos exchanged as 4-byte
         // payloads) must reproduce the serial answer to solver accuracy
         let mut deck = small_deck(32, "mixed_ppcg", 2);
         deck.control.ppcg_halo_depth = 4;
-        let serial = run_serial(&deck);
-        let ranks = run_threaded_ranks(&deck, 4);
+        let serial = run_serial(&deck).expect("deck runs");
+        let ranks = run_threaded_ranks(&deck, 4).expect("deck runs");
         assert!(serial.steps.iter().all(|s| s.converged));
         assert!(ranks[0].steps.iter().all(|s| s.converged));
         let us = serial.final_u.unwrap();
@@ -388,7 +615,7 @@ mod tests {
     fn decomposed_runs_record_halo_bytes_by_width() {
         // pure-f64 solver: every payload element is 8 bytes
         let deck = small_deck(24, "cg", 1);
-        let ranks = run_threaded_ranks(&deck, 4);
+        let ranks = run_threaded_ranks(&deck, 4).expect("deck runs");
         for r in &ranks {
             assert!(r.comm.bytes_sent() > 0, "decomposed ranks must exchange");
             assert_eq!(r.comm.elems_sent_f32, 0);
@@ -398,25 +625,101 @@ mod tests {
         // width while the outer f64 recurrence still exchanges f64
         let mut deck = small_deck(24, "mixed_ppcg", 1);
         deck.control.ppcg_halo_depth = 2;
-        let ranks = run_threaded_ranks(&deck, 4);
+        let ranks = run_threaded_ranks(&deck, 4).expect("deck runs");
         for r in &ranks {
             assert!(r.comm.elems_sent_f32 > 0, "inner halos must be f32");
             assert!(r.comm.elems_sent_f64 > 0, "outer halos stay f64");
         }
         // serial runs have no neighbours: zero point-to-point traffic
-        let out = run_serial(&small_deck(16, "cg", 1));
+        let out = run_serial(&small_deck(16, "cg", 1)).expect("deck runs");
         assert_eq!(out.comm.msgs_sent, 0);
         assert_eq!(out.comm.bytes_sent(), 0);
     }
 
     #[test]
+    fn malformed_decks_error_instead_of_panicking() {
+        let mut deck = small_deck(16, "cg", 1);
+        deck.control.solver = "warp".into();
+        match run_serial(&deck) {
+            Err(DriverError::Solver(msg)) => assert!(msg.contains("warp"), "{msg}"),
+            other => panic!("expected a solver error, got {other:?}"),
+        }
+
+        let deck = small_deck(16, "amg", 1);
+        match run_threaded_ranks(&deck, 4) {
+            Err(DriverError::SerialOnly { solver, ranks }) => {
+                assert_eq!(solver, "amg");
+                assert_eq!(ranks, 4);
+            }
+            other => panic!("expected a serial-only error, got {other:?}"),
+        }
+
+        let mut deck = small_deck(16, "cg", 1);
+        deck.problem.x_cells = 0;
+        assert!(matches!(
+            run_serial(&deck),
+            Err(DriverError::InvalidProblem(_))
+        ));
+    }
+
+    #[test]
+    fn session_driver_matches_reference_bitwise() {
+        // the serving path assembles once per job and prepares once per
+        // cached session instead of once per step — but the coefficient
+        // values are identical, so every residual in every step must be
+        // bit-for-bit the reference driver's
+        let cache = SetupCache::new();
+        for solver in ["cg", "chebyshev", "ppcg", "amg"] {
+            let mut deck = small_deck(24, solver, 3);
+            if solver == "ppcg" {
+                deck.control.ppcg_halo_depth = 4;
+                deck.control.precon = tea_core::PreconKind::Diagonal;
+            }
+            let reference = run_serial(&deck).expect("deck runs");
+            let cold = run_serial_session(&deck, &cache).expect("deck runs");
+            let warm = run_serial_session(&deck, &cache).expect("deck runs");
+
+            for out in [&cold, &warm] {
+                assert_eq!(reference.steps.len(), out.steps.len(), "{solver}");
+                for (a, b) in reference.steps.iter().zip(&out.steps) {
+                    assert_eq!(a.iterations, b.iterations, "{solver} step {}", a.step);
+                    assert_eq!(
+                        a.initial_residual.to_bits(),
+                        b.initial_residual.to_bits(),
+                        "{solver} step {}",
+                        a.step
+                    );
+                    assert_eq!(
+                        a.final_residual.to_bits(),
+                        b.final_residual.to_bits(),
+                        "{solver} step {}",
+                        a.step
+                    );
+                }
+                assert_eq!(
+                    reference.final_u.as_ref().unwrap(),
+                    out.final_u.as_ref().unwrap(),
+                    "{solver}: session path drifted from the reference driver"
+                );
+            }
+            if solver == "amg" {
+                assert!(cold.mg_trace.is_some(), "session path must keep MG traces");
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 4, "first run of each deck builds cold");
+        assert_eq!(stats.hits, 4, "second run of each deck reuses the session");
+        assert_eq!(stats.prepares, 4, "warm checkouts must not re-prepare");
+    }
+
+    #[test]
     fn trace_accumulates_across_steps() {
-        let out = run_serial(&small_deck(16, "cg", 3));
+        let out = run_serial(&small_deck(16, "cg", 3)).expect("deck runs");
         let total_iters: u64 = out.steps.iter().map(|s| s.iterations).sum();
         assert_eq!(out.trace.outer_iterations, total_iters);
         assert!(out.trace.reductions > 0);
         assert!(out.mg_trace.is_none());
-        let amg = run_serial(&small_deck(16, "amg", 2));
+        let amg = run_serial(&small_deck(16, "amg", 2)).expect("deck runs");
         let mg = amg.mg_trace.expect("AMG runs must carry an MG trace");
         assert!(mg.vcycles > 0);
         assert!(mg.setup_cells > 0);

@@ -18,11 +18,16 @@
 pub mod deck;
 pub mod driver;
 pub mod output;
+pub mod serve;
 pub mod summary;
 
 pub use deck::{crooked_pipe_deck, parse_deck, render_deck, Control, Deck};
-pub use driver::{run_rank, run_serial, run_threaded_ranks, RankOutput, StepRecord};
+pub use driver::{
+    run_rank, run_serial, run_serial_session, run_threaded_ranks, DriverError, RankOutput,
+    StepRecord,
+};
 pub use output::{write_field_csv, write_field_ppm, write_field_vtk, write_series_csv};
+pub use serve::{serve_decks, DeckJob};
 pub use summary::{field_summary, FieldSummary};
 
 use std::sync::OnceLock;

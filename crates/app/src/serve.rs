@@ -1,0 +1,131 @@
+//! Deck-level serving: drains many parsed decks through the session
+//! driver ([`crate::run_serial_session`]) on a `tea-serve` worker pool,
+//! pooling prepared [`tea_core::SolveSession`]s across jobs with equal
+//! setup keys. The `tealeaf --serve <joblist>` CLI mode and the
+//! `tea-bench throughput` harness both call [`serve_decks`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::deck::Deck;
+use crate::driver::{run_serial_session, RankOutput};
+use tea_core::SetupCache;
+use tea_serve::{serve_with, ServeOptions, ServeReport};
+
+/// One deck to run, with a label for error reporting (typically the
+/// deck's file path or a synthetic sweep name).
+#[derive(Debug, Clone)]
+pub struct DeckJob {
+    /// Where the deck came from, for error messages.
+    pub label: String,
+    /// The parsed deck.
+    pub deck: Deck,
+}
+
+/// Drains `jobs` through the session driver on a worker pool and
+/// reports per-job [`RankOutput`]s plus queue statistics.
+///
+/// With [`ServeOptions::cache`] on, jobs with equal setup keys (same
+/// geometry, coefficients, solver, precision, halo depth and latched
+/// options) share prepared sessions — the report's cache counters show
+/// how many preparations the pool saved. With it off, every job builds
+/// cold; the counters then read zero hits and one preparation per job,
+/// which is the baseline the throughput bench compares against.
+///
+/// A failing deck (unknown solver, invalid problem) records an error
+/// outcome carrying its label; the queue keeps draining.
+pub fn serve_decks(jobs: Vec<DeckJob>, opts: &ServeOptions) -> ServeReport<RankOutput> {
+    let cache = SetupCache::new();
+    let cold_prepares = AtomicU64::new(0);
+    let cold_misses = AtomicU64::new(0);
+    let use_cache = opts.cache;
+    let run = |_job: usize, DeckJob { label, deck }: DeckJob| {
+        if use_cache {
+            run_serial_session(&deck, &cache).map_err(|e| format!("{label}: {e}"))
+        } else {
+            // a throwaway per-job cache: always cold, never shared
+            let local = SetupCache::new();
+            let out = run_serial_session(&deck, &local).map_err(|e| format!("{label}: {e}"));
+            let stats = local.stats();
+            cold_prepares.fetch_add(stats.prepares, Ordering::Relaxed);
+            cold_misses.fetch_add(stats.misses, Ordering::Relaxed);
+            out
+        }
+    };
+    serve_with(jobs, opts, run, || {
+        let mut stats = cache.stats();
+        stats.prepares += cold_prepares.load(Ordering::Relaxed);
+        stats.misses += cold_misses.load(Ordering::Relaxed);
+        stats
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deck::{crooked_pipe_deck, Control};
+
+    fn job(n: usize, solver: &str, eps: f64) -> DeckJob {
+        let mut deck = crooked_pipe_deck(n, solver);
+        deck.control = Control {
+            solver: solver.into(),
+            end_step: 2,
+            summary_frequency: 0,
+            ..Default::default()
+        };
+        deck.control.opts.eps = eps;
+        DeckJob {
+            label: format!("{solver}-{n}-{eps}"),
+            deck,
+        }
+    }
+
+    #[test]
+    fn repeated_decks_hit_the_cache_with_identical_results() {
+        let jobs: Vec<DeckJob> = (0..9).map(|i| job(16 + 4 * (i % 3), "cg", 1e-8)).collect();
+        let opts = ServeOptions {
+            workers: 3,
+            ..Default::default()
+        };
+        let cached = serve_decks(jobs.clone(), &opts);
+        let cold = serve_decks(
+            jobs,
+            &ServeOptions {
+                cache: false,
+                ..opts
+            },
+        );
+
+        assert_eq!(cached.stats.failed, 0);
+        assert_eq!(cold.stats.failed, 0);
+        assert!(cached.stats.cache.hits > 0);
+        assert_eq!(cold.stats.cache.hits, 0);
+        assert!(
+            cached.stats.cache.prepares < cold.stats.cache.prepares,
+            "the pool must save preparations: {} vs {}",
+            cached.stats.cache.prepares,
+            cold.stats.cache.prepares
+        );
+
+        for (a, b) in cached.outcomes.iter().zip(&cold.outcomes) {
+            let (a, b) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            assert_eq!(a.steps.len(), b.steps.len());
+            for (sa, sb) in a.steps.iter().zip(&b.steps) {
+                assert_eq!(sa.iterations, sb.iterations);
+                assert_eq!(sa.final_residual.to_bits(), sb.final_residual.to_bits());
+            }
+            assert_eq!(a.final_u, b.final_u, "caching must not change results");
+        }
+    }
+
+    #[test]
+    fn a_bad_deck_fails_its_job_only() {
+        let mut jobs = vec![job(16, "cg", 1e-8), job(16, "cg", 1e-8)];
+        jobs[0].deck.control.solver = "warp".into();
+        jobs[0].label = "bad.in".into();
+        let report = serve_decks(jobs, &ServeOptions::default());
+        assert_eq!(report.stats.failed, 1);
+        let err = report.outcomes[0].result.as_ref().unwrap_err();
+        assert!(err.starts_with("bad.in:"), "{err}");
+        assert!(report.outcomes[1].result.is_ok());
+    }
+}

@@ -34,7 +34,7 @@ fn main() {
             d.control.ppcg_inner_steps = m;
             d
         };
-        let out = tea_app::run_serial(&deck);
+        let out = tea_app::run_serial(&deck).expect("deck runs");
         let iters: u64 = out.steps.iter().map(|s| s.iterations).sum();
         let presteps = 30 * args.steps; // eigen-estimation prelude
         let outer = iters.saturating_sub(presteps);

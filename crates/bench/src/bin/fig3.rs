@@ -27,7 +27,7 @@ fn main() {
         args.steps as f64 * deck.control.dt
     );
 
-    let out = run_serial(&deck);
+    let out = run_serial(&deck).expect("deck runs");
     for s in &out.steps {
         if let Some(sum) = s.summary {
             println!(

@@ -36,7 +36,7 @@ fn main() {
         deck.control.end_step = args.steps;
         deck.control.ppcg_halo_depth = 4;
         deck.control.summary_frequency = 0;
-        let out = run_serial(&deck);
+        let out = run_serial(&deck).expect("deck runs");
         let t = out.final_summary.average_temperature();
         let iters = out.steps.iter().map(|s| s.iterations).sum::<u64>() / args.steps.max(1);
         let delta = prev.map(|p| (t - p).abs()).unwrap_or(f64::NAN);

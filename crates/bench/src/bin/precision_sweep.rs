@@ -121,11 +121,11 @@ fn deck_for(leg: &Leg, cells: usize, args: &Args) -> Deck {
     if leg.family == "ppcg" {
         deck.control.ppcg_halo_depth = 4;
         deck.control.ppcg_inner_steps = 16;
-        // neither Jacobi preconditioner can ride matrix powers on a
-        // decomposed tile (block-Jacobi by §IV.C.2; the diagonal needs a
-        // coefficient layer beyond the matrix-powers depth) — and the
-        // halo-volume runs here are real decomposed runs, so the
-        // deep-halo legs run unpreconditioned like the paper's CPPCG
+        // block-Jacobi cannot ride matrix powers on a decomposed tile
+        // (§IV.C.2; the diagonal now can — the driver assembles the
+        // extra coefficient layer it needs) — keep the deep-halo legs
+        // unpreconditioned like the paper's CPPCG so BENCH numbers stay
+        // comparable across revisions
         deck.control.precon = tea_core::PreconKind::None;
     }
     deck
@@ -153,7 +153,7 @@ struct Row {
 
 /// Runs the deck decomposed and sums the measured per-rank comm bytes.
 fn measure_halo_volume(deck: &Deck, ranks: usize) -> StatsSnapshot {
-    let outs = run_threaded_ranks(deck, ranks);
+    let outs = run_threaded_ranks(deck, ranks).expect("deck runs");
     let mut v = StatsSnapshot::default();
     for o in &outs {
         v.merge(&o.comm);
@@ -165,11 +165,11 @@ fn measure(leg: &Leg, cells: usize, args: &Args, reference: Option<&Field2D>) ->
     let deck = deck_for(leg, cells, args);
     let solver = deck.control.effective_solver().expect("legs are routable");
 
-    let _ = run_serial(&deck); // discarded warm-up
+    let _ = run_serial(&deck).expect("deck runs"); // discarded warm-up
     let mut wall_s = f64::INFINITY;
     let mut run = None;
     for _ in 0..args.reps {
-        let out = run_serial(&deck);
+        let out = run_serial(&deck).expect("deck runs");
         wall_s = wall_s.min(solve_wall(&out));
         run = Some(out);
     }

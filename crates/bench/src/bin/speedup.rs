@@ -154,7 +154,7 @@ fn measure(solver: &str, label: &'static str, cells: usize, args: &Args) -> Row 
 
     // discarded warm-up: allocator, page cache, branch predictors
     tea_core::set_num_threads(1);
-    let _ = run_serial(&deck);
+    let _ = run_serial(&deck).expect("deck runs");
 
     // alternate serial/threaded reps and keep the minimum of each, so
     // slow outliers (scheduler noise, background load) cannot bias the
@@ -165,12 +165,12 @@ fn measure(solver: &str, label: &'static str, cells: usize, args: &Args) -> Row 
     let mut threaded = None;
     for _ in 0..args.reps {
         tea_core::set_num_threads(1);
-        let run = run_serial(&deck);
+        let run = run_serial(&deck).expect("deck runs");
         serial_s = serial_s.min(solve_wall(&run));
         serial = Some(run);
 
         tea_core::set_num_threads(args.threads);
-        let run = run_serial(&deck);
+        let run = run_serial(&deck).expect("deck runs");
         threaded_s = threaded_s.min(solve_wall(&run));
         threaded = Some(run);
     }

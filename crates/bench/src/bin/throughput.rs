@@ -1,0 +1,270 @@
+//! `throughput` — the PR 6 batched-solve scheduler benchmark.
+//!
+//! Queues many independent crooked-pipe decks (a configurable number of
+//! *distinct* decks, cycled until the queue reaches `--jobs` entries)
+//! and drains them through [`tea_app::serve_decks`] twice:
+//!
+//! * **cache off** — every job builds and prepares its solver cold;
+//! * **cache on** — jobs with equal setup keys (geometry, coefficients
+//!   fingerprint, solver, precision, halo depth) reuse pooled
+//!   [`tea_core::SolveSession`]s and skip `prepare`.
+//!
+//! The harness **asserts** the correctness story before writing any
+//! numbers: both legs must drain without failures, every job's per-step
+//! iteration counts and residual histories must be *bit-identical*
+//! between the legs (session reuse must not change results), the cached
+//! leg must record cache hits, and it must issue measurably fewer
+//! `prepare` calls than the cold leg. Queue-level stats — jobs/sec and
+//! p50/p99 job latency — land in the JSON artefact for both legs.
+//!
+//! ```text
+//! cargo run --release -p tea-bench --bin throughput -- \
+//!     --jobs 1000 --distinct 100 --out BENCH_PR6.json
+//! ```
+//!
+//! CI runs the same binary in smoke mode (`--jobs 120 --distinct 12`);
+//! the asserts are scale-independent.
+//!
+//! Timing honesty: each leg is measured once, end to end, wall-clock —
+//! a queue drain *is* the workload, so there is no warm-up/min-of-reps
+//! protocol; the hardware thread count and worker count are recorded so
+//! readers can judge the absolute numbers.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use tea_app::{crooked_pipe_deck, serve_decks, DeckJob, RankOutput};
+use tea_serve::{QueueStats, ServeOptions, ServeReport};
+
+const SOLVERS: [&str; 5] = ["cg", "cg_fused", "chebyshev", "ppcg", "mixed_cg"];
+const SIZES: [usize; 8] = [12, 16, 20, 24, 28, 32, 36, 40];
+const EPS: [f64; 3] = [1e-6, 1e-8, 1e-10];
+
+struct Args {
+    jobs: usize,
+    distinct: usize,
+    steps: u64,
+    workers: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        jobs: 1000,
+        distinct: 100,
+        steps: 2,
+        workers: 0,
+        out: PathBuf::from("BENCH_PR6.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_default();
+        match flag.as_str() {
+            "--jobs" => args.jobs = value().parse().expect("--jobs"),
+            "--distinct" => args.distinct = value().parse().expect("--distinct"),
+            "--steps" => args.steps = value().parse().expect("--steps"),
+            "--workers" => args.workers = value().parse().expect("--workers"),
+            "--out" => args.out = PathBuf::from(value()),
+            "--help" | "-h" => {
+                println!(
+                    "throughput: batched multi-solve scheduler, cache on vs off, JSON artefact\n\
+                     --jobs N      queued jobs (default 1000)\n\
+                     --distinct D  distinct decks cycled through the queue (default 100, max {})\n\
+                     --steps N     time steps per job (default 2)\n\
+                     --workers W   scheduler workers, 0 = all cores (default 0)\n\
+                     --out FILE    JSON artefact path (default BENCH_PR6.json)",
+                    SOLVERS.len() * SIZES.len() * EPS.len()
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    assert!(args.jobs >= 1, "--jobs must be positive");
+    assert!(
+        (1..=SOLVERS.len() * SIZES.len() * EPS.len()).contains(&args.distinct),
+        "--distinct must be in 1..={}",
+        SOLVERS.len() * SIZES.len() * EPS.len()
+    );
+    args
+}
+
+/// The `i`-th distinct deck: solver varies fastest, then mesh size,
+/// then tolerance, so any prefix of the enumeration already mixes
+/// solver families and setup keys.
+fn distinct_deck(i: usize, steps: u64) -> DeckJob {
+    let solver = SOLVERS[i % SOLVERS.len()];
+    let n = SIZES[(i / SOLVERS.len()) % SIZES.len()];
+    let eps = EPS[(i / (SOLVERS.len() * SIZES.len())) % EPS.len()];
+    let mut deck = crooked_pipe_deck(n, solver);
+    deck.control.end_step = steps;
+    deck.control.summary_frequency = 0;
+    deck.control.opts.eps = eps;
+    DeckJob {
+        label: format!("{solver}-{n}-eps{eps:e}"),
+        deck,
+    }
+}
+
+fn build_queue(args: &Args) -> Vec<DeckJob> {
+    (0..args.jobs)
+        .map(|j| distinct_deck(j % args.distinct, args.steps))
+        .collect()
+}
+
+/// Both legs ran the same queue: results must be bit-identical per job.
+fn assert_bitwise_equal(cold: &ServeReport<RankOutput>, warm: &ServeReport<RankOutput>) {
+    assert_eq!(cold.stats.failed, 0, "cold leg must drain cleanly");
+    assert_eq!(warm.stats.failed, 0, "cached leg must drain cleanly");
+    for (c, w) in cold.outcomes.iter().zip(&warm.outcomes) {
+        let (c, w) = (c.result.as_ref().unwrap(), w.result.as_ref().unwrap());
+        assert_eq!(c.steps.len(), w.steps.len());
+        for (sc, sw) in c.steps.iter().zip(&w.steps) {
+            assert_eq!(
+                sc.iterations, sw.iterations,
+                "session reuse must not change iteration counts"
+            );
+            assert_eq!(
+                sc.initial_residual.to_bits(),
+                sw.initial_residual.to_bits(),
+                "session reuse must not change the residual history"
+            );
+            assert_eq!(
+                sc.final_residual.to_bits(),
+                sw.final_residual.to_bits(),
+                "session reuse must not change the residual history"
+            );
+        }
+        assert_eq!(c.final_u, w.final_u, "caching must not change the field");
+    }
+}
+
+fn leg_json(f: &mut std::fs::File, name: &str, s: &QueueStats, last: bool) -> std::io::Result<()> {
+    let comma = if last { "" } else { "," };
+    writeln!(
+        f,
+        "    {{\"cache\": \"{name}\", \"jobs\": {}, \"failed\": {}, \"wall_s\": {:.6}, \
+         \"jobs_per_sec\": {:.2}, \"p50_latency_s\": {:.6}, \"p99_latency_s\": {:.6}, \
+         \"hits\": {}, \"misses\": {}, \"prepares\": {}}}{comma}",
+        s.jobs,
+        s.failed,
+        s.wall_s,
+        s.jobs_per_sec,
+        s.p50_latency_s,
+        s.p99_latency_s,
+        s.cache.hits,
+        s.cache.misses,
+        s.cache.prepares,
+    )
+}
+
+fn write_json(
+    args: &Args,
+    hw_threads: usize,
+    workers: usize,
+    cold: &QueueStats,
+    warm: &QueueStats,
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(&args.out)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"bench\": \"throughput\",")?;
+    writeln!(f, "  \"pr\": 6,")?;
+    writeln!(f, "  \"workload\": \"crooked_pipe\",")?;
+    writeln!(f, "  \"hardware_threads\": {hw_threads},")?;
+    writeln!(f, "  \"workers\": {workers},")?;
+    writeln!(f, "  \"jobs\": {},", args.jobs)?;
+    writeln!(f, "  \"distinct_decks\": {},", args.distinct)?;
+    writeln!(f, "  \"steps_per_job\": {},", args.steps)?;
+    writeln!(
+        f,
+        "  \"solvers\": [\"cg\", \"cg_fused\", \"chebyshev\", \"ppcg\", \"mixed_cg\"],"
+    )?;
+    writeln!(
+        f,
+        "  \"prepares_saved\": {},",
+        cold.cache.prepares - warm.cache.prepares
+    )?;
+    writeln!(
+        f,
+        "  \"speedup_jobs_per_sec\": {:.4},",
+        warm.jobs_per_sec / cold.jobs_per_sec
+    )?;
+    writeln!(f, "  \"legs\": [")?;
+    leg_json(&mut f, "off", cold, false)?;
+    leg_json(&mut f, "on", warm, true)?;
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+fn print_leg(name: &str, s: &QueueStats) {
+    println!(
+        "{name:>9}: {} job(s) in {:.3}s = {:.1} jobs/sec, p50 {:.4}s, p99 {:.4}s, \
+         cache {} hit(s) / {} miss(es) / {} prepare(s)",
+        s.jobs,
+        s.wall_s,
+        s.jobs_per_sec,
+        s.p50_latency_s,
+        s.p99_latency_s,
+        s.cache.hits,
+        s.cache.misses,
+        s.cache.prepares
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    let hw_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let opts = ServeOptions {
+        workers: args.workers,
+        threads_per_job: Some(1),
+        cache: true,
+    };
+    let workers = opts.effective_workers();
+    println!(
+        "throughput: {} job(s) over {} distinct deck(s), {} step(s) each, \
+         {} worker(s), {} hardware thread(s)",
+        args.jobs, args.distinct, args.steps, workers, hw_threads
+    );
+
+    let cold = serve_decks(
+        build_queue(&args),
+        &ServeOptions {
+            cache: false,
+            ..opts
+        },
+    );
+    print_leg("cache off", &cold.stats);
+    let warm = serve_decks(build_queue(&args), &opts);
+    print_leg("cache on", &warm.stats);
+
+    // the correctness story, asserted before any number is recorded
+    assert_bitwise_equal(&cold, &warm);
+    assert_eq!(
+        cold.stats.cache.hits, 0,
+        "the cold leg must never hit the cache"
+    );
+    assert_eq!(
+        cold.stats.cache.prepares, args.jobs as u64,
+        "the cold leg must prepare once per job"
+    );
+    assert!(
+        warm.stats.cache.hits > 0,
+        "repeated decks must hit the session cache"
+    );
+    assert!(
+        warm.stats.cache.prepares < cold.stats.cache.prepares,
+        "the pool must save preparations: {} (on) vs {} (off)",
+        warm.stats.cache.prepares,
+        cold.stats.cache.prepares
+    );
+
+    write_json(&args, hw_threads, workers, &cold.stats, &warm.stats).expect("write JSON artefact");
+    println!(
+        "cache reuse saved {} of {} prepare call(s); wrote {}",
+        cold.stats.cache.prepares - warm.stats.cache.prepares,
+        cold.stats.cache.prepares,
+        args.out.display()
+    );
+}

@@ -138,7 +138,7 @@ pub struct Measurement {
 /// Runs a configuration serially and returns its protocol.
 pub fn measure(config: &SolverConfig, cells: usize, steps: u64) -> Measurement {
     let deck = config.deck(cells, steps);
-    let out = run_serial(&deck);
+    let out = run_serial(&deck).expect("deck runs");
     assert!(
         out.steps.iter().all(|s| s.converged),
         "{} failed to converge at {cells}^2",

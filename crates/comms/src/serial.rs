@@ -38,6 +38,13 @@ impl Communicator for SerialComm {
         locals.to_vec()
     }
 
+    fn allreduce_sum_payload(&self, locals: Payload) -> Payload {
+        // identity, but width-accounted: an f32 reduction is counted at
+        // 4 bytes/element here exactly as on the threaded backend
+        self.stats.count_reduction_payload(&locals);
+        locals
+    }
+
     fn allreduce_min(&self, local: f64) -> f64 {
         self.stats.count_reduction(1);
         local
@@ -85,6 +92,19 @@ mod tests {
         let s = c.stats().snapshot();
         assert_eq!(s.reductions, 3);
         assert_eq!(s.barriers, 1);
+    }
+
+    #[test]
+    fn payload_reduction_is_identity_and_width_accounted() {
+        let c = SerialComm::new();
+        let out = c.allreduce_sum_payload(Payload::F32(vec![1.5, -2.0]));
+        assert_eq!(out, Payload::F32(vec![1.5, -2.0]));
+        let out = c.allreduce_sum_payload(Payload::F64(vec![0.25]));
+        assert_eq!(out, Payload::F64(vec![0.25]));
+        let s = c.stats().snapshot();
+        assert_eq!(s.reductions, 2);
+        assert_eq!(s.reduction_elems_f32, 2);
+        assert_eq!(s.reduction_elems_f64, 1);
     }
 
     #[test]

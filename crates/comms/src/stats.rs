@@ -23,7 +23,8 @@ pub struct CommStats {
     elems_received_f64: AtomicU64,
     elems_received_f32: AtomicU64,
     reductions: AtomicU64,
-    reduction_elements: AtomicU64,
+    reduction_elems_f64: AtomicU64,
+    reduction_elems_f32: AtomicU64,
     barriers: AtomicU64,
 }
 
@@ -44,8 +45,10 @@ pub struct StatsSnapshot {
     pub elems_received_f32: u64,
     /// Number of allreduce operations (fused counts once).
     pub reductions: u64,
-    /// Total scalar elements reduced.
-    pub reduction_elements: u64,
+    /// `f64` scalar elements reduced (8 wire bytes each).
+    pub reduction_elems_f64: u64,
+    /// `f32` scalar elements reduced (4 wire bytes each).
+    pub reduction_elems_f32: u64,
     /// Barrier operations.
     pub barriers: u64,
 }
@@ -59,6 +62,18 @@ impl StatsSnapshot {
     /// Total payload elements received, any width.
     pub fn elems_received(&self) -> u64 {
         self.elems_received_f64 + self.elems_received_f32
+    }
+
+    /// Total scalar elements reduced, any width.
+    pub fn reduction_elements(&self) -> u64 {
+        self.reduction_elems_f64 + self.reduction_elems_f32
+    }
+
+    /// Reduction traffic in bytes, accounted by element width — one
+    /// contribution per rank per element (what each rank puts on the
+    /// wire, matching the point-to-point accounting).
+    pub fn reduction_bytes(&self) -> u64 {
+        self.reduction_elems_f64 * 8 + self.reduction_elems_f32 * 4
     }
 
     /// Payload bytes sent, accounted by element width (8 per `f64`
@@ -95,7 +110,8 @@ impl StatsSnapshot {
             elems_received_f64,
             elems_received_f32,
             reductions,
-            reduction_elements,
+            reduction_elems_f64,
+            reduction_elems_f32,
             barriers,
         } = other;
         self.msgs_sent += msgs_sent;
@@ -105,7 +121,8 @@ impl StatsSnapshot {
         self.elems_received_f64 += elems_received_f64;
         self.elems_received_f32 += elems_received_f32;
         self.reductions += reductions;
-        self.reduction_elements += reduction_elements;
+        self.reduction_elems_f64 += reduction_elems_f64;
+        self.reduction_elems_f32 += reduction_elems_f32;
         self.barriers += barriers;
     }
 }
@@ -138,11 +155,24 @@ impl CommStats {
         };
     }
 
-    /// Records one allreduce of `elements` fused scalars.
+    /// Records one allreduce of `elements` fused `f64` scalars (the
+    /// historical wire width; width-native reductions go through
+    /// [`CommStats::count_reduction_payload`]).
     pub fn count_reduction(&self, elements: usize) {
         self.reductions.fetch_add(1, Ordering::Relaxed);
-        self.reduction_elements
+        self.reduction_elems_f64
             .fetch_add(elements as u64, Ordering::Relaxed);
+    }
+
+    /// Records one allreduce, attributing its elements to the payload's
+    /// width bucket.
+    pub fn count_reduction_payload(&self, locals: &Payload) {
+        self.reductions.fetch_add(1, Ordering::Relaxed);
+        let n = locals.len() as u64;
+        match locals {
+            Payload::F64(_) => self.reduction_elems_f64.fetch_add(n, Ordering::Relaxed),
+            Payload::F32(_) => self.reduction_elems_f32.fetch_add(n, Ordering::Relaxed),
+        };
     }
 
     /// Records a barrier.
@@ -160,7 +190,8 @@ impl CommStats {
             elems_received_f64: self.elems_received_f64.load(Ordering::Relaxed),
             elems_received_f32: self.elems_received_f32.load(Ordering::Relaxed),
             reductions: self.reductions.load(Ordering::Relaxed),
-            reduction_elements: self.reduction_elements.load(Ordering::Relaxed),
+            reduction_elems_f64: self.reduction_elems_f64.load(Ordering::Relaxed),
+            reduction_elems_f32: self.reduction_elems_f32.load(Ordering::Relaxed),
             barriers: self.barriers.load(Ordering::Relaxed),
         }
     }
@@ -174,7 +205,8 @@ impl CommStats {
         self.elems_received_f64.store(0, Ordering::Relaxed);
         self.elems_received_f32.store(0, Ordering::Relaxed);
         self.reductions.store(0, Ordering::Relaxed);
-        self.reduction_elements.store(0, Ordering::Relaxed);
+        self.reduction_elems_f64.store(0, Ordering::Relaxed);
+        self.reduction_elems_f32.store(0, Ordering::Relaxed);
         self.barriers.store(0, Ordering::Relaxed);
     }
 }
@@ -190,6 +222,7 @@ mod tests {
         s.count_send(&Payload::F64(vec![0.0; 50]));
         s.count_recv(&Payload::F64(vec![0.0; 100]));
         s.count_reduction(3);
+        s.count_reduction_payload(&Payload::F32(vec![0.0; 2]));
         s.count_barrier();
         let snap = s.snapshot();
         assert_eq!(snap.msgs_sent, 2);
@@ -197,8 +230,11 @@ mod tests {
         assert_eq!(snap.elems_sent(), 150);
         assert_eq!(snap.bytes_sent(), 1200);
         assert_eq!(snap.msgs_received, 1);
-        assert_eq!(snap.reductions, 1);
-        assert_eq!(snap.reduction_elements, 3);
+        assert_eq!(snap.reductions, 2);
+        assert_eq!(snap.reduction_elems_f64, 3);
+        assert_eq!(snap.reduction_elems_f32, 2);
+        assert_eq!(snap.reduction_elements(), 5);
+        assert_eq!(snap.reduction_bytes(), 3 * 8 + 2 * 4);
         assert_eq!(snap.barriers, 1);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
@@ -214,6 +250,7 @@ mod tests {
         let b = CommStats::new();
         b.count_send(&Payload::F32(vec![0.0; 10]));
         b.count_recv(&Payload::F64(vec![0.0; 3]));
+        b.count_reduction_payload(&Payload::F32(vec![0.0; 4]));
         let mut total = a.snapshot();
         total.merge(&b.snapshot());
         assert_eq!(total.msgs_sent, 2);
@@ -222,8 +259,10 @@ mod tests {
         assert_eq!(total.msgs_received, 2);
         assert_eq!(total.elems_received_f64, 3);
         assert_eq!(total.elems_received_f32, 6);
-        assert_eq!(total.reductions, 1);
-        assert_eq!(total.reduction_elements, 2);
+        assert_eq!(total.reductions, 2);
+        assert_eq!(total.reduction_elems_f64, 2);
+        assert_eq!(total.reduction_elems_f32, 4);
+        assert_eq!(total.reduction_elements(), 6);
         assert_eq!(total.barriers, 1);
         assert_eq!(total.bytes_sent(), 4 * 8 + 10 * 4);
     }

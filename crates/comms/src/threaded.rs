@@ -14,7 +14,7 @@
 //! decomposed runs against serial ones.
 
 use crate::stats::CommStats;
-use crate::wire::Payload;
+use crate::wire::{Payload, WireScalar};
 use crate::Communicator;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
@@ -26,12 +26,13 @@ struct Msg {
     data: Payload,
 }
 
-/// Reduction / barrier rendezvous state (generation-counted).
+/// Reduction / barrier rendezvous state (generation-counted). Slots are
+/// typed payloads so an f32 reduction folds in f32 end to end.
 struct ReduceState {
     generation: u64,
     deposited: usize,
-    slots: Vec<Vec<f64>>,
-    result: Vec<f64>,
+    slots: Vec<Payload>,
+    result: Payload,
 }
 
 /// What to fold during a rendezvous.
@@ -79,8 +80,8 @@ impl Shared {
             reduce: Mutex::new(ReduceState {
                 generation: 0,
                 deposited: 0,
-                slots: vec![Vec::new(); size],
-                result: Vec::new(),
+                slots: vec![Payload::F64(Vec::new()); size],
+                result: Payload::F64(Vec::new()),
             }),
             reduce_cv: Condvar::new(),
         })
@@ -88,35 +89,18 @@ impl Shared {
 
     /// Generic rendezvous: every rank deposits `locals`; the last arrival
     /// folds all slots in rank order with `op`; everyone returns the
-    /// folded vector.
-    fn rendezvous(&self, rank: usize, locals: &[f64], op: ReduceOp) -> Vec<f64> {
+    /// folded payload. Every rank must deposit the same width and length
+    /// — a mismatch is a protocol error and panics.
+    fn rendezvous(&self, rank: usize, locals: Payload, op: ReduceOp) -> Payload {
         let mut st = self.reduce.lock();
-        st.slots[rank] = locals.to_vec();
+        st.slots[rank] = locals;
         st.deposited += 1;
         if st.deposited == self.size {
-            // fold in rank order for determinism
-            let mut result = vec![
-                match op {
-                    ReduceOp::Sum | ReduceOp::Barrier => 0.0,
-                    ReduceOp::Min => f64::INFINITY,
-                    ReduceOp::Max => f64::NEG_INFINITY,
-                };
-                locals.len()
-            ];
-            for r in 0..self.size {
-                debug_assert_eq!(
-                    st.slots[r].len(),
-                    locals.len(),
-                    "rank {r} joined a reduction with mismatched element count"
-                );
-                for (acc, &v) in result.iter_mut().zip(&st.slots[r]) {
-                    match op {
-                        ReduceOp::Sum | ReduceOp::Barrier => *acc += v,
-                        ReduceOp::Min => *acc = acc.min(v),
-                        ReduceOp::Max => *acc = acc.max(v),
-                    }
-                }
-            }
+            // fold in rank order for determinism, in the deposited width
+            let result = match &st.slots[0] {
+                Payload::F64(_) => fold_slots::<f64>(&st.slots, op),
+                Payload::F32(_) => fold_slots::<f32>(&st.slots, op),
+            };
             st.result = result.clone();
             st.deposited = 0;
             st.generation = st.generation.wrapping_add(1);
@@ -130,6 +114,48 @@ impl Shared {
             st.result.clone()
         }
     }
+}
+
+/// Folds rank-ordered slots element-wise in the payload's own precision.
+/// The accumulator starts from rank 0's contribution, so no width-specific
+/// identity constants are needed and a single-rank fold returns the local
+/// values bit-exactly.
+fn fold_slots<S: WireScalar>(slots: &[Payload], op: ReduceOp) -> Payload {
+    let first = S::payload_slice(&slots[0]).expect("fold width chosen from slot 0");
+    let mut result: Vec<S> = first.to_vec();
+    for (r, slot) in slots.iter().enumerate().skip(1) {
+        let vals = match S::payload_slice(slot) {
+            Ok(v) => v,
+            Err(e) => panic!(
+                "rank {r} joined a {} reduction with a {}-element {} payload \
+                 (every rank must deposit the same wire precision)",
+                S::NAME,
+                e.len,
+                e.received
+            ),
+        };
+        assert_eq!(
+            vals.len(),
+            result.len(),
+            "rank {r} joined a reduction with mismatched element count"
+        );
+        for (acc, &v) in result.iter_mut().zip(vals) {
+            match op {
+                ReduceOp::Sum | ReduceOp::Barrier => *acc += v,
+                ReduceOp::Min => {
+                    if v < *acc {
+                        *acc = v;
+                    }
+                }
+                ReduceOp::Max => {
+                    if v > *acc {
+                        *acc = v;
+                    }
+                }
+            }
+        }
+    }
+    S::into_payload(result)
 }
 
 /// Per-rank handle onto the threaded machine.
@@ -159,22 +185,45 @@ impl Communicator for ThreadedComm {
 
     fn allreduce_sum_many(&self, locals: &[f64]) -> Vec<f64> {
         self.stats.count_reduction(locals.len());
+        self.shared
+            .rendezvous(self.rank, Payload::F64(locals.to_vec()), ReduceOp::Sum)
+            .try_into_vec()
+            .expect("f64 deposit folds to an f64 result")
+    }
+
+    fn allreduce_sum_payload(&self, locals: Payload) -> Payload {
+        // width-native: an F32 deposit is accounted at 4 bytes/element
+        // and folded in f32, never touching f64 on the "wire"
+        self.stats.count_reduction_payload(&locals);
         self.shared.rendezvous(self.rank, locals, ReduceOp::Sum)
     }
 
     fn allreduce_min(&self, local: f64) -> f64 {
         self.stats.count_reduction(1);
-        self.shared.rendezvous(self.rank, &[local], ReduceOp::Min)[0]
+        match self
+            .shared
+            .rendezvous(self.rank, Payload::F64(vec![local]), ReduceOp::Min)
+        {
+            Payload::F64(v) => v[0],
+            Payload::F32(_) => unreachable!("f64 deposit folds to an f64 result"),
+        }
     }
 
     fn allreduce_max(&self, local: f64) -> f64 {
         self.stats.count_reduction(1);
-        self.shared.rendezvous(self.rank, &[local], ReduceOp::Max)[0]
+        match self
+            .shared
+            .rendezvous(self.rank, Payload::F64(vec![local]), ReduceOp::Max)
+        {
+            Payload::F64(v) => v[0],
+            Payload::F32(_) => unreachable!("f64 deposit folds to an f64 result"),
+        }
     }
 
     fn barrier(&self) {
         self.stats.count_barrier();
-        self.shared.rendezvous(self.rank, &[], ReduceOp::Barrier);
+        self.shared
+            .rendezvous(self.rank, Payload::F64(Vec::new()), ReduceOp::Barrier);
     }
 
     fn send(&self, to: usize, tag: u64, data: Payload) {
@@ -361,6 +410,48 @@ mod tests {
         assert_eq!(snaps[1].elems_received_f32, 2);
         assert_eq!(snaps[1].bytes_received(), 32);
         assert_eq!(snaps[0].barriers, 1);
+    }
+
+    #[test]
+    fn f32_payload_reduction_folds_natively() {
+        let results = run_threaded(4, |c| {
+            let local = Payload::F32(vec![c.rank() as f32 + 0.5, 1.0]);
+            let folded = c.allreduce_sum_payload(local);
+            let snap = c.stats().snapshot();
+            (folded, snap)
+        });
+        for (folded, snap) in results {
+            // rank-order f32 fold: 0.5 + 1.5 + 2.5 + 3.5, exactly
+            assert_eq!(folded, Payload::F32(vec![8.0, 4.0]));
+            assert_eq!(snap.reductions, 1);
+            assert_eq!(snap.reduction_elems_f32, 2);
+            assert_eq!(snap.reduction_elems_f64, 0);
+            assert_eq!(snap.reduction_bytes(), 2 * 4);
+        }
+    }
+
+    #[test]
+    fn f64_payload_reduction_matches_allreduce_sum_many() {
+        let results = run_threaded(3, |c| {
+            let locals = vec![c.rank() as f64, 2.0 * c.rank() as f64];
+            let many = c.allreduce_sum_many(&locals);
+            let payload = c.allreduce_sum_payload(Payload::F64(locals));
+            (many, payload)
+        });
+        for (many, payload) in results {
+            assert_eq!(Payload::F64(many), payload);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same wire precision")]
+    fn mixed_width_reduction_is_a_protocol_error() {
+        // exercised on the fold directly: in a live rendezvous the panic
+        // fires in whichever rank arrives last, like a tag mismatch
+        fold_slots::<f64>(
+            &[Payload::F64(vec![1.0]), Payload::F32(vec![1.0])],
+            ReduceOp::Sum,
+        );
     }
 
     #[test]

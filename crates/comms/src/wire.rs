@@ -128,6 +128,13 @@ pub trait WireScalar: Scalar {
     /// # Errors
     /// [`WireError`] when the payload was packed at a different width.
     fn from_payload(payload: Payload) -> Result<Vec<Self>, WireError>;
+
+    /// Borrows a payload's elements without consuming it, verifying the
+    /// format — how the reduction fold reads deposited slots in place.
+    ///
+    /// # Errors
+    /// [`WireError`] when the payload was packed at a different width.
+    fn payload_slice(payload: &Payload) -> Result<&[Self], WireError>;
 }
 
 impl WireScalar for f64 {
@@ -145,6 +152,17 @@ impl WireScalar for f64 {
             }),
         }
     }
+
+    fn payload_slice(payload: &Payload) -> Result<&[Self], WireError> {
+        match payload {
+            Payload::F64(v) => Ok(v),
+            other => Err(WireError {
+                expected: f64::NAME,
+                received: other.scalar_name(),
+                len: other.len(),
+            }),
+        }
+    }
 }
 
 impl WireScalar for f32 {
@@ -153,6 +171,17 @@ impl WireScalar for f32 {
     }
 
     fn from_payload(payload: Payload) -> Result<Vec<Self>, WireError> {
+        match payload {
+            Payload::F32(v) => Ok(v),
+            other => Err(WireError {
+                expected: f32::NAME,
+                received: other.scalar_name(),
+                len: other.len(),
+            }),
+        }
+    }
+
+    fn payload_slice(payload: &Payload) -> Result<&[Self], WireError> {
         match payload {
             Payload::F32(v) => Ok(v),
             other => Err(WireError {

@@ -15,6 +15,7 @@
 //! 2. [`crate::SolverRegistry`] — string-keyed construction + metadata;
 //! 3. [`IterativeSolver`] — the trait each method implements.
 
+use crate::eigen::EigenEstimate;
 use crate::precon::PreconKind;
 use crate::solver::{SolveOpts, Tile, Workspace};
 use crate::trace::{SolveResult, SolveTrace};
@@ -255,8 +256,10 @@ impl std::error::Error for SolverError {}
 /// `solve` also prepares on demand, so single-shot callers may skip
 /// step 1. The supertrait `Any` lets drivers recover solver-specific
 /// diagnostics (e.g. the AMG V-cycle trace) by downcasting without the
-/// solve path ever branching on the concrete type.
-pub trait IterativeSolver: Any {
+/// solve path ever branching on the concrete type; `Send` lets a
+/// prepared solver move between the scheduler threads of a serving
+/// queue (every in-tree solver is plain owned data).
+pub trait IterativeSolver: Any + Send {
     /// Canonical registry name (`"cg"`, `"ppcg"`, ...).
     fn name(&self) -> &'static str;
 
@@ -296,6 +299,23 @@ pub trait IterativeSolver: Any {
     /// driver never branches on the concrete solver. Callers downcast
     /// to the payload types they know how to report. Default: `None`.
     fn take_diagnostics(&mut self) -> Option<Box<dyn Any>> {
+        None
+    }
+
+    /// Pins the eigenvalue estimate the next solve would otherwise
+    /// derive from its CG-Lanczos presteps (Chebyshev, Richardson, the
+    /// PPCG family). The presteps still run — they advance the solution
+    /// exactly as before — but the spectrum analysis is skipped in
+    /// favour of `hint`. `None` clears a previous pin. Methods without
+    /// an eigen prelude ignore this (the default).
+    fn set_eigen_hint(&mut self, _hint: Option<EigenEstimate>) {}
+
+    /// The eigenvalue estimate the last solve actually used — computed
+    /// from its presteps or pinned via
+    /// [`IterativeSolver::set_eigen_hint`]. `None` for methods without
+    /// an eigen prelude (the default) or before the first solve. A
+    /// session harvests this to seed the next solve on identical input.
+    fn last_eigen_estimate(&self) -> Option<EigenEstimate> {
         None
     }
 }

@@ -162,6 +162,29 @@ impl<'a> Solve<'a> {
         registry.create(&name, &self.params)
     }
 
+    /// Splits the builder into its reusable half: a
+    /// [`crate::SolveSession`] that owns a clone of the operator plus
+    /// the tile plumbing, workspace and solver instance `run` would
+    /// have allocated per call, and keeps them alive across solves.
+    /// Callers serving repeated right-hand sides over one operator
+    /// should prefer this to calling [`Solve::run`] in a loop.
+    ///
+    /// # Errors
+    /// [`SolverError::UnknownSolver`] if the name resolves against
+    /// neither the chosen registry nor the builtin one.
+    pub fn session(&self) -> Result<crate::SolveSession, SolverError> {
+        let spec = crate::SessionSpec {
+            solver: self.solver.clone(),
+            precision: self.precision,
+            opts: self.opts,
+            params: self.params.clone(),
+        };
+        match self.registry {
+            Some(r) => crate::SolveSession::with_registry(self.op.clone(), &spec, r),
+            None => crate::SolveSession::build(self.op.clone(), &spec),
+        }
+    }
+
     /// Runs the solve on a single serial tile, allocating the workspace
     /// internally. `u` enters as the initial guess and exits as the
     /// solution.
@@ -223,11 +246,16 @@ pub fn crooked_pipe_system(n: usize, dt: f64, halo: usize) -> (TileOperator, Fie
     let halo = halo.max(1);
     let problem = crooked_pipe(n);
     let mesh = Mesh2D::serial(n, n, problem.extent);
-    let mut density = Field2D::new(n, n, halo);
-    let mut energy = Field2D::new(n, n, halo);
+    // coefficients one layer deeper than the solver halo, like the app
+    // driver: the operator diagonal at extension `halo` reads the face
+    // coefficient one cell beyond, so Diagonal preconditioning at the
+    // full matrix-powers depth needs the extra ghost layer (values at
+    // shared cells are identical — liveness only, never results)
+    let mut density = Field2D::new(n, n, halo + 1);
+    let mut energy = Field2D::new(n, n, halo + 1);
     problem.apply_states(&mesh, &mut density, &mut energy);
     let (rx, ry) = timestep_scalings(&mesh, dt);
-    let coeffs = Coefficients::assemble(&mesh, &density, problem.coefficient, rx, ry, halo);
+    let coeffs = Coefficients::assemble(&mesh, &density, problem.coefficient, rx, ry, halo + 1);
     let op = TileOperator::new(coeffs, TileBounds::new(&mesh, halo));
     let mut b = Field2D::new(n, n, halo);
     for k in 0..n as isize {

@@ -123,6 +123,8 @@ pub struct Chebyshev {
     cheby: ChebyOpts,
     opts: SolveOpts,
     precon: Option<Preconditioner>,
+    hint: Option<EigenEstimate>,
+    last_est: Option<EigenEstimate>,
 }
 
 impl Chebyshev {
@@ -134,6 +136,8 @@ impl Chebyshev {
             cheby,
             opts: SolveOpts::default(),
             precon: None,
+            hint: None,
+            last_est: None,
         }
     }
 
@@ -185,9 +189,22 @@ impl IterativeSolver for Chebyshev {
             self.precon = Some(self.assemble_precon(ctx));
         }
         let precon = self.precon.as_ref().expect("just prepared");
-        let result = chebyshev_solve_impl(ctx.tile, u, b, precon, ws, self.opts, self.cheby);
+        let result =
+            chebyshev_solve_impl(ctx.tile, u, b, precon, ws, self.opts, self.cheby, self.hint);
+        self.last_est = result
+            .trace
+            .eigen_bounds
+            .map(|(min, max)| EigenEstimate { min, max });
         trace.merge(&result.trace);
         result
+    }
+
+    fn set_eigen_hint(&mut self, hint: Option<EigenEstimate>) {
+        self.hint = hint;
+    }
+
+    fn last_eigen_estimate(&self) -> Option<EigenEstimate> {
+        self.last_est
     }
 }
 
@@ -200,6 +217,7 @@ pub(crate) fn chebyshev_solve_impl<C: Communicator + ?Sized>(
     ws: &mut Workspace,
     opts: SolveOpts,
     cheby: ChebyOpts,
+    hint: Option<EigenEstimate>,
 ) -> SolveResult {
     let bounds = &tile.op.bounds;
 
@@ -210,8 +228,12 @@ pub(crate) fn chebyshev_solve_impl<C: Communicator + ?Sized>(
     }
     let mut trace = pre.trace;
     trace.solver = "Chebyshev".into();
-    let (al, be) = coeffs.for_lanczos();
-    let est = estimate_from_cg(al, be, cheby.eigen_safety);
+    // a pinned estimate (from a session replaying identical input) skips
+    // only the Lanczos analysis — the presteps above still advanced u
+    let est = hint.unwrap_or_else(|| {
+        let (al, be) = coeffs.for_lanczos();
+        estimate_from_cg(al, be, cheby.eigen_safety)
+    });
     trace.eigen_bounds = Some((est.min, est.max));
     let consts = ChebyConstants::from_estimate(est);
 
@@ -378,6 +400,7 @@ mod tests {
             &mut ws,
             SolveOpts::with_eps(1e-8),
             ChebyOpts::default(),
+            None,
         );
         assert!(res.converged, "Chebyshev must converge: {res:?}");
         let mut t = SolveTrace::new("check");
@@ -411,6 +434,7 @@ mod tests {
             &mut ws,
             SolveOpts::with_eps(1e-8),
             ChebyOpts::default(),
+            None,
         );
         assert!(cg.converged && ch.converged);
         let cg_reds_per_iter = cg.trace.reductions as f64 / cg.iterations as f64;

@@ -50,6 +50,7 @@ pub mod precon;
 pub mod registry;
 pub mod richardson;
 pub mod runtime;
+pub mod session;
 pub mod solver;
 pub mod trace;
 pub mod vector;
@@ -75,5 +76,6 @@ pub use precon::{BlockJacobi, PreconKind, Preconditioner, DEFAULT_BLOCK_STRIP};
 pub use registry::{SolverFactory, SolverRegistry};
 pub use richardson::{Richardson, RichardsonOpts};
 pub use runtime::{num_threads, par_threshold, set_num_threads, set_par_threshold, PAR_THRESHOLD};
+pub use session::{CacheStats, PreparedSolve, SessionSpec, SetupCache, SetupKey, SolveSession};
 pub use solver::{SolveOpts, Tile, Workspace};
 pub use trace::{KernelCounts, SolveResult, SolveTrace};

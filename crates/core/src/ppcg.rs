@@ -85,6 +85,8 @@ pub struct Ppcg {
     ppcg: PpcgOpts,
     opts: SolveOpts,
     precon: Option<Preconditioner>,
+    hint: Option<EigenEstimate>,
+    last_est: Option<EigenEstimate>,
 }
 
 impl Ppcg {
@@ -96,6 +98,8 @@ impl Ppcg {
             ppcg,
             opts: SolveOpts::default(),
             precon: None,
+            hint: None,
+            last_est: None,
         }
     }
 
@@ -153,9 +157,21 @@ impl IterativeSolver for Ppcg {
             self.precon = Some(self.assemble_precon(ctx));
         }
         let precon = self.precon.as_ref().expect("just prepared");
-        let result = ppcg_solve_impl(ctx.tile, u, b, precon, ws, self.opts, self.ppcg);
+        let result = ppcg_solve_impl(ctx.tile, u, b, precon, ws, self.opts, self.ppcg, self.hint);
+        self.last_est = result
+            .trace
+            .eigen_bounds
+            .map(|(min, max)| EigenEstimate { min, max });
         trace.merge(&result.trace);
         result
+    }
+
+    fn set_eigen_hint(&mut self, hint: Option<EigenEstimate>) {
+        self.hint = hint;
+    }
+
+    fn last_eigen_estimate(&self) -> Option<EigenEstimate> {
+        self.last_est
     }
 }
 
@@ -168,6 +184,7 @@ pub(crate) fn ppcg_solve_impl<C: Communicator + ?Sized>(
     ws: &mut Workspace,
     opts: SolveOpts,
     ppcg: PpcgOpts,
+    hint: Option<EigenEstimate>,
 ) -> SolveResult {
     let h = ppcg.halo_depth;
     let m = ppcg.inner_steps;
@@ -191,8 +208,12 @@ pub(crate) fn ppcg_solve_impl<C: Communicator + ?Sized>(
     }
     let mut trace = pre.trace;
     trace.solver = ppcg.label().to_string();
-    let (al, be) = coeffs.for_lanczos();
-    let est: EigenEstimate = estimate_from_cg(al, be, ppcg.eigen_safety);
+    // a pinned estimate (session replay of identical input) skips only
+    // the Lanczos analysis; the presteps above still advanced u
+    let est: EigenEstimate = hint.unwrap_or_else(|| {
+        let (al, be) = coeffs.for_lanczos();
+        estimate_from_cg(al, be, ppcg.eigen_safety)
+    });
     trace.eigen_bounds = Some((est.min, est.max));
     let consts = ChebyConstants::from_estimate(est);
     let cheb = consts.coefficients(m);
@@ -385,6 +406,7 @@ mod tests {
             &mut ws,
             SolveOpts::with_eps(1e-9),
             ppcg_opts,
+            None,
         );
         (res, u, op, b)
     }

@@ -25,7 +25,7 @@
 
 use crate::api::{IterativeSolver, SolveContext, SolverParams};
 use crate::cg::cg_solve_recording;
-use crate::eigen::estimate_from_cg;
+use crate::eigen::{estimate_from_cg, EigenEstimate};
 use crate::precon::{PreconKind, Preconditioner};
 use crate::solver::{SolveOpts, Tile, Workspace};
 use crate::trace::{SolveResult, SolveTrace};
@@ -64,6 +64,8 @@ pub struct Richardson {
     rich: RichardsonOpts,
     opts: SolveOpts,
     precon: Option<Preconditioner>,
+    hint: Option<EigenEstimate>,
+    last_est: Option<EigenEstimate>,
 }
 
 impl Richardson {
@@ -75,6 +77,8 @@ impl Richardson {
             rich,
             opts: SolveOpts::default(),
             precon: None,
+            hint: None,
+            last_est: None,
         }
     }
 
@@ -126,15 +130,28 @@ impl IterativeSolver for Richardson {
             self.precon = Some(self.assemble_precon(ctx));
         }
         let precon = self.precon.as_ref().expect("just prepared");
-        let result = richardson_solve(ctx.tile, u, b, precon, ws, self.opts, self.rich);
+        let result = richardson_solve(ctx.tile, u, b, precon, ws, self.opts, self.rich, self.hint);
+        self.last_est = result
+            .trace
+            .eigen_bounds
+            .map(|(min, max)| EigenEstimate { min, max });
         trace.merge(&result.trace);
         result
+    }
+
+    fn set_eigen_hint(&mut self, hint: Option<EigenEstimate>) {
+        self.hint = hint;
+    }
+
+    fn last_eigen_estimate(&self) -> Option<EigenEstimate> {
+        self.last_est
     }
 }
 
 /// The solve engine (kept free-standing and generic like the other
 /// engines so unit tests can drive it directly; the public way in is
 /// the [`Richardson`] struct).
+#[allow(clippy::too_many_arguments)]
 fn richardson_solve<C: Communicator + ?Sized>(
     tile: &Tile<'_, C>,
     u: &mut Field2D,
@@ -143,6 +160,7 @@ fn richardson_solve<C: Communicator + ?Sized>(
     ws: &mut Workspace,
     opts: SolveOpts,
     rich: RichardsonOpts,
+    hint: Option<EigenEstimate>,
 ) -> SolveResult {
     let bounds = &tile.op.bounds;
 
@@ -154,8 +172,12 @@ fn richardson_solve<C: Communicator + ?Sized>(
     }
     let mut trace = pre.trace;
     trace.solver = "Richardson".into();
-    let (al, be) = coeffs.for_lanczos();
-    let est = estimate_from_cg(al, be, rich.eigen_safety);
+    // a pinned estimate (session replay of identical input) skips only
+    // the Lanczos analysis; the presteps above still advanced u
+    let est = hint.unwrap_or_else(|| {
+        let (al, be) = coeffs.for_lanczos();
+        estimate_from_cg(al, be, rich.eigen_safety)
+    });
     trace.eigen_bounds = Some((est.min, est.max));
     let omega = 2.0 / (est.min + est.max);
 

@@ -1,0 +1,789 @@
+//! Reusable solve sessions and the setup cache behind batched serving.
+//!
+//! The [`crate::Solve`] builder is one-shot: every [`crate::Solve::run`]
+//! allocates a tile, a workspace and a solver, prepares, solves, and
+//! throws the lot away. That is the right shape for a single solve, but
+//! a serving queue that drains hundreds of decks — many of them
+//! identical — pays the setup tax over and over: workspace allocation,
+//! preconditioner assembly, and (for the Chebyshev family) the CG
+//! prelude's Lanczos eigenvalue analysis.
+//!
+//! This module splits the builder into a reusable pair:
+//!
+//! * [`SolveSession`] owns everything `Solve::run` allocated per call —
+//!   operator, halo layout, serial communicator, workspace, solver
+//!   instance — and keeps it alive across solves. Preparation happens
+//!   once; subsequent [`SolveSession::solve`] calls skip it.
+//! * [`PreparedSolve`] is the borrowed proof that preparation has run:
+//!   obtained from [`SolveSession::prepare`], its `solve` never
+//!   re-prepares.
+//!
+//! On top sits a keyed pool: [`SetupKey`] fingerprints the setup —
+//! geometry, coefficient bits, solver configuration, precision, halo
+//! depth — and [`SetupCache`] maps keys to idle sessions so repeated
+//! decks check out a warm session instead of building a cold one. Hit
+//! and miss counters feed the serving run summary.
+//!
+//! Sessions also memoise eigenvalue estimates: a solve over bit-
+//! identical `(u, b, opts)` pins the previous [`EigenEstimate`] via
+//! [`crate::IterativeSolver::set_eigen_hint`], skipping the Lanczos
+//! analysis while still running the CG presteps (they advance `u`, so
+//! skipping them would change results). Because the hint only fires on
+//! bit-identical input, a warm solve is bit-identical to a cold one.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::api::{
+    Assembly, DynTile, IterativeSolver, Precision, SolveContext, SolverError, SolverParams,
+};
+use crate::eigen::EigenEstimate;
+use crate::mixed::solver_for_precision;
+use crate::ops::TileOperator;
+use crate::precon::PreconKind;
+use crate::registry::SolverRegistry;
+use crate::solver::{SolveOpts, Tile, Workspace};
+use crate::trace::{SolveResult, SolveTrace};
+use tea_comms::{Communicator, HaloLayout, SerialComm, StatsSnapshot};
+use tea_mesh::{Coefficient, Decomposition2D, Field2D};
+
+/// Everything a session needs to know besides the operator: which
+/// solver, at which precision, with which convergence options and
+/// method knobs. The session analogue of the [`crate::Solve`] builder's
+/// configuration half.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// Solver name (canonical or alias) to resolve in the registry.
+    pub solver: String,
+    /// Optional precision routing (`None` runs the name as registered).
+    pub precision: Option<Precision>,
+    /// Convergence options latched at prepare time.
+    pub opts: SolveOpts,
+    /// Method knobs consumed by the solver factory.
+    pub params: SolverParams,
+}
+
+impl Default for SessionSpec {
+    fn default() -> Self {
+        SessionSpec {
+            solver: "cg".to_string(),
+            precision: None,
+            opts: SolveOpts::default(),
+            params: SolverParams::default(),
+        }
+    }
+}
+
+impl SessionSpec {
+    /// Spec for `solver` with every other knob at its default.
+    pub fn solver(name: impl Into<String>) -> Self {
+        SessionSpec {
+            solver: name.into(),
+            ..SessionSpec::default()
+        }
+    }
+}
+
+/// Identity of a prepared setup: two jobs with equal keys can share a
+/// [`SolveSession`] and get bit-identical results.
+///
+/// The key follows the serving design: geometry, a fingerprint of the
+/// assembled face coefficients, the canonical solver name, the
+/// requested precision and the solver's halo depth. The fingerprint is
+/// deliberately broader than the coefficients alone — it also folds in
+/// the solver parameters (preconditioner, inner steps, presteps,
+/// eigenvalue safety, check interval) and the convergence options,
+/// because a prepared solver latches all of those: reusing a session
+/// across jobs that differ in any of them would silently change
+/// results.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SetupKey {
+    /// Interior cells in x.
+    pub nx: usize,
+    /// Interior cells in y.
+    pub ny: usize,
+    /// FNV-1a over the coefficient bits, solver parameters and options.
+    pub fingerprint: u64,
+    /// Canonical registry name after precision routing (`"cg_f32"`, not
+    /// `"cg"` + `F32`).
+    pub solver: String,
+    /// Requested precision label (`"native"` when the spec did not
+    /// route).
+    pub precision: &'static str,
+    /// Halo depth of the built solver (matrix-powers depth for PPCG).
+    pub halo_depth: usize,
+}
+
+impl SetupKey {
+    /// Computes the key a [`SolveSession::build`] over `(op, spec)`
+    /// would carry, without building the session's workspace. Cheap
+    /// enough to call per job: it resolves the name and constructs the
+    /// (field-free) solver object only to read its halo depth.
+    ///
+    /// # Errors
+    /// [`SolverError`] when the name or precision does not resolve.
+    pub fn probe(op: &TileOperator, spec: &SessionSpec) -> Result<SetupKey, SolverError> {
+        Self::probe_with(op, spec, builtin_registry())
+    }
+
+    /// [`SetupKey::probe`] against a caller-supplied registry.
+    ///
+    /// # Errors
+    /// [`SolverError`] when the name or precision does not resolve.
+    pub fn probe_with(
+        op: &TileOperator,
+        spec: &SessionSpec,
+        registry: &SolverRegistry,
+    ) -> Result<SetupKey, SolverError> {
+        let (_, key) = resolve_key(op, spec, registry)?;
+        Ok(key)
+    }
+}
+
+fn builtin_registry() -> &'static SolverRegistry {
+    static BUILTIN: OnceLock<SolverRegistry> = OnceLock::new();
+    BUILTIN.get_or_init(SolverRegistry::builtin)
+}
+
+/// Resolves `spec` against `registry` and returns the create-name (the
+/// precision-routed spelling to pass to [`SolverRegistry::create`])
+/// plus the session's [`SetupKey`].
+fn resolve_key(
+    op: &TileOperator,
+    spec: &SessionSpec,
+    registry: &SolverRegistry,
+) -> Result<(String, SetupKey), SolverError> {
+    let name = match spec.precision {
+        Some(p) => solver_for_precision(&spec.solver, p, registry)?,
+        None => spec.solver.clone(),
+    };
+    let canonical = registry.resolve(&name)?.name.to_string();
+    // Halo depth is a property of the built instance (PPCG reads it
+    // from its params), so build one to ask it.
+    let probe = registry.create(&name, &spec.params)?;
+    let (nx, ny) = op.bounds.tile();
+    let key = SetupKey {
+        nx,
+        ny,
+        fingerprint: fingerprint(op, spec),
+        solver: canonical,
+        precision: spec.precision.map(Precision::label).unwrap_or("native"),
+        halo_depth: probe.halo_depth(),
+    };
+    Ok((name, key))
+}
+
+/// 64-bit FNV-1a accumulator.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn push_u64(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn push_f64(&mut self, v: f64) {
+        self.push_u64(v.to_bits());
+    }
+}
+
+/// Hashes every allocated coefficient bit (interior and ghosts — deep-
+/// halo methods read the ghosts) plus the solver parameters and options
+/// a prepared solver latches.
+fn fingerprint(op: &TileOperator, spec: &SessionSpec) -> u64 {
+    let mut h = Fnv::new();
+    let (nx, ny) = op.bounds.tile();
+    for field in [&op.coeffs.kx, &op.coeffs.ky] {
+        let depth = field.halo() as isize;
+        for k in -depth..ny as isize + depth {
+            for &v in field.row(k, -depth, nx as isize + depth) {
+                h.push_f64(v);
+            }
+        }
+    }
+    let p = &spec.params;
+    h.push_u64(match p.precon {
+        PreconKind::None => 0,
+        PreconKind::Diagonal => 1,
+        PreconKind::BlockJacobi => 2,
+    });
+    h.push_u64(p.inner_steps as u64);
+    h.push_u64(p.halo_depth as u64);
+    h.push_u64(p.presteps);
+    h.push_f64(p.eigen_safety);
+    h.push_u64(p.check_interval);
+    h.push_f64(spec.opts.eps);
+    h.push_u64(spec.opts.max_iters);
+    h.0
+}
+
+/// Memo key for the eigen-estimate cache: every bit of `u` and `b`
+/// (ghosts included) plus the convergence options. Identical key means
+/// the CG prelude would recompute the identical estimate, so pinning
+/// the memoised one changes nothing but the Lanczos work.
+fn eigen_memo_key(u: &Field2D, b: &Field2D, opts: &SolveOpts) -> u64 {
+    let mut h = Fnv::new();
+    for field in [u, b] {
+        let depth = field.halo() as isize;
+        let (nx, ny) = (field.nx() as isize, field.ny() as isize);
+        for k in -depth..ny + depth {
+            for &v in field.row(k, -depth, nx + depth) {
+                h.push_f64(v);
+            }
+        }
+    }
+    h.push_f64(opts.eps);
+    h.push_u64(opts.max_iters);
+    h.0
+}
+
+/// Assembly provenance a session can own (the borrowed
+/// [`Assembly`] is rebuilt from it per solve) so hierarchy-building
+/// solvers like AMG can live in sessions too.
+struct OwnedAssembly {
+    density: Field2D,
+    coefficient: Coefficient,
+    rx: f64,
+    ry: f64,
+}
+
+/// A reusable solve: owns the operator, tile plumbing, workspace and
+/// solver instance, so repeated solves skip allocation and — after the
+/// first call — preparation.
+///
+/// ```
+/// use tea_core::{crooked_pipe_system, SessionSpec, SolveSession};
+///
+/// let (op, b) = crooked_pipe_system(24, 0.04, 1);
+/// let mut session = SolveSession::build(op, &SessionSpec::default()).unwrap();
+/// let mut u = b.clone();
+/// let first = session.prepare().solve(&mut u, &b);
+/// let again = session.solve(&mut u, &b); // reuses the prepared state
+/// assert!(first.converged && again.converged);
+/// assert_eq!(session.prepare_count(), 1);
+/// ```
+///
+/// Sessions are `Send`: a serving queue can move idle sessions between
+/// worker threads. They are not `Sync`; one session runs one solve at a
+/// time.
+pub struct SolveSession {
+    op: TileOperator,
+    layout: HaloLayout,
+    comm: SerialComm,
+    ws: Workspace,
+    solver: Box<dyn IterativeSolver>,
+    opts: SolveOpts,
+    key: SetupKey,
+    assembly: Option<OwnedAssembly>,
+    prepared: bool,
+    prepares: u64,
+    solves: u64,
+    eigen_memo: HashMap<u64, EigenEstimate>,
+    eigen_hits: u64,
+}
+
+impl SolveSession {
+    /// Builds a session over `op` from `spec`, resolving the solver in
+    /// the builtin registry. Nothing is prepared yet — the first
+    /// [`SolveSession::solve`] (or an explicit
+    /// [`SolveSession::prepare`]) does that.
+    ///
+    /// # Errors
+    /// [`SolverError`] when the name or precision does not resolve.
+    pub fn build(op: TileOperator, spec: &SessionSpec) -> Result<Self, SolverError> {
+        Self::with_registry(op, spec, builtin_registry())
+    }
+
+    /// [`SolveSession::build`] against a caller-supplied registry (the
+    /// app composes tea-amg's `amg` in this way).
+    ///
+    /// # Errors
+    /// [`SolverError`] when the name or precision does not resolve.
+    pub fn with_registry(
+        op: TileOperator,
+        spec: &SessionSpec,
+        registry: &SolverRegistry,
+    ) -> Result<Self, SolverError> {
+        let (create_name, key) = resolve_key(&op, spec, registry)?;
+        let solver = registry.create(&create_name, &spec.params)?;
+        let (nx, ny) = op.bounds.tile();
+        let decomp = Decomposition2D::with_grid(nx, ny, 1, 1);
+        let layout = HaloLayout::new(&decomp, 0);
+        let ws = Workspace::new(nx, ny, solver.halo_depth());
+        Ok(SolveSession {
+            op,
+            layout,
+            comm: SerialComm::new(),
+            ws,
+            solver,
+            opts: spec.opts,
+            key,
+            assembly: None,
+            prepared: false,
+            prepares: 0,
+            solves: 0,
+            eigen_memo: HashMap::new(),
+            eigen_hits: 0,
+        })
+    }
+
+    /// Attaches the assembly recipe behind the operator, for solvers
+    /// whose `prepare` rebuilds a hierarchy from it (AMG). `density`
+    /// must carry a halo at least as deep as the operator's
+    /// coefficients.
+    #[must_use]
+    pub fn with_assembly(
+        mut self,
+        density: Field2D,
+        coefficient: Coefficient,
+        rx: f64,
+        ry: f64,
+    ) -> Self {
+        self.assembly = Some(OwnedAssembly {
+            density,
+            coefficient,
+            rx,
+            ry,
+        });
+        self
+    }
+
+    /// The identity under which this session pools in a [`SetupCache`].
+    pub fn setup_key(&self) -> &SetupKey {
+        &self.key
+    }
+
+    /// The session's operator (shared with every solve it runs).
+    pub fn operator(&self) -> &TileOperator {
+        &self.op
+    }
+
+    /// Human-readable solver label (e.g. `"PPCG-16"`).
+    pub fn solver_label(&self) -> String {
+        self.solver.label()
+    }
+
+    /// Convergence options latched at prepare time.
+    pub fn opts(&self) -> &SolveOpts {
+        &self.opts
+    }
+
+    /// How many times this session has run the solver's `prepare` —
+    /// exactly once for any number of solves, which is the point.
+    pub fn prepare_count(&self) -> u64 {
+        self.prepares
+    }
+
+    /// Solves completed by this session.
+    pub fn solve_count(&self) -> u64 {
+        self.solves
+    }
+
+    /// Solves that pinned a memoised eigenvalue estimate instead of
+    /// re-running the Lanczos analysis.
+    pub fn eigen_hits(&self) -> u64 {
+        self.eigen_hits
+    }
+
+    /// Whether `prepare` has already run.
+    pub fn is_prepared(&self) -> bool {
+        self.prepared
+    }
+
+    /// Drains the solver's type-erased diagnostics (AMG's multigrid
+    /// trace) — the session pass-through of
+    /// [`IterativeSolver::take_diagnostics`].
+    pub fn take_diagnostics(&mut self) -> Option<Box<dyn std::any::Any>> {
+        self.solver.take_diagnostics()
+    }
+
+    /// Zeroes the session communicator's counters — the serving queue
+    /// calls this at job checkout so [`SolveSession::comm_stats`] at
+    /// job end reads per-job traffic, not lifetime traffic.
+    pub fn reset_comm_stats(&self) {
+        self.comm.stats().reset();
+    }
+
+    /// Communication counters since the last
+    /// [`SolveSession::reset_comm_stats`].
+    pub fn comm_stats(&self) -> StatsSnapshot {
+        self.comm.stats().snapshot()
+    }
+
+    /// Runs the solver's `prepare` against the session operator if it
+    /// has not run yet, and returns the handle whose `solve` is
+    /// guaranteed not to re-prepare.
+    pub fn prepare(&mut self) -> PreparedSolve<'_> {
+        self.ensure_prepared();
+        PreparedSolve { session: self }
+    }
+
+    /// Solves `A u = b` with `u` entering as the initial guess,
+    /// preparing on first use and reusing the prepared state (and any
+    /// memoised eigenvalue estimate) afterwards.
+    pub fn solve(&mut self, u: &mut Field2D, b: &Field2D) -> SolveResult {
+        self.ensure_prepared();
+        let memo_key = eigen_memo_key(u, b, &self.opts);
+        let hint = self.eigen_memo.get(&memo_key).copied();
+        if hint.is_some() {
+            self.eigen_hits += 1;
+        }
+        self.solver.set_eigen_hint(hint);
+        let tile: DynTile<'_> = Tile::new(&self.op, &self.layout, self.comm.as_dyn());
+        let ctx = match &self.assembly {
+            Some(a) => SolveContext::with_assembly(
+                &tile,
+                Assembly {
+                    density: &a.density,
+                    coefficient: a.coefficient,
+                    rx: a.rx,
+                    ry: a.ry,
+                },
+            ),
+            None => SolveContext::new(&tile),
+        };
+        let mut trace = SolveTrace::new(self.solver.label());
+        let result = self.solver.solve(&ctx, u, b, &mut self.ws, &mut trace);
+        // Clear the pin so a stale spectrum never leaks into a solve
+        // over different input, then memoise what this solve measured.
+        self.solver.set_eigen_hint(None);
+        if let Some(est) = self.solver.last_eigen_estimate() {
+            self.eigen_memo.insert(memo_key, est);
+        }
+        self.solves += 1;
+        result
+    }
+
+    fn ensure_prepared(&mut self) {
+        if self.prepared {
+            return;
+        }
+        let tile: DynTile<'_> = Tile::new(&self.op, &self.layout, self.comm.as_dyn());
+        let ctx = match &self.assembly {
+            Some(a) => SolveContext::with_assembly(
+                &tile,
+                Assembly {
+                    density: &a.density,
+                    coefficient: a.coefficient,
+                    rx: a.rx,
+                    ry: a.ry,
+                },
+            ),
+            None => SolveContext::new(&tile),
+        };
+        self.solver.prepare(&ctx, &self.opts);
+        self.prepared = true;
+        self.prepares += 1;
+    }
+}
+
+/// Borrowed proof that a session is prepared: `solve` through this
+/// handle never re-runs preparation. Obtained from
+/// [`SolveSession::prepare`].
+pub struct PreparedSolve<'s> {
+    session: &'s mut SolveSession,
+}
+
+impl PreparedSolve<'_> {
+    /// Solves `A u = b` with `u` entering as the initial guess.
+    pub fn solve(&mut self, u: &mut Field2D, b: &Field2D) -> SolveResult {
+        self.session.solve(u, b)
+    }
+
+    /// The underlying session (for counters and keys).
+    pub fn session(&self) -> &SolveSession {
+        self.session
+    }
+}
+
+/// Setup-cache counters surfaced in the serving run summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Checkouts that found a warm session.
+    pub hits: u64,
+    /// Checkouts that found nothing (the caller builds cold).
+    pub misses: u64,
+    /// Total `prepare` calls across the pooled sessions.
+    pub prepares: u64,
+}
+
+/// A keyed pool of idle [`SolveSession`]s shared across serving
+/// workers. Checkout pops a warm session for the key (hit) or reports a
+/// miss; the caller builds a cold session on miss and checks whichever
+/// one it used back in when the job ends.
+///
+/// Interior-locked, so workers share it behind a plain `Arc`.
+#[derive(Default)]
+pub struct SetupCache {
+    pool: Mutex<HashMap<SetupKey, Vec<SolveSession>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SetupCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SetupCache::default()
+    }
+
+    /// Pops an idle session for `key`, counting a hit or a miss.
+    pub fn checkout(&self, key: &SetupKey) -> Option<SolveSession> {
+        let mut pool = self.pool.lock().expect("setup cache poisoned");
+        match pool.get_mut(key).and_then(Vec::pop) {
+            Some(session) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(session)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Returns a session to the pool under its own key.
+    pub fn checkin(&self, session: SolveSession) {
+        let key = session.setup_key().clone();
+        self.pool
+            .lock()
+            .expect("setup cache poisoned")
+            .entry(key)
+            .or_default()
+            .push(session);
+    }
+
+    /// Idle sessions currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.pool
+            .lock()
+            .expect("setup cache poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pooled() == 0
+    }
+
+    /// Counters so far. `prepares` sums over the sessions currently
+    /// pooled — take the snapshot after every job has checked its
+    /// session back in.
+    pub fn stats(&self) -> CacheStats {
+        let prepares = self
+            .pool
+            .lock()
+            .expect("setup cache poisoned")
+            .values()
+            .flatten()
+            .map(SolveSession::prepare_count)
+            .sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            prepares,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::crooked_pipe_system;
+
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn sessions_and_cache_are_send() {
+        assert_send::<SolveSession>();
+        assert_send::<SetupCache>();
+    }
+
+    fn spec_for(solver: &str) -> SessionSpec {
+        let mut spec = SessionSpec::solver(solver);
+        spec.opts.eps = 1e-8;
+        if solver == "ppcg" {
+            spec.params.halo_depth = 4;
+        }
+        spec
+    }
+
+    fn halo_for(spec: &SessionSpec) -> usize {
+        spec.params.halo_depth.max(1)
+    }
+
+    #[test]
+    fn warm_solve_is_bit_identical_to_cold() {
+        for solver in ["cg", "chebyshev", "ppcg", "mixed_ppcg"] {
+            let spec = spec_for(solver);
+            let (op, b) = crooked_pipe_system(24, 0.04, halo_for(&spec));
+
+            let mut warm = SolveSession::build(op.clone(), &spec).unwrap();
+            let mut u_first = b.clone();
+            let first = warm.solve(&mut u_first, &b);
+            let mut u_warm = b.clone();
+            let second = warm.solve(&mut u_warm, &b);
+
+            let mut cold = SolveSession::build(op, &spec).unwrap();
+            let mut u_cold = b.clone();
+            let reference = cold.solve(&mut u_cold, &b);
+
+            assert!(first.converged, "{solver}: first solve diverged");
+            assert_eq!(
+                u_warm, u_cold,
+                "{solver}: warm solve drifted from a cold session"
+            );
+            assert_eq!(second.iterations, reference.iterations, "{solver}");
+            assert_eq!(second.final_residual, reference.final_residual, "{solver}");
+            assert_eq!(
+                second.trace.eigen_bounds, reference.trace.eigen_bounds,
+                "{solver}"
+            );
+            assert_eq!(warm.prepare_count(), 1, "{solver}: session re-prepared");
+            assert_eq!(warm.solve_count(), 2);
+        }
+    }
+
+    #[test]
+    fn eigen_memo_fires_only_on_identical_input() {
+        let spec = spec_for("chebyshev");
+        let (op, b) = crooked_pipe_system(24, 0.04, 1);
+        let mut session = SolveSession::build(op, &spec).unwrap();
+
+        let mut u = b.clone();
+        let first = session.solve(&mut u, &b);
+        assert_eq!(session.eigen_hits(), 0);
+
+        let mut u = b.clone();
+        let second = session.solve(&mut u, &b);
+        assert_eq!(
+            session.eigen_hits(),
+            1,
+            "identical input should hit the memo"
+        );
+        assert_eq!(second.trace.eigen_bounds, first.trace.eigen_bounds);
+
+        // Different right-hand side: the memo must not fire.
+        let mut b2 = b.clone();
+        b2.set(3, 3, b.at(3, 3) * 1.5);
+        let mut u = b2.clone();
+        session.solve(&mut u, &b2);
+        assert_eq!(session.eigen_hits(), 1, "memo fired on different input");
+    }
+
+    #[test]
+    fn prepared_handle_never_reprepares() {
+        let spec = spec_for("cg");
+        let (op, b) = crooked_pipe_system(16, 0.04, 1);
+        let mut session = SolveSession::build(op, &spec).unwrap();
+        assert!(!session.is_prepared());
+        let mut prepared = session.prepare();
+        for _ in 0..3 {
+            let mut u = b.clone();
+            assert!(prepared.solve(&mut u, &b).converged);
+        }
+        assert_eq!(prepared.session().prepare_count(), 1);
+        assert_eq!(session.solve_count(), 3);
+    }
+
+    #[test]
+    fn setup_keys_distinguish_precision_and_depth() {
+        let (op, _) = crooked_pipe_system(16, 0.04, 4);
+
+        let native = SetupKey::probe(&op, &SessionSpec::solver("cg")).unwrap();
+        let same = SetupKey::probe(&op, &SessionSpec::solver("cg")).unwrap();
+        assert_eq!(native, same, "identical specs must pool together");
+
+        let mut f32_spec = SessionSpec::solver("cg");
+        f32_spec.precision = Some(Precision::F32);
+        let routed = SetupKey::probe(&op, &f32_spec).unwrap();
+        assert_ne!(native, routed);
+        assert_eq!(routed.solver, "cg_f32");
+        assert_eq!(routed.precision, "f32");
+
+        let mut shallow = SessionSpec::solver("ppcg");
+        shallow.params.halo_depth = 2;
+        let mut deep = SessionSpec::solver("ppcg");
+        deep.params.halo_depth = 4;
+        let k2 = SetupKey::probe(&op, &shallow).unwrap();
+        let k4 = SetupKey::probe(&op, &deep).unwrap();
+        assert_ne!(k2, k4, "halo depth must split the pool");
+        assert_eq!(k2.halo_depth, 2);
+        assert_eq!(k4.halo_depth, 4);
+
+        let mut loose = SessionSpec::solver("cg");
+        loose.opts.eps = 1e-4;
+        let kl = SetupKey::probe(&op, &loose).unwrap();
+        assert_ne!(native, kl, "latched options must split the pool");
+    }
+
+    #[test]
+    fn cache_counts_hits_misses_and_prepares() {
+        let spec = spec_for("cg");
+        let (op, b) = crooked_pipe_system(16, 0.04, 1);
+        let key = SetupKey::probe(&op, &spec).unwrap();
+        let cache = SetupCache::new();
+
+        assert!(cache.checkout(&key).is_none());
+        let mut session = SolveSession::build(op, &spec).unwrap();
+        let mut u = b.clone();
+        session.solve(&mut u, &b);
+        cache.checkin(session);
+        assert_eq!(cache.pooled(), 1);
+
+        let mut session = cache.checkout(&key).expect("warm session pooled");
+        let mut u = b.clone();
+        session.solve(&mut u, &b);
+        cache.checkin(session);
+
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.prepares, 1, "the warm checkout must not re-prepare");
+    }
+
+    #[test]
+    fn concurrent_sessions_do_not_share_scratch() {
+        let spec = spec_for("chebyshev");
+        let (op, b) = crooked_pipe_system(24, 0.04, 1);
+        let mut reference_session = SolveSession::build(op.clone(), &spec).unwrap();
+        let mut u_ref = b.clone();
+        reference_session.solve(&mut u_ref, &b);
+
+        let results: Vec<Field2D> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let op = op.clone();
+                    let b = &b;
+                    let spec = &spec;
+                    scope.spawn(move || {
+                        let mut session = SolveSession::build(op, spec).unwrap();
+                        let mut u = b.clone();
+                        // Two solves each, so warm state is exercised
+                        // while the neighbours are mid-solve.
+                        session.solve(&mut u, b);
+                        let mut u = b.clone();
+                        session.solve(&mut u, b);
+                        u
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        for (i, u) in results.iter().enumerate() {
+            assert_eq!(
+                u, &u_ref,
+                "thread {i} drifted from the serial reference — shared scratch?"
+            );
+        }
+    }
+}

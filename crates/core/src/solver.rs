@@ -50,6 +50,21 @@ impl<'a, C: Communicator + ?Sized> Tile<'a, C> {
         trace.record_reduction(locals.len());
         self.comm.allreduce_sum_many(locals)
     }
+
+    /// Globally reduces one scalar *in its own precision*: an `f32` local
+    /// travels (and folds) at 4 bytes, so reduced-precision solvers stop
+    /// widening their reduction traffic to f64. Trace accounting is
+    /// identical to [`Tile::reduce_sum`] — one reduction event of one
+    /// element — keeping every solver's reduction-count invariant intact.
+    pub fn reduce_sum_native<S: WireScalar>(&self, local: S, trace: &mut SolveTrace) -> S {
+        trace.record_reduction(1);
+        let folded = self
+            .comm
+            .allreduce_sum_payload(S::into_payload(vec![local]));
+        folded
+            .try_into_vec::<S>()
+            .expect("reduction preserves the deposited wire precision")[0]
+    }
 }
 
 /// Convergence and iteration-cap options shared by all solvers.

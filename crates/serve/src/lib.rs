@@ -1,0 +1,358 @@
+//! # tea-serve — a batched multi-solve scheduler
+//!
+//! TeaLeaf's driver runs one deck at a time. Parameter sweeps,
+//! ensemble studies and regression farms run *many* — most of them
+//! near-duplicates — and the per-solve setup tax (workspace
+//! allocation, preconditioner assembly, eigenvalue analysis) dominates
+//! once the solves themselves are small. This crate adds the missing
+//! middle layer: a work queue that drains independent solve jobs over
+//! a pool of worker threads, checking reusable
+//! [`tea_core::SolveSession`]s in and out of a keyed
+//! [`tea_core::SetupCache`] so repeated setups skip preparation
+//! entirely.
+//!
+//! Two entry points:
+//!
+//! * [`serve_with`] — the generic scheduler: any job type, any run
+//!   function. The deck-serving layer in `tea-app` (and the `tealeaf
+//!   --serve` CLI) is built on it.
+//! * [`serve_requests`] — builder-style jobs: a [`SolveRequest`]
+//!   carries an operator, a right-hand side and a
+//!   [`tea_core::SessionSpec`]; the scheduler caches sessions across
+//!   requests with equal [`tea_core::SetupKey`]s.
+//!
+//! Every serve returns a [`ServeReport`]: per-job outcomes in
+//! submission order plus [`QueueStats`] — throughput, latency
+//! percentiles, and the cache's hit/miss/prepare counters.
+//!
+//! A failing job (malformed problem, unknown solver) records an error
+//! outcome and the queue moves on; one bad deck never takes down the
+//! batch.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use tea_core::{
+    CacheStats, SessionSpec, SetupCache, SetupKey, SolveResult, SolveSession, TileOperator,
+};
+use tea_mesh::Field2D;
+
+/// How a serve runs: worker count, kernel thread budget, caching.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Concurrent jobs in flight (worker threads draining the queue).
+    /// `0` means one per available core.
+    pub workers: usize,
+    /// Kernel threads per job. The sweep thread pool is process-global,
+    /// so this is applied once at serve start (not per job): with W
+    /// workers each running T-thread sweeps, size `W × T` to the
+    /// machine. `None` leaves the ambient configuration alone.
+    pub threads_per_job: Option<usize>,
+    /// Whether to pool sessions in a [`SetupCache`] across jobs.
+    /// Disabling it makes every job build (and prepare) cold — the
+    /// baseline the throughput bench compares against.
+    pub cache: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 0,
+            threads_per_job: None,
+            cache: true,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// The worker count after resolving `0` to the core count.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// One job's result: payload or error, plus its wall-clock latency.
+#[derive(Debug)]
+pub struct JobOutcome<T> {
+    /// Index of the job in the submitted list.
+    pub job: usize,
+    /// The job's payload, or why it failed.
+    pub result: Result<T, String>,
+    /// Seconds from checkout to completion.
+    pub wall_s: f64,
+}
+
+/// Queue-level statistics for a completed serve.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueueStats {
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// Jobs that returned an error outcome.
+    pub failed: usize,
+    /// Wall-clock seconds for the whole drain.
+    pub wall_s: f64,
+    /// Completed jobs per second of drain time.
+    pub jobs_per_sec: f64,
+    /// Median per-job latency in seconds.
+    pub p50_latency_s: f64,
+    /// 99th-percentile per-job latency in seconds.
+    pub p99_latency_s: f64,
+    /// Setup-cache counters (hits/misses/prepares). With caching off,
+    /// hits are zero and every job counts a prepare.
+    pub cache: CacheStats,
+}
+
+/// Everything a serve returns: outcomes in submission order + stats.
+#[derive(Debug)]
+pub struct ServeReport<T> {
+    /// Per-job outcomes, sorted by submission index.
+    pub outcomes: Vec<JobOutcome<T>>,
+    /// Queue-level statistics.
+    pub stats: QueueStats,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Drains `jobs` through `run` on a pool of worker threads and reports
+/// per-job outcomes plus queue statistics. `run` receives the job's
+/// submission index and the job itself; returning `Err` records a
+/// failed outcome without stopping the queue.
+///
+/// `cache_stats` (when given) is folded into the report's
+/// [`QueueStats::cache`] — callers running their jobs over a
+/// [`SetupCache`] pass its post-drain counters through this hook.
+pub fn serve_with<J, T, F>(
+    jobs: Vec<J>,
+    opts: &ServeOptions,
+    run: F,
+    cache_stats: impl FnOnce() -> CacheStats,
+) -> ServeReport<T>
+where
+    J: Send,
+    T: Send,
+    F: Fn(usize, J) -> Result<T, String> + Sync,
+{
+    if let Some(threads) = opts.threads_per_job {
+        tea_core::set_num_threads(threads);
+    }
+    let total = jobs.len();
+    let queue: Mutex<VecDeque<(usize, J)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+    let outcomes: Mutex<Vec<JobOutcome<T>>> = Mutex::new(Vec::with_capacity(total));
+    let workers = opts.effective_workers().min(total.max(1));
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("job queue poisoned").pop_front();
+                let Some((job, payload)) = next else {
+                    break;
+                };
+                let job_started = Instant::now();
+                let result = run(job, payload);
+                let wall_s = job_started.elapsed().as_secs_f64();
+                outcomes
+                    .lock()
+                    .expect("outcome list poisoned")
+                    .push(JobOutcome {
+                        job,
+                        result,
+                        wall_s,
+                    });
+            });
+        }
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let mut outcomes = outcomes.into_inner().expect("outcome list poisoned");
+    outcomes.sort_by_key(|o| o.job);
+    let mut latencies: Vec<f64> = outcomes.iter().map(|o| o.wall_s).collect();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let failed = outcomes.iter().filter(|o| o.result.is_err()).count();
+
+    let stats = QueueStats {
+        jobs: total,
+        failed,
+        wall_s,
+        jobs_per_sec: if wall_s > 0.0 {
+            total as f64 / wall_s
+        } else {
+            0.0
+        },
+        p50_latency_s: percentile(&latencies, 50.0),
+        p99_latency_s: percentile(&latencies, 99.0),
+        cache: cache_stats(),
+    };
+    ServeReport { outcomes, stats }
+}
+
+/// A builder-style solve job: operator + right-hand side + session
+/// spec. The warm start is `u = b`, matching the driver convention.
+#[derive(Debug)]
+pub struct SolveRequest {
+    /// The assembled operator to solve against.
+    pub op: TileOperator,
+    /// Right-hand side (also the warm start).
+    pub b: Field2D,
+    /// Solver, precision, options and knobs for the session.
+    pub spec: SessionSpec,
+}
+
+/// What a served [`SolveRequest`] returns.
+#[derive(Debug)]
+pub struct RequestOutput {
+    /// The solve's result and protocol trace.
+    pub result: SolveResult,
+    /// The solution field.
+    pub u: Field2D,
+}
+
+/// Serves builder-style [`SolveRequest`]s over a session pool: requests
+/// whose `(op, spec)` produce equal [`SetupKey`]s share prepared
+/// sessions (and memoised eigenvalue estimates), so repeated requests
+/// skip the setup tax while returning bit-identical results.
+pub fn serve_requests(
+    requests: Vec<SolveRequest>,
+    opts: &ServeOptions,
+) -> ServeReport<RequestOutput> {
+    let cache = SetupCache::new();
+    let cold_prepares = AtomicU64::new(0);
+    let use_cache = opts.cache;
+    let run = |_job: usize, req: SolveRequest| -> Result<RequestOutput, String> {
+        let SolveRequest { op, b, spec } = req;
+        let mut session = if use_cache {
+            let key = SetupKey::probe(&op, &spec).map_err(|e| e.to_string())?;
+            match cache.checkout(&key) {
+                Some(session) => session,
+                None => SolveSession::build(op, &spec).map_err(|e| e.to_string())?,
+            }
+        } else {
+            SolveSession::build(op, &spec).map_err(|e| e.to_string())?
+        };
+        session.reset_comm_stats();
+        let mut u = b.clone();
+        let result = session.solve(&mut u, &b);
+        if use_cache {
+            cache.checkin(session);
+        } else {
+            cold_prepares.fetch_add(session.prepare_count(), Ordering::Relaxed);
+        }
+        Ok(RequestOutput { result, u })
+    };
+    serve_with(requests, opts, run, || {
+        let mut stats = cache.stats();
+        stats.prepares += cold_prepares.load(Ordering::Relaxed);
+        stats
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_core::crooked_pipe_system;
+
+    fn requests(n_jobs: usize, distinct_sizes: &[usize]) -> Vec<SolveRequest> {
+        (0..n_jobs)
+            .map(|i| {
+                let n = distinct_sizes[i % distinct_sizes.len()];
+                let (op, b) = crooked_pipe_system(n, 0.04, 1);
+                let mut spec = SessionSpec::solver("cg");
+                spec.opts.eps = 1e-8;
+                SolveRequest { op, b, spec }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serves_all_jobs_and_counts_cache_traffic() {
+        let report = serve_requests(
+            requests(12, &[16, 20, 24]),
+            &ServeOptions {
+                workers: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.outcomes.len(), 12);
+        assert_eq!(report.stats.failed, 0);
+        assert!(report.stats.jobs_per_sec > 0.0);
+        assert!(report.stats.p99_latency_s >= report.stats.p50_latency_s);
+        for (i, o) in report.outcomes.iter().enumerate() {
+            assert_eq!(o.job, i, "outcomes must come back in submission order");
+            assert!(o.result.as_ref().unwrap().result.converged);
+        }
+        let cache = report.stats.cache;
+        // 3 distinct setups: 3 misses, 9 hits (modulo worker racing on
+        // first touch, which can only add misses — never hits beyond 9)
+        assert_eq!(cache.hits + cache.misses, 12);
+        assert!(cache.hits > 0, "repeated setups must hit the cache");
+        assert!(cache.misses >= 3);
+        assert_eq!(cache.prepares, cache.misses, "hits must not re-prepare");
+    }
+
+    #[test]
+    fn cache_off_prepares_every_job() {
+        let report = serve_requests(
+            requests(8, &[16, 20]),
+            &ServeOptions {
+                workers: 2,
+                cache: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.stats.failed, 0);
+        let cache = report.stats.cache;
+        assert_eq!(cache.hits, 0);
+        assert_eq!(cache.prepares, 8, "cold path prepares once per job");
+    }
+
+    #[test]
+    fn cached_and_cold_runs_agree_bitwise() {
+        let on = serve_requests(requests(9, &[16, 20, 24]), &ServeOptions::default());
+        let off = serve_requests(
+            requests(9, &[16, 20, 24]),
+            &ServeOptions {
+                cache: false,
+                ..Default::default()
+            },
+        );
+        for (a, b) in on.outcomes.iter().zip(&off.outcomes) {
+            let (a, b) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            assert_eq!(a.u, b.u, "cache must not change results");
+            assert_eq!(a.result.iterations, b.result.iterations);
+            assert_eq!(
+                a.result.final_residual.to_bits(),
+                b.result.final_residual.to_bits()
+            );
+        }
+        assert!(on.stats.cache.prepares < off.stats.cache.prepares);
+    }
+
+    #[test]
+    fn a_bad_job_fails_alone() {
+        let mut jobs = requests(3, &[16]);
+        jobs[1].spec.solver = "warp-drive".to_string();
+        let report = serve_requests(jobs, &ServeOptions::default());
+        assert_eq!(report.stats.failed, 1);
+        assert!(report.outcomes[0].result.is_ok());
+        let err = report.outcomes[1].result.as_ref().unwrap_err();
+        assert!(err.contains("warp-drive"), "{err}");
+        assert!(report.outcomes[2].result.is_ok(), "queue must keep going");
+    }
+}

@@ -33,9 +33,13 @@ fn main() {
     );
 
     let out = if ranks <= 1 {
-        run_serial(&deck)
+        run_serial(&deck).expect("deck runs")
     } else {
-        run_threaded_ranks(&deck, ranks).into_iter().next().unwrap()
+        run_threaded_ranks(&deck, ranks)
+            .expect("deck runs")
+            .into_iter()
+            .next()
+            .unwrap()
     };
 
     println!(

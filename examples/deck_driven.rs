@@ -33,7 +33,7 @@ fn main() {
     let deck = parse_deck(DECK).expect("deck must parse");
     println!("parsed deck:\n{}", render_deck(&deck));
 
-    let out = run_serial(&deck);
+    let out = run_serial(&deck).expect("deck runs");
 
     println!(
         "{:>6} {:>9} {:>7} {:>16}",

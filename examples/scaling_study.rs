@@ -20,7 +20,7 @@ fn main() {
         let mut deck = crooked_pipe_deck(cells, "cg");
         deck.control.end_step = steps;
         deck.control.summary_frequency = 0;
-        let out = run_serial(&deck);
+        let out = run_serial(&deck).expect("deck runs");
         configs.push(("CG - 1".into(), out.trace));
     }
     for depth in [1usize, 4, 16] {
@@ -28,7 +28,7 @@ fn main() {
         deck.control.end_step = steps;
         deck.control.ppcg_halo_depth = depth;
         deck.control.summary_frequency = 0;
-        let out = run_serial(&deck);
+        let out = run_serial(&deck).expect("deck runs");
         configs.push((format!("PPCG - {depth}"), out.trace));
     }
 

@@ -49,7 +49,7 @@
 //! let mut deck = crooked_pipe_deck(32, "ppcg");
 //! deck.control.end_step = 2;
 //! deck.control.ppcg_halo_depth = 4;
-//! let out = run_serial(&deck);
+//! let out = run_serial(&deck).expect("deck runs");
 //! assert!(out.steps.iter().all(|s| s.converged));
 //! println!("avg temperature = {}", out.final_summary.average_temperature());
 //! ```

@@ -58,7 +58,7 @@ fn driver_records_unconverged_steps_without_panicking() {
     deck.control.end_step = 2;
     deck.control.opts.max_iters = 2;
     deck.control.summary_frequency = 1;
-    let out = run_serial(&deck);
+    let out = run_serial(&deck).expect("deck runs");
     assert_eq!(out.steps.len(), 2);
     assert!(out.steps.iter().all(|s| !s.converged));
 }

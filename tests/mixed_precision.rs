@@ -43,8 +43,8 @@ fn assert_mixed_matches_f64(base: Deck) {
     mixed.control.precision = Some(Precision::Mixed);
     let eps = base.control.opts.eps;
 
-    let out64 = run_serial(&base);
-    let outmx = run_serial(&mixed);
+    let out64 = run_serial(&base).expect("deck runs");
+    let outmx = run_serial(&mixed).expect("deck runs");
 
     for (s64, smx) in out64.steps.iter().zip(&outmx.steps) {
         assert!(s64.converged, "f64 step {} unconverged", s64.step);
@@ -98,7 +98,7 @@ fn f32_leg_fails_the_f64_bar_honestly() {
         1e-10,
         1,
     );
-    let out = run_serial(&base);
+    let out = run_serial(&base).expect("deck runs");
     assert!(
         out.steps.iter().any(|s| !s.converged),
         "all-f32 CG should stall below tl_eps=1e-10, got {:?}",
@@ -128,6 +128,6 @@ tl_eps=1e-9
 ";
     let deck = tealeaf::app::parse_deck(text).expect("deck parses");
     assert_eq!(deck.control.effective_solver().unwrap(), "mixed_cg");
-    let out = run_serial(&deck);
+    let out = run_serial(&deck).expect("deck runs");
     assert!(out.steps.iter().all(|s| s.converged), "{:?}", out.steps);
 }

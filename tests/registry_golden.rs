@@ -158,7 +158,7 @@ fn driver_matches_direct_construction_loop_on_decks() {
             ..Control::default()
         };
 
-        let new = run_serial(&deck);
+        let new = run_serial(&deck).expect("deck runs");
         let old = replica_driver(&deck);
 
         assert_eq!(new.steps.len(), old.len(), "{solver_name}: step counts");

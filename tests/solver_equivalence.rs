@@ -29,14 +29,14 @@ fn max_rel_diff(a: &tealeaf::mesh::Field2D, b: &tealeaf::mesh::Field2D) -> f64 {
 #[test]
 fn every_solver_reaches_the_same_temperature_field() {
     let n = 24;
-    let reference = run_serial(&deck(n, "cg", 3));
+    let reference = run_serial(&deck(n, "cg", 3)).expect("deck runs");
     let uref = reference.final_u.unwrap();
     for solver in ["jacobi", "chebyshev", "ppcg", "amg"] {
         let mut d = deck(n, solver, 3);
         if solver == "jacobi" {
             d.control.opts.max_iters = 500_000;
         }
-        let out = run_serial(&d);
+        let out = run_serial(&d).expect("deck runs");
         assert!(
             out.steps.iter().all(|s| s.converged),
             "{solver} did not converge"
@@ -49,10 +49,10 @@ fn every_solver_reaches_the_same_temperature_field() {
 #[test]
 fn rank_counts_agree_for_cg() {
     let d = deck(30, "cg", 2);
-    let serial = run_serial(&d);
+    let serial = run_serial(&d).expect("deck runs");
     let us = serial.final_u.unwrap();
     for ranks in [2usize, 3, 4, 6] {
-        let out = run_threaded_ranks(&d, ranks);
+        let out = run_threaded_ranks(&d, ranks).expect("deck runs");
         let ut = out[0].final_u.as_ref().unwrap();
         let diff = max_rel_diff(ut, &us);
         assert!(diff < 1e-8, "{ranks} ranks differ from serial by {diff}");
@@ -70,7 +70,7 @@ fn matrix_powers_depths_agree_across_a_decomposition() {
     for depth in [1usize, 2, 4, 8] {
         let mut d = deck(n, "ppcg", 2);
         d.control.ppcg_halo_depth = depth;
-        let out = run_threaded_ranks(&d, 4);
+        let out = run_threaded_ranks(&d, 4).expect("deck runs");
         assert!(out[0].steps.iter().all(|s| s.converged), "depth {depth}");
         let u = out[0].final_u.as_ref().unwrap().clone();
         match &reference_field {
@@ -94,7 +94,7 @@ fn preconditioners_do_not_change_the_answer() {
     ] {
         let mut d = deck(n, "cg", 2);
         d.control.precon = precon;
-        let out = run_serial(&d);
+        let out = run_serial(&d).expect("deck runs");
         assert!(out.steps.iter().all(|s| s.converged));
         fields.push(out.final_u.unwrap());
     }
@@ -105,7 +105,7 @@ fn preconditioners_do_not_change_the_answer() {
 #[test]
 fn heat_is_conserved_for_every_solver() {
     for solver in ["cg", "ppcg", "amg"] {
-        let out = run_serial(&deck(20, solver, 5));
+        let out = run_serial(&deck(20, solver, 5)).expect("deck runs");
         let t0 = out.steps[0].summary.unwrap().temperature;
         let t4 = out.steps[4].summary.unwrap().temperature;
         let drift = (t4 - t0).abs() / t0.abs();
@@ -123,8 +123,8 @@ fn decomposed_ppcg_with_block_jacobi_depth1() {
     let mut d = deck(n, "ppcg", 2);
     d.control.precon = PreconKind::BlockJacobi;
     d.control.ppcg_halo_depth = 1;
-    let serial = run_serial(&d);
-    let threaded = run_threaded_ranks(&d, 4);
+    let serial = run_serial(&d).expect("deck runs");
+    let threaded = run_threaded_ranks(&d, 4).expect("deck runs");
     let diff = max_rel_diff(
         threaded[0].final_u.as_ref().unwrap(),
         serial.final_u.as_ref().unwrap(),
@@ -136,10 +136,10 @@ fn decomposed_ppcg_with_block_jacobi_depth1() {
 fn solver_traces_tell_the_communication_story() {
     // the paper's core quantitative claim, measured end-to-end through
     // the driver: CPPCG needs far fewer reductions per stencil sweep
-    let cg = run_serial(&deck(48, "cg", 2));
+    let cg = run_serial(&deck(48, "cg", 2)).expect("deck runs");
     let mut d = deck(48, "ppcg", 2);
     d.control.ppcg_halo_depth = 8;
-    let pp = run_serial(&d);
+    let pp = run_serial(&d).expect("deck runs");
     let cg_ratio = cg.trace.reductions as f64 / cg.trace.spmv.total() as f64;
     let pp_ratio = pp.trace.reductions as f64 / pp.trace.spmv.total() as f64;
     assert!(

@@ -37,7 +37,7 @@ fn deck(n: usize, solver: &str) -> Deck {
 /// Interior temperature field as raw bits: any reassociated reduction or
 /// racy write shows up as an exact mismatch.
 fn run_bits(deck: &Deck) -> (Vec<u64>, u64, SolveTrace) {
-    let out = run_serial(deck);
+    let out = run_serial(deck).expect("deck runs");
     let u = out.final_u.expect("serial run gathers the field");
     let mut bits = Vec::with_capacity(u.nx() * u.ny());
     for k in 0..u.ny() as isize {

@@ -15,7 +15,7 @@ fn quickstart_ppcg_converges_in_two_steps() {
     deck.control.end_step = 2;
     deck.control.ppcg_halo_depth = 4;
 
-    let out = run_serial(&deck);
+    let out = run_serial(&deck).expect("deck runs");
 
     assert!(out.steps.len() <= 2, "end_step must cap the run");
     assert!(
