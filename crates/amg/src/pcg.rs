@@ -200,6 +200,7 @@ pub(crate) fn amg_pcg_solve_impl<C: Communicator + ?Sized>(
             iterations: 0,
             initial_residual,
             final_residual: 0.0,
+            status: tea_core::SolveStatus::Converged,
             trace,
         };
         return AmgSolveResult { result, mg_trace };
@@ -241,6 +242,7 @@ pub(crate) fn amg_pcg_solve_impl<C: Communicator + ?Sized>(
         iterations,
         initial_residual,
         final_residual,
+        status: tea_core::SolveStatus::from_converged(converged),
         trace,
     };
     AmgSolveResult { result, mg_trace }

@@ -7,10 +7,11 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use tea_app::{
-    crooked_pipe_deck, parse_deck, run_serial, run_threaded_ranks, serve_decks, solver_registry,
-    write_field_csv, write_field_ppm, DeckJob, RankOutput,
+    crooked_pipe_deck, parse_deck, run_serial, run_threaded_ranks, serve_decks_with_plan,
+    solver_registry, write_field_csv, write_field_ppm, DeckJob, RankOutput,
 };
 use tea_core::{Precision, PreconKind, SolverParams};
+use tea_fault::FaultPlan;
 use tea_serve::ServeOptions;
 
 const USAGE: &str = "\
@@ -52,6 +53,16 @@ SERVING (batched multi-solve mode):
     --workers <w>        concurrent jobs in flight  [default: all cores]
     --no-cache           build every job cold (baseline for comparing
                          the session cache's effect)
+    --deadline <secs>    wall-clock budget per job attempt; an expired
+                         solve is cancelled at its next iteration and
+                         the job reports a timeout
+    --retries <n>        extra attempts for transient failures (panics,
+                         divergence)                      [default: 0]
+    --fault-plan <s:r>   arm deterministic fault injection: seed s,
+                         fault rate r in 0.0..=1.0 (e.g. 42:0.2) —
+                         faulted jobs recover via retry and the
+                         precision ladder; for testing the queue's
+                         fault tolerance
 ";
 
 /// Solver/stepping flags are `Option` so that, with `--deck`, only the
@@ -75,6 +86,9 @@ struct Args {
     serve: Option<PathBuf>,
     workers: usize,
     no_cache: bool,
+    deadline: Option<f64>,
+    retries: u32,
+    fault_plan: Option<FaultPlan>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -96,6 +110,9 @@ fn parse_args() -> Result<Args, String> {
         serve: None,
         workers: 0,
         no_cache: false,
+        deadline: None,
+        retries: 0,
+        fault_plan: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -141,6 +158,13 @@ fn parse_args() -> Result<Args, String> {
                 args.workers = value()?.parse().map_err(|e| format!("--workers: {e}"))?
             }
             "--no-cache" => args.no_cache = true,
+            "--deadline" => {
+                args.deadline = Some(value()?.parse().map_err(|e| format!("--deadline: {e}"))?)
+            }
+            "--retries" => {
+                args.retries = value()?.parse().map_err(|e| format!("--retries: {e}"))?
+            }
+            "--fault-plan" => args.fault_plan = Some(FaultPlan::parse(&value()?)?),
             "--list-solvers" => {
                 print_solvers();
                 std::process::exit(0);
@@ -234,25 +258,43 @@ fn run_serve(joblist: &std::path::Path, args: &Args) -> ExitCode {
         workers: args.workers,
         threads_per_job: args.threads,
         cache: !args.no_cache,
+        deadline: args.deadline.map(std::time::Duration::from_secs_f64),
+        retries: args.retries,
     };
     println!(
-        "tealeaf --serve: {} job(s), {} worker(s), session cache {}",
+        "tealeaf --serve: {} job(s), {} worker(s), session cache {}{}{}",
         jobs.len(),
         opts.effective_workers(),
         if opts.cache { "on" } else { "off" },
+        opts.deadline
+            .map(|d| format!(", deadline {:.3}s", d.as_secs_f64()))
+            .unwrap_or_default(),
+        args.fault_plan
+            .as_ref()
+            .map(|p| format!(", fault plan seed {}", p.seed()))
+            .unwrap_or_default(),
     );
-    let report = serve_decks(jobs, &opts);
+    let report = serve_decks_with_plan(jobs, &opts, args.fault_plan.as_ref());
 
     for outcome in &report.outcomes {
         if let Err(e) = &outcome.result {
             eprintln!("job {} failed: {e}", outcome.job);
         } else if !args.quiet {
             let out = outcome.result.as_ref().unwrap();
-            let converged = out.steps.iter().filter(|s| s.converged).count();
+            let converged = out.output.steps.iter().filter(|s| s.converged).count();
+            let degraded = if out.escalations.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    " [degraded: {} → {}]",
+                    out.escalations.join(" → "),
+                    out.solver
+                )
+            };
             println!(
-                "job {:>4}: {} step(s) ({converged} converged), {:.3}s",
+                "job {:>4}: {} step(s) ({converged} converged), {:.3}s{degraded}",
                 outcome.job,
-                out.steps.len(),
+                out.output.steps.len(),
                 outcome.wall_s,
             );
         }
@@ -269,6 +311,12 @@ fn run_serve(joblist: &std::path::Path, args: &Args) -> ExitCode {
         "  session cache    {} hit(s), {} miss(es), {} prepare(s)",
         s.cache.hits, s.cache.misses, s.cache.prepares
     );
+    if s.timeouts + s.retries + s.panics_recovered > 0 {
+        println!(
+            "  recovery         {} timeout(s), {} retry(ies), {} panic(s) recovered",
+            s.timeouts, s.retries, s.panics_recovered
+        );
+    }
 
     if s.failed > 0 || !load_failures.is_empty() {
         ExitCode::FAILURE

@@ -19,8 +19,8 @@ use tea_comms::{
     gather_to_root, run_threaded as comm_run, Communicator, HaloLayout, SerialComm, StatsSnapshot,
 };
 use tea_core::{
-    Assembly, DynTile, SessionSpec, SetupCache, SetupKey, SolveContext, SolveSession, SolveTrace,
-    Tile, TileBounds, TileOperator, Workspace,
+    Assembly, DynTile, SessionSpec, SetupCache, SetupKey, SolveContext, SolveControls,
+    SolveSession, SolveStatus, SolveTrace, Tile, TileBounds, TileOperator, Workspace,
 };
 use tea_mesh::{timestep_scalings, Coefficients, Decomposition2D, Field2D, Mesh2D};
 
@@ -48,6 +48,24 @@ pub enum DriverError {
         /// Ranks in the communicator.
         comm: usize,
     },
+    /// A solve produced a non-finite residual instead of converging —
+    /// the structured form of what used to burn the whole iteration
+    /// cap on NaNs. The serving layer escalates these along the
+    /// precision ladder.
+    Diverged {
+        /// Canonical name of the solver that diverged.
+        solver: String,
+        /// 1-based time step whose solve diverged.
+        step: u64,
+        /// Outer iteration at which divergence was detected.
+        iteration: u64,
+    },
+    /// A solve was cancelled by its stop handle (deadline or explicit
+    /// cancellation) before finishing.
+    Cancelled {
+        /// 1-based time step whose solve was cancelled.
+        step: u64,
+    },
 }
 
 impl std::fmt::Display for DriverError {
@@ -63,6 +81,17 @@ impl std::fmt::Display for DriverError {
                 f,
                 "decomposition has {decomp} ranks but the communicator has {comm}"
             ),
+            DriverError::Diverged {
+                solver,
+                step,
+                iteration,
+            } => write!(
+                f,
+                "{solver} diverged (non-finite residual) at step {step}, iteration {iteration}"
+            ),
+            DriverError::Cancelled { step } => {
+                write!(f, "solve cancelled at step {step} (deadline or stop)")
+            }
         }
     }
 }
@@ -341,6 +370,25 @@ pub fn run_threaded_ranks(deck: &Deck, ranks: usize) -> Result<Vec<RankOutput>, 
 /// # Errors
 /// [`DriverError`] as for [`run_rank`].
 pub fn run_serial_session(deck: &Deck, cache: &SetupCache) -> Result<RankOutput, DriverError> {
+    run_serial_session_with(deck, cache, SolveControls::default())
+}
+
+/// [`run_serial_session`] with an armed [`SolveControls`] bundle — the
+/// fault-tolerant serving path. Per-step solves observe the stop
+/// handle (deadlines/cancellation → [`DriverError::Cancelled`]) and
+/// the probe (fault injection), and a solve that detects a non-finite
+/// residual surfaces as [`DriverError::Diverged`] instead of burning
+/// the iteration cap. On either failure the session is dropped rather
+/// than checked back into `cache`: a poisoned or half-cancelled
+/// session must never be handed to a later clean job.
+///
+/// # Errors
+/// [`DriverError`] as for [`run_rank`], plus `Diverged`/`Cancelled`.
+pub fn run_serial_session_with(
+    deck: &Deck,
+    cache: &SetupCache,
+    controls: SolveControls<'_>,
+) -> Result<RankOutput, DriverError> {
     let problem = &deck.problem;
     let control = &deck.control;
     problem.validate().map_err(DriverError::InvalidProblem)?;
@@ -348,7 +396,7 @@ pub fn run_serial_session(deck: &Deck, cache: &SetupCache) -> Result<RankOutput,
     let registry = crate::solver_registry();
     let solver_name = control.effective_solver().map_err(DriverError::Solver)?;
     let spec = SessionSpec {
-        solver: solver_name,
+        solver: solver_name.clone(),
         // effective_solver already folded tl_precision into the name
         precision: None,
         opts: control.opts,
@@ -399,9 +447,24 @@ pub fn run_serial_session(deck: &Deck, cache: &SetupCache) -> Result<RankOutput,
         u.copy_interior_from(&b);
 
         let started = std::time::Instant::now();
-        let result = session.solve(&mut u, &b);
+        let result = session.solve_controlled(&mut u, &b, controls);
         let wall = started.elapsed().as_secs_f64();
         trace.merge(&result.trace);
+
+        // a diverged or cancelled session is dropped here (early
+        // return, no checkin): its workspace may carry non-finite
+        // state and must not be pooled for later jobs
+        match result.status {
+            SolveStatus::Diverged { iteration } => {
+                return Err(DriverError::Diverged {
+                    solver: solver_name,
+                    step,
+                    iteration,
+                });
+            }
+            SolveStatus::Cancelled { .. } => return Err(DriverError::Cancelled { step }),
+            SolveStatus::Converged | SolveStatus::IterationLimit => {}
+        }
 
         for k in 0..ny as isize {
             let ur = u.row(k, 0, nx as isize);

@@ -23,11 +23,11 @@ pub mod summary;
 
 pub use deck::{crooked_pipe_deck, parse_deck, render_deck, Control, Deck};
 pub use driver::{
-    run_rank, run_serial, run_serial_session, run_threaded_ranks, DriverError, RankOutput,
-    StepRecord,
+    run_rank, run_serial, run_serial_session, run_serial_session_with, run_threaded_ranks,
+    DriverError, RankOutput, StepRecord,
 };
 pub use output::{write_field_csv, write_field_ppm, write_field_vtk, write_series_csv};
-pub use serve::{serve_decks, DeckJob};
+pub use serve::{serve_decks, serve_decks_with_plan, DeckJob, DeckOutcome};
 pub use summary::{field_summary, FieldSummary};
 
 use std::sync::OnceLock;

@@ -2,14 +2,27 @@
 //! driver ([`crate::run_serial_session`]) on a `tea-serve` worker pool,
 //! pooling prepared [`tea_core::SolveSession`]s across jobs with equal
 //! setup keys. The `tealeaf --serve <joblist>` CLI mode and the
-//! `tea-bench throughput` harness both call [`serve_decks`].
+//! `tea-bench throughput` / `chaos` harnesses call [`serve_decks`] and
+//! [`serve_decks_with_plan`].
+//!
+//! Fault tolerance follows the `tea-serve` contract: each job runs
+//! under panic isolation with per-attempt deadlines and bounded
+//! retries, and a solve that diverges (non-finite residual) escalates
+//! along the precision ladder
+//! ([`tea_serve::next_precision_rung`]: `cg_f32 → mixed_cg → cg`)
+//! before the job is declared failed. A deterministic
+//! [`tea_fault::FaultPlan`] can be armed to inject faults — only on a
+//! job's *first* attempt and *first* ladder rung, so recovery is
+//! observable and the same seed reproduces the same outcomes at any
+//! worker count.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::deck::Deck;
-use crate::driver::{run_serial_session, RankOutput};
-use tea_core::SetupCache;
-use tea_serve::{serve_with, ServeOptions, ServeReport};
+use crate::driver::{run_serial_session_with, DriverError, RankOutput};
+use tea_core::{SetupCache, SolveControls, SolveProbe};
+use tea_fault::{FaultKind, FaultPlan, NanPoison};
+use tea_serve::{next_precision_rung, serve_with, JobCtx, JobError, ServeOptions, ServeReport};
 
 /// One deck to run, with a label for error reporting (typically the
 /// deck's file path or a synthetic sweep name).
@@ -21,8 +34,22 @@ pub struct DeckJob {
     pub deck: Deck,
 }
 
+/// What a served deck job returns: the driver output plus the
+/// degradation history that produced it.
+#[derive(Debug)]
+pub struct DeckOutcome {
+    /// The driver's per-step records, traces and final field.
+    pub output: RankOutput,
+    /// Canonical name of the solver that produced the result (after
+    /// precision routing and any escalation).
+    pub solver: String,
+    /// Solvers abandoned to divergence before `solver` succeeded, in
+    /// escalation order. Empty on the happy path.
+    pub escalations: Vec<String>,
+}
+
 /// Drains `jobs` through the session driver on a worker pool and
-/// reports per-job [`RankOutput`]s plus queue statistics.
+/// reports per-job [`DeckOutcome`]s plus queue statistics.
 ///
 /// With [`ServeOptions::cache`] on, jobs with equal setup keys (same
 /// geometry, coefficients, solver, precision, halo depth and latched
@@ -33,22 +60,114 @@ pub struct DeckJob {
 ///
 /// A failing deck (unknown solver, invalid problem) records an error
 /// outcome carrying its label; the queue keeps draining.
-pub fn serve_decks(jobs: Vec<DeckJob>, opts: &ServeOptions) -> ServeReport<RankOutput> {
+pub fn serve_decks(jobs: Vec<DeckJob>, opts: &ServeOptions) -> ServeReport<DeckOutcome> {
+    serve_decks_with_plan(jobs, opts, None)
+}
+
+/// [`serve_decks`] with an optional deterministic [`FaultPlan`] armed.
+///
+/// The plan is consulted once per job (by submission index). An
+/// assigned fault fires only on attempt 0 — retries run clean, which
+/// is how [`FaultKind::PanicWorker`] jobs recover when
+/// [`ServeOptions::retries`] > 0 — and a
+/// [`FaultKind::PoisonNan`] probe is armed only on the first ladder
+/// rung, so the escalated re-solve runs clean and the job degrades
+/// gracefully instead of failing every rung. Faulted solves run
+/// against a throwaway session cache: a poisoned session must never
+/// enter the shared pool.
+pub fn serve_decks_with_plan(
+    jobs: Vec<DeckJob>,
+    opts: &ServeOptions,
+    plan: Option<&FaultPlan>,
+) -> ServeReport<DeckOutcome> {
     let cache = SetupCache::new();
     let cold_prepares = AtomicU64::new(0);
     let cold_misses = AtomicU64::new(0);
     let use_cache = opts.cache;
-    let run = |_job: usize, DeckJob { label, deck }: DeckJob| {
-        if use_cache {
-            run_serial_session(&deck, &cache).map_err(|e| format!("{label}: {e}"))
-        } else {
-            // a throwaway per-job cache: always cold, never shared
-            let local = SetupCache::new();
-            let out = run_serial_session(&deck, &local).map_err(|e| format!("{label}: {e}"));
-            let stats = local.stats();
-            cold_prepares.fetch_add(stats.prepares, Ordering::Relaxed);
-            cold_misses.fetch_add(stats.misses, Ordering::Relaxed);
-            out
+    let registry = crate::solver_registry();
+    let run = |ctx: JobCtx<'_>, DeckJob { label, deck }: &DeckJob| {
+        let fault = plan.and_then(|p| {
+            if ctx.attempt == 0 {
+                p.fault_for(ctx.job)
+            } else {
+                None
+            }
+        });
+        if let Some(FaultKind::PanicWorker) = fault {
+            panic!("injected worker panic (job {})", ctx.job);
+        }
+
+        // resolve precision routing up front so escalation starts from
+        // the solver that would actually have run
+        let mut deck = deck.clone();
+        let solver = deck
+            .control
+            .effective_solver()
+            .map_err(|e| JobError::Failed {
+                message: format!("{label}: {e}"),
+            })?;
+        deck.control.solver = solver;
+        deck.control.precision = None;
+
+        let mut escalations: Vec<String> = Vec::new();
+        loop {
+            // the injected probe arms only on the first rung: the
+            // escalated re-solve must run clean so the ladder recovers
+            let probe: Option<NanPoison> = match fault {
+                Some(FaultKind::PoisonNan { iteration }) if escalations.is_empty() => {
+                    Some(NanPoison { iteration })
+                }
+                _ => None,
+            };
+            let controls = SolveControls {
+                stop: Some(ctx.stop),
+                probe: probe.as_ref().map(|p| p as &dyn SolveProbe),
+            };
+            let result = if use_cache && probe.is_none() {
+                run_serial_session_with(&deck, &cache, controls)
+            } else {
+                // a throwaway per-job cache: cold, never shared — used
+                // both for the no-cache baseline and for probed solves
+                // (a poisoned session must not enter the pool)
+                let local = SetupCache::new();
+                let out = run_serial_session_with(&deck, &local, controls);
+                let stats = local.stats();
+                cold_prepares.fetch_add(stats.prepares, Ordering::Relaxed);
+                cold_misses.fetch_add(stats.misses, Ordering::Relaxed);
+                out
+            };
+            match result {
+                Ok(output) => {
+                    return Ok(DeckOutcome {
+                        output,
+                        solver: deck.control.solver,
+                        escalations,
+                    })
+                }
+                Err(DriverError::Cancelled { .. }) => return Err(JobError::TimedOut),
+                Err(DriverError::Diverged {
+                    solver, iteration, ..
+                }) => {
+                    escalations.push(solver);
+                    match next_precision_rung(&deck.control.solver, registry) {
+                        Some(next) => {
+                            deck.control.solver = next;
+                            continue;
+                        }
+                        None => {
+                            return Err(JobError::Diverged {
+                                iteration,
+                                attempts: escalations,
+                            })
+                        }
+                    }
+                }
+                Err(e) => {
+                    return Err(JobError::Failed {
+                        message: format!("{label}: {e}"),
+                    })
+                }
+            }
         }
     };
     serve_with(jobs, opts, run, || {
@@ -108,6 +227,9 @@ mod tests {
 
         for (a, b) in cached.outcomes.iter().zip(&cold.outcomes) {
             let (a, b) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            assert!(a.escalations.is_empty());
+            assert_eq!(a.solver, "cg");
+            let (a, b) = (&a.output, &b.output);
             assert_eq!(a.steps.len(), b.steps.len());
             for (sa, sb) in a.steps.iter().zip(&b.steps) {
                 assert_eq!(sa.iterations, sb.iterations);
@@ -125,7 +247,112 @@ mod tests {
         let report = serve_decks(jobs, &ServeOptions::default());
         assert_eq!(report.stats.failed, 1);
         let err = report.outcomes[0].result.as_ref().unwrap_err();
-        assert!(err.starts_with("bad.in:"), "{err}");
+        assert!(err.to_string().starts_with("bad.in:"), "{err}");
         assert!(report.outcomes[1].result.is_ok());
+    }
+
+    #[test]
+    fn a_poisoned_solve_degrades_along_the_ladder() {
+        // Arm a plan that NaN-poisons every job at iteration 2. The
+        // first rung must diverge, the escalated clean re-solve must
+        // recover, and the outcome must record the abandoned rung.
+        let mut jobs = vec![job(16, "cg", 1e-8)];
+        jobs[0].deck.control.precision = Some(tea_core::Precision::F32);
+        let plan = FaultPlan::serving(0, 1.0);
+        // find a seed/job assignment that poisons job 0 (seed chosen so
+        // fault_for(0) is PoisonNan; scan a few seeds to stay robust to
+        // hash details)
+        let plan = (0..64)
+            .map(|s| FaultPlan::serving(s, 1.0))
+            .find(|p| matches!(p.fault_for(0), Some(FaultKind::PoisonNan { .. })))
+            .unwrap_or(plan);
+        let report = serve_decks_with_plan(jobs, &ServeOptions::default(), Some(&plan));
+        assert_eq!(report.stats.failed, 0, "the ladder must recover the job");
+        let out = report.outcomes[0].result.as_ref().unwrap();
+        assert_eq!(out.escalations, vec!["cg_f32".to_string()]);
+        assert_eq!(out.solver, "mixed_cg");
+        assert!(out.output.steps.iter().all(|s| s.converged));
+    }
+
+    #[test]
+    fn an_injected_panic_recovers_on_retry() {
+        let jobs = vec![job(16, "cg", 1e-8)];
+        let plan = (0..64)
+            .map(|s| FaultPlan::serving(s, 1.0))
+            .find(|p| matches!(p.fault_for(0), Some(FaultKind::PanicWorker)))
+            .expect("some seed panics job 0");
+        // without retries the panic is the outcome
+        let report = serve_decks_with_plan(
+            jobs.clone(),
+            &ServeOptions {
+                workers: 1,
+                ..Default::default()
+            },
+            Some(&plan),
+        );
+        assert_eq!(report.stats.failed, 1);
+        assert_eq!(report.stats.panics_recovered, 1);
+        assert!(matches!(
+            report.outcomes[0].result,
+            Err(JobError::Panicked { .. })
+        ));
+        // with a retry budget the clean second attempt succeeds
+        let report = serve_decks_with_plan(
+            jobs,
+            &ServeOptions {
+                workers: 1,
+                retries: 1,
+                ..Default::default()
+            },
+            Some(&plan),
+        );
+        assert_eq!(report.stats.failed, 0);
+        assert_eq!(report.stats.retries, 1);
+        assert_eq!(report.outcomes[0].attempts, 2);
+        assert!(report.outcomes[0].result.is_ok());
+    }
+
+    #[test]
+    fn chaos_outcomes_are_identical_at_any_worker_count() {
+        // Determinism under chaos: the same seeded plan must yield the
+        // same per-job outcome classification — and bit-identical
+        // results for unfaulted jobs — at 1, 2 and 4 workers.
+        let jobs: Vec<DeckJob> = (0..12).map(|i| job(12 + 4 * (i % 3), "cg", 1e-8)).collect();
+        let plan = FaultPlan::serving(2024, 0.4);
+        let classify = |workers: usize| {
+            let report = serve_decks_with_plan(
+                jobs.clone(),
+                &ServeOptions {
+                    workers,
+                    retries: 1,
+                    ..Default::default()
+                },
+                Some(&plan),
+            );
+            assert_eq!(report.outcomes.len(), jobs.len(), "no lost jobs");
+            report
+                .outcomes
+                .iter()
+                .map(|o| match &o.result {
+                    Ok(out) => (
+                        format!("ok:{}:{:?}", out.solver, out.escalations),
+                        out.output.final_u.as_ref().map(|u| {
+                            u.raw()
+                                .iter()
+                                .fold(0u64, |acc, x| acc.wrapping_add(x.to_bits()))
+                        }),
+                    ),
+                    Err(e) => (format!("err:{e}"), None),
+                })
+                .collect::<Vec<_>>()
+        };
+        let w1 = classify(1);
+        assert_eq!(w1, classify(2), "1 vs 2 workers");
+        assert_eq!(w1, classify(4), "1 vs 4 workers");
+        // sanity: the plan actually faulted something
+        assert!(
+            (0..jobs.len()).any(|j| plan.fault_for(j).is_some()),
+            "a 40% plan over 12 jobs must fault at least one"
+        );
     }
 }

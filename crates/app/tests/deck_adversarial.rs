@@ -1,0 +1,143 @@
+//! Adversarial property tests for the deck parser: malformed,
+//! truncated, mutated and huge-value decks must always come back as a
+//! structured `Err(String)` or a valid `Deck` — never a panic. A
+//! serving queue parses decks from untrusted job lists, so the parser
+//! is a fault boundary.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tea_app::{crooked_pipe_deck, parse_deck, render_deck};
+
+/// The vendored proptest has no `u8` strategy; derive one from `u32`.
+fn any_byte() -> impl Strategy<Value = u8> {
+    any::<u32>().prop_map(|x| (x & 0xFF) as u8)
+}
+
+/// Tokens the parser cares about, mixed with junk: exercises the
+/// key=value machinery far more densely than uniform byte soup.
+fn deck_token() -> impl Strategy<Value = &'static str> {
+    any::<u32>().prop_map(|x| {
+        const TOKENS: &[&str] = &[
+            "*tea",
+            "*endtea",
+            "state",
+            "state 1 density=",
+            "x_cells=",
+            "y_cells=",
+            "xmin",
+            "=",
+            "==",
+            "tl_solver=cg",
+            "tl_solver=warp",
+            "tl_use_ppcg",
+            "tl_use_warp",
+            "tl_precision=f32",
+            "tl_eps=",
+            "tl_max_iters=",
+            "initial_timestep=0.04",
+            "!",
+            "! comment",
+            "1e308",
+            "-1e308",
+            "nan",
+            "inf",
+            "0",
+            "18446744073709551615",
+            "99999999999999999999999",
+            "geometry=rectangle",
+            "state 2 xmin=0 xmax=",
+        ];
+        TOKENS[(x as usize) % TOKENS.len()]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Raw byte soup (lossily decoded) never panics the parser.
+    #[test]
+    fn byte_soup_never_panics(bytes in vec(any_byte(), 0..512)) {
+        let text = String::from_utf8_lossy(&bytes);
+        match parse_deck(&text) {
+            Ok(deck) => {
+                // whatever parsed must also re-render without panicking
+                let _ = render_deck(&deck);
+            }
+            Err(e) => prop_assert!(!e.is_empty(), "errors must carry a message"),
+        }
+    }
+
+    /// Random token salads — dense in parser-relevant syntax — never
+    /// panic either.
+    #[test]
+    fn token_salad_never_panics(
+        tokens in vec(deck_token(), 0..64),
+        joiner in any::<bool>(),
+    ) {
+        let sep = if joiner { "\n" } else { " " };
+        let text = tokens.join(sep);
+        let _ = parse_deck(&text);
+    }
+
+    /// Every strict line-prefix of a valid deck parses or errors
+    /// structurally — truncation mid-file must not panic (and a deck
+    /// cut before *endtea still has a well-defined meaning: the block
+    /// simply runs to EOF).
+    #[test]
+    fn truncated_decks_never_panic(n in any::<usize>(), cut_in_line in any::<usize>()) {
+        let full = render_deck(&crooked_pipe_deck(16, "cg"));
+        let lines: Vec<&str> = full.lines().collect();
+        let keep = n % (lines.len() + 1);
+        let mut text = lines[..keep].join("\n");
+        // also chop the kept text mid-line to model a torn write
+        // (rendered decks are pure ASCII, so any cut is a char boundary)
+        if keep > 0 {
+            text.truncate(cut_in_line % (text.len() + 1));
+        }
+        let _ = parse_deck(&text);
+    }
+
+    /// Huge, negative, non-finite and overflowing numeric values are
+    /// either accepted as numbers or rejected with an error — the
+    /// parser itself must not panic on any of them. (Semantic checks
+    /// like zero cell counts are the driver's validate() job.)
+    #[test]
+    fn extreme_values_never_panic(
+        cells in any::<u64>(),
+        eps_bits in any::<u64>(),
+        iters in any::<u64>(),
+    ) {
+        let eps = f64::from_bits(eps_bits);
+        let text = format!(
+            "*tea\nx_cells={cells}\ny_cells={cells}\ntl_eps={eps}\ntl_max_iters={iters}\n*endtea\n"
+        );
+        let _ = parse_deck(&text);
+    }
+
+    /// Single-character mutations of a valid deck never panic: either
+    /// the deck still parses, or the error explains itself (per-line
+    /// errors name the line; killing `*tea` itself reports the missing
+    /// block).
+    #[test]
+    fn mutated_valid_decks_never_panic(pos in any::<usize>(), byte in any_byte()) {
+        let full = render_deck(&crooked_pipe_deck(16, "cg"));
+        let mut bytes = full.into_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] = byte;
+        let text = String::from_utf8_lossy(&bytes);
+        if let Err(e) = parse_deck(&text) {
+            prop_assert!(
+                e.contains("line ") || e.contains("*tea"),
+                "errors must be diagnosable: {e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn a_valid_deck_round_trips() {
+    let deck = crooked_pipe_deck(24, "ppcg");
+    let parsed = parse_deck(&render_deck(&deck)).expect("render → parse must succeed");
+    assert_eq!(parsed.problem.x_cells, 24);
+    assert_eq!(parsed.control.solver, "ppcg");
+}

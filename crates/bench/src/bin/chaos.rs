@@ -1,0 +1,237 @@
+//! Chaos drain: the fault-tolerance acceptance harness.
+//!
+//! Drains a queue of mixed decks twice — once clean (the baseline),
+//! once with a deterministic seeded [`tea_fault::FaultPlan`] injecting
+//! NaN poisons and worker panics into ~`--fault-rate` of the jobs —
+//! and asserts the robustness contract:
+//!
+//! * **zero lost jobs** — every submitted job reports an outcome;
+//! * **zero escaped panics** — every injected panic is caught and
+//!   accounted in `panics_recovered`;
+//! * **bit-identical unfaulted results** — jobs the plan left alone
+//!   produce exactly the clean run's fields and residuals;
+//! * **typed outcomes for every faulted job** — recovered (clean
+//!   retry), degraded (precision-ladder escalation with history),
+//!   timed out, or failed, never a stringly mystery.
+//!
+//! Writes the recovery counters to `--out` (default `BENCH_PR7.json`).
+
+use std::io::Write;
+
+use tea_app::{crooked_pipe_deck, serve_decks, serve_decks_with_plan, DeckJob};
+use tea_core::Precision;
+use tea_fault::{FaultKind, FaultPlan};
+use tea_serve::{JobError, ServeOptions};
+
+struct Args {
+    jobs: usize,
+    fault_rate: f64,
+    seed: u64,
+    workers: usize,
+    retries: u32,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        jobs: 500,
+        fault_rate: 0.2,
+        seed: 42,
+        workers: 0,
+        retries: 2,
+        out: "BENCH_PR7.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--jobs" => args.jobs = value().parse().expect("--jobs"),
+            "--fault-rate" => args.fault_rate = value().parse().expect("--fault-rate"),
+            "--seed" => args.seed = value().parse().expect("--seed"),
+            "--workers" => args.workers = value().parse().expect("--workers"),
+            "--retries" => args.retries = value().parse().expect("--retries"),
+            "--out" => args.out = value(),
+            other => panic!("unknown option '{other}'"),
+        }
+    }
+    args
+}
+
+/// A mixed queue: three sizes, f64 CG and reduced-precision CG (the
+/// latter exercises the cg_f32 → mixed_cg → cg degradation ladder when
+/// poisoned), one or two steps each.
+fn build_queue(jobs: usize) -> Vec<DeckJob> {
+    (0..jobs)
+        .map(|i| {
+            let n = 12 + 4 * (i % 3);
+            let mut deck = crooked_pipe_deck(n, "cg");
+            deck.control.end_step = 1 + (i % 2) as u64;
+            deck.control.summary_frequency = 0;
+            deck.control.opts.eps = 1e-6;
+            if i % 3 == 0 {
+                deck.control.precision = Some(Precision::F32);
+            }
+            DeckJob {
+                label: format!("chaos-{i}-n{n}"),
+                deck,
+            }
+        })
+        .collect()
+}
+
+fn bits_of(u: &tea_mesh::Field2D) -> Vec<u64> {
+    u.raw().iter().map(|x| x.to_bits()).collect()
+}
+
+fn main() {
+    let args = parse_args();
+    let plan = FaultPlan::serving(args.seed, args.fault_rate);
+    let opts = ServeOptions {
+        workers: args.workers,
+        threads_per_job: Some(1),
+        cache: true,
+        deadline: None,
+        retries: args.retries,
+    };
+    println!(
+        "chaos: {} job(s), seed {}, fault rate {:.0}%, {} worker(s), {} retries",
+        args.jobs,
+        args.seed,
+        args.fault_rate * 100.0,
+        opts.effective_workers(),
+        args.retries,
+    );
+
+    let baseline = serve_decks(build_queue(args.jobs), &opts);
+    assert_eq!(baseline.stats.failed, 0, "the clean run must drain cleanly");
+    println!(
+        "  clean leg: {:.2} jobs/sec, {} prepare(s)",
+        baseline.stats.jobs_per_sec, baseline.stats.cache.prepares
+    );
+
+    // Injected panics print nothing: the queue's catch_unwind is the
+    // mechanism under test, and 100 backtraces of stderr would drown
+    // the report. The hook is restored before the final asserts so a
+    // genuine harness failure still explains itself.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let chaos = serve_decks_with_plan(build_queue(args.jobs), &opts, Some(&plan));
+    std::panic::set_hook(default_hook);
+
+    // zero lost jobs, in submission order
+    assert_eq!(chaos.outcomes.len(), args.jobs, "every job must report");
+    for (i, o) in chaos.outcomes.iter().enumerate() {
+        assert_eq!(o.job, i, "outcomes must come back in submission order");
+    }
+
+    // zero escaped panics: each PanicWorker fault fires exactly once
+    // (attempt 0) and must be caught and counted
+    let injected_panics = (0..args.jobs)
+        .filter(|&j| matches!(plan.fault_for(j), Some(FaultKind::PanicWorker)))
+        .count() as u64;
+    assert_eq!(
+        chaos.stats.panics_recovered, injected_panics,
+        "every injected panic is caught, and nothing else panicked"
+    );
+
+    // classify every outcome; faulted jobs must all land in a typed bin
+    let (mut recovered, mut degraded, mut timed_out, mut failed) = (0usize, 0usize, 0usize, 0usize);
+    let mut unfaulted_mismatch = 0usize;
+    for (o, base) in chaos.outcomes.iter().zip(&baseline.outcomes) {
+        let fault = plan.fault_for(o.job);
+        match (&o.result, fault) {
+            (Ok(out), Some(_)) => {
+                if out.escalations.is_empty() {
+                    recovered += 1;
+                } else {
+                    degraded += 1;
+                }
+            }
+            (Err(JobError::TimedOut), Some(_)) => timed_out += 1,
+            (Err(_), Some(_)) => failed += 1,
+            (Ok(out), None) => {
+                // unfaulted jobs: bit-identical to the clean run
+                let clean = base.result.as_ref().expect("clean run drained");
+                let (a, b) = (&out.output, &clean.output);
+                let same = a.steps.len() == b.steps.len()
+                    && a.steps.iter().zip(&b.steps).all(|(x, y)| {
+                        x.iterations == y.iterations
+                            && x.final_residual.to_bits() == y.final_residual.to_bits()
+                    })
+                    && match (&a.final_u, &b.final_u) {
+                        (Some(x), Some(y)) => bits_of(x) == bits_of(y),
+                        (None, None) => true,
+                        _ => false,
+                    };
+                if !same || !out.escalations.is_empty() {
+                    unfaulted_mismatch += 1;
+                }
+            }
+            (Err(e), None) => panic!("unfaulted job {} failed: {e}", o.job),
+        }
+    }
+    let faulted = (0..args.jobs)
+        .filter(|&j| plan.fault_for(j).is_some())
+        .count();
+    assert_eq!(
+        recovered + degraded + timed_out + failed,
+        faulted,
+        "every faulted job lands in a typed outcome bin"
+    );
+    assert_eq!(
+        unfaulted_mismatch, 0,
+        "unfaulted jobs must be bit-identical to the fault-free run"
+    );
+    assert_eq!(failed, 0, "retry + ladder must absorb this fault mix");
+
+    println!(
+        "  chaos leg: {:.2} jobs/sec, {} faulted of {} — {} recovered, {} degraded, \
+         {} timed out, {} failed; {} retry(ies), {} panic(s) caught",
+        chaos.stats.jobs_per_sec,
+        faulted,
+        args.jobs,
+        recovered,
+        degraded,
+        timed_out,
+        failed,
+        chaos.stats.retries,
+        chaos.stats.panics_recovered,
+    );
+
+    let mut f = std::fs::File::create(&args.out).expect("create output file");
+    writeln!(f, "{{").unwrap();
+    writeln!(f, "  \"bench\": \"chaos\",").unwrap();
+    writeln!(f, "  \"jobs\": {},", args.jobs).unwrap();
+    writeln!(f, "  \"seed\": {},", args.seed).unwrap();
+    writeln!(f, "  \"fault_rate\": {},", args.fault_rate).unwrap();
+    writeln!(f, "  \"workers\": {},", opts.effective_workers()).unwrap();
+    writeln!(f, "  \"faulted\": {faulted},").unwrap();
+    writeln!(f, "  \"recovered\": {recovered},").unwrap();
+    writeln!(f, "  \"degraded\": {degraded},").unwrap();
+    writeln!(f, "  \"timed_out\": {timed_out},").unwrap();
+    writeln!(f, "  \"failed\": {failed},").unwrap();
+    writeln!(f, "  \"retries\": {},", chaos.stats.retries).unwrap();
+    writeln!(f, "  \"timeouts\": {},", chaos.stats.timeouts).unwrap();
+    writeln!(
+        f,
+        "  \"panics_recovered\": {},",
+        chaos.stats.panics_recovered
+    )
+    .unwrap();
+    writeln!(
+        f,
+        "  \"clean_jobs_per_sec\": {:.3},",
+        baseline.stats.jobs_per_sec
+    )
+    .unwrap();
+    writeln!(
+        f,
+        "  \"chaos_jobs_per_sec\": {:.3},",
+        chaos.stats.jobs_per_sec
+    )
+    .unwrap();
+    writeln!(f, "  \"clean_wall_s\": {:.3},", baseline.stats.wall_s).unwrap();
+    writeln!(f, "  \"chaos_wall_s\": {:.3}", chaos.stats.wall_s).unwrap();
+    writeln!(f, "}}").unwrap();
+    println!("wrote {}", args.out);
+}

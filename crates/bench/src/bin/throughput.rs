@@ -32,7 +32,7 @@
 
 use std::io::Write as _;
 use std::path::PathBuf;
-use tea_app::{crooked_pipe_deck, serve_decks, DeckJob, RankOutput};
+use tea_app::{crooked_pipe_deck, serve_decks, DeckJob, DeckOutcome};
 use tea_serve::{QueueStats, ServeOptions, ServeReport};
 
 const SOLVERS: [&str; 5] = ["cg", "cg_fused", "chebyshev", "ppcg", "mixed_cg"];
@@ -112,11 +112,14 @@ fn build_queue(args: &Args) -> Vec<DeckJob> {
 }
 
 /// Both legs ran the same queue: results must be bit-identical per job.
-fn assert_bitwise_equal(cold: &ServeReport<RankOutput>, warm: &ServeReport<RankOutput>) {
+fn assert_bitwise_equal(cold: &ServeReport<DeckOutcome>, warm: &ServeReport<DeckOutcome>) {
     assert_eq!(cold.stats.failed, 0, "cold leg must drain cleanly");
     assert_eq!(warm.stats.failed, 0, "cached leg must drain cleanly");
     for (c, w) in cold.outcomes.iter().zip(&warm.outcomes) {
-        let (c, w) = (c.result.as_ref().unwrap(), w.result.as_ref().unwrap());
+        let (c, w) = (
+            &c.result.as_ref().unwrap().output,
+            &w.result.as_ref().unwrap().output,
+        );
         assert_eq!(c.steps.len(), w.steps.len());
         for (sc, sw) in c.steps.iter().zip(&w.steps) {
             assert_eq!(
@@ -220,6 +223,7 @@ fn main() {
         workers: args.workers,
         threads_per_job: Some(1),
         cache: true,
+        ..Default::default()
     };
     let workers = opts.effective_workers();
     println!(

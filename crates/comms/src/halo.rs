@@ -421,9 +421,14 @@ mod tests {
             }
         });
         let err = errs[1].clone().expect("rank 1 decoded");
-        assert_eq!(err.expected, "f64");
-        assert_eq!(err.received, "f32");
-        assert_eq!(err.len, 8);
+        assert_eq!(
+            err,
+            crate::WireError::WidthMismatch {
+                expected: "f64",
+                received: "f32",
+                len: 8,
+            }
+        );
         assert!(err.to_string().contains("wire precision mismatch"));
     }
 

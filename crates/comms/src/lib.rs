@@ -48,8 +48,8 @@ pub use gather::gather_to_root;
 pub use halo::{exchange_halo, exchange_halo_many, HaloLayout};
 pub use serial::SerialComm;
 pub use stats::{CommStats, StatsSnapshot};
-pub use threaded::{run_threaded, ThreadedComm};
-pub use wire::{Payload, WireError, WireScalar};
+pub use threaded::{run_threaded, run_threaded_tapped, PayloadTap, ThreadedComm};
+pub use wire::{Payload, WireError, WireScalar, WIRE_MAGIC};
 
 /// A rank's handle onto the simulated machine.
 ///

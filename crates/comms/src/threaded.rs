@@ -44,6 +44,18 @@ enum ReduceOp {
     Barrier,
 }
 
+/// An interception hook on every point-to-point payload of a threaded
+/// machine: `send` passes the outgoing payload through the tap before
+/// it enters the channel. Production runs install no tap (a `None`
+/// check per send); fault-injection harnesses use it to corrupt or
+/// blank halo traffic deterministically.
+pub trait PayloadTap: Send + Sync {
+    /// Transforms one in-flight payload. `from`/`to` are ranks, `tag`
+    /// is the protocol tag the receiver will match on. Returning the
+    /// payload unchanged makes the tap a no-op for that message.
+    fn tap(&self, from: usize, to: usize, tag: u64, data: Payload) -> Payload;
+}
+
 /// State shared by every rank of one simulated machine.
 struct Shared {
     size: usize,
@@ -53,10 +65,11 @@ struct Shared {
     receivers: Vec<Vec<Receiver<Msg>>>,
     reduce: Mutex<ReduceState>,
     reduce_cv: Condvar,
+    tap: Option<Arc<dyn PayloadTap>>,
 }
 
 impl Shared {
-    fn new(size: usize) -> Arc<Self> {
+    fn new(size: usize, tap: Option<Arc<dyn PayloadTap>>) -> Arc<Self> {
         let mut senders: Vec<Vec<Sender<Msg>>> = (0..size).map(|_| Vec::new()).collect();
         let mut receivers: Vec<Vec<Receiver<Msg>>> = (0..size).map(|_| Vec::new()).collect();
         for from in 0..size {
@@ -84,6 +97,7 @@ impl Shared {
                 result: Payload::F64(Vec::new()),
             }),
             reduce_cv: Condvar::new(),
+            tap,
         })
     }
 
@@ -127,11 +141,9 @@ fn fold_slots<S: WireScalar>(slots: &[Payload], op: ReduceOp) -> Payload {
         let vals = match S::payload_slice(slot) {
             Ok(v) => v,
             Err(e) => panic!(
-                "rank {r} joined a {} reduction with a {}-element {} payload \
+                "rank {r} joined a {} reduction with a mismatched deposit — {e} \
                  (every rank must deposit the same wire precision)",
                 S::NAME,
-                e.len,
-                e.received
             ),
         };
         assert_eq!(
@@ -229,6 +241,10 @@ impl Communicator for ThreadedComm {
     fn send(&self, to: usize, tag: u64, data: Payload) {
         assert!(to < self.shared.size, "send to rank {to} out of range");
         assert_ne!(to, self.rank, "self-sends are a protocol error");
+        let data = match &self.shared.tap {
+            Some(tap) => tap.tap(self.rank, to, tag, data),
+            None => data,
+        };
         self.stats.count_send(&data);
         self.shared.senders[self.rank][to]
             .send(Msg { tag, data })
@@ -276,8 +292,19 @@ where
     T: Send,
     F: Fn(&ThreadedComm) -> T + Sync,
 {
+    run_threaded_tapped(ranks, None, f)
+}
+
+/// [`run_threaded`] with an optional [`PayloadTap`] installed on every
+/// rank's point-to-point sends — the fault-injection entry point. Pass
+/// `None` for byte-identical behaviour to `run_threaded`.
+pub fn run_threaded_tapped<T, F>(ranks: usize, tap: Option<Arc<dyn PayloadTap>>, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&ThreadedComm) -> T + Sync,
+{
     assert!(ranks > 0, "need at least one rank");
-    let shared = Shared::new(ranks);
+    let shared = Shared::new(ranks, tap);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..ranks)
             .map(|rank| {
@@ -470,5 +497,29 @@ mod tests {
     fn single_rank_machine_works() {
         let r = run_threaded(1, |c| c.allreduce_sum(5.0));
         assert_eq!(r, vec![5.0]);
+    }
+
+    #[test]
+    fn payload_tap_intercepts_point_to_point_only() {
+        struct Doubler;
+        impl PayloadTap for Doubler {
+            fn tap(&self, _from: usize, _to: usize, _tag: u64, data: Payload) -> Payload {
+                match data {
+                    Payload::F64(v) => Payload::F64(v.into_iter().map(|x| 2.0 * x).collect()),
+                    other => other,
+                }
+            }
+        }
+        let results = run_threaded_tapped(2, Some(Arc::new(Doubler)), |c| {
+            let reduced = c.allreduce_sum(1.0); // reductions bypass the tap
+            if c.rank() == 0 {
+                c.send(1, 3, vec![21.0f64].into());
+                reduced
+            } else {
+                let got: Vec<f64> = c.recv(0, 3).try_into_vec().unwrap();
+                got[0] + reduced
+            }
+        });
+        assert_eq!(results, vec![2.0, 44.0]);
     }
 }

@@ -70,6 +70,87 @@ impl Payload {
     pub fn try_into_vec<S: WireScalar>(self) -> Result<Vec<S>, WireError> {
         S::from_payload(self)
     }
+
+    /// Serialises the payload into a self-describing byte frame:
+    /// the [`WIRE_MAGIC`], a one-byte element width (8 or 4), a
+    /// little-endian `u32` element count, then the elements as
+    /// little-endian bytes. [`Payload::decode`] reverses it bit-exactly.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 1 + 4 + self.byte_len());
+        out.extend_from_slice(&WIRE_MAGIC);
+        out.push(self.elem_bytes() as u8);
+        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        match self {
+            Payload::F64(v) => {
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            Payload::F32(v) => {
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a byte frame produced by [`Payload::encode`], validating
+    /// every structural property before touching the element bytes.
+    ///
+    /// # Errors
+    /// [`WireError::BadMagic`] when the frame prefix is wrong,
+    /// [`WireError::BadWidthTag`] for an element width other than 8 or
+    /// 4, [`WireError::Truncated`] when the stream is shorter than the
+    /// header promises, and [`WireError::TrailingBytes`] when it is
+    /// longer. Arbitrary byte soup always yields one of these — never a
+    /// panic, never a misinterpreted payload.
+    pub fn decode(bytes: &[u8]) -> Result<Payload, WireError> {
+        const HEADER: usize = 4 + 1 + 4;
+        if bytes.len() < 4 || bytes[..4] != WIRE_MAGIC {
+            let mut found = [0u8; 4];
+            let n = bytes.len().min(4);
+            found[..n].copy_from_slice(&bytes[..n]);
+            return Err(WireError::BadMagic { found });
+        }
+        if bytes.len() < HEADER {
+            return Err(WireError::Truncated {
+                needed: HEADER,
+                got: bytes.len(),
+            });
+        }
+        let width = bytes[4];
+        if width != 8 && width != 4 {
+            return Err(WireError::BadWidthTag { tag: width });
+        }
+        let count = u32::from_le_bytes(bytes[5..9].try_into().expect("4 header bytes")) as usize;
+        let needed = HEADER + count * width as usize;
+        if bytes.len() < needed {
+            return Err(WireError::Truncated {
+                needed,
+                got: bytes.len(),
+            });
+        }
+        if bytes.len() > needed {
+            return Err(WireError::TrailingBytes {
+                extra: bytes.len() - needed,
+            });
+        }
+        let body = &bytes[HEADER..];
+        if width == 8 {
+            let v = body
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("exact chunk")))
+                .collect();
+            Ok(Payload::F64(v))
+        } else {
+            let v = body
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("exact chunk")))
+                .collect();
+            Ok(Payload::F32(v))
+        }
+    }
 }
 
 impl From<Vec<f64>> for Payload {
@@ -84,33 +165,90 @@ impl From<Vec<f32>> for Payload {
     }
 }
 
-/// A payload arrived in a different element format than the receiver
-/// expected — the precision analogue of a tag mismatch.
+/// A structured decoding failure: a payload arrived in a different
+/// element format than the receiver expected, or a byte stream handed
+/// to [`Payload::decode`] was malformed.
 ///
 /// Carried as a value (not just a message) so protocol tests can assert
-/// on the exact formats involved.
+/// on the exact formats involved. Every malformed input maps onto one
+/// of these variants — decoding never panics and never silently
+/// reinterprets bytes at the wrong width.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct WireError {
-    /// Format the receiving side was decoding into.
-    pub expected: &'static str,
-    /// Format the payload was actually packed at.
-    pub received: &'static str,
-    /// Elements in the offending payload.
-    pub len: usize,
+pub enum WireError {
+    /// The payload was packed at a different element width than the
+    /// receiver was decoding into — the precision analogue of a tag
+    /// mismatch.
+    WidthMismatch {
+        /// Format the receiving side was decoding into.
+        expected: &'static str,
+        /// Format the payload was actually packed at.
+        received: &'static str,
+        /// Elements in the offending payload.
+        len: usize,
+    },
+    /// The byte stream does not start with the frame magic.
+    BadMagic {
+        /// The four bytes found where the magic belongs (zero-padded
+        /// if the stream was shorter than four bytes).
+        found: [u8; 4],
+    },
+    /// The byte stream ended before the declared frame was complete.
+    Truncated {
+        /// Bytes the frame header promised.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The frame declares an element width that is neither `f64` nor
+    /// `f32`.
+    BadWidthTag {
+        /// The width tag byte found in the header.
+        tag: u8,
+    },
+    /// The byte stream continues past the end of the declared frame.
+    TrailingBytes {
+        /// Bytes left over after the frame.
+        extra: usize,
+    },
 }
 
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "wire precision mismatch: expected {} elements, received a {}-element {} payload \
-             (send and recv sides must agree on the exchange scalar)",
-            self.expected, self.len, self.received
-        )
+        match self {
+            WireError::WidthMismatch {
+                expected,
+                received,
+                len,
+            } => write!(
+                f,
+                "wire precision mismatch: expected {expected} elements, received a \
+                 {len}-element {received} payload (send and recv sides must agree on the \
+                 exchange scalar)"
+            ),
+            WireError::BadMagic { found } => write!(
+                f,
+                "wire frame does not start with the TEA1 magic (found {found:?})"
+            ),
+            WireError::Truncated { needed, got } => write!(
+                f,
+                "wire frame truncated: header promises {needed} bytes, stream has {got}"
+            ),
+            WireError::BadWidthTag { tag } => write!(
+                f,
+                "wire frame declares unknown element width {tag} (must be 8 or 4)"
+            ),
+            WireError::TrailingBytes { extra } => write!(
+                f,
+                "wire frame followed by {extra} unexpected trailing bytes"
+            ),
+        }
     }
 }
 
 impl std::error::Error for WireError {}
+
+/// Frame magic prefixed to every [`Payload::encode`] byte stream.
+pub const WIRE_MAGIC: [u8; 4] = *b"TEA1";
 
 /// A [`Scalar`] that can travel on the wire: packing into and checked
 /// decoding out of a [`Payload`].
@@ -145,7 +283,7 @@ impl WireScalar for f64 {
     fn from_payload(payload: Payload) -> Result<Vec<Self>, WireError> {
         match payload {
             Payload::F64(v) => Ok(v),
-            other => Err(WireError {
+            other => Err(WireError::WidthMismatch {
                 expected: f64::NAME,
                 received: other.scalar_name(),
                 len: other.len(),
@@ -156,7 +294,7 @@ impl WireScalar for f64 {
     fn payload_slice(payload: &Payload) -> Result<&[Self], WireError> {
         match payload {
             Payload::F64(v) => Ok(v),
-            other => Err(WireError {
+            other => Err(WireError::WidthMismatch {
                 expected: f64::NAME,
                 received: other.scalar_name(),
                 len: other.len(),
@@ -173,7 +311,7 @@ impl WireScalar for f32 {
     fn from_payload(payload: Payload) -> Result<Vec<Self>, WireError> {
         match payload {
             Payload::F32(v) => Ok(v),
-            other => Err(WireError {
+            other => Err(WireError::WidthMismatch {
                 expected: f32::NAME,
                 received: other.scalar_name(),
                 len: other.len(),
@@ -184,7 +322,7 @@ impl WireScalar for f32 {
     fn payload_slice(payload: &Payload) -> Result<&[Self], WireError> {
         match payload {
             Payload::F32(v) => Ok(v),
-            other => Err(WireError {
+            other => Err(WireError::WidthMismatch {
                 expected: f32::NAME,
                 received: other.scalar_name(),
                 len: other.len(),
@@ -225,7 +363,7 @@ mod tests {
         let err = f32::from_payload(Payload::F64(vec![1.0, 2.0])).unwrap_err();
         assert_eq!(
             err,
-            WireError {
+            WireError::WidthMismatch {
                 expected: "f32",
                 received: "f64",
                 len: 2,
@@ -235,8 +373,72 @@ mod tests {
         assert!(msg.contains("expected f32"), "{msg}");
         assert!(msg.contains("f64 payload"), "{msg}");
         let err = f64::from_payload(Payload::F32(vec![0.5])).unwrap_err();
-        assert_eq!(err.expected, "f64");
-        assert_eq!(err.received, "f32");
-        assert_eq!(err.len, 1);
+        assert_eq!(
+            err,
+            WireError::WidthMismatch {
+                expected: "f64",
+                received: "f32",
+                len: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_both_widths() {
+        let p64 = Payload::F64(vec![1.5, -0.0, f64::MIN_POSITIVE, f64::MAX]);
+        assert_eq!(Payload::decode(&p64.encode()).unwrap(), p64);
+        let p32 = Payload::F32(vec![2.25, f32::NAN]);
+        // NaN payloads must survive bit-exactly, so compare bits not values
+        let back = Payload::decode(&p32.encode()).unwrap();
+        match (back, &p32) {
+            (Payload::F32(a), Payload::F32(b)) => {
+                assert_eq!(
+                    a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    b.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+                );
+            }
+            _ => panic!("width changed in the roundtrip"),
+        }
+        assert_eq!(
+            Payload::decode(&Payload::F64(Vec::new()).encode()).unwrap(),
+            Payload::F64(Vec::new())
+        );
+    }
+
+    #[test]
+    fn decode_rejects_malformed_frames_structurally() {
+        assert_eq!(
+            Payload::decode(b"NOPE\x08\x00\x00\x00\x00"),
+            Err(WireError::BadMagic { found: *b"NOPE" })
+        );
+        assert_eq!(
+            Payload::decode(b"TE"),
+            Err(WireError::BadMagic {
+                found: [b'T', b'E', 0, 0],
+            })
+        );
+        assert_eq!(
+            Payload::decode(b"TEA1\x08\x01"),
+            Err(WireError::Truncated { needed: 9, got: 6 })
+        );
+        assert_eq!(
+            Payload::decode(b"TEA1\x07\x00\x00\x00\x00"),
+            Err(WireError::BadWidthTag { tag: 7 })
+        );
+        let mut frame = Payload::F32(vec![1.0, 2.0]).encode();
+        frame.truncate(frame.len() - 3);
+        assert_eq!(
+            Payload::decode(&frame),
+            Err(WireError::Truncated {
+                needed: 17,
+                got: 14
+            })
+        );
+        let mut frame = Payload::F64(vec![4.0]).encode();
+        frame.push(0xFF);
+        assert_eq!(
+            Payload::decode(&frame),
+            Err(WireError::TrailingBytes { extra: 1 })
+        );
     }
 }

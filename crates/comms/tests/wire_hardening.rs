@@ -1,0 +1,111 @@
+//! Adversarial property tests for the byte-level wire codec: random
+//! byte soup, forged headers and truncated frames must always come back
+//! as a structured [`WireError`] — never a panic, never a payload
+//! decoded at the wrong width or length.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tea_comms::{Payload, WireError, WIRE_MAGIC};
+
+/// The vendored proptest has no `u8` strategy; derive one from `u32`.
+fn any_byte() -> impl Strategy<Value = u8> {
+    any::<u32>().prop_map(|x| (x & 0xFF) as u8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup never panics: every input is either a valid
+    /// frame (in which case re-encoding reproduces the input exactly)
+    /// or a structured error.
+    #[test]
+    fn byte_soup_never_panics(bytes in vec(any_byte(), 0..256)) {
+        match Payload::decode(&bytes) {
+            Ok(p) => prop_assert_eq!(p.encode(), bytes),
+            Err(e) => {
+                // errors format without panicking too
+                let _ = e.to_string();
+            }
+        }
+    }
+
+    /// Round trip is bit-exact for f64 payloads, including non-finite
+    /// values assembled from raw bits.
+    #[test]
+    fn f64_roundtrip_is_bit_exact(bits in vec(any::<u64>(), 0..64)) {
+        let v: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let p = Payload::F64(v);
+        let back = Payload::decode(&p.encode()).unwrap();
+        match back {
+            Payload::F64(w) => {
+                let back_bits: Vec<u64> = w.iter().map(|x| x.to_bits()).collect();
+                prop_assert_eq!(back_bits, bits);
+            }
+            Payload::F32(_) => prop_assert!(false, "width changed in the roundtrip"),
+        }
+    }
+
+    /// Round trip is bit-exact for f32 payloads.
+    #[test]
+    fn f32_roundtrip_is_bit_exact(bits in vec(any::<u32>(), 0..64)) {
+        let v: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+        let p = Payload::F32(v);
+        let back = Payload::decode(&p.encode()).unwrap();
+        match back {
+            Payload::F32(w) => {
+                let back_bits: Vec<u32> = w.iter().map(|x| x.to_bits()).collect();
+                prop_assert_eq!(back_bits, bits);
+            }
+            Payload::F64(_) => prop_assert!(false, "width changed in the roundtrip"),
+        }
+    }
+
+    /// A forged width tag is rejected as [`WireError::BadWidthTag`] —
+    /// the decoder must never interpret element bytes at a width the
+    /// header does not legitimately declare.
+    #[test]
+    fn forged_width_tag_is_structured(tag_src in any::<u32>(), bits in vec(any::<u64>(), 0..8)) {
+        let tag = (tag_src & 0xFF) as u8;
+        prop_assume!(tag != 8 && tag != 4);
+        let mut frame = Payload::F64(bits.iter().map(|&b| f64::from_bits(b)).collect()).encode();
+        frame[4] = tag;
+        prop_assert_eq!(Payload::decode(&frame), Err(WireError::BadWidthTag { tag }));
+    }
+
+    /// Every strict prefix of a non-empty valid frame is an error, and
+    /// specifically a structured one (BadMagic while the magic itself is
+    /// cut short, Truncated afterwards).
+    #[test]
+    fn truncation_is_always_an_error(bits in vec(any::<u32>(), 1..32), cut in any::<usize>()) {
+        let frame = Payload::F32(bits.iter().map(|&b| f32::from_bits(b)).collect()).encode();
+        let cut = cut % frame.len(); // strict prefix
+        match Payload::decode(&frame[..cut]) {
+            Err(WireError::BadMagic { .. }) => prop_assert!(cut < 4),
+            Err(WireError::Truncated { needed, got }) => {
+                prop_assert_eq!(got, cut);
+                prop_assert!(needed > cut);
+            }
+            other => prop_assert!(false, "truncated frame must error, got {:?}", other),
+        }
+    }
+
+    /// Appending bytes to a valid frame is rejected as TrailingBytes,
+    /// unless the tail makes the count field lie (it cannot — count is
+    /// fixed), so the frame boundary is authoritative.
+    #[test]
+    fn trailing_bytes_are_an_error(bits in vec(any::<u64>(), 0..16), tail in vec(any_byte(), 1..32)) {
+        let mut frame = Payload::F64(bits.iter().map(|&b| f64::from_bits(b)).collect()).encode();
+        let extra = tail.len();
+        frame.extend_from_slice(&tail);
+        prop_assert_eq!(Payload::decode(&frame), Err(WireError::TrailingBytes { extra }));
+    }
+
+    /// A wrong magic is always BadMagic, whatever follows.
+    #[test]
+    fn wrong_magic_is_always_bad_magic(prefix in vec(any_byte(), 4..64)) {
+        prop_assume!(prefix[..4] != WIRE_MAGIC);
+        let mut found = [0u8; 4];
+        found.copy_from_slice(&prefix[..4]);
+        prop_assert_eq!(Payload::decode(&prefix), Err(WireError::BadMagic { found }));
+    }
+}

@@ -19,7 +19,7 @@
 use crate::api::{IterativeSolver, SolveContext, SolverParams};
 use crate::precon::{PreconKind, Preconditioner};
 use crate::solver::{SolveOpts, Tile, Workspace};
-use crate::trace::{SolveResult, SolveTrace};
+use crate::trace::{SolveResult, SolveStatus, SolveTrace};
 use crate::vector;
 use tea_comms::Communicator;
 use tea_mesh::Field2D;
@@ -151,6 +151,21 @@ pub fn cg_solve_recording<C: Communicator + ?Sized>(
 
     let rz_local = vector::dot_local(&ws.r, &ws.z, bounds, &mut trace);
     let mut rro = tile.reduce_sum(rz_local, &mut trace);
+    if !rro.is_finite() {
+        // non-finite input: report divergence instead of letting the
+        // NaN-swallowing max(0.0) below read as instant convergence
+        return (
+            SolveResult {
+                converged: false,
+                iterations: 0,
+                initial_residual: f64::NAN,
+                final_residual: f64::NAN,
+                status: SolveStatus::Diverged { iteration: 0 },
+                trace,
+            },
+            coeffs,
+        );
+    }
     let initial_residual = rro.max(0.0).sqrt();
 
     if initial_residual == 0.0 {
@@ -160,6 +175,7 @@ pub fn cg_solve_recording<C: Communicator + ?Sized>(
                 iterations: 0,
                 initial_residual,
                 final_residual: 0.0,
+                status: SolveStatus::Converged,
                 trace,
             },
             coeffs,
@@ -168,18 +184,33 @@ pub fn cg_solve_recording<C: Communicator + ?Sized>(
     let target = opts.eps * initial_residual;
 
     let mut converged = false;
+    let mut status = SolveStatus::IterationLimit;
     let mut final_residual = initial_residual;
     let mut iterations = 0;
     let cap = opts.max_iters.min(stop_after);
 
     while iterations < cap {
+        if tile.controls.should_stop() {
+            status = SolveStatus::Cancelled {
+                iteration: iterations,
+            };
+            break;
+        }
         iterations += 1;
         trace.outer_iterations += 1;
+        tile.controls.poke(iterations, u, &mut ws.r);
 
         tile.exchange(&mut [&mut ws.p], 1, &mut trace);
         let pw_local = tile.op.apply_fused_dot(&ws.p, &mut ws.w, &mut trace);
         let pw = tile.reduce_sum(pw_local, &mut trace);
-        debug_assert!(pw > 0.0, "CG broke down: <p, Ap> = {pw}");
+        if !pw.is_finite() || pw <= 0.0 {
+            // <p, Ap> lost positivity or went non-finite: the recurrence
+            // cannot recover, so stop burning iterations
+            status = SolveStatus::Diverged {
+                iteration: iterations,
+            };
+            break;
+        }
         let alpha = rro / pw;
         coeffs.alphas.push(alpha);
 
@@ -189,10 +220,19 @@ pub fn cg_solve_recording<C: Communicator + ?Sized>(
         precon.apply(&ws.r, &mut ws.z, bounds, 0, &mut trace);
         let rz_local = vector::dot_local(&ws.r, &ws.z, bounds, &mut trace);
         let rrn = tile.reduce_sum(rz_local, &mut trace);
+        if !rrn.is_finite() {
+            // check before the NaN-swallowing max(0.0) below — a NaN
+            // reduction must read as divergence, not convergence
+            status = SolveStatus::Diverged {
+                iteration: iterations,
+            };
+            break;
+        }
 
         final_residual = rrn.max(0.0).sqrt();
         if final_residual <= target {
             converged = true;
+            status = SolveStatus::Converged;
             break;
         }
 
@@ -208,6 +248,7 @@ pub fn cg_solve_recording<C: Communicator + ?Sized>(
             iterations,
             initial_residual,
             final_residual,
+            status,
             trace,
         },
         coeffs,

@@ -16,7 +16,7 @@
 use crate::api::{IterativeSolver, SolveContext, SolverParams};
 use crate::precon::{PreconKind, Preconditioner};
 use crate::solver::{SolveOpts, Tile, Workspace};
-use crate::trace::{SolveResult, SolveTrace};
+use crate::trace::{SolveResult, SolveStatus, SolveTrace};
 use crate::vector;
 use tea_comms::Communicator;
 use tea_mesh::Field2D;
@@ -111,6 +111,16 @@ pub(crate) fn cg_fused_solve_impl<C: Communicator + ?Sized>(
     let reduced = tile.reduce_sum_many(&[gamma_local, delta_local], &mut trace);
     let (mut gamma, delta) = (reduced[0], reduced[1]);
 
+    if !gamma.is_finite() || !delta.is_finite() {
+        return SolveResult {
+            converged: false,
+            iterations: 0,
+            initial_residual: f64::NAN,
+            final_residual: f64::NAN,
+            status: SolveStatus::Diverged { iteration: 0 },
+            trace,
+        };
+    }
     let initial_residual = gamma.max(0.0).sqrt();
     if initial_residual == 0.0 {
         return SolveResult {
@@ -118,6 +128,7 @@ pub(crate) fn cg_fused_solve_impl<C: Communicator + ?Sized>(
             iterations: 0,
             initial_residual,
             final_residual: 0.0,
+            status: SolveStatus::Converged,
             trace,
         };
     }
@@ -130,11 +141,19 @@ pub(crate) fn cg_fused_solve_impl<C: Communicator + ?Sized>(
 
     let mut iterations = 0;
     let mut converged = false;
+    let mut status = SolveStatus::IterationLimit;
     let mut final_residual = initial_residual;
 
     while iterations < opts.max_iters {
+        if tile.controls.should_stop() {
+            status = SolveStatus::Cancelled {
+                iteration: iterations,
+            };
+            break;
+        }
         iterations += 1;
         trace.outer_iterations += 1;
+        tile.controls.poke(iterations, u, &mut ws.r);
 
         vector::axpy(u, alpha, &ws.p, bounds, 0, &mut trace);
         vector::axpy(&mut ws.r, -alpha, &ws.sd, bounds, 0, &mut trace);
@@ -148,15 +167,30 @@ pub(crate) fn cg_fused_solve_impl<C: Communicator + ?Sized>(
         let d_local = vector::dot_local(&ws.rr, &ws.z, bounds, &mut trace);
         let red = tile.reduce_sum_many(&[g_local, d_local], &mut trace);
         let (gamma_new, delta_new) = (red[0], red[1]);
+        if !gamma_new.is_finite() || !delta_new.is_finite() {
+            // a NaN fused reduction must read as divergence, not as the
+            // max(0.0)-swallowed instant convergence below
+            status = SolveStatus::Diverged {
+                iteration: iterations,
+            };
+            break;
+        }
 
         final_residual = gamma_new.max(0.0).sqrt();
         if final_residual <= target {
             converged = true;
+            status = SolveStatus::Converged;
             break;
         }
 
         let beta = gamma_new / gamma;
         alpha = gamma_new / (delta_new - beta * gamma_new / alpha);
+        if !alpha.is_finite() {
+            status = SolveStatus::Diverged {
+                iteration: iterations,
+            };
+            break;
+        }
         vector::xpay(&mut ws.p, &ws.z, beta, bounds, 0, &mut trace);
         vector::xpay(&mut ws.sd, &ws.rr, beta, bounds, 0, &mut trace);
         gamma = gamma_new;
@@ -167,6 +201,7 @@ pub(crate) fn cg_fused_solve_impl<C: Communicator + ?Sized>(
         iterations,
         initial_residual,
         final_residual,
+        status,
         trace,
     }
 }

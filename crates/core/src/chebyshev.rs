@@ -22,7 +22,7 @@ use crate::cg::cg_solve_recording;
 use crate::eigen::{estimate_from_cg, EigenEstimate};
 use crate::precon::{PreconKind, Preconditioner};
 use crate::solver::{SolveOpts, Tile, Workspace};
-use crate::trace::{SolveResult, SolveTrace};
+use crate::trace::{SolveResult, SolveStatus, SolveTrace};
 use crate::vector;
 use tea_comms::Communicator;
 use tea_mesh::Field2D;
@@ -223,8 +223,8 @@ pub(crate) fn chebyshev_solve_impl<C: Communicator + ?Sized>(
 
     // Phase 1: CG presteps, keeping the partial solution and coefficients.
     let (pre, coeffs) = cg_solve_recording(tile, u, b, precon, ws, opts, cheby.presteps.max(1));
-    if pre.converged {
-        return pre; // the prelude already finished the job
+    if pre.converged || pre.status.is_diverged() || pre.status.is_cancelled() {
+        return pre; // the prelude finished, diverged, or was cancelled
     }
     let mut trace = pre.trace;
     trace.solver = "Chebyshev".into();
@@ -249,11 +249,19 @@ pub(crate) fn chebyshev_solve_impl<C: Communicator + ?Sized>(
     let mut rho_old = 1.0 / consts.sigma;
     let mut iterations = pre.iterations;
     let mut converged = false;
+    let mut status = SolveStatus::IterationLimit;
     let mut final_residual = pre.final_residual;
 
     while iterations < opts.max_iters {
+        if tile.controls.should_stop() {
+            status = SolveStatus::Cancelled {
+                iteration: iterations,
+            };
+            break;
+        }
         iterations += 1;
         trace.outer_iterations += 1;
+        tile.controls.poke(iterations, u, &mut ws.r);
 
         tile.exchange(&mut [&mut ws.sd], 1, &mut trace);
         tile.op.apply(&ws.sd, &mut ws.w, 0, &mut trace);
@@ -278,18 +286,37 @@ pub(crate) fn chebyshev_solve_impl<C: Communicator + ?Sized>(
         if since_pre % check_interval == 0 {
             let rr_local = vector::dot_local(&ws.r, &ws.r, bounds, &mut trace);
             let rr = tile.reduce_sum(rr_local, &mut trace);
+            if !rr.is_finite() {
+                status = SolveStatus::Diverged {
+                    iteration: iterations,
+                };
+                final_residual = f64::NAN;
+                break;
+            }
             final_residual = rr.max(0.0).sqrt();
             if final_residual <= target {
                 converged = true;
+                status = SolveStatus::Converged;
                 break;
             }
         }
     }
-    if !converged {
+    if !converged && !status.is_diverged() && !status.is_cancelled() {
         // final authoritative residual
         let rr_local = vector::dot_local(&ws.r, &ws.r, bounds, &mut trace);
-        final_residual = tile.reduce_sum(rr_local, &mut trace).max(0.0).sqrt();
-        converged = final_residual <= target;
+        let rr = tile.reduce_sum(rr_local, &mut trace);
+        if !rr.is_finite() {
+            status = SolveStatus::Diverged {
+                iteration: iterations,
+            };
+            final_residual = f64::NAN;
+        } else {
+            final_residual = rr.max(0.0).sqrt();
+            converged = final_residual <= target;
+            if converged {
+                status = SolveStatus::Converged;
+            }
+        }
     }
 
     SolveResult {
@@ -297,6 +324,7 @@ pub(crate) fn chebyshev_solve_impl<C: Communicator + ?Sized>(
         iterations,
         initial_residual,
         final_residual,
+        status,
         trace,
     }
 }

@@ -8,7 +8,7 @@
 
 use crate::api::{IterativeSolver, SolveContext, SolverParams};
 use crate::solver::{SolveOpts, Tile, Workspace};
-use crate::trace::{SolveResult, SolveTrace};
+use crate::trace::{SolveResult, SolveStatus, SolveTrace};
 use crate::vector;
 use tea_comms::Communicator;
 use tea_mesh::Field2D;
@@ -82,13 +82,25 @@ pub(crate) fn jacobi_solve_impl<C: Communicator + ?Sized>(
     tile.exchange(&mut [u], 1, &mut trace);
     tile.op.residual(u, b, &mut ws.r, 0, &mut trace);
     let rr0_local = vector::dot_local(&ws.r, &ws.r, bounds, &mut trace);
-    let initial_residual = tile.reduce_sum(rr0_local, &mut trace).max(0.0).sqrt();
+    let rr0 = tile.reduce_sum(rr0_local, &mut trace);
+    if !rr0.is_finite() {
+        return SolveResult {
+            converged: false,
+            iterations: 0,
+            initial_residual: f64::NAN,
+            final_residual: f64::NAN,
+            status: SolveStatus::Diverged { iteration: 0 },
+            trace,
+        };
+    }
+    let initial_residual = rr0.max(0.0).sqrt();
     if initial_residual == 0.0 {
         return SolveResult {
             converged: true,
             iterations: 0,
             initial_residual,
             final_residual: 0.0,
+            status: SolveStatus::Converged,
             trace,
         };
     }
@@ -96,11 +108,19 @@ pub(crate) fn jacobi_solve_impl<C: Communicator + ?Sized>(
 
     let mut iterations = 0;
     let mut converged = false;
+    let mut status = SolveStatus::IterationLimit;
     let mut final_residual = initial_residual;
 
     while iterations < opts.max_iters {
+        if tile.controls.should_stop() {
+            status = SolveStatus::Cancelled {
+                iteration: iterations,
+            };
+            break;
+        }
         iterations += 1;
         trace.outer_iterations += 1;
+        tile.controls.poke(iterations, u, &mut ws.r);
 
         // u += D^{-1} r
         vector::mul_into(&mut ws.z, &ws.r, &inv_diag, bounds, 0, &mut trace);
@@ -110,9 +130,17 @@ pub(crate) fn jacobi_solve_impl<C: Communicator + ?Sized>(
         tile.op.residual(u, b, &mut ws.r, 0, &mut trace);
 
         let rr_local = vector::dot_local(&ws.r, &ws.r, bounds, &mut trace);
-        final_residual = tile.reduce_sum(rr_local, &mut trace).max(0.0).sqrt();
+        let rr = tile.reduce_sum(rr_local, &mut trace);
+        if !rr.is_finite() {
+            status = SolveStatus::Diverged {
+                iteration: iterations,
+            };
+            break;
+        }
+        final_residual = rr.max(0.0).sqrt();
         if final_residual <= target {
             converged = true;
+            status = SolveStatus::Converged;
             break;
         }
     }
@@ -122,6 +150,7 @@ pub(crate) fn jacobi_solve_impl<C: Communicator + ?Sized>(
         iterations,
         initial_residual,
         final_residual,
+        status,
         trace,
     }
 }

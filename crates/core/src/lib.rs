@@ -40,6 +40,7 @@ pub mod builder;
 pub mod cg;
 pub mod cg_fused;
 pub mod chebyshev;
+pub mod control;
 pub mod eigen;
 pub mod jacobi;
 pub mod mixed;
@@ -63,6 +64,7 @@ pub use builder::{crooked_pipe_system, Solve};
 pub use cg::{cg_solve_recording, Cg, CgCoefficients};
 pub use cg_fused::CgFused;
 pub use chebyshev::{cg_iteration_bound, ChebyConstants, ChebyOpts, Chebyshev};
+pub use control::{SolveControls, SolveProbe, StopHandle};
 pub use eigen::{
     estimate_from_cg, lanczos_tridiagonal, sturm_count, tridiag_all_eigenvalues,
     tridiag_extreme_eigenvalues, EigenError, EigenEstimate,
@@ -78,4 +80,4 @@ pub use richardson::{Richardson, RichardsonOpts};
 pub use runtime::{num_threads, par_threshold, set_num_threads, set_par_threshold, PAR_THRESHOLD};
 pub use session::{CacheStats, PreparedSolve, SessionSpec, SetupCache, SetupKey, SolveSession};
 pub use solver::{SolveOpts, Tile, Workspace};
-pub use trace::{KernelCounts, SolveResult, SolveTrace};
+pub use trace::{KernelCounts, SolveResult, SolveStatus, SolveTrace};

@@ -39,7 +39,7 @@ use crate::ppcg::PpcgOpts;
 use crate::precon::{PreconKind, Preconditioner};
 use crate::registry::SolverRegistry;
 use crate::solver::{SolveOpts, Tile, Workspace};
-use crate::trace::{SolveResult, SolveTrace};
+use crate::trace::{SolveResult, SolveStatus, SolveTrace};
 use crate::vector;
 use tea_comms::Communicator;
 use tea_mesh::{Field2D, Field2F, Scalar};
@@ -240,6 +240,16 @@ fn mixed_cg_solve<C: Communicator + ?Sized>(
 
     let rz_local = vector::dot_local(&ws.r, &ws.z, bounds, &mut trace);
     let mut rro = tile.reduce_sum(rz_local, &mut trace);
+    if !rro.is_finite() {
+        return SolveResult {
+            converged: false,
+            iterations: 0,
+            initial_residual: f64::NAN,
+            final_residual: f64::NAN,
+            status: SolveStatus::Diverged { iteration: 0 },
+            trace,
+        };
+    }
     let initial_residual = rro.max(0.0).sqrt();
 
     if initial_residual == 0.0 {
@@ -248,23 +258,38 @@ fn mixed_cg_solve<C: Communicator + ?Sized>(
             iterations: 0,
             initial_residual,
             final_residual: 0.0,
+            status: SolveStatus::Converged,
             trace,
         };
     }
     let target = opts.eps * initial_residual;
 
     let mut converged = false;
+    let mut status = SolveStatus::IterationLimit;
     let mut final_residual = initial_residual;
     let mut iterations = 0;
 
     while iterations < opts.max_iters {
+        if tile.controls.should_stop() {
+            status = SolveStatus::Cancelled {
+                iteration: iterations,
+            };
+            break;
+        }
         iterations += 1;
         trace.outer_iterations += 1;
+        tile.controls.poke(iterations, u, &mut ws.r);
 
         tile.exchange(&mut [&mut ws.p], 1, &mut trace);
         let pw_local = tile.op.apply_fused_dot(&ws.p, &mut ws.w, &mut trace);
         let pw = tile.reduce_sum(pw_local, &mut trace);
-        debug_assert!(pw > 0.0, "mixed CG broke down: <p, Ap> = {pw}");
+        if !pw.is_finite() || pw <= 0.0 {
+            status = SolveStatus::Diverged {
+                iteration: iterations,
+            };
+            final_residual = f64::NAN;
+            break;
+        }
         let alpha = rro / pw;
 
         vector::axpy(u, alpha, &ws.p, bounds, 0, &mut trace);
@@ -274,9 +299,17 @@ fn mixed_cg_solve<C: Communicator + ?Sized>(
         let rz_local = vector::dot_local(&ws.r, &ws.z, bounds, &mut trace);
         let rrn = tile.reduce_sum(rz_local, &mut trace);
 
+        if !rrn.is_finite() {
+            status = SolveStatus::Diverged {
+                iteration: iterations,
+            };
+            final_residual = f64::NAN;
+            break;
+        }
         final_residual = rrn.max(0.0).sqrt();
         if final_residual <= target {
             converged = true;
+            status = SolveStatus::Converged;
             break;
         }
         if rrn <= 0.0 {
@@ -295,6 +328,7 @@ fn mixed_cg_solve<C: Communicator + ?Sized>(
         iterations,
         initial_residual,
         final_residual,
+        status,
         trace,
     }
 }
@@ -494,7 +528,7 @@ fn mixed_ppcg_solve<C: Communicator + ?Sized>(
 
     // Phase 1: f64 plain-CG presteps for the spectrum of M⁻¹A.
     let (pre, coeffs) = cg_solve_recording(tile, u, b, precon, ws, opts, ppcg.presteps.max(1));
-    if pre.converged {
+    if pre.converged || pre.status.is_diverged() || pre.status.is_cancelled() {
         return pre;
     }
     let mut trace = pre.trace;
@@ -525,17 +559,31 @@ fn mixed_ppcg_solve<C: Communicator + ?Sized>(
     let target = opts.eps * initial_residual;
 
     let mut converged = false;
+    let mut status = SolveStatus::IterationLimit;
     let mut final_residual = pre.final_residual;
     let mut iterations = pre.iterations;
 
     while iterations < opts.max_iters {
+        if tile.controls.should_stop() {
+            status = SolveStatus::Cancelled {
+                iteration: iterations,
+            };
+            break;
+        }
         iterations += 1;
         trace.outer_iterations += 1;
+        tile.controls.poke(iterations, u, &mut ws.r);
 
         tile.exchange(&mut [&mut ws.p], 1, &mut trace);
         let pw_local = tile.op.apply_fused_dot(&ws.p, &mut ws.w, &mut trace);
         let pw = tile.reduce_sum(pw_local, &mut trace);
-        debug_assert!(pw > 0.0, "mixed CPPCG breakdown: <p, Ap> = {pw}");
+        if !pw.is_finite() || pw <= 0.0 {
+            status = SolveStatus::Diverged {
+                iteration: iterations,
+            };
+            final_residual = f64::NAN;
+            break;
+        }
         let alpha = rro / pw;
 
         vector::axpy(u, alpha, &ws.p, bounds, 0, &mut trace);
@@ -548,9 +596,17 @@ fn mixed_ppcg_solve<C: Communicator + ?Sized>(
 
         let rz_local = vector::dot_local(&ws.r, &ws.z, bounds, &mut trace);
         let rrn = tile.reduce_sum(rz_local, &mut trace);
+        if !rrn.is_finite() {
+            status = SolveStatus::Diverged {
+                iteration: iterations,
+            };
+            final_residual = f64::NAN;
+            break;
+        }
         final_residual = rrn.max(0.0).sqrt();
         if final_residual <= target {
             converged = true;
+            status = SolveStatus::Converged;
             break;
         }
         if rrn <= 0.0 {
@@ -566,6 +622,7 @@ fn mixed_ppcg_solve<C: Communicator + ?Sized>(
         iterations,
         initial_residual,
         final_residual,
+        status,
         trace,
     }
 }
@@ -795,6 +852,16 @@ fn cg_f32_solve<C: Communicator + ?Sized>(
     // scalar is widened for the f64 control logic
     let rz_local = vector::dot_local(&f.r, &f.z, bounds, &mut trace);
     let mut rro = tile.reduce_sum_native(rz_local, &mut trace).to_f64();
+    if !rro.is_finite() {
+        return SolveResult {
+            converged: false,
+            iterations: 0,
+            initial_residual: f64::NAN,
+            final_residual: f64::NAN,
+            status: SolveStatus::Diverged { iteration: 0 },
+            trace,
+        };
+    }
     let initial_residual = rro.max(0.0).sqrt();
 
     if initial_residual == 0.0 {
@@ -803,12 +870,14 @@ fn cg_f32_solve<C: Communicator + ?Sized>(
             iterations: 0,
             initial_residual,
             final_residual: 0.0,
+            status: SolveStatus::Converged,
             trace,
         };
     }
     let target = opts.eps * initial_residual;
 
     let mut converged = false;
+    let mut status = SolveStatus::IterationLimit;
     let mut final_residual = initial_residual;
     let mut iterations = 0;
     let mut best = f64::INFINITY;
@@ -816,12 +885,26 @@ fn cg_f32_solve<C: Communicator + ?Sized>(
     let mut stalled = 0u64;
 
     while iterations < opts.max_iters {
+        if tile.controls.should_stop() {
+            status = SolveStatus::Cancelled {
+                iteration: iterations,
+            };
+            break;
+        }
         iterations += 1;
         trace.outer_iterations += 1;
+        tile.controls.poke_f32(iterations, &mut f.u, &mut f.r);
 
         tile.exchange(&mut [&mut f.p], 1, &mut trace);
         let pw_local = op32.apply_fused_dot(&f.p, &mut f.w, &mut trace);
         let pw = tile.reduce_sum_native(pw_local, &mut trace).to_f64();
+        if !pw.is_finite() {
+            status = SolveStatus::Diverged {
+                iteration: iterations,
+            };
+            final_residual = f64::NAN;
+            break;
+        }
         if pw <= 0.0 {
             // f32 breakdown: the search direction lost positivity
             break;
@@ -835,6 +918,13 @@ fn cg_f32_solve<C: Communicator + ?Sized>(
         let rz_local = vector::dot_local(&f.r, &f.z, bounds, &mut trace);
         let rrn = tile.reduce_sum_native(rz_local, &mut trace).to_f64();
 
+        if !rrn.is_finite() {
+            status = SolveStatus::Diverged {
+                iteration: iterations,
+            };
+            final_residual = f64::NAN;
+            break;
+        }
         final_residual = rrn.max(0.0).sqrt();
         if final_residual <= target {
             // The f32 recurrence residual drifts below the true residual
@@ -848,10 +938,18 @@ fn cg_f32_solve<C: Communicator + ?Sized>(
             precon32.apply(&f.r, &mut f.z, bounds, 0, &mut trace);
             let rz_true = vector::dot_local(&f.r, &f.z, bounds, &mut trace);
             let rr_true = tile.reduce_sum_native(rz_true, &mut trace).to_f64();
+            if !rr_true.is_finite() {
+                status = SolveStatus::Diverged {
+                    iteration: iterations,
+                };
+                final_residual = f64::NAN;
+                break;
+            }
             let true_res = rr_true.max(0.0).sqrt();
             final_residual = true_res;
             if true_res <= target {
                 converged = true;
+                status = SolveStatus::Converged;
                 break;
             }
             if rr_true <= 0.0 || true_res >= 0.999 * best_true {
@@ -896,6 +994,7 @@ fn cg_f32_solve<C: Communicator + ?Sized>(
         iterations,
         initial_residual,
         final_residual,
+        status,
         trace,
     }
 }

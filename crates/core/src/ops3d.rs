@@ -204,6 +204,7 @@ pub fn cg_solve_3d(
             iterations: 0,
             initial_residual,
             final_residual: 0.0,
+            status: crate::trace::SolveStatus::Converged,
             trace,
         };
     }
@@ -240,6 +241,7 @@ pub fn cg_solve_3d(
         iterations,
         initial_residual,
         final_residual,
+        status: crate::trace::SolveStatus::from_converged(converged),
         trace,
     }
 }
@@ -305,6 +307,7 @@ pub fn jacobi_solve_3d(
             iterations: 0,
             initial_residual,
             final_residual: 0.0,
+            status: crate::trace::SolveStatus::Converged,
             trace,
         };
     }
@@ -342,6 +345,7 @@ pub fn jacobi_solve_3d(
         iterations,
         initial_residual,
         final_residual,
+        status: crate::trace::SolveStatus::from_converged(converged),
         trace,
     }
 }

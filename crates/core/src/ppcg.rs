@@ -28,7 +28,7 @@ use crate::chebyshev::ChebyConstants;
 use crate::eigen::{estimate_from_cg, EigenEstimate};
 use crate::precon::{PreconKind, Preconditioner};
 use crate::solver::{SolveOpts, Tile, Workspace};
-use crate::trace::{SolveResult, SolveTrace};
+use crate::trace::{SolveResult, SolveStatus, SolveTrace};
 use crate::vector;
 use tea_comms::Communicator;
 use tea_mesh::Field2D;
@@ -203,7 +203,7 @@ pub(crate) fn ppcg_solve_impl<C: Communicator + ?Sized>(
 
     // Phase 1: plain-CG presteps for the spectrum of M⁻¹A.
     let (pre, coeffs) = cg_solve_recording(tile, u, b, precon, ws, opts, ppcg.presteps.max(1));
-    if pre.converged {
+    if pre.converged || pre.status.is_diverged() || pre.status.is_cancelled() {
         return pre;
     }
     let mut trace = pre.trace;
@@ -232,17 +232,31 @@ pub(crate) fn ppcg_solve_impl<C: Communicator + ?Sized>(
     let target = opts.eps * initial_residual;
 
     let mut converged = false;
+    let mut status = SolveStatus::IterationLimit;
     let mut final_residual = pre.final_residual;
     let mut iterations = pre.iterations;
 
     while iterations < opts.max_iters {
+        if tile.controls.should_stop() {
+            status = SolveStatus::Cancelled {
+                iteration: iterations,
+            };
+            break;
+        }
         iterations += 1;
         trace.outer_iterations += 1;
+        tile.controls.poke(iterations, u, &mut ws.r);
 
         tile.exchange(&mut [&mut ws.p], 1, &mut trace);
         let pw_local = tile.op.apply_fused_dot(&ws.p, &mut ws.w, &mut trace);
         let pw = tile.reduce_sum(pw_local, &mut trace);
-        debug_assert!(pw > 0.0, "CPPCG breakdown: <p, Ap> = {pw}");
+        if !pw.is_finite() || pw <= 0.0 {
+            status = SolveStatus::Diverged {
+                iteration: iterations,
+            };
+            final_residual = f64::NAN;
+            break;
+        }
         let alpha = rro / pw;
 
         vector::axpy(u, alpha, &ws.p, bounds, 0, &mut trace);
@@ -253,9 +267,17 @@ pub(crate) fn ppcg_solve_impl<C: Communicator + ?Sized>(
 
         let rz_local = vector::dot_local(&ws.r, &ws.z, bounds, &mut trace);
         let rrn = tile.reduce_sum(rz_local, &mut trace);
+        if !rrn.is_finite() {
+            status = SolveStatus::Diverged {
+                iteration: iterations,
+            };
+            final_residual = f64::NAN;
+            break;
+        }
         final_residual = rrn.max(0.0).sqrt();
         if final_residual <= target {
             converged = true;
+            status = SolveStatus::Converged;
             break;
         }
         let beta = rrn / rro;
@@ -268,6 +290,7 @@ pub(crate) fn ppcg_solve_impl<C: Communicator + ?Sized>(
         iterations,
         initial_residual,
         final_residual,
+        status,
         trace,
     }
 }

@@ -28,7 +28,7 @@ use crate::cg::cg_solve_recording;
 use crate::eigen::{estimate_from_cg, EigenEstimate};
 use crate::precon::{PreconKind, Preconditioner};
 use crate::solver::{SolveOpts, Tile, Workspace};
-use crate::trace::{SolveResult, SolveTrace};
+use crate::trace::{SolveResult, SolveStatus, SolveTrace};
 use crate::vector;
 use tea_comms::Communicator;
 use tea_mesh::Field2D;
@@ -167,7 +167,7 @@ fn richardson_solve<C: Communicator + ?Sized>(
     // Phase 1: CG presteps for the spectrum of M⁻¹A, keeping the
     // partial solution (exactly the Chebyshev/CPPCG prelude).
     let (pre, coeffs) = cg_solve_recording(tile, u, b, precon, ws, opts, rich.presteps.max(1));
-    if pre.converged {
+    if pre.converged || pre.status.is_diverged() || pre.status.is_cancelled() {
         return pre;
     }
     let mut trace = pre.trace;
@@ -191,11 +191,19 @@ fn richardson_solve<C: Communicator + ?Sized>(
     let check_interval = rich.check_interval.max(1); // 0 would divide by zero
     let mut iterations = pre.iterations;
     let mut converged = false;
+    let mut status = SolveStatus::IterationLimit;
     let mut final_residual = pre.final_residual;
 
     while iterations < opts.max_iters {
+        if tile.controls.should_stop() {
+            status = SolveStatus::Cancelled {
+                iteration: iterations,
+            };
+            break;
+        }
         iterations += 1;
         trace.outer_iterations += 1;
+        tile.controls.poke(iterations, u, &mut ws.r);
 
         // u += ω z ; refresh r = b - A u and z = M⁻¹ r
         vector::axpy(u, omega, &ws.z, bounds, 0, &mut trace);
@@ -207,17 +215,37 @@ fn richardson_solve<C: Communicator + ?Sized>(
         let since_pre = iterations - pre.iterations;
         if since_pre % check_interval == 0 {
             let rr_local = vector::dot_local(&ws.r, &ws.r, bounds, &mut trace);
-            final_residual = tile.reduce_sum(rr_local, &mut trace).max(0.0).sqrt();
+            let rr = tile.reduce_sum(rr_local, &mut trace);
+            if !rr.is_finite() {
+                status = SolveStatus::Diverged {
+                    iteration: iterations,
+                };
+                final_residual = f64::NAN;
+                break;
+            }
+            final_residual = rr.max(0.0).sqrt();
             if final_residual <= target {
                 converged = true;
+                status = SolveStatus::Converged;
                 break;
             }
         }
     }
-    if !converged {
+    if !converged && !status.is_diverged() && !status.is_cancelled() {
         let rr_local = vector::dot_local(&ws.r, &ws.r, bounds, &mut trace);
-        final_residual = tile.reduce_sum(rr_local, &mut trace).max(0.0).sqrt();
-        converged = final_residual <= target;
+        let rr = tile.reduce_sum(rr_local, &mut trace);
+        if !rr.is_finite() {
+            status = SolveStatus::Diverged {
+                iteration: iterations,
+            };
+            final_residual = f64::NAN;
+        } else {
+            final_residual = rr.max(0.0).sqrt();
+            converged = final_residual <= target;
+            if converged {
+                status = SolveStatus::Converged;
+            }
+        }
     }
 
     SolveResult {
@@ -225,6 +253,7 @@ fn richardson_solve<C: Communicator + ?Sized>(
         iterations,
         initial_residual,
         final_residual,
+        status,
         trace,
     }
 }

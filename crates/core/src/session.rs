@@ -429,14 +429,35 @@ impl SolveSession {
     /// preparing on first use and reusing the prepared state (and any
     /// memoised eigenvalue estimate) afterwards.
     pub fn solve(&mut self, u: &mut Field2D, b: &Field2D) -> SolveResult {
+        self.solve_controlled(u, b, crate::control::SolveControls::default())
+    }
+
+    /// [`SolveSession::solve`] with an armed control bundle: the
+    /// serving path's entry point for deadlines, cancellation and fault
+    /// probes. When a probe is armed the eigenvalue memo is bypassed in
+    /// both directions — a fault-perturbed solve must neither consume a
+    /// clean memoised spectrum slot's semantics nor deposit a poisoned
+    /// estimate for later clean solves.
+    pub fn solve_controlled(
+        &mut self,
+        u: &mut Field2D,
+        b: &Field2D,
+        controls: crate::control::SolveControls<'_>,
+    ) -> SolveResult {
         self.ensure_prepared();
+        let probed = controls.probe.is_some();
         let memo_key = eigen_memo_key(u, b, &self.opts);
-        let hint = self.eigen_memo.get(&memo_key).copied();
+        let hint = if probed {
+            None
+        } else {
+            self.eigen_memo.get(&memo_key).copied()
+        };
         if hint.is_some() {
             self.eigen_hits += 1;
         }
         self.solver.set_eigen_hint(hint);
-        let tile: DynTile<'_> = Tile::new(&self.op, &self.layout, self.comm.as_dyn());
+        let tile: DynTile<'_> =
+            Tile::with_controls(&self.op, &self.layout, self.comm.as_dyn(), controls);
         let ctx = match &self.assembly {
             Some(a) => SolveContext::with_assembly(
                 &tile,
@@ -454,8 +475,10 @@ impl SolveSession {
         // Clear the pin so a stale spectrum never leaks into a solve
         // over different input, then memoise what this solve measured.
         self.solver.set_eigen_hint(None);
-        if let Some(est) = self.solver.last_eigen_estimate() {
-            self.eigen_memo.insert(memo_key, est);
+        if !probed && !result.status.is_diverged() && !result.status.is_cancelled() {
+            if let Some(est) = self.solver.last_eigen_estimate() {
+                self.eigen_memo.insert(memo_key, est);
+            }
         }
         self.solves += 1;
         result
@@ -535,7 +558,10 @@ impl SetupCache {
 
     /// Pops an idle session for `key`, counting a hit or a miss.
     pub fn checkout(&self, key: &SetupKey) -> Option<SolveSession> {
-        let mut pool = self.pool.lock().expect("setup cache poisoned");
+        let mut pool = self
+            .pool
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         match pool.get_mut(key).and_then(Vec::pop) {
             Some(session) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -553,7 +579,7 @@ impl SetupCache {
         let key = session.setup_key().clone();
         self.pool
             .lock()
-            .expect("setup cache poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .entry(key)
             .or_default()
             .push(session);
@@ -563,7 +589,7 @@ impl SetupCache {
     pub fn pooled(&self) -> usize {
         self.pool
             .lock()
-            .expect("setup cache poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .values()
             .map(Vec::len)
             .sum()
@@ -581,7 +607,7 @@ impl SetupCache {
         let prepares = self
             .pool
             .lock()
-            .expect("setup cache poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .values()
             .flatten()
             .map(SolveSession::prepare_count)

@@ -2,6 +2,7 @@
 //! [`Workspace`] fields, solve options, and the traced communication
 //! helpers every solver uses.
 
+use crate::control::SolveControls;
 use crate::ops::TileOperator;
 use crate::trace::SolveTrace;
 use tea_comms::{exchange_halo_many, Communicator, HaloLayout, WireScalar};
@@ -15,12 +16,37 @@ pub struct Tile<'a, C: Communicator + ?Sized> {
     pub layout: &'a HaloLayout,
     /// The rank's communicator.
     pub comm: &'a C,
+    /// Optional cancellation/probe hooks checked at iteration
+    /// boundaries. Defaults to disarmed (two `None` checks per outer
+    /// iteration) everywhere except serving paths that arm it.
+    pub controls: SolveControls<'a>,
 }
 
 impl<'a, C: Communicator + ?Sized> Tile<'a, C> {
-    /// Bundles the three references.
+    /// Bundles the three references, with disarmed controls.
     pub fn new(op: &'a TileOperator, layout: &'a HaloLayout, comm: &'a C) -> Self {
-        Tile { op, layout, comm }
+        Tile {
+            op,
+            layout,
+            comm,
+            controls: SolveControls::default(),
+        }
+    }
+
+    /// [`Tile::new`] with an armed control bundle (serving paths with
+    /// deadlines, cancellation, or fault probes).
+    pub fn with_controls(
+        op: &'a TileOperator,
+        layout: &'a HaloLayout,
+        comm: &'a C,
+        controls: SolveControls<'a>,
+    ) -> Self {
+        Tile {
+            op,
+            layout,
+            comm,
+            controls,
+        }
     }
 
     /// Exchanges halos of `fields` at `depth`, recording the protocol

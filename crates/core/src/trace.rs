@@ -174,6 +174,77 @@ impl SolveTrace {
     }
 }
 
+/// How a solve ended — the structured counterpart of the bare
+/// `converged` flag, distinguishing honest non-convergence from a
+/// breakdown or an external cancellation.
+///
+/// Solvers detect non-finite residuals (a NaN-poisoned field, a
+/// breakdown of the `<p, Ap>` positivity) and return
+/// [`SolveStatus::Diverged`] immediately instead of burning iterations;
+/// a [`crate::StopHandle`] deadline or cancellation surfaces as
+/// [`SolveStatus::Cancelled`]. The serve layer keys its
+/// retry/degradation ladder off this status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SolveStatus {
+    /// The residual criterion was met.
+    Converged,
+    /// The iteration cap (or an honest stagnation guard) ended the
+    /// solve without meeting the criterion.
+    #[default]
+    IterationLimit,
+    /// The iteration broke down: a residual or search-direction
+    /// curvature went non-finite (or lost positivity in a way no
+    /// further iteration can repair).
+    Diverged {
+        /// Outer iteration at which the breakdown was detected.
+        iteration: u64,
+    },
+    /// A [`crate::StopHandle`] cancelled the solve (explicitly or via
+    /// its deadline) before it finished.
+    Cancelled {
+        /// Outer iteration at which the stop was observed.
+        iteration: u64,
+    },
+}
+
+impl SolveStatus {
+    /// [`SolveStatus::Converged`] or [`SolveStatus::IterationLimit`]
+    /// from the legacy boolean — for solve paths with no breakdown or
+    /// cancellation states of their own.
+    pub fn from_converged(converged: bool) -> Self {
+        if converged {
+            SolveStatus::Converged
+        } else {
+            SolveStatus::IterationLimit
+        }
+    }
+
+    /// Whether this is [`SolveStatus::Diverged`].
+    pub fn is_diverged(&self) -> bool {
+        matches!(self, SolveStatus::Diverged { .. })
+    }
+
+    /// Whether this is [`SolveStatus::Cancelled`].
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, SolveStatus::Cancelled { .. })
+    }
+}
+
+impl std::fmt::Display for SolveStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveStatus::Converged => write!(f, "converged"),
+            SolveStatus::IterationLimit => write!(f, "iteration limit"),
+            SolveStatus::Diverged { iteration } => {
+                write!(f, "diverged at iteration {iteration}")
+            }
+            SolveStatus::Cancelled { iteration } => {
+                write!(f, "cancelled at iteration {iteration}")
+            }
+        }
+    }
+}
+
 /// Result of one linear solve.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SolveResult {
@@ -186,6 +257,8 @@ pub struct SolveResult {
     /// Euclidean norm of the final (preconditioned where applicable)
     /// residual.
     pub final_residual: f64,
+    /// How the solve ended (convergence, cap, breakdown, cancellation).
+    pub status: SolveStatus,
     /// The recorded protocol.
     pub trace: SolveTrace,
 }
@@ -276,8 +349,24 @@ mod tests {
             iterations: 10,
             initial_residual: 100.0,
             final_residual: 1e-6,
+            status: SolveStatus::Converged,
             trace: SolveTrace::new("x"),
         };
         assert!((r.reduction() - 1e-8).abs() < 1e-20);
+    }
+
+    #[test]
+    fn status_helpers_and_display() {
+        assert_eq!(SolveStatus::from_converged(true), SolveStatus::Converged);
+        assert_eq!(
+            SolveStatus::from_converged(false),
+            SolveStatus::IterationLimit
+        );
+        let d = SolveStatus::Diverged { iteration: 7 };
+        assert!(d.is_diverged() && !d.is_cancelled());
+        assert_eq!(d.to_string(), "diverged at iteration 7");
+        let c = SolveStatus::Cancelled { iteration: 3 };
+        assert!(c.is_cancelled() && !c.is_diverged());
+        assert_eq!(c.to_string(), "cancelled at iteration 3");
     }
 }

@@ -1,0 +1,375 @@
+//! # tea-fault — deterministic fault injection for TeaLeaf-rs
+//!
+//! Robustness claims are only testable if faults are *reproducible*.
+//! This crate provides a seeded, wall-clock-free [`FaultPlan`] that
+//! decides — purely from a seed and a job index — whether a job is
+//! faulted and how:
+//!
+//! * [`FaultKind::PoisonNan`] plants `NaN` into the iterate and
+//!   residual of a running solve at a chosen outer iteration, through
+//!   the [`tea_core::SolveProbe`] hook ([`NanPoison`]).
+//! * [`FaultKind::PanicWorker`] makes the serving worker executing the
+//!   job panic mid-job (the serve layer's `catch_unwind` isolation is
+//!   what's under test).
+//! * [`FaultKind::CorruptHalo`] / [`FaultKind::DropHalo`] mangle halo
+//!   payloads in flight through the [`tea_comms::PayloadTap`] hook
+//!   ([`ChaosTap`]): corruption NaN-poisons one element, a "drop"
+//!   delivers a zeroed payload in place (the threaded rendezvous is
+//!   bulk-synchronous, so a genuinely withheld frame would deadlock
+//!   rather than model a lost message).
+//!
+//! Everything is derived with splitmix64 from `seed ^ index` — no
+//! clocks, no global RNG state — so the same plan replayed at any
+//! worker count faults exactly the same jobs the same way.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use tea_comms::{Payload, PayloadTap};
+use tea_core::SolveProbe;
+use tea_mesh::{Field2D, Field2F};
+
+/// splitmix64: the canonical 64-bit finalizer-style mixer. One round is
+/// enough to decorrelate adjacent job indices.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One way a job (or a message) can be made to fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Plant `NaN` in the iterate and residual at outer iteration
+    /// `iteration` of the job's first solve attempt.
+    PoisonNan {
+        /// Outer iteration (1-based) at which the poison lands.
+        iteration: u64,
+    },
+    /// Panic the worker thread mid-job.
+    PanicWorker,
+    /// NaN-poison one element of a halo payload in flight.
+    CorruptHalo,
+    /// Replace a halo payload with zeros (a modelled lost message).
+    DropHalo,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::PoisonNan { iteration } => {
+                write!(f, "poison-nan@iter{iteration}")
+            }
+            FaultKind::PanicWorker => write!(f, "panic-worker"),
+            FaultKind::CorruptHalo => write!(f, "corrupt-halo"),
+            FaultKind::DropHalo => write!(f, "drop-halo"),
+        }
+    }
+}
+
+/// A seeded, deterministic assignment of faults to job indices.
+///
+/// `fault_for(job)` is a pure function of `(seed, job)`: roughly
+/// `rate` of all jobs are faulted, and a faulted job's [`FaultKind`]
+/// and parameters are fixed by the same hash — replaying the plan at a
+/// different worker count or interleaving reproduces it exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Fault probability in thousandths (0..=1000).
+    rate_per_mille: u32,
+    /// Serving plans only inject faults the serve layer can both cause
+    /// and observe per-job (poison + panic); halo chaos needs the
+    /// communicator tap and is exercised by [`ChaosTap`] instead.
+    serving_only: bool,
+}
+
+impl FaultPlan {
+    /// A plan faulting about `rate` (0.0..=1.0) of jobs across all
+    /// fault kinds.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            rate_per_mille: (rate.clamp(0.0, 1.0) * 1000.0).round() as u32,
+            serving_only: false,
+        }
+    }
+
+    /// A plan restricted to the kinds a serving queue can inject
+    /// per-job without a communicator hook: [`FaultKind::PoisonNan`]
+    /// and [`FaultKind::PanicWorker`].
+    pub fn serving(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            serving_only: true,
+            ..FaultPlan::new(seed, rate)
+        }
+    }
+
+    /// Parses the CLI form `seed:rate`, e.g. `42:0.2`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (seed, rate) = s
+            .split_once(':')
+            .ok_or_else(|| format!("fault plan `{s}` is not of the form seed:rate"))?;
+        let seed: u64 = seed
+            .trim()
+            .parse()
+            .map_err(|e| format!("fault plan seed `{seed}` is not a u64: {e}"))?;
+        let rate: f64 = rate
+            .trim()
+            .parse()
+            .map_err(|e| format!("fault plan rate `{rate}` is not a number: {e}"))?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("fault plan rate {rate} is outside 0.0..=1.0"));
+        }
+        Ok(FaultPlan::serving(seed, rate))
+    }
+
+    /// The seed this plan was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The fault this plan assigns to job `job`, if any. Pure: same
+    /// plan + same index ⇒ same answer, on any thread at any time.
+    pub fn fault_for(&self, job: usize) -> Option<FaultKind> {
+        let h = splitmix64(self.seed ^ splitmix64(job as u64));
+        if (h % 1000) as u32 >= self.rate_per_mille {
+            return None;
+        }
+        let pick = splitmix64(h);
+        let kinds: u64 = if self.serving_only { 2 } else { 4 };
+        Some(match pick % kinds {
+            0 => FaultKind::PoisonNan {
+                iteration: pick >> 8 & 0xF | 1, // 1..=15, early enough to land
+            },
+            1 => FaultKind::PanicWorker,
+            2 => FaultKind::CorruptHalo,
+            _ => FaultKind::DropHalo,
+        })
+    }
+}
+
+/// A [`SolveProbe`] that plants `NaN` into the center of the iterate
+/// and residual at one chosen outer iteration — the probe form of
+/// [`FaultKind::PoisonNan`]. Works on both `f64` and fully-`f32`
+/// solves.
+#[derive(Debug, Clone, Copy)]
+pub struct NanPoison {
+    /// The outer iteration (1-based) to poison.
+    pub iteration: u64,
+}
+
+impl NanPoison {
+    fn center(nx: usize, ny: usize) -> (isize, isize) {
+        ((nx / 2) as isize, (ny / 2) as isize)
+    }
+}
+
+impl SolveProbe for NanPoison {
+    fn on_iteration(&self, iteration: u64, u: &mut Field2D, r: &mut Field2D) {
+        if iteration == self.iteration {
+            let (j, k) = Self::center(u.nx(), u.ny());
+            u.set(j, k, f64::NAN);
+            r.set(j, k, f64::NAN);
+        }
+    }
+
+    fn on_iteration_f32(&self, iteration: u64, u: &mut Field2F, r: &mut Field2F) {
+        if iteration == self.iteration {
+            let (j, k) = Self::center(u.nx(), u.ny());
+            u.set(j, k, f32::NAN);
+            r.set(j, k, f32::NAN);
+        }
+    }
+}
+
+/// A [`PayloadTap`] that deterministically mangles a fraction of
+/// point-to-point halo payloads: corruption NaN-poisons one element,
+/// a drop zeroes the whole payload (delivered in place, because the
+/// bulk-synchronous rendezvous would deadlock on a truly withheld
+/// frame). Decisions hash `(seed, from, to, per-pair sequence number)`
+/// so a run faults the same frames every time.
+pub struct ChaosTap {
+    seed: u64,
+    rate_per_mille: u32,
+    seq: Mutex<HashMap<(usize, usize), u64>>,
+}
+
+impl ChaosTap {
+    /// A tap faulting about `rate` (0.0..=1.0) of payloads.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        ChaosTap {
+            seed,
+            rate_per_mille: (rate.clamp(0.0, 1.0) * 1000.0).round() as u32,
+            seq: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl PayloadTap for ChaosTap {
+    fn tap(&self, from: usize, to: usize, _tag: u64, data: Payload) -> Payload {
+        let seq = {
+            let mut map = self
+                .seq
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let ctr = map.entry((from, to)).or_insert(0);
+            let s = *ctr;
+            *ctr += 1;
+            s
+        };
+        let key = self.seed ^ splitmix64((from as u64) << 40 | (to as u64) << 20 | seq);
+        let h = splitmix64(key);
+        if (h % 1000) as u32 >= self.rate_per_mille {
+            return data;
+        }
+        let drop = splitmix64(h) & 1 == 0;
+        match data {
+            Payload::F64(mut v) => {
+                if drop {
+                    v.iter_mut().for_each(|x| *x = 0.0);
+                } else if !v.is_empty() {
+                    let i = (splitmix64(h) >> 1) as usize % v.len();
+                    v[i] = f64::NAN;
+                }
+                Payload::F64(v)
+            }
+            Payload::F32(mut v) => {
+                if drop {
+                    v.iter_mut().for_each(|x| *x = 0.0);
+                } else if !v.is_empty() {
+                    let i = (splitmix64(h) >> 1) as usize % v.len();
+                    v[i] = f32::NAN;
+                }
+                Payload::F32(v)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_deterministic_and_rate_bounded() {
+        let plan = FaultPlan::new(42, 0.2);
+        let a: Vec<_> = (0..1000).map(|j| plan.fault_for(j)).collect();
+        let b: Vec<_> = (0..1000).map(|j| plan.fault_for(j)).collect();
+        assert_eq!(a, b, "fault_for must be a pure function of (seed, job)");
+        let faulted = a.iter().filter(|f| f.is_some()).count();
+        // 20% nominal; allow generous slack for hash noise.
+        assert!((100..=300).contains(&faulted), "faulted {faulted}/1000");
+        // a different seed faults a different set
+        let other = FaultPlan::new(43, 0.2);
+        assert!((0..1000).any(|j| plan.fault_for(j) != other.fault_for(j)));
+    }
+
+    #[test]
+    fn serving_plan_never_emits_halo_faults() {
+        let plan = FaultPlan::serving(7, 1.0);
+        for j in 0..500 {
+            match plan.fault_for(j) {
+                Some(FaultKind::PoisonNan { iteration }) => {
+                    assert!((1..=15).contains(&iteration))
+                }
+                Some(FaultKind::PanicWorker) | None => {}
+                Some(k) => panic!("serving plan emitted {k}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_and_full_rates_are_honoured() {
+        let none = FaultPlan::new(1, 0.0);
+        assert!((0..200).all(|j| none.fault_for(j).is_none()));
+        let all = FaultPlan::new(1, 1.0);
+        assert!((0..200).all(|j| all.fault_for(j).is_some()));
+    }
+
+    #[test]
+    fn parse_round_trips_and_rejects_garbage() {
+        let plan = FaultPlan::parse("42:0.25").unwrap();
+        assert_eq!(plan.seed(), 42);
+        assert_eq!(plan.rate_per_mille, 250);
+        assert!(plan.serving_only);
+        assert!(FaultPlan::parse("42").is_err());
+        assert!(FaultPlan::parse("x:0.5").is_err());
+        assert!(FaultPlan::parse("42:nope").is_err());
+        assert!(FaultPlan::parse("42:1.5").is_err());
+    }
+
+    #[test]
+    fn nan_poison_fires_only_at_its_iteration() {
+        let probe = NanPoison { iteration: 3 };
+        let mut u = Field2D::new(8, 8, 1);
+        let mut r = Field2D::new(8, 8, 1);
+        probe.on_iteration(2, &mut u, &mut r);
+        assert!(u.raw().iter().all(|x| x.is_finite()));
+        probe.on_iteration(3, &mut u, &mut r);
+        assert!(u.at(4, 4).is_nan());
+        assert!(r.at(4, 4).is_nan());
+        // f32 variant too
+        let mut uf = Field2F::new(8, 8, 1);
+        let mut rf = Field2F::new(8, 8, 1);
+        probe.on_iteration_f32(3, &mut uf, &mut rf);
+        assert!(uf.at(4, 4).is_nan());
+        assert!(rf.at(4, 4).is_nan());
+    }
+
+    #[test]
+    fn chaos_tap_is_deterministic_per_sequence() {
+        let run = |seed| {
+            let tap = ChaosTap::new(seed, 0.5);
+            (0..64)
+                .map(
+                    |_| match tap.tap(0, 1, 7, Payload::F64(vec![1.0, 2.0, 3.0])) {
+                        Payload::F64(v) => v.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        Payload::F32(_) => unreachable!(),
+                    },
+                )
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9), "same seed, same frame sequence");
+        let faulted = run(9)
+            .iter()
+            .filter(|v| {
+                v.iter().any(|&b| {
+                    b != 1.0f64.to_bits() && b != 2.0f64.to_bits() && b != 3.0f64.to_bits()
+                })
+            })
+            .count();
+        assert!(faulted > 0, "a 50% tap must fault something in 64 frames");
+        assert!(faulted < 64, "and must not fault everything");
+    }
+
+    #[test]
+    fn chaos_tap_drop_zeroes_and_corrupt_nans() {
+        // At rate 1.0 every frame is faulted; across many frames both
+        // kinds must appear, and each is exactly zeroing or one-NaN.
+        let tap = ChaosTap::new(3, 1.0);
+        let (mut drops, mut corrupts) = (0, 0);
+        for _ in 0..64 {
+            match tap.tap(2, 0, 1, Payload::F32(vec![5.0; 6])) {
+                Payload::F32(v) => {
+                    if v.iter().all(|&x| x == 0.0) {
+                        drops += 1;
+                    } else {
+                        assert_eq!(v.iter().filter(|x| x.is_nan()).count(), 1);
+                        assert_eq!(v.iter().filter(|&&x| x == 5.0).count(), 5);
+                        corrupts += 1;
+                    }
+                }
+                Payload::F64(_) => unreachable!(),
+            }
+        }
+        assert!(
+            drops > 0 && corrupts > 0,
+            "drops={drops} corrupts={corrupts}"
+        );
+    }
+}

@@ -23,26 +23,62 @@
 //!
 //! Every serve returns a [`ServeReport`]: per-job outcomes in
 //! submission order plus [`QueueStats`] — throughput, latency
-//! percentiles, and the cache's hit/miss/prepare counters.
+//! percentiles, recovery counters, and the cache's hit/miss/prepare
+//! counters.
 //!
-//! A failing job (malformed problem, unknown solver) records an error
-//! outcome and the queue moves on; one bad deck never takes down the
-//! batch.
+//! ## Fault tolerance
+//!
+//! A serving queue fed from untrusted job lists must survive anything
+//! a single job does:
+//!
+//! * **Panic isolation** — each attempt runs under
+//!   [`std::panic::catch_unwind`]; a panicking job records a
+//!   [`JobError::Panicked`] outcome (and bumps
+//!   [`QueueStats::panics_recovered`]) instead of killing its worker
+//!   or poisoning the queue. All queue locks are poison-tolerant.
+//! * **Deadlines** — [`ServeOptions::deadline`] arms a fresh
+//!   [`tea_core::StopHandle`] per attempt; solvers observe it at every
+//!   outer iteration and return a `Cancelled` status, which the queue
+//!   reports as [`JobError::TimedOut`]. Timeouts are terminal (never
+//!   retried), so a job's wall clock stays bounded.
+//! * **Bounded retry** — transient failures ([`JobError::is_transient`]:
+//!   panics and divergence) are retried up to [`ServeOptions::retries`]
+//!   times with a small backoff; [`QueueStats::retries`] counts the
+//!   re-runs. The attempt index reaches the run function through
+//!   [`JobCtx`], so deterministic fault injectors can arm themselves on
+//!   the first attempt only.
+//! * **Graceful degradation** — [`serve_requests`] escalates a solve
+//!   whose status is `Diverged` along the precision ladder
+//!   (`cg_f32 → mixed_cg → cg`) via
+//!   [`tea_core::solver_for_precision`], recording each abandoned rung
+//!   in [`RequestOutput::escalations`] (or, if every rung diverges, in
+//!   [`JobError::Diverged`]'s attempt history). Diverged or cancelled
+//!   sessions are dropped, never checked back into the pool.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use tea_core::{
-    CacheStats, SessionSpec, SetupCache, SetupKey, SolveResult, SolveSession, TileOperator,
+    solver_for_precision, CacheStats, Precision, SessionSpec, SetupCache, SetupKey, SolveControls,
+    SolveResult, SolveSession, SolveStatus, SolverRegistry, StopHandle, TileOperator,
 };
 use tea_mesh::Field2D;
 
-/// How a serve runs: worker count, kernel thread budget, caching.
+/// Locks a mutex, tolerating poisoning: a worker that panicked while
+/// holding the lock (only possible outside the `catch_unwind` window)
+/// must not cascade into every other worker.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// How a serve runs: worker count, kernel thread budget, caching,
+/// deadlines and retry policy.
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
     /// Concurrent jobs in flight (worker threads draining the queue).
@@ -51,12 +87,22 @@ pub struct ServeOptions {
     /// Kernel threads per job. The sweep thread pool is process-global,
     /// so this is applied once at serve start (not per job): with W
     /// workers each running T-thread sweeps, size `W × T` to the
-    /// machine. `None` leaves the ambient configuration alone.
+    /// machine. `None` leaves the ambient configuration alone. The
+    /// ambient value is restored when the drain completes.
     pub threads_per_job: Option<usize>,
     /// Whether to pool sessions in a [`SetupCache`] across jobs.
     /// Disabling it makes every job build (and prepare) cold — the
     /// baseline the throughput bench compares against.
     pub cache: bool,
+    /// Wall-clock budget per attempt. Solvers check the armed
+    /// [`StopHandle`] at every outer iteration; an expired attempt
+    /// reports [`JobError::TimedOut`] and is not retried. `None` (the
+    /// default) never arms a deadline.
+    pub deadline: Option<Duration>,
+    /// Extra attempts for transient failures (panics, divergence).
+    /// `0` (the default) fails on first error, exactly like the old
+    /// behaviour.
+    pub retries: u32,
 }
 
 impl Default for ServeOptions {
@@ -65,6 +111,8 @@ impl Default for ServeOptions {
             workers: 0,
             threads_per_job: None,
             cache: true,
+            deadline: None,
+            retries: 0,
         }
     }
 }
@@ -82,14 +130,90 @@ impl ServeOptions {
     }
 }
 
-/// One job's result: payload or error, plus its wall-clock latency.
+/// Why a job failed, as a typed classification rather than a string —
+/// the chaos bench and the retry policy both dispatch on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The job's code panicked; the worker caught it and moved on.
+    Panicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The attempt's deadline expired and the solve was cancelled.
+    TimedOut,
+    /// The solve produced a non-finite residual on every available
+    /// precision rung.
+    Diverged {
+        /// Outer iteration at which the last rung detected divergence.
+        iteration: u64,
+        /// Every solver tried, in escalation order.
+        attempts: Vec<String>,
+    },
+    /// Anything else: malformed problem, unknown solver, ...
+    Failed {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Panicked { message } => write!(f, "job panicked: {message}"),
+            JobError::TimedOut => write!(f, "job deadline expired"),
+            JobError::Diverged {
+                iteration,
+                attempts,
+            } => write!(
+                f,
+                "solve diverged at iteration {iteration} (tried: {})",
+                attempts.join(" → ")
+            ),
+            JobError::Failed { message } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl JobError {
+    /// Whether a retry could plausibly succeed. Panics and divergence
+    /// are transient (a deterministic fault injector arms only the
+    /// first attempt; a diverged solve may recover on re-run from the
+    /// clean warm start); timeouts and structural failures are not.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, JobError::Panicked { .. } | JobError::Diverged { .. })
+    }
+}
+
+/// Per-attempt context handed to the run function: the job's
+/// submission index, which attempt this is (0 = first), and the
+/// cancellation token the attempt must observe.
+#[derive(Debug, Clone, Copy)]
+pub struct JobCtx<'a> {
+    /// Index of the job in the submitted list.
+    pub job: usize,
+    /// 0 on the first attempt, incremented per retry.
+    pub attempt: u32,
+    /// Cancellation/deadline token for this attempt. Pass it into
+    /// [`tea_core::SolveSession::solve_controlled`] (via
+    /// [`SolveControls::stopping`]) so deadlines can interrupt the
+    /// iteration loop.
+    pub stop: &'a StopHandle,
+}
+
+/// One job's result: payload or typed error, plus its wall-clock
+/// latency and how many attempts it took.
 #[derive(Debug)]
 pub struct JobOutcome<T> {
     /// Index of the job in the submitted list.
     pub job: usize,
     /// The job's payload, or why it failed.
-    pub result: Result<T, String>,
-    /// Seconds from checkout to completion.
+    pub result: Result<T, JobError>,
+    /// Attempts consumed (1 = succeeded or failed terminally on the
+    /// first try).
+    pub attempts: u32,
+    /// Seconds from checkout to completion, across all attempts.
     pub wall_s: f64,
 }
 
@@ -100,6 +224,12 @@ pub struct QueueStats {
     pub jobs: usize,
     /// Jobs that returned an error outcome.
     pub failed: usize,
+    /// Attempts that hit their deadline.
+    pub timeouts: u64,
+    /// Re-runs of transiently failed attempts.
+    pub retries: u64,
+    /// Panics caught and converted into outcomes.
+    pub panics_recovered: u64,
     /// Wall-clock seconds for the whole drain.
     pub wall_s: f64,
     /// Completed jobs per second of drain time.
@@ -130,10 +260,27 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Drains `jobs` through `run` on a pool of worker threads and reports
-/// per-job outcomes plus queue statistics. `run` receives the job's
-/// submission index and the job itself; returning `Err` records a
-/// failed outcome without stopping the queue.
+/// per-job outcomes plus queue statistics. `run` receives a [`JobCtx`]
+/// (submission index, attempt number, stop token) and a reference to
+/// the job; returning `Err` records a failed outcome without stopping
+/// the queue.
+///
+/// Each attempt runs under `catch_unwind`: a panicking job is
+/// converted into [`JobError::Panicked`] and the worker keeps
+/// draining. Transient errors are retried up to
+/// [`ServeOptions::retries`] times with a short backoff; each attempt
+/// gets a fresh deadline from [`ServeOptions::deadline`].
 ///
 /// `cache_stats` (when given) is folded into the report's
 /// [`QueueStats::cache`] — callers running their jobs over a
@@ -145,43 +292,88 @@ pub fn serve_with<J, T, F>(
     cache_stats: impl FnOnce() -> CacheStats,
 ) -> ServeReport<T>
 where
-    J: Send,
+    J: Sync,
     T: Send,
-    F: Fn(usize, J) -> Result<T, String> + Sync,
+    F: Fn(JobCtx<'_>, &J) -> Result<T, JobError> + Sync,
 {
-    if let Some(threads) = opts.threads_per_job {
+    // The sweep pool is process-global: remember the ambient setting so
+    // the drain doesn't permanently reconfigure the host process.
+    let saved_threads = opts.threads_per_job.map(|threads| {
+        let ambient = tea_core::num_threads();
         tea_core::set_num_threads(threads);
-    }
+        ambient
+    });
     let total = jobs.len();
-    let queue: Mutex<VecDeque<(usize, J)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+    let queue: Mutex<VecDeque<usize>> = Mutex::new((0..total).collect());
     let outcomes: Mutex<Vec<JobOutcome<T>>> = Mutex::new(Vec::with_capacity(total));
     let workers = opts.effective_workers().min(total.max(1));
+    let timeouts = AtomicU64::new(0);
+    let retries = AtomicU64::new(0);
+    let panics_recovered = AtomicU64::new(0);
 
     let started = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let next = queue.lock().expect("job queue poisoned").pop_front();
-                let Some((job, payload)) = next else {
+                let next = lock(&queue).pop_front();
+                let Some(job) = next else {
                     break;
                 };
                 let job_started = Instant::now();
-                let result = run(job, payload);
-                let wall_s = job_started.elapsed().as_secs_f64();
-                outcomes
-                    .lock()
-                    .expect("outcome list poisoned")
-                    .push(JobOutcome {
+                let mut attempt: u32 = 0;
+                let result = loop {
+                    let stop = match opts.deadline {
+                        Some(budget) => StopHandle::with_deadline(budget),
+                        None => StopHandle::disarmed(),
+                    };
+                    let ctx = JobCtx {
                         job,
-                        result,
-                        wall_s,
-                    });
+                        attempt,
+                        stop: &stop,
+                    };
+                    let err =
+                        match std::panic::catch_unwind(AssertUnwindSafe(|| run(ctx, &jobs[job]))) {
+                            Ok(Ok(payload)) => break Ok(payload),
+                            Ok(Err(err)) => err,
+                            Err(panic) => {
+                                panics_recovered.fetch_add(1, Ordering::Relaxed);
+                                JobError::Panicked {
+                                    message: panic_message(panic),
+                                }
+                            }
+                        };
+                    if err == JobError::TimedOut {
+                        timeouts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if err.is_transient() && attempt < opts.retries {
+                        retries.fetch_add(1, Ordering::Relaxed);
+                        attempt += 1;
+                        // linear backoff, bounded: transient faults are
+                        // injected or numerical, not contention, so a
+                        // token pause suffices
+                        std::thread::sleep(Duration::from_millis(u64::from(attempt.min(8))));
+                        continue;
+                    }
+                    break Err(err);
+                };
+                let wall_s = job_started.elapsed().as_secs_f64();
+                lock(&outcomes).push(JobOutcome {
+                    job,
+                    result,
+                    attempts: attempt + 1,
+                    wall_s,
+                });
             });
         }
     });
     let wall_s = started.elapsed().as_secs_f64();
+    if let Some(ambient) = saved_threads {
+        tea_core::set_num_threads(ambient);
+    }
 
-    let mut outcomes = outcomes.into_inner().expect("outcome list poisoned");
+    let mut outcomes = outcomes
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     outcomes.sort_by_key(|o| o.job);
     let mut latencies: Vec<f64> = outcomes.iter().map(|o| o.wall_s).collect();
     latencies.sort_by(|a, b| a.total_cmp(b));
@@ -190,6 +382,9 @@ where
     let stats = QueueStats {
         jobs: total,
         failed,
+        timeouts: timeouts.into_inner(),
+        retries: retries.into_inner(),
+        panics_recovered: panics_recovered.into_inner(),
         wall_s,
         jobs_per_sec: if wall_s > 0.0 {
             total as f64 / wall_s
@@ -222,39 +417,119 @@ pub struct RequestOutput {
     pub result: SolveResult,
     /// The solution field.
     pub u: Field2D,
+    /// Canonical name of the solver that produced the result (after
+    /// precision routing and any escalation).
+    pub solver: String,
+    /// Solvers abandoned to divergence before `solver` succeeded, in
+    /// escalation order. Empty on the happy path.
+    pub escalations: Vec<String>,
+}
+
+/// The next rung of the graceful-degradation ladder for `name`:
+/// reduced-precision methods escalate towards the full-`f64` member of
+/// their family (`cg_f32 → mixed_cg → cg`), full-precision methods
+/// have nowhere further to go. Public so the deck-serving layer in
+/// `tea-app` escalates along the same ladder.
+pub fn next_precision_rung(name: &str, registry: &SolverRegistry) -> Option<String> {
+    let meta = registry.resolve(name).ok()?;
+    let target = match meta.precision {
+        Precision::F32 => Precision::Mixed,
+        Precision::Mixed => Precision::F64,
+        Precision::F64 => return None,
+    };
+    solver_for_precision(name, target, registry).ok()
 }
 
 /// Serves builder-style [`SolveRequest`]s over a session pool: requests
 /// whose `(op, spec)` produce equal [`SetupKey`]s share prepared
 /// sessions (and memoised eigenvalue estimates), so repeated requests
 /// skip the setup tax while returning bit-identical results.
+///
+/// Solves observe the per-attempt stop token, so
+/// [`ServeOptions::deadline`] interrupts long solves mid-iteration. A
+/// solve that diverges (non-finite residual) escalates along the
+/// precision ladder — see [`RequestOutput::escalations`]. Sessions
+/// that diverged or were cancelled are dropped rather than returned to
+/// the pool.
 pub fn serve_requests(
     requests: Vec<SolveRequest>,
     opts: &ServeOptions,
 ) -> ServeReport<RequestOutput> {
+    let registry = SolverRegistry::default();
     let cache = SetupCache::new();
     let cold_prepares = AtomicU64::new(0);
     let use_cache = opts.cache;
-    let run = |_job: usize, req: SolveRequest| -> Result<RequestOutput, String> {
-        let SolveRequest { op, b, spec } = req;
-        let mut session = if use_cache {
-            let key = SetupKey::probe(&op, &spec).map_err(|e| e.to_string())?;
-            match cache.checkout(&key) {
-                Some(session) => session,
-                None => SolveSession::build(op, &spec).map_err(|e| e.to_string())?,
-            }
-        } else {
-            SolveSession::build(op, &spec).map_err(|e| e.to_string())?
+    let fail = |e: tea_core::SolverError| JobError::Failed {
+        message: e.to_string(),
+    };
+    let run = |ctx: JobCtx<'_>, req: &SolveRequest| -> Result<RequestOutput, JobError> {
+        // resolve precision routing once, so escalation starts from the
+        // solver that would actually have run
+        let mut spec = req.spec.clone();
+        spec.solver = match spec.precision.take() {
+            Some(p) => solver_for_precision(&spec.solver, p, &registry).map_err(fail)?,
+            None => registry
+                .resolve(&spec.solver)
+                .map_err(fail)?
+                .name
+                .to_string(),
         };
-        session.reset_comm_stats();
-        let mut u = b.clone();
-        let result = session.solve(&mut u, &b);
-        if use_cache {
-            cache.checkin(session);
-        } else {
-            cold_prepares.fetch_add(session.prepare_count(), Ordering::Relaxed);
+        let mut escalations: Vec<String> = Vec::new();
+        loop {
+            let mut session = if use_cache {
+                let key = SetupKey::probe(&req.op, &spec).map_err(fail)?;
+                match cache.checkout(&key) {
+                    Some(session) => session,
+                    None => SolveSession::build(req.op.clone(), &spec).map_err(fail)?,
+                }
+            } else {
+                SolveSession::build(req.op.clone(), &spec).map_err(fail)?
+            };
+            session.reset_comm_stats();
+            let mut u = req.b.clone();
+            let result =
+                session.solve_controlled(&mut u, &req.b, SolveControls::stopping(ctx.stop));
+            let finish_session = |session: SolveSession, keep: bool| {
+                if !use_cache {
+                    cold_prepares.fetch_add(session.prepare_count(), Ordering::Relaxed);
+                } else if keep {
+                    cache.checkin(session);
+                }
+                // diverged/cancelled cached sessions are dropped here
+            };
+            match result.status {
+                SolveStatus::Cancelled { .. } => {
+                    finish_session(session, false);
+                    return Err(JobError::TimedOut);
+                }
+                SolveStatus::Diverged { iteration } => {
+                    finish_session(session, false);
+                    escalations.push(spec.solver.clone());
+                    match next_precision_rung(&spec.solver, &registry) {
+                        Some(next) => {
+                            spec.solver = next;
+                            continue;
+                        }
+                        None => {
+                            return Err(JobError::Diverged {
+                                iteration,
+                                attempts: escalations,
+                            })
+                        }
+                    }
+                }
+                SolveStatus::Converged | SolveStatus::IterationLimit => {
+                    let solver = spec.solver.clone();
+                    finish_session(session, true);
+                    return Ok(RequestOutput {
+                        result,
+                        u,
+                        solver,
+                        escalations,
+                    });
+                }
+            }
         }
-        Ok(RequestOutput { result, u })
     };
     serve_with(requests, opts, run, || {
         let mut stats = cache.stats();
@@ -291,11 +566,17 @@ mod tests {
         );
         assert_eq!(report.outcomes.len(), 12);
         assert_eq!(report.stats.failed, 0);
+        assert_eq!(report.stats.timeouts, 0);
+        assert_eq!(report.stats.panics_recovered, 0);
         assert!(report.stats.jobs_per_sec > 0.0);
         assert!(report.stats.p99_latency_s >= report.stats.p50_latency_s);
         for (i, o) in report.outcomes.iter().enumerate() {
             assert_eq!(o.job, i, "outcomes must come back in submission order");
-            assert!(o.result.as_ref().unwrap().result.converged);
+            assert_eq!(o.attempts, 1);
+            let out = o.result.as_ref().unwrap();
+            assert!(out.result.converged);
+            assert_eq!(out.solver, "cg");
+            assert!(out.escalations.is_empty());
         }
         let cache = report.stats.cache;
         // 3 distinct setups: 3 misses, 9 hits (modulo worker racing on
@@ -352,7 +633,155 @@ mod tests {
         assert_eq!(report.stats.failed, 1);
         assert!(report.outcomes[0].result.is_ok());
         let err = report.outcomes[1].result.as_ref().unwrap_err();
-        assert!(err.contains("warp-drive"), "{err}");
+        assert!(
+            matches!(err, JobError::Failed { .. }),
+            "unknown solver is a structural failure: {err:?}"
+        );
+        assert!(err.to_string().contains("warp-drive"), "{err}");
         assert!(report.outcomes[2].result.is_ok(), "queue must keep going");
+    }
+
+    #[test]
+    fn a_panicking_job_is_isolated_and_counted() {
+        let report = serve_with(
+            vec![1usize, 2, 3],
+            &ServeOptions {
+                workers: 2,
+                ..Default::default()
+            },
+            |ctx, &n| {
+                if ctx.job == 1 {
+                    panic!("injected worker panic on job {n}");
+                }
+                Ok::<usize, JobError>(n * 10)
+            },
+            CacheStats::default,
+        );
+        assert_eq!(report.stats.failed, 1);
+        assert_eq!(report.stats.panics_recovered, 1);
+        assert_eq!(report.outcomes[0].result, Ok(10));
+        assert_eq!(report.outcomes[2].result, Ok(30), "queue survives a panic");
+        match report.outcomes[1].result.as_ref().unwrap_err() {
+            JobError::Panicked { message } => {
+                assert!(message.contains("injected worker panic"), "{message}")
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_failures_retry_and_recover() {
+        // Job 0 panics on its first attempt only — the shape of a
+        // deterministic fault injector — and must recover on retry.
+        let report = serve_with(
+            vec![0usize, 1],
+            &ServeOptions {
+                workers: 1,
+                retries: 2,
+                ..Default::default()
+            },
+            |ctx, &n| {
+                if ctx.job == 0 && ctx.attempt == 0 {
+                    panic!("flaky once");
+                }
+                Ok::<usize, JobError>(n)
+            },
+            CacheStats::default,
+        );
+        assert_eq!(report.stats.failed, 0);
+        assert_eq!(report.stats.panics_recovered, 1);
+        assert_eq!(report.stats.retries, 1);
+        assert_eq!(report.outcomes[0].result, Ok(0));
+        assert_eq!(report.outcomes[0].attempts, 2);
+        assert_eq!(report.outcomes[1].attempts, 1);
+    }
+
+    #[test]
+    fn an_exhausted_retry_budget_reports_the_error() {
+        let report = serve_with(
+            vec![()],
+            &ServeOptions {
+                workers: 1,
+                retries: 2,
+                ..Default::default()
+            },
+            |_, ()| -> Result<(), JobError> { panic!("always down") },
+            CacheStats::default,
+        );
+        assert_eq!(report.stats.failed, 1);
+        assert_eq!(report.stats.retries, 2);
+        assert_eq!(report.stats.panics_recovered, 3, "each attempt panicked");
+        assert_eq!(report.outcomes[0].attempts, 3);
+        assert!(matches!(
+            report.outcomes[0].result,
+            Err(JobError::Panicked { .. })
+        ));
+    }
+
+    #[test]
+    fn a_zero_deadline_times_out_without_retrying() {
+        let report = serve_requests(
+            requests(3, &[20]),
+            &ServeOptions {
+                workers: 2,
+                deadline: Some(Duration::ZERO),
+                retries: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.stats.failed, 3);
+        assert_eq!(report.stats.timeouts, 3);
+        assert_eq!(report.stats.retries, 0, "timeouts must not be retried");
+        for o in &report.outcomes {
+            assert_eq!(o.result.as_ref().unwrap_err(), &JobError::TimedOut);
+            assert_eq!(o.attempts, 1);
+        }
+    }
+
+    #[test]
+    fn divergence_walks_the_whole_ladder() {
+        // A NaN right-hand side diverges at iteration 0 on every rung,
+        // so the job must try cg_f32 → mixed_cg → cg and report the
+        // full attempt history.
+        let mut jobs = requests(1, &[16]);
+        jobs[0].spec.precision = Some(Precision::F32);
+        jobs[0].b.set(8, 8, f64::NAN);
+        let report = serve_requests(jobs, &ServeOptions::default());
+        assert_eq!(report.stats.failed, 1);
+        match report.outcomes[0].result.as_ref().unwrap_err() {
+            JobError::Diverged {
+                iteration,
+                attempts,
+            } => {
+                assert_eq!(*iteration, 0);
+                assert_eq!(attempts, &["cg_f32", "mixed_cg", "cg"]);
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_restores_the_ambient_thread_config() {
+        let ambient = tea_core::num_threads();
+        let report = serve_with(
+            vec![()],
+            &ServeOptions {
+                workers: 1,
+                threads_per_job: Some(ambient + 3),
+                ..Default::default()
+            },
+            |_, ()| Ok::<usize, JobError>(tea_core::num_threads()),
+            CacheStats::default,
+        );
+        assert_eq!(
+            report.outcomes[0].result,
+            Ok(ambient + 3),
+            "the per-job budget applies during the drain"
+        );
+        assert_eq!(
+            tea_core::num_threads(),
+            ambient,
+            "the drain must not leak its thread config into the process"
+        );
     }
 }
