@@ -26,6 +26,7 @@ pub const AMG_META: SolverMeta = SolverMeta {
     deep_halo: false,
     serial_only: true,
     precision: tea_core::Precision::F64,
+    tunable: false,
 };
 
 /// Registers the AMG baseline into `registry` under `"amg"` (aliases

@@ -25,7 +25,8 @@ OPTIONS:
                          flags below override its values)
     --cells <n>          mesh resolution n x n            [default: 128]
     --solver <s>         any registered solver name       [default: cg]
-                         (see --list-solvers)
+                         (see --list-solvers; 'auto' races the tunable
+                         solvers and keeps the cheapest)
     --precon <p>         none | jac_diag | jac_block      [default: none]
     --precision <x>      f64 | f32 | mixed                [default: f64]
                          (mixed: f32 preconditioning, f64 recurrence)
@@ -34,6 +35,8 @@ OPTIONS:
     --steps <n>          number of time steps             [default: 10]
     --dt <t>             time step                        [default: 0.04]
     --eps <e>            solver tolerance                 [default: 1e-10]
+    --tune-seed <n>      seed for --solver auto's candidate
+                         search order                     [default: 0]
     --ranks <r>          simulated MPI ranks (threads)    [default: 1]
     --threads <t>        kernel worker threads per rank
                          [default: TEA_NUM_THREADS or all cores]
@@ -79,6 +82,7 @@ struct Args {
     steps: Option<u64>,
     dt: Option<f64>,
     eps: Option<f64>,
+    tune_seed: Option<u64>,
     ranks: usize,
     threads: Option<usize>,
     out: Option<String>,
@@ -103,6 +107,7 @@ fn parse_args() -> Result<Args, String> {
         steps: None,
         dt: None,
         eps: None,
+        tune_seed: None,
         ranks: 1,
         threads: None,
         out: None,
@@ -147,6 +152,9 @@ fn parse_args() -> Result<Args, String> {
             "--steps" => args.steps = Some(value()?.parse().map_err(|e| format!("--steps: {e}"))?),
             "--dt" => args.dt = Some(value()?.parse().map_err(|e| format!("--dt: {e}"))?),
             "--eps" => args.eps = Some(value()?.parse().map_err(|e| format!("--eps: {e}"))?),
+            "--tune-seed" => {
+                args.tune_seed = Some(value()?.parse().map_err(|e| format!("--tune-seed: {e}"))?)
+            }
             "--ranks" => args.ranks = value()?.parse().map_err(|e| format!("--ranks: {e}"))?,
             "--threads" => {
                 args.threads = Some(value()?.parse().map_err(|e| format!("--threads: {e}"))?)
@@ -207,6 +215,9 @@ fn print_solvers() {
         if meta.serial_only {
             notes.push("serial-only".into());
         }
+        if meta.tunable {
+            notes.push("tunable".into());
+        }
         if meta.precision != Precision::F64 {
             notes.push(format!("precision={}", meta.precision.label()));
         }
@@ -215,6 +226,7 @@ fn print_solvers() {
         }
     }
     println!("\nselect with --solver <name>, or tl_solver=<name> in a deck");
+    println!("'auto' races the solvers marked tunable and keeps the cheapest (--tune-seed)");
 }
 
 /// `--serve <joblist>`: drain a queue of deck files through the session
@@ -297,6 +309,11 @@ fn run_serve(joblist: &std::path::Path, args: &Args) -> ExitCode {
                 out.output.steps.len(),
                 outcome.wall_s,
             );
+            if let Some(tune) = &out.tune {
+                for line in tune.summary_lines() {
+                    println!("           {line}");
+                }
+            }
         }
     }
 
@@ -397,6 +414,9 @@ fn main() -> ExitCode {
     if let Some(eps) = args.eps {
         deck.control.opts.eps = eps;
     }
+    if let Some(seed) = args.tune_seed {
+        deck.control.tune_seed = seed;
+    }
     // CLI --threads overrides the deck's tl_num_threads, which overrides
     // the ambient TEA_NUM_THREADS / core count
     if args.threads.is_some() {
@@ -416,10 +436,14 @@ fn main() -> ExitCode {
         }
     };
 
-    let precision_label = solver_registry()
-        .resolve(&effective_solver)
-        .map(|m| m.precision.label())
-        .unwrap_or("f64");
+    let precision_label = if effective_solver == "auto" {
+        "auto"
+    } else {
+        solver_registry()
+            .resolve(&effective_solver)
+            .map(|m| m.precision.label())
+            .unwrap_or("f64")
+    };
     println!(
         "tealeaf: {}x{} cells, solver {}, precision {}, {} steps, {} rank(s), {} worker thread(s)",
         deck.problem.x_cells,
@@ -506,6 +530,13 @@ fn main() -> ExitCode {
         tea_core::par_threshold()
     );
     println!("  wall time        {elapsed:.3}s");
+
+    if let Some(tune) = &output.tune {
+        println!("\nauto-tuning:");
+        for line in tune.summary_lines() {
+            println!("  {line}");
+        }
+    }
 
     if let (Some(prefix), Some(u)) = (&args.out, &output.final_u) {
         let ppm = PathBuf::from(format!("{prefix}.ppm"));

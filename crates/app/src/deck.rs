@@ -64,6 +64,9 @@ pub struct Control {
     pub ppcg_halo_depth: usize,
     /// Eigenvalue-estimation CG presteps (Chebyshev/PPCG).
     pub presteps: u64,
+    /// Seed for the `auto` pseudo-solver's candidate search (deck
+    /// `tl_tune_seed`, CLI `--tune-seed`). Ignored by concrete solvers.
+    pub tune_seed: u64,
     /// Print a field summary every this many steps (0 = only at end).
     pub summary_frequency: u64,
     /// Worker threads for the kernel sweeps (`None` = leave the runtime
@@ -84,6 +87,7 @@ impl Default for Control {
             ppcg_inner_steps: 16,
             ppcg_halo_depth: 1,
             presteps: 30,
+            tune_seed: 0,
             summary_frequency: 10,
             threads: None,
         }
@@ -104,15 +108,30 @@ impl Control {
     /// # Errors
     /// A message naming the solver and precision when no variant is
     /// registered (e.g. `tl_precision=mixed` with the serial-only AMG
-    /// baseline).
+    /// baseline), or listing the conflicting keys when the deck pins
+    /// an axis the `auto` tuner owns (`tl_solver=auto` with
+    /// `tl_precision=...`).
     pub fn effective_solver(&self) -> Result<String, String> {
+        let resolved = crate::solver_registry()
+            .resolve(&self.solver)
+            .map_err(|e| e.to_string())?;
+        if resolved.name == "auto" {
+            // the auto-tuner explores the precision axis itself: an
+            // explicit override is a conflict, not a routing request
+            if let Some(p) = self.precision {
+                return Err(format!(
+                    "conflicting keys: tl_solver={} and tl_precision={} — the auto-tuner \
+                     explores the precision axis itself; remove tl_precision",
+                    self.solver,
+                    p.label()
+                ));
+            }
+            return Ok(resolved.name.to_string());
+        }
         match self.precision {
             Some(p) => tea_core::solver_for_precision(&self.solver, p, crate::solver_registry())
                 .map_err(|e| e.to_string()),
-            None => crate::solver_registry()
-                .resolve(&self.solver)
-                .map(|m| m.name.to_string())
-                .map_err(|e| e.to_string()),
+            None => Ok(resolved.name.to_string()),
         }
     }
 
@@ -124,6 +143,7 @@ impl Control {
             inner_steps: self.ppcg_inner_steps,
             halo_depth: self.ppcg_halo_depth,
             presteps: self.presteps,
+            tune_seed: self.tune_seed,
             ..SolverParams::default()
         }
     }
@@ -231,6 +251,7 @@ pub fn parse_deck(text: &str) -> Result<Deck, String> {
             "tl_ppcg_inner_steps" => control.ppcg_inner_steps = ival()? as usize,
             "tl_ppcg_halo_depth" => control.ppcg_halo_depth = ival()? as usize,
             "tl_ch_cg_presteps" => control.presteps = ival()?,
+            "tl_tune_seed" => control.tune_seed = ival()?,
             "tl_num_threads" => control.threads = Some((ival()? as usize).max(1)),
             "tl_coefficient" => {
                 coefficient = match value {
@@ -265,7 +286,8 @@ pub fn parse_deck(text: &str) -> Result<Deck, String> {
 
     // surface solver × precision conflicts at parse time (order of
     // tl_solver / tl_precision in the deck must not matter, so this
-    // check runs once both are known)
+    // check runs once both are known; it also rejects tl_solver=auto
+    // combined with tl_precision, which pins an axis the tuner owns)
     control.effective_solver()?;
 
     let problem = Problem {
@@ -415,6 +437,9 @@ pub fn render_deck(deck: &Deck) -> String {
     out.push_str(&format!("tl_ppcg_inner_steps={}\n", c.ppcg_inner_steps));
     out.push_str(&format!("tl_ppcg_halo_depth={}\n", c.ppcg_halo_depth));
     out.push_str(&format!("tl_ch_cg_presteps={}\n", c.presteps));
+    if c.tune_seed != 0 {
+        out.push_str(&format!("tl_tune_seed={}\n", c.tune_seed));
+    }
     out.push_str(&format!("summary_frequency={}\n", c.summary_frequency));
     out.push_str("*endtea\n");
     out
@@ -555,6 +580,38 @@ tl_coefficient=1
         parse_deck(&format!(
             "*tea\nstate 1 density=1 energy=1\nx_cells=8\ny_cells=8\n{lines}\n*endtea"
         ))
+    }
+
+    #[test]
+    fn tl_solver_auto_parses_and_conflicts_with_tl_precision() {
+        // plain auto (and its aliases) parses and resolves
+        let deck = mini_deck("tl_solver=auto").unwrap();
+        assert_eq!(deck.control.effective_solver().unwrap(), "auto");
+        let deck = mini_deck("tl_solver=autotune").unwrap();
+        assert_eq!(deck.control.effective_solver().unwrap(), "auto");
+        // combining it with an explicit precision is a conflict naming
+        // both keys, in either key order
+        let e = mini_deck("tl_solver=auto\ntl_precision=mixed").unwrap_err();
+        assert!(e.contains("tl_solver=auto"), "{e}");
+        assert!(e.contains("tl_precision=mixed"), "{e}");
+        let e2 = mini_deck("tl_precision=f32\ntl_solver=auto").unwrap_err();
+        assert!(e2.contains("tl_solver=auto"), "{e2}");
+        assert!(e2.contains("tl_precision=f32"), "{e2}");
+        // aliases are normalised at parse time, so the message reports
+        // the canonical name
+        let e3 = mini_deck("tl_solver=tune\ntl_precision=mixed").unwrap_err();
+        assert!(e3.contains("tl_solver=auto"), "{e3}");
+    }
+
+    #[test]
+    fn tl_tune_seed_parses_and_roundtrips() {
+        assert_eq!(mini_deck("tl_solver=cg").unwrap().control.tune_seed, 0);
+        let deck = mini_deck("tl_solver=auto\ntl_tune_seed=42").unwrap();
+        assert_eq!(deck.control.tune_seed, 42);
+        assert_eq!(deck.control.solver_params().tune_seed, 42);
+        let re = parse_deck(&render_deck(&deck)).unwrap();
+        assert_eq!(re.control.tune_seed, 42);
+        assert_eq!(re.control.solver, "auto");
     }
 
     #[test]

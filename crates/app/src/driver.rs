@@ -23,6 +23,7 @@ use tea_core::{
     SolveSession, SolveStatus, SolveTrace, Tile, TileBounds, TileOperator, Workspace,
 };
 use tea_mesh::{timestep_scalings, Coefficients, Decomposition2D, Field2D, Mesh2D};
+use tea_tune::TuneLog;
 
 /// Why a deck could not be driven. Until this type existed the driver
 /// panicked on malformed decks, which is unacceptable once a serving
@@ -128,6 +129,8 @@ pub struct RankOutput {
     pub trace: SolveTrace,
     /// Accumulated multigrid protocol (AMG runs only).
     pub mg_trace: Option<MgTrace>,
+    /// Auto-tuning decision record (`tl_solver=auto` runs only).
+    pub tune: Option<TuneLog>,
     /// Final gathered temperature field (rank 0 only).
     pub final_u: Option<Field2D>,
     /// Final summary.
@@ -272,10 +275,7 @@ pub fn run_rank<C: Communicator + ?Sized>(
 
     // solver-specific diagnostics come back type-erased through the
     // trait hook; the driver only knows the payload types it reports
-    let mg_trace = solver
-        .take_diagnostics()
-        .and_then(|d| d.downcast::<MgTrace>().ok())
-        .map(|t| *t);
+    let (mg_trace, tune) = split_diagnostics(solver.take_diagnostics());
 
     // snapshot the counters before the diagnostic gather below, so the
     // record reflects the solver protocol's traffic, not output shipping
@@ -297,10 +297,27 @@ pub fn run_rank<C: Communicator + ?Sized>(
         steps,
         trace,
         mg_trace,
+        tune,
         final_u,
         final_summary,
         comm: comm_stats,
     })
+}
+
+/// Sorts a solver's type-erased diagnostics into the payload types the
+/// driver reports: the AMG V-cycle trace or the auto-tuner's decision
+/// log.
+fn split_diagnostics(diag: Option<Box<dyn std::any::Any>>) -> (Option<MgTrace>, Option<TuneLog>) {
+    match diag {
+        None => (None, None),
+        Some(d) => match d.downcast::<MgTrace>() {
+            Ok(mg) => (Some(*mg), None),
+            Err(d) => match d.downcast::<TuneLog>() {
+                Ok(tune) => (None, Some(*tune)),
+                Err(_) => (None, None),
+            },
+        },
+    }
 }
 
 /// Applies the deck's thread-count override (if any) to the kernel
@@ -406,7 +423,15 @@ pub fn run_serial_session_with(
     let decomp = Decomposition2D::with_grid(problem.x_cells, problem.y_cells, 1, 1);
     let mesh = Mesh2D::new(&decomp, 0, problem.extent);
     let (nx, ny) = (mesh.nx(), mesh.ny());
-    let halo = spec.params.halo_depth.max(1);
+    // the *solver's* halo depth, not the deck's matrix-powers knob: the
+    // auto pseudo-solver races deep-halo candidates regardless of the
+    // deck's `tl_ppcg_halo_depth`, so fields must carry its full depth
+    let halo = registry
+        .create(&solver_name, &spec.params)
+        .map_err(|e| DriverError::Solver(e.to_string()))?
+        .halo_depth()
+        .max(spec.params.halo_depth)
+        .max(1);
 
     // same layout as run_rank: coefficients one layer deeper than the
     // solver halo so Diagonal preconditioning works at full depth
@@ -494,10 +519,7 @@ pub fn run_serial_session_with(
         });
     }
 
-    let mg_trace = session
-        .take_diagnostics()
-        .and_then(|d| d.downcast::<MgTrace>().ok())
-        .map(|t| *t);
+    let (mg_trace, tune) = split_diagnostics(session.take_diagnostics());
     let comm_stats = session.comm_stats();
     let final_summary = field_summary(&mesh, &density, &energy, &u, &summary_comm);
     let final_u = {
@@ -512,6 +534,7 @@ pub fn run_serial_session_with(
         steps,
         trace,
         mg_trace,
+        tune,
         final_u,
         final_summary,
         comm: comm_stats,

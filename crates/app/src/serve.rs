@@ -8,8 +8,9 @@
 //! Fault tolerance follows the `tea-serve` contract: each job runs
 //! under panic isolation with per-attempt deadlines and bounded
 //! retries, and a solve that diverges (non-finite residual) escalates
-//! along the precision ladder
-//! ([`tea_serve::next_precision_rung`]: `cg_f32 → mixed_cg → cg`)
+//! along the precision ladder owned by the tea-tune policy layer
+//! ([`tea_tune::EscalationPolicy`]: `cg_f32 → mixed_cg → cg`),
+//! recording each abandoned rung into the outcome's [`TuneLog`],
 //! before the job is declared failed. A deterministic
 //! [`tea_fault::FaultPlan`] can be armed to inject faults — only on a
 //! job's *first* attempt and *first* ladder rung, so recovery is
@@ -22,7 +23,8 @@ use crate::deck::Deck;
 use crate::driver::{run_serial_session_with, DriverError, RankOutput};
 use tea_core::{SetupCache, SolveControls, SolveProbe};
 use tea_fault::{FaultKind, FaultPlan, NanPoison};
-use tea_serve::{next_precision_rung, serve_with, JobCtx, JobError, ServeOptions, ServeReport};
+use tea_serve::{serve_with, JobCtx, JobError, ServeOptions, ServeReport};
+use tea_tune::{EscalationPolicy, TuneLog};
 
 /// One deck to run, with a label for error reporting (typically the
 /// deck's file path or a synthetic sweep name).
@@ -46,6 +48,10 @@ pub struct DeckOutcome {
     /// Solvers abandoned to divergence before `solver` succeeded, in
     /// escalation order. Empty on the happy path.
     pub escalations: Vec<String>,
+    /// Tuning record: ladder escalations taken for this job, followed
+    /// by the auto-tuner's race decisions when the deck ran
+    /// `tl_solver=auto`. `None` when neither happened.
+    pub tune: Option<TuneLog>,
 }
 
 /// Drains `jobs` through the session driver on a worker pool and
@@ -85,6 +91,7 @@ pub fn serve_decks_with_plan(
     let cold_misses = AtomicU64::new(0);
     let use_cache = opts.cache;
     let registry = crate::solver_registry();
+    let policy = EscalationPolicy::new(registry);
     let run = |ctx: JobCtx<'_>, DeckJob { label, deck }: &DeckJob| {
         let fault = plan.and_then(|p| {
             if ctx.attempt == 0 {
@@ -110,6 +117,7 @@ pub fn serve_decks_with_plan(
         deck.control.precision = None;
 
         let mut escalations: Vec<String> = Vec::new();
+        let mut ladder = TuneLog::default();
         loop {
             // the injected probe arms only on the first rung: the
             // escalated re-solve must run clean so the ladder recovers
@@ -138,18 +146,36 @@ pub fn serve_decks_with_plan(
             };
             match result {
                 Ok(output) => {
+                    // merge the job-level ladder walk with the
+                    // auto-tuner's race record (ladder first: its
+                    // decisions chronologically precede the race that
+                    // finally converged)
+                    let tune = match (&output.tune, ladder.decisions.is_empty()) {
+                        (None, true) => None,
+                        (inner, _) => {
+                            let mut merged = ladder.clone();
+                            if let Some(inner) = inner {
+                                merged.seed = inner.seed;
+                                merged.winner = inner.winner.clone();
+                                merged.reuses = inner.reuses;
+                                merged.decisions.extend(inner.decisions.iter().cloned());
+                            }
+                            Some(merged)
+                        }
+                    };
                     return Ok(DeckOutcome {
                         output,
                         solver: deck.control.solver,
                         escalations,
-                    })
+                        tune,
+                    });
                 }
                 Err(DriverError::Cancelled { .. }) => return Err(JobError::TimedOut),
                 Err(DriverError::Diverged {
                     solver, iteration, ..
                 }) => {
                     escalations.push(solver);
-                    match next_precision_rung(&deck.control.solver, registry) {
+                    match policy.escalate(&deck.control.solver, iteration, &mut ladder) {
                         Some(next) => {
                             deck.control.solver = next;
                             continue;

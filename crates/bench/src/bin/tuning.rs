@@ -1,0 +1,242 @@
+//! Auto-tuning acceptance bench: `tl_solver=auto` vs the best hand.
+//!
+//! For each deck in a suite spanning mesh sizes, tolerances, aspect
+//! ratios, coefficient recipes and material contrasts, this harness
+//! runs **every** hand-picked (solver × precision × halo depth)
+//! configuration from the tuner's own candidate set, scores each by
+//! iteration-weighted cost (steady-state iterations × predicted
+//! bytes/iteration, the same model the tuner's prior uses), then runs
+//! `auto` and asserts the adopted winner's steady-state cost lands
+//! within 10% of the best hand-picked configuration — i.e. the tuner
+//! finds the design point a human sweep would have found, without the
+//! sweep. Results go to `--out` (default `BENCH_PR8.json`).
+//!
+//! `--quick` shrinks the meshes and steps for the CI smoke leg;
+//! the 10% contract is asserted in both modes.
+
+use std::io::Write;
+
+use tea_app::{crooked_pipe_deck, run_serial, solver_registry, Deck};
+use tea_mesh::{crooked_pipe_rect, Coefficient};
+use tea_tune::plan_candidates;
+
+/// Tolerated overshoot of the best hand-picked cost: the race judges
+/// candidates on a cold first solve while the sweep scores the warm
+/// steady state, so a strict equality would be flaky by design.
+const TOLERANCE: f64 = 1.10;
+
+struct Args {
+    decks: usize,
+    quick: bool,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        decks: 6,
+        quick: false,
+        seed: 0,
+        out: "BENCH_PR8.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--decks" => args.decks = value().parse().expect("--decks"),
+            "--quick" => args.quick = true,
+            "--seed" => args.seed = value().parse().expect("--seed"),
+            "--out" => args.out = value(),
+            other => panic!("unknown option '{other}'"),
+        }
+    }
+    args
+}
+
+/// The deck suite: named variations of the crooked pipe that pull the
+/// best design point in different directions (loose tolerances favour
+/// reduced precision, deep halos only pay off on stretched meshes,
+/// recip-conductivity and contrast changes move the spectrum).
+fn build_suite(quick: bool) -> Vec<(String, Deck)> {
+    let size = |n: usize| if quick { (n / 2).max(12) } else { n };
+    let steps = if quick { 1 } else { 2 };
+    let mut suite = Vec::new();
+    let mut push = |name: &str, mut deck: Deck, eps: f64| {
+        deck.control.end_step = steps;
+        deck.control.summary_frequency = 0;
+        deck.control.opts.eps = eps;
+        suite.push((name.to_string(), deck));
+    };
+
+    push("pipe-loose", crooked_pipe_deck(size(16), "cg"), 1e-6);
+    push("pipe-tight", crooked_pipe_deck(size(24), "cg"), 1e-10);
+    push("pipe-mid", crooked_pipe_deck(size(32), "cg"), 1e-8);
+
+    let mut stretched = crooked_pipe_deck(size(16), "cg");
+    stretched.problem = crooked_pipe_rect(size(48), size(16));
+    push("pipe-stretched", stretched, 1e-8);
+
+    let mut recip = crooked_pipe_deck(size(24), "cg");
+    recip.problem.coefficient = Coefficient::RecipConductivity;
+    push("pipe-recip", recip, 1e-8);
+
+    let mut contrast = crooked_pipe_deck(size(20), "cg");
+    for s in &mut contrast.problem.states {
+        s.density *= 10.0; // harsher wall/pipe contrast, worse spectrum
+    }
+    push("pipe-contrast", contrast, 1e-8);
+
+    suite
+}
+
+/// Steady-state iterations of a run: the last step's count (earlier
+/// steps pay one-off costs — eigen presteps, the auto race itself).
+fn steady_iterations(deck: &Deck) -> Option<(u64, tea_app::RankOutput)> {
+    match run_serial(deck) {
+        Ok(out) if out.steps.iter().all(|s| s.converged) => {
+            let iters = out.steps.last()?.iterations;
+            Some((iters, out))
+        }
+        _ => None, // diverged, stalled or capped: not a usable config
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    tea_core::set_num_threads(1);
+    let registry = solver_registry();
+    let suite = build_suite(args.quick);
+    let n_decks = args.decks.min(suite.len());
+    println!(
+        "tuning: {} deck(s), seed {}, {} mode, tolerance {:.0}%",
+        n_decks,
+        args.seed,
+        if args.quick { "quick" } else { "full" },
+        (TOLERANCE - 1.0) * 100.0,
+    );
+
+    let mut rows = Vec::new();
+    let mut max_ratio = 0.0f64;
+    for (name, base) in suite.into_iter().take(n_decks) {
+        let mut params = base.control.solver_params();
+        params.tune_seed = args.seed;
+        let candidates = plan_candidates(registry, &params, args.seed);
+
+        // the hand-picked sweep: every candidate config, scored at
+        // steady state by the same bytes/iteration model the tuner uses
+        let mut best: Option<(String, u64, f64)> = None;
+        let mut converged = 0usize;
+        for c in &candidates {
+            let mut deck = base.clone();
+            deck.control.solver = c.solver.clone();
+            deck.control.ppcg_halo_depth = c.halo_depth;
+            if let Some((iters, _)) = steady_iterations(&deck) {
+                converged += 1;
+                let cost = iters as f64 * c.bytes_per_iteration;
+                if best.as_ref().is_none_or(|(_, _, b)| cost < *b) {
+                    best = Some((c.label(), iters, cost));
+                }
+            }
+        }
+        let (best_label, best_iters, best_cost) =
+            best.expect("at least one hand-picked config must converge");
+
+        // auto on the same deck
+        let mut deck = base.clone();
+        deck.control.solver = "auto".into();
+        deck.control.tune_seed = args.seed;
+        let (auto_iters, out) = steady_iterations(&deck).expect("auto must converge");
+        let tune = out.tune.expect("auto leaves a tune log");
+        let winner = tune.winner.clone().expect("auto adopts a winner");
+        let winner_bytes = candidates
+            .iter()
+            .find(|c| c.label() == winner)
+            .map(|c| c.bytes_per_iteration)
+            .expect("winner comes from the candidate set");
+        let auto_cost = auto_iters as f64 * winner_bytes;
+        let ratio = auto_cost / best_cost;
+        max_ratio = max_ratio.max(ratio);
+
+        println!(
+            "  {name:<16} best {best_label:<12} {best_iters:>5} it  {best_cost:>10.3e} | \
+             auto {winner:<12} {auto_iters:>5} it  {auto_cost:>10.3e}  ratio {ratio:.3} \
+             ({converged}/{} configs converged)",
+            candidates.len(),
+        );
+        assert!(
+            ratio <= TOLERANCE,
+            "deck {name}: auto cost {auto_cost:.3e} ({winner}) exceeds {TOLERANCE}x the best \
+             hand-picked {best_cost:.3e} ({best_label})"
+        );
+        rows.push((
+            name,
+            base.problem.x_cells,
+            base.problem.y_cells,
+            base.control.opts.eps,
+            best_label,
+            best_iters,
+            best_cost,
+            winner,
+            auto_iters,
+            auto_cost,
+            ratio,
+            converged,
+            candidates.len(),
+        ));
+    }
+
+    let mut f = std::fs::File::create(&args.out).expect("create output file");
+    writeln!(f, "{{").unwrap();
+    writeln!(f, "  \"bench\": \"tuning\",").unwrap();
+    writeln!(f, "  \"seed\": {},", args.seed).unwrap();
+    writeln!(f, "  \"quick\": {},", args.quick).unwrap();
+    writeln!(f, "  \"tolerance\": {TOLERANCE},").unwrap();
+    writeln!(f, "  \"max_ratio\": {max_ratio:.4},").unwrap();
+    writeln!(f, "  \"decks\": [").unwrap();
+    let n = rows.len();
+    for (
+        i,
+        (
+            name,
+            nx,
+            ny,
+            eps,
+            best_label,
+            best_iters,
+            best_cost,
+            winner,
+            auto_iters,
+            auto_cost,
+            ratio,
+            converged,
+            total,
+        ),
+    ) in rows.into_iter().enumerate()
+    {
+        writeln!(f, "    {{").unwrap();
+        writeln!(f, "      \"name\": \"{name}\",").unwrap();
+        writeln!(f, "      \"cells\": [{nx}, {ny}],").unwrap();
+        writeln!(f, "      \"eps\": {eps:e},").unwrap();
+        writeln!(f, "      \"configs_converged\": {converged},").unwrap();
+        writeln!(f, "      \"configs_total\": {total},").unwrap();
+        writeln!(
+            f,
+            "      \"best\": {{\"config\": \"{best_label}\", \"iterations\": {best_iters}, \
+             \"cost\": {best_cost:.3}}},"
+        )
+        .unwrap();
+        writeln!(
+            f,
+            "      \"auto\": {{\"winner\": \"{winner}\", \"iterations\": {auto_iters}, \
+             \"cost\": {auto_cost:.3}, \"ratio\": {ratio:.4}}}"
+        )
+        .unwrap();
+        writeln!(f, "    }}{}", if i + 1 < n { "," } else { "" }).unwrap();
+    }
+    writeln!(f, "  ]").unwrap();
+    writeln!(f, "}}").unwrap();
+    println!(
+        "max ratio {max_ratio:.3} (tolerance {TOLERANCE}); wrote {}",
+        args.out
+    );
+}

@@ -96,6 +96,10 @@ pub struct SolverParams {
     /// (Chebyshev, Richardson): one global reduction per this many
     /// iterations.
     pub check_interval: u64,
+    /// Seed for the `auto` pseudo-solver's deterministic candidate
+    /// search (deck `tl_tune_seed`, CLI `--tune-seed`). Ignored by the
+    /// concrete methods.
+    pub tune_seed: u64,
 }
 
 impl Default for SolverParams {
@@ -107,6 +111,7 @@ impl Default for SolverParams {
             presteps: 30,
             eigen_safety: 0.1,
             check_interval: 10,
+            tune_seed: 0,
         }
     }
 }
@@ -194,6 +199,10 @@ pub struct SolverMeta {
     /// The method's arithmetic-precision policy (`tl_precision` resolves
     /// solver names through this).
     pub precision: Precision,
+    /// Whether the auto-tuner may pick this method as a candidate.
+    /// `false` for diagnostic baselines (Jacobi), serial-only methods
+    /// (AMG) and the `auto` pseudo-solver itself.
+    pub tunable: bool,
 }
 
 /// Why a solver could not be resolved or run.
@@ -333,6 +342,7 @@ mod tests {
         assert_eq!(p.presteps, 30);
         assert_eq!(p.eigen_safety, 0.1);
         assert_eq!(p.check_interval, 10);
+        assert_eq!(p.tune_seed, 0);
     }
 
     #[test]

@@ -80,12 +80,16 @@ pub fn solver_for_precision(
     let family = match meta.name {
         "mixed_cg" | "cg_f32" => "cg",
         "mixed_ppcg" => "ppcg",
+        "mixed_chebyshev" => "chebyshev",
+        "mixed_richardson" => "richardson",
         other => other,
     };
     let target = match (family, precision) {
         (_, Precision::F64) => Some(family),
         ("cg" | "cg_fused", Precision::Mixed) => Some("mixed_cg"),
         ("ppcg", Precision::Mixed) => Some("mixed_ppcg"),
+        ("chebyshev", Precision::Mixed) => Some("mixed_chebyshev"),
+        ("richardson", Precision::Mixed) => Some("mixed_richardson"),
         ("cg" | "cg_fused", Precision::F32) => Some("cg_f32"),
         _ => None,
     };
@@ -95,8 +99,8 @@ pub fn solver_for_precision(
             solver: meta.name.to_string(),
             precision,
             reason: format!(
-                "no {} variant of '{}' is registered (variants cover the cg, cg_fused \
-                 and ppcg families)",
+                "no {} variant of '{}' is registered (variants cover the cg, cg_fused, \
+                 ppcg, chebyshev and richardson families)",
                 precision.label(),
                 meta.name
             ),
@@ -709,6 +713,407 @@ fn cheb_inner_f32<C: Communicator + ?Sized>(
     f.z.convert_into(&mut ws.z);
 }
 
+/// The inner m-step damped Richardson solve of `A z ≈ r` from `z = 0`,
+/// entirely in `f32`: `z += ω M⁻¹ r̃` with the inner residual `r̃`
+/// maintained incrementally (`r̃ −= A·(ω M⁻¹ r̃)`), mirroring the
+/// depth-1 schedule of [`cheb_inner_f32`] with the Chebyshev recurrence
+/// replaced by the fixed Chebyshev-optimal damping.
+#[allow(clippy::too_many_arguments)]
+fn rich_inner_f32<C: Communicator + ?Sized>(
+    tile: &Tile<'_, C>,
+    op32: &TileOperator<f32>,
+    precon32: &Preconditioner<f32>,
+    ws: &mut Workspace,
+    f: &mut InnerWs32,
+    omega: f64,
+    m: usize,
+    trace: &mut SolveTrace,
+) {
+    let bounds = &op32.bounds;
+    vector::zero(&mut f.z, bounds, 1, trace);
+    trace.vector_ops.record(0);
+    ws.r.convert_into(&mut f.rr);
+    let omega32 = f32::from_f64(omega);
+
+    for _ in 0..m {
+        precon32.apply(&f.rr, &mut f.tmp, bounds, 0, trace);
+        vector::scaled_copy(&mut f.sd, &f.tmp, omega32, bounds, 0, trace);
+        tile.exchange(&mut [&mut f.sd], 1, trace);
+        op32.apply(&f.sd, &mut f.w, 0, trace);
+        vector::axpy(&mut f.z, 1.0f32, &f.sd, bounds, 0, trace);
+        vector::axpy(&mut f.rr, -1.0f32, &f.w, bounds, 0, trace);
+    }
+
+    trace.vector_ops.record(0);
+    f.z.convert_into(&mut ws.z);
+}
+
+/// Which `f32` acceleration runs inside the shared mixed refinement
+/// outer loop of [`mixed_accel_solve`].
+#[derive(Debug, Clone, Copy)]
+enum InnerAccel {
+    Chebyshev,
+    Richardson,
+}
+
+/// The shared engine behind [`MixedChebyshev`] and [`MixedRichardson`]:
+/// a `f64` CG-Lanczos prelude for the spectrum, then iterative
+/// refinement — each outer iteration runs `m` steps of the `f32`
+/// acceleration against the demoted `f64` residual, promotes the
+/// correction, and re-derives the residual in `f64`. The outer update
+/// and the convergence test never leave `f64`, so the solve reaches
+/// `f64` tolerances (same argument as [`MixedPpcg`]).
+#[allow(clippy::too_many_arguments)]
+fn mixed_accel_solve<C: Communicator + ?Sized>(
+    tile: &Tile<'_, C>,
+    u: &mut Field2D,
+    b: &Field2D,
+    precon: &Preconditioner,
+    op32: &TileOperator<f32>,
+    precon32: &Preconditioner<f32>,
+    inner32: &mut InnerWs32,
+    ws: &mut Workspace,
+    opts: SolveOpts,
+    presteps: u64,
+    eigen_safety: f64,
+    m: usize,
+    accel: InnerAccel,
+    label: &str,
+    hint: Option<EigenEstimate>,
+) -> SolveResult {
+    let bounds = &tile.op.bounds;
+
+    // Phase 1: f64 plain-CG presteps for the spectrum of M⁻¹A.
+    let (pre, coeffs) = cg_solve_recording(tile, u, b, precon, ws, opts, presteps.max(1));
+    if pre.converged || pre.status.is_diverged() || pre.status.is_cancelled() {
+        return pre;
+    }
+    let mut trace = pre.trace;
+    trace.solver = label.to_string();
+    // a pinned estimate (session replay of identical input) skips only
+    // the Lanczos analysis; the presteps above still advanced u
+    let est: EigenEstimate = hint.unwrap_or_else(|| {
+        let (al, be) = coeffs.for_lanczos();
+        estimate_from_cg(al, be, eigen_safety)
+    });
+    trace.eigen_bounds = Some((est.min, est.max));
+    let consts = ChebyConstants::from_estimate(est);
+    let cheb = consts.coefficients(m);
+    let omega = 2.0 / (est.min + est.max);
+
+    // Phase 2: f64 refinement loop around the f32 acceleration blocks.
+    tile.exchange(&mut [u], 1, &mut trace);
+    tile.op.residual(u, b, &mut ws.r, 0, &mut trace);
+
+    let initial_residual = pre.initial_residual;
+    let target = opts.eps * initial_residual;
+    let mut iterations = pre.iterations;
+    let mut converged = false;
+    let mut status = SolveStatus::IterationLimit;
+    let mut final_residual = pre.final_residual;
+
+    while iterations < opts.max_iters {
+        if tile.controls.should_stop() {
+            status = SolveStatus::Cancelled {
+                iteration: iterations,
+            };
+            break;
+        }
+        iterations += 1;
+        trace.outer_iterations += 1;
+        tile.controls.poke(iterations, u, &mut ws.r);
+
+        match accel {
+            InnerAccel::Chebyshev => cheb_inner_f32(
+                tile, op32, precon32, ws, inner32, &consts, &cheb, 1, &mut trace,
+            ),
+            InnerAccel::Richardson => {
+                rich_inner_f32(tile, op32, precon32, ws, inner32, omega, m, &mut trace)
+            }
+        }
+        trace.inner_iterations += m as u64;
+
+        vector::axpy(u, 1.0, &ws.z, bounds, 0, &mut trace);
+        tile.exchange(&mut [u], 1, &mut trace);
+        tile.op.residual(u, b, &mut ws.r, 0, &mut trace);
+
+        // one reduction per m-step block: the f64 convergence control
+        let rr_local = vector::dot_local(&ws.r, &ws.r, bounds, &mut trace);
+        let rr = tile.reduce_sum(rr_local, &mut trace);
+        if !rr.is_finite() {
+            status = SolveStatus::Diverged {
+                iteration: iterations,
+            };
+            final_residual = f64::NAN;
+            break;
+        }
+        final_residual = rr.max(0.0).sqrt();
+        if final_residual <= target {
+            converged = true;
+            status = SolveStatus::Converged;
+            break;
+        }
+    }
+
+    SolveResult {
+        converged,
+        iterations,
+        initial_residual,
+        final_residual,
+        status,
+        trace,
+    }
+}
+
+/// Chebyshev acceleration with every polynomial sweep in `f32` — the
+/// `"mixed_chebyshev"` registry entry.
+///
+/// Each outer iteration demotes the current `f64` residual, runs
+/// `check_interval` Chebyshev steps of `A z ≈ r` in `f32` (the same
+/// inner engine as [`MixedPpcg`], at depth 1), promotes the correction
+/// and re-derives the residual in `f64`. The CG presteps, the Lanczos
+/// eigenvalue estimate and the convergence control all stay in `f64`,
+/// so the method reaches `f64` tolerances while the bandwidth-dominant
+/// sweeps move half the bytes.
+#[derive(Debug, Clone, Default)]
+pub struct MixedChebyshev {
+    kind: PreconKind,
+    presteps: u64,
+    eigen_safety: f64,
+    inner_steps: usize,
+    opts: SolveOpts,
+    precon: Option<Preconditioner>,
+    op32: Option<TileOperator<f32>>,
+    precon32: Option<Preconditioner<f32>>,
+    inner32: Option<InnerWs32>,
+    hint: Option<EigenEstimate>,
+    last_est: Option<EigenEstimate>,
+}
+
+impl MixedChebyshev {
+    /// A mixed-precision Chebyshev solver with preconditioner `kind`,
+    /// `presteps` CG presteps and `inner_steps` f32 sweeps per `f64`
+    /// residual refresh.
+    pub fn new(kind: PreconKind, presteps: u64, eigen_safety: f64, inner_steps: usize) -> Self {
+        MixedChebyshev {
+            kind,
+            presteps,
+            eigen_safety,
+            inner_steps: inner_steps.max(1),
+            opts: SolveOpts::default(),
+            precon: None,
+            op32: None,
+            precon32: None,
+            inner32: None,
+            hint: None,
+            last_est: None,
+        }
+    }
+
+    /// Registry factory: consumes `precon`, `presteps`, `eigen_safety`
+    /// and `check_interval` (as the f32 block length).
+    pub fn from_params(params: &SolverParams) -> Self {
+        MixedChebyshev::new(
+            params.precon,
+            params.presteps,
+            params.eigen_safety,
+            params.check_interval.max(1) as usize,
+        )
+    }
+
+    fn assemble(&mut self, ctx: &SolveContext<'_>) {
+        let op32: TileOperator<f32> = ctx.tile.op.convert();
+        self.precon = Some(Preconditioner::setup(self.kind, ctx.tile.op, 0));
+        self.precon32 = Some(Preconditioner::setup(self.kind, &op32, 0));
+        self.op32 = Some(op32);
+    }
+}
+
+impl IterativeSolver for MixedChebyshev {
+    fn name(&self) -> &'static str {
+        "mixed_chebyshev"
+    }
+
+    fn label(&self) -> String {
+        "Chebyshev-mixed".into()
+    }
+
+    fn prepare(&mut self, ctx: &SolveContext<'_>, opts: &SolveOpts) {
+        self.opts = *opts;
+        self.assemble(ctx);
+    }
+
+    fn solve(
+        &mut self,
+        ctx: &SolveContext<'_>,
+        u: &mut Field2D,
+        b: &Field2D,
+        ws: &mut Workspace,
+        trace: &mut SolveTrace,
+    ) -> SolveResult {
+        if self.op32.is_none() {
+            self.assemble(ctx);
+        }
+        if !self.inner32.as_ref().is_some_and(|s| s.fits(&ws.r)) {
+            self.inner32 = Some(InnerWs32::matching(&ws.r));
+        }
+        let result = mixed_accel_solve(
+            ctx.tile,
+            u,
+            b,
+            self.precon.as_ref().expect("just prepared"),
+            self.op32.as_ref().expect("just prepared"),
+            self.precon32.as_ref().expect("just prepared"),
+            self.inner32.as_mut().expect("just sized"),
+            ws,
+            self.opts,
+            self.presteps,
+            self.eigen_safety,
+            self.inner_steps,
+            InnerAccel::Chebyshev,
+            "Chebyshev-mixed",
+            self.hint,
+        );
+        self.last_est = result
+            .trace
+            .eigen_bounds
+            .map(|(min, max)| EigenEstimate { min, max });
+        trace.merge(&result.trace);
+        result
+    }
+
+    fn set_eigen_hint(&mut self, hint: Option<EigenEstimate>) {
+        self.hint = hint;
+    }
+
+    fn last_eigen_estimate(&self) -> Option<EigenEstimate> {
+        self.last_est
+    }
+}
+
+/// Damped Richardson iteration with every sweep in `f32` — the
+/// `"mixed_richardson"` registry entry.
+///
+/// The outer structure matches [`MixedChebyshev`]: `check_interval`
+/// damped sweeps (`z += ω M⁻¹ r̃`, Chebyshev-optimal
+/// `ω = 2/(λmin+λmax)`) run in `f32` against the demoted residual, the
+/// promoted correction and the convergence test stay in `f64`.
+#[derive(Debug, Clone, Default)]
+pub struct MixedRichardson {
+    kind: PreconKind,
+    presteps: u64,
+    eigen_safety: f64,
+    inner_steps: usize,
+    opts: SolveOpts,
+    precon: Option<Preconditioner>,
+    op32: Option<TileOperator<f32>>,
+    precon32: Option<Preconditioner<f32>>,
+    inner32: Option<InnerWs32>,
+    hint: Option<EigenEstimate>,
+    last_est: Option<EigenEstimate>,
+}
+
+impl MixedRichardson {
+    /// A mixed-precision Richardson solver with preconditioner `kind`,
+    /// `presteps` CG presteps and `inner_steps` f32 sweeps per `f64`
+    /// residual refresh.
+    pub fn new(kind: PreconKind, presteps: u64, eigen_safety: f64, inner_steps: usize) -> Self {
+        MixedRichardson {
+            kind,
+            presteps,
+            eigen_safety,
+            inner_steps: inner_steps.max(1),
+            opts: SolveOpts::default(),
+            precon: None,
+            op32: None,
+            precon32: None,
+            inner32: None,
+            hint: None,
+            last_est: None,
+        }
+    }
+
+    /// Registry factory: consumes `precon`, `presteps`, `eigen_safety`
+    /// and `check_interval` (as the f32 block length).
+    pub fn from_params(params: &SolverParams) -> Self {
+        MixedRichardson::new(
+            params.precon,
+            params.presteps,
+            params.eigen_safety,
+            params.check_interval.max(1) as usize,
+        )
+    }
+
+    fn assemble(&mut self, ctx: &SolveContext<'_>) {
+        let op32: TileOperator<f32> = ctx.tile.op.convert();
+        self.precon = Some(Preconditioner::setup(self.kind, ctx.tile.op, 0));
+        self.precon32 = Some(Preconditioner::setup(self.kind, &op32, 0));
+        self.op32 = Some(op32);
+    }
+}
+
+impl IterativeSolver for MixedRichardson {
+    fn name(&self) -> &'static str {
+        "mixed_richardson"
+    }
+
+    fn label(&self) -> String {
+        "Richardson-mixed".into()
+    }
+
+    fn prepare(&mut self, ctx: &SolveContext<'_>, opts: &SolveOpts) {
+        self.opts = *opts;
+        self.assemble(ctx);
+    }
+
+    fn solve(
+        &mut self,
+        ctx: &SolveContext<'_>,
+        u: &mut Field2D,
+        b: &Field2D,
+        ws: &mut Workspace,
+        trace: &mut SolveTrace,
+    ) -> SolveResult {
+        if self.op32.is_none() {
+            self.assemble(ctx);
+        }
+        if !self.inner32.as_ref().is_some_and(|s| s.fits(&ws.r)) {
+            self.inner32 = Some(InnerWs32::matching(&ws.r));
+        }
+        let result = mixed_accel_solve(
+            ctx.tile,
+            u,
+            b,
+            self.precon.as_ref().expect("just prepared"),
+            self.op32.as_ref().expect("just prepared"),
+            self.precon32.as_ref().expect("just prepared"),
+            self.inner32.as_mut().expect("just sized"),
+            ws,
+            self.opts,
+            self.presteps,
+            self.eigen_safety,
+            self.inner_steps,
+            InnerAccel::Richardson,
+            "Richardson-mixed",
+            self.hint,
+        );
+        self.last_est = result
+            .trace
+            .eigen_bounds
+            .map(|(min, max)| EigenEstimate { min, max });
+        trace.merge(&result.trace);
+        result
+    }
+
+    fn set_eigen_hint(&mut self, hint: Option<EigenEstimate>) {
+        self.hint = hint;
+    }
+
+    fn last_eigen_estimate(&self) -> Option<EigenEstimate> {
+        self.last_est
+    }
+}
+
 /// The `f32` working set of [`CgF32`]: every vector of the recurrence,
 /// exchanged over the wire at native `f32` width.
 #[derive(Debug, Clone)]
@@ -1090,6 +1495,17 @@ mod tests {
     }
 
     #[test]
+    fn mixed_chebyshev_and_richardson_reach_f64_tolerance() {
+        for name in ["mixed_chebyshev", "mixed_richardson"] {
+            let (res, u, op, b) = run_named(name, 32, 1e-9, PreconKind::Diagonal, 1);
+            assert!(res.converged, "{name}: {res:?}");
+            assert!(residual_norm(&op, &u, &b) < 1e-7, "{name}");
+            // the damping/shift came from a recorded eigenvalue estimate
+            assert!(res.trace.eigen_bounds.is_some(), "{name}");
+        }
+    }
+
+    #[test]
     fn cg_f32_stalls_above_f64_tolerance_but_solves_loose_ones() {
         // loose tolerance: f32 CG converges fine
         let (loose, u, op, b) = run_named("cg_f32", 24, 1e-4, PreconKind::None, 1);
@@ -1115,10 +1531,14 @@ mod tests {
         assert_eq!(route("cg_fused", Precision::Mixed), "mixed_cg");
         assert_eq!(route("cg", Precision::F32), "cg_f32");
         assert_eq!(route("ppcg", Precision::Mixed), "mixed_ppcg");
+        assert_eq!(route("chebyshev", Precision::Mixed), "mixed_chebyshev");
+        assert_eq!(route("richardson", Precision::Mixed), "mixed_richardson");
         assert_eq!(route("mixed_cg", Precision::Mixed), "mixed_cg");
         assert_eq!(route("mixed_cg", Precision::F64), "cg");
         assert_eq!(route("cg_f32", Precision::F64), "cg");
         assert_eq!(route("mixed_ppcg", Precision::F64), "ppcg");
+        assert_eq!(route("mixed_chebyshev", Precision::F64), "chebyshev");
+        assert_eq!(route("mixed_richardson", Precision::F64), "richardson");
         // aliases route through canonical names
         assert_eq!(route("cppcg", Precision::Mixed), "mixed_ppcg");
     }

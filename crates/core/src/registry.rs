@@ -12,7 +12,7 @@ use crate::cg::Cg;
 use crate::cg_fused::CgFused;
 use crate::chebyshev::Chebyshev;
 use crate::jacobi::Jacobi;
-use crate::mixed::{CgF32, MixedCg, MixedPpcg};
+use crate::mixed::{CgF32, MixedCg, MixedChebyshev, MixedPpcg, MixedRichardson};
 use crate::ppcg::Ppcg;
 use crate::richardson::Richardson;
 
@@ -63,6 +63,7 @@ impl SolverRegistry {
                 deep_halo: false,
                 serial_only: false,
                 precision: Precision::F64,
+                tunable: false,
             },
             |p| Box::new(Jacobi::from_params(p)),
         );
@@ -76,6 +77,7 @@ impl SolverRegistry {
                 deep_halo: false,
                 serial_only: false,
                 precision: Precision::F64,
+                tunable: true,
             },
             |p| Box::new(Cg::from_params(p)),
         );
@@ -89,6 +91,7 @@ impl SolverRegistry {
                 deep_halo: false,
                 serial_only: false,
                 precision: Precision::F64,
+                tunable: true,
             },
             |p| Box::new(CgFused::from_params(p)),
         );
@@ -102,6 +105,7 @@ impl SolverRegistry {
                 deep_halo: false,
                 serial_only: false,
                 precision: Precision::F64,
+                tunable: true,
             },
             |p| Box::new(Chebyshev::from_params(p)),
         );
@@ -115,6 +119,7 @@ impl SolverRegistry {
                 deep_halo: true,
                 serial_only: false,
                 precision: Precision::F64,
+                tunable: true,
             },
             |p| Box::new(Ppcg::from_params(p)),
         );
@@ -128,6 +133,7 @@ impl SolverRegistry {
                 deep_halo: false,
                 serial_only: false,
                 precision: Precision::F64,
+                tunable: true,
             },
             |p| Box::new(Richardson::from_params(p)),
         );
@@ -141,6 +147,7 @@ impl SolverRegistry {
                 deep_halo: false,
                 serial_only: false,
                 precision: Precision::Mixed,
+                tunable: true,
             },
             |p| Box::new(MixedCg::from_params(p)),
         );
@@ -154,8 +161,37 @@ impl SolverRegistry {
                 deep_halo: true,
                 serial_only: false,
                 precision: Precision::Mixed,
+                tunable: true,
             },
             |p| Box::new(MixedPpcg::from_params(p)),
+        );
+        reg.register(
+            SolverMeta {
+                name: "mixed_chebyshev",
+                aliases: &["chebyshev_mixed", "cheby_mixed"],
+                summary: "Chebyshev acceleration with the polynomial sweeps entirely in f32",
+                preconditioned: true,
+                needs_eigen_estimate: true,
+                deep_halo: false,
+                serial_only: false,
+                precision: Precision::Mixed,
+                tunable: true,
+            },
+            |p| Box::new(MixedChebyshev::from_params(p)),
+        );
+        reg.register(
+            SolverMeta {
+                name: "mixed_richardson",
+                aliases: &["richardson_mixed"],
+                summary: "Richardson with the damped sweeps in f32 under f64 residual control",
+                preconditioned: true,
+                needs_eigen_estimate: true,
+                deep_halo: false,
+                serial_only: false,
+                precision: Precision::Mixed,
+                tunable: true,
+            },
+            |p| Box::new(MixedRichardson::from_params(p)),
         );
         reg.register(
             SolverMeta {
@@ -167,6 +203,7 @@ impl SolverRegistry {
                 deep_halo: false,
                 serial_only: false,
                 precision: Precision::F32,
+                tunable: true,
             },
             |p| Box::new(CgF32::from_params(p)),
         );
@@ -245,6 +282,8 @@ mod tests {
                 "richardson",
                 "mixed_cg",
                 "mixed_ppcg",
+                "mixed_chebyshev",
+                "mixed_richardson",
                 "cg_f32"
             ]
         );
@@ -296,6 +335,7 @@ mod tests {
                 deep_halo: false,
                 serial_only: false,
                 precision: Precision::F64,
+                tunable: false,
             },
             |p| Box::new(Jacobi::from_params(p)),
         );

@@ -219,6 +219,7 @@ fn fingerprint(op: &TileOperator, spec: &SessionSpec) -> u64 {
     h.push_u64(p.presteps);
     h.push_f64(p.eigen_safety);
     h.push_u64(p.check_interval);
+    h.push_u64(p.tune_seed);
     h.push_f64(spec.opts.eps);
     h.push_u64(spec.opts.max_iters);
     h.0

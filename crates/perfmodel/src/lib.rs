@@ -25,4 +25,7 @@ pub mod scaling;
 pub use machines::{
     all_machines, piz_daint, spruce_hybrid, spruce_mpi, titan, Machine, NetworkModel, NodeModel,
 };
-pub use scaling::{node_counts, predict, predict_amg, KernelBytes, ScalingPoint, ScalingSeries};
+pub use scaling::{
+    node_counts, predict, predict_amg, predicted_iteration_bytes, KernelBytes, ScalingPoint,
+    ScalingSeries,
+};

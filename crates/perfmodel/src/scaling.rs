@@ -172,6 +172,41 @@ pub fn predict(
     }
 }
 
+/// Static per-cell bytes moved per *counted* iteration for a named
+/// solver configuration — the auto-tuner's a-priori cost model.
+///
+/// Where [`predict`] replays a measured trace, this prices one iteration
+/// of each method from the kernel schedule alone, before anything runs:
+/// the tuner orders its candidate search by this prior, and the tuning
+/// bench weights measured iteration counts by it. Per-iteration kernel
+/// mix by family (one stencil sweep plus the recurrence updates; the
+/// reduction-avoiding methods drop the dots; the PPCG/mixed families add
+/// `inner_steps` smoothing sweeps per outer iteration). Reduced-precision
+/// sweeps count half the bytes; the mixed methods add one conversion
+/// sweep for the demote/promote round trip.
+pub fn predicted_iteration_bytes(solver: &str, inner_steps: usize, bytes: &KernelBytes) -> f64 {
+    let m = inner_steps.max(1) as f64;
+    let sweep = bytes.spmv + 3.0 * bytes.vector + bytes.precon;
+    match solver {
+        "jacobi" => bytes.spmv + bytes.vector,
+        "cg" | "cg_fused" | "amg" => sweep + 2.0 * bytes.dot,
+        "cg_f32" => 0.5 * (sweep + 2.0 * bytes.dot),
+        "mixed_cg" => {
+            bytes.spmv + 3.0 * bytes.vector + 2.0 * bytes.dot + 0.5 * bytes.precon + bytes.vector
+        }
+        "chebyshev" | "richardson" => sweep,
+        "mixed_chebyshev" | "mixed_richardson" => {
+            // one block of m f32 sweeps + the f64 residual control
+            m * 0.5 * sweep + bytes.spmv + bytes.vector + bytes.dot
+        }
+        "ppcg" => sweep + 2.0 * bytes.dot + m * sweep,
+        "mixed_ppcg" => sweep + 2.0 * bytes.dot + m * 0.5 * sweep + bytes.vector,
+        // unknown methods: price them as a plain preconditioned CG so
+        // the tuner still has a finite ordering key
+        _ => sweep + 2.0 * bytes.dot,
+    }
+}
+
 /// BoomerAMG-realism constants for the baseline replay. Our in-repo
 /// baseline is a *geometric* V-cycle whose serial costs undershoot a
 /// real algebraic hierarchy; these factors restore the documented

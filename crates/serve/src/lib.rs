@@ -65,7 +65,7 @@ use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use tea_core::{
-    solver_for_precision, CacheStats, Precision, SessionSpec, SetupCache, SetupKey, SolveControls,
+    solver_for_precision, CacheStats, SessionSpec, SetupCache, SetupKey, SolveControls,
     SolveResult, SolveSession, SolveStatus, SolverRegistry, StopHandle, TileOperator,
 };
 use tea_mesh::Field2D;
@@ -428,17 +428,11 @@ pub struct RequestOutput {
 /// The next rung of the graceful-degradation ladder for `name`:
 /// reduced-precision methods escalate towards the full-`f64` member of
 /// their family (`cg_f32 → mixed_cg → cg`), full-precision methods
-/// have nowhere further to go. Public so the deck-serving layer in
-/// `tea-app` escalates along the same ladder.
-pub fn next_precision_rung(name: &str, registry: &SolverRegistry) -> Option<String> {
-    let meta = registry.resolve(name).ok()?;
-    let target = match meta.precision {
-        Precision::F32 => Precision::Mixed,
-        Precision::Mixed => Precision::F64,
-        Precision::F64 => return None,
-    };
-    solver_for_precision(name, target, registry).ok()
-}
+/// have nowhere further to go. The ladder itself is owned by the
+/// `tea-tune` policy layer ([`tea_tune::next_precision_rung`]); this
+/// re-export keeps the serving API stable for the deck-serving layer
+/// in `tea-app`.
+pub use tea_tune::next_precision_rung;
 
 /// Serves builder-style [`SolveRequest`]s over a session pool: requests
 /// whose `(op, spec)` produce equal [`SetupKey`]s share prepared
@@ -541,7 +535,7 @@ pub fn serve_requests(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tea_core::crooked_pipe_system;
+    use tea_core::{crooked_pipe_system, Precision};
 
     fn requests(n_jobs: usize, distinct_sizes: &[usize]) -> Vec<SolveRequest> {
         (0..n_jobs)

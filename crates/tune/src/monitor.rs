@@ -1,0 +1,302 @@
+//! Residual-trajectory classification: the tuner's eyes.
+//!
+//! Generalizes the stagnation detector buried in `cg_f32` (no ≥0.1%
+//! improvement for a bounded number of iterations ⇒ the run has hit its
+//! round-off floor) into a reusable monitor that any residual stream can
+//! feed, and pairs it with the CG iteration bound from the paper's Eq. 6
+//! so a condition estimate from the CG-Lanczos prelude converts directly
+//! into a projected iterations-to-tolerance.
+
+use serde::{Deserialize, Serialize};
+use tea_core::{cg_iteration_bound, SolveResult, SolveStatus};
+
+/// Relative improvement a residual must make to reset the stall
+/// counter — the same 0.1% threshold as the `cg_f32` guard.
+const IMPROVEMENT: f64 = 0.999;
+
+/// Growth factor over the initial residual that counts as divergence
+/// even while every value stays finite.
+const GROWTH_LIMIT: f64 = 10.0;
+
+/// What a residual trajectory is doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Too few observations to say anything.
+    Pending,
+    /// Shrinking geometrically; `projected_iterations` estimates the
+    /// total iteration count at which the target tolerance is reached.
+    Converging {
+        /// Projected total iterations to tolerance.
+        projected_iterations: u64,
+    },
+    /// Reached the target tolerance.
+    Converged {
+        /// Iteration at which the target was met.
+        iterations: u64,
+    },
+    /// No meaningful improvement for the stall window — the run has hit
+    /// a round-off floor or lost its descent direction.
+    Stalling {
+        /// Iteration at which the stall was declared.
+        since: u64,
+    },
+    /// Non-finite residual, or growth past 10× the initial residual.
+    Diverging {
+        /// Iteration at which divergence was detected.
+        iteration: u64,
+    },
+}
+
+/// Classifies a residual trajectory fed one observation at a time.
+///
+/// The first observation fixes the initial residual; the target is
+/// `eps ×` that (matching every solver's relative convergence test).
+#[derive(Debug, Clone)]
+pub struct ConvergenceMonitor {
+    eps: f64,
+    stall_limit: u64,
+    initial: Option<f64>,
+    first: (u64, f64),
+    last: (u64, f64),
+    best: f64,
+    stalled: u64,
+    stalled_since: Option<u64>,
+    converged_at: Option<u64>,
+    diverged_at: Option<u64>,
+    observations: u64,
+}
+
+impl ConvergenceMonitor {
+    /// A monitor targeting a relative residual reduction of `eps`, with
+    /// the same 100-iteration stall window as the `cg_f32` guard.
+    pub fn new(eps: f64) -> Self {
+        ConvergenceMonitor::with_stall_limit(eps, 100)
+    }
+
+    /// A monitor with an explicit stall window.
+    pub fn with_stall_limit(eps: f64, stall_limit: u64) -> Self {
+        ConvergenceMonitor {
+            eps,
+            stall_limit: stall_limit.max(1),
+            initial: None,
+            first: (0, f64::INFINITY),
+            last: (0, f64::INFINITY),
+            best: f64::INFINITY,
+            stalled: 0,
+            stalled_since: None,
+            converged_at: None,
+            diverged_at: None,
+            observations: 0,
+        }
+    }
+
+    /// Feeds one `(iteration, residual)` observation.
+    pub fn observe(&mut self, iteration: u64, residual: f64) {
+        self.observations += 1;
+        if !residual.is_finite() {
+            self.diverged_at.get_or_insert(iteration);
+            return;
+        }
+        let initial = *self.initial.get_or_insert(residual);
+        if self.observations == 1 {
+            self.first = (iteration, residual);
+            self.best = residual;
+        }
+        self.last = (iteration, residual);
+        if residual > GROWTH_LIMIT * initial {
+            self.diverged_at.get_or_insert(iteration);
+            return;
+        }
+        if residual <= self.eps * initial {
+            self.converged_at.get_or_insert(iteration);
+            return;
+        }
+        if residual < IMPROVEMENT * self.best {
+            self.best = residual;
+            self.stalled = 0;
+        } else {
+            self.stalled += 1;
+            if self.stalled >= self.stall_limit {
+                self.stalled_since.get_or_insert(iteration);
+            }
+        }
+    }
+
+    /// Number of observations fed so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// The current classification, in priority order: diverging beats
+    /// converged beats stalling beats converging.
+    pub fn verdict(&self) -> Verdict {
+        if let Some(iteration) = self.diverged_at {
+            return Verdict::Diverging { iteration };
+        }
+        if let Some(iterations) = self.converged_at {
+            return Verdict::Converged { iterations };
+        }
+        if let Some(since) = self.stalled_since {
+            return Verdict::Stalling { since };
+        }
+        match self.projected_iterations() {
+            Some(projected_iterations) => Verdict::Converging {
+                projected_iterations,
+            },
+            None if self.observations >= 2 => Verdict::Stalling { since: self.last.0 },
+            None => Verdict::Pending,
+        }
+    }
+
+    /// Geometric-rate projection of the total iterations to tolerance,
+    /// from the first and latest observations. `None` until two
+    /// distinct iterations are seen or while the trajectory is flat or
+    /// growing.
+    pub fn projected_iterations(&self) -> Option<u64> {
+        let initial = self.initial?;
+        let (i0, r0) = self.first;
+        let (i1, r1) = self.last;
+        if i1 <= i0 || r0 <= 0.0 || r1 <= 0.0 {
+            return None;
+        }
+        let rate = (r1 / r0).powf(1.0 / (i1 - i0) as f64);
+        if !(rate > 0.0 && rate < 1.0) {
+            return None;
+        }
+        let target = self.eps * initial;
+        if r1 <= target {
+            return Some(i1);
+        }
+        let remaining = (target / r1).ln() / rate.ln();
+        Some(i1 + remaining.ceil() as u64)
+    }
+}
+
+/// Projected CG iterations-to-tolerance from a condition-number
+/// estimate (paper Eq. 6) — how the CG-Lanczos eigen prelude's estimate
+/// enters the tuner without any extra solve.
+pub fn projected_from_condition(kappa: f64, eps: f64) -> u64 {
+    cg_iteration_bound(kappa.max(1.0), eps.clamp(f64::MIN_POSITIVE, 1.0)).ceil() as u64
+}
+
+/// Classifies a completed [`SolveResult`] the way the monitor would have
+/// classified its trajectory. `max_iters` is the cap the solve ran
+/// under: a run that gave up *before* the cap without converging hit an
+/// internal stagnation guard, which the tuner treats as stalling.
+pub fn classify_result(result: &SolveResult, max_iters: u64) -> Verdict {
+    match result.status {
+        SolveStatus::Converged => Verdict::Converged {
+            iterations: result.iterations,
+        },
+        SolveStatus::Diverged { iteration } => Verdict::Diverging { iteration },
+        SolveStatus::Cancelled { .. } => Verdict::Pending,
+        SolveStatus::IterationLimit => {
+            if result.iterations < max_iters {
+                Verdict::Stalling {
+                    since: result.iterations,
+                }
+            } else if result.final_residual < result.initial_residual {
+                let mut m = ConvergenceMonitor::new(f64::MIN_POSITIVE);
+                m.observe(0, result.initial_residual);
+                m.observe(result.iterations, result.final_residual);
+                match m.projected_iterations() {
+                    Some(projected_iterations) => Verdict::Converging {
+                        projected_iterations,
+                    },
+                    None => Verdict::Stalling {
+                        since: result.iterations,
+                    },
+                }
+            } else {
+                Verdict::Stalling {
+                    since: result.iterations,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_decay_projects_iterations() {
+        // residual halves per iteration from 1.0 toward eps 1e-6:
+        // ~20 iterations total
+        let mut m = ConvergenceMonitor::new(1e-6);
+        for i in 0..8u64 {
+            m.observe(i, 0.5f64.powi(i as i32));
+        }
+        match m.verdict() {
+            Verdict::Converging {
+                projected_iterations,
+            } => {
+                assert!(
+                    (19..=21).contains(&projected_iterations),
+                    "projected {projected_iterations}"
+                );
+            }
+            v => panic!("expected converging, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn flat_trajectory_stalls_after_the_window() {
+        let mut m = ConvergenceMonitor::with_stall_limit(1e-10, 5);
+        m.observe(0, 1.0);
+        for i in 1..=6u64 {
+            m.observe(i, 0.9999); // < 0.1% improvement every step
+        }
+        assert!(matches!(m.verdict(), Verdict::Stalling { .. }), "{m:?}");
+    }
+
+    #[test]
+    fn improvement_resets_the_stall_counter() {
+        let mut m = ConvergenceMonitor::with_stall_limit(1e-10, 5);
+        m.observe(0, 1.0);
+        for i in 1..20u64 {
+            // every 4th step improves by 1%: never 5 flat steps in a row
+            let r = if i % 4 == 0 {
+                0.99f64.powi(i as i32)
+            } else {
+                0.999
+            };
+            m.observe(i, r);
+        }
+        assert!(
+            !matches!(m.verdict(), Verdict::Stalling { .. }),
+            "{:?}",
+            m.verdict()
+        );
+    }
+
+    #[test]
+    fn nan_and_growth_both_diverge() {
+        let mut m = ConvergenceMonitor::new(1e-6);
+        m.observe(0, 1.0);
+        m.observe(1, f64::NAN);
+        assert_eq!(m.verdict(), Verdict::Diverging { iteration: 1 });
+
+        let mut m = ConvergenceMonitor::new(1e-6);
+        m.observe(0, 1.0);
+        m.observe(1, 50.0); // finite but 50x growth
+        assert_eq!(m.verdict(), Verdict::Diverging { iteration: 1 });
+    }
+
+    #[test]
+    fn reaching_target_is_converged() {
+        let mut m = ConvergenceMonitor::new(1e-4);
+        m.observe(0, 1.0);
+        m.observe(10, 5e-5);
+        assert_eq!(m.verdict(), Verdict::Converged { iterations: 10 });
+    }
+
+    #[test]
+    fn condition_projection_matches_eq6() {
+        // kappa 100, eps 1e-10: 5 ln(2e10) ~ 118.6 -> 119
+        assert_eq!(projected_from_condition(100.0, 1e-10), 119);
+        // better conditioning projects fewer iterations
+        assert!(projected_from_condition(10.0, 1e-10) < projected_from_condition(1000.0, 1e-10));
+    }
+}

@@ -1,0 +1,124 @@
+//! A [`SolveProbe`] that records the residual trajectory of a solve.
+//!
+//! Solvers poke the probe once per iteration with the live solution and
+//! residual fields; the probe records `(iteration, ‖r‖)` so a
+//! [`ConvergenceMonitor`] can classify the run afterwards (or mid-run,
+//! by feeding the trajectory so far). The probe is `Sync` behind a
+//! mutex, matching the `&self` probe protocol.
+
+use crate::monitor::ConvergenceMonitor;
+use std::sync::Mutex;
+use tea_core::SolveProbe;
+use tea_mesh::{Field2D, Field2F};
+
+/// Records `(iteration, interior residual norm)` pairs from any solve
+/// it is armed on (via [`tea_core::SolveControls`]).
+#[derive(Debug, Default)]
+pub struct TrajectoryProbe {
+    samples: Mutex<Vec<(u64, f64)>>,
+}
+
+impl TrajectoryProbe {
+    /// An empty probe.
+    pub fn new() -> Self {
+        TrajectoryProbe::default()
+    }
+
+    /// The trajectory recorded so far.
+    pub fn trajectory(&self) -> Vec<(u64, f64)> {
+        self.samples.lock().expect("probe poisoned").clone()
+    }
+
+    /// Takes the recorded trajectory, leaving the probe empty.
+    pub fn take(&self) -> Vec<(u64, f64)> {
+        std::mem::take(&mut *self.samples.lock().expect("probe poisoned"))
+    }
+
+    /// Number of recorded observations.
+    pub fn len(&self) -> usize {
+        self.samples.lock().expect("probe poisoned").len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Feeds the recorded trajectory into `monitor` in order.
+    pub fn feed(&self, monitor: &mut ConvergenceMonitor) {
+        for (iteration, residual) in self.trajectory() {
+            monitor.observe(iteration, residual);
+        }
+    }
+
+    fn record(&self, iteration: u64, residual: f64) {
+        self.samples
+            .lock()
+            .expect("probe poisoned")
+            .push((iteration, residual));
+    }
+}
+
+impl SolveProbe for TrajectoryProbe {
+    fn on_iteration(&self, iteration: u64, _u: &mut Field2D, r: &mut Field2D) {
+        self.record(iteration, r.interior_norm());
+    }
+
+    fn on_iteration_f32(&self, iteration: u64, _u: &mut Field2F, r: &mut Field2F) {
+        self.record(iteration, f64::from(r.interior_norm()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::Verdict;
+    use tea_comms::{Communicator, HaloLayout, SerialComm};
+    use tea_core::{
+        crooked_pipe_system, DynTile, SolveContext, SolveControls, SolveOpts, SolveTrace,
+        SolverParams, SolverRegistry, Tile, Workspace,
+    };
+    use tea_mesh::Decomposition2D;
+
+    #[test]
+    fn probe_records_a_cg_trajectory_the_monitor_classifies() {
+        let (op, b) = crooked_pipe_system(24, 0.04, 1);
+        let mut u = b.clone();
+        let probe = TrajectoryProbe::new();
+        let (nx, ny) = op.bounds.tile();
+        let decomp = Decomposition2D::with_grid(nx, ny, 1, 1);
+        let layout = HaloLayout::new(&decomp, 0);
+        let comm = SerialComm::new();
+        let controls = SolveControls {
+            stop: None,
+            probe: Some(&probe),
+        };
+        let tile: DynTile<'_> = Tile::with_controls(&op, &layout, comm.as_dyn(), controls);
+        let ctx = SolveContext::new(&tile);
+        let mut solver = SolverRegistry::builtin()
+            .create("cg", &SolverParams::default())
+            .unwrap();
+        let mut ws = Workspace::new(nx, ny, 1);
+        solver.prepare(&ctx, &SolveOpts::with_eps(1e-8));
+        let mut trace = SolveTrace::new("cg");
+        let result = solver.solve(&ctx, &mut u, &b, &mut ws, &mut trace);
+        assert!(result.converged);
+        assert!(
+            probe.len() as u64 >= result.iterations.saturating_sub(1),
+            "one sample per iteration: {} vs {}",
+            probe.len(),
+            result.iterations
+        );
+        let mut m = ConvergenceMonitor::new(1e-3);
+        probe.feed(&mut m);
+        // the residual stream of a converging CG run must not read as
+        // stalling or diverging
+        match m.verdict() {
+            Verdict::Converged { .. } | Verdict::Converging { .. } => {}
+            v => panic!("CG trajectory misread as {v:?}"),
+        }
+        assert!(!probe.is_empty());
+        let _ = probe.take();
+        assert!(probe.is_empty());
+    }
+}

@@ -16,6 +16,7 @@
 //! * [`comms`] (`tea-comms`) — simulated MPI: halo exchange, reductions
 //! * [`solvers`] (`tea-core`) — Jacobi, CG, Chebyshev, CPPCG, preconditioners
 //! * [`amg`] (`tea-amg`) — multigrid-preconditioned CG baseline
+//! * [`tune`] (`tea-tune`) — run-time auto-tuning: the `auto` pseudo-solver
 //! * [`perfmodel`] (`tea-perfmodel`) — machine models, scaling simulator
 //! * [`app`] (`tea-app`) — input decks, driver, diagnostics, output
 //!
@@ -41,6 +42,28 @@
 //! assert!(result.converged);
 //! ```
 //!
+//! ## Quickstart: auto-tuning
+//!
+//! `tl_solver=auto` (CLI `--solver auto`) races the tunable methods and
+//! adopts the cheapest converged one — see the README's "Auto-tuning"
+//! section:
+//!
+//! ```
+//! use tealeaf::solvers::{crooked_pipe_system, Solve, SolverRegistry};
+//!
+//! let mut registry = SolverRegistry::builtin();
+//! tealeaf::tune::register_auto(&mut registry);
+//! let (op, b) = crooked_pipe_system(16, 0.04, 8);
+//! let mut u = b.clone();
+//! let result = Solve::on(&op)
+//!     .with_registry(&registry)
+//!     .with_solver("auto")
+//!     .halo_depth(8)
+//!     .run(&mut u, &b)
+//!     .expect("auto is registered");
+//! assert!(result.converged);
+//! ```
+//!
 //! ## Quickstart: the full time-stepping driver
 //!
 //! ```
@@ -63,3 +86,4 @@ pub use tea_comms as comms;
 pub use tea_core as solvers;
 pub use tea_mesh as mesh;
 pub use tea_perfmodel as perfmodel;
+pub use tea_tune as tune;
