@@ -13,7 +13,7 @@
 //! behaviours that matter: near-mesh-independent iteration counts, heavy
 //! setup, and per-iteration communication on every level.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod chol;

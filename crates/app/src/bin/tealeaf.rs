@@ -7,8 +7,8 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use tea_app::{
-    crooked_pipe_deck, parse_deck, run_serial, run_threaded_ranks, serve_decks_with_plan,
-    solver_registry, write_field_csv, write_field_ppm, DeckJob, RankOutput,
+    crooked_pipe_deck, find_repo_root, parse_deck, run_serial, run_threaded_ranks, semantic_audit,
+    serve_decks_with_plan, solver_registry, write_field_csv, write_field_ppm, DeckJob, RankOutput,
 };
 use tea_core::{Precision, PreconKind, SolverParams};
 use tea_fault::FaultPlan;
@@ -43,6 +43,10 @@ OPTIONS:
     --out <prefix>       write <prefix>.ppm and <prefix>.csv of the final field
     --quiet              only print the final summary
     --list-solvers       print the registered solvers and exit
+    --audit              run the semantic audits (solver registry,
+                         deck-key drift, benchmark artefact schemas),
+                         print the machine-readable report to stdout
+                         and exit nonzero on any violation
     --help               show this help
 
 SERVING (batched multi-solve mode):
@@ -93,6 +97,7 @@ struct Args {
     deadline: Option<f64>,
     retries: u32,
     fault_plan: Option<FaultPlan>,
+    audit: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -118,6 +123,7 @@ fn parse_args() -> Result<Args, String> {
         deadline: None,
         retries: 0,
         fault_plan: None,
+        audit: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -173,6 +179,7 @@ fn parse_args() -> Result<Args, String> {
                 args.retries = value()?.parse().map_err(|e| format!("--retries: {e}"))?
             }
             "--fault-plan" => args.fault_plan = Some(FaultPlan::parse(&value()?)?),
+            "--audit" => args.audit = true,
             "--list-solvers" => {
                 print_solvers();
                 std::process::exit(0);
@@ -289,30 +296,33 @@ fn run_serve(joblist: &std::path::Path, args: &Args) -> ExitCode {
     let report = serve_decks_with_plan(jobs, &opts, args.fault_plan.as_ref());
 
     for outcome in &report.outcomes {
-        if let Err(e) = &outcome.result {
-            eprintln!("job {} failed: {e}", outcome.job);
-        } else if !args.quiet {
-            let out = outcome.result.as_ref().unwrap();
-            let converged = out.output.steps.iter().filter(|s| s.converged).count();
-            let degraded = if out.escalations.is_empty() {
-                String::new()
-            } else {
-                format!(
-                    " [degraded: {} → {}]",
-                    out.escalations.join(" → "),
-                    out.solver
-                )
-            };
-            println!(
-                "job {:>4}: {} step(s) ({converged} converged), {:.3}s{degraded}",
-                outcome.job,
-                out.output.steps.len(),
-                outcome.wall_s,
-            );
-            if let Some(tune) = &out.tune {
-                for line in tune.summary_lines() {
-                    println!("           {line}");
-                }
+        let out = match &outcome.result {
+            Err(e) => {
+                eprintln!("job {} failed: {e}", outcome.job);
+                continue;
+            }
+            Ok(_) if args.quiet => continue,
+            Ok(out) => out,
+        };
+        let converged = out.output.steps.iter().filter(|s| s.converged).count();
+        let degraded = if out.escalations.is_empty() {
+            String::new()
+        } else {
+            format!(
+                " [degraded: {} → {}]",
+                out.escalations.join(" → "),
+                out.solver
+            )
+        };
+        println!(
+            "job {:>4}: {} step(s) ({converged} converged), {:.3}s{degraded}",
+            outcome.job,
+            out.output.steps.len(),
+            outcome.wall_s,
+        );
+        if let Some(tune) = &out.tune {
+            for line in tune.summary_lines() {
+                println!("           {line}");
             }
         }
     }
@@ -342,6 +352,23 @@ fn run_serve(joblist: &std::path::Path, args: &Args) -> ExitCode {
     }
 }
 
+/// `tealeaf --audit`: run the semantic audits, print the
+/// machine-readable report to stdout (human-readable findings go to
+/// stderr) and exit nonzero on any violation.
+fn run_audit() -> ExitCode {
+    let root = find_repo_root();
+    let report = semantic_audit(root.as_deref());
+    for finding in &report.findings {
+        eprintln!("{}", finding.render());
+    }
+    print!("{}", report.to_json(false));
+    if report.passed(false) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -354,6 +381,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if args.audit {
+        return run_audit();
+    }
 
     if let Some(joblist) = args.serve.clone() {
         return run_serve(&joblist, &args);
@@ -475,7 +506,13 @@ fn main() -> ExitCode {
                 for o in &outs {
                     halo.merge(&o.comm);
                 }
-                (outs.into_iter().next().unwrap(), halo)
+                match outs.into_iter().next() {
+                    Some(first) => (first, halo),
+                    None => {
+                        eprintln!("error: no rank produced output");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             Err(e) => {
                 eprintln!("error: {e}");

@@ -275,10 +275,9 @@ pub fn parse_deck(text: &str) -> Result<Deck, String> {
     if !saw_block {
         return Err("no *tea block found".into());
     }
-    if states.is_empty() {
+    let Some(first) = states.keys().next().copied() else {
         return Err("deck defines no states".into());
-    }
-    let first = *states.keys().next().unwrap();
+    };
     if first != 1 {
         return Err("state numbering must start at 1 (the background)".into());
     }

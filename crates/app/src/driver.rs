@@ -184,7 +184,7 @@ pub fn run_rank<C: Communicator + ?Sized>(
     }
     let mut solver = registry
         .create(&solver_name, &control.solver_params())
-        .expect("resolved above");
+        .map_err(|e| DriverError::Solver(e.to_string()))?;
 
     let mesh = Mesh2D::new(decomp, comm.rank(), problem.extent);
     let layout = HaloLayout::new(decomp, comm.rank());

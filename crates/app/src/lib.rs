@@ -12,15 +12,17 @@
 //! tealeaf --deck tea.in
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod deck;
 pub mod driver;
 pub mod output;
 pub mod serve;
 pub mod summary;
 
+pub use audit::{find_repo_root, semantic_audit};
 pub use deck::{crooked_pipe_deck, parse_deck, render_deck, Control, Deck};
 pub use driver::{
     run_rank, run_serial, run_serial_session, run_serial_session_with, run_threaded_ranks,

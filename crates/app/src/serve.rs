@@ -101,6 +101,8 @@ pub fn serve_decks_with_plan(
             }
         });
         if let Some(FaultKind::PanicWorker) = fault {
+            // audit:allow(panic_hygiene) — deliberate fault injection: this panic IS the
+            // fault being tested; the serve queue's catch_unwind must absorb it.
             panic!("injected worker panic (job {})", ctx.job);
         }
 

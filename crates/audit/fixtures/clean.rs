@@ -1,0 +1,10 @@
+// Fixture: violation-free code, including decoys inside strings and
+// comments that a naive scanner would flag.
+use std::collections::BTreeMap;
+
+/// Mentions `HashMap`, `.unwrap()` and `Instant::now` in docs only.
+pub fn describe() -> String {
+    let mut notes = BTreeMap::new();
+    notes.insert("pattern", "HashMap::new().lock().unwrap() Instant::now()");
+    format!("{notes:?}")
+}

@@ -1,0 +1,5 @@
+//! Fixture: a crate root missing #![forbid(unsafe_code)] and
+//! #![deny(missing_docs)].
+
+/// Documented, but the crate-level lints are absent.
+pub fn noop() {}

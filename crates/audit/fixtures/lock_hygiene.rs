@@ -1,0 +1,7 @@
+// Fixture: bare poisoning lock acquisition split across two lines.
+use std::sync::Mutex;
+
+pub fn read(m: &Mutex<u64>) -> u64 {
+    *m.lock()
+        .unwrap()
+}

@@ -1,0 +1,10 @@
+// Fixture: hash-order-dependent container outside a test module.
+use std::collections::HashMap;
+
+pub fn tally(keys: &[u64]) -> HashMap<u64, usize> {
+    let mut map = HashMap::new();
+    for &k in keys {
+        *map.entry(k).or_insert(0) += 1;
+    }
+    map
+}

@@ -1,0 +1,4 @@
+// Fixture: panicking call in the serving path (scanned as tea-serve).
+pub fn first(jobs: &[u32]) -> u32 {
+    *jobs.first().unwrap()
+}

@@ -1,0 +1,6 @@
+// Fixture: a pragma with no reason must itself be flagged, and must
+// not suppress the violation it points at.
+// audit:allow(wall_clock)
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

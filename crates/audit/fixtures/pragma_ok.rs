@@ -1,0 +1,6 @@
+// Fixture: a well-formed pragma suppresses exactly its rule on the
+// next code-bearing line.
+pub fn stamp() -> std::time::Instant {
+    // audit:allow(wall_clock) — fixture demonstrating a sanctioned exemption
+    std::time::Instant::now()
+}

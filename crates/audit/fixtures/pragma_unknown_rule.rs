@@ -1,0 +1,3 @@
+// Fixture: a pragma naming a rule the linter does not know.
+// audit:allow(wibble) — this rule does not exist
+pub fn noop() {}

@@ -1,0 +1,17 @@
+// Fixture: #[cfg(test)] modules are exempt from panic hygiene and
+// nondeterminism (but not lock hygiene).
+pub fn real() -> u32 {
+    7
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn unwraps_freely() {
+        let mut seen = HashSet::new();
+        seen.insert(super::real());
+        assert_eq!(seen.iter().next().copied().unwrap(), 7);
+    }
+}

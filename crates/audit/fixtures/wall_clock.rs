@@ -1,0 +1,4 @@
+// Fixture: wall-clock read in a quarantined crate (scanned as tea-core).
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

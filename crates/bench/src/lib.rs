@@ -7,7 +7,7 @@
 //! to the paper's 4000² mesh (EXPERIMENTS.md documents the method and
 //! its honesty bounds).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;

@@ -34,7 +34,7 @@
 //! assert!(results.iter().all(|&r| r == 6.0));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod gather;

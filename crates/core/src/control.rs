@@ -58,6 +58,9 @@ impl StopHandle {
         StopHandle {
             inner: Some(Arc::new(StopInner {
                 cancelled: AtomicBool::new(false),
+                // audit:allow(wall_clock) — deadlines are the one sanctioned clock use in
+                // tea-core: only armed serve-path handles reach here, and the deadline can
+                // shift *when* a solve stops, never the arithmetic of any iteration it runs.
                 deadline: Some(Instant::now() + budget),
             })),
         }
@@ -90,6 +93,9 @@ impl StopHandle {
             None => false,
             Some(inner) => {
                 inner.cancelled.load(Ordering::Acquire)
+                    // audit:allow(wall_clock) — deadline expiry check; disarmed handles
+                    // (every non-serving path) return in the `None` arm above and never
+                    // read the clock, so deterministic paths stay wall-clock-free.
                     || inner.deadline.is_some_and(|d| Instant::now() >= d)
             }
         }

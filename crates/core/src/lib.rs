@@ -32,7 +32,7 @@
 //! assert!(result.converged);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod api;
@@ -53,6 +53,7 @@ pub mod richardson;
 pub mod runtime;
 pub mod session;
 pub mod solver;
+pub mod sync;
 pub mod trace;
 pub mod vector;
 
@@ -80,4 +81,5 @@ pub use richardson::{Richardson, RichardsonOpts};
 pub use runtime::{num_threads, par_threshold, set_num_threads, set_par_threshold, PAR_THRESHOLD};
 pub use session::{CacheStats, PreparedSolve, SessionSpec, SetupCache, SetupKey, SolveSession};
 pub use solver::{SolveOpts, Tile, Workspace};
+pub use sync::lock_tolerant;
 pub use trace::{KernelCounts, SolveResult, SolveStatus, SolveTrace};

@@ -262,6 +262,113 @@ impl SolverRegistry {
     ) -> Result<Box<dyn IterativeSolver>, SolverError> {
         self.entry(name).map(|(_, f)| f(params))
     }
+
+    /// Machine-checks the registry's structural contracts and returns
+    /// one human-readable finding per violation (empty = pass).
+    ///
+    /// Everything downstream — deck parsing, CLI resolution, precision
+    /// routing, the auto-tuner's candidate plan — assumes these hold,
+    /// and nothing in [`SolverRegistry::register`]'s signature can
+    /// force them, so CI runs this audit (and `tealeaf --audit`
+    /// exposes it) instead of trusting convention:
+    ///
+    /// * **key discipline** — canonical names and aliases are
+    ///   non-empty, lowercase ASCII (lookup case-folds, so any other
+    ///   spelling would be unreachable), and no alias shadows a
+    ///   canonical name or another alias;
+    /// * **metadata consistency** — a `serial_only` method must not be
+    ///   `tunable` (the tuner races candidates under the distributed
+    ///   protocol) and must be plain-`f64` (reduced-precision variants
+    ///   exist precisely to trade halo width, which serial baselines
+    ///   do not exchange);
+    /// * **routing closure** — for every registered method and every
+    ///   [`Precision`], [`crate::solver_for_precision`] either lands
+    ///   on a *registered* solver or fails with the typed
+    ///   `PrecisionUnsupported` error; an `UnknownSolver` escape means
+    ///   the routing table names a variant nobody registered. A method
+    ///   advertising a reduced precision must also route to itself at
+    ///   that precision.
+    pub fn audit(&self) -> Vec<String> {
+        let mut findings = Vec::new();
+        let mut seen: Vec<(&str, &str)> = Vec::new(); // (key, owning canonical name)
+        for meta in self.iter() {
+            for (key, kind) in std::iter::once((meta.name, "name"))
+                .chain(meta.aliases.iter().map(|a| (*a, "alias")))
+            {
+                if key.trim().is_empty() {
+                    findings.push(format!("solver '{}' registers an empty {kind}", meta.name));
+                    continue;
+                }
+                if key != key.trim() || key.chars().any(|c| c.is_ascii_uppercase()) {
+                    findings.push(format!(
+                        "{kind} '{key}' of solver '{}' is not trimmed lowercase ASCII — \
+                         lookups case-fold, so this spelling is unreachable",
+                        meta.name
+                    ));
+                }
+                if let Some((_, owner)) = seen.iter().find(|(k, _)| *k == key) {
+                    findings.push(format!(
+                        "{kind} '{key}' of solver '{}' collides with a key of solver '{owner}'",
+                        meta.name
+                    ));
+                } else {
+                    seen.push((key, meta.name));
+                }
+            }
+            if meta.serial_only && meta.tunable {
+                findings.push(format!(
+                    "solver '{}' is serial_only but tunable — the auto-tuner races \
+                     candidates under the distributed protocol",
+                    meta.name
+                ));
+            }
+            if meta.serial_only && meta.precision != Precision::F64 {
+                findings.push(format!(
+                    "solver '{}' is serial_only with precision {} — serial baselines \
+                     must stay plain f64",
+                    meta.name,
+                    meta.precision.label()
+                ));
+            }
+            for precision in [Precision::F64, Precision::F32, Precision::Mixed] {
+                match crate::mixed::solver_for_precision(meta.name, precision, self) {
+                    Ok(target) => {
+                        if self.resolve(&target).is_err() {
+                            findings.push(format!(
+                                "routing ('{}', {}) lands on unregistered solver '{target}'",
+                                meta.name,
+                                precision.label()
+                            ));
+                        }
+                    }
+                    Err(SolverError::PrecisionUnsupported { .. }) => {}
+                    Err(e) => findings.push(format!(
+                        "routing ('{}', {}) escaped with a non-routing error: {e}",
+                        meta.name,
+                        precision.label()
+                    )),
+                }
+            }
+            if meta.precision != Precision::F64 {
+                match crate::mixed::solver_for_precision(meta.name, meta.precision, self) {
+                    Ok(target) if target == meta.name => {}
+                    Ok(target) => findings.push(format!(
+                        "solver '{}' advertises precision {} but routes to '{target}' \
+                         at that precision",
+                        meta.name,
+                        meta.precision.label()
+                    )),
+                    Err(e) => findings.push(format!(
+                        "solver '{}' advertises precision {} but does not route to \
+                         itself: {e}",
+                        meta.name,
+                        meta.precision.label()
+                    )),
+                }
+            }
+        }
+        findings
+    }
 }
 
 #[cfg(test)]
@@ -319,6 +426,128 @@ mod tests {
         assert_eq!(solver.halo_depth(), 6);
         assert_eq!(solver.label(), "PPCG-6");
         assert_eq!(reg.create("jacobi", &params).unwrap().halo_depth(), 1);
+    }
+
+    #[test]
+    fn audit_passes_on_builtin() {
+        let findings = SolverRegistry::builtin().audit();
+        assert!(
+            findings.is_empty(),
+            "builtin registry must audit clean: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn audit_flags_alias_collisions() {
+        let mut reg = SolverRegistry::builtin();
+        reg.register(
+            SolverMeta {
+                name: "sor",
+                aliases: &["cg"], // shadows the canonical CG name
+                summary: "bad alias",
+                preconditioned: false,
+                needs_eigen_estimate: false,
+                deep_halo: false,
+                serial_only: false,
+                precision: Precision::F64,
+                tunable: false,
+            },
+            |p| Box::new(Jacobi::from_params(p)),
+        );
+        let findings = reg.audit();
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.contains("alias 'cg'") && f.contains("collides")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn audit_flags_unreachable_spellings_and_meta_conflicts() {
+        let mut reg = SolverRegistry::empty();
+        reg.register(
+            SolverMeta {
+                name: "SOR",
+                aliases: &[" sor "],
+                summary: "uppercase canonical name",
+                preconditioned: false,
+                needs_eigen_estimate: false,
+                deep_halo: false,
+                serial_only: true,
+                precision: Precision::F64,
+                tunable: true,
+            },
+            |p| Box::new(Jacobi::from_params(p)),
+        );
+        let findings = reg.audit();
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.contains("name 'SOR'") && f.contains("unreachable")),
+            "{findings:?}"
+        );
+        assert!(
+            findings.iter().any(|f| f.contains("alias ' sor '")),
+            "{findings:?}"
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.contains("serial_only but tunable")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn audit_flags_serial_only_reduced_precision() {
+        let mut reg = SolverRegistry::empty();
+        reg.register(
+            SolverMeta {
+                name: "oddball",
+                aliases: &[],
+                summary: "serial-only f32",
+                preconditioned: false,
+                needs_eigen_estimate: false,
+                deep_halo: false,
+                serial_only: true,
+                precision: Precision::F32,
+                tunable: false,
+            },
+            |p| Box::new(Jacobi::from_params(p)),
+        );
+        let findings = reg.audit();
+        assert!(
+            findings.iter().any(|f| f.contains("must stay plain f64")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn audit_flags_routing_escapes() {
+        // A registry holding mixed_cg but NOT its f64 family target:
+        // routing (mixed_cg, F64) resolves the name "cg", which is
+        // unregistered here, so the audit must flag the escape.
+        let mut reg = SolverRegistry::empty();
+        reg.register(
+            SolverMeta {
+                name: "mixed_cg",
+                aliases: &[],
+                summary: "mixed CG without its f64 family",
+                preconditioned: true,
+                needs_eigen_estimate: false,
+                deep_halo: false,
+                serial_only: false,
+                precision: Precision::Mixed,
+                tunable: true,
+            },
+            |p| Box::new(Jacobi::from_params(p)),
+        );
+        let findings = reg.audit();
+        assert!(
+            findings.iter().any(|f| f.contains("non-routing error")),
+            "{findings:?}"
+        );
     }
 
     #[test]

@@ -31,7 +31,7 @@
 //! skipping them would change results). Because the hint only fires on
 //! bit-identical input, a warm solve is bit-identical to a cold one.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -97,7 +97,7 @@ impl SessionSpec {
 /// because a prepared solver latches all of those: reusing a session
 /// across jobs that differ in any of them would silently change
 /// results.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SetupKey {
     /// Interior cells in x.
     pub nx: usize,
@@ -286,7 +286,7 @@ pub struct SolveSession {
     prepared: bool,
     prepares: u64,
     solves: u64,
-    eigen_memo: HashMap<u64, EigenEstimate>,
+    eigen_memo: BTreeMap<u64, EigenEstimate>,
     eigen_hits: u64,
 }
 
@@ -330,7 +330,7 @@ impl SolveSession {
             prepared: false,
             prepares: 0,
             solves: 0,
-            eigen_memo: HashMap::new(),
+            eigen_memo: BTreeMap::new(),
             eigen_hits: 0,
         })
     }
@@ -546,7 +546,7 @@ pub struct CacheStats {
 /// Interior-locked, so workers share it behind a plain `Arc`.
 #[derive(Default)]
 pub struct SetupCache {
-    pool: Mutex<HashMap<SetupKey, Vec<SolveSession>>>,
+    pool: Mutex<BTreeMap<SetupKey, Vec<SolveSession>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -559,10 +559,7 @@ impl SetupCache {
 
     /// Pops an idle session for `key`, counting a hit or a miss.
     pub fn checkout(&self, key: &SetupKey) -> Option<SolveSession> {
-        let mut pool = self
-            .pool
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut pool = crate::sync::lock_tolerant(&self.pool);
         match pool.get_mut(key).and_then(Vec::pop) {
             Some(session) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -578,9 +575,7 @@ impl SetupCache {
     /// Returns a session to the pool under its own key.
     pub fn checkin(&self, session: SolveSession) {
         let key = session.setup_key().clone();
-        self.pool
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        crate::sync::lock_tolerant(&self.pool)
             .entry(key)
             .or_default()
             .push(session);
@@ -588,9 +583,7 @@ impl SetupCache {
 
     /// Idle sessions currently pooled.
     pub fn pooled(&self) -> usize {
-        self.pool
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        crate::sync::lock_tolerant(&self.pool)
             .values()
             .map(Vec::len)
             .sum()
@@ -605,10 +598,7 @@ impl SetupCache {
     /// pooled — take the snapshot after every job has checked its
     /// session back in.
     pub fn stats(&self) -> CacheStats {
-        let prepares = self
-            .pool
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        let prepares = crate::sync::lock_tolerant(&self.pool)
             .values()
             .flatten()
             .map(SolveSession::prepare_count)

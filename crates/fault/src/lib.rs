@@ -22,10 +22,10 @@
 //! clocks, no global RNG state — so the same plan replayed at any
 //! worker count faults exactly the same jobs the same way.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 use tea_comms::{Payload, PayloadTap};
@@ -196,7 +196,7 @@ impl SolveProbe for NanPoison {
 pub struct ChaosTap {
     seed: u64,
     rate_per_mille: u32,
-    seq: Mutex<HashMap<(usize, usize), u64>>,
+    seq: Mutex<BTreeMap<(usize, usize), u64>>,
 }
 
 impl ChaosTap {
@@ -205,7 +205,7 @@ impl ChaosTap {
         ChaosTap {
             seed,
             rate_per_mille: (rate.clamp(0.0, 1.0) * 1000.0).round() as u32,
-            seq: Mutex::new(HashMap::new()),
+            seq: Mutex::new(BTreeMap::new()),
         }
     }
 }
@@ -213,10 +213,7 @@ impl ChaosTap {
 impl PayloadTap for ChaosTap {
     fn tap(&self, from: usize, to: usize, _tag: u64, data: Payload) -> Payload {
         let seq = {
-            let mut map = self
-                .seq
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut map = tea_core::lock_tolerant(&self.seq);
             let ctr = map.entry((from, to)).or_insert(0);
             let s = *ctr;
             *ctr += 1;

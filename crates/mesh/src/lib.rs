@@ -26,7 +26,7 @@
 //! assert!(coeffs.kx.at(32, 32) > 0.0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod coefficients;

@@ -16,7 +16,7 @@
 //! advantage at 2,048 nodes, Spruce's super-linear cache window, and the
 //! BoomerAMG baseline's early strong-scaling collapse.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod machines;

@@ -55,27 +55,21 @@
 //!   [`JobError::Diverged`]'s attempt history). Diverged or cancelled
 //!   sessions are dropped, never checked back into the pool.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use tea_core::{
-    solver_for_precision, CacheStats, SessionSpec, SetupCache, SetupKey, SolveControls,
-    SolveResult, SolveSession, SolveStatus, SolverRegistry, StopHandle, TileOperator,
+    lock_tolerant, solver_for_precision, CacheStats, SessionSpec, SetupCache, SetupKey,
+    SolveControls, SolveResult, SolveSession, SolveStatus, SolverRegistry, StopHandle,
+    TileOperator,
 };
 use tea_mesh::Field2D;
-
-/// Locks a mutex, tolerating poisoning: a worker that panicked while
-/// holding the lock (only possible outside the `catch_unwind` window)
-/// must not cascade into every other worker.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
 
 /// How a serve runs: worker count, kernel thread budget, caching,
 /// deadlines and retry policy.
@@ -315,7 +309,7 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let next = lock(&queue).pop_front();
+                let next = lock_tolerant(&queue).pop_front();
                 let Some(job) = next else {
                     break;
                 };
@@ -357,7 +351,7 @@ where
                     break Err(err);
                 };
                 let wall_s = job_started.elapsed().as_secs_f64();
-                lock(&outcomes).push(JobOutcome {
+                lock_tolerant(&outcomes).push(JobOutcome {
                     job,
                     result,
                     attempts: attempt + 1,

@@ -54,7 +54,7 @@
 //! assert!(result.converged);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod auto;

@@ -8,6 +8,7 @@
 
 use crate::monitor::ConvergenceMonitor;
 use std::sync::Mutex;
+use tea_core::lock_tolerant;
 use tea_core::SolveProbe;
 use tea_mesh::{Field2D, Field2F};
 
@@ -26,17 +27,17 @@ impl TrajectoryProbe {
 
     /// The trajectory recorded so far.
     pub fn trajectory(&self) -> Vec<(u64, f64)> {
-        self.samples.lock().expect("probe poisoned").clone()
+        lock_tolerant(&self.samples).clone()
     }
 
     /// Takes the recorded trajectory, leaving the probe empty.
     pub fn take(&self) -> Vec<(u64, f64)> {
-        std::mem::take(&mut *self.samples.lock().expect("probe poisoned"))
+        std::mem::take(&mut *lock_tolerant(&self.samples))
     }
 
     /// Number of recorded observations.
     pub fn len(&self) -> usize {
-        self.samples.lock().expect("probe poisoned").len()
+        lock_tolerant(&self.samples).len()
     }
 
     /// Whether nothing has been recorded yet.
@@ -52,10 +53,7 @@ impl TrajectoryProbe {
     }
 
     fn record(&self, iteration: u64, residual: f64) {
-        self.samples
-            .lock()
-            .expect("probe poisoned")
-            .push((iteration, residual));
+        lock_tolerant(&self.samples).push((iteration, residual));
     }
 }
 

@@ -77,7 +77,7 @@
 //! println!("avg temperature = {}", out.final_summary.average_temperature());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub use tea_amg as amg;
