@@ -47,11 +47,14 @@ pub fn field_summary<C: Communicator + ?Sized>(
         let dr = density.row(k, 0, nx);
         let er = energy.row(k, 0, nx);
         let ur = u.row(k, 0, nx);
-        for i in 0..dr.len() {
+        // iterator zips keep the exact scalar fold order (the summary is
+        // a regression anchor, so the sums must stay bit-stable) while
+        // letting the three row reductions compile without bounds checks
+        for ((&d, &e), &t) in dr.iter().zip(er).zip(ur) {
             vol += vol_cell;
-            mass += dr[i] * vol_cell;
-            ie += dr[i] * er[i] * vol_cell;
-            temp += ur[i] * vol_cell;
+            mass += d * vol_cell;
+            ie += d * e * vol_cell;
+            temp += t * vol_cell;
         }
     }
     let reduced = comm.allreduce_sum_many(&[vol, mass, ie, temp]);

@@ -1,4 +1,7 @@
-//! The textual linter: a line/token scanner over `crates/`.
+//! The textual linter: a line/token scanner over the workspace's own
+//! source trees — every member crate under `crates/`, plus the umbrella
+//! package's top-level `src/`, `tests/` and `examples/` (see
+//! [`scan_workspace`]; `vendor/` is exempt).
 //!
 //! Deliberately *not* a type-checker: every rule here is a string
 //! pattern over comment-stripped, string-blanked source text, which is
@@ -314,9 +317,15 @@ fn test_mask(code: &[String]) -> Vec<bool> {
 }
 
 /// Is this path test/bench code by location alone?
+///
+/// Matches both member-crate trees (`crates/x/tests/...`) and the
+/// workspace-root trees of the umbrella package (`tests/...`,
+/// `examples/...`), which have no leading component before the marker.
 fn path_is_test(rel_path: &str) -> bool {
     let p = rel_path.replace('\\', "/");
-    p.contains("/tests/") || p.contains("/benches/") || p.contains("/examples/")
+    ["tests/", "benches/", "examples/"]
+        .iter()
+        .any(|m| p.contains(&format!("/{m}")) || p.starts_with(m))
 }
 
 fn strip_ws(s: &str) -> String {
@@ -514,8 +523,52 @@ pub fn check_crate_hygiene(crate_name: &str, rel_path: &str, lib_rs: &str) -> Ve
     findings
 }
 
+/// One workspace-root tree of the umbrella `tealeaf` package and the
+/// rule scope it is audited under.
+///
+/// The workspace is wider than `crates/*`: the umbrella package keeps
+/// its re-export façade in `src/`, its cross-crate integration suites
+/// in `tests/` and its runnable documentation in `examples/`, all at
+/// the top level. Each entry names the crate-name scope the rule tables
+/// key on and whether the tree's `lib.rs` must carry the
+/// `crate_hygiene` attributes. `vendor/` is deliberately absent from
+/// the manifest: vendored third-party sources are not held to this
+/// repository's contracts.
+struct TreeRules {
+    /// Workspace-root-relative tree to walk.
+    tree: &'static str,
+    /// Crate-name scope for [`WALL_CLOCK_ALLOWED_CRATES`] /
+    /// [`PANIC_HYGIENE_CRATES`] lookups.
+    crate_name: &'static str,
+    /// Require the `crate_hygiene` root attributes on `lib.rs` here.
+    hygiene: bool,
+}
+
+/// The tree → rule-set manifest for everything outside `crates/*`.
+const UMBRELLA_TREES: &[TreeRules] = &[
+    TreeRules {
+        tree: "src",
+        crate_name: "tealeaf",
+        hygiene: true,
+    },
+    TreeRules {
+        tree: "tests",
+        crate_name: "tealeaf",
+        hygiene: false,
+    },
+    TreeRules {
+        tree: "examples",
+        crate_name: "tealeaf",
+        hygiene: false,
+    },
+];
+
 /// Scans every member crate under `root/crates` (src, tests and
-/// benches trees) with all textual rules plus `crate_hygiene`.
+/// benches trees) plus the umbrella package's top-level `src/`,
+/// `tests/` and `examples/` trees (per the `UMBRELLA_TREES` manifest)
+/// with all
+/// textual rules plus `crate_hygiene`. Vendored sources under
+/// `vendor/` are exempt.
 ///
 /// # Errors
 /// I/O errors reading the tree.
@@ -528,6 +581,26 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
         .collect();
     crate_dirs.sort();
     let mut findings = Vec::new();
+    let scan_tree =
+        |tree: &Path, crate_name: &str, hygiene: bool| -> std::io::Result<Vec<Finding>> {
+            let mut out = Vec::new();
+            if !tree.is_dir() {
+                return Ok(out);
+            }
+            for file in rust_files(tree)? {
+                let rel = file
+                    .strip_prefix(root)
+                    .unwrap_or(&file)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let source = std::fs::read_to_string(&file)?;
+                out.extend(scan_file(crate_name, &rel, &source));
+                if hygiene && rel.ends_with("src/lib.rs") {
+                    out.extend(check_crate_hygiene(crate_name, &rel, &source));
+                }
+            }
+            Ok(out)
+        };
     for crate_dir in crate_dirs {
         let crate_name = crate_dir
             .file_name()
@@ -535,23 +608,15 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
             .unwrap_or("")
             .to_string();
         for sub in ["src", "tests", "benches"] {
-            let tree = crate_dir.join(sub);
-            if !tree.is_dir() {
-                continue;
-            }
-            for file in rust_files(&tree)? {
-                let rel = file
-                    .strip_prefix(root)
-                    .unwrap_or(&file)
-                    .to_string_lossy()
-                    .replace('\\', "/");
-                let source = std::fs::read_to_string(&file)?;
-                findings.extend(scan_file(&crate_name, &rel, &source));
-                if rel.ends_with("src/lib.rs") {
-                    findings.extend(check_crate_hygiene(&crate_name, &rel, &source));
-                }
-            }
+            findings.extend(scan_tree(&crate_dir.join(sub), &crate_name, true)?);
         }
+    }
+    for rules in UMBRELLA_TREES {
+        findings.extend(scan_tree(
+            &root.join(rules.tree),
+            rules.crate_name,
+            rules.hygiene,
+        )?);
     }
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(findings)
@@ -630,6 +695,42 @@ fn f() -> String {
         let src = "// audit:allow(wall_clock) — reason line one\n// continues on a second comment line\nlet t = std::time::Instant::now();\n";
         let findings = scan_file("core", "crates/core/src/x.rs", src);
         assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn top_level_test_trees_are_location_exempt() {
+        // the umbrella package's integration tests and examples sit at
+        // the workspace root with no leading path component before the
+        // marker — they must still count as test code by location
+        for rel in [
+            "tests/solver_equivalence.rs",
+            "examples/quickstart.rs",
+            "crates/core/tests/lane_identity.rs",
+            "crates/bench/benches/kernels.rs",
+        ] {
+            assert!(path_is_test(rel), "{rel} should be test-scoped");
+        }
+        assert!(!path_is_test("crates/core/src/vector.rs"));
+        assert!(!path_is_test("src/lib.rs"));
+        // nondeterminism is test-exempt, so a HashMap in top-level test
+        // code (outside any #[cfg(test)] module) must not be flagged
+        let src = "use std::collections::HashMap;\nfn helper() -> HashMap<u32, u32> {\n    HashMap::new()\n}\n";
+        let findings = scan_file("tealeaf", "tests/x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+        // ...but the same line in umbrella src/ is a violation
+        let findings = scan_file("tealeaf", "src/x.rs", src);
+        assert!(findings.iter().any(|f| f.rule == "nondeterminism"));
+    }
+
+    #[test]
+    fn umbrella_manifest_covers_src_tests_examples_not_vendor() {
+        let trees: Vec<_> = UMBRELLA_TREES.iter().map(|t| t.tree).collect();
+        assert_eq!(trees, ["src", "tests", "examples"]);
+        assert!(UMBRELLA_TREES.iter().all(|t| t.crate_name == "tealeaf"));
+        // only the library façade is held to the root-attribute contract
+        assert!(UMBRELLA_TREES
+            .iter()
+            .all(|t| t.hygiene == (t.tree == "src")));
     }
 
     #[test]

@@ -6,12 +6,21 @@
 //! sequential runtime) and once with the requested worker count. It
 //! reports the solve-wall speedup, asserts the two final temperature
 //! fields are **bit-identical** (the runtime's determinism contract),
-//! and writes everything to a JSON artefact (default `BENCH_PR2.json`)
+//! and writes everything to a JSON artefact (default `BENCH_PR10.json`)
 //! so the performance trajectory of the repository is recorded per PR.
+//!
+//! It also micro-benches the hot kernels (`apply`, `residual`, `dot`,
+//! `axpy`, `scale_add`, `fused_cheb`) on crooked-pipe coefficients:
+//! each kernel is first run once at 1 thread — the scalar f64 reference
+//! path — and once threaded on the lane path, **asserting bitwise
+//! equality**, then timed and reported as a percent of the machine's
+//! *measured* streaming peak (a flat-array fused update at the same
+//! thread count) using the `tea-perfmodel` roofline byte counts. `--smoke`
+//! shrinks every axis for CI.
 //!
 //! ```text
 //! cargo run --release -p tea-bench --bin speedup -- \
-//!     --sizes 512,1024,2048 --threads 4 --out BENCH_PR2.json
+//!     --sizes 512,1024,2048 --threads 4 --out BENCH_PR10.json
 //! ```
 //!
 //! Timing honesty: the per-step solve is capped at `--max-iters`
@@ -42,6 +51,8 @@ struct Args {
     max_iters: u64,
     eps: f64,
     reps: usize,
+    kernel_cells: usize,
+    smoke: bool,
     require_speedup: Option<f64>,
     out: PathBuf,
 }
@@ -57,8 +68,10 @@ fn parse_args() -> Args {
         max_iters: 300,
         eps: 1e-10,
         reps: 2,
+        kernel_cells: 1024,
+        smoke: false,
         require_speedup: None,
-        out: PathBuf::from("BENCH_PR2.json"),
+        out: PathBuf::from("BENCH_PR10.json"),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -75,6 +88,15 @@ fn parse_args() -> Args {
             "--max-iters" => args.max_iters = value().parse().expect("--max-iters"),
             "--eps" => args.eps = value().parse().expect("--eps"),
             "--reps" => args.reps = value().parse::<usize>().expect("--reps").max(1),
+            "--kernel-cells" => args.kernel_cells = value().parse().expect("--kernel-cells"),
+            "--smoke" => {
+                args.smoke = true;
+                args.sizes = vec![192];
+                args.steps = 1;
+                args.max_iters = 100;
+                args.reps = 1;
+                args.kernel_cells = 256;
+            }
             "--require-speedup" => {
                 args.require_speedup = Some(value().parse().expect("--require-speedup"))
             }
@@ -88,9 +110,11 @@ fn parse_args() -> Args {
                      --max-iters N       per-step iteration cap (default 300)\n\
                      --eps E             solver tolerance (default 1e-10)\n\
                      --reps N            timed runs per config, min kept (default 2)\n\
+                     --kernel-cells N    mesh side for the kernel roofline bench (default 1024)\n\
+                     --smoke             tiny sizes/reps everywhere, for CI\n\
                      --require-speedup X fail unless CG at the largest size reaches X\n\
                      \x20                   (skipped when the hardware lacks the cores)\n\
-                     --out FILE          JSON artefact path (default BENCH_PR2.json)"
+                     --out FILE          JSON artefact path (default BENCH_PR10.json)"
                 );
                 std::process::exit(0);
             }
@@ -196,11 +220,332 @@ fn measure(solver: &str, label: &'static str, cells: usize, args: &Args) -> Row 
     }
 }
 
-fn write_json(args: &Args, hw_threads: usize, rows: &[Row]) -> std::io::Result<()> {
+/// One measured hot-kernel point of the roofline section.
+struct KernelRow {
+    name: &'static str,
+    cells: usize,
+    bytes_per_cell: f64,
+    flops_per_cell: f64,
+    seconds: f64,
+    gbs: f64,
+    pct_peak: f64,
+    lane_bits_ok: bool,
+}
+
+/// Interior bit pattern of a field, for exact lane-vs-scalar comparison.
+fn interior_bits(f: &Field2D) -> Vec<u64> {
+    let mut bits = Vec::with_capacity(f.nx() * f.ny());
+    for k in 0..f.ny() as isize {
+        for j in 0..f.nx() as isize {
+            bits.push(f.at(j, k).to_bits());
+        }
+    }
+    bits
+}
+
+/// Measured streaming peak: a threaded flat-array fused update
+/// (`a[i] += b[i] + s·c[i]`, 32 B/element) over arrays far larger than
+/// LLC, minimum of `reps` runs. This is the denominator of every
+/// percent-of-peak figure — measured on this machine at the same thread
+/// count the kernels run with, not quoted from a spec sheet. The
+/// read-modify-write form (rather than STREAM's pure-store triad) makes
+/// the counted bytes equal the moved bytes: a store-only destination
+/// hides a write-allocate read the 24 B/element accounting misses,
+/// which would sandbag the peak against kernels that read what they
+/// write (axpy, scale_add) and push their percent-of-peak over 100.
+fn streaming_peak(threads: usize, reps: usize, smoke: bool) -> f64 {
+    let n: usize = if smoke { 1 << 20 } else { 1 << 23 };
+    let b = vec![1.5f64; n];
+    let c = vec![2.5f64; n];
+    let mut a = vec![0.0f64; n];
+    let t = threads.max(1);
+    let chunk = n.div_ceil(t);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(2) + 1 {
+        let start = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for ((ac, bc), cc) in a
+                .chunks_mut(chunk)
+                .zip(b.chunks(chunk))
+                .zip(c.chunks(chunk))
+            {
+                s.spawn(move || {
+                    // zips, not indexing: bounds checks would keep this
+                    // loop scalar and sandbag the peak the kernels are
+                    // scored against
+                    for ((av, &bv), &cv) in ac.iter_mut().zip(bc).zip(cc) {
+                        *av += bv + 3.0 * cv;
+                    }
+                });
+            }
+        });
+        // first run is the page-fault warm-up; keep the min of the rest
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    std::hint::black_box(&a);
+    n as f64 * 32.0 / best
+}
+
+/// Runs one hot kernel: asserts the threaded lane path is bit-identical
+/// to the 1-thread scalar f64 reference, then times it and scores it
+/// against the measured streaming peak.
+#[allow(clippy::too_many_arguments)]
+fn bench_kernel(
+    name: &'static str,
+    threads: usize,
+    reps: usize,
+    sweeps: usize,
+    cells: f64,
+    peak: f64,
+    once: &mut dyn FnMut() -> Vec<u64>,
+    many: &mut dyn FnMut(usize) -> f64,
+) -> KernelRow {
+    // 1 thread selects the scalar reference path; >= 2 selects lanes
+    tea_core::set_num_threads(1);
+    let scalar_bits = once();
+    tea_core::set_num_threads(threads.max(2));
+    let lane_bits = once();
+    let lane_bits_ok = scalar_bits == lane_bits;
+    assert!(
+        lane_bits_ok,
+        "{name}: lane kernel diverged from the scalar f64 reference"
+    );
+
+    tea_core::set_num_threads(threads);
+    let _ = many(sweeps.div_ceil(4)); // warm-up, discarded
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        best = best.min(many(sweeps) / sweeps as f64);
+    }
+    tea_core::set_num_threads(1);
+
+    let model = tea_perfmodel::kernel_roofline(name).expect("modelled kernel");
+    KernelRow {
+        name,
+        cells: cells as usize,
+        bytes_per_cell: model.bytes_per_cell(8.0),
+        flops_per_cell: model.flops_per_cell,
+        seconds: best,
+        gbs: model.achieved_bandwidth(cells, 8.0, best) / 1e9,
+        pct_peak: model.percent_of_peak(cells, 8.0, best, peak),
+        lane_bits_ok,
+    }
+}
+
+/// The per-kernel roofline bench on crooked-pipe coefficients.
+fn kernel_bench(args: &Args, peak: f64) -> Vec<KernelRow> {
+    use tea_core::{vector, SolveTrace, TileBounds, TileOperator};
+    use tea_mesh::{crooked_pipe, timestep_scalings, Coefficients, Mesh2D};
+
+    let n = args.kernel_cells;
+    let halo = 2;
+    let problem = crooked_pipe(n);
+    let mesh = Mesh2D::serial(n, n, problem.extent);
+    let mut density = Field2D::new(n, n, halo);
+    let mut energy = Field2D::new(n, n, halo);
+    problem.apply_states(&mesh, &mut density, &mut energy);
+    let (rx, ry) = timestep_scalings(&mesh, 0.04);
+    let coeffs = Coefficients::assemble(&mesh, &density, problem.coefficient, rx, ry, halo);
+    let op = TileOperator::new(coeffs, TileBounds::serial(n, n));
+    let bounds = op.bounds;
+
+    // deterministic, non-uniform inputs so no kernel sees degenerate data
+    fn field(n: usize, halo: usize, seed: f64) -> Field2D {
+        let mut f = Field2D::new(n, n, halo);
+        for k in 0..n as isize {
+            let row = f.row_mut(k, 0, n as isize);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = 1.0 + seed * ((j % 17) as f64 + (k as usize % 13) as f64) * 1e-3;
+            }
+        }
+        f
+    }
+    let p = field(n, halo, 1.0);
+    let u0 = field(n, halo, 2.0);
+    let sweeps = if args.smoke { 8 } else { 24 };
+    let cells = (n * n) as f64;
+    let reps = args.reps;
+    let threads = args.threads;
+    let mut rows = Vec::new();
+
+    rows.push(bench_kernel(
+        "apply",
+        threads,
+        reps,
+        sweeps,
+        cells,
+        peak,
+        &mut || {
+            let mut w = Field2D::new(n, n, halo);
+            let mut tr = SolveTrace::new("k");
+            op.apply(&p, &mut w, 0, &mut tr);
+            interior_bits(&w)
+        },
+        &mut |s| {
+            let mut w = Field2D::new(n, n, halo);
+            let mut tr = SolveTrace::new("k");
+            let t0 = std::time::Instant::now();
+            for _ in 0..s {
+                op.apply(&p, &mut w, 0, &mut tr);
+            }
+            t0.elapsed().as_secs_f64()
+        },
+    ));
+
+    rows.push(bench_kernel(
+        "residual",
+        threads,
+        reps,
+        sweeps,
+        cells,
+        peak,
+        &mut || {
+            let mut r = Field2D::new(n, n, halo);
+            let mut tr = SolveTrace::new("k");
+            op.residual(&p, &u0, &mut r, 0, &mut tr);
+            interior_bits(&r)
+        },
+        &mut |s| {
+            let mut r = Field2D::new(n, n, halo);
+            let mut tr = SolveTrace::new("k");
+            let t0 = std::time::Instant::now();
+            for _ in 0..s {
+                op.residual(&p, &u0, &mut r, 0, &mut tr);
+            }
+            t0.elapsed().as_secs_f64()
+        },
+    ));
+
+    rows.push(bench_kernel(
+        "dot",
+        threads,
+        reps,
+        sweeps,
+        cells,
+        peak,
+        &mut || {
+            let mut tr = SolveTrace::new("k");
+            vec![vector::dot_local(&p, &u0, &bounds, &mut tr).to_bits()]
+        },
+        &mut |s| {
+            let mut tr = SolveTrace::new("k");
+            let t0 = std::time::Instant::now();
+            let mut acc = 0.0;
+            for _ in 0..s {
+                acc += vector::dot_local(&p, &u0, &bounds, &mut tr);
+            }
+            std::hint::black_box(acc);
+            t0.elapsed().as_secs_f64()
+        },
+    ));
+
+    rows.push(bench_kernel(
+        "axpy",
+        threads,
+        reps,
+        sweeps,
+        cells,
+        peak,
+        &mut || {
+            let mut y = field(n, halo, 3.0);
+            let mut tr = SolveTrace::new("k");
+            vector::axpy(&mut y, 0.25, &p, &bounds, 0, &mut tr);
+            interior_bits(&y)
+        },
+        &mut |s| {
+            let mut y = field(n, halo, 3.0);
+            let mut tr = SolveTrace::new("k");
+            let t0 = std::time::Instant::now();
+            for _ in 0..s {
+                vector::axpy(&mut y, 1e-3, &p, &bounds, 0, &mut tr);
+            }
+            t0.elapsed().as_secs_f64()
+        },
+    ));
+
+    rows.push(bench_kernel(
+        "scale_add",
+        threads,
+        reps,
+        sweeps,
+        cells,
+        peak,
+        &mut || {
+            let mut y = field(n, halo, 4.0);
+            let mut tr = SolveTrace::new("k");
+            vector::scale_add(&mut y, 0.5, 0.5, &p, &bounds, 0, &mut tr);
+            interior_bits(&y)
+        },
+        &mut |s| {
+            let mut y = field(n, halo, 4.0);
+            let mut tr = SolveTrace::new("k");
+            let t0 = std::time::Instant::now();
+            for _ in 0..s {
+                vector::scale_add(&mut y, 0.5, 0.5, &p, &bounds, 0, &mut tr);
+            }
+            t0.elapsed().as_secs_f64()
+        },
+    ));
+
+    rows.push(bench_kernel(
+        "fused_cheb",
+        threads,
+        reps,
+        sweeps,
+        cells,
+        peak,
+        &mut || {
+            let mut z = field(n, halo, 5.0);
+            let mut rr = field(n, halo, 6.0);
+            let mut tr = SolveTrace::new("k");
+            op.apply_cheb_fused(&p, &mut z, &mut rr, 0, &mut tr);
+            let mut bits = interior_bits(&z);
+            bits.extend(interior_bits(&rr));
+            bits
+        },
+        &mut |s| {
+            let mut z = field(n, halo, 5.0);
+            let mut rr = field(n, halo, 6.0);
+            let mut tr = SolveTrace::new("k");
+            let t0 = std::time::Instant::now();
+            for _ in 0..s {
+                op.apply_cheb_fused(&p, &mut z, &mut rr, 0, &mut tr);
+            }
+            t0.elapsed().as_secs_f64()
+        },
+    ));
+
+    rows
+}
+
+/// Modelled bytes/iteration of the fused PPCG inner sweep vs the
+/// pre-fusion schedule — the artefact records both so the fusion's
+/// traffic saving is a checked number, not a claim.
+fn fused_model(inner_steps: usize) -> (f64, f64) {
+    let kb = tea_perfmodel::KernelBytes::default();
+    let fused = tea_perfmodel::predicted_iteration_bytes("ppcg", inner_steps, &kb);
+    let sweep = kb.spmv + 3.0 * kb.vector + kb.precon;
+    let unfused = sweep + 2.0 * kb.dot + inner_steps as f64 * sweep;
+    assert!(
+        fused < unfused,
+        "fused Chebyshev sweep must reduce modelled bytes/iteration: {fused} vs {unfused}"
+    );
+    (fused, unfused)
+}
+
+fn write_json(
+    args: &Args,
+    hw_threads: usize,
+    rows: &[Row],
+    peak: f64,
+    kernels: &[KernelRow],
+) -> std::io::Result<()> {
+    let inner = 16usize;
+    let (fused, unfused) = fused_model(inner);
     let mut f = std::fs::File::create(&args.out)?;
     writeln!(f, "{{")?;
     writeln!(f, "  \"bench\": \"speedup\",")?;
-    writeln!(f, "  \"pr\": 2,")?;
+    writeln!(f, "  \"pr\": 10,")?;
     writeln!(f, "  \"workload\": \"crooked_pipe\",")?;
     writeln!(f, "  \"hardware_threads\": {hw_threads},")?;
     writeln!(f, "  \"threads\": {},", args.threads)?;
@@ -209,6 +554,32 @@ fn write_json(args: &Args, hw_threads: usize, rows: &[Row]) -> std::io::Result<(
     writeln!(f, "  \"max_iters\": {},", args.max_iters)?;
     writeln!(f, "  \"eps\": {:e},", args.eps)?;
     writeln!(f, "  \"reps\": {},", args.reps)?;
+    writeln!(f, "  \"streaming_peak_gbs\": {:.3},", peak / 1e9)?;
+    writeln!(f, "  \"kernels\": [")?;
+    for (i, k) in kernels.iter().enumerate() {
+        let comma = if i + 1 < kernels.len() { "," } else { "" };
+        writeln!(
+            f,
+            "    {{\"kernel\": \"{}\", \"cells\": {}, \"bytes_per_cell\": {}, \
+             \"flops_per_cell\": {}, \"seconds\": {:.6e}, \"gbs\": {:.3}, \
+             \"pct_streaming_peak\": {:.2}, \"lane_bits_ok\": {}}}{comma}",
+            k.name,
+            k.cells,
+            k.bytes_per_cell,
+            k.flops_per_cell,
+            k.seconds,
+            k.gbs,
+            k.pct_peak,
+            k.lane_bits_ok,
+        )?;
+    }
+    writeln!(f, "  ],")?;
+    writeln!(
+        f,
+        "  \"model\": {{\"ppcg_inner_steps\": {inner}, \
+         \"fused_bytes_per_iteration\": {fused}, \
+         \"unfused_bytes_per_iteration\": {unfused}}},"
+    )?;
     writeln!(f, "  \"results\": [")?;
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
@@ -248,6 +619,33 @@ fn main() {
         );
     }
 
+    // kernel roofline: measured streaming peak, then the hot kernels
+    // scored against it (with the lane-vs-scalar bit-identity gate)
+    let peak = streaming_peak(args.threads, args.reps, args.smoke);
+    println!(
+        "streaming peak (fused update, {} threads): {:.2} GB/s",
+        args.threads,
+        peak / 1e9
+    );
+    let kernels = kernel_bench(&args, peak);
+    println!(
+        "{:>11} {:>8} {:>7} {:>7} {:>12} {:>9} {:>7} {:>6}",
+        "kernel", "cells", "B/cell", "F/cell", "s/sweep", "GB/s", "%peak", "bits"
+    );
+    for k in &kernels {
+        println!(
+            "{:>11} {:>8} {:>7} {:>7} {:>12.3e} {:>9.2} {:>7.1} {:>6}",
+            k.name,
+            k.cells,
+            k.bytes_per_cell,
+            k.flops_per_cell,
+            k.seconds,
+            k.gbs,
+            k.pct_peak,
+            if k.lane_bits_ok { "ok" } else { "FAIL" }
+        );
+    }
+
     let configs = [("cg", "CG"), ("ppcg", "PPCG-4")];
     let mut rows = Vec::new();
     println!(
@@ -271,7 +669,7 @@ fn main() {
         }
     }
 
-    write_json(&args, hw_threads, &rows).expect("write JSON artefact");
+    write_json(&args, hw_threads, &rows, peak, &kernels).expect("write JSON artefact");
     println!("wrote {}", args.out.display());
 
     if let Some(required) = args.require_speedup {

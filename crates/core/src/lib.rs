@@ -17,6 +17,13 @@
 //! by name from the [`SolverRegistry`], and the [`Solve`] builder is
 //! the one-expression way in.
 //!
+//! The hot kernel rows run as explicit-width lane kernels
+//! ([`vector::lanes`], `Scalar::LANES` elements per group, safe
+//! `chunks_exact` code only) that are bit-identical to the scalar f64
+//! reference ([`vector::scalar_ref`]) — the reference itself is what
+//! executes at f64 precision with one worker thread, so the
+//! determinism contract is anchored to the original scalar loop.
+//!
 //! ## Example: block-Jacobi-preconditioned CG on the crooked pipe
 //!
 //! ```

@@ -658,28 +658,25 @@ fn cheb_inner_f32<C: Communicator + ?Sized>(
 
     if h == 1 {
         // Classic depth-1 schedule: interior-only updates, one exchange
-        // per inner step, block-Jacobi allowed.
+        // per inner step, block-Jacobi allowed. Fused like
+        // `ppcg::cheb_inner`: stencil + z/rr updates in one pass, then
+        // the preconditioned sd recurrence (unfused only for
+        // block-Jacobi strip solves).
         precon32.apply(&f.rr, &mut f.tmp, bounds, 0, trace);
         vector::scaled_copy(&mut f.sd, &f.tmp, inv_theta, bounds, 0, trace);
         for &(a_k, b_k) in cheb {
             tile.exchange(&mut [&mut f.sd], 1, trace);
-            op32.apply(&f.sd, &mut f.w, 0, trace);
-            vector::axpy(&mut f.z, 1.0f32, &f.sd, bounds, 0, trace);
-            vector::axpy(&mut f.rr, -1.0f32, &f.w, bounds, 0, trace);
-            precon32.apply(&f.rr, &mut f.tmp, bounds, 0, trace);
-            vector::scale_add(
-                &mut f.sd,
-                f32::from_f64(a_k),
-                f32::from_f64(b_k),
-                &f.tmp,
-                bounds,
-                0,
-                trace,
-            );
+            op32.apply_cheb_fused(&f.sd, &mut f.z, &mut f.rr, 0, trace);
+            let (a32, b32) = (f32::from_f64(a_k), f32::from_f64(b_k));
+            if !precon32.fused_recurrence(&mut f.sd, &f.rr, a32, b32, bounds, 0, trace) {
+                precon32.apply(&f.rr, &mut f.tmp, bounds, 0, trace);
+                vector::scale_add(&mut f.sd, a32, b32, &f.tmp, bounds, 0, trace);
+            }
         }
     } else {
         // Matrix-powers schedule: one depth-h exchange buys h sweeps
-        // over shrinking bounds (paper Fig. 2).
+        // over shrinking bounds (paper Fig. 2), each depth level fused
+        // (block-Jacobi never reaches this branch).
         tile.exchange(&mut [&mut f.rr], h, trace);
         let mut avail = h;
         precon32.apply(&f.rr, &mut f.tmp, bounds, avail, trace);
@@ -692,19 +689,12 @@ fn cheb_inner_f32<C: Communicator + ?Sized>(
             }
             // never sweep wider than the remaining steps can use
             let e = (avail - 1).min(m - 1 - step);
-            op32.apply(&f.sd, &mut f.w, e, trace);
-            vector::axpy(&mut f.z, 1.0f32, &f.sd, bounds, e, trace);
-            vector::axpy(&mut f.rr, -1.0f32, &f.w, bounds, e, trace);
-            precon32.apply(&f.rr, &mut f.tmp, bounds, e, trace);
-            vector::scale_add(
-                &mut f.sd,
-                f32::from_f64(a_k),
-                f32::from_f64(b_k),
-                &f.tmp,
-                bounds,
-                e,
-                trace,
-            );
+            op32.apply_cheb_fused(&f.sd, &mut f.z, &mut f.rr, e, trace);
+            let (a32, b32) = (f32::from_f64(a_k), f32::from_f64(b_k));
+            if !precon32.fused_recurrence(&mut f.sd, &f.rr, a32, b32, bounds, e, trace) {
+                precon32.apply(&f.rr, &mut f.tmp, bounds, e, trace);
+                vector::scale_add(&mut f.sd, a32, b32, &f.tmp, bounds, e, trace);
+            }
             avail = e;
         }
     }

@@ -25,6 +25,26 @@
 use crate::trace::SolveTrace;
 use tea_mesh::{Coefficients, Field2, Mesh2D, Scalar};
 
+/// The 5-point stencil at column `i` of one row — the one expression
+/// every operator kernel (apply, fused-dot apply, residual, the fused
+/// Chebyshev sweep) evaluates, factored out so the floating-point
+/// association can never drift between them. `pc` is the centre row
+/// sliced one cell wider on each side (centre value at `pc[i + 1]`).
+#[inline(always)]
+fn stencil5<S: Scalar>(
+    kxr: &[S],
+    kyc: &[S],
+    kyn: &[S],
+    pc: &[S],
+    ps: &[S],
+    pn: &[S],
+    i: usize,
+) -> S {
+    (S::ONE + (kyn[i] + kyc[i]) + (kxr[i + 1] + kxr[i])) * pc[i + 1]
+        - (kyn[i] * pn[i] + kyc[i] * ps[i])
+        - (kxr[i + 1] * pc[i + 2] + kxr[i] * pc[i])
+}
+
 /// Per-side maximum extension of a tile's sweeps.
 ///
 /// Interior tile edges allow extension up to the allocated halo; edges on
@@ -204,10 +224,55 @@ impl<S: Scalar> TileOperator<S> {
             let kyc = ky.row(k, x_lo, x_hi);
             let kyn = ky.row(k + 1, x_lo, x_hi);
             for i in 0..n {
-                let ap = (S::ONE + (kyn[i] + kyc[i]) + (kxr[i + 1] + kxr[i])) * pc[i + 1]
-                    - (kyn[i] * pn[i] + kyc[i] * ps[i])
-                    - (kxr[i + 1] * pc[i + 2] + kxr[i] * pc[i]);
-                rr[i] = br[i] - ap;
+                rr[i] = br[i] - stencil5(kxr, kyc, kyn, pc, ps, pn, i);
+            }
+        });
+    }
+
+    /// Fused Chebyshev inner step, first pass: per cell computes
+    /// `v = (A·sd)(j,k)` and immediately applies both vector updates
+    /// `z += sd` and `rr -= v` in the same sweep — the intermediate `w`
+    /// field is never stored or re-read, cutting the step's traffic from
+    /// three sweeps (stencil store + two axpy read-modify-writes) to one
+    /// (and the `z` update rides on the `sd` centre value the stencil
+    /// already loaded).
+    ///
+    /// Bit-identical to the unfused sequence `apply(sd, w)`,
+    /// `axpy(z, 1, sd)`, `axpy(rr, -1, w)`: the stencil shares the same
+    /// 5-point row kernel as [`TileOperator::apply`], `z + 1·sd` rounds as
+    /// `z + sd`, and `rr + (-1)·v` rounds as `rr - v`.
+    ///
+    /// Requires `sd` valid to extension `ext + 1`, like
+    /// [`TileOperator::apply`].
+    pub fn apply_cheb_fused(
+        &self,
+        sd: &Field2<S>,
+        z: &mut Field2<S>,
+        rr: &mut Field2<S>,
+        ext: usize,
+        trace: &mut SolveTrace,
+    ) {
+        trace.spmv.record(ext);
+        trace.fused_updates.record(ext);
+        let (x_lo, x_hi, _, _) = self.bounds.range(ext);
+        let n = (x_hi - x_lo) as usize;
+        let kx = &self.coeffs.kx;
+        let ky = &self.coeffs.ky;
+        debug_assert!(
+            sd.halo() as isize > ext as isize,
+            "sd halo too shallow for extension {ext}"
+        );
+        crate::vector::for_rows2(z, rr, &self.bounds, ext, |k, zr, rrow| {
+            let pc = sd.row(k, x_lo - 1, x_hi + 1);
+            let ps = sd.row(k - 1, x_lo, x_hi);
+            let pn = sd.row(k + 1, x_lo, x_hi);
+            let kxr = kx.row(k, x_lo, x_hi + 1);
+            let kyc = ky.row(k, x_lo, x_hi);
+            let kyn = ky.row(k + 1, x_lo, x_hi);
+            for i in 0..n {
+                let v = stencil5(kxr, kyc, kyn, pc, ps, pn, i);
+                zr[i] += pc[i + 1];
+                rrow[i] -= v;
             }
         });
     }
@@ -230,9 +295,7 @@ impl<S: Scalar> TileOperator<S> {
             let kyn = ky.row(k + 1, x_lo, x_hi);
             let mut partial = S::ZERO;
             for i in 0..n {
-                let v = (S::ONE + (kyn[i] + kyc[i]) + (kxr[i + 1] + kxr[i])) * pc[i + 1]
-                    - (kyn[i] * pn[i] + kyc[i] * ps[i])
-                    - (kxr[i + 1] * pc[i + 2] + kxr[i] * pc[i]);
+                let v = stencil5(kxr, kyc, kyn, pc, ps, pn, i);
                 wr[i] = v;
                 partial += pc[i + 1] * v;
             }
@@ -393,6 +456,44 @@ mod tests {
                 assert_eq!(w1.at(j, k), w2.at(j, k));
             }
         }
+    }
+
+    #[test]
+    fn cheb_fused_pass_matches_unfused_bitwise() {
+        // the fused stencil+update pass must reproduce apply +
+        // axpy(z, +1, sd) + axpy(rr, -1, w) bit for bit — it is the
+        // same arithmetic, minus the w store
+        let n = 24;
+        let op = crooked_op(n, 2);
+        let mut t = SolveTrace::new("t");
+        let mut sd = Field2D::new(n, n, 2);
+        let mut z = Field2D::new(n, n, 2);
+        let mut rr = Field2D::new(n, n, 2);
+        for k in 0..n as isize {
+            for j in 0..n as isize {
+                sd.set(j, k, ((j * 29 + k * 31) % 17) as f64 / 5.0 - 1.3);
+                z.set(j, k, ((j + 3 * k) % 7) as f64 / 3.0);
+                rr.set(j, k, ((2 * j - k) % 9) as f64 / 4.0);
+            }
+        }
+        let (mut z2, mut rr2) = (z.clone(), rr.clone());
+        let mut w = Field2D::new(n, n, 2);
+        op.apply(&sd, &mut w, 0, &mut t);
+        crate::vector::axpy(&mut z2, 1.0, &sd, &op.bounds, 0, &mut t);
+        crate::vector::axpy(&mut rr2, -1.0, &w, &op.bounds, 0, &mut t);
+        op.apply_cheb_fused(&sd, &mut z, &mut rr, 0, &mut t);
+        for k in 0..n as isize {
+            for j in 0..n as isize {
+                assert_eq!(z.at(j, k).to_bits(), z2.at(j, k).to_bits(), "z ({j},{k})");
+                assert_eq!(
+                    rr.at(j, k).to_bits(),
+                    rr2.at(j, k).to_bits(),
+                    "rr ({j},{k})"
+                );
+            }
+        }
+        assert_eq!(t.fused_updates.total(), 1);
+        assert_eq!(t.spmv.total(), 2);
     }
 
     #[test]

@@ -299,8 +299,9 @@ pub(crate) fn ppcg_solve_impl<C: Communicator + ?Sized>(
 /// matrix-powers deep-halo schedule.
 ///
 /// Uses `ws.r` as the outer residual (read only), and `ws.z` (result
-/// accumulator), `ws.rr` (inner residual), `ws.sd`, `ws.w`, `ws.tmp` as
-/// scratch.
+/// accumulator), `ws.rr` (inner residual) and `ws.sd` as scratch
+/// (`ws.tmp` only on the unfused block-Jacobi fallback — the fused
+/// sweeps never materialize `A·sd`, so `ws.w` is untouched here).
 fn cheb_inner<C: Communicator + ?Sized>(
     tile: &Tile<'_, C>,
     precon: &Preconditioner,
@@ -317,22 +318,28 @@ fn cheb_inner<C: Communicator + ?Sized>(
 
     if h == 1 {
         // Classic depth-1 schedule: interior-only updates, one exchange
-        // per inner step, block-Jacobi allowed.
+        // per inner step, block-Jacobi allowed. Each step is two fused
+        // sweeps: stencil + z/rr updates in one pass (w never stored),
+        // then the preconditioned sd recurrence in a second — except
+        // block-Jacobi, whose strip solves fall back to the unfused
+        // recurrence.
         precon.apply(&ws.rr, &mut ws.tmp, bounds, 0, trace);
         vector::scaled_copy(&mut ws.sd, &ws.tmp, 1.0 / consts.theta, bounds, 0, trace);
         for &(a_k, b_k) in cheb {
             tile.exchange(&mut [&mut ws.sd], 1, trace);
-            tile.op.apply(&ws.sd, &mut ws.w, 0, trace);
-            vector::axpy(&mut ws.z, 1.0, &ws.sd, bounds, 0, trace);
-            vector::axpy(&mut ws.rr, -1.0, &ws.w, bounds, 0, trace);
-            precon.apply(&ws.rr, &mut ws.tmp, bounds, 0, trace);
-            vector::scale_add(&mut ws.sd, a_k, b_k, &ws.tmp, bounds, 0, trace);
+            tile.op
+                .apply_cheb_fused(&ws.sd, &mut ws.z, &mut ws.rr, 0, trace);
+            if !precon.fused_recurrence(&mut ws.sd, &ws.rr, a_k, b_k, bounds, 0, trace) {
+                precon.apply(&ws.rr, &mut ws.tmp, bounds, 0, trace);
+                vector::scale_add(&mut ws.sd, a_k, b_k, &ws.tmp, bounds, 0, trace);
+            }
         }
         return;
     }
 
     // Matrix-powers schedule: one depth-h exchange buys h sweeps over
-    // shrinking bounds (paper Fig. 2).
+    // shrinking bounds (paper Fig. 2), each depth level fused exactly
+    // like the depth-1 step (block-Jacobi never reaches this branch).
     tile.exchange(&mut [&mut ws.rr], h, trace);
     let mut avail = h; // sd/rr validity extension after the exchange
     apply_precon_ext(precon, &ws.rr, &mut ws.tmp, bounds, avail, trace);
@@ -352,11 +359,12 @@ fn cheb_inner<C: Communicator + ?Sized>(
         }
         // never sweep wider than the remaining steps can use
         let e = (avail - 1).min(m - 1 - step);
-        tile.op.apply(&ws.sd, &mut ws.w, e, trace);
-        vector::axpy(&mut ws.z, 1.0, &ws.sd, bounds, e, trace);
-        vector::axpy(&mut ws.rr, -1.0, &ws.w, bounds, e, trace);
-        apply_precon_ext(precon, &ws.rr, &mut ws.tmp, bounds, e, trace);
-        vector::scale_add(&mut ws.sd, a_k, b_k, &ws.tmp, bounds, e, trace);
+        tile.op
+            .apply_cheb_fused(&ws.sd, &mut ws.z, &mut ws.rr, e, trace);
+        if !precon.fused_recurrence(&mut ws.sd, &ws.rr, a_k, b_k, bounds, e, trace) {
+            apply_precon_ext(precon, &ws.rr, &mut ws.tmp, bounds, e, trace);
+            vector::scale_add(&mut ws.sd, a_k, b_k, &ws.tmp, bounds, e, trace);
+        }
         avail = e;
     }
 }

@@ -143,6 +143,40 @@ impl<S: Scalar> Preconditioner<S> {
         }
     }
 
+    /// Fused Chebyshev inner step, second pass: the `sd` recurrence
+    /// `sd = a·sd + b·(M⁻¹ rr)` in one sweep when the preconditioner is
+    /// elementwise. Identity drops the intermediate copy (`M⁻¹rr = rr`);
+    /// Diagonal fuses the reciprocal-diagonal product into the
+    /// recurrence via [`vector::scale_add_mul`]. Both round exactly like
+    /// the unfused [`Preconditioner::apply`] + [`vector::scale_add`]
+    /// sequence. Returns `false` for block-Jacobi — whole-strip direct
+    /// solves cannot fold into an elementwise pass — in which case the
+    /// caller must run the unfused sequence itself.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fused_recurrence(
+        &self,
+        sd: &mut Field2<S>,
+        rr: &Field2<S>,
+        a: S,
+        b: S,
+        bounds: &TileBounds,
+        ext: usize,
+        trace: &mut SolveTrace,
+    ) -> bool {
+        match self {
+            Preconditioner::Identity => {
+                vector::scale_add(sd, a, b, rr, bounds, ext, trace);
+                true
+            }
+            Preconditioner::Diagonal { inv_diag } => {
+                trace.precon_ops.record(ext);
+                vector::scale_add_mul(sd, a, b, rr, inv_diag, bounds, ext, trace);
+                true
+            }
+            Preconditioner::BlockJacobi(_) => false,
+        }
+    }
+
     /// Whether this preconditioner may be applied at `ext > 0`.
     pub fn supports_extension(&self) -> bool {
         !matches!(self, Preconditioner::BlockJacobi(_))
@@ -408,6 +442,49 @@ mod tests {
             }
         }
         assert_eq!(t.precon_ops.total(), 1);
+    }
+
+    #[test]
+    fn fused_recurrence_matches_apply_then_scale_add_bitwise() {
+        let op = crooked_op(11, 1); // odd size exercises lane remainders
+        let (a, b) = (0.8191061549414237, 0.3066128620687435);
+        for kind in [
+            PreconKind::None,
+            PreconKind::Diagonal,
+            PreconKind::BlockJacobi,
+        ] {
+            let m = Preconditioner::setup(kind, &op, 0);
+            let mut t = SolveTrace::new("t");
+            let mut rr = Field2D::new(11, 11, 1);
+            let mut sd = Field2D::new(11, 11, 1);
+            for k in 0..11isize {
+                for j in 0..11isize {
+                    rr.set(j, k, ((j * 5 + k * 3) % 13) as f64 / 7.0 - 0.9);
+                    sd.set(j, k, ((j - 2 * k) % 5) as f64 / 3.0);
+                }
+            }
+            // unfused reference: z = M^{-1} rr, then sd = a sd + b z
+            let mut want = sd.clone();
+            let mut tmp = Field2D::new(11, 11, 1);
+            m.apply(&rr, &mut tmp, &op.bounds, 0, &mut t);
+            crate::vector::scale_add(&mut want, a, b, &tmp, &op.bounds, 0, &mut t);
+
+            let fused = m.fused_recurrence(&mut sd, &rr, a, b, &op.bounds, 0, &mut t);
+            if kind == PreconKind::BlockJacobi {
+                assert!(!fused, "block solves must refuse to fuse");
+                continue;
+            }
+            assert!(fused, "{kind:?} must fuse");
+            for k in 0..11isize {
+                for j in 0..11isize {
+                    assert_eq!(
+                        sd.at(j, k).to_bits(),
+                        want.at(j, k).to_bits(),
+                        "{kind:?} ({j},{k})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

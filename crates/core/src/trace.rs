@@ -69,6 +69,12 @@ pub struct SolveTrace {
     pub dot_kernels: KernelCounts,
     /// Preconditioner applications by extension.
     pub precon_ops: KernelCounts,
+    /// Fused stencil+vector update passes by extension: the matrix-powers
+    /// Chebyshev inner sweep folds the `z`/`rr` updates into the stencil
+    /// application, so each such pass replaces two separate `vector_ops`
+    /// sweeps (and skips the intermediate `w` store entirely). Recorded
+    /// separately so the byte model can price the fused traffic honestly.
+    pub fused_updates: KernelCounts,
     /// Global reductions (allreduce latencies paid).
     pub reductions: u64,
     /// Scalars carried across all reductions.
@@ -143,6 +149,7 @@ impl SolveTrace {
             vector_ops: scale_counts(&self.vector_ops),
             dot_kernels: scale_counts(&self.dot_kernels),
             precon_ops: scale_counts(&self.precon_ops),
+            fused_updates: scale_counts(&self.fused_updates),
             reductions: sc(self.reductions),
             reduction_elements: sc(self.reduction_elements),
             halo_exchanges: self
@@ -163,6 +170,7 @@ impl SolveTrace {
         self.vector_ops.merge(&other.vector_ops);
         self.dot_kernels.merge(&other.dot_kernels);
         self.precon_ops.merge(&other.precon_ops);
+        self.fused_updates.merge(&other.fused_updates);
         self.reductions += other.reductions;
         self.reduction_elements += other.reduction_elements;
         for (&k, &n) in &other.halo_exchanges {

@@ -8,12 +8,356 @@
 //! reductions, and generic over the [`Scalar`] precision (f64 call
 //! sites read exactly as before; the mixed-precision solvers
 //! instantiate the same code at `f32`).
+//!
+//! # Lane kernels and the scalar reference
+//!
+//! Each kernel has two row bodies: the [`lanes`] module sweeps rows in
+//! fixed-width groups of [`Scalar::LANES`] elements (`f64`×4 / `f32`×8
+//! — one 256-bit register per group, no `unsafe`, plain `chunks_exact`
+//! that LLVM turns into vector code), and the [`scalar_ref`] module
+//! keeps the original element-at-a-time loops as the bit-identity
+//! reference. Both bodies evaluate the *same* floating-point expression
+//! per element — elementwise kernels chunk without reassociating, and
+//! the reductions vectorize only the multiplies while folding the adds
+//! in element order — so the two paths are bitwise equal by
+//! construction. The reference body is selected whenever
+//! [`scalar_reference_active`] holds (`f64` at `TEA_NUM_THREADS=1`), so
+//! the sequential f64 baseline the determinism contract pins is still
+//! executed by the pre-vectorization code, and the lane path is
+//! continuously checked against it (`tests/lane_identity.rs`, the
+//! `speedup` bench).
 
 use crate::ops::TileBounds;
 use crate::runtime::par_threshold;
 use crate::trace::SolveTrace;
 use rayon::prelude::*;
 use tea_mesh::{Field2, Scalar};
+
+/// True when the pre-vectorization scalar row bodies are dispatched:
+/// `f64` storage on a single-thread runtime (`TEA_NUM_THREADS=1`).
+///
+/// This is the bit-identity reference configuration: the sequential f64
+/// sweep every other thread count and precision is pinned against runs
+/// exactly the code it ran before the lane kernels existed. Because the
+/// lane bodies are bitwise-equal by construction, flipping this
+/// predicate never changes results — it changes which machine code
+/// produces them.
+#[inline]
+pub fn scalar_reference_active<S: Scalar>() -> bool {
+    S::BYTES == 8 && crate::runtime::num_threads() == 1
+}
+
+/// Explicit-width lane row kernels: each body walks the row in
+/// `chunks_exact(S::LANES)` groups materialized as fixed-size arrays,
+/// which LLVM compiles to vector loads/stores without any `unsafe`.
+///
+/// Elementwise kernels apply the identical per-element expression to
+/// each lane, so chunking cannot change a single rounding. The
+/// reduction kernels ([`lanes::dot_row`], [`lanes::abs_diff_row`])
+/// vectorize only the elementwise part (products / absolute
+/// differences) into a lane buffer and then fold the buffer in element
+/// order — the additions form the same serial chain as the scalar
+/// reference, so the result is bit-identical while the multiplies leave
+/// the critical path.
+pub mod lanes {
+    use tea_mesh::Scalar;
+
+    /// Monomorphizes a lane body over the format's lane count.
+    macro_rules! by_lanes {
+        ($S:ident, $f:ident ( $($arg:expr),* )) => {
+            match $S::LANES {
+                8 => $f::<$S, 8>($($arg),*),
+                _ => $f::<$S, 4>($($arg),*),
+            }
+        };
+    }
+
+    /// `y += a * x` over one row.
+    #[inline(always)]
+    pub fn axpy_row<S: Scalar>(y: &mut [S], a: S, x: &[S]) {
+        by_lanes!(S, axpy_chunks(y, a, x))
+    }
+
+    #[inline(always)]
+    fn axpy_chunks<S: Scalar, const L: usize>(y: &mut [S], a: S, x: &[S]) {
+        let mut yc = y.chunks_exact_mut(L);
+        let mut xc = x.chunks_exact(L);
+        for (ya, xa) in (&mut yc).zip(&mut xc) {
+            let ya: &mut [S; L] = ya.try_into().expect("lane chunk");
+            let xa: &[S; L] = xa.try_into().expect("lane chunk");
+            for i in 0..L {
+                ya[i] += a * xa[i];
+            }
+        }
+        for (yi, &xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+            *yi += a * xi;
+        }
+    }
+
+    /// `y = x + a * y` over one row.
+    #[inline(always)]
+    pub fn xpay_row<S: Scalar>(y: &mut [S], x: &[S], a: S) {
+        by_lanes!(S, xpay_chunks(y, x, a))
+    }
+
+    #[inline(always)]
+    fn xpay_chunks<S: Scalar, const L: usize>(y: &mut [S], x: &[S], a: S) {
+        let mut yc = y.chunks_exact_mut(L);
+        let mut xc = x.chunks_exact(L);
+        for (ya, xa) in (&mut yc).zip(&mut xc) {
+            let ya: &mut [S; L] = ya.try_into().expect("lane chunk");
+            let xa: &[S; L] = xa.try_into().expect("lane chunk");
+            for i in 0..L {
+                ya[i] = xa[i] + a * ya[i];
+            }
+        }
+        for (yi, &xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+            *yi = xi + a * *yi;
+        }
+    }
+
+    /// `y = a*y + b*x` over one row.
+    #[inline(always)]
+    pub fn scale_add_row<S: Scalar>(y: &mut [S], a: S, b: S, x: &[S]) {
+        by_lanes!(S, scale_add_chunks(y, a, b, x))
+    }
+
+    #[inline(always)]
+    fn scale_add_chunks<S: Scalar, const L: usize>(y: &mut [S], a: S, b: S, x: &[S]) {
+        let mut yc = y.chunks_exact_mut(L);
+        let mut xc = x.chunks_exact(L);
+        for (ya, xa) in (&mut yc).zip(&mut xc) {
+            let ya: &mut [S; L] = ya.try_into().expect("lane chunk");
+            let xa: &[S; L] = xa.try_into().expect("lane chunk");
+            for i in 0..L {
+                ya[i] = a * ya[i] + b * xa[i];
+            }
+        }
+        for (yi, &xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+            *yi = a * *yi + b * xi;
+        }
+    }
+
+    /// `y = a*y + b*(r .* d)` over one row — the diagonal-preconditioned
+    /// Chebyshev recurrence with the `mul_into` pass fused in. Rounds
+    /// exactly like the two-kernel sequence it replaces (`tmp = r*d`
+    /// rounds first, then `a*y + b*tmp`).
+    #[inline(always)]
+    pub fn scale_add_mul_row<S: Scalar>(y: &mut [S], a: S, b: S, r: &[S], d: &[S]) {
+        by_lanes!(S, scale_add_mul_chunks(y, a, b, r, d))
+    }
+
+    #[inline(always)]
+    fn scale_add_mul_chunks<S: Scalar, const L: usize>(y: &mut [S], a: S, b: S, r: &[S], d: &[S]) {
+        let mut yc = y.chunks_exact_mut(L);
+        let mut rc = r.chunks_exact(L);
+        let mut dc = d.chunks_exact(L);
+        for ((ya, ra), da) in (&mut yc).zip(&mut rc).zip(&mut dc) {
+            let ya: &mut [S; L] = ya.try_into().expect("lane chunk");
+            let ra: &[S; L] = ra.try_into().expect("lane chunk");
+            let da: &[S; L] = da.try_into().expect("lane chunk");
+            for i in 0..L {
+                ya[i] = a * ya[i] + b * (ra[i] * da[i]);
+            }
+        }
+        for ((yi, &ri), &di) in yc
+            .into_remainder()
+            .iter_mut()
+            .zip(rc.remainder())
+            .zip(dc.remainder())
+        {
+            *yi = a * *yi + b * (ri * di);
+        }
+    }
+
+    /// `dst = src * scale` over one row.
+    #[inline(always)]
+    pub fn scaled_copy_row<S: Scalar>(dst: &mut [S], src: &[S], scale: S) {
+        by_lanes!(S, scaled_copy_chunks(dst, src, scale))
+    }
+
+    #[inline(always)]
+    fn scaled_copy_chunks<S: Scalar, const L: usize>(dst: &mut [S], src: &[S], scale: S) {
+        let mut dc = dst.chunks_exact_mut(L);
+        let mut sc = src.chunks_exact(L);
+        for (da, sa) in (&mut dc).zip(&mut sc) {
+            let da: &mut [S; L] = da.try_into().expect("lane chunk");
+            let sa: &[S; L] = sa.try_into().expect("lane chunk");
+            for i in 0..L {
+                da[i] = sa[i] * scale;
+            }
+        }
+        for (di, &si) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
+            *di = si * scale;
+        }
+    }
+
+    /// `dst = a .* b` elementwise over one row.
+    #[inline(always)]
+    pub fn mul_into_row<S: Scalar>(dst: &mut [S], a: &[S], b: &[S]) {
+        by_lanes!(S, mul_into_chunks(dst, a, b))
+    }
+
+    #[inline(always)]
+    fn mul_into_chunks<S: Scalar, const L: usize>(dst: &mut [S], a: &[S], b: &[S]) {
+        let mut dc = dst.chunks_exact_mut(L);
+        let mut ac = a.chunks_exact(L);
+        let mut bc = b.chunks_exact(L);
+        for ((da, aa), ba) in (&mut dc).zip(&mut ac).zip(&mut bc) {
+            let da: &mut [S; L] = da.try_into().expect("lane chunk");
+            let aa: &[S; L] = aa.try_into().expect("lane chunk");
+            let ba: &[S; L] = ba.try_into().expect("lane chunk");
+            for i in 0..L {
+                da[i] = aa[i] * ba[i];
+            }
+        }
+        for ((di, &ai), &bi) in dc
+            .into_remainder()
+            .iter_mut()
+            .zip(ac.remainder())
+            .zip(bc.remainder())
+        {
+            *di = ai * bi;
+        }
+    }
+
+    /// Row dot product `Σ a[i]·b[i]` with the adds folded in element
+    /// order (bit-identical to the scalar chain; only the products are
+    /// lane-parallel).
+    #[inline(always)]
+    pub fn dot_row<S: Scalar>(a: &[S], b: &[S]) -> S {
+        by_lanes!(S, dot_chunks(a, b))
+    }
+
+    #[inline(always)]
+    fn dot_chunks<S: Scalar, const L: usize>(a: &[S], b: &[S]) -> S {
+        let mut ac = a.chunks_exact(L);
+        let mut bc = b.chunks_exact(L);
+        let mut acc = S::ZERO;
+        for (aa, ba) in (&mut ac).zip(&mut bc) {
+            let aa: &[S; L] = aa.try_into().expect("lane chunk");
+            let ba: &[S; L] = ba.try_into().expect("lane chunk");
+            let mut prod = [S::ZERO; L];
+            for i in 0..L {
+                prod[i] = aa[i] * ba[i];
+            }
+            // fold in element order: the same serial add chain as the
+            // scalar reference, so the partial is bit-identical
+            for p in prod {
+                acc += p;
+            }
+        }
+        for (&ai, &bi) in ac.remainder().iter().zip(bc.remainder()) {
+            acc += ai * bi;
+        }
+        acc
+    }
+
+    /// Row sum of absolute differences `Σ|a[i]-b[i]|`, folded in element
+    /// order like [`dot_row`].
+    #[inline(always)]
+    pub fn abs_diff_row<S: Scalar>(a: &[S], b: &[S]) -> S {
+        by_lanes!(S, abs_diff_chunks(a, b))
+    }
+
+    #[inline(always)]
+    fn abs_diff_chunks<S: Scalar, const L: usize>(a: &[S], b: &[S]) -> S {
+        let mut ac = a.chunks_exact(L);
+        let mut bc = b.chunks_exact(L);
+        let mut acc = S::ZERO;
+        for (aa, ba) in (&mut ac).zip(&mut bc) {
+            let aa: &[S; L] = aa.try_into().expect("lane chunk");
+            let ba: &[S; L] = ba.try_into().expect("lane chunk");
+            let mut diff = [S::ZERO; L];
+            for i in 0..L {
+                diff[i] = (aa[i] - ba[i]).abs();
+            }
+            for d in diff {
+                acc += d;
+            }
+        }
+        for (&ai, &bi) in ac.remainder().iter().zip(bc.remainder()) {
+            acc += (ai - bi).abs();
+        }
+        acc
+    }
+}
+
+/// The pre-vectorization row bodies, unchanged — the bit-identity
+/// reference the lane kernels are checked against, and the code that
+/// still runs for `f64` at `TEA_NUM_THREADS=1` (see
+/// [`scalar_reference_active`]).
+pub mod scalar_ref {
+    use tea_mesh::Scalar;
+
+    /// `y += a * x` over one row (element-at-a-time).
+    #[inline(always)]
+    pub fn axpy_row<S: Scalar>(y: &mut [S], a: S, x: &[S]) {
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            *yi += a * xi;
+        }
+    }
+
+    /// `y = x + a * y` over one row (element-at-a-time).
+    #[inline(always)]
+    pub fn xpay_row<S: Scalar>(y: &mut [S], x: &[S], a: S) {
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            *yi = xi + a * *yi;
+        }
+    }
+
+    /// `y = a*y + b*x` over one row (element-at-a-time).
+    #[inline(always)]
+    pub fn scale_add_row<S: Scalar>(y: &mut [S], a: S, b: S, x: &[S]) {
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            *yi = a * *yi + b * xi;
+        }
+    }
+
+    /// `y = a*y + b*(r .* d)` over one row (element-at-a-time).
+    #[inline(always)]
+    pub fn scale_add_mul_row<S: Scalar>(y: &mut [S], a: S, b: S, r: &[S], d: &[S]) {
+        for ((yi, &ri), &di) in y.iter_mut().zip(r).zip(d) {
+            *yi = a * *yi + b * (ri * di);
+        }
+    }
+
+    /// `dst = src * scale` over one row (element-at-a-time).
+    #[inline(always)]
+    pub fn scaled_copy_row<S: Scalar>(dst: &mut [S], src: &[S], scale: S) {
+        for (di, &si) in dst.iter_mut().zip(src) {
+            *di = si * scale;
+        }
+    }
+
+    /// `dst = a .* b` over one row (element-at-a-time).
+    #[inline(always)]
+    pub fn mul_into_row<S: Scalar>(dst: &mut [S], a: &[S], b: &[S]) {
+        for ((di, &ai), &bi) in dst.iter_mut().zip(a).zip(b) {
+            *di = ai * bi;
+        }
+    }
+
+    /// Row dot product, serial add chain.
+    #[inline(always)]
+    pub fn dot_row<S: Scalar>(a: &[S], b: &[S]) -> S {
+        let mut acc = S::ZERO;
+        for (x, y) in a.iter().zip(b) {
+            acc += *x * *y;
+        }
+        acc
+    }
+
+    /// Row sum of absolute differences, serial add chain.
+    #[inline(always)]
+    pub fn abs_diff_row<S: Scalar>(a: &[S], b: &[S]) -> S {
+        let mut acc = S::ZERO;
+        for (x, y) in a.iter().zip(b) {
+            acc += (*x - *y).abs();
+        }
+        acc
+    }
+}
 
 /// Applies `body` to every row of `out` in the `bounds.range(ext)` sweep,
 /// in parallel when large. `body(k, row)` gets the row index and the
@@ -23,8 +367,9 @@ use tea_mesh::{Field2, Scalar};
 /// interior slice bounds and row-range guard live here once, and every
 /// row-parallel kernel (the vector ops below, the 2D operator apply and
 /// residual, the block-Jacobi solve) routes through it or its fused
-/// sibling [`for_rows_sum`]. The 3D operator keeps its own copy only
-/// because `Field3D`'s two-level row decode does not fit this shape.
+/// siblings [`for_rows_sum`] and [`for_rows2`]. The 3D operator keeps
+/// its own copy only because `Field3D`'s two-level row decode does not
+/// fit this shape.
 pub(crate) fn for_rows<S: Scalar>(
     out: &mut Field2<S>,
     bounds: &TileBounds,
@@ -49,6 +394,42 @@ pub(crate) fn for_rows<S: Scalar>(
     } else {
         for k in y_lo..y_hi {
             body(k, out.row_mut(k, x_lo, x_hi));
+        }
+    }
+}
+
+/// [`for_rows`] over *two* output fields of identical shape: `body(k,
+/// row1, row2)` gets both mutable row slices for the same sweep row.
+/// The fused Chebyshev inner sweep updates `z` and `rr` in one pass per
+/// stencil application through this dispatch.
+pub(crate) fn for_rows2<S: Scalar>(
+    out1: &mut Field2<S>,
+    out2: &mut Field2<S>,
+    bounds: &TileBounds,
+    ext: usize,
+    body: impl Fn(isize, &mut [S], &mut [S]) + Sync,
+) {
+    let (x_lo, x_hi, y_lo, y_hi) = bounds.range(ext);
+    let n = (x_hi - x_lo) as usize;
+    if bounds.cells(ext) >= par_threshold() {
+        let stride = out1.stride();
+        let h = out1.halo() as isize;
+        debug_assert_eq!(stride, out2.stride(), "fused outputs must share shape");
+        debug_assert_eq!(h, out2.halo() as isize, "fused outputs must share halo");
+        let x0 = (x_lo + h) as usize;
+        out1.raw_mut()
+            .par_chunks_mut(stride)
+            .zip(out2.raw_mut().par_chunks_mut(stride))
+            .enumerate()
+            .for_each(|(row, (c1, c2))| {
+                let k = row as isize - h;
+                if k >= y_lo && k < y_hi {
+                    body(k, &mut c1[x0..x0 + n], &mut c2[x0..x0 + n]);
+                }
+            });
+    } else {
+        for k in y_lo..y_hi {
+            body(k, out1.row_mut(k, x_lo, x_hi), out2.row_mut(k, x_lo, x_hi));
         }
     }
 }
@@ -127,8 +508,8 @@ pub fn copy<S: Scalar>(
     trace: &mut SolveTrace,
 ) {
     trace.vector_ops.record(ext);
+    let (x_lo, x_hi, _, _) = bounds.range(ext);
     for_rows(dst, bounds, ext, |k, row| {
-        let (x_lo, x_hi, _, _) = bounds.range(ext);
         row.copy_from_slice(src.row(k, x_lo, x_hi));
     });
 }
@@ -143,11 +524,14 @@ pub fn axpy<S: Scalar>(
     trace: &mut SolveTrace,
 ) {
     trace.vector_ops.record(ext);
+    let (x_lo, x_hi, _, _) = bounds.range(ext);
+    let scalar = scalar_reference_active::<S>();
     for_rows(y, bounds, ext, |k, row| {
-        let (x_lo, x_hi, _, _) = bounds.range(ext);
         let xr = x.row(k, x_lo, x_hi);
-        for (yi, &xi) in row.iter_mut().zip(xr) {
-            *yi += a * xi;
+        if scalar {
+            scalar_ref::axpy_row(row, a, xr);
+        } else {
+            lanes::axpy_row(row, a, xr);
         }
     });
 }
@@ -163,11 +547,14 @@ pub fn xpay<S: Scalar>(
     trace: &mut SolveTrace,
 ) {
     trace.vector_ops.record(ext);
+    let (x_lo, x_hi, _, _) = bounds.range(ext);
+    let scalar = scalar_reference_active::<S>();
     for_rows(y, bounds, ext, |k, row| {
-        let (x_lo, x_hi, _, _) = bounds.range(ext);
         let xr = x.row(k, x_lo, x_hi);
-        for (yi, &xi) in row.iter_mut().zip(xr) {
-            *yi = xi + a * *yi;
+        if scalar {
+            scalar_ref::xpay_row(row, xr, a);
+        } else {
+            lanes::xpay_row(row, xr, a);
         }
     });
 }
@@ -183,11 +570,43 @@ pub fn scale_add<S: Scalar>(
     trace: &mut SolveTrace,
 ) {
     trace.vector_ops.record(ext);
+    let (x_lo, x_hi, _, _) = bounds.range(ext);
+    let scalar = scalar_reference_active::<S>();
     for_rows(y, bounds, ext, |k, row| {
-        let (x_lo, x_hi, _, _) = bounds.range(ext);
         let xr = x.row(k, x_lo, x_hi);
-        for (yi, &xi) in row.iter_mut().zip(xr) {
-            *yi = a * *yi + b * xi;
+        if scalar {
+            scalar_ref::scale_add_row(row, a, b, xr);
+        } else {
+            lanes::scale_add_row(row, a, b, xr);
+        }
+    });
+}
+
+/// `y = a*y + b*(r .* d)` over the sweep range — the Chebyshev `sd`
+/// recurrence with the diagonal-preconditioner product fused in, saving
+/// the intermediate `tmp` store and re-read. Rounds exactly like
+/// [`mul_into`] followed by [`scale_add`].
+#[allow(clippy::too_many_arguments)]
+pub fn scale_add_mul<S: Scalar>(
+    y: &mut Field2<S>,
+    a: S,
+    b: S,
+    r: &Field2<S>,
+    d: &Field2<S>,
+    bounds: &TileBounds,
+    ext: usize,
+    trace: &mut SolveTrace,
+) {
+    trace.vector_ops.record(ext);
+    let (x_lo, x_hi, _, _) = bounds.range(ext);
+    let scalar = scalar_reference_active::<S>();
+    for_rows(y, bounds, ext, |k, row| {
+        let rr = r.row(k, x_lo, x_hi);
+        let dr = d.row(k, x_lo, x_hi);
+        if scalar {
+            scalar_ref::scale_add_mul_row(row, a, b, rr, dr);
+        } else {
+            lanes::scale_add_mul_row(row, a, b, rr, dr);
         }
     });
 }
@@ -202,11 +621,14 @@ pub fn scaled_copy<S: Scalar>(
     trace: &mut SolveTrace,
 ) {
     trace.vector_ops.record(ext);
+    let (x_lo, x_hi, _, _) = bounds.range(ext);
+    let scalar = scalar_reference_active::<S>();
     for_rows(dst, bounds, ext, |k, row| {
-        let (x_lo, x_hi, _, _) = bounds.range(ext);
         let sr = src.row(k, x_lo, x_hi);
-        for (d, &s) in row.iter_mut().zip(sr) {
-            *d = s * scale;
+        if scalar {
+            scalar_ref::scaled_copy_row(row, sr, scale);
+        } else {
+            lanes::scaled_copy_row(row, sr, scale);
         }
     });
 }
@@ -221,12 +643,15 @@ pub fn mul_into<S: Scalar>(
     trace: &mut SolveTrace,
 ) {
     trace.vector_ops.record(ext);
+    let (x_lo, x_hi, _, _) = bounds.range(ext);
+    let scalar = scalar_reference_active::<S>();
     for_rows(dst, bounds, ext, |k, row| {
-        let (x_lo, x_hi, _, _) = bounds.range(ext);
         let ar = a.row(k, x_lo, x_hi);
         let br = b.row(k, x_lo, x_hi);
-        for i in 0..row.len() {
-            row[i] = ar[i] * br[i];
+        if scalar {
+            scalar_ref::mul_into_row(row, ar, br);
+        } else {
+            lanes::mul_into_row(row, ar, br);
         }
     });
 }
@@ -251,14 +676,15 @@ pub fn dot_local<S: Scalar>(
     trace: &mut SolveTrace,
 ) -> S {
     trace.dot_kernels.record(0);
+    let scalar = scalar_reference_active::<S>();
     sum_rows(bounds, 0, |k, x_lo, x_hi| {
         let ar = a.row(k, x_lo, x_hi);
         let br = b.row(k, x_lo, x_hi);
-        let mut acc = S::ZERO;
-        for (x, y) in ar.iter().zip(br) {
-            acc += *x * *y;
+        if scalar {
+            scalar_ref::dot_row(ar, br)
+        } else {
+            lanes::dot_row(ar, br)
         }
-        acc
     })
 }
 
@@ -271,14 +697,15 @@ pub fn abs_diff_local<S: Scalar>(
     trace: &mut SolveTrace,
 ) -> S {
     trace.dot_kernels.record(0);
+    let scalar = scalar_reference_active::<S>();
     sum_rows(bounds, 0, |k, x_lo, x_hi| {
         let ar = a.row(k, x_lo, x_hi);
         let br = b.row(k, x_lo, x_hi);
-        let mut acc = S::ZERO;
-        for (x, y) in ar.iter().zip(br) {
-            acc += (*x - *y).abs();
+        if scalar {
+            scalar_ref::abs_diff_row(ar, br)
+        } else {
+            lanes::abs_diff_row(ar, br)
         }
-        acc
     })
 }
 
@@ -319,6 +746,86 @@ mod tests {
         let mut y = f(3, 0, |_, _| 10.0);
         scale_add(&mut y, 0.5, 3.0, &x, &b, 0, &mut t);
         assert_eq!(y.at(0, 0), 0.5 * 10.0 + 3.0 * 2.0);
+    }
+
+    #[test]
+    fn scale_add_mul_matches_two_kernel_sequence() {
+        // the fused recurrence must round exactly like mul_into followed
+        // by scale_add, for awkward (non-dyadic) values
+        let n = 37; // odd size exercises the lane remainder
+        let b = TileBounds::serial(n, n);
+        let mut t = SolveTrace::new("t");
+        let r = f(n, 0, |j, k| 0.1 + (j * 13 + k * 7) as f64 / 17.0);
+        let d = f(n, 0, |j, k| 1.0 / (3.0 + (j + k) as f64 / 11.0));
+        let y0 = f(n, 0, |j, k| ((j - k) as f64) / 7.0);
+        let (a, beta) = (0.123456789, 0.987654321);
+
+        let mut tmp = Field2D::new(n, n, 0);
+        mul_into(&mut tmp, &r, &d, &b, 0, &mut t);
+        let mut want = y0.clone();
+        scale_add(&mut want, a, beta, &tmp, &b, 0, &mut t);
+
+        let mut got = y0.clone();
+        scale_add_mul(&mut got, a, beta, &r, &d, &b, 0, &mut t);
+        for k in 0..n as isize {
+            for j in 0..n as isize {
+                assert_eq!(got.at(j, k).to_bits(), want.at(j, k).to_bits(), "({j},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_rows_match_scalar_reference_bitwise() {
+        // quick in-crate check of the contract the property suite
+        // (tests/lane_identity.rs) explores exhaustively: every lane row
+        // body is bitwise equal to the scalar_ref body, remainder included
+        let len = 23; // 5 lane groups of 4 + remainder 3 for f64
+        let xs: Vec<f64> = (0..len).map(|i| 0.3 + (i as f64) / 7.0).collect();
+        let ys: Vec<f64> = (0..len).map(|i| -1.2 + (i as f64) / 5.0).collect();
+        let (a, bb) = (1.7320508075688772, -0.5772156649015329);
+
+        let (mut l, mut s) = (ys.clone(), ys.clone());
+        lanes::axpy_row(&mut l, a, &xs);
+        scalar_ref::axpy_row(&mut s, a, &xs);
+        assert_eq!(
+            l.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            s.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+
+        let (mut l, mut s) = (ys.clone(), ys.clone());
+        lanes::xpay_row(&mut l, &xs, a);
+        scalar_ref::xpay_row(&mut s, &xs, a);
+        assert_eq!(l, s);
+
+        let (mut l, mut s) = (ys.clone(), ys.clone());
+        lanes::scale_add_row(&mut l, a, bb, &xs);
+        scalar_ref::scale_add_row(&mut s, a, bb, &xs);
+        assert_eq!(l, s);
+
+        let dl = lanes::dot_row(&xs, &ys);
+        let ds = scalar_ref::dot_row(&xs, &ys);
+        assert_eq!(dl.to_bits(), ds.to_bits(), "dot fold order must match");
+
+        let al = lanes::abs_diff_row(&xs, &ys);
+        let as_ = scalar_ref::abs_diff_row(&xs, &ys);
+        assert_eq!(al.to_bits(), as_.to_bits());
+    }
+
+    #[test]
+    fn for_rows2_sweeps_both_fields() {
+        let n = 5;
+        let b = TileBounds::serial(n, n);
+        let mut z = Field2D::new(n, n, 1);
+        let mut rr = f(n, 1, |j, k| (j * 10 + k) as f64);
+        for_rows2(&mut z, &mut rr, &b, 0, |k, zr, rrow| {
+            for (zi, ri) in zr.iter_mut().zip(rrow.iter_mut()) {
+                *zi = *ri + k as f64;
+                *ri = 0.0;
+            }
+        });
+        assert_eq!(z.at(2, 3), 23.0 + 3.0);
+        assert_eq!(rr.at(2, 3), 0.0);
+        assert_eq!(rr.at(-1, 0), -10.0 + 0.0, "halo untouched");
     }
 
     #[test]

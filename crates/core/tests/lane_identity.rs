@@ -1,0 +1,204 @@
+//! Property suite for the lane-kernel bit-identity contract
+//! (`tea_core::vector`): every explicit-width lane kernel must be
+//! **bit-identical** to the scalar f64 reference
+//! (`vector::scalar_ref`), for any input — including ragged row lengths
+//! that exercise the `chunks_exact` remainder path — and for any
+//! worker-thread count and parallel threshold.
+//!
+//! Two layers:
+//!
+//! * row level — `lanes::*_row` vs `scalar_ref::*_row` on arbitrary
+//!   slices, no global state touched;
+//! * field level — the public kernels at threads ∈ {1, 2, 4} ×
+//!   thresholds {1, 64, MAX} against the 1-thread scalar-reference
+//!   baseline, all inside one `#[test]` because thread count and
+//!   threshold are process-global knobs (same discipline as
+//!   `tests/thread_identity.rs`).
+
+use proptest::prelude::*;
+use tea_core::vector::{self, lanes, scalar_ref};
+use tea_core::{SolveTrace, TileBounds};
+use tea_mesh::Field2D;
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Ragged lengths 0..38 sweep every remainder class of the 4-wide
+    /// f64 lane groups (and would for 8-wide too). Values come from a
+    /// seeded LCG (the vendored proptest has no inclusive-range or
+    /// fixed-length vec strategies; NaN-free finite values keep bitwise
+    /// comparison meaningful).
+    #[test]
+    fn lane_rows_bit_identical_to_scalar_reference(
+        n in 0usize..38,
+        seed in any::<u64>(),
+        a in -8.0f64..8.0,
+        b in -8.0f64..8.0,
+    ) {
+        let gen = |salt: u64| {
+            let mut state = seed ^ salt;
+            let mut next = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2e3 - 1e3
+            };
+            (0..n).map(|_| next()).collect::<Vec<f64>>()
+        };
+        let x = gen(1);
+        let r = gen(2);
+        let d = gen(3);
+        let y0 = gen(4);
+
+        // axpy
+        let (mut ys, mut yl) = (y0.clone(), y0.clone());
+        scalar_ref::axpy_row(&mut ys, a, &x);
+        lanes::axpy_row(&mut yl, a, &x);
+        prop_assert_eq!(bits(&ys), bits(&yl));
+
+        // xpay
+        let (mut ys, mut yl) = (y0.clone(), y0.clone());
+        scalar_ref::xpay_row(&mut ys, &x, a);
+        lanes::xpay_row(&mut yl, &x, a);
+        prop_assert_eq!(bits(&ys), bits(&yl));
+
+        // scale_add
+        let (mut ys, mut yl) = (y0.clone(), y0.clone());
+        scalar_ref::scale_add_row(&mut ys, a, b, &x);
+        lanes::scale_add_row(&mut yl, a, b, &x);
+        prop_assert_eq!(bits(&ys), bits(&yl));
+
+        // scale_add_mul (the fused preconditioner recurrence)
+        let (mut ys, mut yl) = (y0.clone(), y0.clone());
+        scalar_ref::scale_add_mul_row(&mut ys, a, b, &r, &d);
+        lanes::scale_add_mul_row(&mut yl, a, b, &r, &d);
+        prop_assert_eq!(bits(&ys), bits(&yl));
+
+        // scaled_copy
+        let (mut ys, mut yl) = (vec![0.0; n], vec![0.0; n]);
+        scalar_ref::scaled_copy_row(&mut ys, &x, a);
+        lanes::scaled_copy_row(&mut yl, &x, a);
+        prop_assert_eq!(bits(&ys), bits(&yl));
+
+        // mul_into
+        let (mut ys, mut yl) = (vec![0.0; n], vec![0.0; n]);
+        scalar_ref::mul_into_row(&mut ys, &r, &d);
+        lanes::mul_into_row(&mut yl, &r, &d);
+        prop_assert_eq!(bits(&ys), bits(&yl));
+
+        // reductions: same serial fold order is part of the contract
+        prop_assert_eq!(
+            scalar_ref::dot_row(&x, &r).to_bits(),
+            lanes::dot_row(&x, &r).to_bits()
+        );
+        prop_assert_eq!(
+            scalar_ref::abs_diff_row(&x, &r).to_bits(),
+            lanes::abs_diff_row(&x, &r).to_bits()
+        );
+    }
+}
+
+/// Builds an `nx × ny` field with deterministic pseudo-random interior.
+fn field(nx: usize, ny: usize, seed: u64) -> Field2D {
+    let mut f = Field2D::new(nx, ny, 1);
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+    for k in 0..ny as isize {
+        let row = f.row_mut(k, 0, nx as isize);
+        for v in row.iter_mut() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *v = ((state >> 11) as f64 / (1u64 << 53) as f64) * 2e3 - 1e3;
+        }
+    }
+    f
+}
+
+fn interior_bits(f: &Field2D) -> Vec<u64> {
+    let mut out = Vec::with_capacity(f.nx() * f.ny());
+    for k in 0..f.ny() as isize {
+        for j in 0..f.nx() as isize {
+            out.push(f.at(j, k).to_bits());
+        }
+    }
+    out
+}
+
+/// Runs every public vector kernel once on fresh fields and returns the
+/// concatenated result bits (outputs + both reduction scalars).
+fn kernel_sweep_bits(nx: usize, ny: usize, seed: u64) -> Vec<u64> {
+    let bounds = TileBounds::serial(nx, ny);
+    let mut tr = SolveTrace::new("lane-identity");
+    let x = field(nx, ny, seed ^ 1);
+    let r = field(nx, ny, seed ^ 2);
+    let d = field(nx, ny, seed ^ 3);
+    let mut out = Vec::new();
+
+    let mut y = field(nx, ny, seed ^ 4);
+    vector::axpy(&mut y, 1.25, &x, &bounds, 0, &mut tr);
+    out.extend(interior_bits(&y));
+
+    let mut y = field(nx, ny, seed ^ 5);
+    vector::xpay(&mut y, &x, -0.75, &bounds, 0, &mut tr);
+    out.extend(interior_bits(&y));
+
+    let mut y = field(nx, ny, seed ^ 6);
+    vector::scale_add(&mut y, 0.5, 2.0, &x, &bounds, 0, &mut tr);
+    out.extend(interior_bits(&y));
+
+    let mut y = field(nx, ny, seed ^ 7);
+    vector::scale_add_mul(&mut y, 0.5, 2.0, &r, &d, &bounds, 0, &mut tr);
+    out.extend(interior_bits(&y));
+
+    let mut y = Field2D::new(nx, ny, 1);
+    vector::scaled_copy(&mut y, &x, 3.5, &bounds, 0, &mut tr);
+    out.extend(interior_bits(&y));
+
+    let mut y = Field2D::new(nx, ny, 1);
+    vector::mul_into(&mut y, &r, &d, &bounds, 0, &mut tr);
+    out.extend(interior_bits(&y));
+
+    out.push(vector::dot_local(&x, &r, &bounds, &mut tr).to_bits());
+    out.push(vector::abs_diff_local(&x, &r, &bounds, &mut tr).to_bits());
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Field-level contract across the runtime configuration matrix.
+    /// Ragged widths (odd `nx`) put every row through the lane
+    /// remainder path; `threshold = 1` forces the parallel branch even
+    /// on tiny fields.
+    #[test]
+    fn kernels_bit_identical_across_threads_and_thresholds(
+        nx in 1usize..20,
+        ny in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        // baseline: the scalar f64 reference (1 worker, never parallel)
+        tea_core::set_num_threads(1);
+        tea_core::set_par_threshold(usize::MAX);
+        let baseline = kernel_sweep_bits(nx, ny, seed);
+        for &threads in &[1usize, 2, 4] {
+            for &threshold in &[1usize, 64, usize::MAX] {
+                tea_core::set_num_threads(threads);
+                tea_core::set_par_threshold(threshold);
+                let got = kernel_sweep_bits(nx, ny, seed);
+                tea_core::set_num_threads(1);
+                tea_core::set_par_threshold(tea_core::PAR_THRESHOLD);
+                prop_assert_eq!(
+                    &baseline,
+                    &got,
+                    "kernels diverged at threads={} threshold={}",
+                    threads,
+                    threshold
+                );
+            }
+        }
+    }
+}

@@ -48,6 +48,11 @@ pub trait Scalar:
     /// Storage width in bytes (8 for `f64`, 4 for `f32`) — what one
     /// element of this format costs on the wire and in memory.
     const BYTES: usize;
+    /// Lane count of the explicit-width vector kernels in
+    /// `tea-core::vector` (4 for `f64`, 8 for `f32`): each lane group
+    /// fills one 256-bit register, so both formats sweep 32 bytes per
+    /// unrolled step and LLVM can keep the fixed-width chunks branchless.
+    const LANES: usize;
 
     /// Converts from `f64` (rounding for narrower formats).
     fn from_f64(v: f64) -> Self;
@@ -67,6 +72,7 @@ impl Scalar for f64 {
     const NAME: &'static str = "f64";
     const EPSILON_: f64 = f64::EPSILON;
     const BYTES: usize = std::mem::size_of::<f64>();
+    const LANES: usize = 4;
 
     #[inline(always)]
     fn from_f64(v: f64) -> Self {
@@ -96,6 +102,7 @@ impl Scalar for f32 {
     const NAME: &'static str = "f32";
     const EPSILON_: f64 = f32::EPSILON as f64;
     const BYTES: usize = std::mem::size_of::<f32>();
+    const LANES: usize = 8;
 
     #[inline(always)]
     fn from_f64(v: f64) -> Self {
@@ -137,6 +144,9 @@ mod tests {
         assert!(narrow > wide, "f32 must be the coarser format");
         assert_eq!(<f64 as Scalar>::BYTES, 8);
         assert_eq!(<f32 as Scalar>::BYTES, 4);
+        // both lane groups span one 256-bit register
+        assert_eq!(<f64 as Scalar>::LANES * <f64 as Scalar>::BYTES, 32);
+        assert_eq!(<f32 as Scalar>::LANES * <f32 as Scalar>::BYTES, 32);
     }
 
     #[test]

@@ -20,12 +20,14 @@
 #![forbid(unsafe_code)]
 
 pub mod machines;
+pub mod roofline;
 pub mod scaling;
 
 pub use machines::{
     all_machines, piz_daint, spruce_hybrid, spruce_mpi, titan, Machine, NetworkModel, NodeModel,
 };
+pub use roofline::{kernel_roofline, KernelRoofline, HOT_KERNELS};
 pub use scaling::{
-    node_counts, predict, predict_amg, predicted_iteration_bytes, KernelBytes, ScalingPoint,
-    ScalingSeries,
+    node_counts, predict, predict_amg, predict_width, predicted_iteration_bytes, solver_elem_bytes,
+    KernelBytes, ScalingPoint, ScalingSeries,
 };

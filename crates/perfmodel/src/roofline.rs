@@ -1,0 +1,158 @@
+//! Per-kernel roofline model for the hot 5-point kernels.
+//!
+//! Where [`crate::scaling`] prices whole solves on modelled machines,
+//! this module prices *one kernel sweep* on the machine the benchmark
+//! is actually running on: each hot kernel gets a static bytes/cell and
+//! flops/cell figure, and a measured runtime plus a measured streaming
+//! peak (e.g. from a triad sweep over arrays of the same footprint)
+//! turn into an honest percent-of-peak number. All the kernels here are
+//! far below the ridge point of any real machine (arithmetic intensity
+//! well under 1 flop/byte), so percent of *streaming* peak — not flop
+//! peak — is the meaningful efficiency axis, exactly as the paper
+//! argues for TeaLeaf's bandwidth-bound sweeps.
+//!
+//! Element counts match the [`crate::KernelBytes`] conventions: a
+//! 5-point-read field costs 2 elements/cell (the centre row streams
+//! once; the north/south neighbours hit cache), a read-modify-write
+//! costs 2, a plain load or store costs 1.
+
+/// Static traffic and arithmetic model of one hot kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelRoofline {
+    /// Kernel name as reported by the `speedup` bench
+    /// (`apply`/`residual`/`dot`/`axpy`/`scale_add`/`fused_cheb`).
+    pub name: &'static str,
+    /// Elements moved per interior cell per sweep (width-agnostic;
+    /// multiply by the element width for bytes).
+    pub elems_per_cell: f64,
+    /// Floating-point operations per interior cell per sweep.
+    pub flops_per_cell: f64,
+}
+
+impl KernelRoofline {
+    /// Bytes moved per cell at the given element width in bytes
+    /// (8 for f64, 4 for f32).
+    pub fn bytes_per_cell(&self, elem_bytes: f64) -> f64 {
+        self.elems_per_cell * elem_bytes
+    }
+
+    /// Arithmetic intensity in flops/byte at the given element width.
+    pub fn arithmetic_intensity(&self, elem_bytes: f64) -> f64 {
+        self.flops_per_cell / self.bytes_per_cell(elem_bytes)
+    }
+
+    /// Memory bandwidth this kernel achieved, in bytes/second, given a
+    /// measured runtime over `cells` interior cells.
+    pub fn achieved_bandwidth(&self, cells: f64, elem_bytes: f64, seconds: f64) -> f64 {
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        cells * self.bytes_per_cell(elem_bytes) / seconds
+    }
+
+    /// Percent of a measured streaming peak (bytes/second) this kernel
+    /// achieved: `100 × achieved_bandwidth / streaming_peak`.
+    pub fn percent_of_peak(
+        &self,
+        cells: f64,
+        elem_bytes: f64,
+        seconds: f64,
+        streaming_peak: f64,
+    ) -> f64 {
+        if streaming_peak <= 0.0 {
+            return 0.0;
+        }
+        100.0 * self.achieved_bandwidth(cells, elem_bytes, seconds) / streaming_peak
+    }
+}
+
+/// The hot kernels of the solver, with their per-cell element and flop
+/// counts.
+///
+/// * `apply` — 5-point stencil `w = A·p`: p 5-point (2) + Kx + Ky +
+///   store w = 5 elems; 5 multiplies + 8 adds = 13 flops.
+/// * `residual` — `r = u0 − A·u`: u 5-point (2) + Kx + Ky + u0 +
+///   store r = 6 elems; the stencil + 1 subtract = 14 flops.
+/// * `dot` — two streamed loads, 1 multiply + 1 add.
+/// * `axpy` — `y += α·x`: 2 loads + 1 store, 1 multiply + 1 add.
+/// * `scale_add` — `y = α·y + β·x`: 2 loads + 1 store, 2 mul + 1 add.
+/// * `fused_cheb` — the fused Chebyshev pass `z += sd; rr −= A·sd`:
+///   sd 5-point (2) + Kx + Ky + z rmw (2) + rr rmw (2) = 8 elems;
+///   the stencil + 1 add + 1 subtract = 15 flops.
+pub const HOT_KERNELS: [KernelRoofline; 6] = [
+    KernelRoofline {
+        name: "apply",
+        elems_per_cell: 5.0,
+        flops_per_cell: 13.0,
+    },
+    KernelRoofline {
+        name: "residual",
+        elems_per_cell: 6.0,
+        flops_per_cell: 14.0,
+    },
+    KernelRoofline {
+        name: "dot",
+        elems_per_cell: 2.0,
+        flops_per_cell: 2.0,
+    },
+    KernelRoofline {
+        name: "axpy",
+        elems_per_cell: 3.0,
+        flops_per_cell: 2.0,
+    },
+    KernelRoofline {
+        name: "scale_add",
+        elems_per_cell: 3.0,
+        flops_per_cell: 3.0,
+    },
+    KernelRoofline {
+        name: "fused_cheb",
+        elems_per_cell: 8.0,
+        flops_per_cell: 15.0,
+    },
+];
+
+/// Looks up a hot-kernel model by name.
+pub fn kernel_roofline(name: &str) -> Option<KernelRoofline> {
+    HOT_KERNELS.iter().copied().find(|k| k.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_bytes() {
+        let apply = kernel_roofline("apply").unwrap();
+        assert_eq!(apply.bytes_per_cell(8.0), 40.0);
+        assert_eq!(apply.bytes_per_cell(4.0), 20.0);
+        assert!(kernel_roofline("nope").is_none());
+        // fused pass moves fewer elements than apply + two axpys
+        let fused = kernel_roofline("fused_cheb").unwrap();
+        let axpy = kernel_roofline("axpy").unwrap();
+        assert!(fused.elems_per_cell < apply.elems_per_cell + 2.0 * axpy.elems_per_cell);
+    }
+
+    #[test]
+    fn all_kernels_are_bandwidth_bound() {
+        // arithmetic intensity far below any real ridge point
+        // (~5-10 flops/byte on the paper's machines)
+        for k in HOT_KERNELS {
+            assert!(
+                k.arithmetic_intensity(8.0) < 1.0,
+                "{} unexpectedly compute-bound",
+                k.name
+            );
+        }
+    }
+
+    #[test]
+    fn percent_of_peak_arithmetic() {
+        let dot = kernel_roofline("dot").unwrap();
+        // 1e6 cells × 16 B in 1 ms = 16 GB/s; 50% of a 32 GB/s peak
+        let pct = dot.percent_of_peak(1e6, 8.0, 1e-3, 32e9);
+        assert!((pct - 50.0).abs() < 1e-9);
+        assert_eq!(dot.percent_of_peak(1e6, 8.0, 1e-3, 0.0), 0.0);
+        assert_eq!(dot.achieved_bandwidth(1e6, 8.0, 0.0), 0.0);
+    }
+}

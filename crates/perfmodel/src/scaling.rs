@@ -24,26 +24,54 @@ use tea_core::SolveTrace;
 use tea_mesh::{choose_process_grid, split_extent};
 
 /// Modelled bytes moved per cell per sweep, by kernel class.
+///
+/// Every field is `elements-per-cell × element-width`; the defaults are
+/// the f64 (8-byte) figures. Use [`KernelBytes::for_width`] to price the
+/// same kernel schedule at another precision — f32 sweeps move exactly
+/// half the bytes of their f64 counterparts, element counts unchanged.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct KernelBytes {
-    /// Fused stencil: load `p` (5-point, cached), `Kx`, `Ky`, store `w`.
+    /// Fused stencil: load `p` (5-point, cached ≈ 2 elems), `Kx`, `Ky`,
+    /// store `w` — 5 elements/cell.
     pub spmv: f64,
-    /// axpy-class: two loads + one store.
+    /// axpy-class: two loads + one store — 3 elements/cell.
     pub vector: f64,
-    /// dot: two loads.
+    /// dot: two loads — 2 elements/cell.
     pub dot: f64,
-    /// preconditioner apply: two loads + one store (diag) / block sweeps.
+    /// preconditioner apply: two loads + one store (diag) / block sweeps
+    /// — 4 elements/cell.
     pub precon: f64,
+    /// *Additional* traffic of a fused Chebyshev sweep
+    /// ([`tea_core::TileOperator::apply_cheb_fused`]) over the plain stencil
+    /// it is counted alongside: `z` and `rr` read-modify-writes (+4
+    /// elems) minus the `w` store the stencil class still charges but
+    /// the fused pass never issues (−1 elem) — 3 elements/cell. One
+    /// fused pass therefore prices at `spmv + fused_update` = 8
+    /// elements/cell, against 11 for the unfused apply + two axpys.
+    pub fused_update: f64,
+}
+
+impl KernelBytes {
+    /// Per-cell element counts of each kernel class (see field docs).
+    const ELEMS: [f64; 5] = [5.0, 3.0, 2.0, 4.0, 3.0];
+
+    /// Kernel-class bytes at a given element width in bytes (8 for f64,
+    /// 4 for f32). `for_width(8.0)` equals `KernelBytes::default()`.
+    pub fn for_width(elem_bytes: f64) -> Self {
+        let [spmv, vector, dot, precon, fused_update] = Self::ELEMS.map(|e| e * elem_bytes);
+        KernelBytes {
+            spmv,
+            vector,
+            dot,
+            precon,
+            fused_update,
+        }
+    }
 }
 
 impl Default for KernelBytes {
     fn default() -> Self {
-        KernelBytes {
-            spmv: 40.0,
-            vector: 24.0,
-            dot: 16.0,
-            precon: 32.0,
-        }
+        KernelBytes::for_width(8.0)
     }
 }
 
@@ -95,16 +123,28 @@ fn sweep_time(m: &Machine, cells: f64, bytes_per_cell: f64, working_set: f64) ->
     cells * bytes_per_cell / m.effective_bandwidth(working_set) + m.node.sweep_overhead
 }
 
-/// Cost of one fused halo exchange at `depth` with `nfields` fields on an
-/// `nx × ny` tile: two α-β phases (topology-routed) plus PCIe hops on
-/// accelerators.
-fn halo_time(m: &Machine, ranks: usize, tile: (usize, usize), depth: f64, nfields: f64) -> f64 {
+/// Cost of one fused halo exchange at `depth` with `nfields` fields of
+/// `elem_bytes`-wide elements on an `nx × ny` tile: two α-β phases
+/// (topology-routed) plus PCIe hops on accelerators.
+///
+/// Halo payloads are precision-native (an f32 leg exchanges 4-byte
+/// faces), so the wire bytes must scale with the element width — the
+/// old model hardcoded `* 8.0` and overcharged reduced-precision legs
+/// by 2×.
+fn halo_time(
+    m: &Machine,
+    ranks: usize,
+    tile: (usize, usize),
+    depth: f64,
+    nfields: f64,
+    elem_bytes: f64,
+) -> f64 {
     let (nx, ny) = (tile.0 as f64, tile.1 as f64);
     // halo neighbours are topologically close; charge injection latency
     // plus a small share of the machine route
     let alpha = m.net.latency + 0.25 * m.net.topology.route_extra(ranks);
-    let phase = |doubles: f64| -> f64 {
-        let bytes = doubles * 8.0 * nfields;
+    let phase = |elems: f64| -> f64 {
+        let bytes = elems * elem_bytes * nfields;
         alpha
             + bytes / m.net.bandwidth
             + 2.0 * (m.node.host_link_latency + bytes / m.node.host_link_bandwidth)
@@ -112,16 +152,22 @@ fn halo_time(m: &Machine, ranks: usize, tile: (usize, usize), depth: f64, nfield
     phase(depth * ny) + phase(depth * (nx + 2.0 * depth))
 }
 
-/// Cost of one allreduce of `elements` scalars over `ranks` ranks: a
-/// reduce + broadcast tree of `2·log₂(R)` hops, each crossing real
-/// machine distance, plus one device sync on accelerators.
-fn reduction_time(m: &Machine, ranks: usize, elements: f64) -> f64 {
+/// Cost of one allreduce of `elements` scalars of `elem_bytes` width
+/// over `ranks` ranks: a reduce + broadcast tree of `2·log₂(R)` hops,
+/// each crossing real machine distance, plus one device sync on
+/// accelerators.
+fn reduction_time(m: &Machine, ranks: usize, elements: f64, elem_bytes: f64) -> f64 {
     let hops = 2.0 * log2_ceil(ranks);
-    hops * m.net.tree_hop(ranks) + elements * 8.0 / m.net.bandwidth + 2.0 * m.node.host_link_latency
+    hops * m.net.tree_hop(ranks)
+        + elements * elem_bytes / m.net.bandwidth
+        + 2.0 * m.node.host_link_latency
 }
 
 /// Replays a solver trace on `machine` at `nodes` nodes for a fixed
-/// `global` mesh.
+/// `global` mesh, with f64 (8-byte) communication payloads.
+///
+/// Shorthand for [`predict_width`] at `elem_bytes = 8.0`; use
+/// `predict_width` to price reduced-precision legs honestly.
 pub fn predict(
     machine: &Machine,
     trace: &SolveTrace,
@@ -129,17 +175,37 @@ pub fn predict(
     nodes: usize,
     bytes: KernelBytes,
 ) -> ScalingPoint {
+    predict_width(machine, trace, global, nodes, bytes, 8.0)
+}
+
+/// Replays a solver trace on `machine` at `nodes` nodes for a fixed
+/// `global` mesh, with every element — field working sets, halo faces,
+/// reduction payloads — `elem_bytes` wide.
+///
+/// `elem_bytes` is the in-memory width of one mesh element: 8 for f64
+/// solves, 4 for f32 / the inner leg of the mixed methods. Pass a
+/// matching [`KernelBytes::for_width`] so the sweep classes and the
+/// communication terms price the same precision.
+pub fn predict_width(
+    machine: &Machine,
+    trace: &SolveTrace,
+    global: (usize, usize),
+    nodes: usize,
+    bytes: KernelBytes,
+    elem_bytes: f64,
+) -> ScalingPoint {
     let ranks = nodes * machine.ranks_per_node;
     let tile = worst_tile(global, ranks);
     let (nx, ny) = (tile.0 as f64, tile.1 as f64);
-    let working_set = nx * ny * machine.resident_fields as f64 * 8.0;
+    let working_set = nx * ny * machine.resident_fields as f64 * elem_bytes;
 
     let mut compute = 0.0;
-    let sweep_classes: [(&tea_core::KernelCounts, f64); 4] = [
+    let sweep_classes: [(&tea_core::KernelCounts, f64); 5] = [
         (&trace.spmv, bytes.spmv),
         (&trace.vector_ops, bytes.vector),
         (&trace.dot_kernels, bytes.dot),
         (&trace.precon_ops, bytes.precon),
+        (&trace.fused_updates, bytes.fused_update),
     ];
     for (counts, b) in sweep_classes {
         for (&e, &n) in &counts.sweeps_by_extension {
@@ -151,7 +217,15 @@ pub fn predict(
 
     let mut halo = 0.0;
     for (&(depth, nfields), &n) in &trace.halo_exchanges {
-        halo += n as f64 * halo_time(machine, ranks, tile, depth as f64, nfields as f64);
+        halo += n as f64
+            * halo_time(
+                machine,
+                ranks,
+                tile,
+                depth as f64,
+                nfields as f64,
+                elem_bytes,
+            );
     }
 
     let per_elem = if trace.reductions > 0 {
@@ -159,7 +233,7 @@ pub fn predict(
     } else {
         0.0
     };
-    let reduction = trace.reductions as f64 * reduction_time(machine, ranks, per_elem);
+    let reduction = trace.reductions as f64 * reduction_time(machine, ranks, per_elem, elem_bytes);
 
     ScalingPoint {
         nodes,
@@ -182,11 +256,21 @@ pub fn predict(
 /// mix by family (one stencil sweep plus the recurrence updates; the
 /// reduction-avoiding methods drop the dots; the PPCG/mixed families add
 /// `inner_steps` smoothing sweeps per outer iteration). Reduced-precision
-/// sweeps count half the bytes; the mixed methods add one conversion
-/// sweep for the demote/promote round trip.
+/// sweeps count half the bytes (their 4-byte elements move exactly half
+/// the traffic of the 8-byte schedule in `bytes` — see
+/// [`solver_elem_bytes`]); the mixed methods add one conversion sweep
+/// for the demote/promote round trip. The Chebyshev-smoothed inner
+/// sweeps (`ppcg`, `mixed_ppcg`, `mixed_chebyshev`) are priced fused:
+/// one stencil + [`KernelBytes::fused_update`] + the fused recurrence
+/// (precon-class) per step, instead of stencil + three separate vector
+/// passes + precon.
 pub fn predicted_iteration_bytes(solver: &str, inner_steps: usize, bytes: &KernelBytes) -> f64 {
     let m = inner_steps.max(1) as f64;
     let sweep = bytes.spmv + 3.0 * bytes.vector + bytes.precon;
+    // fused Chebyshev inner step: apply_cheb_fused folds the stencil and
+    // both vector updates into one pass, and the recurrence folds the
+    // preconditioner apply + scale_add into one precon-class pass
+    let fused_step = bytes.spmv + bytes.fused_update + bytes.precon;
     match solver {
         "jacobi" => bytes.spmv + bytes.vector,
         "cg" | "cg_fused" | "amg" => sweep + 2.0 * bytes.dot,
@@ -195,15 +279,33 @@ pub fn predicted_iteration_bytes(solver: &str, inner_steps: usize, bytes: &Kerne
             bytes.spmv + 3.0 * bytes.vector + 2.0 * bytes.dot + 0.5 * bytes.precon + bytes.vector
         }
         "chebyshev" | "richardson" => sweep,
-        "mixed_chebyshev" | "mixed_richardson" => {
-            // one block of m f32 sweeps + the f64 residual control
+        "mixed_chebyshev" => {
+            // one block of m fused f32 sweeps + the f64 residual control
+            m * 0.5 * fused_step + bytes.spmv + bytes.vector + bytes.dot
+        }
+        "mixed_richardson" => {
+            // Richardson's inner loop is not a fusion target: m plain
+            // f32 sweeps + the f64 residual control
             m * 0.5 * sweep + bytes.spmv + bytes.vector + bytes.dot
         }
-        "ppcg" => sweep + 2.0 * bytes.dot + m * sweep,
-        "mixed_ppcg" => sweep + 2.0 * bytes.dot + m * 0.5 * sweep + bytes.vector,
+        "ppcg" => sweep + 2.0 * bytes.dot + m * fused_step,
+        "mixed_ppcg" => sweep + 2.0 * bytes.dot + m * 0.5 * fused_step + bytes.vector,
         // unknown methods: price them as a plain preconditioned CG so
         // the tuner still has a finite ordering key
         _ => sweep + 2.0 * bytes.dot,
+    }
+}
+
+/// Element width in bytes of a named solver's *bulk* sweeps: 4 for the
+/// pure-f32 method and the mixed methods (whose traffic is dominated by
+/// the f32 inner leg), 8 for everything else. Feed this to
+/// [`predict_width`] / [`KernelBytes::for_width`] so reduced-precision
+/// candidates are priced at their true 4 B/element instead of the f64 8.
+pub fn solver_elem_bytes(solver: &str) -> f64 {
+    match solver {
+        "cg_f32" => 4.0,
+        s if s.starts_with("mixed_") => 4.0,
+        _ => 8.0,
     }
 }
 
@@ -281,7 +383,7 @@ pub fn predict_amg(
                 ws,
             );
         point.halo += sweeps as f64
-            * (amg_model::EXCHANGES_PER_SWEEP * halo_time(machine, ranks, tile, 1.0, 1.0)
+            * (amg_model::EXCHANGES_PER_SWEEP * halo_time(machine, ranks, tile, 1.0, 1.0, 8.0)
                 + agglomeration_contention(machine, nodes, level_cells));
     }
 
@@ -327,9 +429,24 @@ impl ScalingSeries {
         global: (usize, usize),
         bytes: KernelBytes,
     ) -> Self {
+        Self::sweep_width(label, machine, trace, global, bytes, 8.0)
+    }
+
+    /// [`ScalingSeries::sweep`] at an explicit element width in bytes
+    /// (4.0 for f32/mixed protocols), so half-precision legs replay
+    /// with width-correct wire and working-set accounting. Pair
+    /// `bytes` with the same width ([`KernelBytes::for_width`]).
+    pub fn sweep_width(
+        label: impl Into<String>,
+        machine: &Machine,
+        trace: &SolveTrace,
+        global: (usize, usize),
+        bytes: KernelBytes,
+        elem_bytes: f64,
+    ) -> Self {
         let points = node_counts(machine.max_nodes)
             .into_iter()
-            .map(|n| predict(machine, trace, global, n, bytes))
+            .map(|n| predict_width(machine, trace, global, n, bytes, elem_bytes))
             .collect();
         ScalingSeries {
             label: label.into(),
@@ -643,6 +760,73 @@ mod tests {
         // per-rank setup bandwidth work shrinks, collective part grows:
         // at scale the collective term keeps setup from vanishing
         assert!(p512.setup > p1.setup / 512.0 * 4.0);
+    }
+
+    #[test]
+    fn kernel_bytes_scale_with_element_width() {
+        let b64 = KernelBytes::default();
+        assert_eq!(b64.spmv, 40.0);
+        assert_eq!(b64.vector, 24.0);
+        assert_eq!(b64.dot, 16.0);
+        assert_eq!(b64.precon, 32.0);
+        assert_eq!(b64.fused_update, 24.0);
+        // f32 legs move 4 B/element: exactly half of every class
+        let b32 = KernelBytes::for_width(4.0);
+        assert_eq!(b32.spmv, 20.0);
+        assert_eq!(b32.vector, 12.0);
+        assert_eq!(b32.dot, 8.0);
+        assert_eq!(b32.precon, 16.0);
+        assert_eq!(b32.fused_update, 12.0);
+        assert_eq!(solver_elem_bytes("cg_f32"), 4.0);
+        assert_eq!(solver_elem_bytes("mixed_ppcg"), 4.0);
+        assert_eq!(solver_elem_bytes("mixed_chebyshev"), 4.0);
+        assert_eq!(solver_elem_bytes("cg"), 8.0);
+        assert_eq!(solver_elem_bytes("ppcg"), 8.0);
+    }
+
+    #[test]
+    fn f32_iteration_priced_at_4_bytes_per_element() {
+        let b = KernelBytes::default();
+        let cg = predicted_iteration_bytes("cg", 0, &b);
+        let cg32 = predicted_iteration_bytes("cg_f32", 0, &b);
+        assert!((cg32 - 0.5 * cg).abs() < 1e-12);
+        // pricing the same schedule from 4-byte kernel bytes agrees:
+        // the f32 discount is exactly the element-width ratio
+        let b32 = KernelBytes::for_width(4.0);
+        assert!((predicted_iteration_bytes("cg", 0, &b32) - cg32).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_terms_scale_with_element_width() {
+        // the old model hardcoded 8-byte wire payloads; f32 legs must
+        // now pay half the bandwidth term in halo and reduction time
+        let m = titan();
+        let t = cg_like(100);
+        let p64 = predict_width(&m, &t, (4000, 4000), 64, KernelBytes::for_width(8.0), 8.0);
+        let p32 = predict_width(&m, &t, (4000, 4000), 64, KernelBytes::for_width(4.0), 4.0);
+        assert!(p32.compute < p64.compute);
+        assert!(p32.halo < p64.halo, "f32 halo faces are half the bytes");
+        assert!(p32.reduction < p64.reduction);
+        // predict() is the f64 shorthand
+        let p = predict(&m, &t, (4000, 4000), 64, KernelBytes::default());
+        assert_eq!(p.total(), p64.total());
+    }
+
+    #[test]
+    fn fused_ppcg_inner_sweep_prices_below_unfused() {
+        let b = KernelBytes::default();
+        let m = 16;
+        let sweep = b.spmv + 3.0 * b.vector + b.precon;
+        let unfused = sweep + 2.0 * b.dot + m as f64 * sweep;
+        let fused = predicted_iteration_bytes("ppcg", m, &b);
+        assert!(fused < unfused, "fusion must reduce modelled bytes");
+        // each fused inner step saves 6 elements/cell: the skipped `w`
+        // store + reload, the separate `sd` reload, and the `tmp`
+        // round-trip the fused recurrence elides
+        assert!((unfused - fused - m as f64 * 6.0 * 8.0).abs() < 1e-9);
+        // the mixed variant keeps the same fused structure at half width
+        let mixed = predicted_iteration_bytes("mixed_ppcg", m, &b);
+        assert!(mixed < fused);
     }
 
     #[test]

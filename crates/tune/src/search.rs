@@ -155,6 +155,68 @@ mod tests {
     }
 
     #[test]
+    fn width_correct_prior_prefers_cg_f32_over_cg() {
+        // regression for the precision-blind byte accounting: cg_f32
+        // must be priced at 4 B/element — exactly half of cg — so it
+        // races strictly before cg at every seed
+        let reg = SolverRegistry::builtin();
+        for seed in 0..16u64 {
+            let plan = plan_candidates(&reg, &SolverParams::default(), seed);
+            let pos = |n: &str| plan.iter().position(|c| c.solver == n).unwrap();
+            assert!(pos("cg_f32") < pos("cg"), "seed {seed}: {plan:#?}");
+        }
+        let plan = plan_candidates(&reg, &SolverParams::default(), 0);
+        let bytes = |n: &str| {
+            plan.iter()
+                .find(|c| c.solver == n)
+                .unwrap()
+                .bytes_per_iteration
+        };
+        assert!((bytes("cg_f32") - 0.5 * bytes("cg")).abs() < 1e-12);
+
+        // and on a bandwidth-bound synthetic machine the half-width
+        // trace replays in materially less time — the ordering the
+        // prior encodes is the one the machine model agrees with
+        let machine = tea_perfmodel::titan();
+        let mut trace = tea_core::SolveTrace::new("cg-shape");
+        for _ in 0..100 {
+            trace.spmv.record(0);
+            trace.vector_ops.record(0);
+            trace.vector_ops.record(0);
+            trace.vector_ops.record(0);
+            trace.dot_kernels.record(0);
+            trace.record_halo(1, 1);
+            trace.record_reduction(1);
+            trace.record_reduction(1);
+        }
+        let w64 = tea_perfmodel::solver_elem_bytes("cg");
+        let w32 = tea_perfmodel::solver_elem_bytes("cg_f32");
+        let t64 = tea_perfmodel::predict_width(
+            &machine,
+            &trace,
+            (4000, 4000),
+            1,
+            KernelBytes::for_width(w64),
+            w64,
+        );
+        let t32 = tea_perfmodel::predict_width(
+            &machine,
+            &trace,
+            (4000, 4000),
+            1,
+            KernelBytes::for_width(w32),
+            w32,
+        );
+        assert!(
+            t32.total() < 0.75 * t64.total(),
+            "f32 leg must be markedly cheaper on a bandwidth-bound machine: \
+             {} vs {}",
+            t32.total(),
+            t64.total()
+        );
+    }
+
+    #[test]
     fn plan_is_seed_deterministic_and_seed_sensitive_on_ties() {
         let reg = SolverRegistry::builtin();
         let params = SolverParams::default();

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example scaling_study -- [cells] [steps]`
 
 use tealeaf::app::{crooked_pipe_deck, run_serial};
-use tealeaf::perfmodel::{piz_daint, titan, KernelBytes, ScalingSeries};
+use tealeaf::perfmodel::{piz_daint, solver_elem_bytes, titan, KernelBytes, ScalingSeries};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -14,14 +14,15 @@ fn main() {
 
     println!("measuring solver protocols on a {cells}x{cells} crooked pipe ({steps} steps)...\n");
 
-    // measure real traces
-    let mut configs: Vec<(String, tealeaf::solvers::SolveTrace)> = Vec::new();
+    // measure real traces; each leg carries its element width so the
+    // replay prices f32/mixed protocols at 4 B/element, not 8
+    let mut configs: Vec<(String, tealeaf::solvers::SolveTrace, f64)> = Vec::new();
     {
         let mut deck = crooked_pipe_deck(cells, "cg");
         deck.control.end_step = steps;
         deck.control.summary_frequency = 0;
         let out = run_serial(&deck).expect("deck runs");
-        configs.push(("CG - 1".into(), out.trace));
+        configs.push(("CG - 1".into(), out.trace, solver_elem_bytes("cg")));
     }
     for depth in [1usize, 4, 16] {
         let mut deck = crooked_pipe_deck(cells, "ppcg");
@@ -29,7 +30,22 @@ fn main() {
         deck.control.ppcg_halo_depth = depth;
         deck.control.summary_frequency = 0;
         let out = run_serial(&deck).expect("deck runs");
-        configs.push((format!("PPCG - {depth}"), out.trace));
+        configs.push((
+            format!("PPCG - {depth}"),
+            out.trace,
+            solver_elem_bytes("ppcg"),
+        ));
+    }
+    {
+        let mut deck = crooked_pipe_deck(cells, "mixed_ppcg");
+        deck.control.end_step = steps;
+        deck.control.summary_frequency = 0;
+        let out = run_serial(&deck).expect("deck runs");
+        configs.push((
+            "mPPCG f32".into(),
+            out.trace,
+            solver_elem_bytes("mixed_ppcg"),
+        ));
     }
 
     let global = (cells, cells);
@@ -40,18 +56,19 @@ fn main() {
             "nodes",
             configs
                 .iter()
-                .map(|(l, _)| format!("{l:>12}"))
+                .map(|(l, _, _)| format!("{l:>12}"))
                 .collect::<String>()
         );
         let series: Vec<ScalingSeries> = configs
             .iter()
-            .map(|(label, trace)| {
-                ScalingSeries::sweep(
+            .map(|(label, trace, width)| {
+                ScalingSeries::sweep_width(
                     label.clone(),
                     &machine,
                     trace,
                     global,
-                    KernelBytes::default(),
+                    KernelBytes::for_width(*width),
+                    *width,
                 )
             })
             .collect();
